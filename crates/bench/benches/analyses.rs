@@ -1,0 +1,63 @@
+//! Benchmarks the static-analysis components: IPDA stride analysis, the
+//! MCA lowering + scheduling engine, and instruction-loadout counting.
+//! These run at compile time in the paper's framework, but their throughput
+//! still matters for large translation units.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetsel_polybench::{all_kernels, find_kernel};
+use std::hint::black_box;
+
+fn ipda_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ipda_analyze");
+    for name in ["gemm", "3dconv", "corr.corr"] {
+        let (kernel, _) = find_kernel(name).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &kernel, |b, k| {
+            b.iter(|| black_box(hetsel_ipda::analyze(black_box(k))));
+        });
+    }
+    group.finish();
+
+    c.bench_function("ipda_analyze_whole_suite", |b| {
+        let kernels: Vec<_> = all_kernels().into_iter().map(|(_, k, _)| k).collect();
+        b.iter(|| {
+            for k in &kernels {
+                black_box(hetsel_ipda::analyze(k));
+            }
+        });
+    });
+}
+
+fn mca_engine(c: &mut Criterion) {
+    let (kernel, binding) = find_kernel("gemm").unwrap();
+    let bnd = binding(hetsel_polybench::Dataset::Test);
+    let core = hetsel_mca::power9();
+    let tc = hetsel_ir::trips::resolve(&kernel, &bnd);
+    c.bench_function("mca_parallel_iter_cycles", |b| {
+        b.iter(|| {
+            black_box(hetsel_mca::parallel_iter_cycles(
+                black_box(&kernel),
+                &core,
+                &|l| tc.of(l),
+                None,
+            ))
+        });
+    });
+    c.bench_function("mca_loadout", |b| {
+        b.iter(|| black_box(hetsel_mca::loadout(black_box(&kernel), &hetsel_mca::assume_128)));
+    });
+}
+
+fn warp_math(c: &mut Criterion) {
+    c.bench_function("transactions_per_warp_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for s in 0..512i64 {
+                acc = acc.wrapping_add(hetsel_ipda::transactions_per_warp(black_box(s), 4, 32));
+            }
+            black_box(acc)
+        });
+    });
+}
+
+criterion_group!(benches, ipda_analysis, mca_engine, warp_math);
+criterion_main!(benches);

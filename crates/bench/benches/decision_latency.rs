@@ -1,0 +1,54 @@
+//! Benchmarks the paper's "negligible decision time" claim: evaluating both
+//! analytical models and choosing a device is "equivalent to solving an
+//! equation" — it must cost microseconds against kernels that run for
+//! milliseconds to minutes, in stark contrast to ML inference at runtime.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetsel_core::{Platform, Selector};
+use hetsel_polybench::{find_kernel, Dataset};
+use std::hint::black_box;
+
+fn decision_latency(c: &mut Criterion) {
+    let sel = Selector::new(Platform::power9_v100());
+    let mut group = c.benchmark_group("selector_decision");
+    for name in ["gemm", "atax.k2", "3dconv", "corr.corr"] {
+        let (kernel, binding) = find_kernel(name).unwrap();
+        let b = binding(Dataset::Benchmark);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &kernel, |bench, k| {
+            bench.iter(|| black_box(sel.select_kernel(black_box(k), black_box(&b))));
+        });
+    }
+    group.finish();
+}
+
+fn model_halves(c: &mut Criterion) {
+    let (kernel, binding) = find_kernel("gemm").unwrap();
+    let b = binding(Dataset::Benchmark);
+    let cm = hetsel_models::power9_params();
+    let gm = hetsel_models::v100_params();
+    c.bench_function("cpu_model_predict", |bench| {
+        bench.iter(|| {
+            black_box(hetsel_models::cpu::predict(
+                black_box(&kernel),
+                &b,
+                &cm,
+                160,
+                hetsel_models::TripMode::Runtime,
+            ))
+        });
+    });
+    c.bench_function("gpu_model_predict", |bench| {
+        bench.iter(|| {
+            black_box(hetsel_models::gpu::predict(
+                black_box(&kernel),
+                &b,
+                &gm,
+                hetsel_models::TripMode::Runtime,
+                hetsel_models::CoalescingMode::Ipda,
+            ))
+        });
+    });
+}
+
+criterion_group!(benches, decision_latency, model_halves);
+criterion_main!(benches);

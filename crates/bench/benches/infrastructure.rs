@@ -1,0 +1,62 @@
+//! Benchmarks for the infrastructure pieces: the IR interpreter (semantic
+//! reference), the OpenMP-C renderer, the synthetic-kernel generator, and
+//! the attribute-database compilation step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetsel_core::AttributeDatabase;
+use hetsel_polybench::{all_kernels, find_kernel};
+use hetsel_ir::{execute, synth, to_openmp_c, Binding, Env};
+use std::hint::black_box;
+
+fn interpreter(c: &mut Criterion) {
+    let (kernel, _) = find_kernel("gemm").unwrap();
+    let n = 48usize;
+    let b = Binding::new().with("n", n as i64);
+    c.bench_function("interp_gemm_48", |bench| {
+        bench.iter(|| {
+            let mut env = Env::new()
+                .buffer("A", vec![1.0; n * n])
+                .buffer("B", vec![2.0; n * n])
+                .buffer("C", vec![0.5; n * n])
+                .scalar("alpha", 1.5)
+                .scalar("beta", 0.5);
+            execute(&kernel, &b, &mut env).unwrap();
+            black_box(env.buffers["C"][0])
+        });
+    });
+}
+
+fn renderer(c: &mut Criterion) {
+    let kernels: Vec<_> = all_kernels().into_iter().map(|(_, k, _)| k).collect();
+    c.bench_function("render_whole_suite", |bench| {
+        bench.iter(|| {
+            let mut total = 0usize;
+            for k in &kernels {
+                total += to_openmp_c(black_box(k)).len();
+            }
+            black_box(total)
+        });
+    });
+}
+
+fn synthesis(c: &mut Criterion) {
+    c.bench_function("synth_generate_100", |bench| {
+        bench.iter(|| {
+            let mut acc = 0usize;
+            for seed in 0..100u64 {
+                acc += synth::generate(black_box(seed)).kernel.arrays.len();
+            }
+            black_box(acc)
+        });
+    });
+}
+
+fn attribute_db(c: &mut Criterion) {
+    let kernels: Vec<_> = all_kernels().into_iter().map(|(_, k, _)| k).collect();
+    c.bench_function("attribute_db_compile_suite", |bench| {
+        bench.iter(|| black_box(AttributeDatabase::compile(black_box(&kernels))));
+    });
+}
+
+criterion_group!(benches, interpreter, renderer, synthesis, attribute_db);
+criterion_main!(benches);

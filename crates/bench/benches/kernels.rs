@@ -1,0 +1,58 @@
+//! Benchmarks the real (rayon) host implementations of representative
+//! Polybench programs — the executable half of the suite, at a laptop-safe
+//! input size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetsel_polybench::data::{poly_mat, poly_mat_alt, poly_vec};
+use std::hint::black_box;
+
+const N: usize = 256;
+
+fn matrix_kernels(c: &mut Criterion) {
+    let a = poly_mat(N, N);
+    let b = poly_mat_alt(N, N);
+    c.bench_function("gemm_par_256", |bench| {
+        bench.iter(|| {
+            let mut out = poly_mat(N, N);
+            hetsel_polybench::gemm::run_par(N, 1.2, 0.8, &a, &b, &mut out);
+            black_box(out)
+        });
+    });
+    c.bench_function("gemm_seq_256", |bench| {
+        bench.iter(|| {
+            let mut out = poly_mat(N, N);
+            hetsel_polybench::gemm::run_seq(N, 1.2, 0.8, &a, &b, &mut out);
+            black_box(out)
+        });
+    });
+    c.bench_function("syrk_par_256", |bench| {
+        bench.iter(|| {
+            let mut out = poly_mat(N, N);
+            hetsel_polybench::syrk::run_par(N, 1.2, 0.8, &a, &mut out);
+            black_box(out)
+        });
+    });
+}
+
+fn vector_kernels(c: &mut Criterion) {
+    let a = poly_mat(N, N);
+    let x = poly_vec(N);
+    c.bench_function("atax_par_256", |bench| {
+        bench.iter(|| black_box(hetsel_polybench::atax::run_par(N, &a, &x)));
+    });
+    c.bench_function("conv2d_par_256", |bench| {
+        bench.iter(|| black_box(hetsel_polybench::conv2d::run_par(N, &a)));
+    });
+}
+
+fn stats_kernels(c: &mut Criterion) {
+    c.bench_function("corr_par_192", |bench| {
+        bench.iter(|| {
+            let mut d = poly_mat_alt(192, 192);
+            black_box(hetsel_polybench::corr::run_par(192, 192, &mut d))
+        });
+    });
+}
+
+criterion_group!(benches, matrix_kernels, vector_kernels, stats_kernels);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Benchmarks the timing simulators themselves (the evaluation substrate):
+//! a full CPU profile+simulate and a full GPU characterise+simulate per
+//! kernel launch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetsel_polybench::{find_kernel, Dataset};
+use std::hint::black_box;
+
+fn cpu_simulator(c: &mut Criterion) {
+    let cpu = hetsel_cpusim::power9_host();
+    let mut group = c.benchmark_group("cpusim_simulate");
+    group.sample_size(10);
+    for name in ["gemm", "2dconv", "atax.k1"] {
+        let (kernel, binding) = find_kernel(name).unwrap();
+        let b = binding(Dataset::Test);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &kernel, |bench, k| {
+            bench.iter(|| black_box(hetsel_cpusim::simulate(black_box(k), &b, &cpu, 160)));
+        });
+    }
+    group.finish();
+}
+
+fn gpu_simulator(c: &mut Criterion) {
+    let gpu = hetsel_gpusim::tesla_v100();
+    let mut group = c.benchmark_group("gpusim_simulate");
+    for name in ["gemm", "2dconv", "atax.k1"] {
+        let (kernel, binding) = find_kernel(name).unwrap();
+        let b = binding(Dataset::Test);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &kernel, |bench, k| {
+            bench.iter(|| black_box(hetsel_gpusim::simulate(black_box(k), &b, &gpu)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, cpu_simulator, gpu_simulator);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Ablation studies over the model abstractions DESIGN.md calls out:
+//!
+//! 1. **Coalescing analysis** — IPDA (the paper's contribution) versus
+//!    assuming everything uncoalesced (prior-work pessimism) versus
+//!    assuming everything coalesced (naive optimism);
+//! 2. **Trip counts** — runtime-bound values (hybrid analysis) versus the
+//!    static "every loop runs 128 iterations" abstraction;
+//!
+//! each scored by the decisions it produces and the resulting suite
+//! geometric-mean speedup, against the same simulated ground truth.
+
+use hetsel_bench::{paper_selector, policy_outcome, run_suite};
+use hetsel_core::{Platform, Policy};
+use hetsel_models::{CoalescingMode, TripMode};
+use hetsel_polybench::Dataset;
+
+fn main() {
+    let platform = Platform::power9_v100();
+    println!("Ablations on {} ({} threads)\n", platform.name, platform.host_threads);
+
+    for ds in Dataset::paper_modes() {
+        println!("== {ds} mode ==");
+        println!(
+            "{:<44} {:>10} {:>10}",
+            "configuration", "geomean", "correct"
+        );
+        let configs: Vec<(String, TripMode, CoalescingMode)> = vec![
+            (
+                "hybrid (runtime trips + IPDA)".into(),
+                TripMode::Runtime,
+                CoalescingMode::Ipda,
+            ),
+            (
+                "runtime trips + assume-uncoalesced".into(),
+                TripMode::Runtime,
+                CoalescingMode::AssumeUncoalesced,
+            ),
+            (
+                "runtime trips + assume-coalesced".into(),
+                TripMode::Runtime,
+                CoalescingMode::AssumeCoalesced,
+            ),
+            (
+                "static 128-iteration trips + IPDA".into(),
+                TripMode::Assume128,
+                CoalescingMode::Ipda,
+            ),
+            (
+                "static 128-iteration + assume-uncoalesced".into(),
+                TripMode::Assume128,
+                CoalescingMode::AssumeUncoalesced,
+            ),
+        ];
+        for (name, trip, coal) in configs {
+            let sel = paper_selector(platform.clone())
+                .with_trip_mode(trip)
+                .with_coalescing(coal);
+            let results = run_suite(&platform, ds, &sel);
+            let out = policy_outcome(&results, Policy::ModelDriven);
+            println!(
+                "{:<44} {:>9.2}x {:>7}/{}",
+                name, out.geomean_speedup, out.correct_decisions, out.total
+            );
+        }
+        // Reference rows.
+        let sel = paper_selector(platform.clone());
+        let results = run_suite(&platform, ds, &sel);
+        let off = policy_outcome(&results, Policy::AlwaysOffload);
+        let host = policy_outcome(&results, Policy::AlwaysHost);
+        println!(
+            "{:<44} {:>9.2}x {:>7}/{}",
+            "always-offload (compiler default)", off.geomean_speedup, off.correct_decisions, off.total
+        );
+        println!(
+            "{:<44} {:>9.2}x {:>7}/{}",
+            "always-host", host.geomean_speedup, host.correct_decisions, host.total
+        );
+        println!();
+    }
+}

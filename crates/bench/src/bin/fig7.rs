@@ -1,0 +1,41 @@
+//! Regenerates **Figure 7**: actual versus predicted GPU-offloading speedup
+//! for every kernel in `benchmark` execution mode, against a 4-thread host.
+
+use hetsel_bench::{paper_selector, run_suite};
+use hetsel_core::Platform;
+use hetsel_polybench::Dataset;
+
+fn main() {
+    let ds = Dataset::Benchmark;
+    let platform = Platform::power9_v100().with_threads(4);
+    let sel = paper_selector(platform.clone());
+    let results = run_suite(&platform, ds, &sel);
+
+    println!("Figure 7 — actual vs predicted offloading speedup, {ds} mode, 4-thread host\n");
+    println!(
+        "{:<14} {:>12} {:>12} {:>10} {:>9}",
+        "kernel", "actual", "predicted", "ratio", "decision"
+    );
+    let mut log_err_sum = 0.0;
+    let mut correct = 0usize;
+    for r in &results {
+        let actual = r.actual_speedup();
+        let predicted = r.predicted_speedup().unwrap_or(f64::NAN);
+        let ratio = predicted / actual;
+        log_err_sum += ratio.ln().abs();
+        if r.decision_correct() {
+            correct += 1;
+        }
+        println!(
+            "{:<14} {:>11.2}x {:>11.2}x {:>10.2} {:>9}",
+            r.kernel,
+            actual,
+            predicted,
+            ratio,
+            if r.decision_correct() { "ok" } else { "WRONG" }
+        );
+    }
+    let gmae = (log_err_sum / results.len() as f64).exp();
+    println!("\ngeometric mean |prediction error| factor: {gmae:.2}x");
+    println!("correct offloading decisions: {correct} / {}", results.len());
+}

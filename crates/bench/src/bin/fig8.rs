@@ -1,0 +1,60 @@
+//! Regenerates **Figure 8**: suite speedups under the compiler's default
+//! always-offload policy versus the model-driven selection policy, against
+//! the 160-thread host, for both execution modes.
+//!
+//! Paper headline: always-offload achieves geometric-mean speedups of
+//! 10.2× (`test`) and 2.9× (`benchmark`); switching the runtime to the
+//! analytical models raises these to 14.2× and 3.7×.
+
+use hetsel_bench::{paper_selector, policy_outcome, run_suite};
+use hetsel_core::{Platform, Policy};
+use hetsel_polybench::Dataset;
+
+fn main() {
+    let platform = Platform::power9_v100();
+    println!(
+        "Figure 8 — policy comparison on {} ({} host threads)\n",
+        platform.name, platform.host_threads
+    );
+    for ds in Dataset::paper_modes() {
+        let sel = paper_selector(platform.clone());
+        let results = run_suite(&platform, ds, &sel);
+
+        println!("== {ds} mode ==");
+        println!(
+            "{:<14} {:>10} {:>10} {:>12} {:>12} {:>8}",
+            "kernel", "offload", "selected", "pred-spdup", "true-spdup", "correct"
+        );
+        for r in &results {
+            println!(
+                "{:<14} {:>9.2}x {:>10} {:>11} {:>11.2}x {:>8}",
+                r.kernel,
+                r.actual_speedup(),
+                format!("{}", r.decision),
+                r.predicted_speedup()
+                    .map(|s| format!("{s:.2}x"))
+                    .unwrap_or_else(|| "-".into()),
+                r.actual_speedup(),
+                if r.decision_correct() { "yes" } else { "NO" },
+            );
+        }
+        let offload = policy_outcome(&results, Policy::AlwaysOffload);
+        let model = policy_outcome(&results, Policy::ModelDriven);
+        let oracle_geo = hetsel_core::geomean(
+            results
+                .iter()
+                .map(|r| r.measured.cpu_s / r.measured.cpu_s.min(r.measured.gpu_s)),
+        );
+        println!("\n{ds} geomean speedup vs always-host:");
+        println!("  always-offload : {:>6.2}x   (paper: {})", offload.geomean_speedup,
+                 if ds == Dataset::Test { "10.2x" } else { "2.9x" });
+        println!(
+            "  model-driven   : {:>6.2}x   (paper: {})  [{} / {} decisions correct]",
+            model.geomean_speedup,
+            if ds == Dataset::Test { "14.2x" } else { "3.7x" },
+            model.correct_decisions,
+            model.total
+        );
+        println!("  oracle         : {oracle_geo:>6.2}x\n");
+    }
+}

@@ -1,0 +1,46 @@
+//! Extension of Table I's argument: the K80 → P100 → V100 *continuum*.
+//!
+//! The paper contrasts two generations; adding the Pascal system between
+//! them shows the offloading-benefit drift is gradual and monotone in the
+//! hardware's capabilities — strengthening the case that selection
+//! heuristics must be parameterised by the platform, not hard-coded.
+
+use hetsel_bench::paper_selector;
+use hetsel_core::Platform;
+use hetsel_polybench::{all_kernels, Dataset};
+
+fn main() {
+    let platforms = [
+        Platform::power8_k80(),
+        Platform::power8_p100(),
+        Platform::power9_v100(),
+    ];
+    println!("Offloading speedup across three GPU generations (160-thread hosts)\n");
+    for ds in Dataset::paper_modes() {
+        println!("== {ds} mode ==");
+        println!(
+            "{:<14} {:>12} {:>12} {:>12}   decisions",
+            "kernel", "K80/PCIe3", "P100/NVL1", "V100/NVL2"
+        );
+        for (_, kernel, binding) in all_kernels() {
+            let b = binding(ds);
+            let mut cells = Vec::new();
+            let mut devices = Vec::new();
+            for p in &platforms {
+                let sel = paper_selector(p.clone());
+                let m = sel.measure(&kernel, &b).expect("simulators run");
+                cells.push(format!("{:>11.2}x", m.speedup()));
+                devices.push(format!("{}", m.best_device()));
+            }
+            println!(
+                "{:<14} {} {} {}   {}",
+                kernel.name,
+                cells[0],
+                cells[1],
+                cells[2],
+                devices.join(" -> ")
+            );
+        }
+        println!();
+    }
+}

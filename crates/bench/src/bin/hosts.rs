@@ -1,0 +1,58 @@
+//! Host-portability study: the framework on an x86 node.
+//!
+//! The paper was restricted to POWER9 hosts by LLVM-MCA's backend
+//! requirements. Our analyzer needs only a descriptor, so the same hybrid
+//! decision stack runs against a dual-socket Skylake machine (4 KiB pages,
+//! AVX-512, HT2, PCIe-attached V100) — and the *decisions change*: PCIe
+//! transfer costs and wider host vectors move several crossovers.
+
+use hetsel_bench::{fmt_time, paper_selector, policy_outcome, run_suite};
+use hetsel_core::{Platform, Policy};
+use hetsel_polybench::Dataset;
+
+fn main() {
+    let platforms = [Platform::power9_v100(), Platform::xeon_v100()];
+    println!("The same V100, two host worlds\n");
+    for ds in Dataset::paper_modes() {
+        println!("== {ds} mode ==");
+        println!(
+            "{:<14} | {:>10} {:>10} {:>8} | {:>10} {:>10} {:>8} | flip",
+            "kernel", "P9 host", "V100/NVL2", "speedup", "Xeon host", "V100/PCIe", "speedup"
+        );
+        let sel_a = paper_selector(platforms[0].clone());
+        let sel_b = paper_selector(platforms[1].clone());
+        let ra = run_suite(&platforms[0], ds, &sel_a);
+        let rb = run_suite(&platforms[1], ds, &sel_b);
+        for (a, b) in ra.iter().zip(&rb) {
+            let flip = if (a.actual_speedup() > 1.0) != (b.actual_speedup() > 1.0) {
+                "  <-- decision flips"
+            } else {
+                ""
+            };
+            println!(
+                "{:<14} | {:>10} {:>10} {:>7.2}x | {:>10} {:>10} {:>7.2}x |{}",
+                a.kernel,
+                fmt_time(a.measured.cpu_s),
+                fmt_time(a.measured.gpu_s),
+                a.actual_speedup(),
+                fmt_time(b.measured.cpu_s),
+                fmt_time(b.measured.gpu_s),
+                b.actual_speedup(),
+                flip
+            );
+        }
+        for (platform, results) in platforms.iter().zip([&ra, &rb]) {
+            let off = policy_outcome(results, Policy::AlwaysOffload);
+            let model = policy_outcome(results, Policy::ModelDriven);
+            println!(
+                "{}: always-offload {:.2}x, model-driven {:.2}x ({}/{} correct)",
+                platform.name,
+                off.geomean_speedup,
+                model.geomean_speedup,
+                model.correct_decisions,
+                model.total
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,65 @@
+//! Regenerates **Tables II and III**: the CPU and GPU model parameter sheets.
+
+use hetsel_models::{k80_params, power8_params, power9_params, v100_params};
+
+fn main() {
+    println!("Table II — CPU processor/parallel parameters (paper values)\n");
+    for p in [power9_params(), power8_params()] {
+        println!("[{}]", p.name);
+        println!("  {:<34} {} GHz", "CPU Frequency", p.freq_ghz);
+        println!("  {:<34} {}", "TLB Entries", p.tlb_entries);
+        println!("  {:<34} {} cycles", "TLB Miss Penalty", p.tlb_miss_penalty);
+        println!("  {:<34} {} cycles", "Loop_overhead_per_iter", p.loop_overhead_per_iter);
+        println!(
+            "  {:<34} {} cycles",
+            "Par_Schedule_Overhead_static", p.schedule_overhead_static
+        );
+        println!(
+            "  {:<34} {} cycles",
+            "Synchronization_Overhead", p.synchronization_overhead
+        );
+        println!("  {:<34} {} cycles", "Par_Startup", p.par_startup);
+        println!(
+            "  {:<34} {} cycles/thread  (EPCC-style fork/join scaling)",
+            "Fork_per_thread", p.fork_per_thread
+        );
+        println!("  {:<34} {}", "Cores", p.cores);
+        println!("  {:<34} {}", "Assumed unroll", p.unroll);
+        println!(
+            "  {:<34} {}",
+            "Outer-loop vectorisation", p.outer_loop_vectorization
+        );
+        println!();
+    }
+
+    println!("Table III — GPU device/bus parameters\n");
+    for g in [v100_params(), k80_params()] {
+        let d = &g.device;
+        println!("[{}]", d.name);
+        println!("  {:<34} {}", "#SMs", d.num_sms);
+        println!("  {:<34} {}", "Processor Cores", d.num_sms * d.cores_per_sm);
+        println!("  {:<34} {} MHz", "Processor Clock", (d.clock_ghz * 1000.0) as u64);
+        println!("  {:<34} {} GB/s", "Memory Bandwidth", d.mem_bandwidth_gbs);
+        println!(
+            "  {:<34} {} ({} GB/s, {} µs latency)",
+            "Host Interconnect", d.bus.name, d.bus.bandwidth_gbs, d.bus.latency_us
+        );
+        println!("  {:<34} {}", "Max Warps/SM", d.max_warps_per_sm);
+        println!("  {:<34} {}", "Max Threads/SM", d.max_warps_per_sm * 32);
+        println!("  {:<34} {} cycles/inst", "Issue Rate", g.issue_cycles);
+        println!("  {:<34} {} cycles", "Memory Access Latency", d.mem_latency_cycles);
+        println!("  {:<34} {} cycles", "Access on L2 Hit", d.l2_latency_cycles);
+        println!(
+            "  {:<34} {} cycles",
+            "Access on L1 Hit",
+            hetsel_gpusim::L1_LATENCY
+        );
+        println!("  {:<34} {} MiB", "L2 Size", d.l2_bytes / (1024 * 1024));
+        println!(
+            "  {:<34} coal {} / uncoal {} cycles",
+            "Departure Delay", g.departure_del_coal, g.departure_del_uncoal
+        );
+        println!("  {:<34} {} µs", "Kernel Launch Overhead", d.launch_overhead_us);
+        println!();
+    }
+}

@@ -1,0 +1,53 @@
+//! Extension study: cooperative CPU+GPU execution across the suite.
+//!
+//! The paper's introduction motivates device selection with cooperative
+//! schemes (Valero-Lara et al.) that split work between host and GPU. This
+//! study extends the binary selector to a fractional one (`core::split`)
+//! and quantifies, per kernel: the predicted best GPU fraction, the
+//! predicted cooperative gain over the better single device, and the
+//! suite-level aggregate.
+
+use hetsel_core::{best_split, geomean, Platform};
+use hetsel_polybench::{all_kernels, Dataset};
+
+fn main() {
+    let platform = Platform::power9_v100();
+    println!("Cooperative split study on {}\n", platform.name);
+    for ds in Dataset::paper_modes() {
+        println!("== {ds} mode ==");
+        println!(
+            "{:<14} {:>10} {:>10} {:>10} {:>9} {:>7}",
+            "kernel", "host-only", "gpu-only", "split", "gpu-frac", "gain"
+        );
+        let mut gains = Vec::new();
+        let mut cooperative = 0usize;
+        let mut total = 0usize;
+        for (_, kernel, binding) in all_kernels() {
+            let b = binding(ds);
+            let Some(s) = best_split(&kernel, &b, &platform, 64) else {
+                continue;
+            };
+            total += 1;
+            if s.is_cooperative() {
+                cooperative += 1;
+            }
+            gains.push(s.gain_over_best_single());
+            println!(
+                "{:<14} {:>8.2}ms {:>8.2}ms {:>8.2}ms {:>9.2} {:>6.2}x",
+                kernel.name,
+                s.host_only_s * 1e3,
+                s.gpu_only_s * 1e3,
+                s.predicted_s * 1e3,
+                s.gpu_fraction,
+                s.gain_over_best_single()
+            );
+        }
+        println!(
+            "\n{ds}: {cooperative}/{total} kernels predicted to benefit from a strict split;"
+        );
+        println!(
+            "geomean predicted gain over best single device: {:.2}x\n",
+            geomean(gains)
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Regenerates **Table I**: comparative GPU-offloading benefit across GPU
+//! generations, for every Polybench kernel in `test` and `benchmark`
+//! execution modes on both experimental platforms (POWER8 + K80/PCIe and
+//! POWER9 + V100/NVLink2), host at 160 threads.
+//!
+//! Speedup = host region time / GPU region time (kernel + transfers, no
+//! CUDA context creation), as in the paper's Section III methodology.
+
+use hetsel_bench::{fmt_time, paper_selector, run_suite};
+use hetsel_core::Platform;
+use hetsel_polybench::Dataset;
+
+fn main() {
+    let platforms = [Platform::power8_k80(), Platform::power9_v100()];
+    println!("Table I — GPU offloading speedup over the 160-thread host");
+    println!("(speedup < 1 means the kernel should have stayed on the host)\n");
+
+    // Collect per-platform results keyed by (kernel, dataset).
+    type Row = (String, Dataset, Vec<(f64, f64, f64)>);
+    let mut rows: Vec<Row> = Vec::new();
+    for (pi, platform) in platforms.iter().enumerate() {
+        let sel = paper_selector(platform.clone());
+        for ds in Dataset::paper_modes() {
+            for r in run_suite(platform, ds, &sel) {
+                let entry = rows
+                    .iter_mut()
+                    .find(|(k, d, _)| *k == r.kernel && *d == ds);
+                let tuple = (r.measured.cpu_s, r.measured.gpu_s, r.actual_speedup());
+                match entry {
+                    Some((_, _, v)) => {
+                        debug_assert_eq!(v.len(), pi);
+                        v.push(tuple);
+                    }
+                    None => rows.push((r.kernel.clone(), ds, vec![tuple])),
+                }
+            }
+        }
+    }
+
+    println!(
+        "{:<14} {:<9} | {:>10} {:>10} {:>8} | {:>10} {:>10} {:>8} | flip",
+        "kernel", "mode", "P8 host", "K80", "speedup", "P9 host", "V100", "speedup"
+    );
+    println!("{}", "-".repeat(108));
+    for ds in Dataset::paper_modes() {
+        for (kernel, d, v) in &rows {
+            if *d != ds || v.len() != 2 {
+                continue;
+            }
+            let (c8, g8, s8) = v[0];
+            let (c9, g9, s9) = v[1];
+            let flip = if (s8 > 1.0) != (s9 > 1.0) { "  <-- decision flips" } else { "" };
+            println!(
+                "{:<14} {:<9} | {:>10} {:>10} {:>7.2}x | {:>10} {:>10} {:>7.2}x |{}",
+                kernel,
+                format!("{ds}"),
+                fmt_time(c8),
+                fmt_time(g8),
+                s8,
+                fmt_time(c9),
+                fmt_time(g9),
+                s9,
+                flip
+            );
+        }
+        println!("{}", "-".repeat(108));
+    }
+}

@@ -1,0 +1,183 @@
+//! # hetsel-bench — the experiment harness
+//!
+//! Shared machinery for regenerating every table and figure of the paper's
+//! evaluation. Each artifact has a binary:
+//!
+//! | artifact | binary | paper reference |
+//! |---|---|---|
+//! | Table I   | `table1` | cross-generation offloading speedups |
+//! | Tables II–III | `params` | model parameter sheets |
+//! | Figure 6  | `fig6` | actual vs predicted speedup, `test`, 4 threads |
+//! | Figure 7  | `fig7` | actual vs predicted speedup, `benchmark`, 4 threads |
+//! | Figure 8  | `fig8` | always-offload vs model-driven, 160 threads |
+//! | §IV.C     | `ipda_report` | symbolic stride census over the suite |
+//! | ablations | `ablation` | trip-count & coalescing abstraction studies |
+//!
+//! Extension studies (beyond the paper): `generations` (K80→P100→V100
+//! continuum), `hosts` (POWER9/NVLink vs Xeon/PCIe), `extended` (six more
+//! Polybench programs), `split_study` (cooperative CPU+GPU fractions),
+//! `program_study` (data-residency planning), `threads` (host-thread
+//! sweep), `export_json` (the whole evaluation as JSON), and `analyze`
+//! (the full diagnostic stack for one kernel).
+
+use hetsel_core::{geomean, Device, Measured, Platform, Policy, Selector};
+use hetsel_models::{CoalescingMode, TripMode};
+use hetsel_polybench::{all_kernels, Dataset};
+
+/// One kernel's full model-vs-actual record on one platform and dataset.
+#[derive(Debug, Clone)]
+pub struct KernelResult {
+    /// Owning benchmark (paper name).
+    pub benchmark: &'static str,
+    /// Region name.
+    pub kernel: String,
+    /// Dataset mode.
+    pub dataset: Dataset,
+    /// Simulated ground truth.
+    pub measured: Measured,
+    /// Model predictions, seconds.
+    pub predicted_cpu_s: Option<f64>,
+    /// Model predictions, seconds.
+    pub predicted_gpu_s: Option<f64>,
+    /// Model-driven device choice.
+    pub decision: Device,
+}
+
+impl KernelResult {
+    /// True (simulated) offloading speedup: host time / GPU time.
+    pub fn actual_speedup(&self) -> f64 {
+        self.measured.speedup()
+    }
+
+    /// Predicted offloading speedup.
+    pub fn predicted_speedup(&self) -> Option<f64> {
+        match (self.predicted_cpu_s, self.predicted_gpu_s) {
+            (Some(c), Some(g)) if g > 0.0 => Some(c / g),
+            _ => None,
+        }
+    }
+
+    /// True iff the model's decision matches the oracle.
+    pub fn decision_correct(&self) -> bool {
+        self.decision == self.measured.best_device()
+    }
+}
+
+/// Runs the entire suite on a platform and dataset under a selector
+/// configuration, producing one record per kernel.
+pub fn run_suite(platform: &Platform, ds: Dataset, selector: &Selector) -> Vec<KernelResult> {
+    let mut out = Vec::new();
+    for (bench, kernel, binding) in all_kernels() {
+        let b = binding(ds);
+        let decision = selector.select_kernel(&kernel, &b);
+        let measured = selector
+            .measure(&kernel, &b)
+            .unwrap_or_else(|| panic!("{}: simulators failed under {ds}", kernel.name));
+        out.push(KernelResult {
+            benchmark: bench,
+            kernel: kernel.name.clone(),
+            dataset: ds,
+            measured,
+            predicted_cpu_s: decision.predicted_cpu_s,
+            predicted_gpu_s: decision.predicted_gpu_s,
+            decision: decision.device,
+        });
+    }
+    let _ = platform;
+    out
+}
+
+/// Convenience: a model-driven selector with the paper's hybrid defaults.
+pub fn paper_selector(platform: Platform) -> Selector {
+    Selector::new(platform)
+        .with_trip_mode(TripMode::Runtime)
+        .with_coalescing(CoalescingMode::Ipda)
+}
+
+/// Suite-level aggregate for one policy (Figure 8's bars).
+#[derive(Debug, Clone, Copy)]
+pub struct PolicyOutcome {
+    /// Geometric-mean speedup over always-host across the suite.
+    pub geomean_speedup: f64,
+    /// Kernels on which the policy matched the oracle.
+    pub correct_decisions: usize,
+    /// Total kernels.
+    pub total: usize,
+}
+
+/// Evaluates a policy over suite results: speedup of each kernel relative
+/// to host execution under the policy's device choices.
+pub fn policy_outcome(results: &[KernelResult], policy: Policy) -> PolicyOutcome {
+    let mut speedups = Vec::with_capacity(results.len());
+    let mut correct = 0usize;
+    for r in results {
+        let chosen = match policy {
+            Policy::AlwaysHost => Device::Host,
+            Policy::AlwaysOffload => Device::Gpu,
+            Policy::ModelDriven => r.decision,
+        };
+        if chosen == r.measured.best_device() {
+            correct += 1;
+        }
+        speedups.push(r.measured.cpu_s / r.measured.on(chosen));
+    }
+    PolicyOutcome {
+        geomean_speedup: geomean(speedups),
+        correct_decisions: correct,
+        total: results.len(),
+    }
+}
+
+/// Formats seconds compactly (µs/ms/s).
+pub fn fmt_time(s: f64) -> String {
+    if s < 1e-3 {
+        format!("{:7.1}µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:7.2}ms", s * 1e3)
+    } else {
+        format!("{:8.3}s", s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_runs_on_mini() {
+        let platform = Platform::power9_v100();
+        let sel = paper_selector(platform.clone());
+        let results = run_suite(&platform, Dataset::Mini, &sel);
+        assert_eq!(results.len(), 24);
+        for r in &results {
+            assert!(r.measured.cpu_s > 0.0);
+            assert!(r.measured.gpu_s > 0.0);
+        }
+    }
+
+    #[test]
+    fn policy_outcomes_ordered() {
+        let platform = Platform::power9_v100();
+        let sel = paper_selector(platform.clone());
+        let results = run_suite(&platform, Dataset::Mini, &sel);
+        let host = policy_outcome(&results, Policy::AlwaysHost);
+        assert!((host.geomean_speedup - 1.0).abs() < 1e-9);
+        let model = policy_outcome(&results, Policy::ModelDriven);
+        let offload = policy_outcome(&results, Policy::AlwaysOffload);
+        // The oracle bound: no policy beats picking best everywhere.
+        let oracle = geomean(
+            results
+                .iter()
+                .map(|r| r.measured.cpu_s / r.measured.on(r.measured.best_device())),
+        );
+        assert!(model.geomean_speedup <= oracle + 1e-9);
+        assert!(offload.geomean_speedup <= oracle + 1e-9);
+    }
+
+    #[test]
+    fn fmt_time_ranges() {
+        assert!(fmt_time(5e-6).contains("µs"));
+        assert!(fmt_time(5e-3).contains("ms"));
+        assert!(fmt_time(5.0).contains('s'));
+    }
+}

@@ -1,0 +1,180 @@
+//! The program attribute database.
+//!
+//! The compile-time half of the hybrid framework (paper Figure 2): for every
+//! outlined target region the compiler stores the static features the
+//! models need — the instruction loadout skeleton, the IPDA symbolic stride
+//! expressions, and the list of runtime parameters whose values must be
+//! collected at the program point where the region is reached. The runtime
+//! queries the database by region name, binds the missing values, and
+//! evaluates the models.
+
+use hetsel_ipda::{analyze, KernelAccessInfo};
+use hetsel_ir::Kernel;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Compile-time attributes of one target region.
+#[derive(Debug, Clone)]
+pub struct RegionAttributes {
+    /// The outlined region (the CPU and GPU versions share this IR).
+    pub kernel: Kernel,
+    /// IPDA results: symbolic inter-thread strides per access.
+    pub access_info: KernelAccessInfo,
+    /// Runtime parameters the models need bound before evaluation.
+    pub required_params: Vec<String>,
+}
+
+/// The database: region name → attributes.
+#[derive(Debug, Clone, Default)]
+pub struct AttributeDatabase {
+    regions: BTreeMap<String, RegionAttributes>,
+}
+
+impl AttributeDatabase {
+    /// "Compilation": runs the static analyses over every region and stores
+    /// the resulting attribute records.
+    pub fn compile(kernels: &[Kernel]) -> AttributeDatabase {
+        let mut regions = BTreeMap::new();
+        for k in kernels {
+            debug_assert_eq!(k.validate(), Ok(()));
+            let access_info = analyze(k);
+            regions.insert(
+                k.name.clone(),
+                RegionAttributes {
+                    required_params: k.params(),
+                    kernel: k.clone(),
+                    access_info,
+                },
+            );
+        }
+        AttributeDatabase { regions }
+    }
+
+    /// Looks up a region by name.
+    pub fn region(&self, name: &str) -> Option<&RegionAttributes> {
+        self.regions.get(name)
+    }
+
+    /// Number of regions.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// True if the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// Iterates regions in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &RegionAttributes)> {
+        self.regions.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// The persistable summary of the database (what an object file's
+    /// attribute section would carry).
+    pub fn export(&self) -> DatabaseExport {
+        DatabaseExport {
+            regions: self
+                .regions
+                .values()
+                .map(|r| RegionExport {
+                    name: r.kernel.name.clone(),
+                    required_params: r.required_params.clone(),
+                    parallel_dims: r.kernel.parallel_loops().len() as u32,
+                    accesses: r
+                        .access_info
+                        .accesses
+                        .iter()
+                        .map(|a| AccessExport {
+                            array: r.kernel.array(a.array).name.clone(),
+                            is_store: a.is_store,
+                            thread_stride: format!("{}", a.thread_stride),
+                            depth: a.enclosing.len() as u32,
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Serializable view of the attribute database.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct DatabaseExport {
+    /// One record per region.
+    pub regions: Vec<RegionExport>,
+}
+
+/// Serializable record of one region's static features.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct RegionExport {
+    /// Region name.
+    pub name: String,
+    /// Runtime parameters required.
+    pub required_params: Vec<String>,
+    /// Number of parallel (collapse) dimensions.
+    pub parallel_dims: u32,
+    /// Per-access symbolic strides.
+    pub accesses: Vec<AccessExport>,
+}
+
+/// Serializable record of one access's IPDA result.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct AccessExport {
+    /// Array name.
+    pub array: String,
+    /// True for stores.
+    pub is_store: bool,
+    /// Symbolic inter-thread stride, rendered (e.g. `"[max]"`).
+    pub thread_stride: String,
+    /// Loop-nest depth of the access.
+    pub depth: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsel_polybench::suite;
+
+    #[test]
+    fn compiles_entire_suite() {
+        let kernels: Vec<Kernel> = suite().into_iter().flat_map(|b| b.kernels).collect();
+        let db = AttributeDatabase::compile(&kernels);
+        assert_eq!(db.len(), 24);
+        assert!(db.region("gemm").is_some());
+        assert!(db.region("atax.k2").is_some());
+        assert!(db.region("missing").is_none());
+    }
+
+    #[test]
+    fn required_params_recorded() {
+        let kernels: Vec<Kernel> = hetsel_polybench::corr::kernels();
+        let db = AttributeDatabase::compile(&kernels);
+        let r = db.region("corr.corr").unwrap();
+        assert!(r.required_params.contains(&"m".to_string()));
+        assert!(r.required_params.contains(&"n".to_string()));
+    }
+
+    #[test]
+    fn export_round_trips_through_json() {
+        let kernels: Vec<Kernel> = hetsel_polybench::atax::kernels();
+        let db = AttributeDatabase::compile(&kernels);
+        let exp = db.export();
+        let json = serde_json::to_string(&exp).unwrap();
+        let back: DatabaseExport = serde_json::from_str(&json).unwrap();
+        assert_eq!(exp, back);
+        // The symbolic stride of atax.k1's A access survives as text.
+        let k1 = back.regions.iter().find(|r| r.name == "atax.k1").unwrap();
+        assert!(k1.accesses.iter().any(|a| a.thread_stride == "[n]"));
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let kernels: Vec<Kernel> = suite().into_iter().flat_map(|b| b.kernels).collect();
+        let db = AttributeDatabase::compile(&kernels);
+        let names: Vec<&str> = db.iter().map(|(n, _)| n).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+    }
+}

@@ -1,0 +1,225 @@
+//! Profile feedback: letting observed runtimes refine future decisions.
+//!
+//! The paper's related-work discussion concedes that profiling "could
+//! compliment our methodology by feeding the program attribute database
+//! with more actionable data over time" (§V.A). This module implements
+//! that complement: a [`ProfileHistory`] records the measured outcome of
+//! each (region, binding) execution, and an [`AdaptiveSelector`] prefers
+//! remembered ground truth over the analytical prediction when available —
+//! falling back to the models for never-seen configurations, so the
+//! zero-profile cold-start property of the paper's approach is preserved.
+
+use crate::selector::{Decision, Device, Measured, Policy, Selector};
+use hetsel_ir::{Binding, Kernel};
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Key identifying one runtime configuration of a region.
+fn key(region: &str, binding: &Binding) -> String {
+    format!("{region}@{binding}")
+}
+
+/// A remembered execution outcome.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq)]
+pub struct HistoryRecord {
+    /// Host time observed, seconds.
+    pub cpu_s: f64,
+    /// GPU time observed, seconds.
+    pub gpu_s: f64,
+    /// How many observations were folded in.
+    pub samples: u32,
+}
+
+impl HistoryRecord {
+    /// The faster device according to the record.
+    pub fn best_device(&self) -> Device {
+        if self.cpu_s <= self.gpu_s {
+            Device::Host
+        } else {
+            Device::Gpu
+        }
+    }
+}
+
+/// Thread-safe store of observed outcomes, keyed by region and binding.
+#[derive(Debug, Default)]
+pub struct ProfileHistory {
+    records: RwLock<HashMap<String, HistoryRecord>>,
+}
+
+impl ProfileHistory {
+    /// An empty history.
+    pub fn new() -> ProfileHistory {
+        ProfileHistory::default()
+    }
+
+    /// Folds an observation into the history (running average).
+    pub fn observe(&self, region: &str, binding: &Binding, measured: Measured) {
+        let mut map = self.records.write();
+        let e = map.entry(key(region, binding)).or_insert(HistoryRecord {
+            cpu_s: measured.cpu_s,
+            gpu_s: measured.gpu_s,
+            samples: 0,
+        });
+        let n = f64::from(e.samples);
+        e.cpu_s = (e.cpu_s * n + measured.cpu_s) / (n + 1.0);
+        e.gpu_s = (e.gpu_s * n + measured.gpu_s) / (n + 1.0);
+        e.samples += 1;
+    }
+
+    /// Looks up the record for a configuration.
+    pub fn lookup(&self, region: &str, binding: &Binding) -> Option<HistoryRecord> {
+        self.records.read().get(&key(region, binding)).copied()
+    }
+
+    /// Number of distinct configurations remembered.
+    pub fn len(&self) -> usize {
+        self.records.read().len()
+    }
+
+    /// True if nothing has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.records.read().is_empty()
+    }
+
+    /// Serialisable snapshot (persist alongside the attribute database).
+    pub fn export(&self) -> HistoryExport {
+        let map = self.records.read();
+        let mut entries: Vec<(String, HistoryRecord)> =
+            map.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        HistoryExport { entries }
+    }
+
+    /// Restores a snapshot.
+    pub fn import(export: &HistoryExport) -> ProfileHistory {
+        let h = ProfileHistory::new();
+        {
+            let mut map = h.records.write();
+            for (k, v) in &export.entries {
+                map.insert(k.clone(), *v);
+            }
+        }
+        h
+    }
+}
+
+/// Serialisable form of a [`ProfileHistory`].
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct HistoryExport {
+    /// `(key, record)` pairs in key order.
+    pub entries: Vec<(String, HistoryRecord)>,
+}
+
+/// A selector that layers profile feedback over the analytical models.
+#[derive(Debug)]
+pub struct AdaptiveSelector {
+    /// The underlying model-driven selector.
+    pub selector: Selector,
+    /// Observed outcomes.
+    pub history: ProfileHistory,
+}
+
+impl AdaptiveSelector {
+    /// Wraps a selector with an empty history.
+    pub fn new(selector: Selector) -> AdaptiveSelector {
+        AdaptiveSelector {
+            selector,
+            history: ProfileHistory::new(),
+        }
+    }
+
+    /// Decides: remembered ground truth wins; otherwise the models decide.
+    pub fn select(&self, kernel: &Kernel, binding: &Binding) -> Decision {
+        if let Some(rec) = self.history.lookup(&kernel.name, binding) {
+            return Decision {
+                region: kernel.name.clone(),
+                device: rec.best_device(),
+                policy: Policy::ModelDriven,
+                predicted_cpu_s: Some(rec.cpu_s),
+                predicted_gpu_s: Some(rec.gpu_s),
+            };
+        }
+        self.selector.select_kernel(kernel, binding)
+    }
+
+    /// Executes (simulates) under the current decision and feeds the
+    /// outcome back; returns the decision and what it cost.
+    pub fn run_and_learn(&self, kernel: &Kernel, binding: &Binding) -> Option<(Decision, f64)> {
+        let d = self.select(kernel, binding);
+        let m = self.selector.measure(kernel, binding)?;
+        self.history.observe(&kernel.name, binding, m);
+        Some((d.clone(), m.on(d.device)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::Platform;
+    use hetsel_polybench::{find_kernel, Dataset};
+
+    #[test]
+    fn observe_and_lookup_roundtrip() {
+        let h = ProfileHistory::new();
+        let b = Binding::new().with("n", 100);
+        assert!(h.lookup("k", &b).is_none());
+        h.observe(
+            "k",
+            &b,
+            Measured {
+                cpu_s: 2.0,
+                gpu_s: 1.0,
+            },
+        );
+        let r = h.lookup("k", &b).unwrap();
+        assert_eq!(r.best_device(), Device::Gpu);
+        assert_eq!(r.samples, 1);
+        // Different binding: separate record.
+        assert!(h.lookup("k", &Binding::new().with("n", 200)).is_none());
+    }
+
+    #[test]
+    fn observations_average() {
+        let h = ProfileHistory::new();
+        let b = Binding::new().with("n", 1);
+        h.observe("k", &b, Measured { cpu_s: 1.0, gpu_s: 3.0 });
+        h.observe("k", &b, Measured { cpu_s: 3.0, gpu_s: 1.0 });
+        let r = h.lookup("k", &b).unwrap();
+        assert_eq!(r.samples, 2);
+        assert!((r.cpu_s - 2.0).abs() < 1e-12);
+        assert!((r.gpu_s - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let h = ProfileHistory::new();
+        h.observe("a", &Binding::new().with("n", 5), Measured { cpu_s: 1.0, gpu_s: 2.0 });
+        h.observe("b", &Binding::new().with("m", 7), Measured { cpu_s: 4.0, gpu_s: 3.0 });
+        let json = serde_json::to_string(&h.export()).unwrap();
+        let back = ProfileHistory::import(&serde_json::from_str(&json).unwrap());
+        assert_eq!(back.len(), 2);
+        assert_eq!(
+            back.lookup("a", &Binding::new().with("n", 5)).unwrap().gpu_s,
+            2.0
+        );
+    }
+
+    /// One observation corrects the paper's convolution misprediction: the
+    /// model keeps 3dconv on the host, the measurement flips it to the GPU
+    /// for every subsequent launch.
+    #[test]
+    fn feedback_fixes_the_conv_misprediction() {
+        let (kernel, binding) = find_kernel("3dconv").unwrap();
+        let b = binding(Dataset::Benchmark);
+        let adaptive = AdaptiveSelector::new(Selector::new(Platform::power9_v100()));
+
+        let first = adaptive.select(&kernel, &b);
+        assert_eq!(first.device, Device::Host, "cold start follows the model");
+
+        adaptive.run_and_learn(&kernel, &b).unwrap();
+        let second = adaptive.select(&kernel, &b);
+        assert_eq!(second.device, Device::Gpu, "history corrects the model");
+    }
+}

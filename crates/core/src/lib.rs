@@ -1,0 +1,30 @@
+//! # hetsel-core — the hybrid decision framework
+//!
+//! The paper's primary contribution assembled: a **program attribute
+//! database** populated at compile time with static features and symbolic
+//! IPDA expressions ([`AttributeDatabase`]), a **platform** description
+//! pairing the timing simulators with the analytical models' parameter
+//! tables ([`Platform`]), and the **runtime selector** that binds runtime
+//! values, evaluates both models, and dispatches the region to the
+//! predicted-faster device ([`Selector`]).
+//!
+//! The crate also provides the evaluation machinery: simulate both targets
+//! ("measure"), compare against the oracle, and aggregate policy outcomes —
+//! everything the experiment binaries in `hetsel-bench` use to regenerate
+//! the paper's tables and figures.
+
+#![warn(missing_docs)]
+
+pub mod attributes;
+pub mod history;
+pub mod platform;
+pub mod program;
+pub mod selector;
+pub mod split;
+
+pub use attributes::{AccessExport, AttributeDatabase, DatabaseExport, RegionAttributes, RegionExport};
+pub use history::{AdaptiveSelector, HistoryExport, HistoryRecord, ProfileHistory};
+pub use platform::Platform;
+pub use program::{plan_program, ProgramPlan};
+pub use selector::{geomean, Decision, Device, Evaluation, Measured, Policy, Selector};
+pub use split::{best_split, SplitDecision};

@@ -1,0 +1,265 @@
+//! Program-level selection with data-residency awareness.
+//!
+//! The paper times every region with its own transfers — the cost a single
+//! launch pays in isolation. Real programs chain regions (`2MM` feeds `tmp`
+//! from its first kernel into its second), and OpenMP's `target data`
+//! construct lets consecutive GPU regions keep intermediates resident on
+//! the device. This module extends the selector across a whole program:
+//! enumerate the (small) space of per-region device assignments, charge
+//! transfers only when an array actually crosses the bus given the
+//! residency the previous regions left behind, and pick the cheapest plan.
+//!
+//! The decision remains analytical: for a `k`-region program there are
+//! `2^k` closed-form evaluations (Polybench programs have `k ≤ 4`).
+
+use crate::platform::Platform;
+use crate::selector::Device;
+use hetsel_models::{CoalescingMode, TripMode};
+use hetsel_ir::{Binding, Kernel, Transfer};
+use std::collections::HashMap;
+
+/// Where an array's current value lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Residency {
+    Host,
+    DeviceValid,
+    /// Valid on both (after an upload of a read-only array).
+    Both,
+}
+
+/// One program-level plan.
+#[derive(Debug, Clone)]
+pub struct ProgramPlan {
+    /// Chosen device per region, in program order.
+    pub assignments: Vec<(String, Device)>,
+    /// Predicted program time under this plan (exec + actual transfers +
+    /// final downloads), seconds.
+    pub predicted_s: f64,
+    /// Predicted time under the paper's per-region decisions, each paying
+    /// its own full transfers, seconds.
+    pub naive_predicted_s: f64,
+}
+
+impl ProgramPlan {
+    /// Predicted gain of residency-aware planning over per-region selection.
+    pub fn gain_over_naive(&self) -> f64 {
+        self.naive_predicted_s / self.predicted_s
+    }
+}
+
+/// Per-region closed-form costs, split so transfers can be recharged.
+struct RegionCost {
+    cpu_exec_s: f64,
+    gpu_exec_s: f64, // kernel + launch, no transfers
+    gpu_full_s: f64, // kernel + launch + both transfers (paper's mode)
+}
+
+/// Plans a program (regions in execution order, sharing arrays by name).
+pub fn plan_program(
+    kernels: &[Kernel],
+    binding: &Binding,
+    platform: &Platform,
+) -> Option<ProgramPlan> {
+    assert!(!kernels.is_empty() && kernels.len() <= 16, "program size");
+    let bus = &platform.gpu_model.device.bus;
+    let bw = bus.bandwidth_gbs * 1e9;
+    let lat = bus.latency_us * 1e-6;
+
+    // Closed-form per-region costs.
+    let mut costs = Vec::with_capacity(kernels.len());
+    for k in kernels {
+        let cpu = hetsel_models::cpu::predict(
+            k,
+            binding,
+            &platform.cpu_model,
+            platform.host_threads,
+            TripMode::Runtime,
+        )?;
+        let gpu = hetsel_models::gpu::predict(
+            k,
+            binding,
+            &platform.gpu_model,
+            TripMode::Runtime,
+            CoalescingMode::Ipda,
+        )?;
+        let launch = platform.gpu_model.device.launch_overhead_us * 1e-6;
+        costs.push(RegionCost {
+            cpu_exec_s: cpu.seconds,
+            gpu_exec_s: gpu.kernel_seconds + launch,
+            gpu_full_s: gpu.seconds,
+        });
+    }
+
+    // Naive reference: independent decisions, full transfers every launch.
+    let naive: f64 = costs.iter().map(|c| c.cpu_exec_s.min(c.gpu_full_s)).sum();
+
+    // Enumerate assignments.
+    let n = kernels.len();
+    let mut best: Option<(u32, f64)> = None;
+    for mask in 0..(1u32 << n) {
+        let mut time = 0.0;
+        let mut residency: HashMap<&str, Residency> = HashMap::new();
+        for (i, k) in kernels.iter().enumerate() {
+            let on_gpu = mask & (1 << i) != 0;
+            if on_gpu {
+                time += costs[i].gpu_exec_s;
+            } else {
+                time += costs[i].cpu_exec_s;
+            }
+            // Bytes actually crossing the bus for this region; the latency
+            // is paid once per direction, as a batched `map` does.
+            let mut up = 0.0f64;
+            let mut down = 0.0f64;
+            for a in &k.arrays {
+                let bytes = a.bytes(binding)? as f64;
+                let state = residency.entry(a.name.as_str()).or_insert(Residency::Host);
+                let reads = a.transfer.to_device() || a.transfer == Transfer::Alloc;
+                let writes = a.transfer.from_device() || a.transfer == Transfer::InOut;
+                if on_gpu {
+                    // Inputs must be device-valid.
+                    if reads && *state == Residency::Host && a.transfer != Transfer::Alloc {
+                        up += bytes;
+                        *state = Residency::Both;
+                    }
+                    if writes || a.transfer == Transfer::Alloc {
+                        *state = Residency::DeviceValid;
+                    }
+                } else {
+                    // Host execution needs host-valid inputs.
+                    if reads && *state == Residency::DeviceValid {
+                        down += bytes;
+                        *state = Residency::Both;
+                    }
+                    if writes {
+                        *state = Residency::Host;
+                    }
+                }
+            }
+            if up > 0.0 {
+                time += lat + up / bw;
+            }
+            if down > 0.0 {
+                time += lat + down / bw;
+            }
+        }
+        // Epilogue: everything the program publishes must end on the host.
+        let mut published: HashMap<&str, (f64, bool)> = HashMap::new();
+        for k in kernels {
+            for a in &k.arrays {
+                let e = published.entry(a.name.as_str()).or_insert((0.0, false));
+                e.0 = a.bytes(binding)? as f64;
+                e.1 |= a.transfer.from_device();
+            }
+        }
+        let mut final_down = 0.0f64;
+        for (name, (bytes, is_output)) in &published {
+            if *is_output && residency.get(name) == Some(&Residency::DeviceValid) {
+                final_down += bytes;
+            }
+        }
+        if final_down > 0.0 {
+            time += lat + final_down / bw;
+        }
+        if best.map(|(_, t)| time < t).unwrap_or(true) {
+            best = Some((mask, time));
+        }
+    }
+    let (mask, predicted_s) = best?;
+    let assignments = kernels
+        .iter()
+        .enumerate()
+        .map(|(i, k)| {
+            let d = if mask & (1 << i) != 0 { Device::Gpu } else { Device::Host };
+            (k.name.clone(), d)
+        })
+        .collect();
+    Some(ProgramPlan {
+        assignments,
+        predicted_s,
+        naive_predicted_s: naive,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsel_polybench::{suite, Dataset};
+
+    fn program(name: &str) -> (Vec<Kernel>, Binding, Binding) {
+        let b = suite().into_iter().find(|b| b.name == name).unwrap();
+        let test = (b.binding)(Dataset::Test);
+        let bench = (b.binding)(Dataset::Benchmark);
+        (b.kernels, test, bench)
+    }
+
+    #[test]
+    fn residency_plan_never_loses_to_naive() {
+        let platform = Platform::power9_v100();
+        for b in suite() {
+            for ds in Dataset::paper_modes() {
+                let binding = (b.binding)(ds);
+                let p = plan_program(&b.kernels, &binding, &platform).unwrap();
+                assert!(
+                    p.predicted_s <= p.naive_predicted_s + 1e-12,
+                    "{}/{ds}: plan {} vs naive {}",
+                    b.name,
+                    p.predicted_s,
+                    p.naive_predicted_s
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chained_products_keep_intermediates_resident() {
+        // 3MM benchmark: all three kernels belong on the GPU and the
+        // intermediates E and F never cross the bus — the plan must beat
+        // paying their transfers twice.
+        let (kernels, _, bench) = program("3MM");
+        let platform = Platform::power9_v100();
+        let p = plan_program(&kernels, &bench, &platform).unwrap();
+        assert!(p.assignments.iter().all(|(_, d)| *d == Device::Gpu), "{p:?}");
+        assert!(p.gain_over_naive() > 1.0, "{p:?}");
+    }
+
+    #[test]
+    fn catastrophic_gpu_kernels_stay_home_despite_residency() {
+        // CORR in test mode: the triangular product is ~20x slower on the
+        // GPU than on the host — no amount of transfer elision can justify
+        // offloading it, so the plan must keep it (at least) on the host.
+        let (kernels, test, _) = program("CORR");
+        let platform = Platform::power9_v100();
+        let p = plan_program(&kernels, &test, &platform).unwrap();
+        let corr = p
+            .assignments
+            .iter()
+            .find(|(name, _)| name == "corr.corr")
+            .unwrap();
+        assert_eq!(corr.1, Device::Host, "{p:?}");
+        assert!(p.predicted_s <= p.naive_predicted_s + 1e-12);
+    }
+
+    #[test]
+    fn residency_can_legitimately_flip_borderline_regions_to_gpu() {
+        // COVAR benchmark: per-region selection keeps the mean kernel home
+        // (0.89x); once the covariance product is on the GPU anyway, the
+        // residency-aware plan may pull the whole chain over — the gain
+        // over naive must reflect the saved transfers.
+        let (kernels, _, bench) = program("COVAR");
+        let platform = Platform::power9_v100();
+        let p = plan_program(&kernels, &bench, &platform).unwrap();
+        assert!(p.gain_over_naive() >= 1.0, "{p:?}");
+    }
+
+    #[test]
+    fn single_kernel_program_matches_selector_logic() {
+        let (kernels, test, _) = program("GEMM");
+        let platform = Platform::power9_v100();
+        let p = plan_program(&kernels, &test, &platform).unwrap();
+        assert_eq!(p.assignments.len(), 1);
+        // With one region the plan's naive reference and the chosen cost
+        // agree up to the epilogue-vs-inline accounting of the same bytes.
+        let ratio = p.predicted_s / p.naive_predicted_s;
+        assert!((0.8..=1.05).contains(&ratio), "{ratio}");
+    }
+}

@@ -1,0 +1,331 @@
+//! The runtime target selector.
+//!
+//! The execution-time half of the framework (paper Figure 2 and Section
+//! IV.D): on reaching a target region, the augmented OpenMP runtime pulls
+//! the region's static attributes from the database, binds the runtime
+//! values, evaluates both analytical models, and launches whichever version
+//! — host or GPU — the models predict faster. "Because of the analytical
+//! nature of the model, generating a prediction for either target is
+//! equivalent to solving an equation, making decision time negligible."
+
+use crate::attributes::RegionAttributes;
+use crate::platform::Platform;
+use hetsel_models::{CoalescingMode, TripMode};
+use hetsel_ir::{Binding, Kernel};
+
+/// An execution target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Device {
+    /// The host CPU (fallback path).
+    Host,
+    /// The GPU accelerator.
+    Gpu,
+}
+
+impl std::fmt::Display for Device {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Device::Host => write!(f, "host"),
+            Device::Gpu => write!(f, "gpu"),
+        }
+    }
+}
+
+/// A selection policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Never offload (OpenMP with offloading disabled).
+    AlwaysHost,
+    /// The compiler's default: always offload target regions.
+    AlwaysOffload,
+    /// The paper's contribution: offload iff the models predict a win.
+    ModelDriven,
+}
+
+/// One offloading decision with the model evidence behind it.
+#[derive(Debug, Clone)]
+pub struct Decision {
+    /// Region name.
+    pub region: String,
+    /// Chosen target.
+    pub device: Device,
+    /// Policy that made the choice.
+    pub policy: Policy,
+    /// Predicted host time, seconds (None under `Always*` policies).
+    pub predicted_cpu_s: Option<f64>,
+    /// Predicted GPU time, seconds.
+    pub predicted_gpu_s: Option<f64>,
+}
+
+impl Decision {
+    /// Predicted offloading speedup (host time / GPU time); `None` when a
+    /// prediction is missing.
+    pub fn predicted_speedup(&self) -> Option<f64> {
+        match (self.predicted_cpu_s, self.predicted_gpu_s) {
+            (Some(c), Some(g)) if g > 0.0 => Some(c / g),
+            _ => None,
+        }
+    }
+}
+
+/// Ground-truth ("measured") times from the timing simulators.
+#[derive(Debug, Clone, Copy)]
+pub struct Measured {
+    /// Host execution time, seconds.
+    pub cpu_s: f64,
+    /// GPU execution time (kernel + transfers), seconds.
+    pub gpu_s: f64,
+}
+
+impl Measured {
+    /// True offloading speedup.
+    pub fn speedup(&self) -> f64 {
+        self.cpu_s / self.gpu_s
+    }
+
+    /// Time under a given device choice.
+    pub fn on(&self, d: Device) -> f64 {
+        match d {
+            Device::Host => self.cpu_s,
+            Device::Gpu => self.gpu_s,
+        }
+    }
+
+    /// The oracle's choice.
+    pub fn best_device(&self) -> Device {
+        if self.cpu_s <= self.gpu_s {
+            Device::Host
+        } else {
+            Device::Gpu
+        }
+    }
+}
+
+/// A decision together with its measured consequences.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// The decision taken.
+    pub decision: Decision,
+    /// Simulated ground truth.
+    pub measured: Measured,
+}
+
+impl Evaluation {
+    /// Wall time actually obtained under the decision.
+    pub fn achieved_s(&self) -> f64 {
+        self.measured.on(self.decision.device)
+    }
+
+    /// Wall time the oracle would have obtained.
+    pub fn oracle_s(&self) -> f64 {
+        self.measured.on(self.measured.best_device())
+    }
+
+    /// True iff the decision matched the oracle.
+    pub fn correct(&self) -> bool {
+        self.decision.device == self.measured.best_device()
+    }
+}
+
+/// The selector: a platform plus policy and model-abstraction knobs.
+#[derive(Debug, Clone)]
+pub struct Selector {
+    /// The platform the decision is made for.
+    pub platform: Platform,
+    /// Selection policy.
+    pub policy: Policy,
+    /// Trip-count abstraction used by the models.
+    pub trip_mode: TripMode,
+    /// Coalescing analysis mode used by the GPU model.
+    pub coal_mode: CoalescingMode,
+}
+
+impl Selector {
+    /// A model-driven selector with the paper's hybrid configuration
+    /// (runtime trip counts, IPDA coalescing).
+    pub fn new(platform: Platform) -> Selector {
+        Selector {
+            platform,
+            policy: Policy::ModelDriven,
+            trip_mode: TripMode::Runtime,
+            coal_mode: CoalescingMode::Ipda,
+        }
+    }
+
+    /// Builder-style policy override.
+    pub fn with_policy(mut self, policy: Policy) -> Selector {
+        self.policy = policy;
+        self
+    }
+
+    /// Builder-style trip-mode override.
+    pub fn with_trip_mode(mut self, mode: TripMode) -> Selector {
+        self.trip_mode = mode;
+        self
+    }
+
+    /// Builder-style coalescing-mode override.
+    pub fn with_coalescing(mut self, mode: CoalescingMode) -> Selector {
+        self.coal_mode = mode;
+        self
+    }
+
+    /// Evaluates both models for a region under a runtime binding.
+    pub fn predict(&self, kernel: &Kernel, binding: &Binding) -> (Option<f64>, Option<f64>) {
+        let cpu = hetsel_models::cpu::predict(
+            kernel,
+            binding,
+            &self.platform.cpu_model,
+            self.platform.host_threads,
+            self.trip_mode,
+        )
+        .map(|p| p.seconds);
+        let gpu = hetsel_models::gpu::predict(
+            kernel,
+            binding,
+            &self.platform.gpu_model,
+            self.trip_mode,
+            self.coal_mode,
+        )
+        .map(|p| p.seconds);
+        (cpu, gpu)
+    }
+
+    /// Makes the offloading decision for a region under a runtime binding.
+    ///
+    /// Under `ModelDriven`, missing predictions (unresolved bindings) fall
+    /// back to the compiler default of offloading.
+    pub fn select(&self, region: &RegionAttributes, binding: &Binding) -> Decision {
+        self.select_kernel(&region.kernel, binding)
+    }
+
+    /// As [`Selector::select`] for a bare kernel.
+    pub fn select_kernel(&self, kernel: &Kernel, binding: &Binding) -> Decision {
+        let (cpu, gpu) = match self.policy {
+            Policy::ModelDriven => self.predict(kernel, binding),
+            _ => (None, None),
+        };
+        let device = match self.policy {
+            Policy::AlwaysHost => Device::Host,
+            Policy::AlwaysOffload => Device::Gpu,
+            Policy::ModelDriven => match (cpu, gpu) {
+                (Some(c), Some(g)) => {
+                    if g < c {
+                        Device::Gpu
+                    } else {
+                        Device::Host
+                    }
+                }
+                _ => Device::Gpu, // compiler default when unresolvable
+            },
+        };
+        Decision {
+            region: kernel.name.clone(),
+            device,
+            policy: self.policy,
+            predicted_cpu_s: cpu,
+            predicted_gpu_s: gpu,
+        }
+    }
+
+    /// Runs the timing simulators for both targets ("measures" the region).
+    pub fn measure(&self, kernel: &Kernel, binding: &Binding) -> Option<Measured> {
+        let cpu = hetsel_cpusim::simulate(
+            kernel,
+            binding,
+            &self.platform.cpu,
+            self.platform.host_threads,
+        )?;
+        let gpu = hetsel_gpusim::simulate(kernel, binding, &self.platform.gpu)?;
+        Some(Measured {
+            cpu_s: cpu.total_s(),
+            gpu_s: gpu.total_s(),
+        })
+    }
+
+    /// Decides and measures: the full model-vs-actual record for one region.
+    pub fn evaluate(&self, kernel: &Kernel, binding: &Binding) -> Option<Evaluation> {
+        let decision = self.select_kernel(kernel, binding);
+        let measured = self.measure(kernel, binding)?;
+        Some(Evaluation { decision, measured })
+    }
+}
+
+/// Geometric mean of a sequence of positive values.
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        debug_assert!(v > 0.0);
+        log_sum += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        1.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsel_polybench::{find_kernel, Dataset};
+
+    fn selector() -> Selector {
+        Selector::new(Platform::power9_v100())
+    }
+
+    #[test]
+    fn always_policies_ignore_models() {
+        let (k, binding) = find_kernel("gemm").unwrap();
+        let b = binding(Dataset::Test);
+        let s = selector().with_policy(Policy::AlwaysHost);
+        assert_eq!(s.select_kernel(&k, &b).device, Device::Host);
+        let s = selector().with_policy(Policy::AlwaysOffload);
+        assert_eq!(s.select_kernel(&k, &b).device, Device::Gpu);
+    }
+
+    #[test]
+    fn model_driven_produces_predictions() {
+        let (k, binding) = find_kernel("gemm").unwrap();
+        let d = selector().select_kernel(&k, &binding(Dataset::Benchmark));
+        assert!(d.predicted_cpu_s.unwrap() > 0.0);
+        assert!(d.predicted_gpu_s.unwrap() > 0.0);
+        assert!(d.predicted_speedup().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn unresolved_binding_falls_back_to_offload() {
+        let (k, _) = find_kernel("gemm").unwrap();
+        let d = selector().select_kernel(&k, &Binding::new());
+        assert_eq!(d.device, Device::Gpu);
+        assert!(d.predicted_speedup().is_none());
+    }
+
+    #[test]
+    fn evaluation_bookkeeping() {
+        let (k, binding) = find_kernel("2dconv").unwrap();
+        let e = selector().evaluate(&k, &binding(Dataset::Test)).unwrap();
+        assert!(e.achieved_s() >= e.oracle_s());
+        let m = e.measured;
+        assert_eq!(m.on(m.best_device()), m.cpu_s.min(m.gpu_s));
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean([4.0, 1.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(std::iter::empty()), 1.0);
+        assert!((geomean([8.0]) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn model_driven_never_worse_than_worst_policy_on_gemm() {
+        let (k, binding) = find_kernel("gemm").unwrap();
+        let b = binding(Dataset::Benchmark);
+        let s = selector();
+        let e = s.evaluate(&k, &b).unwrap();
+        let worst = e.measured.cpu_s.max(e.measured.gpu_s);
+        assert!(e.achieved_s() <= worst);
+    }
+}

@@ -1,0 +1,234 @@
+//! Cooperative CPU+GPU execution: splitting one parallel loop between the
+//! host and the accelerator.
+//!
+//! The paper's introduction motivates the whole line of work with
+//! cooperative schemes: "For some tasks, a split of the computation between
+//! CPU and GPU execution leads to better performance" (Valero-Lara et al.).
+//! This module extends the selector from a binary choice to a *fractional*
+//! one: give the GPU a fraction `f` of the parallel iterations and the host
+//! the rest, overlap them, and finish when the slower side finishes:
+//!
+//! ```text
+//! T(f) = max( T_gpu(f), T_cpu(1 − f) )
+//! ```
+//!
+//! Both sides decompose into a fixed part (fork/launch/latency, transfers
+//! of data every iteration touches) and a part proportional to the share of
+//! iterations, all taken from the same analytical models the binary
+//! selector uses — so the split decision is still "solving an equation",
+//! evaluated over a fraction grid at runtime.
+
+use crate::platform::Platform;
+use hetsel_ipda::analyze;
+use hetsel_models::{CoalescingMode, TripMode};
+use hetsel_ir::{Binding, Kernel};
+
+/// The outcome of a split analysis.
+#[derive(Debug, Clone, Copy)]
+pub struct SplitDecision {
+    /// Fraction of parallel iterations assigned to the GPU (0.0 = pure
+    /// host, 1.0 = pure GPU).
+    pub gpu_fraction: f64,
+    /// Predicted wall time of the cooperative execution, seconds.
+    pub predicted_s: f64,
+    /// Predicted pure-host time, seconds.
+    pub host_only_s: f64,
+    /// Predicted pure-GPU time, seconds.
+    pub gpu_only_s: f64,
+}
+
+impl SplitDecision {
+    /// Predicted gain of splitting over the better single device.
+    pub fn gain_over_best_single(&self) -> f64 {
+        self.host_only_s.min(self.gpu_only_s) / self.predicted_s
+    }
+
+    /// True if a strict split (neither 0 nor 1) is predicted to win.
+    pub fn is_cooperative(&self) -> bool {
+        self.gpu_fraction > 0.0 && self.gpu_fraction < 1.0
+    }
+}
+
+/// Decomposed time model of one device: `time(share) = fixed + var × share`.
+#[derive(Debug, Clone, Copy)]
+struct LinearTime {
+    fixed: f64,
+    var: f64,
+}
+
+impl LinearTime {
+    fn at(&self, share: f64) -> f64 {
+        if share <= 0.0 {
+            0.0
+        } else {
+            self.fixed + self.var * share
+        }
+    }
+}
+
+/// Builds the host-side linear time model from the CPU prediction:
+/// overheads are fixed, chunk work scales with the share of iterations.
+fn cpu_linear(
+    kernel: &Kernel,
+    binding: &Binding,
+    platform: &Platform,
+    trip_mode: TripMode,
+) -> Option<LinearTime> {
+    let p = hetsel_models::cpu::predict(
+        kernel,
+        binding,
+        &platform.cpu_model,
+        platform.host_threads,
+        trip_mode,
+    )?;
+    let m = &platform.cpu_model;
+    let threads = u64::from(platform.host_threads)
+        .min(kernel.parallel_iterations(binding)?) as f64;
+    let fixed_cycles =
+        m.par_startup + m.fork_per_thread * threads + m.schedule_overhead_static + m.synchronization_overhead;
+    let fixed = fixed_cycles / (m.freq_ghz * 1e9);
+    let var = (p.seconds - fixed).max(0.0);
+    Some(LinearTime { fixed, var })
+}
+
+/// Builds the GPU-side linear time model: launch overhead and transfers of
+/// *unsliceable* arrays are fixed; kernel cycles and sliceable transfers
+/// scale with the share. An array is sliceable when its outermost dimension
+/// is indexed (only) by the outermost parallel loop variable — each side
+/// can then map just its row range, as cooperative implementations do.
+fn gpu_linear(
+    kernel: &Kernel,
+    binding: &Binding,
+    platform: &Platform,
+    trip_mode: TripMode,
+    coal_mode: CoalescingMode,
+) -> Option<LinearTime> {
+    let g = hetsel_models::gpu::predict(kernel, binding, &platform.gpu_model, trip_mode, coal_mode)?;
+    let dev = &platform.gpu_model.device;
+
+    // Classify each array: sliceable iff every access's outermost index
+    // expression is exactly the outermost parallel variable.
+    let outer_var = kernel.parallel_loops().first().map(|l| l.var)?;
+    let info = analyze(kernel);
+    let mut sliceable = vec![true; kernel.arrays.len()];
+    let mut touched = vec![false; kernel.arrays.len()];
+    let mut mark = |r: &hetsel_ir::ArrayRef| {
+        touched[r.array.0] = true;
+        let ok = matches!(r.index.first(), Some(hetsel_ir::Expr::Var(v)) if *v == outer_var)
+            && r.index.len() == kernel.array(r.array).extents.len();
+        if !ok {
+            sliceable[r.array.0] = false;
+        }
+    };
+    kernel.walk_assigns(|_, a| {
+        a.rhs.for_each_load(&mut mark);
+        if let hetsel_ir::Lhs::Array(r) = &a.lhs {
+            mark(r);
+        }
+    });
+    let _ = info;
+
+    let mut fixed_bytes = 0.0;
+    let mut var_bytes = 0.0;
+    for (i, decl) in kernel.arrays.iter().enumerate() {
+        let bytes = decl.bytes(binding)? as f64;
+        let ways = f64::from(u8::from(decl.transfer.to_device()) + u8::from(decl.transfer.from_device()));
+        if touched[i] && sliceable[i] {
+            var_bytes += bytes * ways;
+        } else {
+            fixed_bytes += bytes * ways;
+        }
+    }
+    let bw = dev.bus.bandwidth_gbs * 1e9;
+    let fixed = dev.launch_overhead_us * 1e-6
+        + dev.bus.latency_us * 1e-6 * 2.0
+        + fixed_bytes / bw;
+    let var = g.kernel_seconds + var_bytes / bw;
+    Some(LinearTime { fixed, var })
+}
+
+/// Finds the best GPU fraction on a uniform grid (the decision remains a
+/// handful of closed-form evaluations).
+pub fn best_split(
+    kernel: &Kernel,
+    binding: &Binding,
+    platform: &Platform,
+    steps: u32,
+) -> Option<SplitDecision> {
+    let cpu = cpu_linear(kernel, binding, platform, TripMode::Runtime)?;
+    let gpu = gpu_linear(
+        kernel,
+        binding,
+        platform,
+        TripMode::Runtime,
+        CoalescingMode::Ipda,
+    )?;
+    let steps = steps.max(2);
+    let mut best = (1.0, gpu.at(1.0)); // pure GPU as the starting candidate
+    for s in 0..=steps {
+        let f = f64::from(s) / f64::from(steps);
+        let t = gpu.at(f).max(cpu.at(1.0 - f));
+        if t < best.1 {
+            best = (f, t);
+        }
+    }
+    Some(SplitDecision {
+        gpu_fraction: best.0,
+        predicted_s: best.1,
+        host_only_s: cpu.at(1.0),
+        gpu_only_s: gpu.at(1.0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsel_polybench::{find_kernel, Dataset};
+
+    fn split(name: &str, ds: Dataset) -> SplitDecision {
+        let (k, binding) = find_kernel(name).unwrap();
+        best_split(&k, &binding(ds), &Platform::power9_v100(), 64).unwrap()
+    }
+
+    #[test]
+    fn split_never_worse_than_either_pure_choice() {
+        for name in ["gemm", "2dconv", "atax.k1", "corr.corr", "syrk"] {
+            for ds in [Dataset::Test, Dataset::Benchmark] {
+                let d = split(name, ds);
+                assert!(
+                    d.predicted_s <= d.host_only_s + 1e-12 && d.predicted_s <= d.gpu_only_s + 1e-12,
+                    "{name}/{ds}: split {:?}",
+                    d
+                );
+                assert!((0.0..=1.0).contains(&d.gpu_fraction));
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_kernels_choose_a_strict_split() {
+        // corr.std benchmark is a near-tie between devices: cooperation
+        // should beat both.
+        let d = split("corr.std", Dataset::Benchmark);
+        assert!(d.is_cooperative(), "{d:?}");
+        assert!(d.gain_over_best_single() > 1.05, "{d:?}");
+    }
+
+    #[test]
+    fn lopsided_kernels_stay_single_device() {
+        // Benchmark GEMM is overwhelmingly GPU-favoured: nearly everything
+        // should go to the GPU.
+        let d = split("gemm", Dataset::Benchmark);
+        assert!(d.gpu_fraction > 0.85, "{d:?}");
+    }
+
+    #[test]
+    fn fraction_grid_is_monotone_in_resolution() {
+        let (k, binding) = find_kernel("2dconv").unwrap();
+        let b = binding(Dataset::Benchmark);
+        let p = Platform::power9_v100();
+        let coarse = best_split(&k, &b, &p, 4).unwrap();
+        let fine = best_split(&k, &b, &p, 256).unwrap();
+        assert!(fine.predicted_s <= coarse.predicted_s + 1e-12);
+    }
+}

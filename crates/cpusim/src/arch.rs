@@ -1,0 +1,365 @@
+//! Host CPU descriptors: the POWER8 and POWER9 machines of the paper.
+//!
+//! Combines the core pipeline model from `hetsel-mca` with the memory
+//! hierarchy, SMT, vector-ISA and OpenMP-overhead parameters the simulator
+//! needs. OpenMP overheads are the paper's Table II values (EPCC-measured on
+//! their hardware).
+
+use hetsel_mca::CoreDescriptor;
+
+/// One level of the cache hierarchy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheLevel {
+    /// Level name (`"L1D"`, `"L2"`, `"L3"`).
+    pub name: &'static str,
+    /// Capacity in bytes, per sharing domain.
+    pub bytes: u64,
+    /// Line size in bytes.
+    pub line_bytes: u32,
+    /// Associativity.
+    pub assoc: u32,
+    /// Load-to-use latency on a hit, cycles.
+    pub latency: f64,
+    /// True if shared by all cores on the chip (capacity is divided among
+    /// active cores during simulation).
+    pub chip_shared: bool,
+}
+
+/// OpenMP runtime overheads (paper Table II).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OmpOverheads {
+    /// `Par_Startup`: cycles to spin up the parallel region.
+    pub par_startup: f64,
+    /// `Par_Schedule_Overhead_static`: static-schedule dispatch cycles.
+    pub schedule_static: f64,
+    /// `Synchronization_Overhead`: implicit barrier/join cycles.
+    pub synchronization: f64,
+    /// `Loop_overhead_per_iter`: bookkeeping cycles per loop iteration.
+    pub loop_overhead_per_iter: f64,
+    /// Per-thread cost of entering a host-fallback target region (team
+    /// formation + fork/join barrier), cycles. EPCC-style fork/join scaling
+    /// measurements grow roughly linearly in thread count; at 160 SMT
+    /// threads this puts the host floor for a tiny region at ~1.3 ms,
+    /// consistent with the millisecond-scale small-region host times the
+    /// paper's test-mode speedups imply.
+    pub fork_per_thread_cycles: f64,
+}
+
+/// Paper Table II values.
+pub fn table2_overheads() -> OmpOverheads {
+    OmpOverheads {
+        par_startup: 3000.0,
+        schedule_static: 10154.0,
+        synchronization: 4000.0,
+        loop_overhead_per_iter: 4.0,
+        fork_per_thread_cycles: 24_000.0,
+    }
+}
+
+/// A host CPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuDescriptor {
+    /// Machine name.
+    pub name: &'static str,
+    /// Core pipeline model (drives the MCA engine).
+    pub core: CoreDescriptor,
+    /// Physical cores.
+    pub cores: u32,
+    /// Hardware threads per core.
+    pub smt: u32,
+    /// Clock, GHz (the paper clocks both hosts at 3.0 GHz).
+    pub clock_ghz: f64,
+    /// Cache hierarchy, innermost first.
+    pub caches: Vec<CacheLevel>,
+    /// Memory access latency, cycles.
+    pub mem_latency: f64,
+    /// Chip memory bandwidth, GB/s.
+    pub mem_bandwidth_gbs: f64,
+    /// Data TLB entries (paper Table II: 1024).
+    pub tlb_entries: u32,
+    /// Page size, bytes (64 KiB on the paper's RHEL/POWER systems).
+    pub page_bytes: u64,
+    /// TLB miss penalty, cycles (paper Table II: 14).
+    pub tlb_miss_penalty: f64,
+    /// Per-core throughput multiplier at 1, 2, 4, 8 threads per core.
+    pub smt_throughput: [f64; 4],
+    /// Whether the compiler vectorises over the parallel (outer) dimension
+    /// when the inner loop resists vectorisation — the VSX3/XL-on-POWER9
+    /// capability behind the paper's CORR flip.
+    pub outer_loop_vectorization: bool,
+    /// Compiler unroll factor for breaking reduction chains.
+    pub unroll: f64,
+    /// Hardware prefetch streams tracked per core: concurrent access
+    /// streams beyond this thrash the prefetcher and lose memory
+    /// bandwidth.
+    pub prefetch_streams: u32,
+    /// OpenMP runtime overheads.
+    pub omp: OmpOverheads,
+}
+
+impl CpuDescriptor {
+    /// Total hardware threads.
+    pub fn max_threads(&self) -> u32 {
+        self.cores * self.smt
+    }
+
+    /// Per-core throughput multiplier for `t` threads per core.
+    pub fn smt_multiplier(&self, threads_per_core: f64) -> f64 {
+        let pts = [1.0, 2.0, 4.0, 8.0];
+        if threads_per_core <= 1.0 {
+            return self.smt_throughput[0];
+        }
+        for w in 0..3 {
+            if threads_per_core <= pts[w + 1] {
+                let f = (threads_per_core - pts[w]) / (pts[w + 1] - pts[w]);
+                return self.smt_throughput[w] + f * (self.smt_throughput[w + 1] - self.smt_throughput[w]);
+            }
+        }
+        self.smt_throughput[3]
+    }
+
+    /// SIMD lanes for a given element size, derived from the core's vector
+    /// register width (128-bit VSX on POWER, 512-bit AVX-512 on Skylake).
+    pub fn vector_lanes(&self, elem_bytes: u32) -> f64 {
+        let reg_bytes = f64::from(self.core.vector_lanes_f64) * 8.0;
+        (reg_bytes / f64::from(elem_bytes)).max(1.0)
+    }
+
+    /// Sanity checks.
+    pub fn validate(&self) -> Result<(), String> {
+        self.core.validate()?;
+        if self.caches.is_empty() {
+            return Err(format!("{}: no caches", self.name));
+        }
+        let mut prev = 0.0;
+        for c in &self.caches {
+            if c.latency <= prev {
+                return Err(format!("{}: cache latencies not increasing", self.name));
+            }
+            prev = c.latency;
+        }
+        if self.mem_latency <= prev {
+            return Err(format!("{}: memory faster than last cache", self.name));
+        }
+        Ok(())
+    }
+}
+
+/// The paper's POWER9 host: 20 cores × SMT8 = 160 threads at 3.0 GHz
+/// (AC922), VSX3 vector ISA.
+pub fn power9_host() -> CpuDescriptor {
+    CpuDescriptor {
+        name: "POWER9 (AC922)",
+        core: hetsel_mca::power9(),
+        cores: 20,
+        smt: 8,
+        clock_ghz: 3.0,
+        caches: vec![
+            CacheLevel {
+                name: "L1D",
+                bytes: 32 * 1024,
+                line_bytes: 128,
+                assoc: 8,
+                latency: 5.0,
+                chip_shared: false,
+            },
+            CacheLevel {
+                name: "L2",
+                bytes: 512 * 1024,
+                line_bytes: 128,
+                assoc: 8,
+                latency: 14.0,
+                chip_shared: false,
+            },
+            CacheLevel {
+                name: "L3",
+                bytes: 200 * 1024 * 1024,
+                line_bytes: 128,
+                assoc: 16,
+                latency: 55.0,
+                chip_shared: true,
+            },
+        ],
+        mem_latency: 250.0,
+        mem_bandwidth_gbs: 170.0,
+        tlb_entries: 1024,
+        page_bytes: 64 * 1024,
+        tlb_miss_penalty: 14.0,
+        smt_throughput: [1.0, 1.55, 2.1, 2.5],
+        outer_loop_vectorization: true,
+        unroll: 4.0,
+        prefetch_streams: 16,
+        omp: table2_overheads(),
+    }
+}
+
+/// The paper's POWER8 host (Firestone-class, also 20 cores × SMT8 at
+/// 3.0 GHz for the cross-generation comparison): VSX without the POWER9
+/// additions — weaker vectorisation, no outer-loop vectorisation.
+pub fn power8_host() -> CpuDescriptor {
+    CpuDescriptor {
+        name: "POWER8",
+        core: hetsel_mca::power8(),
+        cores: 20,
+        smt: 8,
+        clock_ghz: 3.0,
+        caches: vec![
+            CacheLevel {
+                name: "L1D",
+                bytes: 64 * 1024,
+                line_bytes: 128,
+                assoc: 8,
+                latency: 4.0,
+                chip_shared: false,
+            },
+            CacheLevel {
+                name: "L2",
+                bytes: 512 * 1024,
+                line_bytes: 128,
+                assoc: 8,
+                latency: 13.0,
+                chip_shared: false,
+            },
+            CacheLevel {
+                name: "L3",
+                bytes: 160 * 1024 * 1024,
+                line_bytes: 128,
+                assoc: 8,
+                latency: 60.0,
+                chip_shared: true,
+            },
+        ],
+        mem_latency: 280.0,
+        mem_bandwidth_gbs: 150.0,
+        tlb_entries: 1024,
+        page_bytes: 64 * 1024,
+        tlb_miss_penalty: 14.0,
+        smt_throughput: [1.0, 1.5, 2.0, 2.35],
+        outer_loop_vectorization: false,
+        unroll: 4.0,
+        prefetch_streams: 12,
+        omp: table2_overheads(),
+    }
+}
+
+/// An x86 host: dual-socket Xeon Gold 6148 (2 × 20 cores, HT2) — the class
+/// of machine the paper could *not* evaluate ("POWER9 is the only viable
+/// host architecture ... at the time of writing"). Here a host backend is
+/// one descriptor, so the restriction disappears.
+pub fn xeon_host() -> CpuDescriptor {
+    CpuDescriptor {
+        name: "Xeon Gold 6148 (2S)",
+        core: hetsel_mca::skylake(),
+        cores: 40,
+        smt: 2,
+        clock_ghz: 2.4,
+        caches: vec![
+            CacheLevel {
+                name: "L1D",
+                bytes: 32 * 1024,
+                line_bytes: 64,
+                assoc: 8,
+                latency: 5.0,
+                chip_shared: false,
+            },
+            CacheLevel {
+                name: "L2",
+                bytes: 1024 * 1024,
+                line_bytes: 64,
+                assoc: 16,
+                latency: 14.0,
+                chip_shared: false,
+            },
+            CacheLevel {
+                name: "L3",
+                bytes: 2 * 28 * 1024 * 1024,
+                line_bytes: 64,
+                assoc: 11,
+                latency: 50.0,
+                chip_shared: true,
+            },
+        ],
+        mem_latency: 230.0,
+        mem_bandwidth_gbs: 200.0,
+        tlb_entries: 1536,
+        page_bytes: 4 * 1024,
+        tlb_miss_penalty: 20.0,
+        smt_throughput: [1.0, 1.35, 1.35, 1.35],
+        outer_loop_vectorization: true,
+        unroll: 4.0,
+        prefetch_streams: 24,
+        omp: OmpOverheads {
+            par_startup: 2500.0,
+            schedule_static: 8000.0,
+            synchronization: 3500.0,
+            loop_overhead_per_iter: 4.0,
+            fork_per_thread_cycles: 18_000.0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        power8_host().validate().unwrap();
+        power9_host().validate().unwrap();
+        xeon_host().validate().unwrap();
+    }
+
+    #[test]
+    fn xeon_is_a_different_shape_not_a_reskin() {
+        let x = xeon_host();
+        let p9 = power9_host();
+        assert_eq!(x.max_threads(), 80);
+        assert!(x.vector_lanes(4) > p9.vector_lanes(4)); // AVX-512 vs VSX
+        assert!(x.page_bytes < p9.page_bytes); // 4K vs 64K pages
+        assert!(x.smt_multiplier(2.0) < p9.smt_multiplier(8.0)); // HT2 vs SMT8
+    }
+
+    #[test]
+    fn paper_thread_counts() {
+        // "our experimental machine's 20-core 8-SMT CPU running at full
+        // capacity of 160 threads"
+        assert_eq!(power9_host().max_threads(), 160);
+    }
+
+    #[test]
+    fn smt_curve_monotone_sublinear() {
+        let p9 = power9_host();
+        let mut prev = 0.0;
+        for t in [1.0, 2.0, 3.0, 4.0, 6.0, 8.0] {
+            let m = p9.smt_multiplier(t);
+            assert!(m >= prev);
+            assert!(m <= t, "multiplier {m} super-linear at {t}");
+            prev = m;
+        }
+        assert_eq!(p9.smt_multiplier(1.0), 1.0);
+        assert!(p9.smt_multiplier(8.0) < 3.0);
+    }
+
+    #[test]
+    fn vector_lanes_by_element() {
+        let p9 = power9_host();
+        assert_eq!(p9.vector_lanes(4), 4.0);
+        assert_eq!(p9.vector_lanes(8), 2.0);
+    }
+
+    #[test]
+    fn table2_values() {
+        let o = table2_overheads();
+        assert_eq!(o.schedule_static, 10154.0);
+        assert_eq!(o.synchronization, 4000.0);
+        assert_eq!(o.par_startup, 3000.0);
+        assert_eq!(o.loop_overhead_per_iter, 4.0);
+        assert!(o.fork_per_thread_cycles > 0.0);
+    }
+
+    #[test]
+    fn p9_vector_story() {
+        assert!(power9_host().outer_loop_vectorization);
+        assert!(!power8_host().outer_loop_vectorization);
+    }
+}

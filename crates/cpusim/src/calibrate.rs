@@ -1,0 +1,136 @@
+//! EPCC-style overhead calibration against the simulated host.
+//!
+//! The paper obtains its Table II constants by running the EPCC OpenMP
+//! micro-benchmark suite on the real machine. This module closes the same
+//! loop against the simulator: it constructs overhead-dominated
+//! micro-kernels, "measures" them at several thread counts and iteration
+//! counts, and fits the constants a model should use — so the analytical
+//! model's parameters can always be re-derived from the platform they are
+//! supposed to describe, instead of drifting.
+
+use crate::arch::CpuDescriptor;
+use crate::engine::simulate;
+use hetsel_ir::{cexpr, Binding, Kernel, KernelBuilder, Transfer};
+
+/// Constants recovered by the calibration run (cycles).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibratedOverheads {
+    /// Fixed region overhead at zero threads: startup + schedule + join.
+    pub fixed_cycles: f64,
+    /// Marginal cost per additional thread (fork/join scaling).
+    pub fork_per_thread_cycles: f64,
+    /// Marginal cost per parallel iteration of a trivial body.
+    pub per_iter_cycles: f64,
+}
+
+/// A micro-kernel in the EPCC spirit: a parallel loop whose body is one
+/// store — all overhead, almost no work.
+fn micro_kernel() -> Kernel {
+    let mut kb = KernelBuilder::new("epcc.parallel_for");
+    let a = kb.array("a", 4, &["n".into()], Transfer::Alloc);
+    let i = kb.parallel_loop(0, "n");
+    kb.store(a, &[i.into()], cexpr::lit(1.0));
+    kb.end_loop();
+    kb.finish()
+}
+
+/// Least-squares slope and intercept of `y` over `x`.
+fn fit_line(points: &[(f64, f64)]) -> (f64, f64) {
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return (0.0, sy / n);
+    }
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+    (slope, intercept)
+}
+
+/// Runs the calibration: measures the micro-kernel over thread counts (to
+/// fit the fork scaling) and over iteration counts (to fit the
+/// per-iteration overhead), returning constants in cycles.
+pub fn calibrate(cpu: &CpuDescriptor) -> CalibratedOverheads {
+    let k = micro_kernel();
+    let hz = cpu.clock_ghz * 1e9;
+
+    // Thread sweep at a fixed, overhead-dominated size. Iterations must be
+    // at least the largest thread count so every thread participates.
+    let n = i64::from(cpu.max_threads());
+    let b = Binding::new().with("n", n);
+    let mut pts = Vec::new();
+    for t in [1u32, 2, 4, 8, 16, 32, cpu.max_threads() / 2, cpu.max_threads()] {
+        let r = simulate(&k, &b, cpu, t).expect("micro-kernel simulates");
+        pts.push((f64::from(t), r.total_s() * hz));
+    }
+    let (fork_per_thread, fixed) = fit_line(&pts);
+
+    // Iteration sweep at one thread: slope is the per-iteration cost of
+    // the trivial body (the model's Loop_overhead_per_iter analogue).
+    let mut pts = Vec::new();
+    for n in [256i64, 1024, 4096, 16384, 65536] {
+        let b = Binding::new().with("n", n);
+        let r = simulate(&k, &b, cpu, 1).expect("micro-kernel simulates");
+        pts.push((n as f64, r.total_s() * hz));
+    }
+    let (per_iter, _) = fit_line(&pts);
+
+    CalibratedOverheads {
+        fixed_cycles: fixed,
+        fork_per_thread_cycles: fork_per_thread,
+        per_iter_cycles: per_iter,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::{power8_host, power9_host};
+
+    #[test]
+    fn fit_line_recovers_exact_lines() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 + 2.0 * i as f64)).collect();
+        let (slope, intercept) = fit_line(&pts);
+        assert!((slope - 2.0).abs() < 1e-9);
+        assert!((intercept - 3.0).abs() < 1e-9);
+    }
+
+    /// The EPCC loop closes: constants measured against the simulator match
+    /// the constants the simulator was configured with (and which the
+    /// analytical model uses).
+    #[test]
+    fn calibration_recovers_configured_overheads() {
+        for cpu in [power9_host(), power8_host()] {
+            let c = calibrate(&cpu);
+            let o = &cpu.omp;
+            let configured_fixed = o.par_startup + o.schedule_static + o.synchronization;
+            assert!(
+                (c.fork_per_thread_cycles - o.fork_per_thread_cycles).abs()
+                    < 0.15 * o.fork_per_thread_cycles,
+                "{}: fork/thread {} vs configured {}",
+                cpu.name,
+                c.fork_per_thread_cycles,
+                o.fork_per_thread_cycles
+            );
+            assert!(
+                (c.fixed_cycles - configured_fixed).abs() < configured_fixed,
+                "{}: fixed {} vs configured {}",
+                cpu.name,
+                c.fixed_cycles,
+                configured_fixed
+            );
+            // Per-iteration cost of a one-store body: positive, small.
+            assert!(c.per_iter_cycles > 0.0 && c.per_iter_cycles < 100.0, "{}", c.per_iter_cycles);
+        }
+    }
+
+    #[test]
+    fn degenerate_fit_does_not_panic() {
+        let (s, i) = fit_line(&[(1.0, 5.0), (1.0, 7.0)]);
+        assert_eq!(s, 0.0);
+        assert_eq!(i, 6.0);
+    }
+}

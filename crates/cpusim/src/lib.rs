@@ -1,0 +1,39 @@
+//! # hetsel-cpusim — a multicore CPU timing simulator
+//!
+//! The stand-in for the paper's POWER8/POWER9 hosts: where the paper
+//! *measures* OpenMP region time on hardware, this crate *simulates* it,
+//! producing the "actual" CPU side of every model-vs-actual comparison.
+//!
+//! The simulator deliberately models what the paper's analytical CPU model
+//! (Liao/Chapman + LLVM-MCA) abstracts away, so that model error is
+//! meaningful:
+//!
+//! * a trace-driven **cache hierarchy and TLB** ([`sampler`]) fed with the
+//!   real addresses of a sampled thread chunk — MCA has "a lack of a cache
+//!   hierarchy and memory type model" (paper, Section IV.A.1);
+//! * compiler **unrolling and vectorisation** as schedule transformations,
+//!   including POWER9's outer-loop vectorisation (the CORR story);
+//! * **SMT throughput sharing** across the 8 hardware threads per core;
+//! * a chip **DRAM bandwidth roofline**.
+//!
+//! Per-iteration pipeline behaviour still comes from the same `hetsel-mca`
+//! engine the model uses — the simulator just feeds it measured effective
+//! latencies instead of a flat L1 number.
+
+#![warn(missing_docs)]
+
+pub mod arch;
+pub mod cache;
+pub mod calibrate;
+pub mod engine;
+pub mod sampler;
+
+pub use arch::{
+    power8_host, power9_host, table2_overheads, xeon_host, CacheLevel, CpuDescriptor,
+    OmpOverheads,
+};
+pub use cache::{Cache, Hierarchy, Tlb};
+pub use calibrate::{calibrate, CalibratedOverheads};
+pub use engine::{simulate, simulate_with_schedule, CpuBound, CpuRun, VectorMode};
+pub use hetsel_ipda::Schedule;
+pub use sampler::{profile, MemoryProfile};

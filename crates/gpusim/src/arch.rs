@@ -1,0 +1,237 @@
+//! GPU architecture descriptors.
+//!
+//! Parameters for the two accelerators of the paper's experiments, gathered
+//! the way the paper gathered them: vendor specifications, CUDA-queryable
+//! properties, and the micro-benchmarked latencies of Jia et al.'s Volta
+//! dissection (paper's Table III). The K80 is modelled as one GK210 die —
+//! the unit a single target region offloads to.
+
+/// Host↔device interconnect.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BusDescriptor {
+    /// Bus name.
+    pub name: &'static str,
+    /// One-way latency per transfer, in microseconds.
+    pub latency_us: f64,
+    /// Effective one-direction bandwidth, GB/s.
+    pub bandwidth_gbs: f64,
+}
+
+/// PCI Express 3.0 ×16 (the paper's POWER8 + K80 platform).
+pub fn pcie3() -> BusDescriptor {
+    BusDescriptor {
+        name: "PCIe 3.0 x16",
+        latency_us: 12.0,
+        bandwidth_gbs: 11.0,
+    }
+}
+
+/// NVLink 1.0 (the POWER8+ "Minsky" platform that sat between the paper's
+/// two systems; ~80 GB/s aggregate, ~32 GB/s effective per direction).
+pub fn nvlink1() -> BusDescriptor {
+    BusDescriptor {
+        name: "NVLink 1.0",
+        latency_us: 7.0,
+        bandwidth_gbs: 32.0,
+    }
+}
+
+/// NVLink 2.0 (the paper's POWER9 + V100 platform; 150 GB/s aggregate,
+/// ~60 GB/s effective per direction for bulk `map` traffic).
+pub fn nvlink2() -> BusDescriptor {
+    BusDescriptor {
+        name: "NVLink 2.0",
+        latency_us: 5.0,
+        bandwidth_gbs: 60.0,
+    }
+}
+
+/// A GPU device model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuDescriptor {
+    /// Device name.
+    pub name: &'static str,
+    /// Streaming multiprocessors.
+    pub num_sms: u32,
+    /// CUDA cores per SM.
+    pub cores_per_sm: u32,
+    /// Warp schedulers per SM (warp-instructions issuable per cycle).
+    pub schedulers_per_sm: u32,
+    /// Processor clock, GHz.
+    pub clock_ghz: f64,
+    /// Device memory bandwidth, GB/s.
+    pub mem_bandwidth_gbs: f64,
+    /// DRAM access latency, cycles.
+    pub mem_latency_cycles: f64,
+    /// L2 cache size, bytes.
+    pub l2_bytes: u64,
+    /// L2 hit latency, cycles.
+    pub l2_latency_cycles: f64,
+    /// Memory transaction (segment) size, bytes.
+    pub segment_bytes: u32,
+    /// Memory transactions the SM's LSUs retire per cycle.
+    pub lsu_txns_per_cycle: f64,
+    /// Maximum resident warps per SM.
+    pub max_warps_per_sm: u32,
+    /// Maximum resident thread blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// Cycles between dependent issues of the same warp (pipeline issue
+    /// rate; Kepler's shared pipelines make this worse than Volta's).
+    pub issue_rate: f64,
+    /// Extra issue slots consumed by divides and square roots (SFU/iterative).
+    pub div_issue_slots: f64,
+    /// Kernel-launch overhead, microseconds.
+    pub launch_overhead_us: f64,
+    /// Host interconnect.
+    pub bus: BusDescriptor,
+}
+
+impl GpuDescriptor {
+    /// Peak device-memory bytes per core clock cycle.
+    pub fn dram_bytes_per_cycle(&self) -> f64 {
+        self.mem_bandwidth_gbs * 1e9 / (self.clock_ghz * 1e9)
+    }
+
+    /// Total warp capacity of the device.
+    pub fn max_resident_warps(&self) -> u32 {
+        self.num_sms * self.max_warps_per_sm
+    }
+
+    /// Sanity checks on the parameter set.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_sms == 0 || self.cores_per_sm == 0 || self.schedulers_per_sm == 0 {
+            return Err(format!("{}: zero compute resources", self.name));
+        }
+        if self.clock_ghz <= 0.0 || self.mem_bandwidth_gbs <= 0.0 {
+            return Err(format!("{}: non-positive rates", self.name));
+        }
+        if self.mem_latency_cycles <= self.l2_latency_cycles {
+            return Err(format!("{}: DRAM faster than L2", self.name));
+        }
+        Ok(())
+    }
+}
+
+/// NVIDIA Tesla K80 (one GK210 die): Kepler, 13 SMs × 192 cores at 824 MHz,
+/// 240 GB/s GDDR5 per die, PCIe 3.0 host link.
+pub fn tesla_k80() -> GpuDescriptor {
+    GpuDescriptor {
+        name: "Tesla K80 (GK210)",
+        num_sms: 13,
+        cores_per_sm: 192,
+        schedulers_per_sm: 4,
+        clock_ghz: 0.824,
+        mem_bandwidth_gbs: 240.0,
+        mem_latency_cycles: 600.0,
+        l2_bytes: 1_572_864, // 1.5 MiB
+        l2_latency_cycles: 222.0,
+        segment_bytes: 32,
+        lsu_txns_per_cycle: 2.0,
+        max_warps_per_sm: 64,
+        max_blocks_per_sm: 16,
+        issue_rate: 2.0,
+        div_issue_slots: 16.0,
+        launch_overhead_us: 12.0,
+        bus: pcie3(),
+    }
+}
+
+/// NVIDIA Tesla V100 (GV100): Volta, 80 SMs × 64 cores at 1380 MHz,
+/// 900 GB/s HBM2, NVLink 2.0 host link (paper's Table III; latencies from
+/// Jia et al.'s micro-benchmarks).
+pub fn tesla_v100() -> GpuDescriptor {
+    GpuDescriptor {
+        name: "Tesla V100",
+        num_sms: 80,
+        cores_per_sm: 64,
+        schedulers_per_sm: 4,
+        clock_ghz: 1.38,
+        mem_bandwidth_gbs: 900.0,
+        mem_latency_cycles: 425.0,
+        l2_bytes: 6_291_456, // 6 MiB
+        l2_latency_cycles: 193.0,
+        segment_bytes: 32,
+        lsu_txns_per_cycle: 4.0,
+        max_warps_per_sm: 64,
+        max_blocks_per_sm: 32,
+        issue_rate: 1.0,
+        div_issue_slots: 8.0,
+        launch_overhead_us: 5.0,
+        bus: nvlink2(),
+    }
+}
+
+/// NVIDIA Tesla P100 (GP100): Pascal, 56 SMs × 64 cores at 1328 MHz,
+/// 732 GB/s HBM2, NVLink 1.0 host link — the generation between the
+/// paper's two accelerators, included to show the evolution is a
+/// continuum, not a single jump.
+pub fn tesla_p100() -> GpuDescriptor {
+    GpuDescriptor {
+        name: "Tesla P100",
+        num_sms: 56,
+        cores_per_sm: 64,
+        schedulers_per_sm: 2,
+        clock_ghz: 1.328,
+        mem_bandwidth_gbs: 732.0,
+        mem_latency_cycles: 485.0,
+        l2_bytes: 4_194_304, // 4 MiB
+        l2_latency_cycles: 216.0,
+        segment_bytes: 32,
+        lsu_txns_per_cycle: 3.0,
+        max_warps_per_sm: 64,
+        max_blocks_per_sm: 32,
+        issue_rate: 1.25,
+        div_issue_slots: 10.0,
+        launch_overhead_us: 7.0,
+        bus: nvlink1(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        tesla_k80().validate().unwrap();
+        tesla_p100().validate().unwrap();
+        tesla_v100().validate().unwrap();
+    }
+
+    #[test]
+    fn pascal_sits_between_the_generations() {
+        let k = tesla_k80();
+        let p = tesla_p100();
+        let v = tesla_v100();
+        assert!(k.mem_bandwidth_gbs < p.mem_bandwidth_gbs && p.mem_bandwidth_gbs < v.mem_bandwidth_gbs);
+        assert!(k.bus.bandwidth_gbs < p.bus.bandwidth_gbs && p.bus.bandwidth_gbs < v.bus.bandwidth_gbs);
+        assert!(k.clock_ghz < p.clock_ghz);
+    }
+
+    #[test]
+    fn volta_outclasses_kepler_where_the_paper_says() {
+        let k80 = tesla_k80();
+        let v100 = tesla_v100();
+        // "Volta's card memory bandwidth of 900GB/s, nearly double of the
+        // K80's peak" (per-card; per-die it is 240 vs 900).
+        assert!(v100.mem_bandwidth_gbs > 3.0 * k80.mem_bandwidth_gbs);
+        assert!(v100.bus.bandwidth_gbs > 4.0 * k80.bus.bandwidth_gbs);
+        assert!(v100.clock_ghz > k80.clock_ghz);
+        assert!(v100.launch_overhead_us < k80.launch_overhead_us);
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let v = tesla_v100();
+        // 900e9 / 1.38e9 ≈ 652 bytes/cycle.
+        assert!((v.dram_bytes_per_cycle() - 652.17).abs() < 1.0);
+        assert_eq!(v.max_resident_warps(), 80 * 64);
+    }
+
+    #[test]
+    fn invalid_descriptor_rejected() {
+        let mut d = tesla_v100();
+        d.mem_latency_cycles = 10.0;
+        assert!(d.validate().is_err());
+    }
+}

@@ -1,0 +1,270 @@
+//! The timing engine: a four-roofline SM model plus transfer and launch
+//! costs.
+//!
+//! Kernel cycles are the maximum of four limits, each computed from the
+//! characterised workload:
+//!
+//! 1. **issue** — warp-instructions issued per SM against the schedulers;
+//! 2. **LSU** — memory transactions retired per SM per cycle;
+//! 3. **DRAM** — total device-memory traffic against peak bandwidth;
+//! 4. **latency** — one thread's serial critical path (issue + memory
+//!    stalls), repeated `#OMP_Rep` times and per wave, which dominates when
+//!    too few warps are resident to hide memory latency.
+//!
+//! Total region time adds the host↔device transfers implied by the region's
+//! `map` clauses and the kernel-launch overhead; CUDA context creation is
+//! deliberately excluded, as in the paper's methodology (Section III).
+
+use crate::arch::GpuDescriptor;
+use crate::geometry::{occupancy, select, Geometry, Occupancy};
+use crate::workload::{characterize, Workload};
+use hetsel_ir::{Binding, Kernel};
+
+/// Which roofline limited the kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GpuBound {
+    /// Scheduler issue throughput.
+    Issue,
+    /// LSU transaction throughput.
+    Lsu,
+    /// Device-memory bandwidth.
+    Dram,
+    /// Memory-latency exposure (insufficient warps to hide it).
+    Latency,
+}
+
+/// Full timing report for one kernel launch.
+#[derive(Debug, Clone)]
+pub struct GpuRun {
+    /// Kernel name.
+    pub kernel: String,
+    /// Selected geometry.
+    pub geometry: Geometry,
+    /// Occupancy achieved.
+    pub occupancy: Occupancy,
+    /// Host-to-device transfer time, seconds.
+    pub transfer_in_s: f64,
+    /// Device-to-host transfer time, seconds.
+    pub transfer_out_s: f64,
+    /// Kernel-launch overhead, seconds.
+    pub launch_s: f64,
+    /// Kernel execution time, seconds.
+    pub kernel_s: f64,
+    /// Kernel execution, cycles.
+    pub kernel_cycles: f64,
+    /// Total DRAM traffic, bytes.
+    pub dram_bytes: f64,
+    /// The dominant limit.
+    pub bound: GpuBound,
+}
+
+impl GpuRun {
+    /// End-to-end region time (transfers + launch + kernel), seconds.
+    pub fn total_s(&self) -> f64 {
+        self.transfer_in_s + self.transfer_out_s + self.launch_s + self.kernel_s
+    }
+}
+
+/// Simulates one kernel launch on a device. Returns `None` if the binding
+/// leaves the kernel's extents or trip counts unresolved.
+///
+/// ```
+/// use hetsel_ir::{cexpr, Binding, KernelBuilder, Transfer};
+///
+/// let mut kb = KernelBuilder::new("scale");
+/// let x = kb.array("x", 4, &["n".into()], Transfer::InOut);
+/// let i = kb.parallel_loop(0, "n");
+/// let ld = kb.load(x, &[i.into()]);
+/// kb.store(x, &[i.into()], cexpr::mul(cexpr::scalar("a"), ld));
+/// kb.end_loop();
+/// let kernel = kb.finish();
+///
+/// let gpu = hetsel_gpusim::tesla_v100();
+/// let run = hetsel_gpusim::simulate(&kernel, &Binding::new().with("n", 1 << 22), &gpu).unwrap();
+/// assert!(run.kernel_s > 0.0);
+/// assert!(run.transfer_in_s > 0.0); // x maps tofrom: both directions paid
+/// assert!(run.total_s() > run.kernel_s);
+/// ```
+pub fn simulate(kernel: &Kernel, binding: &Binding, gpu: &GpuDescriptor) -> Option<GpuRun> {
+    debug_assert_eq!(gpu.validate(), Ok(()));
+    let p = kernel.parallel_iterations(binding)?;
+    if p == 0 {
+        return None;
+    }
+    let geom = select(gpu, p);
+    let occ = occupancy(gpu, &geom);
+    let w = characterize(kernel, binding, gpu, &geom)?;
+
+    let cycles_and_bound = kernel_cycles(&w, gpu, &geom, &occ);
+    let (kernel_cycles, bound) = cycles_and_bound;
+    let kernel_s = kernel_cycles / (gpu.clock_ghz * 1e9);
+
+    let bytes_in = kernel.bytes_to_device(binding)? as f64;
+    let bytes_out = kernel.bytes_from_device(binding)? as f64;
+    let transfer = |bytes: f64| -> f64 {
+        if bytes <= 0.0 {
+            0.0
+        } else {
+            gpu.bus.latency_us * 1e-6 + bytes / (gpu.bus.bandwidth_gbs * 1e9)
+        }
+    };
+
+    Some(GpuRun {
+        kernel: kernel.name.clone(),
+        geometry: geom,
+        occupancy: occ,
+        transfer_in_s: transfer(bytes_in),
+        transfer_out_s: transfer(bytes_out),
+        launch_s: gpu.launch_overhead_us * 1e-6,
+        kernel_s,
+        kernel_cycles,
+        dram_bytes: w.dram_bytes(&geom),
+        bound,
+    })
+}
+
+/// Computes kernel cycles as the max of the four rooflines.
+fn kernel_cycles(
+    w: &Workload,
+    gpu: &GpuDescriptor,
+    geom: &Geometry,
+    occ: &Occupancy,
+) -> (f64, GpuBound) {
+    let active_sms = f64::from(occ.active_sms.max(1));
+    let total_warp_iters = w.parallel_iters / 32.0;
+    let warp_iters_per_sm = total_warp_iters / active_sms;
+
+    // Per-warp-iteration issue cycles: every instruction takes one slot at
+    // the pipeline's issue rate; the OMP_Rep loop adds its own bookkeeping.
+    let issue_per_iter = (w.issue_slots + w.mem_insts) * gpu.issue_rate + 4.0;
+    let issue_bound = warp_iters_per_sm * issue_per_iter / f64::from(gpu.schedulers_per_sm);
+
+    // LSU transaction throughput per SM.
+    let lsu_bound = warp_iters_per_sm * w.txns_per_warp_iter() / gpu.lsu_txns_per_cycle;
+
+    // Device-wide DRAM bandwidth.
+    let dram_bound = w.dram_bytes(geom) / gpu.dram_bytes_per_cycle();
+
+    // One thread's serial critical path across its OMP_Rep iterations and
+    // the SM's sequential waves.
+    let serial_per_iter = issue_per_iter + w.mem_stall_per_iter();
+    let latency_bound = serial_per_iter * geom.omp_rep as f64 * occ.waves as f64;
+
+    let bounds = [
+        (issue_bound, GpuBound::Issue),
+        (lsu_bound, GpuBound::Lsu),
+        (dram_bound, GpuBound::Dram),
+        (latency_bound, GpuBound::Latency),
+    ];
+    let mut best = bounds[0];
+    for b in &bounds[1..] {
+        if b.0 > best.0 {
+            best = *b;
+        }
+    }
+    (best.0.max(1.0), best.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::{tesla_k80, tesla_v100};
+    use hetsel_polybench::{find_kernel, Dataset};
+
+    fn run(name: &str, ds: Dataset, gpu: &GpuDescriptor) -> GpuRun {
+        let (k, binding) = find_kernel(name).unwrap();
+        simulate(&k, &binding(ds), gpu).unwrap()
+    }
+
+    #[test]
+    fn gemm_benchmark_timescale_is_plausible() {
+        let r = run("gemm", Dataset::Benchmark, &tesla_v100());
+        // 2*9600^3 FMA-flops of naive f32 GEMM on a V100: hundreds of ms,
+        // certainly between 50 ms and 10 s.
+        assert!(
+            r.kernel_s > 0.05 && r.kernel_s < 10.0,
+            "kernel_s = {}",
+            r.kernel_s
+        );
+        // Transfers (4 matrices over NVLink) are tens of ms, well under the
+        // kernel itself.
+        assert!(r.transfer_in_s < r.kernel_s);
+    }
+
+    #[test]
+    fn conv2d_is_bandwidth_or_lsu_bound() {
+        let r = run("2dconv", Dataset::Benchmark, &tesla_v100());
+        assert!(
+            matches!(r.bound, GpuBound::Dram | GpuBound::Lsu),
+            "bound = {:?}",
+            r.bound
+        );
+    }
+
+    #[test]
+    fn v100_beats_k80_everywhere() {
+        for name in ["gemm", "2dconv", "3dconv", "atax.k1", "corr.corr"] {
+            for ds in [Dataset::Test, Dataset::Benchmark] {
+                let v = run(name, ds, &tesla_v100());
+                let k = run(name, ds, &tesla_k80());
+                assert!(
+                    v.total_s() < k.total_s(),
+                    "{name}/{ds}: V100 {} vs K80 {}",
+                    v.total_s(),
+                    k.total_s()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn benchmark_mode_slower_than_test_mode() {
+        for name in ["gemm", "atax.k2", "syrk", "covar.covar"] {
+            let t = run(name, Dataset::Test, &tesla_v100());
+            let b = run(name, Dataset::Benchmark, &tesla_v100());
+            assert!(
+                b.total_s() > t.total_s() * 5.0,
+                "{name}: benchmark {} vs test {}",
+                b.total_s(),
+                t.total_s()
+            );
+        }
+    }
+
+    #[test]
+    fn transfer_dominates_small_vector_kernels_on_pcie() {
+        // atax.k1 test on K80: moving 1100x1100 floats over PCIe costs more
+        // than computing with them.
+        let r = run("atax.k1", Dataset::Test, &tesla_k80());
+        assert!(r.transfer_in_s > 0.0);
+        assert!(
+            r.transfer_in_s + r.transfer_out_s > r.kernel_s * 0.2,
+            "transfers {} vs kernel {}",
+            r.transfer_in_s + r.transfer_out_s,
+            r.kernel_s
+        );
+    }
+
+    #[test]
+    fn nvlink_slashes_transfer_time() {
+        let v = run("atax.k1", Dataset::Test, &tesla_v100());
+        let k = run("atax.k1", Dataset::Test, &tesla_k80());
+        assert!(v.transfer_in_s < k.transfer_in_s / 3.0);
+    }
+
+    #[test]
+    fn unresolved_binding_returns_none() {
+        let (k, _) = find_kernel("gemm").unwrap();
+        assert!(simulate(&k, &Binding::new(), &tesla_v100()).is_none());
+    }
+
+    #[test]
+    fn dram_traffic_bounded_by_sanity() {
+        let r = run("gemm", Dataset::Test, &tesla_v100());
+        // Not less than one matrix, not more than the no-reuse worst case
+        // (3 ops * 1100^3 * 32B).
+        let m = 1100.0f64 * 1100.0 * 4.0;
+        assert!(r.dram_bytes > m * 0.5, "{}", r.dram_bytes);
+        assert!(r.dram_bytes < 3.0 * 1100.0 * m * 8.0, "{}", r.dram_bytes);
+    }
+}

@@ -1,0 +1,164 @@
+//! Grid-geometry selection, mirroring the OpenMP device runtime.
+//!
+//! When an OpenMP `target teams distribute parallel for` launches, the
+//! runtime picks a team count and a team size. We model the XL/libomptarget
+//! default: 128 threads per team, and as many teams as fill the device's
+//! resident-warp capacity (capped by the iteration count). When the grid
+//! still has fewer threads than parallel work items, each thread executes
+//! `#OMP_Rep` distinct loop iterations — the paper's extension to the Hong
+//! model (Figure 4).
+
+use crate::arch::GpuDescriptor;
+
+/// Default OpenMP team size (threads per block).
+pub const DEFAULT_THREADS_PER_BLOCK: u32 = 128;
+
+/// A selected launch configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    /// Thread blocks (OpenMP teams).
+    pub blocks: u64,
+    /// Threads per block.
+    pub threads_per_block: u32,
+    /// Distinct parallel-loop iterations each thread executes.
+    pub omp_rep: u64,
+}
+
+impl Geometry {
+    /// Total threads in the grid.
+    pub fn total_threads(&self) -> u64 {
+        self.blocks * u64::from(self.threads_per_block)
+    }
+
+    /// Warps per block.
+    pub fn warps_per_block(&self) -> u32 {
+        self.threads_per_block.div_ceil(32)
+    }
+}
+
+/// Selects the launch geometry for `parallel_iterations` work items.
+pub fn select(gpu: &GpuDescriptor, parallel_iterations: u64) -> Geometry {
+    let tpb = DEFAULT_THREADS_PER_BLOCK.min(gpu.max_warps_per_sm * 32);
+    // Enough blocks to cover the iteration space...
+    let needed = parallel_iterations.div_ceil(u64::from(tpb)).max(1);
+    // ...but no more than fills the device's resident capacity (the runtime
+    // re-uses threads via the OMP_Rep loop beyond this point).
+    let resident_cap = u64::from(gpu.num_sms)
+        * u64::from(gpu.max_blocks_per_sm.min(gpu.max_warps_per_sm * 32 / tpb));
+    let blocks = needed.min(resident_cap).max(1);
+    let total = blocks * u64::from(tpb);
+    let omp_rep = parallel_iterations.div_ceil(total).max(1);
+    Geometry {
+        blocks,
+        threads_per_block: tpb,
+        omp_rep,
+    }
+}
+
+/// Occupancy for a geometry: concurrent blocks and warps per SM, and the
+/// number of SMs that actually receive work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Occupancy {
+    /// Blocks resident per SM while the grid saturates the device.
+    pub blocks_per_sm: u32,
+    /// Warps resident per SM (`N` in the Hong model).
+    pub warps_per_sm: u32,
+    /// SMs with at least one block.
+    pub active_sms: u32,
+    /// Sequential "waves" of blocks each SM processes.
+    pub waves: u64,
+}
+
+/// Computes the occupancy of a geometry on a device.
+pub fn occupancy(gpu: &GpuDescriptor, g: &Geometry) -> Occupancy {
+    let wpb = g.warps_per_block();
+    let by_warps = gpu.max_warps_per_sm / wpb.max(1);
+    let limit = gpu.max_blocks_per_sm.min(by_warps).max(1);
+    let active_sms = g.blocks.min(u64::from(gpu.num_sms)) as u32;
+    let blocks_per_sm = if g.blocks >= u64::from(gpu.num_sms) * u64::from(limit) {
+        limit
+    } else {
+        (g.blocks.div_ceil(u64::from(active_sms.max(1)))) as u32
+    };
+    let concurrent = u64::from(active_sms) * u64::from(blocks_per_sm);
+    let waves = g.blocks.div_ceil(concurrent.max(1));
+    Occupancy {
+        blocks_per_sm,
+        warps_per_sm: blocks_per_sm * wpb,
+        active_sms,
+        waves,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::{tesla_k80, tesla_v100};
+
+    #[test]
+    fn small_grid_one_iteration_per_thread() {
+        let v = tesla_v100();
+        let g = select(&v, 1100);
+        assert_eq!(g.threads_per_block, 128);
+        assert_eq!(g.blocks, 9); // ceil(1100/128)
+        assert_eq!(g.omp_rep, 1);
+    }
+
+    #[test]
+    fn paper_omp_rep_example() {
+        // "a statically scheduled parallel for loop with 1024 iterations
+        // executing in a kernel with 1 thread block of 128 threads: each
+        // thread executes 8 distinct iterations."
+        let g = Geometry {
+            blocks: 1,
+            threads_per_block: 128,
+            omp_rep: 1024_u64.div_ceil(128),
+        };
+        assert_eq!(g.omp_rep, 8);
+    }
+
+    #[test]
+    fn huge_grid_caps_blocks_and_reps() {
+        let v = tesla_v100();
+        let p = 9600u64 * 9600;
+        let g = select(&v, p);
+        let cap = u64::from(v.num_sms) * u64::from(v.max_blocks_per_sm.min(v.max_warps_per_sm * 32 / 128));
+        assert_eq!(g.blocks, cap);
+        assert!(g.omp_rep > 1);
+        assert!(g.total_threads() * g.omp_rep >= p);
+    }
+
+    #[test]
+    fn occupancy_saturated_device() {
+        let v = tesla_v100();
+        let g = select(&v, 9600 * 9600);
+        let o = occupancy(&v, &g);
+        assert_eq!(o.active_sms, v.num_sms);
+        assert_eq!(o.warps_per_sm, o.blocks_per_sm * 4);
+        assert!(o.warps_per_sm <= v.max_warps_per_sm);
+        assert_eq!(o.waves, 1); // resident cap means a single wave
+    }
+
+    #[test]
+    fn occupancy_tiny_grid() {
+        let k = tesla_k80();
+        let g = select(&k, 256);
+        let o = occupancy(&k, &g);
+        assert_eq!(g.blocks, 2);
+        assert_eq!(o.active_sms, 2);
+        assert_eq!(o.blocks_per_sm, 1);
+        assert_eq!(o.waves, 1);
+    }
+
+    #[test]
+    fn geometry_covers_iteration_space() {
+        let v = tesla_v100();
+        for p in [1u64, 37, 128, 4096, 1_000_000, 92_160_000] {
+            let g = select(&v, p);
+            assert!(
+                g.total_threads() * g.omp_rep >= p,
+                "p={p}: {g:?} does not cover"
+            );
+        }
+    }
+}

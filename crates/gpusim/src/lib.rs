@@ -1,0 +1,29 @@
+//! # hetsel-gpusim — a SIMT GPU timing simulator
+//!
+//! The stand-in for the paper's physical accelerators (Tesla K80 and Tesla
+//! V100): where the paper *measures* GPU kernel time on hardware, this crate
+//! *simulates* it, producing the "actual" side of every model-vs-actual
+//! comparison.
+//!
+//! The simulator is strictly more detailed than the Hong–Kim analytical
+//! model it serves as ground truth for (see `hetsel-models`): grid geometry
+//! follows the OpenMP device runtime's heuristic including the `#OMP_Rep`
+//! thread-reuse loop; warp transactions come from the resolved inter-thread
+//! strides of every access; L1 spatial reuse and cross-thread L2 sharing
+//! shape DRAM traffic; and kernel time is the max of four rooflines (issue,
+//! LSU, DRAM, latency exposure). Host↔device transfers ride the platform's
+//! bus model (PCIe 3.0 for the K80, NVLink 2.0 for the V100).
+
+#![warn(missing_docs)]
+
+pub mod arch;
+pub mod detailed;
+pub mod engine;
+pub mod geometry;
+pub mod workload;
+
+pub use arch::{nvlink1, nvlink2, pcie3, tesla_k80, tesla_p100, tesla_v100, BusDescriptor, GpuDescriptor};
+pub use detailed::{simulate_detailed, DetailedRun};
+pub use engine::{simulate, GpuBound, GpuRun};
+pub use geometry::{occupancy, select, Geometry, Occupancy, DEFAULT_THREADS_PER_BLOCK};
+pub use workload::{characterize, AccessSim, Workload, L1_LATENCY};

@@ -1,0 +1,462 @@
+//! Per-kernel workload characterisation: what one warp executes, and what
+//! the memory system sees.
+//!
+//! This is where the simulator is deliberately *more detailed* than the
+//! analytical model it serves as ground truth for. The Hong–Kim model
+//! classifies each static memory instruction as coalesced or uncoalesced;
+//! the simulator instead derives, per access:
+//!
+//! * exact warp **transactions** from the resolved inter-thread stride
+//!   (the same arithmetic the hardware does);
+//! * **L1 spatial reuse** across sequential inner-loop iterations
+//!   (a stride-1 thread walking 4-byte elements reuses a 32-byte sector 8×);
+//! * **cross-thread L2 sharing**: the distinct bytes the *resident* thread
+//!   population touches per lockstep inner step. When that concurrent
+//!   working set fits in L2, DRAM traffic collapses toward the shared
+//!   footprint — the effect that makes naive GEMM compute-bound rather
+//!   than bandwidth-bound on real hardware.
+
+use crate::arch::GpuDescriptor;
+use crate::geometry::Geometry;
+use hetsel_ipda::{transactions_per_warp, KernelAccessInfo, WARP_SIZE};
+use hetsel_mca::{loadout, Loadout, OpKind};
+use hetsel_ir::{trips::TripCounts, Binding, Kernel};
+
+/// L1 hit latency (cycles); Volta ≈ 28, and close enough for Kepler's
+/// read-only path that one constant serves both.
+pub const L1_LATENCY: f64 = 28.0;
+
+/// Simulation view of one static memory access.
+#[derive(Debug, Clone)]
+pub struct AccessSim {
+    /// Dynamic executions per parallel iteration (product of enclosing
+    /// sequential-loop trip counts).
+    pub weight: f64,
+    /// Memory transactions per warp-wide execution (before L1 reuse).
+    pub txns: f64,
+    /// L1 spatial-reuse factor across inner-loop steps (≥ 1).
+    pub inner_reuse: f64,
+    /// DRAM bytes per warp-execution with no cross-thread reuse.
+    pub upper_bytes_per_exec: f64,
+    /// Distinct bytes the resident thread population touches per lockstep
+    /// step of this access.
+    pub shared_bytes_per_step: f64,
+    /// Fraction of the cross-thread sharing L2 can realise (0..1).
+    pub l2_share_eff: f64,
+    /// Effective per-execution latency seen by the issuing warp, cycles.
+    pub latency: f64,
+    /// True for stores.
+    pub is_store: bool,
+    /// Stream signature: accesses to the same array whose indices differ
+    /// only by constant offsets (stencil taps) share one memory stream and
+    /// must not have their DRAM traffic double-counted.
+    pub stream: u64,
+}
+
+impl AccessSim {
+    /// Total DRAM traffic of this access over the whole kernel, bytes.
+    pub fn dram_bytes(&self, total_warp_execs: f64, resident_threads: f64, parallel_iters: f64) -> f64 {
+        let upper = total_warp_execs * self.weight * self.upper_bytes_per_exec / self.inner_reuse;
+        // Lockstep steps: every resident thread advances one execution per step.
+        let steps = (self.weight * parallel_iters / resident_threads.max(1.0)).max(1.0);
+        let shared = steps * self.shared_bytes_per_step / self.inner_reuse;
+        let shared = shared.min(upper);
+        upper * (1.0 - self.l2_share_eff) + shared * self.l2_share_eff
+    }
+}
+
+/// The complete workload characterisation of a kernel launch.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Parallel iterations (work items).
+    pub parallel_iters: f64,
+    /// Issue slots per parallel iteration (compute + memory instruction
+    /// issue, divides/sqrts weighted by their slot cost).
+    pub issue_slots: f64,
+    /// Dynamic memory instructions per parallel iteration.
+    pub mem_insts: f64,
+    /// Dynamic compute instructions per parallel iteration.
+    pub comp_insts: f64,
+    /// Memory-level parallelism within a thread (independent loads per
+    /// dependency group in the innermost block).
+    pub mlp: f64,
+    /// Per-access simulation views.
+    pub accesses: Vec<AccessSim>,
+    /// Instruction loadout (for reporting).
+    pub loadout: Loadout,
+}
+
+impl Workload {
+    /// Sum of per-warp-execution transactions per parallel iteration
+    /// (after L1 reuse), for LSU-throughput accounting.
+    pub fn txns_per_warp_iter(&self) -> f64 {
+        self.accesses
+            .iter()
+            .map(|a| a.weight * a.txns / a.inner_reuse)
+            .sum()
+    }
+
+    /// Memory stall cycles per parallel iteration for one warp, assuming
+    /// `mlp` independent requests overlap.
+    pub fn mem_stall_per_iter(&self) -> f64 {
+        let total: f64 = self.accesses.iter().filter(|a| !a.is_store).map(|a| a.weight * a.latency).sum();
+        total / self.mlp.max(1.0)
+    }
+
+    /// Total DRAM traffic for the launch, bytes.
+    ///
+    /// Accesses with the same stream signature (e.g. the nine taps of a
+    /// stencil, which sweep the same array shifted by a constant) are
+    /// served by one memory stream: the group contributes the traffic of
+    /// its heaviest member, not the sum.
+    pub fn dram_bytes(&self, geom: &Geometry) -> f64 {
+        let warp_execs = self.parallel_iters / f64::from(WARP_SIZE);
+        let resident = (geom.total_threads() as f64).min(self.parallel_iters);
+        let mut per_stream: std::collections::HashMap<(u64, bool), f64> =
+            std::collections::HashMap::new();
+        for a in &self.accesses {
+            let t = a.dram_bytes(warp_execs, resident, self.parallel_iters);
+            let e = per_stream.entry((a.stream, a.is_store)).or_insert(0.0);
+            *e = e.max(t);
+        }
+        per_stream.values().sum()
+    }
+}
+
+/// GPU issue-slot cost of an op kind.
+fn slot_cost(kind: OpKind, gpu: &GpuDescriptor) -> f64 {
+    match kind {
+        OpKind::FDiv | OpKind::FSqrt => gpu.div_issue_slots,
+        _ => 1.0,
+    }
+}
+
+/// Characterises a kernel launch. Returns `None` when the binding leaves
+/// extents or trip counts unresolved.
+pub fn characterize(
+    kernel: &Kernel,
+    binding: &Binding,
+    gpu: &GpuDescriptor,
+    geom: &Geometry,
+) -> Option<Workload> {
+    let trips = hetsel_ir::trips::resolve(kernel, binding);
+    let parallel_iters = trips.parallel_iterations(kernel);
+    if parallel_iters <= 0.0 {
+        return None;
+    }
+    let lo = loadout(kernel, &|l| trips.of(l));
+    let mut issue_slots = 0.0;
+    for k in hetsel_mca::ALL_KINDS {
+        issue_slots += lo.count(k) * slot_cost(k, gpu);
+    }
+
+    let info = hetsel_ipda::analyze(kernel);
+    let resident = (geom.total_threads() as f64).min(parallel_iters);
+    let coverage = parallel_dim_coverage(kernel, &trips, resident);
+
+    let accesses = build_accesses(kernel, &info, &trips, binding, gpu, &coverage)?;
+    let mlp = innermost_mlp(&info);
+
+    Some(Workload {
+        parallel_iters,
+        issue_slots,
+        mem_insts: lo.mem_insts(),
+        comp_insts: lo.comp_insts(),
+        mlp,
+        accesses,
+        loadout: lo,
+    })
+}
+
+/// How many distinct values of each parallel loop variable the resident
+/// thread population covers, innermost dimension first-filled (matching the
+/// linearised thread-id mapping).
+fn parallel_dim_coverage(
+    kernel: &Kernel,
+    trips: &TripCounts,
+    resident: f64,
+) -> Vec<(hetsel_ir::LoopVarId, f64)> {
+    let ploops = kernel.parallel_loops();
+    let mut cover = Vec::with_capacity(ploops.len());
+    let mut remaining = resident;
+    for l in ploops.iter().rev() {
+        let t = trips.of(l).max(1.0);
+        let c = remaining.min(t).max(1.0);
+        cover.push((l.var, c));
+        remaining = (remaining / t).ceil().max(1.0);
+    }
+    cover.reverse();
+    cover
+}
+
+fn build_accesses(
+    kernel: &Kernel,
+    info: &KernelAccessInfo,
+    trips: &TripCounts,
+    binding: &Binding,
+    gpu: &GpuDescriptor,
+    coverage: &[(hetsel_ir::LoopVarId, f64)],
+) -> Option<Vec<AccessSim>> {
+    let seg = f64::from(gpu.segment_bytes);
+    let mut out = Vec::with_capacity(info.accesses.len());
+    for a in &info.accesses {
+        let elem = f64::from(a.elem_bytes);
+        // Dynamic executions per parallel iteration.
+        let mut weight = 1.0;
+        let mut innermost_seq_trip = 1.0;
+        for (v, parallel) in &a.enclosing {
+            if !*parallel {
+                let t = trips.get(*v).max(0.0);
+                weight *= t;
+                innermost_seq_trip = t;
+            }
+        }
+        let stream = stream_signature(a);
+        if weight == 0.0 {
+            // Access inside a zero-trip loop: contributes nothing.
+            out.push(AccessSim {
+                weight: 0.0,
+                txns: 0.0,
+                inner_reuse: 1.0,
+                upper_bytes_per_exec: 0.0,
+                shared_bytes_per_step: 0.0,
+                l2_share_eff: 0.0,
+                latency: 0.0,
+                is_store: a.is_store,
+                stream,
+            });
+            continue;
+        }
+
+        // Warp transactions from the resolved inter-thread stride.
+        let txns = match a.thread_stride.resolve(binding) {
+            Some(s) => f64::from(transactions_per_warp(s, a.elem_bytes, gpu.segment_bytes)),
+            None => f64::from(WARP_SIZE),
+        };
+
+        // L1 spatial reuse along the innermost enclosing sequential loop.
+        let inner_reuse = {
+            let inner_seq = a
+                .enclosing
+                .iter()
+                .rev()
+                .find(|(_, p)| !*p)
+                .map(|(v, _)| *v);
+            match (inner_seq, &a.affine) {
+                (Some(v), Some(aff)) => match aff.coeff(v).eval(binding) {
+                    // Loop-invariant in the inner loop: hoisted to a register.
+                    Some(0) => innermost_seq_trip.max(1.0),
+                    Some(s) if (s.unsigned_abs() as f64) * elem <= seg => {
+                        (seg / ((s.unsigned_abs() as f64) * elem)).max(1.0)
+                    }
+                    _ => 1.0,
+                },
+                _ => 1.0,
+            }
+        };
+
+        // Cross-thread concurrent footprint per lockstep step.
+        let (shared_bytes, contiguous) = shared_footprint(a, binding, coverage, elem, seg);
+        let l2_share_eff = (0.5 * gpu.l2_bytes as f64 / shared_bytes.max(1.0)).clamp(0.0, 1.0);
+        let _ = contiguous;
+
+        let upper_bytes_per_exec = txns * seg;
+
+        // Effective latency: L1 spatial hits, then L2 sharing hits, then DRAM.
+        let l1_frac = 1.0 - 1.0 / inner_reuse;
+        let l2_frac = (1.0 - l1_frac) * l2_share_eff;
+        let dram_frac = (1.0 - l1_frac - l2_frac).max(0.0);
+        let latency =
+            l1_frac * L1_LATENCY + l2_frac * gpu.l2_latency_cycles + dram_frac * gpu.mem_latency_cycles;
+
+        out.push(AccessSim {
+            weight,
+            txns,
+            inner_reuse,
+            upper_bytes_per_exec,
+            shared_bytes_per_step: shared_bytes,
+            l2_share_eff,
+            latency,
+            is_store: a.is_store,
+            stream,
+        });
+    }
+    let _ = kernel;
+    Some(out)
+}
+
+/// Stream signature: identical array + identical loop-variable coefficients
+/// means the accesses sweep the same data shifted by a constant (stencil
+/// taps) and share one memory stream.
+fn stream_signature(a: &hetsel_ipda::AccessInfo) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    a.array.0.hash(&mut h);
+    match &a.affine {
+        Some(aff) => {
+            for v in aff.loop_vars() {
+                v.0.hash(&mut h);
+                format!("{}", aff.coeff(v)).hash(&mut h);
+            }
+        }
+        None => {
+            // Irregular accesses never share a stream: hash their position.
+            (a.enclosing.len() as u64 + 0x9e37_79b9).hash(&mut h);
+            a.is_store.hash(&mut h);
+        }
+    }
+    h.finish()
+}
+
+/// Distinct bytes touched by the resident population in one lockstep step of
+/// an access, and whether the footprint is contiguous.
+fn shared_footprint(
+    a: &hetsel_ipda::AccessInfo,
+    binding: &Binding,
+    coverage: &[(hetsel_ir::LoopVarId, f64)],
+    elem: f64,
+    seg: f64,
+) -> (f64, bool) {
+    let Some(aff) = &a.affine else {
+        // Irregular: assume every resident thread hits its own segment.
+        let total: f64 = coverage.iter().map(|(_, c)| c).product();
+        return (total * seg, false);
+    };
+    let mut distinct = 1.0;
+    let mut innermost_coeff: i64 = 0;
+    let mut innermost_cover = 1.0;
+    for (idx, (v, c)) in coverage.iter().enumerate() {
+        let coeff = aff.coeff(*v).eval(binding).unwrap_or(1);
+        if coeff != 0 {
+            distinct *= c;
+        }
+        if idx == coverage.len() - 1 {
+            innermost_coeff = coeff;
+            innermost_cover = if coeff != 0 { *c } else { 1.0 };
+        }
+    }
+    // Granularity: runs along the thread-adjacent dimension are contiguous
+    // when |coeff| == 1; otherwise every element occupies its own segment.
+    if innermost_coeff.abs() == 1 {
+        let runs = (distinct / innermost_cover).max(1.0);
+        let run_bytes = (innermost_cover * elem / seg).ceil() * seg;
+        (runs * run_bytes, true)
+    } else {
+        (distinct * seg, false)
+    }
+}
+
+/// Independent loads in the innermost block: per-thread memory-level
+/// parallelism the scoreboard can overlap.
+fn innermost_mlp(info: &KernelAccessInfo) -> f64 {
+    let max_depth = info
+        .accesses
+        .iter()
+        .map(|a| a.enclosing.len())
+        .max()
+        .unwrap_or(0);
+    let innermost_loads = info
+        .accesses
+        .iter()
+        .filter(|a| !a.is_store && a.enclosing.len() == max_depth)
+        .count();
+    (innermost_loads as f64).clamp(1.0, 6.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::tesla_v100;
+    use crate::geometry::select;
+    use hetsel_polybench::{find_kernel, Dataset};
+
+    fn workload_for(name: &str, ds: Dataset) -> (Workload, Geometry) {
+        let (k, binding) = find_kernel(name).unwrap();
+        let b = binding(ds);
+        let gpu = tesla_v100();
+        let p = k.parallel_iterations(&b).unwrap();
+        let g = select(&gpu, p);
+        (characterize(&k, &b, &gpu, &g).unwrap(), g)
+    }
+
+    #[test]
+    fn gemm_is_compute_heavy_with_shared_b() {
+        let (w, g) = workload_for("gemm", Dataset::Benchmark);
+        // Inner loop runs 9600 times with 2 loads + 1 FMA.
+        assert!(w.mem_insts > 2.0 * 9600.0);
+        assert!(w.comp_insts > 9600.0);
+        // DRAM traffic must be far below the no-reuse upper bound thanks to
+        // cross-thread sharing of B and broadcast A.
+        let dram = w.dram_bytes(&g);
+        let upper: f64 = w
+            .accesses
+            .iter()
+            .map(|a| (w.parallel_iters / 32.0) * a.weight * a.upper_bytes_per_exec / a.inner_reuse)
+            .sum();
+        assert!(dram < upper * 0.25, "dram {dram:.3e} vs upper {upper:.3e}");
+        // ...but not below something on the order of the matrix footprint.
+        assert!(dram > 3.0 * 9600.0 * 9600.0 * 4.0 * 0.5, "dram {dram:.3e}");
+    }
+
+    #[test]
+    fn conv2d_traffic_near_compulsory() {
+        let (w, g) = workload_for("2dconv", Dataset::Benchmark);
+        let dram = w.dram_bytes(&g);
+        let array_bytes = 9600.0 * 9600.0 * 4.0;
+        // 9 taps with heavy L1/L2 reuse: traffic within a small multiple of
+        // the two arrays' footprint.
+        assert!(
+            dram < 8.0 * array_bytes,
+            "dram {dram:.3e} vs footprint {array_bytes:.3e}"
+        );
+        assert!(dram > 1.0 * array_bytes);
+    }
+
+    #[test]
+    fn atax_k1_uncoalesced_vs_k2_coalesced() {
+        let (w1, _) = workload_for("atax.k1", Dataset::Test);
+        let (w2, _) = workload_for("atax.k2", Dataset::Test);
+        // k1 walks A row-wise: the A access needs many transactions; k2 is
+        // fully coalesced on A (with L1 reuse 8x for f32 over 32B sectors).
+        let a1 = w1.accesses.iter().map(|a| a.txns).fold(0.0, f64::max);
+        let a2 = w2.accesses.iter().map(|a| a.txns).fold(0.0, f64::max);
+        assert_eq!(a1, 32.0);
+        assert!(a2 <= 4.0);
+    }
+
+    #[test]
+    fn broadcast_vector_hits_cache() {
+        // GEMM's A[i][k] access: uniform across threads, stride 1 in k.
+        let (w, _) = workload_for("gemm", Dataset::Test);
+        // All loads have positive latency below the raw DRAM latency when
+        // reuse exists.
+        for a in w.accesses.iter().filter(|a| !a.is_store && a.weight > 0.0) {
+            assert!(a.latency > 0.0);
+            assert!(a.latency <= tesla_v100().mem_latency_cycles);
+        }
+    }
+
+    #[test]
+    fn zero_trip_inner_loop_contributes_nothing() {
+        use hetsel_ir::{cexpr, KernelBuilder, Transfer};
+        let mut kb = KernelBuilder::new("empty-inner");
+        let a = kb.array("a", 4, &["n".into(), "z".into()], Transfer::In);
+        let y = kb.array("y", 4, &["n".into()], Transfer::Out);
+        let i = kb.parallel_loop(0, "n");
+        kb.acc_init("s", cexpr::lit(0.0));
+        let j = kb.seq_loop(0, "z");
+        let ld = kb.load(a, &[i.into(), j.into()]);
+        kb.assign_acc("s", cexpr::add(cexpr::acc(), ld));
+        kb.end_loop();
+        kb.store_acc(y, &[i.into()], "s");
+        kb.end_loop();
+        let k = kb.finish();
+        let b = Binding::new().with("n", 1024).with("z", 0);
+        let gpu = tesla_v100();
+        let g = select(&gpu, 1024);
+        let w = characterize(&k, &b, &gpu, &g).unwrap();
+        let inner_load = &w.accesses[0];
+        assert_eq!(inner_load.weight, 0.0);
+        assert_eq!(inner_load.upper_bytes_per_exec, 0.0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests on the GPU simulator: geometry always covers the
+//! iteration space, occupancy respects hardware limits, and timing obeys
+//! physical monotonicities across random kernels.
+
+use hetsel_gpusim::{occupancy, select, simulate, tesla_k80, tesla_v100};
+use hetsel_ir::{cexpr, Binding, Expr, Kernel, KernelBuilder, Transfer};
+use proptest::prelude::*;
+
+fn geometry_devices() -> impl Strategy<Value = u8> {
+    0u8..2
+}
+
+proptest! {
+    /// Geometry covers the space, respects residency caps, and occupancy
+    /// stays within device limits for arbitrary iteration counts.
+    #[test]
+    fn geometry_and_occupancy_invariants(p in 1u64..200_000_000, dev in geometry_devices()) {
+        let gpu = if dev == 0 { tesla_v100() } else { tesla_k80() };
+        let g = select(&gpu, p);
+        prop_assert!(g.total_threads() * g.omp_rep >= p, "{g:?} does not cover {p}");
+        prop_assert!(g.blocks >= 1);
+        let o = occupancy(&gpu, &g);
+        prop_assert!(o.warps_per_sm >= 1);
+        prop_assert!(o.warps_per_sm <= gpu.max_warps_per_sm);
+        prop_assert!(o.blocks_per_sm <= gpu.max_blocks_per_sm);
+        prop_assert!(o.active_sms <= gpu.num_sms);
+        prop_assert!(o.waves >= 1);
+        // No over-provisioning: at most one extra rep of slack.
+        prop_assert!(g.total_threads() * (g.omp_rep.saturating_sub(1)) < p.max(1) + g.total_threads());
+    }
+}
+
+/// A configurable stencil-ish kernel: stride controls coalescing.
+fn strided_kernel(stride_param: bool) -> Kernel {
+    let mut kb = KernelBuilder::new("prop-strided");
+    let a = kb.array("a", 4, &[Expr::param("n") * Expr::param("s")], Transfer::In);
+    let y = kb.array("y", 4, &["n".into()], Transfer::Out);
+    let i = kb.parallel_loop(0, "n");
+    let idx = if stride_param {
+        Expr::param("s") * Expr::var(i)
+    } else {
+        Expr::var(i)
+    };
+    let ld = kb.load(a, &[idx]);
+    kb.store(y, &[i.into()], cexpr::mul(cexpr::scalar("alpha"), ld));
+    kb.end_loop();
+    kb.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Worse coalescing (bigger stride) never makes the simulated kernel
+    /// faster, all else equal.
+    #[test]
+    fn monotone_in_stride(n in 4096i64..1_000_000, s1 in 1i64..8, ds in 1i64..25) {
+        let s2 = s1 + ds;
+        let k = strided_kernel(true);
+        let gpu = tesla_v100();
+        let r1 = simulate(&k, &Binding::new().with("n", n).with("s", s1), &gpu).unwrap();
+        let r2 = simulate(&k, &Binding::new().with("n", n).with("s", s2), &gpu).unwrap();
+        prop_assert!(
+            r2.kernel_s + 1e-12 >= r1.kernel_s,
+            "stride {s2} ({}) beat stride {s1} ({})",
+            r2.kernel_s,
+            r1.kernel_s
+        );
+    }
+
+    /// The kernel time respects the DRAM roofline and the issue floor.
+    #[test]
+    fn rooflines_hold(n in 1024i64..4_000_000) {
+        let k = strided_kernel(false);
+        let gpu = tesla_v100();
+        let b = Binding::new().with("n", n).with("s", 1);
+        let r = simulate(&k, &b, &gpu).unwrap();
+        prop_assert!(r.kernel_s * gpu.mem_bandwidth_gbs * 1e9 + 1.0 >= r.dram_bytes);
+        prop_assert!(r.kernel_cycles >= 1.0);
+        prop_assert!(r.total_s() > r.kernel_s);
+    }
+
+    /// More iterations never run faster.
+    #[test]
+    fn monotone_in_iterations(n in 1024i64..1_000_000, f in 2i64..5) {
+        let k = strided_kernel(false);
+        let gpu = tesla_v100();
+        let r1 = simulate(&k, &Binding::new().with("n", n).with("s", 1), &gpu).unwrap();
+        let r2 = simulate(&k, &Binding::new().with("n", n * f).with("s", 1), &gpu).unwrap();
+        prop_assert!(r2.kernel_s + 1e-12 >= r1.kernel_s);
+        prop_assert!(r2.transfer_in_s >= r1.transfer_in_s);
+    }
+}

@@ -1,0 +1,356 @@
+//! The Iteration Point Difference Analysis proper.
+//!
+//! For every memory access in a kernel, IPDA builds the symbolic difference
+//! of the access's linearised index between consecutive iteration points of
+//! each loop dimension. Differencing an affine index is exact: the IPD along
+//! dimension `v` is the index's coefficient on `v`. The analysis runs at
+//! compile time; strides that remain symbolic are stored in the program
+//! attribute database and resolved by the runtime immediately before launch.
+
+use crate::stride::{classify, AccessPattern, Stride};
+use crate::warp;
+use hetsel_ir::{linearize, Affine, ArrayId, Binding, Kernel, Lhs, LoopVarId};
+
+/// IPDA result for a single static memory access.
+#[derive(Debug, Clone)]
+pub struct AccessInfo {
+    /// The accessed array.
+    pub array: ArrayId,
+    /// Element size in bytes.
+    pub elem_bytes: u32,
+    /// True for stores, false for loads.
+    pub is_store: bool,
+    /// Linearised affine index, if the access is affine.
+    pub affine: Option<Affine>,
+    /// Inter-thread stride: the IPD along the kernel's thread dimension
+    /// (the innermost parallel loop, which consecutive GPU threads map to).
+    pub thread_stride: Stride,
+    /// Stride along the innermost *enclosing* loop of the access — the
+    /// dimension a CPU vectoriser would vectorise over.
+    pub innermost_stride: Stride,
+    /// Enclosing loops, outermost first, with their parallel flag.
+    pub enclosing: Vec<(LoopVarId, bool)>,
+}
+
+impl AccessInfo {
+    /// The innermost enclosing loop variable.
+    pub fn innermost_var(&self) -> Option<LoopVarId> {
+        self.enclosing.last().map(|(v, _)| *v)
+    }
+
+    /// Resolves and classifies the inter-thread pattern under a binding.
+    pub fn thread_pattern(&self, binding: &Binding) -> AccessPattern {
+        classify(self.thread_stride.resolve(binding))
+    }
+
+    /// Memory transactions per warp for this access under a binding, using
+    /// `seg_bytes` segments. Irregular accesses are assumed fully scattered
+    /// (one transaction per lane) — the conservative choice the paper's
+    /// model makes when the analysis cannot prove better.
+    pub fn transactions_per_warp(&self, binding: &Binding, seg_bytes: u32) -> u32 {
+        match self.thread_stride.resolve(binding) {
+            Some(s) => warp::transactions_per_warp(s, self.elem_bytes, seg_bytes),
+            None => warp::WARP_SIZE,
+        }
+    }
+
+    /// True if the access is coalesced under a binding (irregular counts as
+    /// uncoalesced).
+    pub fn is_coalesced(&self, binding: &Binding, seg_bytes: u32) -> bool {
+        match self.thread_stride.resolve(binding) {
+            Some(s) => warp::is_coalesced(s, self.elem_bytes, seg_bytes),
+            None => false,
+        }
+    }
+}
+
+/// IPDA results for every memory access of a kernel, in walk order.
+#[derive(Debug, Clone)]
+pub struct KernelAccessInfo {
+    /// Kernel name (for attribute-database indexing).
+    pub kernel: String,
+    /// Per-access results.
+    pub accesses: Vec<AccessInfo>,
+}
+
+/// Runs IPDA over a kernel.
+///
+/// This is the compile-time half of the hybrid analysis: every access gets a
+/// symbolic inter-thread stride; accesses whose stride polynomial is closed
+/// are classified immediately, the rest await a runtime [`Binding`].
+///
+/// ```
+/// use hetsel_ir::{cexpr, Binding, Expr, KernelBuilder, Transfer};
+///
+/// // A[max * a] — the paper's Section IV.C example.
+/// let mut kb = KernelBuilder::new("example");
+/// let arr = kb.array("A", 4, &[Expr::param("max") * Expr::param("max")], Transfer::InOut);
+/// let a = kb.parallel_loop(0, "max");
+/// kb.store(arr, &[Expr::param("max") * Expr::var(a)], cexpr::lit(1.0));
+/// kb.end_loop();
+/// let kernel = kb.finish();
+///
+/// let info = hetsel_ipda::analyze(&kernel);
+/// // Compile time: the stride is the symbolic polynomial [max].
+/// assert_eq!(format!("{}", info.accesses[0].thread_stride), "[max]");
+/// // Runtime: binding max resolves it.
+/// let stride = info.accesses[0].thread_stride.resolve(&Binding::new().with("max", 9600));
+/// assert_eq!(stride, Some(9600));
+/// ```
+pub fn analyze(kernel: &Kernel) -> KernelAccessInfo {
+    let thread_dim = kernel.thread_dim();
+    let mut accesses = Vec::new();
+    kernel.walk_assigns(|loops, assign| {
+        let enclosing: Vec<(LoopVarId, bool)> =
+            loops.iter().map(|l| (l.var, l.parallel)).collect();
+        let mut record = |r: &hetsel_ir::ArrayRef, is_store: bool| {
+            let affine = linearize(kernel, r);
+            let innermost = enclosing.last().map(|(v, _)| *v);
+            let (thread_stride, innermost_stride) = match &affine {
+                Some(a) => {
+                    let t = match thread_dim {
+                        Some(td) => Stride::from_poly(a.coeff(td)),
+                        None => Stride::Irregular,
+                    };
+                    let inner = match innermost {
+                        Some(iv) => Stride::from_poly(a.coeff(iv)),
+                        None => Stride::Known(0),
+                    };
+                    (t, inner)
+                }
+                None => (Stride::Irregular, Stride::Irregular),
+            };
+            accesses.push(AccessInfo {
+                array: r.array,
+                elem_bytes: kernel.array(r.array).elem_bytes,
+                is_store,
+                affine,
+                thread_stride,
+                innermost_stride,
+                enclosing: enclosing.clone(),
+            });
+        };
+        assign.rhs.for_each_load(&mut |r| record(r, false));
+        if let Lhs::Array(r) = &assign.lhs {
+            record(r, true);
+        }
+    });
+    KernelAccessInfo {
+        kernel: kernel.name.clone(),
+        accesses,
+    }
+}
+
+/// Aggregate coalescing characteristics of a kernel under a runtime binding —
+/// the `#Coal_Mem_insts` / `#Uncoal_Mem_insts` split consumed by the GPU
+/// model, counted over *static* memory instructions (the models weight them
+/// by trip counts).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoalescingSummary {
+    /// Static memory instructions proven coalesced (or uniform).
+    pub coalesced: u32,
+    /// Static memory instructions that are strided/irregular.
+    pub uncoalesced: u32,
+    /// Mean transactions per warp across all static memory instructions.
+    pub avg_transactions: f64,
+    /// Mean transactions per warp across *uncoalesced* instructions only
+    /// (the departure-delay multiplier of the Hong–Kim model).
+    pub uncoal_transactions: f64,
+}
+
+impl CoalescingSummary {
+    /// Fraction of memory instructions that are coalesced.
+    pub fn coalesced_fraction(&self) -> f64 {
+        let total = self.coalesced + self.uncoalesced;
+        if total == 0 {
+            1.0
+        } else {
+            f64::from(self.coalesced) / f64::from(total)
+        }
+    }
+}
+
+/// Summarises the coalescing characteristics of all accesses under a binding.
+pub fn summarize(info: &KernelAccessInfo, binding: &Binding, seg_bytes: u32) -> CoalescingSummary {
+    let mut coalesced = 0u32;
+    let mut uncoalesced = 0u32;
+    let mut txn_sum = 0u64;
+    let mut uncoal_txn_sum = 0u64;
+    for a in &info.accesses {
+        let t = a.transactions_per_warp(binding, seg_bytes);
+        txn_sum += u64::from(t);
+        if a.is_coalesced(binding, seg_bytes) {
+            coalesced += 1;
+        } else {
+            uncoalesced += 1;
+            uncoal_txn_sum += u64::from(t);
+        }
+    }
+    let n = info.accesses.len().max(1) as f64;
+    CoalescingSummary {
+        coalesced,
+        uncoalesced,
+        avg_transactions: txn_sum as f64 / n,
+        uncoal_transactions: if uncoalesced == 0 {
+            0.0
+        } else {
+            uncoal_txn_sum as f64 / f64::from(uncoalesced)
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsel_ir::{cexpr, KernelBuilder, Poly, Transfer};
+
+    /// The paper's running example (Section IV.C):
+    /// ```c
+    /// #pragma omp teams distribute parallel for
+    /// for (int a = 0; a < max; a++) A[max * a] = ...;
+    /// ```
+    fn paper_kernel() -> Kernel {
+        let mut kb = KernelBuilder::new("paper");
+        let arr = kb.array(
+            "A",
+            8,
+            &[hetsel_ir::Expr::param("max") * hetsel_ir::Expr::param("max")],
+            Transfer::InOut,
+        );
+        let a = kb.parallel_loop(0, "max");
+        kb.store(
+            arr,
+            &[hetsel_ir::Expr::param("max") * hetsel_ir::Expr::var(a)],
+            cexpr::lit(1.0),
+        );
+        kb.end_loop();
+        kb.finish()
+    }
+
+    #[test]
+    fn paper_example_symbolic_stride() {
+        let k = paper_kernel();
+        let info = analyze(&k);
+        assert_eq!(info.accesses.len(), 1);
+        let acc = &info.accesses[0];
+        assert!(acc.is_store);
+        // IPD_th(A[max*a]) = [max] * 1 - [max] * 0 = [max]
+        assert_eq!(acc.thread_stride, Stride::Symbolic(Poly::param("max")));
+    }
+
+    #[test]
+    fn paper_example_runtime_resolution() {
+        let k = paper_kernel();
+        let info = analyze(&k);
+        let acc = &info.accesses[0];
+        // max = 1: stride 1, coalesced.
+        let b1 = Binding::new().with("max", 1);
+        assert_eq!(acc.thread_pattern(&b1), AccessPattern::Coalesced);
+        assert!(acc.is_coalesced(&b1, 32));
+        // max = 9600: fully scattered.
+        let b2 = Binding::new().with("max", 9600);
+        assert_eq!(acc.thread_pattern(&b2), AccessPattern::Strided);
+        assert!(!acc.is_coalesced(&b2, 32));
+        assert_eq!(acc.transactions_per_warp(&b2, 32), 32);
+    }
+
+    /// Row access A[i][j] with i parallel, j sequential: coalesced for the
+    /// CPU vectoriser (innermost stride 1) but *uncoalesced* across GPU
+    /// threads (thread stride n) — the canonical transposed-access hazard.
+    #[test]
+    fn row_major_parallel_rows() {
+        let mut kb = KernelBuilder::new("rows");
+        let arr = kb.array("A", 8, &["n".into(), "n".into()], Transfer::In);
+        let i = kb.parallel_loop(0, "n");
+        let j = kb.seq_loop(0, "n");
+        let ld = kb.load(arr, &[i.into(), j.into()]);
+        kb.assign_acc("s", cexpr::add(cexpr::acc(), ld));
+        kb.end_loop();
+        kb.acc_init("t", cexpr::scalar("s"));
+        kb.end_loop();
+        let k = kb.finish();
+
+        let info = analyze(&k);
+        let acc = &info.accesses[0];
+        assert_eq!(acc.thread_stride, Stride::Symbolic(Poly::param("n")));
+        assert_eq!(acc.innermost_stride, Stride::Known(1));
+        let b = Binding::new().with("n", 1100);
+        assert_eq!(acc.thread_pattern(&b), AccessPattern::Strided);
+    }
+
+    /// Column access A[j][i] with i the thread dim: coalesced on the GPU.
+    #[test]
+    fn column_access_is_gpu_coalesced() {
+        let mut kb = KernelBuilder::new("cols");
+        let arr = kb.array("A", 8, &["n".into(), "n".into()], Transfer::In);
+        let i = kb.parallel_loop(0, "n");
+        let j = kb.seq_loop(0, "n");
+        let ld = kb.load(arr, &[j.into(), i.into()]);
+        kb.assign_acc("s", cexpr::add(cexpr::acc(), ld));
+        kb.end_loop();
+        kb.acc_init("t", cexpr::scalar("s"));
+        kb.end_loop();
+        let k = kb.finish();
+
+        let info = analyze(&k);
+        let acc = &info.accesses[0];
+        assert_eq!(acc.thread_stride, Stride::Known(1));
+        // But the CPU vectoriser sees stride n over the innermost loop.
+        assert_eq!(acc.innermost_stride, Stride::Symbolic(Poly::param("n")));
+        assert!(acc.is_coalesced(&Binding::new(), 32));
+    }
+
+    #[test]
+    fn broadcast_load_is_uniform() {
+        let mut kb = KernelBuilder::new("bcast");
+        let x = kb.array("x", 8, &["n".into()], Transfer::In);
+        let y = kb.array("y", 8, &["n".into()], Transfer::Out);
+        let i = kb.parallel_loop(0, "n");
+        let j = kb.seq_loop(0, "n");
+        let ld = kb.load(x, &[j.into()]); // invariant w.r.t. i
+        kb.assign_acc("s", cexpr::add(cexpr::acc(), ld));
+        kb.end_loop();
+        kb.store_acc(y, &[i.into()], "s");
+        kb.end_loop();
+        let k = kb.finish();
+        let info = analyze(&k);
+        let load = &info.accesses[0];
+        assert_eq!(load.thread_stride, Stride::Known(0));
+        assert_eq!(load.thread_pattern(&Binding::new()), AccessPattern::Uniform);
+        // The store y[i] is coalesced.
+        let store = info.accesses.iter().find(|a| a.is_store).unwrap();
+        assert_eq!(store.thread_stride, Stride::Known(1));
+    }
+
+    #[test]
+    fn summary_counts() {
+        let mut kb = KernelBuilder::new("mix");
+        let a = kb.array("a", 8, &["n".into(), "n".into()], Transfer::In);
+        let c = kb.array("c", 8, &["n".into()], Transfer::Out);
+        let i = kb.parallel_loop(0, "n");
+        // coalesced load a[0][i], uncoalesced load a[i][0]
+        let l1 = kb.load(a, &[0.into(), i.into()]);
+        let l2 = kb.load(a, &[i.into(), 0.into()]);
+        kb.store(c, &[i.into()], cexpr::add(l1, l2));
+        kb.end_loop();
+        let k = kb.finish();
+        let info = analyze(&k);
+        let b = Binding::new().with("n", 1024);
+        let s = summarize(&info, &b, 32);
+        assert_eq!(s.coalesced, 2); // a[0][i] and the store c[i]
+        assert_eq!(s.uncoalesced, 1); // a[i][0]
+        assert!((s.coalesced_fraction() - 2.0 / 3.0).abs() < 1e-12);
+        assert!(s.uncoal_transactions >= 31.0);
+    }
+
+    #[test]
+    fn empty_pattern_fraction_is_one() {
+        let s = CoalescingSummary {
+            coalesced: 0,
+            uncoalesced: 0,
+            avg_transactions: 0.0,
+            uncoal_transactions: 0.0,
+        };
+        assert_eq!(s.coalesced_fraction(), 1.0);
+    }
+}

@@ -1,0 +1,185 @@
+//! False-sharing diagnosis for the host execution path.
+//!
+//! The paper notes (Section II.C) that the same inter-thread difference that
+//! decides GPU coalescing "may also inform the compiler whether the CPU
+//! version of the same kernel would exhibit false-sharing among threads":
+//! under a cyclic OpenMP schedule, adjacent parallel iterations run on
+//! *different* threads, so a small inter-iteration store stride puts multiple
+//! threads' stores in the same cache line.
+
+use crate::analysis::AccessInfo;
+use hetsel_ir::Binding;
+
+/// The OpenMP loop schedule relevant to sharing analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// `schedule(static)` — each thread owns one contiguous block.
+    Block,
+    /// `schedule(static, chunk)` — chunks dealt round-robin.
+    Cyclic {
+        /// Iterations per chunk.
+        chunk: u32,
+    },
+}
+
+/// Result of the sharing analysis for one store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SharingRisk {
+    /// Threads' stores land in disjoint cache lines (up to block fringes).
+    None,
+    /// Multiple threads store into the same cache line repeatedly.
+    FalseSharing,
+    /// The stride could not be resolved.
+    Unknown,
+}
+
+/// Diagnoses false-sharing risk for a store access under a schedule.
+///
+/// For a block schedule, each thread's stores are contiguous runs; only the
+/// single line at each block boundary is shared, which is negligible unless
+/// a thread's whole block fits in one line. For a cyclic schedule with chunk
+/// `c`, threads alternate every `c` iterations: the sharing window is
+/// `c × |stride| × elem_bytes`; if that is smaller than a cache line,
+/// different threads write the same line.
+pub fn store_sharing_risk(
+    access: &AccessInfo,
+    binding: &Binding,
+    schedule: Schedule,
+    line_bytes: u32,
+    iterations_per_thread: u64,
+) -> SharingRisk {
+    if !access.is_store {
+        return SharingRisk::None;
+    }
+    let Some(stride) = access.thread_stride.resolve(binding) else {
+        return SharingRisk::Unknown;
+    };
+    let footprint_per_iter = stride.unsigned_abs() * u64::from(access.elem_bytes);
+    match schedule {
+        Schedule::Block => {
+            // A thread's block spans iterations_per_thread * stride * elem
+            // bytes; false sharing only if that all fits within one line
+            // (including the degenerate stride-0 case where every thread
+            // hammers the same element).
+            let block_span = footprint_per_iter
+                .saturating_mul(iterations_per_thread.max(1))
+                .max(u64::from(access.elem_bytes));
+            if block_span < u64::from(line_bytes) {
+                SharingRisk::FalseSharing
+            } else {
+                SharingRisk::None
+            }
+        }
+        Schedule::Cyclic { chunk } => {
+            let window = footprint_per_iter
+                .saturating_mul(u64::from(chunk.max(1)))
+                .max(u64::from(access.elem_bytes));
+            if window < u64::from(line_bytes) {
+                SharingRisk::FalseSharing
+            } else {
+                SharingRisk::None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use hetsel_ir::{cexpr, Kernel, KernelBuilder, Transfer};
+
+    fn store_kernel() -> Kernel {
+        let mut kb = KernelBuilder::new("st");
+        let a = kb.array("a", 8, &["n".into()], Transfer::Out);
+        let i = kb.parallel_loop(0, "n");
+        kb.store(a, &[i.into()], cexpr::lit(1.0));
+        kb.end_loop();
+        kb.finish()
+    }
+
+    #[test]
+    fn cyclic_unit_stride_false_shares() {
+        let k = store_kernel();
+        let info = analyze(&k);
+        let st = &info.accesses[0];
+        let b = Binding::new().with("n", 4096);
+        // schedule(static,1): adjacent threads write adjacent doubles — the
+        // classic false-sharing pattern (8B window < 64B line).
+        assert_eq!(
+            store_sharing_risk(st, &b, Schedule::Cyclic { chunk: 1 }, 64, 1024),
+            SharingRisk::FalseSharing
+        );
+        // Chunk of 8 doubles exactly covers a line: no sharing.
+        assert_eq!(
+            store_sharing_risk(st, &b, Schedule::Cyclic { chunk: 8 }, 64, 1024),
+            SharingRisk::None
+        );
+    }
+
+    #[test]
+    fn block_schedule_is_safe_for_large_blocks() {
+        let k = store_kernel();
+        let info = analyze(&k);
+        let st = &info.accesses[0];
+        let b = Binding::new().with("n", 4096);
+        assert_eq!(
+            store_sharing_risk(st, &b, Schedule::Block, 64, 1024),
+            SharingRisk::None
+        );
+        // Degenerate: 2 iterations per thread -> 16B block inside one line.
+        assert_eq!(
+            store_sharing_risk(st, &b, Schedule::Block, 64, 2),
+            SharingRisk::FalseSharing
+        );
+    }
+
+    #[test]
+    fn unresolved_stride_is_unknown() {
+        // Store with symbolic stride and no binding.
+        let mut kb = KernelBuilder::new("sym");
+        let a = kb.array(
+            "a",
+            8,
+            &[hetsel_ir::Expr::param("m") * hetsel_ir::Expr::param("n")],
+            Transfer::Out,
+        );
+        let i = kb.parallel_loop(0, "n");
+        kb.store(
+            a,
+            &[hetsel_ir::Expr::param("m") * hetsel_ir::Expr::var(i)],
+            cexpr::lit(0.0),
+        );
+        kb.end_loop();
+        let k = kb.finish();
+        let info = analyze(&k);
+        assert_eq!(
+            store_sharing_risk(
+                &info.accesses[0],
+                &Binding::new(),
+                Schedule::Cyclic { chunk: 1 },
+                64,
+                16
+            ),
+            SharingRisk::Unknown
+        );
+    }
+
+    #[test]
+    fn loads_never_flag() {
+        let mut kb = KernelBuilder::new("ld");
+        let a = kb.array("a", 8, &["n".into()], Transfer::In);
+        let y = kb.array("y", 8, &["n".into()], Transfer::Out);
+        let i = kb.parallel_loop(0, "n");
+        let ld = kb.load(a, &[i.into()]);
+        kb.store(y, &[i.into()], ld);
+        kb.end_loop();
+        let k = kb.finish();
+        let info = analyze(&k);
+        let load = info.accesses.iter().find(|a| !a.is_store).unwrap();
+        assert_eq!(
+            store_sharing_risk(load, &Binding::new(), Schedule::Cyclic { chunk: 1 }, 64, 1),
+            SharingRisk::None
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! # hetsel-ipda — Iteration Point Difference Analysis
+//!
+//! A from-scratch implementation of the hybrid symbolic analysis the paper
+//! applies to improve the memory-coalescing inputs of its GPU performance
+//! model (Section IV.C), after Chikin et al.'s IPDA framework.
+//!
+//! For each memory access in an OpenMP parallel loop, the analysis builds the
+//! **symbolic difference** of the access's linearised index between adjacent
+//! iteration points of the thread dimension:
+//!
+//! ```text
+//! IPD_th(A[max * a]) = [max]·1 − [max]·0 = [max]
+//! ```
+//!
+//! When the difference closes to a constant at compile time the access is
+//! classified immediately; otherwise the polynomial is stored in the program
+//! attribute database and resolved by the runtime just before kernel launch —
+//! *without ever executing or profiling the kernel*, which is the paper's key
+//! advantage over trace-driven coalescing models.
+//!
+//! The crate provides:
+//! * [`analyze`] — per-access inter-thread and inner-loop strides;
+//! * [`warp`] — exact warp-transaction arithmetic (`#Coal_Mem_insts` /
+//!   `#Uncoal_Mem_insts` for the Hong–Kim model);
+//! * [`vectorize`] — SIMD legality of inner loops on the host (the POWER9
+//!   VSX3 story);
+//! * [`false_sharing`] — the CPU-side sharing diagnosis the paper sketches.
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod false_sharing;
+pub mod stride;
+pub mod vectorize;
+pub mod warp;
+
+pub use analysis::{analyze, summarize, AccessInfo, CoalescingSummary, KernelAccessInfo};
+pub use false_sharing::{store_sharing_risk, Schedule, SharingRisk};
+pub use stride::{classify, AccessPattern, Stride};
+pub use vectorize::{assess, VectorizationInfo};
+pub use warp::{
+    is_coalesced, memory_efficiency, transactions_for_lanes, transactions_per_warp, WARP_SIZE,
+};

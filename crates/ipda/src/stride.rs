@@ -1,0 +1,127 @@
+//! Symbolic inter-iteration strides and their classification.
+
+use hetsel_ir::{Binding, Poly};
+use std::fmt;
+
+/// The inter-iteration (or inter-thread) stride of a memory access along one
+/// loop dimension, in **elements**.
+///
+/// This is the value of the iteration-point difference
+/// `IPD_v(access) = index(v+1) - index(v)`: for affine accesses a polynomial
+/// over runtime parameters; constant when the polynomial is closed at compile
+/// time; unknown for non-affine accesses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stride {
+    /// Stride known exactly at compile time.
+    Known(i64),
+    /// Stride known symbolically; resolved by binding runtime parameters
+    /// (the *hybrid* half of the analysis).
+    Symbolic(Poly),
+    /// The access is not affine in the loop variables; no stride exists.
+    Irregular,
+}
+
+impl Stride {
+    /// Builds a stride from an IPD polynomial, collapsing compile-time
+    /// constants to [`Stride::Known`].
+    pub fn from_poly(p: Poly) -> Stride {
+        match p.as_const() {
+            Some(c) => Stride::Known(c),
+            None => Stride::Symbolic(p),
+        }
+    }
+
+    /// Resolves the stride to a concrete element count under a runtime
+    /// binding. `None` for irregular accesses or unbound parameters.
+    pub fn resolve(&self, binding: &Binding) -> Option<i64> {
+        match self {
+            Stride::Known(c) => Some(*c),
+            Stride::Symbolic(p) => p.eval(binding),
+            Stride::Irregular => None,
+        }
+    }
+
+    /// True if the stride is fully known at compile time.
+    pub fn is_static(&self) -> bool {
+        matches!(self, Stride::Known(_))
+    }
+
+    /// True if the stride can be resolved (possibly only at runtime).
+    pub fn is_analyzable(&self) -> bool {
+        !matches!(self, Stride::Irregular)
+    }
+}
+
+impl fmt::Display for Stride {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Stride::Known(c) => write!(f, "{c}"),
+            Stride::Symbolic(p) => write!(f, "{p}"),
+            Stride::Irregular => write!(f, "<irregular>"),
+        }
+    }
+}
+
+/// Qualitative classification of a resolved stride, as used by the GPU
+/// memory-warp model and reported by the analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessPattern {
+    /// Stride 0: every thread reads the same element (a broadcast); the
+    /// hardware serves the warp with a single transaction.
+    Uniform,
+    /// |stride| = 1: adjacent threads access adjacent elements — fully
+    /// coalesced.
+    Coalesced,
+    /// Constant stride > 1: partially coalesced; the warp touches
+    /// `transactions_per_warp` distinct segments.
+    Strided,
+    /// Unknown at both compile time and runtime.
+    Irregular,
+}
+
+/// Classifies a resolved element stride.
+pub fn classify(stride_elems: Option<i64>) -> AccessPattern {
+    match stride_elems {
+        None => AccessPattern::Irregular,
+        Some(0) => AccessPattern::Uniform,
+        Some(1) | Some(-1) => AccessPattern::Coalesced,
+        Some(_) => AccessPattern::Strided,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn const_poly_becomes_known() {
+        assert_eq!(Stride::from_poly(Poly::constant(4)), Stride::Known(4));
+        assert_eq!(Stride::from_poly(Poly::zero()), Stride::Known(0));
+    }
+
+    #[test]
+    fn symbolic_resolves_at_runtime() {
+        let s = Stride::from_poly(Poly::param("max"));
+        assert!(!s.is_static());
+        assert!(s.is_analyzable());
+        assert_eq!(s.resolve(&Binding::new()), None);
+        assert_eq!(s.resolve(&Binding::new().with("max", 1)), Some(1));
+        assert_eq!(s.resolve(&Binding::new().with("max", 9600)), Some(9600));
+    }
+
+    #[test]
+    fn irregular_never_resolves() {
+        assert_eq!(Stride::Irregular.resolve(&Binding::new().with("n", 1)), None);
+        assert!(!Stride::Irregular.is_analyzable());
+    }
+
+    #[test]
+    fn classification() {
+        assert_eq!(classify(Some(0)), AccessPattern::Uniform);
+        assert_eq!(classify(Some(1)), AccessPattern::Coalesced);
+        assert_eq!(classify(Some(-1)), AccessPattern::Coalesced);
+        assert_eq!(classify(Some(2)), AccessPattern::Strided);
+        assert_eq!(classify(Some(9600)), AccessPattern::Strided);
+        assert_eq!(classify(None), AccessPattern::Irregular);
+    }
+}

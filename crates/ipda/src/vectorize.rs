@@ -1,0 +1,171 @@
+//! CPU-side use of the iteration-point differences: vectorisation legality.
+//!
+//! The same inter-iteration strides that decide GPU coalescing decide whether
+//! the host compiler can emit SIMD code for an inner loop: unit-stride (or
+//! uniform) accesses vectorise; gather/scatter patterns do not (profitably).
+//! The paper leans on this for the POWER9 story — kernels whose sequential
+//! inner loops vectorise benefit from the wider VSX3 support and may become
+//! *better* on the newer CPU than on the newer GPU (the CORR flip).
+
+use crate::analysis::KernelAccessInfo;
+use hetsel_ir::{Binding, Kernel, Lhs, LoopVarId};
+use std::collections::BTreeMap;
+
+/// Vectorisation assessment of one innermost loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VectorizationInfo {
+    /// The loop variable this assessment covers.
+    pub loop_var: LoopVarId,
+    /// True if all enclosed accesses are unit-stride or uniform and any
+    /// loop-carried dependence is a reassociable reduction.
+    pub legal: bool,
+    /// True if the loop carries a scalar reduction (vectorised with partial
+    /// sums; slightly lower efficiency, and a capability where POWER9's VSX3
+    /// improves on POWER8).
+    pub has_reduction: bool,
+    /// True if the loop body contains divisions or square roots (vector
+    /// versions have long latency).
+    pub has_div_or_sqrt: bool,
+}
+
+/// Assesses every loop that directly encloses at least one assignment.
+///
+/// Returns a map keyed by loop variable. Symbolic strides are resolved under
+/// `binding`; unresolvable strides make the loop non-vectorisable (the
+/// conservative answer a compiler must give).
+pub fn assess(
+    kernel: &Kernel,
+    info: &KernelAccessInfo,
+    binding: &Binding,
+) -> BTreeMap<LoopVarId, VectorizationInfo> {
+    let mut out: BTreeMap<LoopVarId, VectorizationInfo> = BTreeMap::new();
+
+    // Stride legality per loop, from the access analysis.
+    for a in &info.accesses {
+        let Some(v) = a.innermost_var() else { continue };
+        let entry = out.entry(v).or_insert(VectorizationInfo {
+            loop_var: v,
+            legal: true,
+            has_reduction: false,
+            has_div_or_sqrt: false,
+        });
+        let stride = match &a.affine {
+            Some(aff) => aff.coeff(v).eval(binding),
+            None => None,
+        };
+        match stride {
+            Some(0) if a.is_store => {
+                // A loop-invariant store is a cross-lane conflict.
+                entry.legal = false;
+            }
+            Some(0) | Some(1) | Some(-1) => {}
+            _ => entry.legal = false,
+        }
+    }
+
+    // Reduction and long-latency-op detection, from the statement bodies.
+    kernel.walk_assigns(|loops, assign| {
+        let Some(l) = loops.last() else { return };
+        let entry = out.entry(l.var).or_insert(VectorizationInfo {
+            loop_var: l.var,
+            legal: true,
+            has_reduction: false,
+            has_div_or_sqrt: false,
+        });
+        if matches!(assign.lhs, Lhs::Acc(_)) && assign.rhs.uses_acc() {
+            entry.has_reduction = true;
+        }
+        let ops = assign.rhs.fp_op_counts();
+        if ops.div > 0 || ops.sqrt > 0 {
+            entry.has_div_or_sqrt = true;
+        }
+    });
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use hetsel_ir::{cexpr, KernelBuilder, Transfer};
+
+    fn assess_kernel(k: &Kernel, b: &Binding) -> BTreeMap<LoopVarId, VectorizationInfo> {
+        assess(k, &analyze(k), b)
+    }
+
+    #[test]
+    fn dot_product_inner_loop_vectorises_as_reduction() {
+        let mut kb = KernelBuilder::new("dot");
+        let a = kb.array("a", 8, &["n".into(), "n".into()], Transfer::In);
+        let x = kb.array("x", 8, &["n".into()], Transfer::In);
+        let y = kb.array("y", 8, &["n".into()], Transfer::Out);
+        let i = kb.parallel_loop(0, "n");
+        kb.acc_init("s", cexpr::lit(0.0));
+        let j = kb.seq_loop(0, "n");
+        let prod = cexpr::mul(kb.load(a, &[i.into(), j.into()]), kb.load(x, &[j.into()]));
+        kb.assign_acc("s", cexpr::add(cexpr::acc(), prod));
+        kb.end_loop();
+        kb.store_acc(y, &[i.into()], "s");
+        kb.end_loop();
+        let k = kb.finish();
+        let v = assess_kernel(&k, &Binding::new().with("n", 1100));
+        let inner = v[&j];
+        assert!(inner.legal);
+        assert!(inner.has_reduction);
+        assert!(!inner.has_div_or_sqrt);
+    }
+
+    #[test]
+    fn column_walk_does_not_vectorise() {
+        let mut kb = KernelBuilder::new("colwalk");
+        let a = kb.array("a", 8, &["n".into(), "n".into()], Transfer::In);
+        let y = kb.array("y", 8, &["n".into()], Transfer::Out);
+        let i = kb.parallel_loop(0, "n");
+        kb.acc_init("s", cexpr::lit(0.0));
+        let j = kb.seq_loop(0, "n");
+        let ld = kb.load(a, &[j.into(), i.into()]); // stride n over j
+        kb.assign_acc("s", cexpr::add(cexpr::acc(), ld));
+        kb.end_loop();
+        kb.store_acc(y, &[i.into()], "s");
+        kb.end_loop();
+        let k = kb.finish();
+        let v = assess_kernel(&k, &Binding::new().with("n", 1100));
+        assert!(!v[&j].legal);
+    }
+
+    #[test]
+    fn unresolved_symbolic_stride_blocks_vectorisation() {
+        let mut kb = KernelBuilder::new("sym");
+        let a = kb.array("a", 8, &["n".into(), "n".into()], Transfer::In);
+        let y = kb.array("y", 8, &["n".into()], Transfer::Out);
+        let i = kb.parallel_loop(0, "n");
+        kb.acc_init("s", cexpr::lit(0.0));
+        let j = kb.seq_loop(0, "n");
+        let ld = kb.load(a, &[j.into(), i.into()]);
+        kb.assign_acc("s", cexpr::add(cexpr::acc(), ld));
+        kb.end_loop();
+        kb.store_acc(y, &[i.into()], "s");
+        kb.end_loop();
+        let k = kb.finish();
+        // No binding: stride [n] unresolved.
+        let v = assess_kernel(&k, &Binding::new());
+        assert!(!v[&j].legal);
+    }
+
+    #[test]
+    fn division_is_flagged() {
+        let mut kb = KernelBuilder::new("divk");
+        let a = kb.array("a", 8, &["n".into()], Transfer::InOut);
+        let i = kb.parallel_loop(0, "n");
+        let ld = kb.load(a, &[i.into()]);
+        kb.store(a, &[i.into()], cexpr::div(ld, cexpr::scalar("mean")));
+        kb.end_loop();
+        let k = kb.finish();
+        let v = assess_kernel(&k, &Binding::new().with("n", 100));
+        let vi = v[&i];
+        assert!(vi.legal);
+        assert!(vi.has_div_or_sqrt);
+        assert!(!vi.has_reduction);
+    }
+}

@@ -1,0 +1,153 @@
+//! Warp-level transaction arithmetic.
+//!
+//! Given a resolved inter-thread stride, these routines compute how many
+//! memory transactions the hardware issues to serve one warp-wide access —
+//! the quantity that separates a coalesced access (1–2 transactions) from a
+//! fully scattered one (one transaction per lane), and the direct input to
+//! the `#Uncoal_Mem_insts` / `#Coal_Mem_insts` split of the Hong–Kim model.
+
+/// Number of lanes in a warp on every NVIDIA architecture we model.
+pub const WARP_SIZE: u32 = 32;
+
+/// Computes the number of distinct memory segments of `seg_bytes` touched by
+/// a warp whose lane `l` accesses byte address `l * stride_elems * elem_bytes`
+/// (base assumed segment-aligned, the common case for mapped buffers).
+pub fn transactions_per_warp(stride_elems: i64, elem_bytes: u32, seg_bytes: u32) -> u32 {
+    transactions_for_lanes(stride_elems, elem_bytes, seg_bytes, WARP_SIZE)
+}
+
+/// As [`transactions_per_warp`] but for an arbitrary number of active lanes
+/// (partial warps at the fringe of the iteration space).
+pub fn transactions_for_lanes(
+    stride_elems: i64,
+    elem_bytes: u32,
+    seg_bytes: u32,
+    lanes: u32,
+) -> u32 {
+    assert!(elem_bytes > 0 && seg_bytes > 0 && lanes > 0);
+    if lanes == 1 || stride_elems == 0 {
+        // A broadcast (or single lane): the access spans
+        // ceil(elem/seg) segments starting at an aligned base.
+        return elem_bytes.div_ceil(seg_bytes);
+    }
+    let stride_bytes = stride_elems.unsigned_abs() * u64::from(elem_bytes);
+    let seg = u64::from(seg_bytes);
+    // Count distinct segments across the lanes. Each lane touches
+    // [l*stride, l*stride + elem) bytes; segments are seg-aligned.
+    let mut count = 0u32;
+    let mut last_seg = u64::MAX;
+    for l in 0..u64::from(lanes) {
+        let start = l * stride_bytes;
+        let end = start + u64::from(elem_bytes) - 1;
+        let s0 = start / seg;
+        let s1 = end / seg;
+        if s0 != last_seg {
+            count += 1;
+        }
+        // Elements larger than a segment (or straddling) add the extra
+        // segments they cover.
+        count += (s1 - s0) as u32;
+        last_seg = s1;
+    }
+    count
+}
+
+/// Fraction of transferred bytes that the warp actually uses: 1.0 for a
+/// perfectly coalesced access, approaching `elem_bytes / seg_bytes` for a
+/// fully scattered one.
+pub fn memory_efficiency(stride_elems: i64, elem_bytes: u32, seg_bytes: u32) -> f64 {
+    let txns = transactions_per_warp(stride_elems, elem_bytes, seg_bytes);
+    let useful = if stride_elems == 0 {
+        u64::from(elem_bytes)
+    } else {
+        u64::from(WARP_SIZE) * u64::from(elem_bytes)
+    };
+    useful as f64 / (u64::from(txns) * u64::from(seg_bytes)) as f64
+}
+
+/// True if a warp-wide access with this stride is served by the minimal
+/// number of transactions (the hardware's definition of "coalesced").
+pub fn is_coalesced(stride_elems: i64, elem_bytes: u32, seg_bytes: u32) -> bool {
+    let txns = transactions_per_warp(stride_elems, elem_bytes, seg_bytes);
+    let minimal = (WARP_SIZE * elem_bytes).div_ceil(seg_bytes);
+    txns <= minimal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_stride_doubles() {
+        // 32 lanes * 8B = 256B = 8 segments of 32B.
+        assert_eq!(transactions_per_warp(1, 8, 32), 8);
+        assert!(is_coalesced(1, 8, 32));
+    }
+
+    #[test]
+    fn unit_stride_floats_128b_segments() {
+        // 32 lanes * 4B = 128B = 1 segment of 128B.
+        assert_eq!(transactions_per_warp(1, 4, 128), 1);
+        assert!(is_coalesced(1, 4, 128));
+    }
+
+    #[test]
+    fn broadcast_is_one_transaction() {
+        assert_eq!(transactions_per_warp(0, 8, 32), 1);
+        assert!(is_coalesced(0, 8, 32));
+    }
+
+    #[test]
+    fn large_stride_fully_scattered() {
+        // Stride 9600 doubles: every lane in its own segment.
+        assert_eq!(transactions_per_warp(9600, 8, 32), 32);
+        assert!(!is_coalesced(9600, 8, 32));
+        assert_eq!(transactions_per_warp(9600, 8, 128), 32);
+    }
+
+    #[test]
+    fn stride_two_halves_efficiency() {
+        // Stride 2 doubles: lanes cover 512B = 16 segments of 32B, but only
+        // 256B useful.
+        assert_eq!(transactions_per_warp(2, 8, 32), 16);
+        assert!((memory_efficiency(2, 8, 32) - 0.5).abs() < 1e-12);
+        assert!(!is_coalesced(2, 8, 32));
+    }
+
+    #[test]
+    fn stride_four_floats() {
+        // 4B elems, stride 4 elems = 16B apart: two lanes per 32B segment.
+        assert_eq!(transactions_per_warp(4, 4, 32), 16);
+    }
+
+    #[test]
+    fn negative_stride_same_as_positive() {
+        assert_eq!(
+            transactions_per_warp(-3, 8, 32),
+            transactions_per_warp(3, 8, 32)
+        );
+    }
+
+    #[test]
+    fn partial_warp() {
+        assert_eq!(transactions_for_lanes(1, 4, 32, 8), 1);
+        assert_eq!(transactions_for_lanes(9600, 8, 32, 4), 4);
+        assert_eq!(transactions_for_lanes(1, 4, 32, 1), 1);
+    }
+
+    #[test]
+    fn coalesced_efficiency_is_one() {
+        assert!((memory_efficiency(1, 4, 32) - 1.0).abs() < 1e-12);
+        assert!((memory_efficiency(1, 8, 32) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transactions_monotone_in_stride_sample() {
+        let mut prev = 0;
+        for s in [0i64, 1, 2, 4, 8, 16, 64] {
+            let t = transactions_per_warp(s, 8, 32);
+            assert!(t >= prev, "stride {s} gave {t} < {prev}");
+            prev = t;
+        }
+    }
+}

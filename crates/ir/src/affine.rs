@@ -1,0 +1,272 @@
+//! Affine normal form of index expressions.
+//!
+//! An [`Affine`] value represents `Σ coeff_v · v + offset`, where the sum is
+//! over loop variables `v` and each coefficient (and the offset) is a
+//! symbolic polynomial over runtime parameters ([`Poly`]). This is the input
+//! domain of the Iteration Point Difference Analysis: the inter-thread
+//! difference of an affine index with respect to the thread dimension `t` is
+//! simply its coefficient on `t`.
+
+use crate::binding::Binding;
+use crate::expr::Expr;
+use crate::kernel::{ArrayRef, Kernel, LoopVarId};
+use crate::poly::Poly;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An affine function of loop variables with symbolic coefficients.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Affine {
+    /// Coefficient of each loop variable (absent = zero).
+    coeffs: BTreeMap<LoopVarId, Poly>,
+    /// Constant (loop-invariant) part.
+    offset: Poly,
+}
+
+impl Affine {
+    /// The zero function.
+    pub fn zero() -> Affine {
+        Affine::default()
+    }
+
+    /// A loop-invariant value.
+    pub fn from_poly(p: Poly) -> Affine {
+        Affine {
+            coeffs: BTreeMap::new(),
+            offset: p,
+        }
+    }
+
+    /// The identity function on a loop variable.
+    pub fn var(v: LoopVarId) -> Affine {
+        let mut coeffs = BTreeMap::new();
+        coeffs.insert(v, Poly::constant(1));
+        Affine {
+            coeffs,
+            offset: Poly::zero(),
+        }
+    }
+
+    /// Coefficient of a loop variable (zero if absent).
+    pub fn coeff(&self, v: LoopVarId) -> Poly {
+        self.coeffs.get(&v).cloned().unwrap_or_else(Poly::zero)
+    }
+
+    /// The loop-invariant part.
+    pub fn offset(&self) -> &Poly {
+        &self.offset
+    }
+
+    /// Loop variables with non-zero coefficient.
+    pub fn loop_vars(&self) -> impl Iterator<Item = LoopVarId> + '_ {
+        self.coeffs.keys().copied()
+    }
+
+    /// True if the function does not depend on any loop variable.
+    pub fn is_invariant(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// If loop-invariant, the underlying polynomial.
+    pub fn as_poly(&self) -> Option<&Poly> {
+        if self.is_invariant() {
+            Some(&self.offset)
+        } else {
+            None
+        }
+    }
+
+    /// Evaluates under a runtime binding and loop-variable values.
+    pub fn eval(
+        &self,
+        binding: &Binding,
+        vars: &dyn Fn(LoopVarId) -> Option<i64>,
+    ) -> Option<i64> {
+        let mut total = self.offset.eval(binding)?;
+        for (v, c) in &self.coeffs {
+            total = total.wrapping_add(c.eval(binding)?.wrapping_mul(vars(*v)?));
+        }
+        Some(total)
+    }
+
+    fn add_assign(&mut self, rhs: &Affine) {
+        for (v, c) in &rhs.coeffs {
+            let e = self.coeffs.entry(*v).or_insert_with(Poly::zero);
+            *e = &*e + c;
+        }
+        self.coeffs.retain(|_, c| !c.is_zero());
+        self.offset = &self.offset + &rhs.offset;
+    }
+
+    /// Multiplies by a loop-invariant polynomial.
+    pub fn scale_poly(&self, p: &Poly) -> Affine {
+        let mut out = Affine::zero();
+        for (v, c) in &self.coeffs {
+            let s = c * p;
+            if !s.is_zero() {
+                out.coeffs.insert(*v, s);
+            }
+        }
+        out.offset = &self.offset * p;
+        out
+    }
+
+    /// Builds the affine normal form of an expression, or `None` if the
+    /// expression is not affine in the loop variables (e.g. `i*j`, division,
+    /// min/max).
+    pub fn from_expr(e: &Expr) -> Option<Affine> {
+        match e {
+            Expr::Const(c) => Some(Affine::from_poly(Poly::constant(*c))),
+            Expr::Param(p) => Some(Affine::from_poly(Poly::param(p.clone()))),
+            Expr::Var(v) => Some(Affine::var(*v)),
+            Expr::Add(a, b) => {
+                let mut a = Affine::from_expr(a)?;
+                a.add_assign(&Affine::from_expr(b)?);
+                Some(a)
+            }
+            Expr::Sub(a, b) => {
+                let mut a = Affine::from_expr(a)?;
+                a.add_assign(&Affine::from_expr(b)?.scale_poly(&Poly::constant(-1)));
+                Some(a)
+            }
+            Expr::Mul(a, b) => {
+                let a = Affine::from_expr(a)?;
+                let b = Affine::from_expr(b)?;
+                // One side must be loop-invariant for the product to stay affine.
+                if let Some(p) = a.as_poly() {
+                    Some(b.scale_poly(p))
+                } else {
+                    b.as_poly().map(|p| a.scale_poly(p))
+                }
+            }
+            Expr::Div(_, _) | Expr::Min(_, _) | Expr::Max(_, _) => None,
+        }
+    }
+}
+
+impl fmt::Display for Affine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (v, c) in &self.coeffs {
+            if !first {
+                write!(f, " + ")?;
+            }
+            first = false;
+            write!(f, "({c})*{v}")?;
+        }
+        if !self.offset.is_zero() || first {
+            if !first {
+                write!(f, " + ")?;
+            }
+            write!(f, "{}", self.offset)?;
+        }
+        Ok(())
+    }
+}
+
+/// Converts a loop-invariant expression to a polynomial, or `None` if it
+/// references loop variables or uses non-polynomial operators.
+pub fn expr_to_poly(e: &Expr) -> Option<Poly> {
+    Affine::from_expr(e)?.as_poly().cloned()
+}
+
+/// The row-major linearised element index of an array access, as an affine
+/// function of the loop variables: `((i0*e1 + i1)*e2 + i2)…`.
+///
+/// Returns `None` if any index expression is non-affine or any extent
+/// references loop variables.
+pub fn linearize(kernel: &Kernel, r: &ArrayRef) -> Option<Affine> {
+    let decl = kernel.array(r.array);
+    let mut lin = Affine::zero();
+    for (dim, idx) in r.index.iter().enumerate() {
+        if dim > 0 {
+            let extent = expr_to_poly(&decl.extents[dim])?;
+            lin = lin.scale_poly(&extent);
+        }
+        lin.add_assign(&Affine::from_expr(idx)?);
+    }
+    Some(lin)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> LoopVarId {
+        LoopVarId(i)
+    }
+
+    #[test]
+    fn linear_combination() {
+        // 2*i + n*j + 3
+        let e = Expr::Const(2) * Expr::var(v(0)) + Expr::param("n") * Expr::var(v(1))
+            + Expr::Const(3);
+        let a = Affine::from_expr(&e).unwrap();
+        assert_eq!(a.coeff(v(0)).as_const(), Some(2));
+        assert_eq!(a.coeff(v(1)), Poly::param("n"));
+        assert_eq!(a.offset().as_const(), Some(3));
+    }
+
+    #[test]
+    fn var_times_var_is_not_affine() {
+        let e = Expr::var(v(0)) * Expr::var(v(1));
+        assert!(Affine::from_expr(&e).is_none());
+    }
+
+    #[test]
+    fn subtraction_cancels() {
+        // (i + n) - i = n
+        let e = (Expr::var(v(0)) + Expr::param("n")) - Expr::var(v(0));
+        let a = Affine::from_expr(&e).unwrap();
+        assert!(a.is_invariant());
+        assert_eq!(a.as_poly().unwrap(), &Poly::param("n"));
+    }
+
+    #[test]
+    fn eval_matches_expr_eval() {
+        let e = Expr::param("n") * Expr::var(v(0)) + Expr::var(v(1)) * Expr::Const(4)
+            - Expr::Const(7);
+        let a = Affine::from_expr(&e).unwrap();
+        let b = Binding::new().with("n", 50);
+        let vals = |id: LoopVarId| Some(if id == v(0) { 3 } else { 11 });
+        assert_eq!(a.eval(&b, &vals), e.eval(&b, &vals));
+    }
+
+    #[test]
+    fn paper_example_ipd() {
+        // A[max * a]: coefficient of the thread var `a` is [max].
+        let e = Expr::param("max") * Expr::var(v(0));
+        let a = Affine::from_expr(&e).unwrap();
+        assert_eq!(a.coeff(v(0)), Poly::param("max"));
+        assert_eq!(format!("{}", a.coeff(v(0))), "[max]");
+    }
+
+    #[test]
+    fn linearize_row_major() {
+        use crate::builder::KernelBuilder;
+        use crate::kernel::{CExpr, Transfer};
+        let mut kb = KernelBuilder::new("t");
+        let arr = kb.array("A", 8, &["n".into(), "m".into()], Transfer::In);
+        let i = kb.parallel_loop(0, "n");
+        let j = kb.seq_loop(0, "m");
+        let ld = kb.load(arr, &[i.into(), j.into()]);
+        kb.acc_init("s", ld);
+        kb.acc_init("t", CExpr::Acc);
+        kb.end_loop();
+        kb.end_loop();
+        let k = kb.finish();
+
+        let mut lins = Vec::new();
+        k.walk_assigns(|_, a| {
+            a.rhs.for_each_load(&mut |r| {
+                lins.push(linearize(&k, r).unwrap());
+            });
+        });
+        // A[i][j] -> i*m + j
+        let lin = &lins[0];
+        assert_eq!(lin.coeff(i), Poly::param("m"));
+        assert_eq!(lin.coeff(j).as_const(), Some(1));
+        let b = Binding::new().with("n", 4).with("m", 10);
+        assert_eq!(lin.eval(&b, &|lv| Some(if lv == i { 2 } else { 7 })), Some(27));
+    }
+}

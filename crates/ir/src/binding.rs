@@ -1,0 +1,125 @@
+//! Runtime parameter bindings.
+//!
+//! A [`Binding`] is the runtime half of the hybrid analysis: it maps the
+//! symbolic parameters left unresolved at compile time (array extents, loop
+//! trip counts, scalar values that determine access strides) to the concrete
+//! values observed immediately before a target region launches.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A map from parameter name to concrete integer value.
+///
+/// Uses a `BTreeMap` so that iteration order (and thus any derived output)
+/// is deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Binding {
+    values: BTreeMap<String, i64>,
+}
+
+impl Binding {
+    /// An empty binding (everything still symbolic).
+    pub fn new() -> Binding {
+        Binding::default()
+    }
+
+    /// Builder-style insertion.
+    pub fn with(mut self, name: impl Into<String>, value: i64) -> Binding {
+        self.values.insert(name.into(), value);
+        self
+    }
+
+    /// Inserts or overwrites a value.
+    pub fn set(&mut self, name: impl Into<String>, value: i64) {
+        self.values.insert(name.into(), value);
+    }
+
+    /// Looks up a parameter value.
+    pub fn get(&self, name: &str) -> Option<i64> {
+        self.values.get(name).copied()
+    }
+
+    /// True if every name in `names` is bound.
+    pub fn binds_all<'a>(&self, names: impl IntoIterator<Item = &'a str>) -> bool {
+        names.into_iter().all(|n| self.values.contains_key(n))
+    }
+
+    /// Number of bound parameters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if no parameters are bound.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, i64)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Merges another binding into this one; values in `other` win.
+    pub fn merge(&mut self, other: &Binding) {
+        for (k, v) in other.iter() {
+            self.values.insert(k.to_string(), v);
+        }
+    }
+}
+
+impl fmt::Display for Binding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}={v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<(String, i64)> for Binding {
+    fn from_iter<T: IntoIterator<Item = (String, i64)>>(iter: T) -> Binding {
+        Binding {
+            values: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut b = Binding::new();
+        b.set("n", 1100);
+        assert_eq!(b.get("n"), Some(1100));
+        assert_eq!(b.get("m"), None);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn with_chains() {
+        let b = Binding::new().with("n", 1).with("m", 2);
+        assert!(b.binds_all(["n", "m"]));
+        assert!(!b.binds_all(["n", "k"]));
+    }
+
+    #[test]
+    fn merge_overwrites() {
+        let mut a = Binding::new().with("n", 1);
+        let b = Binding::new().with("n", 2).with("m", 3);
+        a.merge(&b);
+        assert_eq!(a.get("n"), Some(2));
+        assert_eq!(a.get("m"), Some(3));
+    }
+
+    #[test]
+    fn display_is_deterministic() {
+        let b = Binding::new().with("z", 1).with("a", 2);
+        assert_eq!(format!("{b}"), "{a=2, z=1}");
+    }
+}

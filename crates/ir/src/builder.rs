@@ -1,0 +1,274 @@
+//! Ergonomic construction of kernels.
+//!
+//! [`KernelBuilder`] mirrors the textual structure of an OpenMP target
+//! region: open loops (parallel or sequential), emit assignments, close
+//! loops. It allocates loop-variable ids and keeps the nesting honest so the
+//! resulting [`Kernel`] always passes [`Kernel::validate`].
+
+use crate::expr::Expr;
+use crate::kernel::{
+    ArrayDecl, ArrayId, ArrayRef, Assign, CExpr, Kernel, Lhs, Loop, LoopVarId, Stmt, Transfer,
+};
+
+/// Incremental builder for a [`Kernel`].
+#[derive(Debug)]
+pub struct KernelBuilder {
+    name: String,
+    arrays: Vec<ArrayDecl>,
+    /// Stack of open loops with the statements accumulated so far.
+    open: Vec<(Loop, Vec<Stmt>)>,
+    /// Statements at the (closed) top level.
+    top: Vec<Stmt>,
+    next_var: usize,
+    seen_parallel: bool,
+}
+
+impl KernelBuilder {
+    /// Starts a new kernel.
+    pub fn new(name: impl Into<String>) -> KernelBuilder {
+        KernelBuilder {
+            name: name.into(),
+            arrays: Vec::new(),
+            open: Vec::new(),
+            top: Vec::new(),
+            next_var: 0,
+            seen_parallel: false,
+        }
+    }
+
+    /// Declares a mapped array and returns its id.
+    pub fn array(
+        &mut self,
+        name: impl Into<String>,
+        elem_bytes: u32,
+        extents: &[Expr],
+        transfer: Transfer,
+    ) -> ArrayId {
+        self.arrays.push(ArrayDecl {
+            name: name.into(),
+            elem_bytes,
+            extents: extents.to_vec(),
+            transfer,
+        });
+        ArrayId(self.arrays.len() - 1)
+    }
+
+    fn open_loop(&mut self, lower: Expr, upper: Expr, parallel: bool) -> LoopVarId {
+        let var = LoopVarId(self.next_var);
+        self.next_var += 1;
+        self.open.push((
+            Loop {
+                var,
+                lower,
+                upper,
+                parallel,
+            },
+            Vec::new(),
+        ));
+        var
+    }
+
+    /// Opens a parallel (`teams distribute parallel for`) loop.
+    ///
+    /// Parallel loops must be opened before any sequential loop or statement
+    /// (they model the outermost `collapse` nest).
+    pub fn parallel_loop(&mut self, lower: impl Into<Expr>, upper: impl Into<Expr>) -> LoopVarId {
+        assert!(
+            self.open.iter().all(|(l, body)| l.parallel && body.is_empty()) && self.top.is_empty(),
+            "parallel loops must form the outermost perfect nest"
+        );
+        self.seen_parallel = true;
+        self.open_loop(lower.into(), upper.into(), true)
+    }
+
+    /// Opens a sequential inner loop.
+    pub fn seq_loop(&mut self, lower: impl Into<Expr>, upper: impl Into<Expr>) -> LoopVarId {
+        self.open_loop(lower.into(), upper.into(), false)
+    }
+
+    /// Closes the innermost open loop.
+    pub fn end_loop(&mut self) {
+        let (l, body) = self.open.pop().expect("end_loop with no open loop");
+        let stmt = Stmt::For(l, body);
+        match self.open.last_mut() {
+            Some((_, parent)) => parent.push(stmt),
+            None => self.top.push(stmt),
+        }
+    }
+
+    fn push(&mut self, a: Assign) {
+        let stmt = Stmt::Assign(a);
+        match self.open.last_mut() {
+            Some((_, body)) => body.push(stmt),
+            None => self.top.push(stmt),
+        }
+    }
+
+    /// A load expression from `array[index...]`.
+    pub fn load(&self, array: ArrayId, index: &[Expr]) -> CExpr {
+        CExpr::Load(ArrayRef {
+            array,
+            index: index.to_vec(),
+        })
+    }
+
+    /// Initialises a named scalar accumulator.
+    pub fn acc_init(&mut self, name: impl Into<String>, value: CExpr) {
+        self.push(Assign {
+            lhs: Lhs::Acc(name.into()),
+            rhs: value,
+        });
+    }
+
+    /// Updates a named scalar accumulator; `CExpr::Acc` inside `value` refers
+    /// to the accumulator's previous value.
+    pub fn assign_acc(&mut self, name: impl Into<String>, value: CExpr) {
+        self.push(Assign {
+            lhs: Lhs::Acc(name.into()),
+            rhs: value,
+        });
+    }
+
+    /// Stores an expression to `array[index...]`.
+    pub fn store(&mut self, array: ArrayId, index: &[Expr], value: CExpr) {
+        self.push(Assign {
+            lhs: Lhs::Array(ArrayRef {
+                array,
+                index: index.to_vec(),
+            }),
+            rhs: value,
+        });
+    }
+
+    /// Stores a named scalar accumulator to `array[index...]`.
+    pub fn store_acc(&mut self, array: ArrayId, index: &[Expr], acc: impl Into<String>) {
+        self.store(array, index, CExpr::Scalar(acc.into()));
+    }
+
+    /// Finishes the kernel, closing nothing implicitly.
+    ///
+    /// Panics if loops are still open or no parallel loop was created.
+    pub fn finish(self) -> Kernel {
+        assert!(self.open.is_empty(), "finish with {} open loops", self.open.len());
+        assert!(self.seen_parallel, "kernel has no parallel loop");
+        let k = Kernel {
+            name: self.name,
+            arrays: self.arrays,
+            body: self.top,
+        };
+        debug_assert_eq!(k.validate(), Ok(()));
+        k
+    }
+}
+
+/// Convenience constructors for common dataflow shapes.
+pub mod cexpr {
+    use crate::kernel::CExpr;
+
+    /// `a + b`
+    pub fn add(a: CExpr, b: CExpr) -> CExpr {
+        CExpr::Add(Box::new(a), Box::new(b))
+    }
+
+    /// `a - b`
+    pub fn sub(a: CExpr, b: CExpr) -> CExpr {
+        CExpr::Sub(Box::new(a), Box::new(b))
+    }
+
+    /// `a * b`
+    pub fn mul(a: CExpr, b: CExpr) -> CExpr {
+        CExpr::Mul(Box::new(a), Box::new(b))
+    }
+
+    /// `a / b`
+    pub fn div(a: CExpr, b: CExpr) -> CExpr {
+        CExpr::Div(Box::new(a), Box::new(b))
+    }
+
+    /// `sqrt(a)`
+    pub fn sqrt(a: CExpr) -> CExpr {
+        CExpr::Sqrt(Box::new(a))
+    }
+
+    /// The previous value of the destination.
+    pub fn acc() -> CExpr {
+        CExpr::Acc
+    }
+
+    /// A named scalar (kernel argument or accumulator).
+    pub fn scalar(name: &str) -> CExpr {
+        CExpr::Scalar(name.to_string())
+    }
+
+    /// A literal.
+    pub fn lit(v: f64) -> CExpr {
+        CExpr::Lit(v)
+    }
+
+    /// `acc + a * b` — the ubiquitous fused multiply-add reduction step.
+    pub fn fma_acc(a: CExpr, b: CExpr) -> CExpr {
+        add(acc(), mul(a, b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::cexpr::*;
+    use super::*;
+    use crate::binding::Binding;
+
+    #[test]
+    fn vector_add_kernel() {
+        let mut kb = KernelBuilder::new("vadd");
+        let a = kb.array("a", 4, &["n".into()], Transfer::In);
+        let b = kb.array("b", 4, &["n".into()], Transfer::In);
+        let c = kb.array("c", 4, &["n".into()], Transfer::Out);
+        let i = kb.parallel_loop(0, "n");
+        let sum = add(kb.load(a, &[i.into()]), kb.load(b, &[i.into()]));
+        kb.store(c, &[i.into()], sum);
+        kb.end_loop();
+        let k = kb.finish();
+        k.validate().unwrap();
+        assert_eq!(k.parallel_loops().len(), 1);
+        assert_eq!(
+            k.parallel_iterations(&Binding::new().with("n", 64)),
+            Some(64)
+        );
+    }
+
+    #[test]
+    fn collapse2_nest() {
+        let mut kb = KernelBuilder::new("c2");
+        let a = kb.array("a", 8, &["n".into(), "n".into()], Transfer::InOut);
+        let i = kb.parallel_loop(0, "n");
+        let j = kb.parallel_loop(0, "n");
+        kb.store(a, &[i.into(), j.into()], lit(0.0));
+        kb.end_loop();
+        kb.end_loop();
+        let k = kb.finish();
+        assert_eq!(k.parallel_loops().len(), 2);
+        assert_eq!(k.thread_dim(), Some(j));
+        assert_eq!(
+            k.parallel_iterations(&Binding::new().with("n", 10)),
+            Some(100)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outermost perfect nest")]
+    fn parallel_after_statement_panics() {
+        let mut kb = KernelBuilder::new("bad");
+        let a = kb.array("a", 8, &["n".into()], Transfer::In);
+        let i = kb.parallel_loop(0, "n");
+        let l = kb.load(a, &[i.into()]);
+        kb.acc_init("s", l);
+        kb.parallel_loop(0, "n");
+    }
+
+    #[test]
+    #[should_panic(expected = "no open loop")]
+    fn unbalanced_end_panics() {
+        let mut kb = KernelBuilder::new("bad");
+        kb.end_loop();
+    }
+}

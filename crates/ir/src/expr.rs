@@ -1,0 +1,269 @@
+//! Scalar integer expressions over symbolic parameters and loop variables.
+//!
+//! `Expr` is the general-purpose expression tree used for loop bounds, array
+//! extents, and index expressions in the kernel IR. Expressions may reference
+//! *parameters* (symbolic unknowns such as the matrix dimension `n`, bound to
+//! concrete values only at runtime) and *loop variables* (induction variables
+//! of the enclosing loop nest).
+//!
+//! The hybrid analysis of the paper rests on the distinction between the two:
+//! a parameter is an opaque runtime value stored in the program attribute
+//! database, while a loop variable is the quantity the Iteration Point
+//! Difference Analysis (IPDA) differentiates over.
+
+use crate::binding::Binding;
+use crate::kernel::LoopVarId;
+use std::fmt;
+
+/// An integer-valued expression over parameters and loop variables.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// An integer literal.
+    Const(i64),
+    /// A symbolic parameter, bound at runtime (e.g. an array extent).
+    Param(String),
+    /// A loop induction variable of the enclosing nest.
+    Var(LoopVarId),
+    /// Sum of two expressions.
+    Add(Box<Expr>, Box<Expr>),
+    /// Difference of two expressions.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Product of two expressions.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Floor division (used for triangular/blocked bounds).
+    Div(Box<Expr>, Box<Expr>),
+    /// Minimum of two expressions.
+    Min(Box<Expr>, Box<Expr>),
+    /// Maximum of two expressions.
+    Max(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// A parameter reference by name.
+    pub fn param(name: impl Into<String>) -> Expr {
+        Expr::Param(name.into())
+    }
+
+    /// A loop-variable reference.
+    pub fn var(v: LoopVarId) -> Expr {
+        Expr::Var(v)
+    }
+
+    /// Evaluates the expression with loop variables taken from `vars` and
+    /// parameters from the runtime `binding`.
+    ///
+    /// Returns `None` if a parameter is unbound, a referenced loop variable is
+    /// missing from `vars`, or a division by zero occurs.
+    pub fn eval(&self, binding: &Binding, vars: &dyn Fn(LoopVarId) -> Option<i64>) -> Option<i64> {
+        match self {
+            Expr::Const(c) => Some(*c),
+            Expr::Param(p) => binding.get(p),
+            Expr::Var(v) => vars(*v),
+            Expr::Add(a, b) => Some(a.eval(binding, vars)?.wrapping_add(b.eval(binding, vars)?)),
+            Expr::Sub(a, b) => Some(a.eval(binding, vars)?.wrapping_sub(b.eval(binding, vars)?)),
+            Expr::Mul(a, b) => Some(a.eval(binding, vars)?.wrapping_mul(b.eval(binding, vars)?)),
+            Expr::Div(a, b) => {
+                let d = b.eval(binding, vars)?;
+                if d == 0 {
+                    None
+                } else {
+                    Some(a.eval(binding, vars)?.div_euclid(d))
+                }
+            }
+            Expr::Min(a, b) => Some(a.eval(binding, vars)?.min(b.eval(binding, vars)?)),
+            Expr::Max(a, b) => Some(a.eval(binding, vars)?.max(b.eval(binding, vars)?)),
+        }
+    }
+
+    /// Evaluates a *closed* expression: one that references no loop variables.
+    pub fn eval_closed(&self, binding: &Binding) -> Option<i64> {
+        self.eval(binding, &|_| None)
+    }
+
+    /// True if the expression references no parameters and no loop variables.
+    pub fn is_const(&self) -> bool {
+        match self {
+            Expr::Const(_) => true,
+            Expr::Param(_) | Expr::Var(_) => false,
+            Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Div(a, b)
+            | Expr::Min(a, b)
+            | Expr::Max(a, b) => a.is_const() && b.is_const(),
+        }
+    }
+
+    /// Collects the names of all parameters referenced by the expression.
+    pub fn params(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_params(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_params(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Const(_) | Expr::Var(_) => {}
+            Expr::Param(p) => out.push(p.clone()),
+            Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Div(a, b)
+            | Expr::Min(a, b)
+            | Expr::Max(a, b) => {
+                a.collect_params(out);
+                b.collect_params(out);
+            }
+        }
+    }
+
+    /// Collects the loop variables referenced by the expression.
+    pub fn loop_vars(&self) -> Vec<LoopVarId> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<LoopVarId>) {
+        match self {
+            Expr::Const(_) | Expr::Param(_) => {}
+            Expr::Var(v) => out.push(*v),
+            Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Div(a, b)
+            | Expr::Min(a, b)
+            | Expr::Max(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+        }
+    }
+}
+
+impl From<i64> for Expr {
+    fn from(c: i64) -> Expr {
+        Expr::Const(c)
+    }
+}
+
+impl From<&str> for Expr {
+    fn from(p: &str) -> Expr {
+        Expr::Param(p.to_string())
+    }
+}
+
+impl From<LoopVarId> for Expr {
+    fn from(v: LoopVarId) -> Expr {
+        Expr::Var(v)
+    }
+}
+
+impl std::ops::Add for Expr {
+    type Output = Expr;
+    fn add(self, rhs: Expr) -> Expr {
+        Expr::Add(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Sub for Expr {
+    type Output = Expr;
+    fn sub(self, rhs: Expr) -> Expr {
+        Expr::Sub(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Mul for Expr {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        Expr::Mul(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(c) => write!(f, "{c}"),
+            Expr::Param(p) => write!(f, "[{p}]"),
+            Expr::Var(v) => write!(f, "{v}"),
+            Expr::Add(a, b) => write!(f, "({a} + {b})"),
+            Expr::Sub(a, b) => write!(f, "({a} - {b})"),
+            Expr::Mul(a, b) => write!(f, "({a} * {b})"),
+            Expr::Div(a, b) => write!(f, "({a} / {b})"),
+            Expr::Min(a, b) => write!(f, "min({a}, {b})"),
+            Expr::Max(a, b) => write!(f, "max({a}, {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> LoopVarId {
+        LoopVarId(i)
+    }
+
+    #[test]
+    fn eval_constant() {
+        let e = Expr::Const(7);
+        assert_eq!(e.eval_closed(&Binding::new()), Some(7));
+        assert!(e.is_const());
+    }
+
+    #[test]
+    fn eval_param() {
+        let e = Expr::param("n") * Expr::Const(2);
+        let b = Binding::new().with("n", 21);
+        assert_eq!(e.eval_closed(&b), Some(42));
+        assert!(!e.is_const());
+        assert_eq!(e.params(), vec!["n".to_string()]);
+    }
+
+    #[test]
+    fn eval_unbound_param_is_none() {
+        let e = Expr::param("n");
+        assert_eq!(e.eval_closed(&Binding::new()), None);
+    }
+
+    #[test]
+    fn eval_with_loop_vars() {
+        // i * n + j
+        let e = Expr::var(v(0)) * Expr::param("n") + Expr::var(v(1));
+        let b = Binding::new().with("n", 100);
+        let vals = |id: LoopVarId| Some(if id == v(0) { 3 } else { 4 });
+        assert_eq!(e.eval(&b, &vals), Some(304));
+        assert_eq!(e.loop_vars(), vec![v(0), v(1)]);
+    }
+
+    #[test]
+    fn div_by_zero_is_none() {
+        let e = Expr::Div(Box::new(Expr::Const(4)), Box::new(Expr::Const(0)));
+        assert_eq!(e.eval_closed(&Binding::new()), None);
+    }
+
+    #[test]
+    fn min_max() {
+        let e = Expr::Min(Box::new(Expr::Const(4)), Box::new(Expr::Const(9)));
+        assert_eq!(e.eval_closed(&Binding::new()), Some(4));
+        let e = Expr::Max(Box::new(Expr::Const(4)), Box::new(Expr::Const(9)));
+        assert_eq!(e.eval_closed(&Binding::new()), Some(9));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        // Paper notation: symbolic unknowns are displayed in brackets.
+        let e = Expr::param("max") * Expr::var(v(0));
+        assert_eq!(format!("{e}"), "([max] * i0)");
+    }
+
+    #[test]
+    fn floor_division_is_euclidean() {
+        let e = Expr::Div(Box::new(Expr::Const(-7)), Box::new(Expr::Const(2)));
+        assert_eq!(e.eval_closed(&Binding::new()), Some(-4));
+    }
+}

@@ -1,0 +1,277 @@
+//! A reference interpreter for kernels: executes the IR numerically.
+//!
+//! The suite exists in two forms — IR (analysed, modelled, simulated) and
+//! executable Rust (run on the real host). The interpreter closes the loop
+//! between them: executing a kernel's IR over f32 buffers must produce
+//! exactly what the hand-written implementation produces, which proves the
+//! transcription is faithful and therefore that the models and simulators
+//! are reasoning about the right program.
+//!
+//! The interpreter is a semantic tool, not a fast one: it runs the whole
+//! iteration space sequentially.
+
+use crate::binding::Binding;
+use crate::expr::Expr;
+use crate::kernel::{ArrayRef, CExpr, Kernel, Lhs, LoopVarId, Stmt};
+use std::collections::HashMap;
+
+/// Execution environment: named f32 buffers (row-major) and named scalars.
+#[derive(Debug, Default)]
+pub struct Env {
+    /// Array buffers keyed by declared array name.
+    pub buffers: HashMap<String, Vec<f32>>,
+    /// Scalar kernel arguments keyed by name (e.g. `alpha`).
+    pub scalars: HashMap<String, f32>,
+}
+
+impl Env {
+    /// Empty environment.
+    pub fn new() -> Env {
+        Env::default()
+    }
+
+    /// Inserts a buffer.
+    pub fn buffer(mut self, name: &str, data: Vec<f32>) -> Env {
+        self.buffers.insert(name.to_string(), data);
+        self
+    }
+
+    /// Inserts a scalar.
+    pub fn scalar(mut self, name: &str, v: f32) -> Env {
+        self.scalars.insert(name.to_string(), v);
+        self
+    }
+}
+
+struct Machine<'k> {
+    kernel: &'k Kernel,
+    binding: &'k Binding,
+    extents: Vec<Vec<i64>>,
+    vars: Vec<i64>,
+    accs: HashMap<String, f32>,
+}
+
+impl<'k> Machine<'k> {
+    fn var(&self, v: LoopVarId) -> Option<i64> {
+        self.vars.get(v.0).copied()
+    }
+
+    fn eval_expr(&self, e: &Expr) -> Result<i64, String> {
+        e.eval(self.binding, &|v| self.var(v))
+            .ok_or_else(|| format!("unresolved expression {e}"))
+    }
+
+    fn linear_index(&self, r: &ArrayRef) -> Result<usize, String> {
+        let extents = &self.extents[r.array.0];
+        let mut lin: i64 = 0;
+        for (d, idx) in r.index.iter().enumerate() {
+            let i = self.eval_expr(idx)?;
+            let name = &self.kernel.array(r.array).name;
+            if i < 0 || i >= extents[d] {
+                return Err(format!("{name}: index {i} out of bounds (dim {d}, extent {})", extents[d]));
+            }
+            lin = lin * extents[d] + i;
+        }
+        Ok(lin as usize)
+    }
+
+    fn load(&self, env: &Env, r: &ArrayRef) -> Result<f32, String> {
+        let name = &self.kernel.array(r.array).name;
+        let buf = env
+            .buffers
+            .get(name)
+            .ok_or_else(|| format!("missing buffer {name}"))?;
+        let i = self.linear_index(r)?;
+        buf.get(i).copied().ok_or_else(|| format!("{name}[{i}] out of range"))
+    }
+
+    fn eval_cexpr(&self, env: &Env, e: &CExpr, acc: Option<f32>) -> Result<f32, String> {
+        Ok(match e {
+            CExpr::Load(r) => self.load(env, r)?,
+            CExpr::Scalar(name) => {
+                if let Some(v) = self.accs.get(name) {
+                    *v
+                } else {
+                    *env
+                        .scalars
+                        .get(name)
+                        .ok_or_else(|| format!("missing scalar {name}"))?
+                }
+            }
+            CExpr::Lit(v) => *v as f32,
+            CExpr::Acc => acc.ok_or("CExpr::Acc without destination value")?,
+            CExpr::Add(a, b) => self.eval_cexpr(env, a, acc)? + self.eval_cexpr(env, b, acc)?,
+            CExpr::Sub(a, b) => self.eval_cexpr(env, a, acc)? - self.eval_cexpr(env, b, acc)?,
+            CExpr::Mul(a, b) => self.eval_cexpr(env, a, acc)? * self.eval_cexpr(env, b, acc)?,
+            CExpr::Div(a, b) => self.eval_cexpr(env, a, acc)? / self.eval_cexpr(env, b, acc)?,
+            CExpr::Sqrt(a) => self.eval_cexpr(env, a, acc)?.sqrt(),
+        })
+    }
+
+    fn exec(&mut self, env: &mut Env, stmts: &[Stmt]) -> Result<(), String> {
+        for s in stmts {
+            match s {
+                Stmt::For(l, body) => {
+                    let lo = self.eval_expr(&l.lower)?;
+                    let hi = self.eval_expr(&l.upper)?;
+                    for v in lo..hi {
+                        if self.vars.len() <= l.var.0 {
+                            self.vars.resize(l.var.0 + 1, 0);
+                        }
+                        self.vars[l.var.0] = v;
+                        self.exec(env, body)?;
+                    }
+                }
+                Stmt::Assign(a) => match &a.lhs {
+                    Lhs::Acc(name) => {
+                        let prev = self.accs.get(name).copied();
+                        let v = self.eval_cexpr(env, &a.rhs, prev)?;
+                        self.accs.insert(name.clone(), v);
+                    }
+                    Lhs::Array(r) => {
+                        let prev = if a.rhs.uses_acc() {
+                            Some(self.load(env, r)?)
+                        } else {
+                            None
+                        };
+                        let v = self.eval_cexpr(env, &a.rhs, prev)?;
+                        let i = self.linear_index(r)?;
+                        let name = &self.kernel.array(r.array).name;
+                        env.buffers.get_mut(name).unwrap()[i] = v;
+                    }
+                },
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Executes the kernel over the environment's buffers. Buffers must exist
+/// for every array the kernel accesses and have (at least) the declared
+/// number of elements under `binding`.
+pub fn execute(kernel: &Kernel, binding: &Binding, env: &mut Env) -> Result<(), String> {
+    let mut extents = Vec::with_capacity(kernel.arrays.len());
+    for a in &kernel.arrays {
+        let mut dims = Vec::with_capacity(a.extents.len());
+        for e in &a.extents {
+            dims.push(
+                e.eval_closed(binding)
+                    .ok_or_else(|| format!("{}: unresolved extent", a.name))?,
+            );
+        }
+        let need: i64 = dims.iter().product();
+        let have = env
+            .buffers
+            .get(&a.name)
+            .ok_or_else(|| format!("missing buffer {}", a.name))?
+            .len();
+        if (have as i64) < need {
+            return Err(format!("{}: buffer has {have} elements, kernel needs {need}", a.name));
+        }
+        extents.push(dims);
+    }
+    let mut m = Machine {
+        kernel,
+        binding,
+        extents,
+        vars: Vec::new(),
+        accs: HashMap::new(),
+    };
+    m.exec(env, &kernel.body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{cexpr, KernelBuilder};
+    use crate::kernel::Transfer;
+
+    #[test]
+    fn axpy_executes() {
+        let mut kb = KernelBuilder::new("axpy");
+        let x = kb.array("x", 4, &["n".into()], Transfer::In);
+        let y = kb.array("y", 4, &["n".into()], Transfer::InOut);
+        let i = kb.parallel_loop(0, "n");
+        let rhs = cexpr::add(
+            cexpr::mul(cexpr::scalar("a"), kb.load(x, &[i.into()])),
+            kb.load(y, &[i.into()]),
+        );
+        kb.store(y, &[i.into()], rhs);
+        kb.end_loop();
+        let k = kb.finish();
+
+        let n = 8;
+        let mut env = Env::new()
+            .buffer("x", (0..n).map(|v| v as f32).collect())
+            .buffer("y", vec![1.0; n])
+            .scalar("a", 2.0);
+        execute(&k, &Binding::new().with("n", n as i64), &mut env).unwrap();
+        let y = &env.buffers["y"];
+        for (i, v) in y.iter().enumerate() {
+            assert_eq!(*v, 2.0 * i as f32 + 1.0);
+        }
+    }
+
+    #[test]
+    fn reduction_executes() {
+        let mut kb = KernelBuilder::new("rowsum");
+        let a = kb.array("A", 4, &["n".into(), "n".into()], Transfer::In);
+        let y = kb.array("y", 4, &["n".into()], Transfer::Out);
+        let i = kb.parallel_loop(0, "n");
+        kb.acc_init("s", cexpr::lit(0.0));
+        let j = kb.seq_loop(0, "n");
+        let ld = kb.load(a, &[i.into(), j.into()]);
+        kb.assign_acc("s", cexpr::add(cexpr::acc(), ld));
+        kb.end_loop();
+        kb.store_acc(y, &[i.into()], "s");
+        kb.end_loop();
+        let k = kb.finish();
+
+        let n = 4i64;
+        let mut env = Env::new()
+            .buffer("A", (0..16).map(|v| v as f32).collect())
+            .buffer("y", vec![0.0; 4]);
+        execute(&k, &Binding::new().with("n", n), &mut env).unwrap();
+        assert_eq!(env.buffers["y"], vec![6.0, 22.0, 38.0, 54.0]);
+    }
+
+    #[test]
+    fn missing_buffer_is_an_error() {
+        let mut kb = KernelBuilder::new("t");
+        let a = kb.array("a", 4, &["n".into()], Transfer::Out);
+        let i = kb.parallel_loop(0, "n");
+        kb.store(a, &[i.into()], cexpr::lit(0.0));
+        kb.end_loop();
+        let k = kb.finish();
+        let err = execute(&k, &Binding::new().with("n", 4), &mut Env::new()).unwrap_err();
+        assert!(err.contains("missing buffer"));
+    }
+
+    #[test]
+    fn out_of_bounds_is_an_error() {
+        let mut kb = KernelBuilder::new("oob");
+        let a = kb.array("a", 4, &["n".into()], Transfer::InOut);
+        let i = kb.parallel_loop(0, "n");
+        let ld = kb.load(a, &[Expr::var(i) + Expr::Const(1)]);
+        kb.store(a, &[i.into()], ld);
+        kb.end_loop();
+        let k = kb.finish();
+        let mut env = Env::new().buffer("a", vec![0.0; 4]);
+        let err = execute(&k, &Binding::new().with("n", 4), &mut env).unwrap_err();
+        assert!(err.contains("out of bounds"), "{err}");
+    }
+
+    #[test]
+    fn rmw_store_reads_previous_value() {
+        // a[i] = acc * 2 where acc is the old a[i].
+        let mut kb = KernelBuilder::new("dbl");
+        let a = kb.array("a", 4, &["n".into()], Transfer::InOut);
+        let i = kb.parallel_loop(0, "n");
+        kb.store(a, &[i.into()], cexpr::mul(cexpr::acc(), cexpr::lit(2.0)));
+        kb.end_loop();
+        let k = kb.finish();
+        let mut env = Env::new().buffer("a", vec![1.0, 2.0, 3.0]);
+        execute(&k, &Binding::new().with("n", 3), &mut env).unwrap();
+        assert_eq!(env.buffers["a"], vec![2.0, 4.0, 6.0]);
+    }
+}

@@ -1,0 +1,585 @@
+//! The kernel IR: an OpenMP-style `target teams distribute parallel for`
+//! loop nest in a form amenable to static analysis.
+//!
+//! A [`Kernel`] corresponds to one outlined OpenMP target region: a loop nest
+//! whose outermost loop (or outermost perfectly-nested loops, mirroring
+//! `collapse`) is parallel, with a body of assignments over affine array
+//! accesses, scalar accumulators, and sequential inner loops. This captures
+//! exactly the program features the paper's models consume: the instruction
+//! loadout, the memory accesses with their symbolic index expressions, trip
+//! counts, and the data-transfer footprint of the region.
+
+use crate::binding::Binding;
+use crate::expr::Expr;
+use std::fmt;
+
+/// Identifier of a loop induction variable within a kernel (dense indices).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LoopVarId(pub usize);
+
+impl fmt::Display for LoopVarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+/// Identifier of an array declared by a kernel (dense indices).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArrayId(pub usize);
+
+/// Direction of the host<->device transfer implied by an OpenMP `map` clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Transfer {
+    /// `map(to:)` — copied host-to-device before launch.
+    In,
+    /// `map(from:)` — copied device-to-host after completion.
+    Out,
+    /// `map(tofrom:)` — copied both ways.
+    InOut,
+    /// `map(alloc:)` — device-resident scratch, never copied.
+    Alloc,
+}
+
+impl Transfer {
+    /// True if the array is copied host-to-device.
+    pub fn to_device(self) -> bool {
+        matches!(self, Transfer::In | Transfer::InOut)
+    }
+
+    /// True if the array is copied device-to-host.
+    pub fn from_device(self) -> bool {
+        matches!(self, Transfer::Out | Transfer::InOut)
+    }
+}
+
+/// An array declared by (mapped into) a target region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayDecl {
+    /// Source-level name, e.g. `"A"`.
+    pub name: String,
+    /// Element size in bytes (4 for `float`, 8 for `double`).
+    pub elem_bytes: u32,
+    /// Extents of each dimension, outermost first (row-major layout).
+    pub extents: Vec<Expr>,
+    /// Transfer direction.
+    pub transfer: Transfer,
+}
+
+impl ArrayDecl {
+    /// Total size in bytes under a runtime binding.
+    pub fn bytes(&self, binding: &Binding) -> Option<u64> {
+        let mut n: u64 = u64::from(self.elem_bytes);
+        for e in &self.extents {
+            let v = e.eval_closed(binding)?;
+            if v < 0 {
+                return None;
+            }
+            n = n.checked_mul(v as u64)?;
+        }
+        Some(n)
+    }
+
+    /// Number of elements under a runtime binding.
+    pub fn elements(&self, binding: &Binding) -> Option<u64> {
+        self.bytes(binding).map(|b| b / u64::from(self.elem_bytes))
+    }
+}
+
+/// A (possibly multi-dimensional) array access, e.g. `A[i][k]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayRef {
+    /// Which declared array is accessed.
+    pub array: ArrayId,
+    /// One index expression per dimension, outermost first.
+    pub index: Vec<Expr>,
+}
+
+/// The floating-point dataflow of an assignment's right-hand side.
+///
+/// Keeping the real dataflow tree (rather than just operation counts) lets
+/// the machine-code analyzer see dependency chains — e.g. the loop-carried
+/// accumulator chain of a dot product, which bounds CPU throughput.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CExpr {
+    /// Load an array element.
+    Load(ArrayRef),
+    /// A scalar kernel argument held in a register (e.g. `alpha`).
+    Scalar(String),
+    /// A floating-point literal.
+    Lit(f64),
+    /// The current value of the destination (read-modify-write), e.g. the
+    /// scalar accumulator of a reduction or `C[i][j]` in `C[i][j] += ...`.
+    Acc,
+    /// Addition.
+    Add(Box<CExpr>, Box<CExpr>),
+    /// Subtraction.
+    Sub(Box<CExpr>, Box<CExpr>),
+    /// Multiplication.
+    Mul(Box<CExpr>, Box<CExpr>),
+    /// Division.
+    Div(Box<CExpr>, Box<CExpr>),
+    /// Square root.
+    Sqrt(Box<CExpr>),
+}
+
+impl CExpr {
+    /// Load helper.
+    pub fn load(r: ArrayRef) -> CExpr {
+        CExpr::Load(r)
+    }
+
+    /// Walks all array references in evaluation order.
+    pub fn for_each_load(&self, f: &mut impl FnMut(&ArrayRef)) {
+        match self {
+            CExpr::Load(r) => f(r),
+            CExpr::Scalar(_) | CExpr::Lit(_) | CExpr::Acc => {}
+            CExpr::Add(a, b) | CExpr::Sub(a, b) | CExpr::Mul(a, b) | CExpr::Div(a, b) => {
+                a.for_each_load(f);
+                b.for_each_load(f);
+            }
+            CExpr::Sqrt(a) => a.for_each_load(f),
+        }
+    }
+
+    /// True if the expression reads the destination's previous value.
+    pub fn uses_acc(&self) -> bool {
+        match self {
+            CExpr::Acc => true,
+            CExpr::Load(_) | CExpr::Scalar(_) | CExpr::Lit(_) => false,
+            CExpr::Add(a, b) | CExpr::Sub(a, b) | CExpr::Mul(a, b) | CExpr::Div(a, b) => {
+                a.uses_acc() || b.uses_acc()
+            }
+            CExpr::Sqrt(a) => a.uses_acc(),
+        }
+    }
+
+    /// Counts floating-point operations by kind: `(add_sub, mul, div, sqrt)`.
+    pub fn fp_op_counts(&self) -> FpOps {
+        let mut ops = FpOps::default();
+        self.accumulate_ops(&mut ops);
+        ops
+    }
+
+    fn accumulate_ops(&self, ops: &mut FpOps) {
+        match self {
+            CExpr::Load(_) | CExpr::Scalar(_) | CExpr::Lit(_) | CExpr::Acc => {}
+            CExpr::Add(a, b) | CExpr::Sub(a, b) => {
+                ops.add_sub += 1;
+                a.accumulate_ops(ops);
+                b.accumulate_ops(ops);
+            }
+            CExpr::Mul(a, b) => {
+                ops.mul += 1;
+                a.accumulate_ops(ops);
+                b.accumulate_ops(ops);
+            }
+            CExpr::Div(a, b) => {
+                ops.div += 1;
+                a.accumulate_ops(ops);
+                b.accumulate_ops(ops);
+            }
+            CExpr::Sqrt(a) => {
+                ops.sqrt += 1;
+                a.accumulate_ops(ops);
+            }
+        }
+    }
+}
+
+/// Floating-point operation counts of an expression or statement body.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FpOps {
+    /// Additions and subtractions.
+    pub add_sub: u64,
+    /// Multiplications.
+    pub mul: u64,
+    /// Divisions.
+    pub div: u64,
+    /// Square roots.
+    pub sqrt: u64,
+}
+
+impl FpOps {
+    /// Total floating-point operations.
+    pub fn total(&self) -> u64 {
+        self.add_sub + self.mul + self.div + self.sqrt
+    }
+}
+
+impl std::ops::Add for FpOps {
+    type Output = FpOps;
+    fn add(self, r: FpOps) -> FpOps {
+        FpOps {
+            add_sub: self.add_sub + r.add_sub,
+            mul: self.mul + r.mul,
+            div: self.div + r.div,
+            sqrt: self.sqrt + r.sqrt,
+        }
+    }
+}
+
+/// The destination of an assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lhs {
+    /// A store to an array element.
+    Array(ArrayRef),
+    /// A named scalar accumulator held in a register (no memory traffic).
+    Acc(String),
+}
+
+/// One assignment statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assign {
+    /// Destination.
+    pub lhs: Lhs,
+    /// Right-hand side dataflow.
+    pub rhs: CExpr,
+}
+
+/// A `for` loop header. The iteration domain is `lower <= v < upper`, step 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Loop {
+    /// Induction variable.
+    pub var: LoopVarId,
+    /// Inclusive lower bound.
+    pub lower: Expr,
+    /// Exclusive upper bound.
+    pub upper: Expr,
+    /// True for loops in the parallel (distributed) iteration space.
+    pub parallel: bool,
+}
+
+impl Loop {
+    /// Trip count when the bounds are closed under `binding`; `outer`
+    /// supplies values for any outer loop variables the bounds reference
+    /// (e.g. triangular nests).
+    pub fn trip_count(
+        &self,
+        binding: &Binding,
+        outer: &dyn Fn(LoopVarId) -> Option<i64>,
+    ) -> Option<i64> {
+        let lo = self.lower.eval(binding, outer)?;
+        let hi = self.upper.eval(binding, outer)?;
+        Some((hi - lo).max(0))
+    }
+}
+
+/// A statement: either a nested loop or an assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// A (possibly sequential) nested loop.
+    For(Loop, Vec<Stmt>),
+    /// An assignment.
+    Assign(Assign),
+}
+
+impl Stmt {
+    /// Depth-first walk over all assignments, passing the stack of enclosing
+    /// loops (outermost first).
+    pub fn walk_assigns<'a>(&'a self, loops: &mut Vec<&'a Loop>, f: &mut impl FnMut(&[&Loop], &Assign)) {
+        match self {
+            Stmt::For(l, body) => {
+                loops.push(l);
+                for s in body {
+                    s.walk_assigns(loops, f);
+                }
+                loops.pop();
+            }
+            Stmt::Assign(a) => f(loops, a),
+        }
+    }
+}
+
+/// One outlined OpenMP target region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    /// Identifier, e.g. `"gemm"` or `"corr.k2"`.
+    pub name: String,
+    /// Arrays mapped into the region.
+    pub arrays: Vec<ArrayDecl>,
+    /// Top-level statements. The outermost loops marked `parallel` form the
+    /// distributed iteration space.
+    pub body: Vec<Stmt>,
+}
+
+impl Kernel {
+    /// Looks up an array declaration.
+    pub fn array(&self, id: ArrayId) -> &ArrayDecl {
+        &self.arrays[id.0]
+    }
+
+    /// The outermost chain of perfectly-nested parallel loops
+    /// (the `teams distribute parallel for [collapse]` dimensions),
+    /// outermost first.
+    pub fn parallel_loops(&self) -> Vec<&Loop> {
+        let mut out = Vec::new();
+        let mut stmts: &[Stmt] = &self.body;
+        loop {
+            match stmts {
+                [Stmt::For(l, body)] if l.parallel => {
+                    out.push(l);
+                    stmts = body;
+                }
+                _ => break,
+            }
+        }
+        out
+    }
+
+    /// Statements forming the body of one parallel iteration (the statements
+    /// inside the innermost parallel loop).
+    pub fn parallel_body(&self) -> &[Stmt] {
+        let mut stmts: &[Stmt] = &self.body;
+        loop {
+            match stmts {
+                [Stmt::For(l, body)] if l.parallel => stmts = body,
+                _ => return stmts,
+            }
+        }
+    }
+
+    /// The innermost parallel loop variable: the dimension mapped to
+    /// consecutive GPU threads (and thus the dimension IPDA differentiates
+    /// over).
+    pub fn thread_dim(&self) -> Option<LoopVarId> {
+        self.parallel_loops().last().map(|l| l.var)
+    }
+
+    /// Total number of parallel work items under a runtime binding.
+    ///
+    /// Parallel loop bounds must be closed expressions (true for all
+    /// OpenMP-distributable loops in this IR).
+    pub fn parallel_iterations(&self, binding: &Binding) -> Option<u64> {
+        let mut total: u64 = 1;
+        for l in self.parallel_loops() {
+            let t = l.trip_count(binding, &|_| None)?;
+            total = total.checked_mul(t.max(0) as u64)?;
+        }
+        Some(total)
+    }
+
+    /// Bytes transferred host-to-device before launch.
+    pub fn bytes_to_device(&self, binding: &Binding) -> Option<u64> {
+        self.arrays
+            .iter()
+            .filter(|a| a.transfer.to_device())
+            .map(|a| a.bytes(binding))
+            .try_fold(0u64, |acc, b| Some(acc + b?))
+    }
+
+    /// Bytes transferred device-to-host after completion.
+    pub fn bytes_from_device(&self, binding: &Binding) -> Option<u64> {
+        self.arrays
+            .iter()
+            .filter(|a| a.transfer.from_device())
+            .map(|a| a.bytes(binding))
+            .try_fold(0u64, |acc, b| Some(acc + b?))
+    }
+
+    /// All symbolic parameters referenced anywhere in the kernel.
+    pub fn params(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for a in &self.arrays {
+            for e in &a.extents {
+                out.extend(e.params());
+            }
+        }
+        fn visit(stmts: &[Stmt], out: &mut Vec<String>) {
+            for s in stmts {
+                match s {
+                    Stmt::For(l, body) => {
+                        out.extend(l.lower.params());
+                        out.extend(l.upper.params());
+                        visit(body, out);
+                    }
+                    Stmt::Assign(a) => {
+                        if let Lhs::Array(r) = &a.lhs {
+                            for e in &r.index {
+                                out.extend(e.params());
+                            }
+                        }
+                        a.rhs.for_each_load(&mut |r| {
+                            for e in &r.index {
+                                out.extend(e.params());
+                            }
+                        });
+                    }
+                }
+            }
+        }
+        visit(&self.body, &mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Walks every assignment with its enclosing loop stack.
+    pub fn walk_assigns(&self, mut f: impl FnMut(&[&Loop], &Assign)) {
+        let mut loops = Vec::new();
+        for s in &self.body {
+            s.walk_assigns(&mut loops, &mut f);
+        }
+    }
+
+    /// Structural validation: every referenced array exists and every access
+    /// has the right dimensionality; parallel loops appear only as the
+    /// outermost perfect nest.
+    pub fn validate(&self) -> Result<(), String> {
+        let check_ref = |r: &ArrayRef| -> Result<(), String> {
+            let decl = self
+                .arrays
+                .get(r.array.0)
+                .ok_or_else(|| format!("{}: unknown array id {:?}", self.name, r.array))?;
+            if decl.extents.len() != r.index.len() {
+                return Err(format!(
+                    "{}: access to {} has {} indices, array has {} dims",
+                    self.name,
+                    decl.name,
+                    r.index.len(),
+                    decl.extents.len()
+                ));
+            }
+            Ok(())
+        };
+        let mut err = None;
+        self.walk_assigns(|_, a| {
+            if err.is_some() {
+                return;
+            }
+            if let Lhs::Array(r) = &a.lhs {
+                if let Err(e) = check_ref(r) {
+                    err = Some(e);
+                }
+            }
+            a.rhs.for_each_load(&mut |r| {
+                if err.is_none() {
+                    if let Err(e) = check_ref(r) {
+                        err = Some(e);
+                    }
+                }
+            });
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+        // Parallel loops must be the outermost perfect nest only.
+        fn check_no_parallel(stmts: &[Stmt], name: &str) -> Result<(), String> {
+            for s in stmts {
+                if let Stmt::For(l, body) = s {
+                    if l.parallel {
+                        return Err(format!("{name}: parallel loop {} not outermost", l.var));
+                    }
+                    check_no_parallel(body, name)?;
+                }
+            }
+            Ok(())
+        }
+        check_no_parallel(self.parallel_body(), &self.name)?;
+        if self.parallel_loops().is_empty() {
+            return Err(format!("{}: no parallel loops", self.name));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+
+    /// `#pragma omp target teams distribute parallel for`
+    /// `for (i = 0..n) for (j = 0..n) acc += A[i][j] * x[j]; y[i] = acc`
+    fn mv_kernel() -> Kernel {
+        let mut kb = KernelBuilder::new("mv");
+        let a = kb.array("A", 8, &["n".into(), "n".into()], Transfer::In);
+        let x = kb.array("x", 8, &["n".into()], Transfer::In);
+        let y = kb.array("y", 8, &["n".into()], Transfer::Out);
+        let i = kb.parallel_loop(0, "n");
+        kb.acc_init("sum", CExpr::Lit(0.0));
+        let j = kb.seq_loop(0, "n");
+        kb.assign_acc(
+            "sum",
+            CExpr::Add(
+                Box::new(CExpr::Acc),
+                Box::new(CExpr::Mul(
+                    Box::new(kb.load(a, &[i.into(), j.into()])),
+                    Box::new(kb.load(x, &[j.into()])),
+                )),
+            ),
+        );
+        kb.end_loop();
+        kb.store_acc(y, &[i.into()], "sum");
+        kb.end_loop();
+        kb.finish()
+    }
+
+    #[test]
+    fn mv_validates() {
+        let k = mv_kernel();
+        k.validate().unwrap();
+    }
+
+    #[test]
+    fn mv_parallel_structure() {
+        let k = mv_kernel();
+        let ploops = k.parallel_loops();
+        assert_eq!(ploops.len(), 1);
+        assert_eq!(k.thread_dim(), Some(ploops[0].var));
+        let b = Binding::new().with("n", 1100);
+        assert_eq!(k.parallel_iterations(&b), Some(1100));
+    }
+
+    #[test]
+    fn mv_transfer_footprint() {
+        let k = mv_kernel();
+        let b = Binding::new().with("n", 100);
+        // A (100*100*8) + x (100*8) to device; y (100*8) from device.
+        assert_eq!(k.bytes_to_device(&b), Some(80_000 + 800));
+        assert_eq!(k.bytes_from_device(&b), Some(800));
+    }
+
+    #[test]
+    fn mv_params() {
+        assert_eq!(mv_kernel().params(), vec!["n".to_string()]);
+    }
+
+    #[test]
+    fn walk_visits_all_assigns() {
+        let k = mv_kernel();
+        let mut n = 0;
+        k.walk_assigns(|_, _| n += 1);
+        assert_eq!(n, 3); // init, fma, store
+    }
+
+    #[test]
+    fn fp_ops_counted() {
+        let k = mv_kernel();
+        let mut fma_ops = FpOps::default();
+        k.walk_assigns(|loops, a| {
+            if loops.len() == 2 {
+                fma_ops = a.rhs.fp_op_counts();
+            }
+        });
+        assert_eq!(fma_ops.add_sub, 1);
+        assert_eq!(fma_ops.mul, 1);
+    }
+
+    #[test]
+    fn trip_count_respects_outer_vars() {
+        // for j in i..n (triangular)
+        let l = Loop {
+            var: LoopVarId(1),
+            lower: Expr::Var(LoopVarId(0)),
+            upper: Expr::param("n"),
+            parallel: false,
+        };
+        let b = Binding::new().with("n", 10);
+        assert_eq!(l.trip_count(&b, &|_| Some(4)), Some(6));
+    }
+
+    #[test]
+    fn unbound_parallel_iterations_is_none() {
+        let k = mv_kernel();
+        assert_eq!(k.parallel_iterations(&Binding::new()), None);
+    }
+}

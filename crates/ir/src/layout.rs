@@ -1,0 +1,175 @@
+//! Concrete memory layout of a kernel's arrays.
+//!
+//! The timing simulators need real byte addresses to model caches and
+//! coalescing. [`MemoryLayout`] resolves every array's extents under a
+//! runtime binding and assigns base addresses in a single contiguous address
+//! space, mirroring how a device runtime would place the mapped buffers.
+
+use crate::binding::Binding;
+use crate::kernel::{ArrayId, Kernel};
+
+/// Alignment of each array's base address, matching typical device allocator
+/// guarantees (and ensuring the coalescing behaviour of aligned accesses).
+pub const ARRAY_ALIGN: u64 = 256;
+
+/// A single array with resolved extents and a concrete base address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolvedArray {
+    /// Base byte address.
+    pub base: u64,
+    /// Element size in bytes.
+    pub elem_bytes: u32,
+    /// Resolved extent of each dimension, outermost first.
+    pub extents: Vec<i64>,
+    /// Row-major stride of each dimension, in elements.
+    pub strides: Vec<i64>,
+}
+
+impl ResolvedArray {
+    /// Byte address of `array[idx...]`. Indices out of range still produce an
+    /// address (the simulators sample fringe iterations); callers that need
+    /// bounds checking use [`ResolvedArray::in_bounds`].
+    pub fn addr(&self, idx: &[i64]) -> u64 {
+        debug_assert_eq!(idx.len(), self.extents.len());
+        let mut lin: i64 = 0;
+        for (i, s) in idx.iter().zip(&self.strides) {
+            lin += i * s;
+        }
+        self.base
+            .wrapping_add((lin * i64::from(self.elem_bytes)) as u64)
+    }
+
+    /// True if every index is within the declared extents.
+    pub fn in_bounds(&self, idx: &[i64]) -> bool {
+        idx.iter()
+            .zip(&self.extents)
+            .all(|(i, e)| *i >= 0 && i < e)
+    }
+
+    /// Total size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.extents.iter().product::<i64>() as u64 * u64::from(self.elem_bytes)
+    }
+}
+
+/// Resolved layout for all arrays of a kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryLayout {
+    arrays: Vec<ResolvedArray>,
+    total_bytes: u64,
+}
+
+impl MemoryLayout {
+    /// Resolves extents under `binding` and packs arrays sequentially with
+    /// [`ARRAY_ALIGN`] alignment. Returns `None` if any extent is unbound or
+    /// negative.
+    pub fn resolve(kernel: &Kernel, binding: &Binding) -> Option<MemoryLayout> {
+        let mut arrays = Vec::with_capacity(kernel.arrays.len());
+        let mut cursor: u64 = ARRAY_ALIGN;
+        for decl in &kernel.arrays {
+            let mut extents = Vec::with_capacity(decl.extents.len());
+            for e in &decl.extents {
+                let v = e.eval_closed(binding)?;
+                if v < 0 {
+                    return None;
+                }
+                extents.push(v);
+            }
+            // Row-major strides: stride of dim d is the product of all inner
+            // extents.
+            let mut strides = vec![1i64; extents.len()];
+            for d in (0..extents.len().saturating_sub(1)).rev() {
+                strides[d] = strides[d + 1] * extents[d + 1];
+            }
+            let ra = ResolvedArray {
+                base: cursor,
+                elem_bytes: decl.elem_bytes,
+                extents,
+                strides,
+            };
+            cursor += ra.bytes().div_ceil(ARRAY_ALIGN) * ARRAY_ALIGN;
+            arrays.push(ra);
+        }
+        Some(MemoryLayout {
+            arrays,
+            total_bytes: cursor,
+        })
+    }
+
+    /// The resolved form of one array.
+    pub fn array(&self, id: ArrayId) -> &ResolvedArray {
+        &self.arrays[id.0]
+    }
+
+    /// Total footprint of all arrays in bytes (including alignment padding).
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Iterates over all resolved arrays.
+    pub fn iter(&self) -> impl Iterator<Item = &ResolvedArray> {
+        self.arrays.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{cexpr, KernelBuilder};
+    use crate::kernel::Transfer;
+
+    fn two_array_kernel() -> Kernel {
+        let mut kb = KernelBuilder::new("t");
+        let a = kb.array("A", 8, &["n".into(), "m".into()], Transfer::In);
+        let b = kb.array("b", 4, &["m".into()], Transfer::Out);
+        let i = kb.parallel_loop(0, "n");
+        let ld = kb.load(a, &[i.into(), i.into()]);
+        kb.store(b, &[i.into()], ld);
+        kb.end_loop();
+        let _ = cexpr::lit(0.0);
+        kb.finish()
+    }
+
+    #[test]
+    fn resolve_assigns_aligned_disjoint_ranges() {
+        let k = two_array_kernel();
+        let b = Binding::new().with("n", 10).with("m", 6);
+        let l = MemoryLayout::resolve(&k, &b).unwrap();
+        let a0 = l.array(ArrayId(0));
+        let a1 = l.array(ArrayId(1));
+        assert_eq!(a0.bytes(), 10 * 6 * 8);
+        assert_eq!(a1.bytes(), 6 * 4);
+        assert_eq!(a0.base % ARRAY_ALIGN, 0);
+        assert_eq!(a1.base % ARRAY_ALIGN, 0);
+        assert!(a1.base >= a0.base + a0.bytes());
+    }
+
+    #[test]
+    fn row_major_addressing() {
+        let k = two_array_kernel();
+        let b = Binding::new().with("n", 10).with("m", 6);
+        let l = MemoryLayout::resolve(&k, &b).unwrap();
+        let a0 = l.array(ArrayId(0));
+        // A[2][3] = base + (2*6 + 3) * 8
+        assert_eq!(a0.addr(&[2, 3]), a0.base + 15 * 8);
+        assert!(a0.in_bounds(&[9, 5]));
+        assert!(!a0.in_bounds(&[10, 0]));
+        assert!(!a0.in_bounds(&[-1, 0]));
+    }
+
+    #[test]
+    fn unbound_extent_fails() {
+        let k = two_array_kernel();
+        assert!(MemoryLayout::resolve(&k, &Binding::new().with("n", 10)).is_none());
+    }
+
+    #[test]
+    fn adjacent_elements_are_contiguous() {
+        let k = two_array_kernel();
+        let b = Binding::new().with("n", 10).with("m", 6);
+        let l = MemoryLayout::resolve(&k, &b).unwrap();
+        let a0 = l.array(ArrayId(0));
+        assert_eq!(a0.addr(&[0, 1]) - a0.addr(&[0, 0]), 8);
+        assert_eq!(a0.addr(&[1, 0]) - a0.addr(&[0, 0]), 48);
+    }
+}

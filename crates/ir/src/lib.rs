@@ -1,0 +1,47 @@
+//! # hetsel-ir — kernel IR for OpenMP-style target regions
+//!
+//! The intermediate representation shared by every component of the `hetsel`
+//! framework. A [`Kernel`] models one outlined OpenMP target region — an
+//! outer parallel loop nest over a body of affine array accesses, scalar
+//! accumulators and sequential inner loops — carrying exactly the program
+//! features the paper's hybrid analysis consumes:
+//!
+//! * symbolic [`Expr`]essions for loop bounds, array extents and indices,
+//!   with runtime parameters resolved late via a [`Binding`];
+//! * the affine normal form ([`Affine`]) over which the iteration-point
+//!   difference analysis (crate `hetsel-ipda`) computes inter-thread strides;
+//! * the floating-point dataflow of each statement ([`CExpr`]), from which
+//!   the machine-code analyzer (crate `hetsel-mca`) derives dependency
+//!   chains and cycles-per-iteration;
+//! * the transfer footprint implied by the region's `map` clauses;
+//! * a concrete [`MemoryLayout`] for the address-accurate timing simulators.
+
+#![warn(missing_docs)]
+
+pub mod affine;
+pub mod binding;
+pub mod builder;
+pub mod expr;
+pub mod interp;
+pub mod kernel;
+pub mod layout;
+pub mod poly;
+pub mod render;
+pub mod simplify;
+pub mod synth;
+pub mod trips;
+
+pub use affine::{expr_to_poly, linearize, Affine};
+pub use binding::Binding;
+pub use builder::{cexpr, KernelBuilder};
+pub use expr::Expr;
+pub use interp::{execute, Env};
+pub use kernel::{
+    ArrayDecl, ArrayId, ArrayRef, Assign, CExpr, FpOps, Kernel, Lhs, Loop, LoopVarId, Stmt,
+    Transfer,
+};
+pub use layout::{MemoryLayout, ResolvedArray, ARRAY_ALIGN};
+pub use poly::Poly;
+pub use render::to_openmp_c;
+pub use synth::{generate as synth_kernel, SynthKernel};
+pub use trips::TripCounts;

@@ -1,0 +1,310 @@
+//! Multivariate integer polynomials over symbolic parameters.
+//!
+//! [`Poly`] is the closed symbolic value domain of the IPDA analysis: an
+//! inter-thread access-stride expression is, for the affine programs the
+//! analysis targets, a polynomial in the program's runtime parameters
+//! (e.g. `[max]`, `2*[n] + 1`, `[n]*[m]`). Polynomials support exact
+//! addition, subtraction and multiplication, canonical normal form (so
+//! structural equality is semantic equality), and evaluation under a
+//! runtime [`Binding`].
+
+use crate::binding::Binding;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A monomial: a product of parameters raised to positive powers, in
+/// canonical (sorted) order. The empty monomial is the constant term.
+type Monomial = BTreeMap<String, u32>;
+
+/// A multivariate polynomial with `i64` coefficients over named parameters.
+///
+/// Stored in canonical form: no zero coefficients, monomials sorted by the
+/// `BTreeMap` order. Two polynomials are semantically equal iff they are
+/// structurally equal.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Poly {
+    terms: BTreeMap<Monomial, i64>,
+}
+
+impl Poly {
+    /// The zero polynomial.
+    pub fn zero() -> Poly {
+        Poly::default()
+    }
+
+    /// A constant polynomial.
+    pub fn constant(c: i64) -> Poly {
+        let mut p = Poly::zero();
+        if c != 0 {
+            p.terms.insert(Monomial::new(), c);
+        }
+        p
+    }
+
+    /// The polynomial consisting of a single parameter.
+    pub fn param(name: impl Into<String>) -> Poly {
+        let mut m = Monomial::new();
+        m.insert(name.into(), 1);
+        let mut p = Poly::zero();
+        p.terms.insert(m, 1);
+        p
+    }
+
+    /// True if this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// If the polynomial is a constant, returns it.
+    pub fn as_const(&self) -> Option<i64> {
+        match self.terms.len() {
+            0 => Some(0),
+            1 => {
+                let (m, c) = self.terms.iter().next().unwrap();
+                if m.is_empty() {
+                    Some(*c)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// True if the polynomial references no parameters.
+    pub fn is_const(&self) -> bool {
+        self.as_const().is_some()
+    }
+
+    /// The set of parameters appearing in the polynomial.
+    pub fn params(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .terms
+            .keys()
+            .flat_map(|m| m.keys().cloned())
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Evaluates the polynomial under a runtime binding. Returns `None` if a
+    /// referenced parameter is unbound.
+    pub fn eval(&self, binding: &Binding) -> Option<i64> {
+        let mut total: i64 = 0;
+        for (m, c) in &self.terms {
+            let mut term = *c;
+            for (p, pow) in m {
+                let v = binding.get(p)?;
+                for _ in 0..*pow {
+                    term = term.wrapping_mul(v);
+                }
+            }
+            total = total.wrapping_add(term);
+        }
+        Some(total)
+    }
+
+    /// Degree of the polynomial (0 for constants; 0 for the zero polynomial).
+    pub fn degree(&self) -> u32 {
+        self.terms
+            .keys()
+            .map(|m| m.values().sum::<u32>())
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn add_term(&mut self, m: Monomial, c: i64) {
+        if c == 0 {
+            return;
+        }
+        let entry = self.terms.entry(m).or_insert(0);
+        *entry = entry.wrapping_add(c);
+        if *entry == 0 {
+            // Re-borrow to remove; find key by recomputing entry is awkward,
+            // so retain instead.
+            self.terms.retain(|_, v| *v != 0);
+        }
+    }
+
+    /// Multiplies by an integer scalar.
+    pub fn scale(&self, k: i64) -> Poly {
+        if k == 0 {
+            return Poly::zero();
+        }
+        let mut out = Poly::zero();
+        for (m, c) in &self.terms {
+            out.terms.insert(m.clone(), c.wrapping_mul(k));
+        }
+        out
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Poly {
+        self.scale(-1)
+    }
+}
+
+impl std::ops::Add for &Poly {
+    type Output = Poly;
+    fn add(self, rhs: &Poly) -> Poly {
+        let mut out = self.clone();
+        for (m, c) in &rhs.terms {
+            out.add_term(m.clone(), *c);
+        }
+        out
+    }
+}
+
+impl std::ops::Sub for &Poly {
+    type Output = Poly;
+    fn sub(self, rhs: &Poly) -> Poly {
+        let mut out = self.clone();
+        for (m, c) in &rhs.terms {
+            out.add_term(m.clone(), c.wrapping_neg());
+        }
+        out
+    }
+}
+
+impl std::ops::Mul for &Poly {
+    type Output = Poly;
+    #[allow(clippy::suspicious_arithmetic_impl)] // exponents add when monomials multiply
+    fn mul(self, rhs: &Poly) -> Poly {
+        let mut out = Poly::zero();
+        for (ma, ca) in &self.terms {
+            for (mb, cb) in &rhs.terms {
+                let mut m = ma.clone();
+                for (p, pow) in mb {
+                    *m.entry(p.clone()).or_insert(0) += pow;
+                }
+                out.add_term(m, ca.wrapping_mul(*cb));
+            }
+        }
+        out
+    }
+}
+
+impl std::ops::Add for Poly {
+    type Output = Poly;
+    fn add(self, rhs: Poly) -> Poly {
+        &self + &rhs
+    }
+}
+
+impl std::ops::Sub for Poly {
+    type Output = Poly;
+    fn sub(self, rhs: Poly) -> Poly {
+        &self - &rhs
+    }
+}
+
+impl std::ops::Mul for Poly {
+    type Output = Poly;
+    fn mul(self, rhs: Poly) -> Poly {
+        &self * &rhs
+    }
+}
+
+impl From<i64> for Poly {
+    fn from(c: i64) -> Poly {
+        Poly::constant(c)
+    }
+}
+
+impl fmt::Display for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        for (i, (m, c)) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            if m.is_empty() {
+                write!(f, "{c}")?;
+            } else {
+                if *c != 1 {
+                    write!(f, "{c}*")?;
+                }
+                for (j, (p, pow)) in m.iter().enumerate() {
+                    if j > 0 {
+                        write!(f, "*")?;
+                    }
+                    if *pow == 1 {
+                        write!(f, "[{p}]")?;
+                    } else {
+                        write!(f, "[{p}]^{pow}")?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_arithmetic() {
+        let a = Poly::constant(3);
+        let b = Poly::constant(4);
+        assert_eq!((&a + &b).as_const(), Some(7));
+        assert_eq!((&a - &b).as_const(), Some(-1));
+        assert_eq!((&a * &b).as_const(), Some(12));
+    }
+
+    #[test]
+    fn zero_is_canonical() {
+        let n = Poly::param("n");
+        let z = &n - &n;
+        assert!(z.is_zero());
+        assert_eq!(z, Poly::zero());
+        assert_eq!(z.as_const(), Some(0));
+    }
+
+    #[test]
+    fn param_evaluation() {
+        // 2*n*m + 3*n + 1
+        let n = Poly::param("n");
+        let m = Poly::param("m");
+        let p = &(&(&n * &m).scale(2) + &n.scale(3)) + &Poly::constant(1);
+        let b = Binding::new().with("n", 5).with("m", 7);
+        assert_eq!(p.eval(&b), Some(2 * 35 + 15 + 1));
+        assert_eq!(p.degree(), 2);
+        assert_eq!(p.params(), vec!["m".to_string(), "n".to_string()]);
+    }
+
+    #[test]
+    fn unbound_param_evaluates_to_none() {
+        let p = Poly::param("n");
+        assert_eq!(p.eval(&Binding::new()), None);
+    }
+
+    #[test]
+    fn paper_ipda_example_display() {
+        // IPD of A[max * a] over thread dimension a is [max].
+        let stride = Poly::param("max");
+        assert_eq!(format!("{stride}"), "[max]");
+    }
+
+    #[test]
+    fn mul_collects_like_terms() {
+        // (n + 1)(n - 1) = n^2 - 1
+        let n = Poly::param("n");
+        let a = &n + &Poly::constant(1);
+        let b = &n - &Poly::constant(1);
+        let p = &a * &b;
+        let bdg = Binding::new().with("n", 9);
+        assert_eq!(p.eval(&bdg), Some(80));
+        assert_eq!(p.degree(), 2);
+        assert_eq!(format!("{p}"), "-1 + [n]^2");
+    }
+
+    #[test]
+    fn scale_by_zero_is_zero() {
+        assert!(Poly::param("n").scale(0).is_zero());
+    }
+}

@@ -1,0 +1,230 @@
+//! Rendering kernels back to OpenMP C pseudo-code.
+//!
+//! The IR is a transcription of OpenMP target regions; being able to print
+//! a kernel as the C it denotes keeps the transcription auditable (every
+//! Polybench kernel can be eyeballed against its source) and makes
+//! diagnostic output readable.
+
+use crate::expr::Expr;
+use crate::kernel::{CExpr, Kernel, Lhs, Loop, Stmt, Transfer};
+use std::fmt::Write;
+
+/// Renders an index/bound expression as C (parameters appear bare).
+pub fn expr_to_c(e: &Expr) -> String {
+    match e {
+        Expr::Const(c) => c.to_string(),
+        Expr::Param(p) => p.clone(),
+        Expr::Var(v) => format!("{v}"),
+        Expr::Add(a, b) => format!("({} + {})", expr_to_c(a), expr_to_c(b)),
+        Expr::Sub(a, b) => format!("({} - {})", expr_to_c(a), expr_to_c(b)),
+        Expr::Mul(a, b) => format!("({} * {})", expr_to_c(a), expr_to_c(b)),
+        Expr::Div(a, b) => format!("({} / {})", expr_to_c(a), expr_to_c(b)),
+        Expr::Min(a, b) => format!("min({}, {})", expr_to_c(a), expr_to_c(b)),
+        Expr::Max(a, b) => format!("max({}, {})", expr_to_c(a), expr_to_c(b)),
+    }
+}
+
+fn cexpr_to_c(kernel: &Kernel, e: &CExpr, acc_name: &str) -> String {
+    match e {
+        CExpr::Load(r) => array_ref_to_c(kernel, r),
+        CExpr::Scalar(s) => s.clone(),
+        CExpr::Lit(v) => format!("{v:?}f"),
+        CExpr::Acc => acc_name.to_string(),
+        CExpr::Add(a, b) => format!(
+            "({} + {})",
+            cexpr_to_c(kernel, a, acc_name),
+            cexpr_to_c(kernel, b, acc_name)
+        ),
+        CExpr::Sub(a, b) => format!(
+            "({} - {})",
+            cexpr_to_c(kernel, a, acc_name),
+            cexpr_to_c(kernel, b, acc_name)
+        ),
+        CExpr::Mul(a, b) => format!(
+            "({} * {})",
+            cexpr_to_c(kernel, a, acc_name),
+            cexpr_to_c(kernel, b, acc_name)
+        ),
+        CExpr::Div(a, b) => format!(
+            "({} / {})",
+            cexpr_to_c(kernel, a, acc_name),
+            cexpr_to_c(kernel, b, acc_name)
+        ),
+        CExpr::Sqrt(a) => format!("sqrtf({})", cexpr_to_c(kernel, a, acc_name)),
+    }
+}
+
+fn array_ref_to_c(kernel: &Kernel, r: &crate::kernel::ArrayRef) -> String {
+    let mut s = kernel.array(r.array).name.clone();
+    for idx in &r.index {
+        write!(s, "[{}]", expr_to_c(idx)).unwrap();
+    }
+    s
+}
+
+fn map_clause(kernel: &Kernel) -> String {
+    let mut to = Vec::new();
+    let mut from = Vec::new();
+    let mut tofrom = Vec::new();
+    let mut alloc = Vec::new();
+    for a in &kernel.arrays {
+        let extent = a
+            .extents
+            .iter()
+            .map(expr_to_c)
+            .collect::<Vec<_>>()
+            .join("*");
+        let item = format!("{}[0:{}]", a.name, extent);
+        match a.transfer {
+            Transfer::In => to.push(item),
+            Transfer::Out => from.push(item),
+            Transfer::InOut => tofrom.push(item),
+            Transfer::Alloc => alloc.push(item),
+        }
+    }
+    let mut clauses = Vec::new();
+    for (kind, items) in [
+        ("to", to),
+        ("from", from),
+        ("tofrom", tofrom),
+        ("alloc", alloc),
+    ] {
+        if !items.is_empty() {
+            clauses.push(format!("map({kind}: {})", items.join(", ")));
+        }
+    }
+    clauses.join(" ")
+}
+
+fn render_stmts(kernel: &Kernel, stmts: &[Stmt], indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    for s in stmts {
+        match s {
+            Stmt::For(l, body) => {
+                render_for(kernel, l, body, indent, out, false);
+            }
+            Stmt::Assign(a) => {
+                let (lhs, acc_name) = match &a.lhs {
+                    Lhs::Array(r) => (array_ref_to_c(kernel, r), array_ref_to_c(kernel, r)),
+                    Lhs::Acc(name) => (format!("float {name}"), name.clone()),
+                };
+                // Re-assignments of an accumulator drop the declaration.
+                let lhs = if matches!(&a.lhs, Lhs::Acc(_)) && a.rhs.uses_acc() {
+                    acc_name.clone()
+                } else {
+                    lhs
+                };
+                let _ = writeln!(out, "{pad}{lhs} = {};", cexpr_to_c(kernel, &a.rhs, &acc_name));
+            }
+        }
+    }
+}
+
+fn render_for(
+    kernel: &Kernel,
+    l: &Loop,
+    body: &[Stmt],
+    indent: usize,
+    out: &mut String,
+    _in_collapse: bool,
+) {
+    let pad = "  ".repeat(indent);
+    let v = l.var;
+    let _ = writeln!(
+        out,
+        "{pad}for (int {v} = {}; {v} < {}; {v}++) {{",
+        expr_to_c(&l.lower),
+        expr_to_c(&l.upper)
+    );
+    render_stmts(kernel, body, indent + 1, out);
+    let _ = writeln!(out, "{pad}}}");
+}
+
+/// Renders the whole kernel as the OpenMP target region it denotes.
+pub fn to_openmp_c(kernel: &Kernel) -> String {
+    let mut out = String::new();
+    let collapse = kernel.parallel_loops().len();
+    let _ = writeln!(out, "// region: {}", kernel.name);
+    let collapse_clause = if collapse > 1 {
+        format!(" collapse({collapse})")
+    } else {
+        String::new()
+    };
+    let _ = writeln!(
+        out,
+        "#pragma omp target teams distribute parallel for{collapse_clause} {}",
+        map_clause(kernel)
+    );
+    render_stmts(kernel, &kernel.body, 0, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{cexpr, KernelBuilder};
+
+    fn axpy() -> Kernel {
+        let mut kb = KernelBuilder::new("axpy");
+        let x = kb.array("x", 4, &["n".into()], Transfer::In);
+        let y = kb.array("y", 4, &["n".into()], Transfer::InOut);
+        let i = kb.parallel_loop(0, "n");
+        let rhs = cexpr::add(
+            cexpr::mul(cexpr::scalar("a"), kb.load(x, &[i.into()])),
+            kb.load(y, &[i.into()]),
+        );
+        kb.store(y, &[i.into()], rhs);
+        kb.end_loop();
+        kb.finish()
+    }
+
+    #[test]
+    fn axpy_renders_exactly() {
+        let c = to_openmp_c(&axpy());
+        let expected = "\
+// region: axpy
+#pragma omp target teams distribute parallel for map(to: x[0:n]) map(tofrom: y[0:n])
+for (int i0 = 0; i0 < n; i0++) {
+  y[i0] = ((a * x[i0]) + y[i0]);
+}
+";
+        assert_eq!(c, expected);
+    }
+
+    #[test]
+    fn reduction_renders_accumulator_declaration_once() {
+        let mut kb = KernelBuilder::new("dot");
+        let a = kb.array("A", 4, &["n".into(), "n".into()], Transfer::In);
+        let y = kb.array("y", 4, &["n".into()], Transfer::Out);
+        let i = kb.parallel_loop(0, "n");
+        kb.acc_init("s", cexpr::lit(0.0));
+        let j = kb.seq_loop(0, "n");
+        let ld = kb.load(a, &[i.into(), j.into()]);
+        kb.assign_acc("s", cexpr::add(cexpr::acc(), ld));
+        kb.end_loop();
+        kb.store_acc(y, &[i.into()], "s");
+        kb.end_loop();
+        let c = to_openmp_c(&kb.finish());
+        assert!(c.contains("float s = 0.0f;"));
+        assert!(c.contains("s = (s + A[i0][i1]);"));
+        assert!(c.contains("y[i0] = s;"));
+        // Declared exactly once.
+        assert_eq!(c.matches("float s").count(), 1);
+    }
+
+    #[test]
+    fn collapse_and_bounds_render() {
+        let mut kb = KernelBuilder::new("c2");
+        let a = kb.array("A", 4, &["n".into(), "n".into()], Transfer::InOut);
+        let i = kb.parallel_loop(1, Expr::param("n") - Expr::Const(1));
+        let j = kb.parallel_loop(0, "n");
+        let ld = kb.load(a, &[i.into(), j.into()]);
+        kb.store(a, &[i.into(), j.into()], ld);
+        kb.end_loop();
+        kb.end_loop();
+        let c = to_openmp_c(&kb.finish());
+        assert!(c.contains("collapse(2)"));
+        assert!(c.contains("for (int i0 = 1; i0 < (n - 1); i0++)"));
+        assert!(c.contains("map(tofrom: A[0:n*n])"));
+    }
+}

@@ -1,0 +1,184 @@
+//! Expression simplification: constant folding and algebraic identities.
+//!
+//! Symbolic expressions accumulate `x*1`, `x+0` and foldable constants as
+//! builders compose them; simplification keeps rendered kernels and stored
+//! attribute expressions readable, and is semantics-preserving by
+//! construction (verified by property tests against evaluation).
+
+use crate::expr::Expr;
+
+impl Expr {
+    /// True if evaluation can never fail with a division error (no `Div`
+    /// nodes). Rules that *discard* a subexpression (`x*0 -> 0`, `a-a -> 0`)
+    /// may only fire when the discarded side is total, otherwise they would
+    /// turn a `None` into a value.
+    fn is_total(&self) -> bool {
+        match self {
+            Expr::Const(_) | Expr::Param(_) | Expr::Var(_) => true,
+            Expr::Div(_, _) => false,
+            Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Min(a, b)
+            | Expr::Max(a, b) => a.is_total() && b.is_total(),
+        }
+    }
+    /// Returns an equivalent, simplified expression: constants folded,
+    /// additive/multiplicative identities removed, and `min`/`max` of
+    /// equal operands collapsed. Division is folded only when exact
+    /// semantics are preserved (both operands constant, divisor non-zero).
+    pub fn simplified(&self) -> Expr {
+        match self {
+            Expr::Const(_) | Expr::Param(_) | Expr::Var(_) => self.clone(),
+            Expr::Add(a, b) => {
+                let (a, b) = (a.simplified(), b.simplified());
+                match (&a, &b) {
+                    (Expr::Const(x), Expr::Const(y)) => Expr::Const(x.wrapping_add(*y)),
+                    (Expr::Const(0), _) => b,
+                    (_, Expr::Const(0)) => a,
+                    _ => Expr::Add(Box::new(a), Box::new(b)),
+                }
+            }
+            Expr::Sub(a, b) => {
+                let (a, b) = (a.simplified(), b.simplified());
+                match (&a, &b) {
+                    (Expr::Const(x), Expr::Const(y)) => Expr::Const(x.wrapping_sub(*y)),
+                    (_, Expr::Const(0)) => a,
+                    _ if a == b && a.is_total() => Expr::Const(0),
+                    _ => Expr::Sub(Box::new(a), Box::new(b)),
+                }
+            }
+            Expr::Mul(a, b) => {
+                let (a, b) = (a.simplified(), b.simplified());
+                match (&a, &b) {
+                    (Expr::Const(x), Expr::Const(y)) => Expr::Const(x.wrapping_mul(*y)),
+                    (Expr::Const(0), other) | (other, Expr::Const(0)) if other.is_total() => {
+                        Expr::Const(0)
+                    }
+                    (Expr::Const(1), _) => b,
+                    (_, Expr::Const(1)) => a,
+                    _ => Expr::Mul(Box::new(a), Box::new(b)),
+                }
+            }
+            Expr::Div(a, b) => {
+                let (a, b) = (a.simplified(), b.simplified());
+                match (&a, &b) {
+                    (Expr::Const(x), Expr::Const(y)) if *y != 0 => {
+                        Expr::Const(x.div_euclid(*y))
+                    }
+                    (_, Expr::Const(1)) => a,
+                    _ => Expr::Div(Box::new(a), Box::new(b)),
+                }
+            }
+            Expr::Min(a, b) => {
+                let (a, b) = (a.simplified(), b.simplified());
+                match (&a, &b) {
+                    (Expr::Const(x), Expr::Const(y)) => Expr::Const(*x.min(y)),
+                    _ if a == b => a,
+                    _ => Expr::Min(Box::new(a), Box::new(b)),
+                }
+            }
+            Expr::Max(a, b) => {
+                let (a, b) = (a.simplified(), b.simplified());
+                match (&a, &b) {
+                    (Expr::Const(x), Expr::Const(y)) => Expr::Const(*x.max(y)),
+                    _ if a == b => a,
+                    _ => Expr::Max(Box::new(a), Box::new(b)),
+                }
+            }
+        }
+    }
+
+    /// Number of nodes in the expression tree.
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Const(_) | Expr::Param(_) | Expr::Var(_) => 1,
+            Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Div(a, b)
+            | Expr::Min(a, b)
+            | Expr::Max(a, b) => 1 + a.size() + b.size(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::Binding;
+    use crate::kernel::LoopVarId;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identities_collapse() {
+        let i = Expr::var(LoopVarId(0));
+        assert_eq!((i.clone() + Expr::Const(0)).simplified(), i);
+        assert_eq!((i.clone() * Expr::Const(1)).simplified(), i);
+        assert_eq!((i.clone() * Expr::Const(0)).simplified(), Expr::Const(0));
+        assert_eq!((i.clone() - i.clone()).simplified(), Expr::Const(0));
+        assert_eq!(
+            (Expr::Const(2) * Expr::Const(3) + Expr::Const(4)).simplified(),
+            Expr::Const(10)
+        );
+    }
+
+    #[test]
+    fn div_by_zero_is_not_folded() {
+        let e = Expr::Div(Box::new(Expr::Const(4)), Box::new(Expr::Const(0)));
+        // Stays symbolic (and still evaluates to None).
+        assert_eq!(e.simplified(), e);
+        assert_eq!(e.simplified().eval_closed(&Binding::new()), None);
+    }
+
+    #[test]
+    fn min_max_of_self() {
+        let n = Expr::param("n");
+        assert_eq!(
+            Expr::Min(Box::new(n.clone()), Box::new(n.clone())).simplified(),
+            n
+        );
+    }
+
+    /// Arbitrary expression trees over i, j, n.
+    fn arb_expr() -> impl Strategy<Value = Expr> {
+        let leaf = prop_oneof![
+            (-6i64..7).prop_map(Expr::Const),
+            Just(Expr::param("n")),
+            Just(Expr::var(LoopVarId(0))),
+            Just(Expr::var(LoopVarId(1))),
+        ];
+        leaf.prop_recursive(4, 48, 2, |inner| {
+            (inner.clone(), inner, 0u8..6).prop_map(|(a, b, op)| {
+                let (a, b) = (Box::new(a), Box::new(b));
+                match op {
+                    0 => Expr::Add(a, b),
+                    1 => Expr::Sub(a, b),
+                    2 => Expr::Mul(a, b),
+                    3 => Expr::Div(a, b),
+                    4 => Expr::Min(a, b),
+                    _ => Expr::Max(a, b),
+                }
+            })
+        })
+    }
+
+    proptest! {
+        /// Simplification preserves the value at every point (including the
+        /// None of division by zero).
+        #[test]
+        fn simplify_preserves_semantics(e in arb_expr(), n in -9i64..10, i in -9i64..10, j in -9i64..10) {
+            let b = Binding::new().with("n", n);
+            let vars = |v: LoopVarId| Some(if v.0 == 0 { i } else { j });
+            prop_assert_eq!(e.eval(&b, &vars), e.simplified().eval(&b, &vars));
+        }
+
+        /// Simplification never grows the tree and is idempotent.
+        #[test]
+        fn simplify_shrinks_and_is_idempotent(e in arb_expr()) {
+            let s = e.simplified();
+            prop_assert!(s.size() <= e.size());
+            prop_assert_eq!(s.simplified(), s);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Trip-count resolution over a whole nest, including triangular loops.
+//!
+//! Loop bounds may reference outer induction variables (`for j2 = j1+1 .. m`).
+//! For cost modelling we need an *average* trip count per loop: this module
+//! walks the nest outermost-first, assigning each loop its expected trip
+//! count with outer variables fixed at the midpoint of their own ranges —
+//! exactly the expectation for affine triangular bounds.
+
+use crate::binding::Binding;
+use crate::kernel::{Kernel, Loop, LoopVarId, Stmt};
+use std::collections::HashMap;
+
+/// Average trip counts for every loop in a kernel, keyed by loop variable.
+#[derive(Debug, Clone, Default)]
+pub struct TripCounts {
+    counts: HashMap<LoopVarId, f64>,
+}
+
+impl TripCounts {
+    /// Average trip count of a loop (0 if the loop is unknown or its bounds
+    /// were unresolvable).
+    pub fn get(&self, v: LoopVarId) -> f64 {
+        self.counts.get(&v).copied().unwrap_or(0.0)
+    }
+
+    /// Average trip count of a [`Loop`] header.
+    pub fn of(&self, l: &Loop) -> f64 {
+        self.get(l.var)
+    }
+
+    /// Product of the parallel loops' trip counts.
+    pub fn parallel_iterations(&self, kernel: &Kernel) -> f64 {
+        kernel.parallel_loops().iter().map(|l| self.get(l.var)).product()
+    }
+}
+
+/// Resolves average trip counts for all loops of a kernel under a binding.
+///
+/// Unbound parameters make the affected loops (and their inner loops, if
+/// their bounds depend on the outer variable) report 0.
+pub fn resolve(kernel: &Kernel, binding: &Binding) -> TripCounts {
+    let mut tc = TripCounts::default();
+    let mut midpoints: HashMap<LoopVarId, f64> = HashMap::new();
+    walk(&kernel.body, binding, &mut tc, &mut midpoints);
+    tc
+}
+
+fn walk(
+    stmts: &[Stmt],
+    binding: &Binding,
+    tc: &mut TripCounts,
+    midpoints: &mut HashMap<LoopVarId, f64>,
+) {
+    for s in stmts {
+        if let Stmt::For(l, body) = s {
+            // Evaluate bounds with outer variables at their midpoints. Affine
+            // bounds make rounding to i64 safe enough for averaging.
+            let outer = |v: LoopVarId| midpoints.get(&v).map(|m| m.round() as i64);
+            let lo = l.lower.eval(binding, &outer);
+            let hi = l.upper.eval(binding, &outer);
+            let (trip, mid) = match (lo, hi) {
+                (Some(lo), Some(hi)) => {
+                    let t = (hi - lo).max(0) as f64;
+                    (t, (lo as f64 + hi as f64) / 2.0)
+                }
+                _ => (0.0, 0.0),
+            };
+            tc.counts.insert(l.var, trip);
+            midpoints.insert(l.var, mid);
+            walk(body, binding, tc, midpoints);
+            midpoints.remove(&l.var);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{cexpr, KernelBuilder};
+    use crate::expr::Expr;
+    use crate::kernel::Transfer;
+
+    #[test]
+    fn rectangular_nest() {
+        let mut kb = KernelBuilder::new("rect");
+        let a = kb.array("a", 4, &["n".into(), "m".into()], Transfer::InOut);
+        let i = kb.parallel_loop(0, "n");
+        let j = kb.seq_loop(0, "m");
+        let ld = kb.load(a, &[i.into(), j.into()]);
+        kb.store(a, &[i.into(), j.into()], ld);
+        kb.end_loop();
+        kb.end_loop();
+        let k = kb.finish();
+        let tc = resolve(&k, &Binding::new().with("n", 100).with("m", 40));
+        assert_eq!(tc.get(i), 100.0);
+        assert_eq!(tc.get(j), 40.0);
+        assert_eq!(tc.parallel_iterations(&k), 100.0);
+    }
+
+    #[test]
+    fn triangular_inner_loop_averages_half() {
+        // for j1 in 0..m { for j2 in j1+1..m { ... } }
+        let mut kb = KernelBuilder::new("tri");
+        let a = kb.array("a", 4, &["m".into(), "m".into()], Transfer::InOut);
+        let j1 = kb.parallel_loop(0, "m");
+        let j2 = kb.seq_loop(Expr::var(j1) + Expr::Const(1), "m");
+        kb.store(a, &[j1.into(), j2.into()], cexpr::lit(0.0));
+        kb.end_loop();
+        kb.end_loop();
+        let k = kb.finish();
+        let tc = resolve(&k, &Binding::new().with("m", 100));
+        assert_eq!(tc.get(j1), 100.0);
+        // Midpoint of j1 is 50 -> trips = 100 - 51 = 49 ~ m/2.
+        assert!((tc.get(j2) - 49.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn unbound_params_give_zero() {
+        let mut kb = KernelBuilder::new("ub");
+        let a = kb.array("a", 4, &["n".into()], Transfer::InOut);
+        let i = kb.parallel_loop(0, "n");
+        kb.store(a, &[i.into()], cexpr::lit(0.0));
+        kb.end_loop();
+        let k = kb.finish();
+        let tc = resolve(&k, &Binding::new());
+        assert_eq!(tc.get(i), 0.0);
+    }
+}

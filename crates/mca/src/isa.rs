@@ -1,0 +1,198 @@
+//! The abstract machine ISA the analyzer operates on.
+//!
+//! Kernels are lowered to a generic load/store RISC instruction stream —
+//! the role POWER9 assembly plays for LLVM-MCA in the paper. The exact
+//! opcode set matters less than what the scheduler needs: which functional
+//! unit an op occupies, for how long, and which values it depends on.
+
+use std::fmt;
+
+/// Operation classes distinguished by the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpKind {
+    /// Integer ALU op (address updates, induction increments, compares).
+    IntAlu,
+    /// Integer multiply (un-strength-reduced address arithmetic).
+    IntMul,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Floating-point add/subtract.
+    FAdd,
+    /// Floating-point multiply.
+    FMul,
+    /// Fused multiply-add.
+    Fma,
+    /// Floating-point divide (long latency, poorly pipelined).
+    FDiv,
+    /// Floating-point square root.
+    FSqrt,
+    /// Branch (loop back-edge, conditionals).
+    Branch,
+}
+
+/// All op kinds, for iteration and dense tables.
+pub const ALL_KINDS: [OpKind; 10] = [
+    OpKind::IntAlu,
+    OpKind::IntMul,
+    OpKind::Load,
+    OpKind::Store,
+    OpKind::FAdd,
+    OpKind::FMul,
+    OpKind::Fma,
+    OpKind::FDiv,
+    OpKind::FSqrt,
+    OpKind::Branch,
+];
+
+impl OpKind {
+    /// Dense index for table lookups.
+    pub fn index(self) -> usize {
+        match self {
+            OpKind::IntAlu => 0,
+            OpKind::IntMul => 1,
+            OpKind::Load => 2,
+            OpKind::Store => 3,
+            OpKind::FAdd => 4,
+            OpKind::FMul => 5,
+            OpKind::Fma => 6,
+            OpKind::FDiv => 7,
+            OpKind::FSqrt => 8,
+            OpKind::Branch => 9,
+        }
+    }
+
+    /// True for floating-point compute ops.
+    pub fn is_fp(self) -> bool {
+        matches!(
+            self,
+            OpKind::FAdd | OpKind::FMul | OpKind::Fma | OpKind::FDiv | OpKind::FSqrt
+        )
+    }
+
+    /// True for memory ops.
+    pub fn is_mem(self) -> bool {
+        matches!(self, OpKind::Load | OpKind::Store)
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpKind::IntAlu => "ialu",
+            OpKind::IntMul => "imul",
+            OpKind::Load => "load",
+            OpKind::Store => "store",
+            OpKind::FAdd => "fadd",
+            OpKind::FMul => "fmul",
+            OpKind::Fma => "fma",
+            OpKind::FDiv => "fdiv",
+            OpKind::FSqrt => "fsqrt",
+            OpKind::Branch => "branch",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A virtual register. Within a [`LoopBody`] registers are reused across
+/// iterations; the scheduler renames them, so a register written late in the
+/// body and read early creates a loop-carried dependency (the accumulator
+/// chain of a reduction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Reg(pub u32);
+
+/// One machine operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineOp {
+    /// Operation class.
+    pub kind: OpKind,
+    /// Input registers.
+    pub srcs: Vec<Reg>,
+    /// Output register (None for stores and branches).
+    pub dst: Option<Reg>,
+}
+
+impl MachineOp {
+    /// Constructs an op.
+    pub fn new(kind: OpKind, srcs: Vec<Reg>, dst: Option<Reg>) -> MachineOp {
+        MachineOp { kind, srcs, dst }
+    }
+}
+
+/// A straight-line loop body in the abstract ISA.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LoopBody {
+    /// Ops in program order; one copy per loop iteration.
+    pub ops: Vec<MachineOp>,
+    /// Number of virtual registers referenced.
+    pub num_regs: u32,
+}
+
+impl LoopBody {
+    /// Number of ops of a given kind.
+    pub fn count(&self, kind: OpKind) -> usize {
+        self.ops.iter().filter(|o| o.kind == kind).count()
+    }
+
+    /// Number of memory operations.
+    pub fn mem_ops(&self) -> usize {
+        self.ops.iter().filter(|o| o.kind.is_mem()).count()
+    }
+
+    /// Number of floating-point operations.
+    pub fn fp_ops(&self) -> usize {
+        self.ops.iter().filter(|o| o.kind.is_fp()).count()
+    }
+
+    /// Total ops per iteration.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if the body is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        let mut seen = vec![false; ALL_KINDS.len()];
+        for k in ALL_KINDS {
+            assert!(!seen[k.index()]);
+            seen[k.index()] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn classification() {
+        assert!(OpKind::Fma.is_fp());
+        assert!(!OpKind::Load.is_fp());
+        assert!(OpKind::Load.is_mem());
+        assert!(OpKind::Store.is_mem());
+        assert!(!OpKind::Branch.is_mem());
+    }
+
+    #[test]
+    fn body_counts() {
+        let b = LoopBody {
+            ops: vec![
+                MachineOp::new(OpKind::Load, vec![], Some(Reg(0))),
+                MachineOp::new(OpKind::Fma, vec![Reg(0), Reg(1)], Some(Reg(1))),
+                MachineOp::new(OpKind::IntAlu, vec![Reg(2)], Some(Reg(2))),
+                MachineOp::new(OpKind::Branch, vec![Reg(2)], None),
+            ],
+            num_regs: 3,
+        };
+        assert_eq!(b.count(OpKind::Load), 1);
+        assert_eq!(b.mem_ops(), 1);
+        assert_eq!(b.fp_ops(), 1);
+        assert_eq!(b.len(), 4);
+    }
+}

@@ -1,0 +1,39 @@
+//! # hetsel-mca — a machine-code analyzer in the mould of LLVM-MCA
+//!
+//! The paper replaces the OpenUH compiler's internal per-iteration cycle
+//! estimate with LLVM-MCA: a tool that replays an assembly sequence through
+//! the compiler's own instruction-scheduling model to predict its throughput
+//! (Section IV.A.1). This crate reproduces that component from scratch:
+//!
+//! * kernels are [lowered](lower) from the IR to a generic load/store
+//!   machine ISA (strength-reduced addressing, FMA fusion, loop overhead);
+//! * a [scheduler engine](sched) replays the stream against a
+//!   [`CoreDescriptor`] — dispatch width, functional-unit pipelines with
+//!   latencies and inverse throughputs — exactly the information an LLVM
+//!   `SchedModel` carries;
+//! * the steady-state **cycles per iteration** feeds the
+//!   `Machine_cycles_per_iter` term of the Liao/Chapman OpenMP cost model.
+//!
+//! Like the real tool, the engine has *no cache or memory-type model*: load
+//! latency is a flat parameter (the paper lists this as the CPU model's main
+//! limitation). The timing simulator in `hetsel-cpusim` closes the loop by
+//! re-running the same engine with cache-aware effective load latencies.
+
+#![warn(missing_docs)]
+
+pub mod descriptor;
+pub mod isa;
+pub mod loadout;
+pub mod lower;
+pub mod report;
+pub mod sched;
+
+pub use descriptor::{power8, power9, skylake, CoreDescriptor, UnitClass};
+pub use isa::{LoopBody, MachineOp, OpKind, Reg, ALL_KINDS};
+pub use loadout::{assume_128, loadout, Loadout};
+pub use lower::{
+    analyze_block, lower_assigns, lower_assigns_opts, nest_cycles, nest_cycles_opts,
+    parallel_iter_cycles, parallel_iter_cycles_opts, TripFn,
+};
+pub use report::{report, Report};
+pub use sched::{simulate, Bottleneck, SimOptions, SimResult};

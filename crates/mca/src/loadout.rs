@@ -1,0 +1,158 @@
+//! Instruction loadout: dynamic operation counts per parallel iteration.
+//!
+//! The paper's GPU model needs "the number of dynamic instructions" executed
+//! by each thread (Section IV.B, *Instruction Loadout*): a static analysis
+//! counts IR instructions, grouped into I/O and compute categories, with
+//! loop trip counts supplied either by the static abstraction (128) or by
+//! runtime values. This module produces those counts from the same lowering
+//! the throughput engine uses, so the model and the analyzer agree on what
+//! an "instruction" is.
+
+use crate::isa::{OpKind, ALL_KINDS};
+use crate::lower::{lower_assigns, TripFn};
+use hetsel_ir::{Assign, Kernel, Stmt};
+
+/// Dynamic instruction counts for one parallel iteration (one GPU thread's
+/// work item, before `#OMP_Rep` repetition).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Loadout {
+    /// Dynamic count per op kind (indexed by [`OpKind::index`]).
+    pub counts: [f64; 10],
+}
+
+impl Loadout {
+    /// Dynamic count of one op kind.
+    pub fn count(&self, kind: OpKind) -> f64 {
+        self.counts[kind.index()]
+    }
+
+    /// Total dynamic instructions.
+    pub fn total(&self) -> f64 {
+        self.counts.iter().sum()
+    }
+
+    /// Memory (I/O category) instructions.
+    pub fn mem_insts(&self) -> f64 {
+        self.count(OpKind::Load) + self.count(OpKind::Store)
+    }
+
+    /// Compute-category instructions (everything that is not memory).
+    pub fn comp_insts(&self) -> f64 {
+        self.total() - self.mem_insts()
+    }
+
+    /// Floating-point instructions.
+    pub fn fp_insts(&self) -> f64 {
+        self.count(OpKind::FAdd)
+            + self.count(OpKind::FMul)
+            + self.count(OpKind::Fma)
+            + self.count(OpKind::FDiv)
+            + self.count(OpKind::FSqrt)
+    }
+
+    fn add_scaled(&mut self, other: &Loadout, w: f64) {
+        for i in 0..self.counts.len() {
+            self.counts[i] += other.counts[i] * w;
+        }
+    }
+}
+
+/// Counts the dynamic instructions of one parallel iteration of `kernel`,
+/// resolving sequential-loop trip counts through `trip`.
+pub fn loadout(kernel: &Kernel, trip: &TripFn) -> Loadout {
+    let mut out = Loadout::default();
+    count_stmts(kernel.parallel_body(), trip, 1.0, &mut out);
+    out
+}
+
+fn count_stmts(stmts: &[Stmt], trip: &TripFn, weight: f64, out: &mut Loadout) {
+    let mut run: Vec<&Assign> = Vec::new();
+    let flush = |run: &mut Vec<&Assign>, out: &mut Loadout, w: f64| {
+        if run.is_empty() {
+            return;
+        }
+        let body = lower_assigns(run, false);
+        let mut l = Loadout::default();
+        for k in ALL_KINDS {
+            l.counts[k.index()] = body.count(k) as f64;
+        }
+        out.add_scaled(&l, w);
+        run.clear();
+    };
+    for s in stmts {
+        match s {
+            Stmt::Assign(a) => run.push(a),
+            Stmt::For(l, body) => {
+                flush(&mut run, out, weight);
+                let trips = trip(l).max(0.0);
+                // Per-iteration loop overhead: induction add, compare, branch.
+                out.counts[OpKind::IntAlu.index()] += 2.0 * trips * weight;
+                out.counts[OpKind::Branch.index()] += trips * weight;
+                count_stmts(body, trip, weight * trips, out);
+            }
+        }
+    }
+    flush(&mut run, out, weight);
+}
+
+/// The paper's static trip-count abstraction: "all loops are assumed to
+/// execute 128 iterations".
+pub fn assume_128(_: &hetsel_ir::Loop) -> f64 {
+    128.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsel_ir::{cexpr, Binding, KernelBuilder, Transfer};
+
+    fn dot_kernel() -> Kernel {
+        let mut kb = KernelBuilder::new("dot");
+        let a = kb.array("a", 4, &["n".into(), "n".into()], Transfer::In);
+        let x = kb.array("x", 4, &["n".into()], Transfer::In);
+        let y = kb.array("y", 4, &["n".into()], Transfer::Out);
+        let i = kb.parallel_loop(0, "n");
+        kb.acc_init("s", cexpr::lit(0.0));
+        let j = kb.seq_loop(0, "n");
+        let prod = cexpr::mul(kb.load(a, &[i.into(), j.into()]), kb.load(x, &[j.into()]));
+        kb.assign_acc("s", cexpr::add(cexpr::acc(), prod));
+        kb.end_loop();
+        kb.store_acc(y, &[i.into()], "s");
+        kb.end_loop();
+        kb.finish()
+    }
+
+    #[test]
+    fn inner_loop_counts_scale_with_trip() {
+        let k = dot_kernel();
+        let l128 = loadout(&k, &assume_128);
+        let l256 = loadout(&k, &|_| 256.0);
+        // 2 loads per inner iteration.
+        assert_eq!(l128.count(OpKind::Load), 2.0 * 128.0);
+        assert_eq!(l256.count(OpKind::Load), 2.0 * 256.0);
+        // One store per parallel iteration, trip-independent.
+        assert_eq!(l128.count(OpKind::Store), 1.0);
+        assert_eq!(l256.count(OpKind::Store), 1.0);
+        // One FMA per inner iteration.
+        assert_eq!(l128.count(OpKind::Fma), 128.0);
+    }
+
+    #[test]
+    fn io_vs_compute_categories() {
+        let k = dot_kernel();
+        let l = loadout(&k, &assume_128);
+        assert_eq!(l.mem_insts(), 2.0 * 128.0 + 1.0);
+        assert!(l.comp_insts() > 0.0);
+        assert_eq!(l.total(), l.mem_insts() + l.comp_insts());
+        assert_eq!(l.fp_insts(), 128.0);
+    }
+
+    #[test]
+    fn runtime_trip_fn_uses_bindings() {
+        let k = dot_kernel();
+        let b = Binding::new().with("n", 1000);
+        let tc = hetsel_ir::trips::resolve(&k, &b);
+        let l = loadout(&k, &|lp| tc.of(lp));
+        assert_eq!(l.count(OpKind::Load), 2000.0);
+    }
+}

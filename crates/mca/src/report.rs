@@ -1,0 +1,139 @@
+//! Human-readable analysis reports, in the spirit of `llvm-mca`'s summary
+//! view: instruction mix, resource pressure per functional unit, and the
+//! identified bottleneck.
+
+use crate::descriptor::CoreDescriptor;
+use crate::isa::{LoopBody, ALL_KINDS};
+use crate::sched::{Bottleneck, SimResult};
+use std::fmt;
+
+/// A formatted analysis report for one loop body.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Core the analysis ran against.
+    pub core: &'static str,
+    /// Instruction counts per kind, in [`ALL_KINDS`] order.
+    pub mix: Vec<(&'static str, usize)>,
+    /// Total ops per iteration.
+    pub ops_per_iter: usize,
+    /// Steady-state cycles per iteration.
+    pub cycles_per_iter: f64,
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// Resource pressure per unit class: `(name, busy cycles per iteration
+    /// per pipeline)`.
+    pub pressure: Vec<(&'static str, f64)>,
+    /// Bottleneck description.
+    pub bottleneck: String,
+}
+
+/// Builds a report from a lowered body and its simulation result.
+pub fn report(body: &LoopBody, core: &CoreDescriptor, sim: &SimResult) -> Report {
+    let mix: Vec<(&'static str, usize)> = ALL_KINDS
+        .iter()
+        .map(|k| {
+            let name: &'static str = match k {
+                crate::isa::OpKind::IntAlu => "ialu",
+                crate::isa::OpKind::IntMul => "imul",
+                crate::isa::OpKind::Load => "load",
+                crate::isa::OpKind::Store => "store",
+                crate::isa::OpKind::FAdd => "fadd",
+                crate::isa::OpKind::FMul => "fmul",
+                crate::isa::OpKind::Fma => "fma",
+                crate::isa::OpKind::FDiv => "fdiv",
+                crate::isa::OpKind::FSqrt => "fsqrt",
+                crate::isa::OpKind::Branch => "branch",
+            };
+            (name, body.count(*k))
+        })
+        .filter(|(_, n)| *n > 0)
+        .collect();
+    let pressure: Vec<(&'static str, f64)> = core
+        .units
+        .iter()
+        .zip(&sim.unit_busy_per_iter)
+        .map(|(u, b)| (u.name, *b))
+        .collect();
+    let bottleneck = match sim.bottleneck {
+        Bottleneck::Dispatch => "front-end dispatch width".to_string(),
+        Bottleneck::Unit(i) => format!("{} pipelines", core.units[i].name),
+        Bottleneck::DependencyChain => "data-dependency chain (latency-bound)".to_string(),
+    };
+    let ipc = if sim.cycles_per_iter > 0.0 {
+        body.ops.len() as f64 / sim.cycles_per_iter
+    } else {
+        0.0
+    };
+    Report {
+        core: core.name,
+        mix,
+        ops_per_iter: body.ops.len(),
+        cycles_per_iter: sim.cycles_per_iter,
+        ipc,
+        pressure,
+        bottleneck,
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "[mca] target: {}", self.core)?;
+        writeln!(
+            f,
+            "[mca] {} ops/iter, {:.2} cycles/iter, IPC {:.2}",
+            self.ops_per_iter, self.cycles_per_iter, self.ipc
+        )?;
+        write!(f, "[mca] mix:")?;
+        for (name, n) in &self.mix {
+            write!(f, " {name}={n}")?;
+        }
+        writeln!(f)?;
+        write!(f, "[mca] pressure:")?;
+        for (name, p) in &self.pressure {
+            write!(f, " {name}={p:.2}")?;
+        }
+        writeln!(f)?;
+        writeln!(f, "[mca] bottleneck: {}", self.bottleneck)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::power9;
+    use crate::isa::{MachineOp, OpKind, Reg};
+    use crate::sched::{simulate, SimOptions};
+
+    #[test]
+    fn report_renders() {
+        let body = LoopBody {
+            ops: vec![
+                MachineOp::new(OpKind::Load, vec![], Some(Reg(0))),
+                MachineOp::new(OpKind::Fma, vec![Reg(0), Reg(1), Reg(2)], Some(Reg(2))),
+                MachineOp::new(OpKind::Branch, vec![], None),
+            ],
+            num_regs: 3,
+        };
+        let core = power9();
+        let sim = simulate(&body, &core, SimOptions::default());
+        let rep = report(&body, &core, &sim);
+        let text = rep.to_string();
+        assert!(text.contains("POWER9"));
+        assert!(text.contains("fma=1"));
+        assert!(text.contains("bottleneck"));
+        assert!(rep.ipc > 0.0);
+        assert_eq!(rep.ops_per_iter, 3);
+    }
+
+    #[test]
+    fn zero_kinds_are_omitted_from_mix() {
+        let body = LoopBody {
+            ops: vec![MachineOp::new(OpKind::Load, vec![], Some(Reg(0)))],
+            num_regs: 1,
+        };
+        let core = power9();
+        let sim = simulate(&body, &core, SimOptions::default());
+        let rep = report(&body, &core, &sim);
+        assert_eq!(rep.mix, vec![("load", 1)]);
+    }
+}

@@ -1,0 +1,338 @@
+//! The throughput engine: an idealised out-of-order scheduler.
+//!
+//! This is the heart of the analyzer and mirrors what `llvm-mca` does with a
+//! target's scheduling model: dispatch the instruction stream in program
+//! order at the front-end width, issue each op when its operands are ready
+//! and a pipeline of its functional-unit class is free, and measure the
+//! steady-state cycles per loop iteration. Dependency chains (e.g. a
+//! reduction's serial accumulator) and resource pressure (e.g. two
+//! loads/cycle max) emerge naturally rather than from hand-written formulas.
+//!
+//! Known limitations shared with the real tool (and called out in the
+//! paper): no cache hierarchy or memory model — the load latency is a flat
+//! parameter the caller may override with a cache-aware effective latency.
+
+use crate::descriptor::CoreDescriptor;
+use crate::isa::{LoopBody, OpKind};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+
+/// Options for a simulation run.
+#[derive(Debug, Clone, Copy)]
+pub struct SimOptions {
+    /// Loop iterations to simulate. Steady state is measured over the second
+    /// half, so ≥ 8 is recommended for per-iteration estimates.
+    pub iterations: u32,
+    /// Effective load latency in cycles; `None` uses the core's L1 latency.
+    pub load_latency: Option<f64>,
+}
+
+impl Default for SimOptions {
+    fn default() -> SimOptions {
+        SimOptions {
+            iterations: 16,
+            load_latency: None,
+        }
+    }
+}
+
+/// What limits the loop's throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bottleneck {
+    /// Front-end dispatch width.
+    Dispatch,
+    /// A functional-unit class (by index into the core's `units`).
+    Unit(usize),
+    /// A data-dependency chain (latency-bound).
+    DependencyChain,
+}
+
+/// Result of simulating a loop body.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Completion time of the whole simulated stream, in cycles.
+    pub total_cycles: f64,
+    /// Steady-state cycles per loop iteration.
+    pub cycles_per_iter: f64,
+    /// Busy cycles per iteration *per pipeline* of each functional-unit
+    /// class, parallel to the core's `units` vector.
+    pub unit_busy_per_iter: Vec<f64>,
+    /// Ops per iteration divided by dispatch width: the front-end's
+    /// minimum cycles per iteration.
+    pub dispatch_cycles_per_iter: f64,
+    /// The dominant limiter.
+    pub bottleneck: Bottleneck,
+}
+
+/// Wall-clock-ordered pool of `count` identical pipelines.
+struct UnitPool {
+    free_at: BinaryHeap<Reverse<OrderedF64>>,
+    inv_throughput: f64,
+}
+
+/// f64 wrapper with a total order (times are never NaN).
+#[derive(PartialEq, PartialOrd)]
+struct OrderedF64(f64);
+
+impl Eq for OrderedF64 {}
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.partial_cmp(other).expect("NaN time")
+    }
+}
+
+impl UnitPool {
+    fn new(count: u32, inv_throughput: f64) -> UnitPool {
+        let mut free_at = BinaryHeap::with_capacity(count as usize);
+        for _ in 0..count {
+            free_at.push(Reverse(OrderedF64(0.0)));
+        }
+        UnitPool {
+            free_at,
+            inv_throughput,
+        }
+    }
+
+    /// Issues an op that is ready at `ready`; returns the issue time.
+    fn issue(&mut self, ready: f64) -> f64 {
+        let Reverse(OrderedF64(free)) = self.free_at.pop().expect("unit pool empty");
+        let issue = ready.max(free);
+        self.free_at.push(Reverse(OrderedF64(issue + self.inv_throughput)));
+        issue
+    }
+}
+
+/// Simulates `opts.iterations` back-to-back copies of the loop body on the
+/// core and reports steady-state throughput.
+pub fn simulate(body: &LoopBody, core: &CoreDescriptor, opts: SimOptions) -> SimResult {
+    debug_assert_eq!(core.validate(), Ok(()));
+    let iters = opts.iterations.max(1);
+    let load_lat = opts.load_latency.unwrap_or(core.l1_load_latency);
+
+    let mut pools: Vec<UnitPool> = core
+        .units
+        .iter()
+        .map(|u| UnitPool::new(u.count, u.inv_throughput))
+        .collect();
+    let unit_of: Vec<usize> = {
+        // Dense map OpKind index -> unit class index.
+        let mut m = vec![0usize; 10];
+        for k in crate::isa::ALL_KINDS {
+            m[k.index()] = core.unit_for(k);
+        }
+        m
+    };
+
+    let mut reg_ready: HashMap<u32, f64> = HashMap::with_capacity(body.num_regs as usize);
+    let mut busy = vec![0.0f64; core.units.len()];
+    let mut dispatched: u64 = 0;
+    let width = f64::from(core.dispatch_width);
+    let mut completion = 0.0f64;
+    let mut iter_finish = vec![0.0f64; iters as usize];
+
+    for it in 0..iters {
+        let mut last = 0.0f64;
+        for op in &body.ops {
+            // In-order dispatch at the front-end width: the op cannot issue
+            // before its dispatch cycle.
+            let dispatch_cycle = (dispatched as f64 / width).floor();
+            dispatched += 1;
+
+            let mut ready = dispatch_cycle;
+            for s in &op.srcs {
+                if let Some(t) = reg_ready.get(&s.0) {
+                    ready = ready.max(*t);
+                }
+            }
+            let uc = unit_of[op.kind.index()];
+            let issue = pools[uc].issue(ready);
+            // Per-pipeline occupancy: class occupancy divided by pipe count.
+            busy[uc] += core.units[uc].inv_throughput / f64::from(core.units[uc].count);
+
+            let latency = if op.kind == OpKind::Load {
+                load_lat
+            } else {
+                core.latency(op.kind)
+            };
+            let done = issue + latency;
+            if let Some(d) = op.dst {
+                reg_ready.insert(d.0, done);
+            }
+            completion = completion.max(done);
+            last = last.max(done);
+        }
+        iter_finish[it as usize] = last;
+    }
+
+    let cycles_per_iter = if iters >= 8 {
+        let half = (iters / 2) as usize;
+        (iter_finish[iters as usize - 1] - iter_finish[half - 1]) / (iters as usize - half) as f64
+    } else {
+        completion / f64::from(iters)
+    };
+
+    let dispatch_cpi = body.ops.len() as f64 / width;
+    let unit_busy_per_iter: Vec<f64> = busy.iter().map(|b| b / f64::from(iters)).collect();
+
+    // Attribute the bottleneck to whichever limit the measured throughput
+    // sits closest to (ties resolved dispatch < unit < dependency).
+    let max_unit = unit_busy_per_iter
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .map(|(i, b)| (i, *b))
+        .unwrap_or((0, 0.0));
+    let eps = 1e-9;
+    let bottleneck = if cycles_per_iter <= dispatch_cpi + eps {
+        Bottleneck::Dispatch
+    } else if cycles_per_iter <= max_unit.1 + eps {
+        Bottleneck::Unit(max_unit.0)
+    } else {
+        Bottleneck::DependencyChain
+    };
+
+    SimResult {
+        total_cycles: completion,
+        cycles_per_iter,
+        unit_busy_per_iter,
+        dispatch_cycles_per_iter: dispatch_cpi,
+        bottleneck,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::power9;
+    use crate::isa::{MachineOp, Reg};
+
+    fn op(kind: OpKind, srcs: &[u32], dst: Option<u32>) -> MachineOp {
+        MachineOp::new(kind, srcs.iter().map(|r| Reg(*r)).collect(), dst.map(Reg))
+    }
+
+    /// A serial FMA accumulator: r1 = fma(r0, r2, r1). Throughput must be
+    /// bounded by FMA latency (7 cycles on POWER9), not unit count.
+    #[test]
+    fn reduction_chain_is_latency_bound() {
+        let body = LoopBody {
+            ops: vec![
+                op(OpKind::Load, &[], Some(0)),
+                op(OpKind::Fma, &[0, 2, 1], Some(1)),
+            ],
+            num_regs: 3,
+        };
+        let r = simulate(&body, &power9(), SimOptions::default());
+        assert!(
+            (r.cycles_per_iter - 7.0).abs() < 0.5,
+            "expected ~7 cycles/iter, got {}",
+            r.cycles_per_iter
+        );
+        assert_eq!(r.bottleneck, Bottleneck::DependencyChain);
+    }
+
+    /// Independent FMAs (distinct destinations): throughput-bound by the two
+    /// FP pipes, i.e. 4 FMAs / 2 pipes = 2 cycles/iter.
+    #[test]
+    fn independent_fmas_are_unit_bound() {
+        let body = LoopBody {
+            ops: vec![
+                op(OpKind::Fma, &[8, 9], Some(0)),
+                op(OpKind::Fma, &[8, 9], Some(1)),
+                op(OpKind::Fma, &[8, 9], Some(2)),
+                op(OpKind::Fma, &[8, 9], Some(3)),
+            ],
+            num_regs: 10,
+        };
+        let r = simulate(&body, &power9(), SimOptions::default());
+        assert!(
+            (r.cycles_per_iter - 2.0).abs() < 0.2,
+            "expected ~2 cycles/iter, got {}",
+            r.cycles_per_iter
+        );
+        assert!(matches!(r.bottleneck, Bottleneck::Unit(_)));
+    }
+
+    /// Many independent single-cycle integer ops: dispatch width (6) limits.
+    #[test]
+    fn wide_int_stream_is_dispatch_bound() {
+        let ops: Vec<MachineOp> = (0..12).map(|i| op(OpKind::IntAlu, &[], Some(i))).collect();
+        let body = LoopBody { ops, num_regs: 12 };
+        let r = simulate(&body, &power9(), SimOptions::default());
+        // 12 ops / 6-wide dispatch = 2 cycles/iter; FXU has only 2 pipes so
+        // the unit is actually the tighter limit here (6 cycles).
+        assert!(
+            (r.cycles_per_iter - 6.0).abs() < 0.3,
+            "got {}",
+            r.cycles_per_iter
+        );
+        assert!(matches!(r.bottleneck, Bottleneck::Unit(_)));
+    }
+
+    #[test]
+    fn load_latency_override_slows_chains() {
+        // Pointer chase: r0 = load [r0].
+        let body = LoopBody {
+            ops: vec![op(OpKind::Load, &[0], Some(0))],
+            num_regs: 1,
+        };
+        let fast = simulate(&body, &power9(), SimOptions::default());
+        let slow = simulate(
+            &body,
+            &power9(),
+            SimOptions {
+                iterations: 16,
+                load_latency: Some(100.0),
+            },
+        );
+        assert!((fast.cycles_per_iter - 5.0).abs() < 0.3);
+        assert!((slow.cycles_per_iter - 100.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn total_cycles_scale_with_iterations() {
+        let body = LoopBody {
+            ops: vec![op(OpKind::Fma, &[0, 1, 2], Some(2))],
+            num_regs: 3,
+        };
+        let r4 = simulate(
+            &body,
+            &power9(),
+            SimOptions {
+                iterations: 4,
+                load_latency: None,
+            },
+        );
+        let r16 = simulate(
+            &body,
+            &power9(),
+            SimOptions {
+                iterations: 16,
+                load_latency: None,
+            },
+        );
+        assert!(r16.total_cycles > r4.total_cycles * 3.0);
+    }
+
+    #[test]
+    fn empty_body_is_free() {
+        let body = LoopBody::default();
+        let r = simulate(&body, &power9(), SimOptions::default());
+        assert_eq!(r.total_cycles, 0.0);
+        assert_eq!(r.cycles_per_iter, 0.0);
+    }
+
+    #[test]
+    fn fdiv_throughput_dominates() {
+        let body = LoopBody {
+            ops: vec![op(OpKind::FDiv, &[1, 2], Some(0))],
+            num_regs: 3,
+        };
+        let r = simulate(&body, &power9(), SimOptions::default());
+        // Independent divides: bounded by pipe occupancy (inv_throughput=1)
+        // only, so nearly 0.5/iter on two pipes; with the dependency-free
+        // stream the answer must be well under the 33-cycle latency.
+        assert!(r.cycles_per_iter < 33.0);
+    }
+}

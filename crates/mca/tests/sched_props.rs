@@ -1,0 +1,111 @@
+//! Property tests for the scheduler engine: throughput must respect the
+//! structural lower bounds (dispatch width, unit occupancy) and behave
+//! monotonically in latency and iteration count.
+
+use hetsel_mca::{power8, power9, simulate, LoopBody, MachineOp, OpKind, Reg, SimOptions};
+use proptest::prelude::*;
+
+const KINDS: [OpKind; 8] = [
+    OpKind::IntAlu,
+    OpKind::IntMul,
+    OpKind::Load,
+    OpKind::Store,
+    OpKind::FAdd,
+    OpKind::FMul,
+    OpKind::Fma,
+    OpKind::Branch,
+];
+
+/// A random independent-op body (no dependencies): pure throughput test.
+fn independent_body() -> impl Strategy<Value = LoopBody> {
+    prop::collection::vec(0usize..KINDS.len(), 1..24).prop_map(|kinds| {
+        let ops: Vec<MachineOp> = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, k)| MachineOp::new(KINDS[*k], vec![], Some(Reg(i as u32))))
+            .collect();
+        LoopBody {
+            num_regs: ops.len() as u32,
+            ops,
+        }
+    })
+}
+
+/// A serial chain body: op i reads op i-1's result.
+fn chain_body() -> impl Strategy<Value = LoopBody> {
+    prop::collection::vec(0usize..KINDS.len(), 1..12).prop_map(|kinds| {
+        let ops: Vec<MachineOp> = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, k)| {
+                let srcs = if i == 0 { vec![] } else { vec![Reg(i as u32 - 1)] };
+                MachineOp::new(KINDS[*k], srcs, Some(Reg(i as u32)))
+            })
+            .collect();
+        LoopBody {
+            num_regs: ops.len() as u32,
+            ops,
+        }
+    })
+}
+
+proptest! {
+    /// Steady-state cycles/iteration can never beat the front-end dispatch
+    /// bound or the busiest pipeline's occupancy.
+    #[test]
+    fn throughput_respects_structural_bounds(body in independent_body()) {
+        for core in [power9(), power8()] {
+            // Asymptotic bounds; the steady-state measurement (completion
+            // deltas over a finite window) carries a small edge jitter.
+            let r = simulate(&body, &core, SimOptions { iterations: 32, load_latency: None });
+            let slack = 0.95;
+            prop_assert!(
+                r.cycles_per_iter + 0.51 >= r.dispatch_cycles_per_iter * slack,
+                "cpi {} < dispatch bound {}",
+                r.cycles_per_iter,
+                r.dispatch_cycles_per_iter
+            );
+            let max_busy = r.unit_busy_per_iter.iter().cloned().fold(0.0, f64::max);
+            prop_assert!(
+                r.cycles_per_iter + 0.51 >= max_busy * slack,
+                "cpi {} < busy bound {}",
+                r.cycles_per_iter,
+                max_busy
+            );
+        }
+    }
+
+    /// A serial chain's *first completion* can come no earlier than the sum
+    /// of its latencies (iterations may still overlap: the chain is not
+    /// loop-carried).
+    #[test]
+    fn chains_are_latency_bound(body in chain_body()) {
+        let core = power9();
+        let r = simulate(&body, &core, SimOptions { iterations: 1, load_latency: None });
+        let chain: f64 = body.ops.iter().map(|o| core.latency(o.kind)).sum();
+        prop_assert!(
+            r.total_cycles + 1e-6 >= chain,
+            "one-pass latency {} < chain latency {}",
+            r.total_cycles,
+            chain
+        );
+    }
+
+    /// Raising the load latency never speeds anything up.
+    #[test]
+    fn monotone_in_load_latency(body in chain_body(), lat in 5.0f64..300.0) {
+        let core = power9();
+        let base = simulate(&body, &core, SimOptions { iterations: 16, load_latency: None });
+        let slow = simulate(&body, &core, SimOptions { iterations: 16, load_latency: Some(lat.max(core.l1_load_latency)) });
+        prop_assert!(slow.cycles_per_iter + 1e-6 >= base.cycles_per_iter);
+    }
+
+    /// Total cycles grow monotonically with iteration count.
+    #[test]
+    fn monotone_in_iterations(body in independent_body(), k in 2u32..6) {
+        let core = power9();
+        let a = simulate(&body, &core, SimOptions { iterations: k, load_latency: None });
+        let b = simulate(&body, &core, SimOptions { iterations: k * 2, load_latency: None });
+        prop_assert!(b.total_cycles + 1e-9 >= a.total_cycles);
+    }
+}

@@ -1,0 +1,29 @@
+//! # hetsel-models — the paper's analytical performance models
+//!
+//! The two hybrid analytical models at the heart of the framework:
+//!
+//! * [`cpu`] — Liao & Chapman's compile-time OpenMP cost model (Figure 3 of
+//!   the paper), its `Machine_cycles_per_iter` term supplied by the
+//!   `hetsel-mca` scheduler analysis and its constants by Table II;
+//! * [`gpu`] — Hong & Kim's MWP/CWP GPU model (Figures 4–5), adapted to the
+//!   Tesla K80 and V100 (Table III), extended with the paper's `#OMP_Rep`
+//!   factor and with memory-coalescing inputs from the IPDA symbolic
+//!   analysis resolved at runtime.
+//!
+//! Both models are *hybrid*: their skeletons are built statically and
+//! completed by a runtime [`hetsel_ir::Binding`] — the design the paper
+//! argues makes the decision cost negligible compared to ML inference.
+//! Both also share the originals' stated abstractions (no cache hierarchy,
+//! 128-iteration trip-count assumption as [`TripMode::Assume128`]), kept
+//! deliberately so that model-vs-simulator error reproduces the paper's
+//! error structure.
+
+#![warn(missing_docs)]
+
+pub mod cpu;
+pub mod gpu;
+pub mod trip;
+
+pub use cpu::{power8_params, power9_params, CpuModelParams, CpuPrediction};
+pub use gpu::{k80_params, p100_params, v100_params, CoalescingMode, GpuModelParams, GpuPrediction, HongCase};
+pub use trip::TripMode;

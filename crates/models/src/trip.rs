@@ -1,0 +1,57 @@
+//! Trip-count abstraction modes.
+//!
+//! The paper's static analysis "assumes that all loops execute 128
+//! iterations and all conditional blocks execute half of the time"; the
+//! hybrid runtime can instead bind real trip counts from the program
+//! attribute database. Both modes are first-class here so the ablation
+//! benches can quantify what the abstraction costs.
+
+use hetsel_ir::{trips::TripCounts, Loop};
+
+/// How inner-loop trip counts are resolved during model evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TripMode {
+    /// The paper's static abstraction: every sequential loop runs 128
+    /// iterations.
+    Assume128,
+    /// The hybrid mode: real trip counts from the runtime binding.
+    Runtime,
+}
+
+impl TripMode {
+    /// Builds the trip oracle for this mode over resolved counts.
+    pub fn trip_fn<'a>(self, tc: &'a TripCounts) -> Box<dyn Fn(&Loop) -> f64 + 'a> {
+        match self {
+            TripMode::Assume128 => Box::new(|_: &Loop| 128.0),
+            TripMode::Runtime => Box::new(move |l: &Loop| tc.of(l)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsel_ir::{cexpr, Binding, KernelBuilder, Transfer};
+
+    #[test]
+    fn modes_differ_on_real_counts() {
+        let mut kb = KernelBuilder::new("t");
+        let a = kb.array("a", 4, &["n".into()], Transfer::InOut);
+        let i = kb.parallel_loop(0, "n");
+        kb.acc_init("s", cexpr::lit(0.0));
+        let j = kb.seq_loop(0, "n");
+        let ld = kb.load(a, &[j.into()]);
+        kb.assign_acc("s", cexpr::add(cexpr::acc(), ld));
+        kb.end_loop();
+        kb.store_acc(a, &[i.into()], "s");
+        kb.end_loop();
+        let k = kb.finish();
+        let tc = hetsel_ir::trips::resolve(&k, &Binding::new().with("n", 1000));
+        let inner = match &k.parallel_body()[1] {
+            hetsel_ir::Stmt::For(l, _) => l.clone(),
+            _ => panic!(),
+        };
+        assert_eq!((TripMode::Assume128.trip_fn(&tc))(&inner), 128.0);
+        assert_eq!((TripMode::Runtime.trip_fn(&tc))(&inner), 1000.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Coverage of the Hong–Kim model's three Figure-4 cases and the model's
+//! qualitative behaviours, using purpose-built kernels.
+
+use hetsel_models::{gpu, v100_params, CoalescingMode, HongCase, TripMode};
+use hetsel_ir::{cexpr, Binding, Expr, Kernel, KernelBuilder, Transfer};
+
+fn predict(k: &Kernel, b: &Binding) -> gpu::GpuPrediction {
+    gpu::predict(k, b, &v100_params(), TripMode::Runtime, CoalescingMode::Ipda).unwrap()
+}
+
+/// Compute-heavy: long dependent FP chain per thread, one load.
+fn compute_kernel() -> Kernel {
+    let mut kb = KernelBuilder::new("compute-heavy");
+    let a = kb.array("a", 4, &["n".into()], Transfer::In);
+    let y = kb.array("y", 4, &["n".into()], Transfer::Out);
+    let i = kb.parallel_loop(0, "n");
+    kb.acc_init("s", kb.load(a, &[i.into()]));
+    let j = kb.seq_loop(0, "iters");
+    kb.assign_acc(
+        "s",
+        cexpr::add(cexpr::mul(cexpr::acc(), cexpr::scalar("c")), cexpr::scalar("d")),
+    );
+    kb.end_loop();
+    kb.store_acc(y, &[i.into()], "s");
+    kb.end_loop();
+    let _ = j;
+    kb.finish()
+}
+
+/// Memory-heavy: streaming loads, almost no compute.
+fn memory_kernel() -> Kernel {
+    let mut kb = KernelBuilder::new("memory-heavy");
+    let a = kb.array("a", 4, &["n".into(), "m".into()], Transfer::In);
+    let y = kb.array("y", 4, &["n".into()], Transfer::Out);
+    let i = kb.parallel_loop(0, "n");
+    kb.acc_init("s", cexpr::lit(0.0));
+    let j = kb.seq_loop(0, "m");
+    let ld = kb.load(a, &[i.into(), j.into()]);
+    kb.assign_acc("s", cexpr::add(cexpr::acc(), ld));
+    kb.end_loop();
+    kb.store_acc(y, &[i.into()], "s");
+    kb.end_loop();
+    let _ = j;
+    kb.finish()
+}
+
+#[test]
+fn compute_bound_case_fires() {
+    let k = compute_kernel();
+    // Huge arithmetic per memory op, few enough threads that CWP is small.
+    let b = Binding::new().with("n", 1 << 20).with("iters", 4096);
+    let p = predict(&k, &b);
+    assert_eq!(p.case, HongCase::ComputeBound, "{p:?}");
+}
+
+#[test]
+fn memory_bound_case_fires() {
+    let k = memory_kernel();
+    let b = Binding::new().with("n", 1 << 20).with("m", 4096);
+    let p = predict(&k, &b);
+    assert_eq!(p.case, HongCase::MemoryBound, "mwp={} cwp={} n={}", p.mwp, p.cwp, p.n_warps);
+    assert!(p.mwp < p.cwp);
+}
+
+#[test]
+fn balanced_case_fires_when_warps_are_scarce() {
+    // Tiny grid: N small; MWP and CWP both clamp to N.
+    let k = memory_kernel();
+    let b = Binding::new().with("n", 256).with("m", 64);
+    let p = predict(&k, &b);
+    assert_eq!(p.case, HongCase::Balanced, "mwp={} cwp={} n={}", p.mwp, p.cwp, p.n_warps);
+    assert_eq!(p.mwp, p.n_warps);
+    assert_eq!(p.cwp, p.n_warps);
+}
+
+#[test]
+fn exec_cycles_scale_with_omp_rep() {
+    let k = memory_kernel();
+    let small = predict(&k, &Binding::new().with("n", 200_000).with("m", 16));
+    let large = predict(&k, &Binding::new().with("n", 8_000_000).with("m", 16));
+    assert!(large.omp_rep > small.omp_rep);
+    assert!(large.exec_cycles > small.exec_cycles * 2.0);
+}
+
+#[test]
+fn more_compute_per_thread_costs_more() {
+    let k = compute_kernel();
+    let a = predict(&k, &Binding::new().with("n", 1 << 18).with("iters", 128));
+    let b = predict(&k, &Binding::new().with("n", 1 << 18).with("iters", 1024));
+    assert!(b.kernel_seconds > a.kernel_seconds * 4.0);
+}
+
+#[test]
+fn coalescing_modes_order_predictions() {
+    // Strided access: IPDA detects it; the ablation modes bracket it.
+    let mut kb = KernelBuilder::new("strided");
+    let a = kb.array("a", 4, &[Expr::param("n") * Expr::Const(33)], Transfer::In);
+    let y = kb.array("y", 4, &["n".into()], Transfer::Out);
+    let i = kb.parallel_loop(0, "n");
+    let ld = kb.load(a, &[Expr::Const(33) * Expr::var(i)]);
+    kb.store(y, &[i.into()], ld);
+    kb.end_loop();
+    let k = kb.finish();
+    let b = Binding::new().with("n", 1 << 20);
+    let p = v100_params();
+    let co = gpu::predict(&k, &b, &p, TripMode::Runtime, CoalescingMode::AssumeCoalesced).unwrap();
+    let ip = gpu::predict(&k, &b, &p, TripMode::Runtime, CoalescingMode::Ipda).unwrap();
+    let un = gpu::predict(&k, &b, &p, TripMode::Runtime, CoalescingMode::AssumeUncoalesced).unwrap();
+    assert!(co.kernel_seconds <= ip.kernel_seconds + 1e-15);
+    assert!(ip.kernel_seconds <= un.kernel_seconds + 1e-15);
+    // The strided access really is uncoalesced: IPDA sits at the
+    // pessimistic end here, far from the coalesced assumption.
+    assert!(ip.kernel_seconds > co.kernel_seconds * 2.0);
+}

@@ -1,0 +1,146 @@
+//! Hand-computed verification of the Hong–Kim equations (paper Figures
+//! 4–5): for a kernel small enough to evaluate the model by hand, every
+//! intermediate quantity and the final `Exec_cycles` must match the
+//! closed-form arithmetic exactly.
+
+use hetsel_models::{gpu, v100_params, CoalescingMode, HongCase, TripMode};
+use hetsel_ir::{Binding, Kernel, KernelBuilder, Transfer};
+
+/// One coalesced load + one coalesced store per thread, no inner loop:
+/// every count is knowable by inspection.
+fn copy_kernel() -> Kernel {
+    let mut kb = KernelBuilder::new("copy");
+    let x = kb.array("x", 4, &["n".into()], Transfer::In);
+    let y = kb.array("y", 4, &["n".into()], Transfer::Out);
+    let i = kb.parallel_loop(0, "n");
+    let ld = kb.load(x, &[i.into()]);
+    kb.store(y, &[i.into()], ld);
+    kb.end_loop();
+    kb.finish()
+}
+
+#[test]
+fn copy_kernel_quantities_by_hand() {
+    let k = copy_kernel();
+    // n = 128 * 80: exactly 80 blocks of 128 threads, one block per SM.
+    let n: i64 = 128 * 80;
+    let b = Binding::new().with("n", n);
+    let params = v100_params();
+    let g = gpu::predict(&k, &b, &params, TripMode::Runtime, CoalescingMode::Ipda).unwrap();
+
+    // Geometry: 80 blocks, no thread reuse, one wave.
+    assert_eq!(g.geometry.blocks, 80);
+    assert_eq!(g.geometry.threads_per_block, 128);
+    assert_eq!(g.omp_rep, 1.0);
+    assert_eq!(g.rep, 1.0);
+    assert_eq!(g.occupancy.active_sms, 80);
+    // N = 4 warps per SM (one 128-thread block).
+    assert_eq!(g.n_warps, 4.0);
+
+    // Census: 2 memory instructions, both unit-stride f32 => coalesced.
+    assert_eq!(g.coal_mem_insts, 2.0);
+    assert_eq!(g.uncoal_mem_insts, 0.0);
+
+    // With N = 4 and plenty of latency to hide, MWP and CWP both clamp to
+    // N: the Balanced case of Figure 4.
+    assert_eq!(g.case, HongCase::Balanced);
+    assert_eq!(g.mwp, 4.0);
+    assert_eq!(g.cwp, 4.0);
+
+    // Balanced-case formula:
+    //   Exec = Mem_cycles + Comp_cycles + Comp/#Mem × (MWP − 1).
+    // Both arrays fit V100's 6 MiB L2 easily (40 KiB each): the static L2
+    // estimate gives hit = 0.95, so
+    //   base_l  = 0.95×193 + 0.05×425 = 204.6  (per-access latency)
+    //   Mem_cycles = 2 × 204.6 = 409.2.
+    let base_l = 0.95 * 193.0 + 0.05 * 425.0;
+    let mem_cycles = 2.0 * base_l;
+    // Lowered ops per iteration: 2 address IntAlu + 1 load + 1 store = 4
+    // instructions (the parallel loop's own bookkeeping belongs to the
+    // runtime, not the thread's loadout). Hong's Comp_cycles multiplies the
+    // *total* instruction count by #Issue_cycles (1 on Volta): 4.
+    let comp_cycles = 4.0;
+    let expected = mem_cycles + comp_cycles + comp_cycles / 2.0 * (4.0 - 1.0);
+    assert!(
+        (g.exec_cycles - expected).abs() < 1e-9,
+        "exec {} vs hand {}",
+        g.exec_cycles,
+        expected
+    );
+
+    // Transfers: 2 × (5 µs latency + 40960 B / 60 GB/s).
+    let one_way = 5e-6 + (n as f64 * 4.0) / 60e9;
+    assert!((g.transfer_seconds - 2.0 * one_way).abs() < 1e-12);
+
+    // Total = kernel + transfers + 5 µs launch.
+    let kernel_s = expected / 1.38e9;
+    assert!((g.seconds - (kernel_s + g.transfer_seconds + 5e-6)).abs() < 1e-15);
+}
+
+#[test]
+fn omp_rep_factor_multiplies_exactly() {
+    let k = copy_kernel();
+    let params = v100_params();
+    // Resident capacity: 80 SMs × 16 blocks × 128 threads = 163840.
+    let resident: i64 = 80 * 16 * 128;
+    let b1 = gpu::predict(
+        &k,
+        &Binding::new().with("n", resident),
+        &params,
+        TripMode::Runtime,
+        CoalescingMode::Ipda,
+    )
+    .unwrap();
+    let b3 = gpu::predict(
+        &k,
+        &Binding::new().with("n", resident * 3),
+        &params,
+        TripMode::Runtime,
+        CoalescingMode::Ipda,
+    )
+    .unwrap();
+    assert_eq!(b1.omp_rep, 1.0);
+    assert_eq!(b3.omp_rep, 3.0);
+    // Same per-rep cycles, three repetitions: exactly 3x (same N, MWP, CWP).
+    assert!(
+        (b3.exec_cycles - 3.0 * b1.exec_cycles).abs() < 1e-6,
+        "{} vs 3x {}",
+        b3.exec_cycles,
+        b1.exec_cycles
+    );
+}
+
+#[test]
+fn uncoalesced_departure_delay_enters_mem_l() {
+    // Stride-16 f32 access: 16 transactions per warp (two lanes per 32 B
+    // segment), uncoalesced.
+    let mut kb = KernelBuilder::new("strided");
+    let x = kb.array("x", 4, &[hetsel_ir::Expr::param("n") * hetsel_ir::Expr::Const(16)], Transfer::In);
+    let y = kb.array("y", 4, &["n".into()], Transfer::Out);
+    let i = kb.parallel_loop(0, "n");
+    let ld = kb.load(x, &[hetsel_ir::Expr::Const(16) * hetsel_ir::Expr::var(i)]);
+    kb.store(y, &[i.into()], ld);
+    kb.end_loop();
+    let k = kb.finish();
+
+    let coal = gpu::predict(
+        &copy_kernel(),
+        &Binding::new().with("n", 128 * 80),
+        &v100_params(),
+        TripMode::Runtime,
+        CoalescingMode::Ipda,
+    )
+    .unwrap();
+    let unc = gpu::predict(
+        &k,
+        &Binding::new().with("n", 128 * 80),
+        &v100_params(),
+        TripMode::Runtime,
+        CoalescingMode::Ipda,
+    )
+    .unwrap();
+    assert_eq!(unc.uncoal_mem_insts, 1.0);
+    assert_eq!(unc.coal_mem_insts, 1.0);
+    // The strided version must predict strictly more cycles.
+    assert!(unc.exec_cycles > coal.exec_cycles);
+}

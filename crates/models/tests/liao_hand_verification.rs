@@ -1,0 +1,111 @@
+//! Hand-computed verification of the Liao/Chapman CPU model (paper
+//! Figure 3 + Table II): for a trivially small kernel, every term is
+//! reproducible with pencil-and-paper arithmetic.
+
+use hetsel_models::{cpu, power9_params, TripMode};
+use hetsel_ir::{cexpr, Binding, Kernel, KernelBuilder, Transfer};
+
+/// `y[i] = x[i]` over n iterations: one load, one store, no inner loop.
+fn copy_kernel() -> Kernel {
+    let mut kb = KernelBuilder::new("copy");
+    let x = kb.array("x", 4, &["n".into()], Transfer::In);
+    let y = kb.array("y", 4, &["n".into()], Transfer::Out);
+    let i = kb.parallel_loop(0, "n");
+    let ld = kb.load(x, &[i.into()]);
+    kb.store(y, &[i.into()], ld);
+    kb.end_loop();
+    let _ = cexpr::lit(0.0);
+    kb.finish()
+}
+
+#[test]
+fn figure3_terms_by_hand() {
+    let k = copy_kernel();
+    let params = power9_params();
+    // 160 threads over 160_000 iterations: chunk = 1000 exactly.
+    let n: i64 = 160_000;
+    let threads = 160;
+    let p = cpu::predict(&k, &Binding::new().with("n", n), &params, threads, TripMode::Runtime)
+        .unwrap();
+
+    assert_eq!(p.chunk, 1000);
+
+    // Fork_c = Par_Startup + fork_per_thread × threads
+    //        = 3000 + 24000×160 = 3_843_000.
+    assert_eq!(p.fork_cycles, 3000.0 + 24_000.0 * 160.0);
+    // Schedule_c and Join_c are the Table II constants.
+    assert_eq!(p.schedule_cycles, 10_154.0);
+    assert_eq!(p.join_cycles, 4_000.0);
+
+    // Loop_chunk_c = (Machine_cycles_per_iter × chunk + Cache_c
+    //                 + Loop_overhead_per_iter × chunk) × smt_stretch.
+    // 1.28 MB of arrays fit the 64 MiB TLB reach: Cache_c = 0.
+    assert_eq!(p.cache_cost, 0.0);
+    // smt_stretch: 160 threads vs 40 effective (20 cores × smt_benefit 2).
+    let stretch = 4.0;
+    let expected_chunk_cycles =
+        (p.machine_cycles_per_iter * 1000.0 + 0.0 + 4.0 * 1000.0) * stretch;
+    assert!(
+        (p.loop_chunk_cycles - expected_chunk_cycles).abs() < 1e-9,
+        "{} vs {}",
+        p.loop_chunk_cycles,
+        expected_chunk_cycles
+    );
+
+    // Composition and the 3 GHz conversion.
+    assert!(p.composition_residual() < 1e-9);
+    assert!((p.seconds - p.cycles / 3.0e9).abs() < 1e-18);
+
+    // The copy body is trivially vectorisable over the parallel dimension:
+    // 4 f32 lanes × 0.95 efficiency.
+    assert!((p.vector_factor - 4.0 * 0.95).abs() < 1e-12);
+}
+
+#[test]
+fn chunk_scaling_is_linear_in_iterations() {
+    let k = copy_kernel();
+    let params = power9_params();
+    let p1 = cpu::predict(&k, &Binding::new().with("n", 160_000), &params, 160, TripMode::Runtime)
+        .unwrap();
+    let p2 = cpu::predict(&k, &Binding::new().with("n", 320_000), &params, 160, TripMode::Runtime)
+        .unwrap();
+    // Overheads constant, chunk term doubles.
+    let fixed = p1.fork_cycles + p1.schedule_cycles + p1.join_cycles;
+    assert_eq!(fixed, p2.fork_cycles + p2.schedule_cycles + p2.join_cycles);
+    assert!(
+        (p2.loop_chunk_cycles - 2.0 * p1.loop_chunk_cycles).abs() < 1e-6,
+        "{} vs 2x {}",
+        p2.loop_chunk_cycles,
+        p1.loop_chunk_cycles
+    );
+}
+
+#[test]
+fn tlb_term_engages_past_the_reach() {
+    // A strided walk over a matrix larger than the 64 MiB TLB reach.
+    let mut kb = KernelBuilder::new("colwalk");
+    let a = kb.array("A", 4, &["n".into(), "n".into()], Transfer::In);
+    let y = kb.array("y", 4, &["n".into()], Transfer::Out);
+    let i = kb.parallel_loop(0, "n");
+    kb.acc_init("s", cexpr::lit(0.0));
+    let j = kb.seq_loop(0, "n");
+    let ld = kb.load(a, &[j.into(), i.into()]); // stride n over j
+    kb.assign_acc("s", cexpr::add(cexpr::acc(), ld));
+    kb.end_loop();
+    kb.store_acc(y, &[i.into()], "s");
+    kb.end_loop();
+    let k = kb.finish();
+    let params = power9_params();
+
+    // 4000^2 x 4 B = 61 MiB (+ y): under the 64 MiB reach — no misses.
+    let at = cpu::predict(&k, &Binding::new().with("n", 4000), &params, 160, TripMode::Runtime)
+        .unwrap();
+    assert_eq!(at.cache_cost, 0.0);
+    // 8192^2 x 4 B = 256 MiB: every strided access crosses a page.
+    let over = cpu::predict(&k, &Binding::new().with("n", 8192), &params, 160, TripMode::Runtime)
+        .unwrap();
+    assert!(over.cache_cost > 0.0);
+    // Per-iteration misses = inner trips (stride 32 KiB = half a page =>
+    // probability 0.5) x ... at minimum thousands of cycles per chunk.
+    assert!(over.cache_cost > 1000.0, "{}", over.cache_cost);
+}

@@ -1,0 +1,156 @@
+//! ATAX: `y = Aᵀ·(A·x)` — two target regions. The second region walks `A`
+//! column-wise: coalesced across GPU threads but hostile to the CPU's inner
+//! loop, which is why `atax.k2` in `test` mode is the paper's showcase for
+//! the K80→V100 transfer-speed gap (1.24× → 40.69×).
+
+use crate::dataset::Dataset;
+use crate::suite::Benchmark;
+use hetsel_ir::{cexpr, Binding, Kernel, KernelBuilder, Transfer};
+use rayon::prelude::*;
+
+/// The benchmark descriptor.
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "ATAX",
+        kernels: kernels(),
+        binding,
+    }
+}
+
+/// Runtime binding for a dataset.
+pub fn binding(ds: Dataset) -> Binding {
+    Binding::new().with("n", ds.n())
+}
+
+/// The two target regions.
+pub fn kernels() -> Vec<Kernel> {
+    // k1: tmp[i] = sum_j A[i][j] * x[j]   (parallel i)
+    let mut kb = KernelBuilder::new("atax.k1");
+    let a = kb.array("A", 4, &["n".into(), "n".into()], Transfer::In);
+    let x = kb.array("x", 4, &["n".into()], Transfer::In);
+    let tmp = kb.array("tmp", 4, &["n".into()], Transfer::Out);
+    let i = kb.parallel_loop(0, "n");
+    kb.acc_init("acc", cexpr::lit(0.0));
+    let j = kb.seq_loop(0, "n");
+    let prod = cexpr::mul(kb.load(a, &[i.into(), j.into()]), kb.load(x, &[j.into()]));
+    kb.assign_acc("acc", cexpr::add(cexpr::acc(), prod));
+    kb.end_loop();
+    kb.store_acc(tmp, &[i.into()], "acc");
+    kb.end_loop();
+    let k1 = kb.finish();
+
+    // k2: y[j] = sum_i A[i][j] * tmp[i]   (parallel j)
+    let mut kb = KernelBuilder::new("atax.k2");
+    let a = kb.array("A", 4, &["n".into(), "n".into()], Transfer::In);
+    let tmp = kb.array("tmp", 4, &["n".into()], Transfer::In);
+    let y = kb.array("y", 4, &["n".into()], Transfer::Out);
+    let j = kb.parallel_loop(0, "n");
+    kb.acc_init("acc", cexpr::lit(0.0));
+    let i = kb.seq_loop(0, "n");
+    let prod = cexpr::mul(kb.load(a, &[i.into(), j.into()]), kb.load(tmp, &[i.into()]));
+    kb.assign_acc("acc", cexpr::add(cexpr::acc(), prod));
+    kb.end_loop();
+    kb.store_acc(y, &[j.into()], "acc");
+    kb.end_loop();
+    let k2 = kb.finish();
+
+    vec![k1, k2]
+}
+
+/// Sequential reference; returns `y`.
+pub fn run_seq(n: usize, a: &[f32], x: &[f32]) -> Vec<f32> {
+    let mut tmp = vec![0.0f32; n];
+    for i in 0..n {
+        let mut acc = 0.0;
+        for j in 0..n {
+            acc += a[i * n + j] * x[j];
+        }
+        tmp[i] = acc;
+    }
+    let mut y = vec![0.0f32; n];
+    for (j, yj) in y.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for (i, t) in tmp.iter().enumerate() {
+            acc += a[i * n + j] * t;
+        }
+        *yj = acc;
+    }
+    y
+}
+
+/// Parallel host implementation; returns `y`.
+pub fn run_par(n: usize, a: &[f32], x: &[f32]) -> Vec<f32> {
+    let tmp: Vec<f32> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let mut acc = 0.0;
+            for j in 0..n {
+                acc += a[i * n + j] * x[j];
+            }
+            acc
+        })
+        .collect();
+    (0..n)
+        .into_par_iter()
+        .map(|j| {
+            let mut acc = 0.0;
+            for (i, t) in tmp.iter().enumerate() {
+                acc += a[i * n + j] * t;
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{assert_close, poly_mat, poly_vec};
+    use hetsel_ipda::{analyze, Stride};
+    use hetsel_ir::Poly;
+
+    #[test]
+    fn kernels_validate() {
+        let ks = kernels();
+        assert_eq!(ks.len(), 2);
+        for k in &ks {
+            k.validate().unwrap();
+            assert_eq!(k.parallel_loops().len(), 1);
+        }
+    }
+
+    /// k1 reads A row-wise (thread stride n: uncoalesced); k2 reads A
+    /// column-wise (thread stride 1: coalesced) — the structural contrast
+    /// the IPDA analysis must see.
+    #[test]
+    fn coalescing_contrast_between_regions() {
+        let ks = kernels();
+        let i1 = analyze(&ks[0]);
+        let a_access = i1.accesses.iter().find(|a| a.array.0 == 0).unwrap();
+        assert_eq!(a_access.thread_stride, Stride::Symbolic(Poly::param("n")));
+        let i2 = analyze(&ks[1]);
+        let a_access = i2.accesses.iter().find(|a| a.array.0 == 0).unwrap();
+        assert_eq!(a_access.thread_stride, Stride::Known(1));
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let n = 64;
+        let a = poly_mat(n, n);
+        let x = poly_vec(n);
+        assert_close(&run_seq(n, &a, &x), &run_par(n, &a, &x), n);
+    }
+
+    #[test]
+    fn identity_matrix_roundtrip() {
+        // A = I: y = Aᵀ A x = x.
+        let n = 8;
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            a[i * n + i] = 1.0;
+        }
+        let x = poly_vec(n);
+        let y = run_seq(n, &a, &x);
+        assert_close(&y, &x, 1);
+    }
+}

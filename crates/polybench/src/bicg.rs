@@ -1,0 +1,130 @@
+//! BICG: the two matrix–vector sub-kernels of the BiCG stabilised solver,
+//! `s = Aᵀ·r` and `q = A·p`, as two target regions with opposite coalescing
+//! behaviour.
+
+use crate::dataset::Dataset;
+use crate::suite::Benchmark;
+use hetsel_ir::{cexpr, Binding, Kernel, KernelBuilder, Transfer};
+use rayon::prelude::*;
+
+/// The benchmark descriptor.
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "BICG",
+        kernels: kernels(),
+        binding,
+    }
+}
+
+/// Runtime binding for a dataset.
+pub fn binding(ds: Dataset) -> Binding {
+    Binding::new().with("n", ds.n())
+}
+
+/// The two target regions.
+pub fn kernels() -> Vec<Kernel> {
+    // k1: s[j] = sum_i A[i][j] * r[i]   (parallel j — coalesced on A)
+    let mut kb = KernelBuilder::new("bicg.k1");
+    let a = kb.array("A", 4, &["n".into(), "n".into()], Transfer::In);
+    let r = kb.array("r", 4, &["n".into()], Transfer::In);
+    let s = kb.array("s", 4, &["n".into()], Transfer::Out);
+    let j = kb.parallel_loop(0, "n");
+    kb.acc_init("acc", cexpr::lit(0.0));
+    let i = kb.seq_loop(0, "n");
+    let prod = cexpr::mul(kb.load(a, &[i.into(), j.into()]), kb.load(r, &[i.into()]));
+    kb.assign_acc("acc", cexpr::add(cexpr::acc(), prod));
+    kb.end_loop();
+    kb.store_acc(s, &[j.into()], "acc");
+    kb.end_loop();
+    let k1 = kb.finish();
+
+    // k2: q[i] = sum_j A[i][j] * p[j]   (parallel i — row-wise)
+    let mut kb = KernelBuilder::new("bicg.k2");
+    let a = kb.array("A", 4, &["n".into(), "n".into()], Transfer::In);
+    let p = kb.array("p", 4, &["n".into()], Transfer::In);
+    let q = kb.array("q", 4, &["n".into()], Transfer::Out);
+    let i = kb.parallel_loop(0, "n");
+    kb.acc_init("acc", cexpr::lit(0.0));
+    let j = kb.seq_loop(0, "n");
+    let prod = cexpr::mul(kb.load(a, &[i.into(), j.into()]), kb.load(p, &[j.into()]));
+    kb.assign_acc("acc", cexpr::add(cexpr::acc(), prod));
+    kb.end_loop();
+    kb.store_acc(q, &[i.into()], "acc");
+    kb.end_loop();
+    let k2 = kb.finish();
+
+    vec![k1, k2]
+}
+
+/// Sequential reference; returns `(s, q)`.
+pub fn run_seq(n: usize, a: &[f32], r: &[f32], p: &[f32]) -> (Vec<f32>, Vec<f32>) {
+    let mut s = vec![0.0f32; n];
+    for (j, sj) in s.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for (i, ri) in r.iter().enumerate() {
+            acc += a[i * n + j] * ri;
+        }
+        *sj = acc;
+    }
+    let mut q = vec![0.0f32; n];
+    for (i, qi) in q.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for (j, pj) in p.iter().enumerate() {
+            acc += a[i * n + j] * pj;
+        }
+        *qi = acc;
+    }
+    (s, q)
+}
+
+/// Parallel host implementation; returns `(s, q)`.
+pub fn run_par(n: usize, a: &[f32], r: &[f32], p: &[f32]) -> (Vec<f32>, Vec<f32>) {
+    let s: Vec<f32> = (0..n)
+        .into_par_iter()
+        .map(|j| {
+            let mut acc = 0.0;
+            for (i, ri) in r.iter().enumerate() {
+                acc += a[i * n + j] * ri;
+            }
+            acc
+        })
+        .collect();
+    let q: Vec<f32> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let mut acc = 0.0;
+            for (j, pj) in p.iter().enumerate() {
+                acc += a[i * n + j] * pj;
+            }
+            acc
+        })
+        .collect();
+    (s, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{assert_close, poly_mat, poly_vec};
+
+    #[test]
+    fn kernels_validate() {
+        let ks = kernels();
+        assert_eq!(ks.len(), 2);
+        for k in &ks {
+            k.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let n = 56;
+        let a = poly_mat(n, n);
+        let r = poly_vec(n);
+        let p = poly_vec(n);
+        let (s1, q1) = run_seq(n, &a, &r, &p);
+        let (s2, q2) = run_par(n, &a, &r, &p);
+        assert_close(&s1, &s2, n);
+        assert_close(&q1, &q2, n);
+    }
+}

@@ -1,0 +1,144 @@
+//! 2DCONV: a 3×3 stencil convolution — the suite's canonical memory-bound,
+//! low-arithmetic-intensity kernel (9 loads, 8 FMAs, 1 store per point).
+
+use crate::dataset::Dataset;
+use crate::suite::Benchmark;
+use hetsel_ir::{cexpr, Binding, Expr, Kernel, KernelBuilder, Transfer};
+use rayon::prelude::*;
+
+/// Stencil coefficients (polybench's c11..c33).
+pub const C: [[f32; 3]; 3] = [[0.2, -0.3, 0.4], [0.5, 0.6, 0.7], [-0.8, -0.9, 0.1]];
+
+/// The benchmark descriptor.
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "2DCONV",
+        kernels: kernels(),
+        binding,
+    }
+}
+
+/// Runtime binding for a dataset.
+pub fn binding(ds: Dataset) -> Binding {
+    Binding::new().with("n", ds.n())
+}
+
+/// The single target region.
+pub fn kernels() -> Vec<Kernel> {
+    let mut kb = KernelBuilder::new("2dconv");
+    let a = kb.array("A", 4, &["n".into(), "n".into()], Transfer::In);
+    let b = kb.array("B", 4, &["n".into(), "n".into()], Transfer::Out);
+    let i = kb.parallel_loop(1, Expr::param("n") - Expr::Const(1));
+    let j = kb.parallel_loop(1, Expr::param("n") - Expr::Const(1));
+    // acc = Σ_{di,dj} c[di][dj] * A[i+di-1][j+dj-1]
+    let mut acc = cexpr::mul(
+        cexpr::scalar("c00"),
+        kb.load(a, &[Expr::var(i) - 1.into(), Expr::var(j) - 1.into()]),
+    );
+    for di in 0..3i64 {
+        for dj in 0..3i64 {
+            if di == 0 && dj == 0 {
+                continue;
+            }
+            let load = kb.load(
+                a,
+                &[
+                    Expr::var(i) + Expr::Const(di - 1),
+                    Expr::var(j) + Expr::Const(dj - 1),
+                ],
+            );
+            acc = cexpr::add(acc, cexpr::mul(cexpr::scalar(&format!("c{di}{dj}")), load));
+        }
+    }
+    kb.store(b, &[i.into(), j.into()], acc);
+    kb.end_loop();
+    kb.end_loop();
+    vec![kb.finish()]
+}
+
+/// Sequential reference; returns `B`.
+pub fn run_seq(n: usize, a: &[f32]) -> Vec<f32> {
+    let mut b = vec![0.0f32; n * n];
+    for i in 1..n - 1 {
+        for j in 1..n - 1 {
+            let mut acc = 0.0;
+            for (di, row) in C.iter().enumerate() {
+                for (dj, c) in row.iter().enumerate() {
+                    acc += c * a[(i + di - 1) * n + (j + dj - 1)];
+                }
+            }
+            b[i * n + j] = acc;
+        }
+    }
+    b
+}
+
+/// Parallel host implementation; returns `B`.
+pub fn run_par(n: usize, a: &[f32]) -> Vec<f32> {
+    let mut b = vec![0.0f32; n * n];
+    b.par_chunks_mut(n)
+        .enumerate()
+        .skip(1)
+        .take(n - 2)
+        .for_each(|(i, row)| {
+            for j in 1..n - 1 {
+                let mut acc = 0.0;
+                for (di, crow) in C.iter().enumerate() {
+                    for (dj, c) in crow.iter().enumerate() {
+                        acc += c * a[(i + di - 1) * n + (j + dj - 1)];
+                    }
+                }
+                row[j] = acc;
+            }
+        });
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{assert_close, poly_mat};
+    use hetsel_ir::FpOps;
+
+    #[test]
+    fn kernel_validates() {
+        let k = &kernels()[0];
+        k.validate().unwrap();
+        // Interior points only: (n-2)^2 work items.
+        let b = binding(Dataset::Mini);
+        assert_eq!(k.parallel_iterations(&b), Some(62 * 62));
+    }
+
+    #[test]
+    fn arithmetic_intensity_is_low() {
+        // 9 loads vs 17 flops per point: memory-bound with f32 data.
+        let k = &kernels()[0];
+        let mut loads = 0usize;
+        let mut ops = FpOps::default();
+        k.walk_assigns(|_, a| {
+            a.rhs.for_each_load(&mut |_| loads += 1);
+            ops = ops + a.rhs.fp_op_counts();
+        });
+        assert_eq!(loads, 9);
+        assert_eq!(ops.mul, 9);
+        assert_eq!(ops.add_sub, 8);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let n = 50;
+        let a = poly_mat(n, n);
+        assert_close(&run_seq(n, &a), &run_par(n, &a), 9);
+    }
+
+    #[test]
+    fn constant_input_gives_coefficient_sum() {
+        let n = 8;
+        let a = vec![1.0f32; n * n];
+        let b = run_seq(n, &a);
+        let csum: f32 = C.iter().flatten().sum();
+        assert!((b[n + 1] - csum).abs() < 1e-5);
+        // Border stays zero.
+        assert_eq!(b[0], 0.0);
+    }
+}

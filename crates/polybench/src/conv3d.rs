@@ -1,0 +1,155 @@
+//! 3DCONV: an 11-point 3-D stencil — the paper's headline generation-gap
+//! case. Heavily memory-bound with minimal arithmetic intensity, it *loses*
+//! 2.1× offloading to a K80 yet *gains* 4.41× on a V100, "benefiting greatly
+//! from the Volta card's memory bandwidth of 900 GB/s, nearly double of the
+//! K80's" (paper, Section III).
+
+use crate::dataset::Dataset;
+use crate::suite::Benchmark;
+use hetsel_ir::{cexpr, Binding, CExpr, Expr, Kernel, KernelBuilder, Transfer};
+use rayon::prelude::*;
+
+/// The 11 stencil taps of polybench's 3-D convolution: offsets and the
+/// coefficient scalar names.
+const TAPS: [((i64, i64, i64), &str); 11] = [
+    ((-1, -1, -1), "c11"),
+    ((0, -1, -1), "c21"),
+    ((1, -1, -1), "c31"),
+    ((-1, 0, 0), "c12"),
+    ((0, 0, 0), "c22"),
+    ((1, 0, 0), "c32"),
+    ((-1, 1, 1), "c13"),
+    ((0, 1, 1), "c23"),
+    ((1, 1, 1), "c33"),
+    ((0, -1, 1), "c21b"),
+    ((0, 1, -1), "c23b"),
+];
+
+/// Coefficient values used by the executable implementation, in TAPS order.
+pub const COEFFS: [f32; 11] = [0.2, 0.5, -0.8, -0.3, 0.6, -0.9, 0.4, 0.7, 0.1, 0.25, -0.15];
+
+/// The benchmark descriptor.
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "3DCONV",
+        kernels: kernels(),
+        binding,
+    }
+}
+
+/// Runtime binding for a dataset (cubic inputs).
+pub fn binding(ds: Dataset) -> Binding {
+    Binding::new().with("n", ds.n3())
+}
+
+/// The single target region: parallel `(i, j)`, sequential `k`.
+pub fn kernels() -> Vec<Kernel> {
+    let mut kb = KernelBuilder::new("3dconv");
+    let a = kb.array("A", 4, &["n".into(), "n".into(), "n".into()], Transfer::In);
+    let b = kb.array("B", 4, &["n".into(), "n".into(), "n".into()], Transfer::Out);
+    let i = kb.parallel_loop(1, Expr::param("n") - Expr::Const(1));
+    let j = kb.parallel_loop(1, Expr::param("n") - Expr::Const(1));
+    let k = kb.seq_loop(1, Expr::param("n") - Expr::Const(1));
+    let tap = |kb: &KernelBuilder, (di, dj, dk): (i64, i64, i64), c: &str| -> CExpr {
+        let load = kb.load(
+            a,
+            &[
+                Expr::var(i) + Expr::Const(di),
+                Expr::var(j) + Expr::Const(dj),
+                Expr::var(k) + Expr::Const(dk),
+            ],
+        );
+        cexpr::mul(cexpr::scalar(c), load)
+    };
+    let mut acc = tap(&kb, TAPS[0].0, TAPS[0].1);
+    for (off, c) in TAPS.iter().skip(1) {
+        acc = cexpr::add(acc, tap(&kb, *off, c));
+    }
+    kb.store(b, &[i.into(), j.into(), k.into()], acc);
+    kb.end_loop();
+    kb.end_loop();
+    kb.end_loop();
+    vec![kb.finish()]
+}
+
+#[inline]
+fn point(n: usize, a: &[f32], i: usize, j: usize, k: usize) -> f32 {
+    let idx = |di: i64, dj: i64, dk: i64| {
+        ((i as i64 + di) as usize * n + (j as i64 + dj) as usize) * n + (k as i64 + dk) as usize
+    };
+    let mut acc = 0.0;
+    for (t, c) in TAPS.iter().zip(COEFFS) {
+        let (di, dj, dk) = t.0;
+        acc += c * a[idx(di, dj, dk)];
+    }
+    acc
+}
+
+/// Sequential reference; returns `B` (n³ elements).
+pub fn run_seq(n: usize, a: &[f32]) -> Vec<f32> {
+    let mut b = vec![0.0f32; n * n * n];
+    for i in 1..n - 1 {
+        for j in 1..n - 1 {
+            for k in 1..n - 1 {
+                b[(i * n + j) * n + k] = point(n, a, i, j, k);
+            }
+        }
+    }
+    b
+}
+
+/// Parallel host implementation; returns `B`.
+pub fn run_par(n: usize, a: &[f32]) -> Vec<f32> {
+    let mut b = vec![0.0f32; n * n * n];
+    b.par_chunks_mut(n * n)
+        .enumerate()
+        .skip(1)
+        .take(n - 2)
+        .for_each(|(i, plane)| {
+            for j in 1..n - 1 {
+                for k in 1..n - 1 {
+                    plane[j * n + k] = point(n, a, i, j, k);
+                }
+            }
+        });
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{assert_close, vec1};
+
+    #[test]
+    fn kernel_validates() {
+        let k = &kernels()[0];
+        k.validate().unwrap();
+        assert_eq!(k.parallel_loops().len(), 2);
+        let b = binding(Dataset::Mini);
+        assert_eq!(k.parallel_iterations(&b), Some(14 * 14));
+    }
+
+    #[test]
+    fn eleven_loads_per_point() {
+        let k = &kernels()[0];
+        let mut loads = 0usize;
+        k.walk_assigns(|_, a| a.rhs.for_each_load(&mut |_| loads += 1));
+        assert_eq!(loads, 11);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let n = 18;
+        let a = vec1(n * n * n, |i| ((i * 31 + 7) % 128) as f32 / 128.0);
+        assert_close(&run_seq(n, &a), &run_par(n, &a), 11);
+    }
+
+    #[test]
+    fn constant_input_gives_coefficient_sum() {
+        let n = 6;
+        let a = vec![1.0f32; n * n * n];
+        let b = run_seq(n, &a);
+        let csum: f32 = COEFFS.iter().sum();
+        assert!((b[(n + 1) * n + 1] - csum).abs() < 1e-5);
+    }
+}

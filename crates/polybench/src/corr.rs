@@ -1,0 +1,277 @@
+//! CORR: the Pearson correlation-matrix benchmark — four target regions
+//! (column means, column standard deviations, data standardisation, and the
+//! triangular correlation product).
+//!
+//! The paper singles CORR out in Section III: its kernels "contain
+//! sequential loops to be executed by each parallel worker, which are
+//! well-suited for SIMD vectorization and stand to benefit from POWER9's
+//! broader vector operation support" — making GPU offloading profitable on
+//! the POWER8 + K80 machine but *unprofitable* on POWER9 + V100.
+
+use crate::dataset::Dataset;
+use crate::suite::Benchmark;
+use hetsel_ir::{cexpr, Binding, Expr, Kernel, KernelBuilder, Transfer};
+use rayon::prelude::*;
+
+/// The benchmark descriptor.
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "CORR",
+        kernels: kernels(),
+        binding,
+    }
+}
+
+/// Runtime binding for a dataset (`n` data rows × `m` features, square in
+/// the paper's configurations; `float_n` is the f32 row count).
+pub fn binding(ds: Dataset) -> Binding {
+    Binding::new().with("n", ds.n()).with("m", ds.n())
+}
+
+/// The four target regions.
+pub fn kernels() -> Vec<Kernel> {
+    vec![mean_kernel(), std_kernel(), reduce_kernel(), corr_kernel()]
+}
+
+/// `mean[j] = Σ_i data[i][j] / float_n`.
+fn mean_kernel() -> Kernel {
+    let mut kb = KernelBuilder::new("corr.mean");
+    let data = kb.array("data", 4, &["n".into(), "m".into()], Transfer::In);
+    let mean = kb.array("mean", 4, &["m".into()], Transfer::Out);
+    let j = kb.parallel_loop(0, "m");
+    kb.acc_init("acc", cexpr::lit(0.0));
+    let i = kb.seq_loop(0, "n");
+    let ld = kb.load(data, &[i.into(), j.into()]);
+    kb.assign_acc("acc", cexpr::add(cexpr::acc(), ld));
+    kb.end_loop();
+    kb.store(
+        mean,
+        &[j.into()],
+        cexpr::div(cexpr::scalar("acc"), cexpr::scalar("float_n")),
+    );
+    kb.end_loop();
+    kb.finish()
+}
+
+/// `std[j] = sqrt(Σ_i (data[i][j] − mean[j])² / float_n)`.
+///
+/// Polybench guards tiny deviations (`std < eps → 1.0`); the IR is
+/// branch-free, so the guard is folded into the paper's 50%-taken branch
+/// abstraction rather than represented structurally.
+fn std_kernel() -> Kernel {
+    let mut kb = KernelBuilder::new("corr.std");
+    let data = kb.array("data", 4, &["n".into(), "m".into()], Transfer::In);
+    let mean = kb.array("mean", 4, &["m".into()], Transfer::In);
+    let std = kb.array("std", 4, &["m".into()], Transfer::Out);
+    let j = kb.parallel_loop(0, "m");
+    kb.acc_init("acc", cexpr::lit(0.0));
+    let i = kb.seq_loop(0, "n");
+    let diff = cexpr::sub(kb.load(data, &[i.into(), j.into()]), kb.load(mean, &[j.into()]));
+    kb.assign_acc("d", diff);
+    kb.assign_acc(
+        "acc",
+        cexpr::add(cexpr::acc(), cexpr::mul(cexpr::scalar("d"), cexpr::scalar("d"))),
+    );
+    kb.end_loop();
+    kb.store(
+        std,
+        &[j.into()],
+        cexpr::sqrt(cexpr::div(cexpr::scalar("acc"), cexpr::scalar("float_n"))),
+    );
+    kb.end_loop();
+    kb.finish()
+}
+
+/// `data[i][j] = (data[i][j] − mean[j]) / (sqrt(float_n)·std[j])`.
+fn reduce_kernel() -> Kernel {
+    let mut kb = KernelBuilder::new("corr.reduce");
+    let data = kb.array("data", 4, &["n".into(), "m".into()], Transfer::InOut);
+    let mean = kb.array("mean", 4, &["m".into()], Transfer::In);
+    let std = kb.array("std", 4, &["m".into()], Transfer::In);
+    let i = kb.parallel_loop(0, "n");
+    let j = kb.parallel_loop(0, "m");
+    let centered = cexpr::sub(kb.load(data, &[i.into(), j.into()]), kb.load(mean, &[j.into()]));
+    let denom = cexpr::mul(cexpr::scalar("sqrt_float_n"), kb.load(std, &[j.into()]));
+    kb.store(data, &[i.into(), j.into()], cexpr::div(centered, denom));
+    kb.end_loop();
+    kb.end_loop();
+    kb.finish()
+}
+
+/// Triangular correlation product:
+/// `symmat[j1][j2] = Σ_i data[i][j1]·data[i][j2]` for `j2 > j1`.
+fn corr_kernel() -> Kernel {
+    let mut kb = KernelBuilder::new("corr.corr");
+    let data = kb.array("data", 4, &["n".into(), "m".into()], Transfer::In);
+    let symmat = kb.array("symmat", 4, &["m".into(), "m".into()], Transfer::Out);
+    let j1 = kb.parallel_loop(0, Expr::param("m") - Expr::Const(1));
+    kb.store(symmat, &[j1.into(), j1.into()], cexpr::lit(1.0));
+    let j2 = kb.seq_loop(Expr::var(j1) + Expr::Const(1), "m");
+    kb.acc_init("acc", cexpr::lit(0.0));
+    let i = kb.seq_loop(0, "n");
+    let prod = cexpr::mul(kb.load(data, &[i.into(), j1.into()]), kb.load(data, &[i.into(), j2.into()]));
+    kb.assign_acc("acc", cexpr::add(cexpr::acc(), prod));
+    kb.end_loop();
+    kb.store_acc(symmat, &[j1.into(), j2.into()], "acc");
+    kb.store_acc(symmat, &[j2.into(), j1.into()], "acc");
+    kb.end_loop();
+    kb.end_loop();
+    kb.finish()
+}
+
+/// Sequential reference: full pipeline; returns the correlation matrix and
+/// leaves the standardised data in `data`.
+pub fn run_seq(n: usize, m: usize, data: &mut [f32]) -> Vec<f32> {
+    let float_n = n as f32;
+    let mut mean = vec![0.0f32; m];
+    for (j, mj) in mean.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += data[i * m + j];
+        }
+        *mj = acc / float_n;
+    }
+    let mut std = vec![0.0f32; m];
+    for (j, sj) in std.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for i in 0..n {
+            let d = data[i * m + j] - mean[j];
+            acc += d * d;
+        }
+        let s = (acc / float_n).sqrt();
+        *sj = if s <= 0.1 { 1.0 } else { s };
+    }
+    let sfn = float_n.sqrt();
+    for i in 0..n {
+        for j in 0..m {
+            data[i * m + j] = (data[i * m + j] - mean[j]) / (sfn * std[j]);
+        }
+    }
+    let mut symmat = vec![0.0f32; m * m];
+    for j1 in 0..m.saturating_sub(1) {
+        symmat[j1 * m + j1] = 1.0;
+        for j2 in j1 + 1..m {
+            let mut acc = 0.0;
+            for i in 0..n {
+                acc += data[i * m + j1] * data[i * m + j2];
+            }
+            symmat[j1 * m + j2] = acc;
+            symmat[j2 * m + j1] = acc;
+        }
+    }
+    if m > 0 {
+        symmat[(m - 1) * m + (m - 1)] = 1.0;
+    }
+    symmat
+}
+
+/// Parallel host implementation; same contract as [`run_seq`].
+pub fn run_par(n: usize, m: usize, data: &mut [f32]) -> Vec<f32> {
+    let float_n = n as f32;
+    let mean: Vec<f32> = (0..m)
+        .into_par_iter()
+        .map(|j| {
+            let mut acc = 0.0;
+            for i in 0..n {
+                acc += data[i * m + j];
+            }
+            acc / float_n
+        })
+        .collect();
+    let std: Vec<f32> = (0..m)
+        .into_par_iter()
+        .map(|j| {
+            let mut acc = 0.0;
+            for i in 0..n {
+                let d = data[i * m + j] - mean[j];
+                acc += d * d;
+            }
+            let s = (acc / float_n).sqrt();
+            if s <= 0.1 {
+                1.0
+            } else {
+                s
+            }
+        })
+        .collect();
+    let sfn = float_n.sqrt();
+    data.par_chunks_mut(m).for_each(|row| {
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = (*v - mean[j]) / (sfn * std[j]);
+        }
+    });
+    let data_ref: &[f32] = data;
+    let mut symmat = vec![0.0f32; m * m];
+    let rows: Vec<Vec<f32>> = (0..m)
+        .into_par_iter()
+        .map(|j1| {
+            let mut row = vec![0.0f32; m];
+            row[j1] = 1.0;
+            for j2 in j1 + 1..m {
+                let mut acc = 0.0;
+                for i in 0..n {
+                    acc += data_ref[i * m + j1] * data_ref[i * m + j2];
+                }
+                row[j2] = acc;
+            }
+            row
+        })
+        .collect();
+    for (j1, row) in rows.iter().enumerate() {
+        for (j2, v) in row.iter().enumerate().skip(j1) {
+            symmat[j1 * m + j2] = *v;
+            symmat[j2 * m + j1] = *v;
+        }
+    }
+    symmat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{assert_close, poly_mat_alt};
+
+    #[test]
+    fn kernels_validate() {
+        let ks = kernels();
+        assert_eq!(ks.len(), 4);
+        for k in &ks {
+            k.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn triangular_region_has_outer_dependent_bound() {
+        let k = corr_kernel();
+        let tc = hetsel_ir::trips::resolve(&k, &binding(Dataset::Mini));
+        // j1 trips = m-1 = 63; j2 averages ~ m/2; i = n = 64.
+        let ploops = k.parallel_loops();
+        assert_eq!(tc.of(ploops[0]), 63.0);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let n = 40;
+        let m = 40;
+        let mut d1 = poly_mat_alt(n, m);
+        let mut d2 = d1.clone();
+        let s1 = run_seq(n, m, &mut d1);
+        let s2 = run_par(n, m, &mut d2);
+        assert_close(&d1, &d2, n);
+        assert_close(&s1, &s2, n);
+    }
+
+    #[test]
+    fn diagonal_is_one_and_bounded() {
+        let n = 30;
+        let m = 24;
+        let mut d = poly_mat_alt(n, m);
+        let s = run_seq(n, m, &mut d);
+        for j in 0..m {
+            assert!((s[j * m + j] - 1.0).abs() < 1e-5);
+        }
+        for v in &s {
+            assert!(v.abs() <= 1.0 + 1e-3, "correlation out of range: {v}");
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! COVAR: the covariance-matrix benchmark — three target regions (column
+//! means, mean-centering, and the triangular covariance product).
+
+use crate::dataset::Dataset;
+use crate::suite::Benchmark;
+use hetsel_ir::{cexpr, Binding, Expr, Kernel, KernelBuilder, Transfer};
+use rayon::prelude::*;
+
+/// The benchmark descriptor.
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "COVAR",
+        kernels: kernels(),
+        binding,
+    }
+}
+
+/// Runtime binding for a dataset.
+pub fn binding(ds: Dataset) -> Binding {
+    Binding::new().with("n", ds.n()).with("m", ds.n())
+}
+
+/// The three target regions.
+pub fn kernels() -> Vec<Kernel> {
+    vec![mean_kernel(), center_kernel(), covar_kernel()]
+}
+
+/// `mean[j] = Σ_i data[i][j] / float_n`.
+fn mean_kernel() -> Kernel {
+    let mut kb = KernelBuilder::new("covar.mean");
+    let data = kb.array("data", 4, &["n".into(), "m".into()], Transfer::In);
+    let mean = kb.array("mean", 4, &["m".into()], Transfer::Out);
+    let j = kb.parallel_loop(0, "m");
+    kb.acc_init("acc", cexpr::lit(0.0));
+    let i = kb.seq_loop(0, "n");
+    let ld = kb.load(data, &[i.into(), j.into()]);
+    kb.assign_acc("acc", cexpr::add(cexpr::acc(), ld));
+    kb.end_loop();
+    kb.store(
+        mean,
+        &[j.into()],
+        cexpr::div(cexpr::scalar("acc"), cexpr::scalar("float_n")),
+    );
+    kb.end_loop();
+    kb.finish()
+}
+
+/// `data[i][j] −= mean[j]`.
+fn center_kernel() -> Kernel {
+    let mut kb = KernelBuilder::new("covar.center");
+    let data = kb.array("data", 4, &["n".into(), "m".into()], Transfer::InOut);
+    let mean = kb.array("mean", 4, &["m".into()], Transfer::In);
+    let i = kb.parallel_loop(0, "n");
+    let j = kb.parallel_loop(0, "m");
+    let centered = cexpr::sub(kb.load(data, &[i.into(), j.into()]), kb.load(mean, &[j.into()]));
+    kb.store(data, &[i.into(), j.into()], centered);
+    kb.end_loop();
+    kb.end_loop();
+    kb.finish()
+}
+
+/// `symmat[j1][j2] = Σ_i data[i][j1]·data[i][j2]` for `j2 ≥ j1`.
+fn covar_kernel() -> Kernel {
+    let mut kb = KernelBuilder::new("covar.covar");
+    let data = kb.array("data", 4, &["n".into(), "m".into()], Transfer::In);
+    let symmat = kb.array("symmat", 4, &["m".into(), "m".into()], Transfer::Out);
+    let j1 = kb.parallel_loop(0, "m");
+    let j2 = kb.seq_loop(Expr::var(j1), "m");
+    kb.acc_init("acc", cexpr::lit(0.0));
+    let i = kb.seq_loop(0, "n");
+    let prod = cexpr::mul(kb.load(data, &[i.into(), j1.into()]), kb.load(data, &[i.into(), j2.into()]));
+    kb.assign_acc("acc", cexpr::add(cexpr::acc(), prod));
+    kb.end_loop();
+    kb.store_acc(symmat, &[j1.into(), j2.into()], "acc");
+    kb.store_acc(symmat, &[j2.into(), j1.into()], "acc");
+    kb.end_loop();
+    kb.end_loop();
+    kb.finish()
+}
+
+/// Sequential reference: full pipeline; returns the covariance matrix and
+/// leaves centred data in `data`.
+pub fn run_seq(n: usize, m: usize, data: &mut [f32]) -> Vec<f32> {
+    let float_n = n as f32;
+    let mut mean = vec![0.0f32; m];
+    for (j, mj) in mean.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += data[i * m + j];
+        }
+        *mj = acc / float_n;
+    }
+    for i in 0..n {
+        for j in 0..m {
+            data[i * m + j] -= mean[j];
+        }
+    }
+    let mut symmat = vec![0.0f32; m * m];
+    for j1 in 0..m {
+        for j2 in j1..m {
+            let mut acc = 0.0;
+            for i in 0..n {
+                acc += data[i * m + j1] * data[i * m + j2];
+            }
+            symmat[j1 * m + j2] = acc;
+            symmat[j2 * m + j1] = acc;
+        }
+    }
+    symmat
+}
+
+/// Parallel host implementation; same contract as [`run_seq`].
+pub fn run_par(n: usize, m: usize, data: &mut [f32]) -> Vec<f32> {
+    let float_n = n as f32;
+    let mean: Vec<f32> = (0..m)
+        .into_par_iter()
+        .map(|j| {
+            let mut acc = 0.0;
+            for i in 0..n {
+                acc += data[i * m + j];
+            }
+            acc / float_n
+        })
+        .collect();
+    data.par_chunks_mut(m).for_each(|row| {
+        for (j, v) in row.iter_mut().enumerate() {
+            *v -= mean[j];
+        }
+    });
+    let data_ref: &[f32] = data;
+    let rows: Vec<Vec<f32>> = (0..m)
+        .into_par_iter()
+        .map(|j1| {
+            let mut row = vec![0.0f32; m];
+            for j2 in j1..m {
+                let mut acc = 0.0;
+                for i in 0..n {
+                    acc += data_ref[i * m + j1] * data_ref[i * m + j2];
+                }
+                row[j2] = acc;
+            }
+            row
+        })
+        .collect();
+    let mut symmat = vec![0.0f32; m * m];
+    for (j1, row) in rows.iter().enumerate() {
+        for (j2, v) in row.iter().enumerate().skip(j1) {
+            symmat[j1 * m + j2] = *v;
+            symmat[j2 * m + j1] = *v;
+        }
+    }
+    symmat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{assert_close, poly_mat};
+
+    #[test]
+    fn kernels_validate() {
+        let ks = kernels();
+        assert_eq!(ks.len(), 3);
+        for k in &ks {
+            k.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let n = 36;
+        let m = 36;
+        let mut d1 = poly_mat(n, m);
+        let mut d2 = d1.clone();
+        let s1 = run_seq(n, m, &mut d1);
+        let s2 = run_par(n, m, &mut d2);
+        assert_close(&d1, &d2, 1);
+        assert_close(&s1, &s2, n);
+    }
+
+    #[test]
+    fn covariance_is_symmetric() {
+        let n = 20;
+        let m = 16;
+        let mut d = poly_mat(n, m);
+        let s = run_seq(n, m, &mut d);
+        for j1 in 0..m {
+            for j2 in 0..m {
+                assert_eq!(s[j1 * m + j2], s[j2 * m + j1]);
+            }
+        }
+    }
+
+    #[test]
+    fn centred_columns_sum_to_zero() {
+        let n = 24;
+        let m = 12;
+        let mut d = poly_mat(n, m);
+        run_seq(n, m, &mut d);
+        for j in 0..m {
+            let s: f32 = (0..n).map(|i| d[i * m + j]).sum();
+            assert!(s.abs() < 1e-3, "column {j} sums to {s}");
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Deterministic input-data generators in the Polybench style.
+//!
+//! Polybench initialises inputs with small closed-form expressions of the
+//! indices so results are reproducible without I/O. The generators here do
+//! the same, normalised into a range that keeps the f32 kernels numerically
+//! tame at 9600×9600.
+
+/// A row-major matrix of `rows × cols` filled by `f(i, j)`.
+pub fn mat(rows: usize, cols: usize, f: impl Fn(usize, usize) -> f32) -> Vec<f32> {
+    let mut m = Vec::with_capacity(rows * cols);
+    for i in 0..rows {
+        for j in 0..cols {
+            m.push(f(i, j));
+        }
+    }
+    m
+}
+
+/// A vector of `n` elements filled by `f(i)`.
+pub fn vec1(n: usize, f: impl Fn(usize) -> f32) -> Vec<f32> {
+    (0..n).map(f).collect()
+}
+
+/// Polybench's canonical matrix fill: `((i*j) mod k) / k`, kept in [0, 1).
+pub fn poly_mat(rows: usize, cols: usize) -> Vec<f32> {
+    mat(rows, cols, |i, j| ((i * j + 1) % 1024) as f32 / 1024.0)
+}
+
+/// A fill with row/column structure, useful for transposed-access kernels.
+pub fn poly_mat_alt(rows: usize, cols: usize) -> Vec<f32> {
+    mat(rows, cols, |i, j| ((i + 7 * j + 3) % 512) as f32 / 512.0)
+}
+
+/// Canonical vector fill: `(i mod k) / k`.
+pub fn poly_vec(n: usize) -> Vec<f32> {
+    vec1(n, |i| ((i + 1) % 256) as f32 / 256.0)
+}
+
+/// Maximum absolute elementwise difference between two slices.
+pub fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0f32, f32::max)
+}
+
+/// Asserts two result buffers agree within a tolerance scaled to the
+/// reduction length (f32 summation order differs between sequential and
+/// parallel execution).
+pub fn assert_close(a: &[f32], b: &[f32], reduction_len: usize) {
+    let tol = 1e-4 * (reduction_len.max(1) as f32);
+    let d = max_abs_diff(a, b);
+    assert!(d <= tol, "max diff {d} exceeds tolerance {tol}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mat_is_row_major() {
+        let m = mat(2, 3, |i, j| (i * 10 + j) as f32);
+        assert_eq!(m, vec![0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn poly_fills_bounded() {
+        for v in poly_mat(17, 13) {
+            assert!((0.0..1.0).contains(&v));
+        }
+        for v in poly_vec(100) {
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn diff_helpers() {
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![1.0, 2.5, 3.0];
+        assert_eq!(max_abs_diff(&a, &b), 0.5);
+        assert_close(&a, &a, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds tolerance")]
+    fn assert_close_rejects_large_diff() {
+        assert_close(&[0.0], &[1.0], 1);
+    }
+}

@@ -1,0 +1,76 @@
+//! Dataset presets matching the paper's two execution modes.
+//!
+//! Each Polybench program runs in a `test` and a `benchmark` configuration
+//! which "differ only in the size of the program's input, being 1100×1100 and
+//! 9600×9600, respectively, in most programs" (paper, Section III). The 3-D
+//! convolution uses cubic inputs scaled to a comparable footprint.
+
+use std::fmt;
+
+/// The two input-size modes of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// `test` mode: 1100×1100 matrices.
+    Test,
+    /// `benchmark` mode: 9600×9600 matrices.
+    Benchmark,
+    /// A small mode for unit tests and examples (not part of the paper).
+    Mini,
+}
+
+impl Dataset {
+    /// Square-matrix dimension for 2-D benchmarks.
+    pub fn n(self) -> i64 {
+        match self {
+            Dataset::Test => 1100,
+            Dataset::Benchmark => 9600,
+            Dataset::Mini => 64,
+        }
+    }
+
+    /// Cubic dimension for the 3-D convolution (chosen so the array
+    /// footprint is of the same order as the 2-D programs).
+    pub fn n3(self) -> i64 {
+        match self {
+            Dataset::Test => 160,
+            Dataset::Benchmark => 450,
+            Dataset::Mini => 16,
+        }
+    }
+
+    /// Both paper modes, in presentation order.
+    pub fn paper_modes() -> [Dataset; 2] {
+        [Dataset::Test, Dataset::Benchmark]
+    }
+}
+
+impl fmt::Display for Dataset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dataset::Test => write!(f, "test"),
+            Dataset::Benchmark => write!(f, "benchmark"),
+            Dataset::Mini => write!(f, "mini"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sizes() {
+        assert_eq!(Dataset::Test.n(), 1100);
+        assert_eq!(Dataset::Benchmark.n(), 9600);
+    }
+
+    #[test]
+    fn conv3d_footprint_comparable() {
+        // 3-D footprint (elements) within ~2x of the 2-D footprint.
+        for ds in Dataset::paper_modes() {
+            let flat = ds.n() * ds.n();
+            let cubic = ds.n3() * ds.n3() * ds.n3();
+            assert!(cubic > flat / 2 && cubic < flat * 16, "{ds}: {cubic} vs {flat}");
+        }
+    }
+}

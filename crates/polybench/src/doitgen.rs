@@ -1,0 +1,134 @@
+//! DOITGEN (extended suite): the multi-resolution analysis kernel
+//! `A[r][q][*] ← A[r][q][*] · C4` — a batched vector–matrix product over a
+//! 3-D tensor, with a per-iteration scratch row. Exercises 3-D arrays,
+//! two sequential inner loops, and a device-resident temporary.
+
+use crate::dataset::Dataset;
+use crate::suite::Benchmark;
+use hetsel_ir::{cexpr, Binding, Kernel, KernelBuilder, Transfer};
+use rayon::prelude::*;
+
+/// The benchmark descriptor.
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "DOITGEN",
+        kernels: kernels(),
+        binding,
+    }
+}
+
+/// Runtime binding (cubic tensor, `n × n × n`, matrix `n × n`).
+pub fn binding(ds: Dataset) -> Binding {
+    Binding::new().with("n", ds.n3())
+}
+
+/// The single target region:
+/// ```c
+/// for (r, q)                 // parallel, collapse(2)
+///   for (p) { s = 0; for (k) s += A[r][q][k] * C4[k][p]; sum[p] = s; }
+///   for (p) A[r][q][p] = sum[r][q][p];
+/// ```
+pub fn kernels() -> Vec<Kernel> {
+    let mut kb = KernelBuilder::new("doitgen");
+    let a = kb.array("A", 4, &["n".into(), "n".into(), "n".into()], Transfer::InOut);
+    let c4 = kb.array("C4", 4, &["n".into(), "n".into()], Transfer::In);
+    let sum = kb.array("sum", 4, &["n".into(), "n".into(), "n".into()], Transfer::Alloc);
+    let r = kb.parallel_loop(0, "n");
+    let q = kb.parallel_loop(0, "n");
+    let p = kb.seq_loop(0, "n");
+    kb.acc_init("s", cexpr::lit(0.0));
+    let k = kb.seq_loop(0, "n");
+    let prod = cexpr::mul(
+        kb.load(a, &[r.into(), q.into(), k.into()]),
+        kb.load(c4, &[k.into(), p.into()]),
+    );
+    kb.assign_acc("s", cexpr::add(cexpr::acc(), prod));
+    kb.end_loop();
+    kb.store_acc(sum, &[r.into(), q.into(), p.into()], "s");
+    kb.end_loop();
+    let p2 = kb.seq_loop(0, "n");
+    let ld = kb.load(sum, &[r.into(), q.into(), p2.into()]);
+    kb.store(a, &[r.into(), q.into(), p2.into()], ld);
+    kb.end_loop();
+    kb.end_loop();
+    kb.end_loop();
+    vec![kb.finish()]
+}
+
+/// Sequential reference: updates `a` (n³, row-major) in place.
+pub fn run_seq(n: usize, a: &mut [f32], c4: &[f32]) {
+    let mut sum = vec![0.0f32; n];
+    for r in 0..n {
+        for q in 0..n {
+            let row = &a[(r * n + q) * n..(r * n + q) * n + n];
+            for (p, sp) in sum.iter_mut().enumerate() {
+                let mut s = 0.0;
+                for (k, ak) in row.iter().enumerate() {
+                    s += ak * c4[k * n + p];
+                }
+                *sp = s;
+            }
+            a[(r * n + q) * n..(r * n + q) * n + n].copy_from_slice(&sum);
+        }
+    }
+}
+
+/// Parallel host implementation.
+pub fn run_par(n: usize, a: &mut [f32], c4: &[f32]) {
+    a.par_chunks_mut(n).for_each(|row| {
+        let mut sum = vec![0.0f32; n];
+        for (p, sp) in sum.iter_mut().enumerate() {
+            let mut s = 0.0;
+            for (k, ak) in row.iter().enumerate() {
+                s += ak * c4[k * n + p];
+            }
+            *sp = s;
+        }
+        row.copy_from_slice(&sum);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{assert_close, poly_mat};
+
+    #[test]
+    fn kernel_validates() {
+        let k = &kernels()[0];
+        k.validate().unwrap();
+        assert_eq!(k.parallel_loops().len(), 2);
+        // The scratch tensor never crosses the bus.
+        let b = binding(Dataset::Mini);
+        let n = Dataset::Mini.n3() as u64;
+        assert_eq!(
+            k.bytes_to_device(&b),
+            Some(n * n * n * 4 + n * n * 4) // A + C4
+        );
+        assert_eq!(k.bytes_from_device(&b), Some(n * n * n * 4)); // A only
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let n = 14;
+        let mut a1: Vec<f32> = (0..n * n * n).map(|v| ((v * 13 + 5) % 64) as f32 / 64.0).collect();
+        let mut a2 = a1.clone();
+        let c4 = poly_mat(n, n);
+        run_seq(n, &mut a1, &c4);
+        run_par(n, &mut a2, &c4);
+        assert_close(&a1, &a2, n);
+    }
+
+    #[test]
+    fn identity_c4_is_a_fixed_point() {
+        let n = 6;
+        let mut a: Vec<f32> = (0..n * n * n).map(|v| v as f32).collect();
+        let before = a.clone();
+        let mut c4 = vec![0.0f32; n * n];
+        for i in 0..n {
+            c4[i * n + i] = 1.0;
+        }
+        run_seq(n, &mut a, &c4);
+        assert_close(&a, &before, n);
+    }
+}

@@ -1,0 +1,183 @@
+//! FDTD-2D (extended suite): one time step of the 2-D finite-difference
+//! time-domain method as three target regions (update `ey`, update `ex`,
+//! update `hz`). Three coupled stencils over three fields — a heavier
+//! multi-region program than anything in the paper's 13.
+
+use crate::dataset::Dataset;
+use crate::suite::Benchmark;
+use hetsel_ir::{cexpr, Binding, Expr, Kernel, KernelBuilder, Transfer};
+use rayon::prelude::*;
+
+/// The benchmark descriptor.
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "FDTD2D",
+        kernels: kernels(),
+        binding,
+    }
+}
+
+/// Runtime binding for a dataset.
+pub fn binding(ds: Dataset) -> Binding {
+    Binding::new().with("n", ds.n())
+}
+
+/// The three target regions of one time step.
+pub fn kernels() -> Vec<Kernel> {
+    // k1: ey[i][j] -= 0.5*(hz[i][j] - hz[i-1][j]),  i in 1..n
+    let mut kb = KernelBuilder::new("fdtd2d.k1");
+    let hz = kb.array("hz", 4, &["n".into(), "n".into()], Transfer::In);
+    let ey = kb.array("ey", 4, &["n".into(), "n".into()], Transfer::InOut);
+    let i = kb.parallel_loop(1, "n");
+    let j = kb.parallel_loop(0, "n");
+    let diff = cexpr::sub(
+        kb.load(hz, &[i.into(), j.into()]),
+        kb.load(hz, &[Expr::var(i) - Expr::Const(1), j.into()]),
+    );
+    let upd = cexpr::sub(
+        kb.load(ey, &[i.into(), j.into()]),
+        cexpr::mul(cexpr::scalar("half"), diff),
+    );
+    kb.store(ey, &[i.into(), j.into()], upd);
+    kb.end_loop();
+    kb.end_loop();
+    let k1 = kb.finish();
+
+    // k2: ex[i][j] -= 0.5*(hz[i][j] - hz[i][j-1]),  j in 1..n
+    let mut kb = KernelBuilder::new("fdtd2d.k2");
+    let hz = kb.array("hz", 4, &["n".into(), "n".into()], Transfer::In);
+    let ex = kb.array("ex", 4, &["n".into(), "n".into()], Transfer::InOut);
+    let i = kb.parallel_loop(0, "n");
+    let j = kb.parallel_loop(1, "n");
+    let diff = cexpr::sub(
+        kb.load(hz, &[i.into(), j.into()]),
+        kb.load(hz, &[i.into(), Expr::var(j) - Expr::Const(1)]),
+    );
+    let upd = cexpr::sub(
+        kb.load(ex, &[i.into(), j.into()]),
+        cexpr::mul(cexpr::scalar("half"), diff),
+    );
+    kb.store(ex, &[i.into(), j.into()], upd);
+    kb.end_loop();
+    kb.end_loop();
+    let k2 = kb.finish();
+
+    // k3: hz[i][j] -= 0.7*(ex[i][j+1]-ex[i][j] + ey[i+1][j]-ey[i][j]),
+    //     i,j in 0..n-1
+    let mut kb = KernelBuilder::new("fdtd2d.k3");
+    let ex = kb.array("ex", 4, &["n".into(), "n".into()], Transfer::In);
+    let ey = kb.array("ey", 4, &["n".into(), "n".into()], Transfer::In);
+    let hz = kb.array("hz", 4, &["n".into(), "n".into()], Transfer::InOut);
+    let i = kb.parallel_loop(0, Expr::param("n") - Expr::Const(1));
+    let j = kb.parallel_loop(0, Expr::param("n") - Expr::Const(1));
+    let dx = cexpr::sub(
+        kb.load(ex, &[i.into(), Expr::var(j) + Expr::Const(1)]),
+        kb.load(ex, &[i.into(), j.into()]),
+    );
+    let dy = cexpr::sub(
+        kb.load(ey, &[Expr::var(i) + Expr::Const(1), j.into()]),
+        kb.load(ey, &[i.into(), j.into()]),
+    );
+    let upd = cexpr::sub(
+        kb.load(hz, &[i.into(), j.into()]),
+        cexpr::mul(cexpr::scalar("coeff"), cexpr::add(dx, dy)),
+    );
+    kb.store(hz, &[i.into(), j.into()], upd);
+    kb.end_loop();
+    kb.end_loop();
+    let k3 = kb.finish();
+
+    vec![k1, k2, k3]
+}
+
+/// One sequential FDTD step over the three fields.
+pub fn step_seq(n: usize, ex: &mut [f32], ey: &mut [f32], hz: &mut [f32]) {
+    for i in 1..n {
+        for j in 0..n {
+            ey[i * n + j] -= 0.5 * (hz[i * n + j] - hz[(i - 1) * n + j]);
+        }
+    }
+    for i in 0..n {
+        for j in 1..n {
+            ex[i * n + j] -= 0.5 * (hz[i * n + j] - hz[i * n + j - 1]);
+        }
+    }
+    for i in 0..n - 1 {
+        for j in 0..n - 1 {
+            hz[i * n + j] -= 0.7
+                * (ex[i * n + j + 1] - ex[i * n + j] + ey[(i + 1) * n + j] - ey[i * n + j]);
+        }
+    }
+}
+
+/// One parallel FDTD step.
+pub fn step_par(n: usize, ex: &mut [f32], ey: &mut [f32], hz: &mut [f32]) {
+    let hz_ref: &[f32] = hz;
+    ey.par_chunks_mut(n).enumerate().skip(1).for_each(|(i, row)| {
+        for (j, v) in row.iter_mut().enumerate() {
+            *v -= 0.5 * (hz_ref[i * n + j] - hz_ref[(i - 1) * n + j]);
+        }
+    });
+    ex.par_chunks_mut(n).enumerate().for_each(|(i, row)| {
+        for j in 1..n {
+            row[j] -= 0.5 * (hz_ref[i * n + j] - hz_ref[i * n + j - 1]);
+        }
+    });
+    let ex_ref: &[f32] = ex;
+    let ey_ref: &[f32] = ey;
+    hz.par_chunks_mut(n)
+        .enumerate()
+        .take(n - 1)
+        .for_each(|(i, row)| {
+            for (j, v) in row.iter_mut().enumerate().take(n - 1) {
+                *v -= 0.7
+                    * (ex_ref[i * n + j + 1] - ex_ref[i * n + j] + ey_ref[(i + 1) * n + j]
+                        - ey_ref[i * n + j]);
+            }
+        });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{assert_close, poly_mat, poly_mat_alt};
+
+    #[test]
+    fn kernels_validate() {
+        let ks = kernels();
+        assert_eq!(ks.len(), 3);
+        for k in &ks {
+            k.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let n = 48;
+        let mut ex1 = poly_mat(n, n);
+        let mut ey1 = poly_mat_alt(n, n);
+        let mut hz1 = poly_mat(n, n);
+        let (mut ex2, mut ey2, mut hz2) = (ex1.clone(), ey1.clone(), hz1.clone());
+        for _ in 0..3 {
+            step_seq(n, &mut ex1, &mut ey1, &mut hz1);
+            step_par(n, &mut ex2, &mut ey2, &mut hz2);
+        }
+        assert_close(&ex1, &ex2, 4);
+        assert_close(&ey1, &ey2, 4);
+        assert_close(&hz1, &hz2, 4);
+    }
+
+    #[test]
+    fn uniform_fields_stay_uniform_in_the_interior() {
+        // Constant fields have zero spatial derivatives: the interior is a
+        // fixed point of the update.
+        let n = 12;
+        let mut ex = vec![1.0f32; n * n];
+        let mut ey = vec![1.0f32; n * n];
+        let mut hz = vec![1.0f32; n * n];
+        step_seq(n, &mut ex, &mut ey, &mut hz);
+        assert_eq!(ex[5 * n + 5], 1.0);
+        assert_eq!(ey[5 * n + 5], 1.0);
+        assert_eq!(hz[5 * n + 5], 1.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! GEMM: `C = alpha·A·B + beta·C`.
+//!
+//! One target region: a `collapse(2)` parallel nest over `(i, j)` with a
+//! sequential dot-product loop over `k`. The canonical compute-bound kernel
+//! of the suite: coalesced accesses on the thread dimension (`B[k][j]`,
+//! `C[i][j]`), a broadcast on `A[i][k]`, and a serial FMA chain per thread.
+
+use crate::dataset::Dataset;
+use crate::suite::Benchmark;
+use hetsel_ir::{cexpr, Binding, Kernel, KernelBuilder, Transfer};
+use rayon::prelude::*;
+
+/// The benchmark descriptor.
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "GEMM",
+        kernels: kernels(),
+        binding,
+    }
+}
+
+/// Runtime binding for a dataset.
+pub fn binding(ds: Dataset) -> Binding {
+    Binding::new().with("n", ds.n())
+}
+
+/// The single GEMM target region.
+pub fn kernels() -> Vec<Kernel> {
+    let mut kb = KernelBuilder::new("gemm");
+    let a = kb.array("A", 4, &["n".into(), "n".into()], Transfer::In);
+    let b = kb.array("B", 4, &["n".into(), "n".into()], Transfer::In);
+    let c = kb.array("C", 4, &["n".into(), "n".into()], Transfer::InOut);
+    let i = kb.parallel_loop(0, "n");
+    let j = kb.parallel_loop(0, "n");
+    // acc = beta * C[i][j]
+    kb.acc_init(
+        "acc",
+        cexpr::mul(cexpr::scalar("beta"), kb.load(c, &[i.into(), j.into()])),
+    );
+    let k = kb.seq_loop(0, "n");
+    // acc += alpha * A[i][k] * B[k][j]
+    let prod = cexpr::mul(
+        cexpr::scalar("alpha"),
+        cexpr::mul(kb.load(a, &[i.into(), k.into()]), kb.load(b, &[k.into(), j.into()])),
+    );
+    kb.assign_acc("acc", cexpr::add(cexpr::acc(), prod));
+    kb.end_loop();
+    kb.store_acc(c, &[i.into(), j.into()], "acc");
+    kb.end_loop();
+    kb.end_loop();
+    vec![kb.finish()]
+}
+
+/// Sequential reference implementation.
+pub fn run_seq(n: usize, alpha: f32, beta: f32, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = beta * c[i * n + j];
+            for k in 0..n {
+                acc += alpha * a[i * n + k] * b[k * n + j];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+}
+
+/// Parallel (rayon) host implementation — the "host fallback path".
+pub fn run_par(n: usize, alpha: f32, beta: f32, a: &[f32], b: &[f32], c: &mut [f32]) {
+    c.par_chunks_mut(n).enumerate().for_each(|(i, row)| {
+        for (j, cell) in row.iter_mut().enumerate() {
+            let mut acc = beta * *cell;
+            for k in 0..n {
+                acc += alpha * a[i * n + k] * b[k * n + j];
+            }
+            *cell = acc;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{assert_close, poly_mat, poly_mat_alt};
+
+    #[test]
+    fn kernel_validates() {
+        for k in kernels() {
+            k.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn kernel_shape() {
+        let k = &kernels()[0];
+        assert_eq!(k.parallel_loops().len(), 2);
+        let b = binding(Dataset::Mini);
+        assert_eq!(k.parallel_iterations(&b), Some(64 * 64));
+        // A + B + C in, C out.
+        assert_eq!(k.bytes_to_device(&b), Some(3 * 64 * 64 * 4));
+        assert_eq!(k.bytes_from_device(&b), Some(64 * 64 * 4));
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let n = 48;
+        let a = poly_mat(n, n);
+        let b = poly_mat_alt(n, n);
+        let mut c1 = poly_mat(n, n);
+        let mut c2 = c1.clone();
+        run_seq(n, 1.5, 0.5, &a, &b, &mut c1);
+        run_par(n, 1.5, 0.5, &a, &b, &mut c2);
+        assert_close(&c1, &c2, n);
+    }
+
+    #[test]
+    fn known_small_product() {
+        // 2x2 identity times B with alpha=1, beta=0 reproduces B.
+        let n = 2;
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let b = vec![1.0, 2.0, 3.0, 4.0];
+        let mut c = vec![9.0; 4];
+        run_seq(n, 1.0, 0.0, &a, &b, &mut c);
+        assert_eq!(c, b);
+    }
+}

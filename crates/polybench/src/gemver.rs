@@ -1,0 +1,222 @@
+//! GEMVER (extended suite): `B = A + u1·v1ᵀ + u2·v2ᵀ`, `x = β·Bᵀ·y + z`,
+//! `w = α·B·x` — four target regions mixing rank-1 updates, transposed and
+//! straight matrix–vector products, and a pure vector add.
+
+use crate::dataset::Dataset;
+use crate::suite::Benchmark;
+use hetsel_ir::{cexpr, Binding, Kernel, KernelBuilder, Transfer};
+use rayon::prelude::*;
+
+/// The benchmark descriptor.
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "GEMVER",
+        kernels: kernels(),
+        binding,
+    }
+}
+
+/// Runtime binding for a dataset.
+pub fn binding(ds: Dataset) -> Binding {
+    Binding::new().with("n", ds.n())
+}
+
+/// The four target regions.
+pub fn kernels() -> Vec<Kernel> {
+    // k1: A[i][j] += u1[i]*v1[j] + u2[i]*v2[j]
+    let mut kb = KernelBuilder::new("gemver.k1");
+    let a = kb.array("A", 4, &["n".into(), "n".into()], Transfer::InOut);
+    let u1 = kb.array("u1", 4, &["n".into()], Transfer::In);
+    let v1 = kb.array("v1", 4, &["n".into()], Transfer::In);
+    let u2 = kb.array("u2", 4, &["n".into()], Transfer::In);
+    let v2 = kb.array("v2", 4, &["n".into()], Transfer::In);
+    let i = kb.parallel_loop(0, "n");
+    let j = kb.parallel_loop(0, "n");
+    let r1 = cexpr::mul(kb.load(u1, &[i.into()]), kb.load(v1, &[j.into()]));
+    let r2 = cexpr::mul(kb.load(u2, &[i.into()]), kb.load(v2, &[j.into()]));
+    let upd = cexpr::add(kb.load(a, &[i.into(), j.into()]), cexpr::add(r1, r2));
+    kb.store(a, &[i.into(), j.into()], upd);
+    kb.end_loop();
+    kb.end_loop();
+    let k1 = kb.finish();
+
+    // k2: x[i] += beta * sum_j A[j][i] * y[j]   (transposed walk)
+    let mut kb = KernelBuilder::new("gemver.k2");
+    let a = kb.array("A", 4, &["n".into(), "n".into()], Transfer::In);
+    let y = kb.array("y", 4, &["n".into()], Transfer::In);
+    let x = kb.array("x", 4, &["n".into()], Transfer::InOut);
+    let i = kb.parallel_loop(0, "n");
+    kb.acc_init("acc", cexpr::lit(0.0));
+    let j = kb.seq_loop(0, "n");
+    let prod = cexpr::mul(kb.load(a, &[j.into(), i.into()]), kb.load(y, &[j.into()]));
+    kb.assign_acc("acc", cexpr::add(cexpr::acc(), prod));
+    kb.end_loop();
+    let upd = cexpr::add(
+        kb.load(x, &[i.into()]),
+        cexpr::mul(cexpr::scalar("beta"), cexpr::scalar("acc")),
+    );
+    kb.store(x, &[i.into()], upd);
+    kb.end_loop();
+    let k2 = kb.finish();
+
+    // k3: x[i] += z[i]
+    let mut kb = KernelBuilder::new("gemver.k3");
+    let z = kb.array("z", 4, &["n".into()], Transfer::In);
+    let x = kb.array("x", 4, &["n".into()], Transfer::InOut);
+    let i = kb.parallel_loop(0, "n");
+    let upd = cexpr::add(kb.load(x, &[i.into()]), kb.load(z, &[i.into()]));
+    kb.store(x, &[i.into()], upd);
+    kb.end_loop();
+    let k3 = kb.finish();
+
+    // k4: w[i] = alpha * sum_j A[i][j] * x[j]
+    let mut kb = KernelBuilder::new("gemver.k4");
+    let a = kb.array("A", 4, &["n".into(), "n".into()], Transfer::In);
+    let x = kb.array("x", 4, &["n".into()], Transfer::In);
+    let w = kb.array("w", 4, &["n".into()], Transfer::Out);
+    let i = kb.parallel_loop(0, "n");
+    kb.acc_init("acc", cexpr::lit(0.0));
+    let j = kb.seq_loop(0, "n");
+    let prod = cexpr::mul(kb.load(a, &[i.into(), j.into()]), kb.load(x, &[j.into()]));
+    kb.assign_acc("acc", cexpr::add(cexpr::acc(), prod));
+    kb.end_loop();
+    kb.store(w, &[i.into()], cexpr::mul(cexpr::scalar("alpha"), cexpr::scalar("acc")));
+    kb.end_loop();
+    let k4 = kb.finish();
+
+    vec![k1, k2, k3, k4]
+}
+
+/// Inputs for the executable form.
+pub struct Inputs {
+    /// The matrix (updated in place).
+    pub a: Vec<f32>,
+    /// Rank-1 vectors.
+    pub u1: Vec<f32>,
+    /// Rank-1 vectors.
+    pub v1: Vec<f32>,
+    /// Rank-1 vectors.
+    pub u2: Vec<f32>,
+    /// Rank-1 vectors.
+    pub v2: Vec<f32>,
+    /// Accumulating vector.
+    pub y: Vec<f32>,
+    /// Offset vector.
+    pub z: Vec<f32>,
+}
+
+/// Sequential reference: returns `(x, w)` and updates `inputs.a` in place.
+pub fn run_seq(n: usize, alpha: f32, beta: f32, inp: &mut Inputs) -> (Vec<f32>, Vec<f32>) {
+    let a = &mut inp.a;
+    for i in 0..n {
+        for j in 0..n {
+            a[i * n + j] += inp.u1[i] * inp.v1[j] + inp.u2[i] * inp.v2[j];
+        }
+    }
+    let mut x = vec![0.0f32; n];
+    for (i, xi) in x.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for (j, yj) in inp.y.iter().enumerate() {
+            acc += a[j * n + i] * yj;
+        }
+        *xi += beta * acc;
+    }
+    for (xi, zi) in x.iter_mut().zip(&inp.z) {
+        *xi += zi;
+    }
+    let mut w = vec![0.0f32; n];
+    for (i, wi) in w.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for (j, xj) in x.iter().enumerate() {
+            acc += a[i * n + j] * xj;
+        }
+        *wi = alpha * acc;
+    }
+    (x, w)
+}
+
+/// Parallel host implementation; same contract as [`run_seq`].
+pub fn run_par(n: usize, alpha: f32, beta: f32, inp: &mut Inputs) -> (Vec<f32>, Vec<f32>) {
+    {
+        let (u1, v1, u2, v2) = (&inp.u1, &inp.v1, &inp.u2, &inp.v2);
+        inp.a.par_chunks_mut(n).enumerate().for_each(|(i, row)| {
+            for (j, v) in row.iter_mut().enumerate() {
+                *v += u1[i] * v1[j] + u2[i] * v2[j];
+            }
+        });
+    }
+    let a = &inp.a;
+    let mut x: Vec<f32> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let mut acc = 0.0;
+            for (j, yj) in inp.y.iter().enumerate() {
+                acc += a[j * n + i] * yj;
+            }
+            beta * acc
+        })
+        .collect();
+    x.par_iter_mut().zip(&inp.z).for_each(|(xi, zi)| *xi += zi);
+    let w: Vec<f32> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let mut acc = 0.0;
+            for (j, xj) in x.iter().enumerate() {
+                acc += a[i * n + j] * xj;
+            }
+            alpha * acc
+        })
+        .collect();
+    (x, w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{assert_close, poly_mat, poly_vec, vec1};
+
+    fn inputs(n: usize) -> Inputs {
+        Inputs {
+            a: poly_mat(n, n),
+            u1: poly_vec(n),
+            v1: vec1(n, |i| (i % 13) as f32 / 13.0),
+            u2: vec1(n, |i| (i % 17) as f32 / 17.0),
+            v2: vec1(n, |i| (i % 19) as f32 / 19.0),
+            y: poly_vec(n),
+            z: vec1(n, |i| (i % 23) as f32 / 23.0),
+        }
+    }
+
+    #[test]
+    fn kernels_validate() {
+        let ks = kernels();
+        assert_eq!(ks.len(), 4);
+        for k in &ks {
+            k.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn transposed_and_straight_walks_have_opposite_strides() {
+        use hetsel_ipda::{analyze, Stride};
+        let ks = kernels();
+        let k2a = analyze(&ks[1]);
+        let a2 = k2a.accesses.iter().find(|x| x.array.0 == 0).unwrap();
+        assert_eq!(a2.thread_stride, Stride::Known(1)); // A[j][i] coalesced
+        let k4a = analyze(&ks[3]);
+        let a4 = k4a.accesses.iter().find(|x| x.array.0 == 0).unwrap();
+        assert!(matches!(a4.thread_stride, Stride::Symbolic(_))); // A[i][j] strided
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let n = 44;
+        let mut i1 = inputs(n);
+        let mut i2 = inputs(n);
+        let (x1, w1) = run_seq(n, 1.1, 0.9, &mut i1);
+        let (x2, w2) = run_par(n, 1.1, 0.9, &mut i2);
+        assert_close(&i1.a, &i2.a, 1);
+        assert_close(&x1, &x2, n);
+        assert_close(&w1, &w2, n * n);
+    }
+}

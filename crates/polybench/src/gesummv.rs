@@ -1,0 +1,115 @@
+//! GESUMMV: `y = alpha·A·x + beta·B·x` — one region, two interleaved
+//! matrix–vector reductions per thread.
+
+use crate::dataset::Dataset;
+use crate::suite::Benchmark;
+use hetsel_ir::{cexpr, Binding, Kernel, KernelBuilder, Transfer};
+use rayon::prelude::*;
+
+/// The benchmark descriptor.
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "GESUMMV",
+        kernels: kernels(),
+        binding,
+    }
+}
+
+/// Runtime binding for a dataset.
+pub fn binding(ds: Dataset) -> Binding {
+    Binding::new().with("n", ds.n())
+}
+
+/// The single target region.
+pub fn kernels() -> Vec<Kernel> {
+    let mut kb = KernelBuilder::new("gesummv");
+    let a = kb.array("A", 4, &["n".into(), "n".into()], Transfer::In);
+    let b = kb.array("B", 4, &["n".into(), "n".into()], Transfer::In);
+    let x = kb.array("x", 4, &["n".into()], Transfer::In);
+    let y = kb.array("y", 4, &["n".into()], Transfer::Out);
+    let i = kb.parallel_loop(0, "n");
+    kb.acc_init("ta", cexpr::lit(0.0));
+    kb.acc_init("tb", cexpr::lit(0.0));
+    let j = kb.seq_loop(0, "n");
+    let xa = cexpr::mul(kb.load(a, &[i.into(), j.into()]), kb.load(x, &[j.into()]));
+    kb.assign_acc("ta", cexpr::add(cexpr::acc(), xa));
+    let xb = cexpr::mul(kb.load(b, &[i.into(), j.into()]), kb.load(x, &[j.into()]));
+    kb.assign_acc("tb", cexpr::add(cexpr::acc(), xb));
+    kb.end_loop();
+    let combined = cexpr::add(
+        cexpr::mul(cexpr::scalar("alpha"), cexpr::scalar("ta")),
+        cexpr::mul(cexpr::scalar("beta"), cexpr::scalar("tb")),
+    );
+    kb.store(y, &[i.into()], combined);
+    kb.end_loop();
+    vec![kb.finish()]
+}
+
+/// Sequential reference; returns `y`.
+pub fn run_seq(n: usize, alpha: f32, beta: f32, a: &[f32], b: &[f32], x: &[f32]) -> Vec<f32> {
+    (0..n)
+        .map(|i| {
+            let mut ta = 0.0;
+            let mut tb = 0.0;
+            for (j, xj) in x.iter().enumerate() {
+                ta += a[i * n + j] * xj;
+                tb += b[i * n + j] * xj;
+            }
+            alpha * ta + beta * tb
+        })
+        .collect()
+}
+
+/// Parallel host implementation; returns `y`.
+pub fn run_par(n: usize, alpha: f32, beta: f32, a: &[f32], b: &[f32], x: &[f32]) -> Vec<f32> {
+    (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let mut ta = 0.0;
+            let mut tb = 0.0;
+            for (j, xj) in x.iter().enumerate() {
+                ta += a[i * n + j] * xj;
+                tb += b[i * n + j] * xj;
+            }
+            alpha * ta + beta * tb
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{assert_close, poly_mat, poly_mat_alt, poly_vec};
+
+    #[test]
+    fn kernel_validates() {
+        let ks = kernels();
+        assert_eq!(ks.len(), 1);
+        ks[0].validate().unwrap();
+    }
+
+    #[test]
+    fn two_accumulators_in_inner_loop() {
+        let k = &kernels()[0];
+        let mut inner_assigns = 0;
+        k.walk_assigns(|loops, _| {
+            if loops.len() == 2 {
+                inner_assigns += 1;
+            }
+        });
+        assert_eq!(inner_assigns, 2);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let n = 52;
+        let a = poly_mat(n, n);
+        let b = poly_mat_alt(n, n);
+        let x = poly_vec(n);
+        assert_close(
+            &run_seq(n, 1.3, 0.7, &a, &b, &x),
+            &run_par(n, 1.3, 0.7, &a, &b, &x),
+            n,
+        );
+    }
+}

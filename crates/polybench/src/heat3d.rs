@@ -1,0 +1,170 @@
+//! HEAT-3D (extended suite): one time step of the 7-point heat-equation
+//! stencil, ping-ponging between two fields (`B ← stencil(A)`,
+//! `A ← stencil(B)`), as two target regions — the heaviest 3-D
+//! bandwidth-bound pattern in the repository.
+
+use crate::dataset::Dataset;
+use crate::suite::Benchmark;
+use hetsel_ir::{cexpr, Binding, CExpr, Expr, Kernel, KernelBuilder, LoopVarId, Transfer};
+use rayon::prelude::*;
+
+/// The benchmark descriptor.
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "HEAT3D",
+        kernels: kernels(),
+        binding,
+    }
+}
+
+/// Runtime binding (cubic fields).
+pub fn binding(ds: Dataset) -> Binding {
+    Binding::new().with("n", ds.n3())
+}
+
+/// Builds one stencil region `dst = stencil(src)`.
+fn stencil_kernel(name: &str, src_name: &str, dst_name: &str) -> Kernel {
+    let mut kb = KernelBuilder::new(name);
+    let src = kb.array(src_name, 4, &["n".into(), "n".into(), "n".into()], Transfer::In);
+    let dst = kb.array(dst_name, 4, &["n".into(), "n".into(), "n".into()], Transfer::Out);
+    let i = kb.parallel_loop(1, Expr::param("n") - Expr::Const(1));
+    let j = kb.parallel_loop(1, Expr::param("n") - Expr::Const(1));
+    let k = kb.seq_loop(1, Expr::param("n") - Expr::Const(1));
+    let at = |kb: &KernelBuilder, di: i64, dj: i64, dk: i64| -> CExpr {
+        kb.load(
+            src,
+            &[
+                Expr::var(i) + Expr::Const(di),
+                Expr::var(j) + Expr::Const(dj),
+                Expr::var(k) + Expr::Const(dk),
+            ],
+        )
+    };
+    // 0.125 * (second difference) per axis + centre.
+    let centre2 = cexpr::mul(cexpr::lit(2.0), at(&kb, 0, 0, 0));
+    let axis = |kb: &KernelBuilder, d: (i64, i64, i64)| -> CExpr {
+        cexpr::mul(
+            cexpr::scalar("c18"),
+            cexpr::sub(
+                cexpr::add(at(kb, d.0, d.1, d.2), at(kb, -d.0, -d.1, -d.2)),
+                centre2.clone(),
+            ),
+        )
+    };
+    let sum = cexpr::add(
+        cexpr::add(axis(&kb, (1, 0, 0)), axis(&kb, (0, 1, 0))),
+        cexpr::add(axis(&kb, (0, 0, 1)), at(&kb, 0, 0, 0)),
+    );
+    kb.store(dst, &[i.into(), j.into(), k.into()], sum);
+    kb.end_loop();
+    kb.end_loop();
+    kb.end_loop();
+    let _ = LoopVarId(0);
+    kb.finish()
+}
+
+/// The two target regions of one time step.
+pub fn kernels() -> Vec<Kernel> {
+    vec![
+        stencil_kernel("heat3d.k1", "A", "B"),
+        stencil_kernel("heat3d.k2", "B", "A"),
+    ]
+}
+
+fn stencil_point(n: usize, src: &[f32], i: usize, j: usize, k: usize) -> f32 {
+    let at = |di: i64, dj: i64, dk: i64| {
+        src[((i as i64 + di) as usize * n + (j as i64 + dj) as usize) * n
+            + (k as i64 + dk) as usize]
+    };
+    let c = at(0, 0, 0);
+    0.125 * (at(1, 0, 0) + at(-1, 0, 0) - 2.0 * c)
+        + 0.125 * (at(0, 1, 0) + at(0, -1, 0) - 2.0 * c)
+        + 0.125 * (at(0, 0, 1) + at(0, 0, -1) - 2.0 * c)
+        + c
+}
+
+fn stencil_seq(n: usize, src: &[f32], dst: &mut [f32]) {
+    for i in 1..n - 1 {
+        for j in 1..n - 1 {
+            for k in 1..n - 1 {
+                dst[(i * n + j) * n + k] = stencil_point(n, src, i, j, k);
+            }
+        }
+    }
+}
+
+/// Sequential reference: one full step (A→B→A).
+pub fn run_seq(n: usize, a: &mut [f32], b: &mut [f32]) {
+    stencil_seq(n, a, b);
+    stencil_seq(n, b, a);
+}
+
+/// Parallel host implementation: one full step.
+pub fn run_par(n: usize, a: &mut [f32], b: &mut [f32]) {
+    let stencil_par = |src: &[f32], dst: &mut [f32]| {
+        dst.par_chunks_mut(n * n)
+            .enumerate()
+            .skip(1)
+            .take(n - 2)
+            .for_each(|(i, plane)| {
+                for j in 1..n - 1 {
+                    for k in 1..n - 1 {
+                        plane[j * n + k] = stencil_point(n, src, i, j, k);
+                    }
+                }
+            });
+    };
+    stencil_par(a, b);
+    stencil_par(b, a);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::assert_close;
+
+    #[test]
+    fn kernels_validate() {
+        let ks = kernels();
+        assert_eq!(ks.len(), 2);
+        for k in &ks {
+            k.validate().unwrap();
+            assert_eq!(k.parallel_loops().len(), 2);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let n = 14;
+        let mut a1: Vec<f32> = (0..n * n * n).map(|v| ((v * 29 + 3) % 100) as f32 / 100.0).collect();
+        let mut b1 = vec![0.0f32; n * n * n];
+        let mut a2 = a1.clone();
+        let mut b2 = b1.clone();
+        run_seq(n, &mut a1, &mut b1);
+        run_par(n, &mut a2, &mut b2);
+        assert_close(&a1, &a2, 7);
+        assert_close(&b1, &b2, 7);
+    }
+
+    #[test]
+    fn uniform_field_is_a_fixed_point() {
+        let n = 8;
+        let mut a = vec![3.0f32; n * n * n];
+        let mut b = vec![0.0f32; n * n * n];
+        run_seq(n, &mut a, &mut b);
+        // Interior of B and A hold the constant.
+        assert!((b[(4 * n + 4) * n + 4] - 3.0).abs() < 1e-6);
+        assert!((a[(4 * n + 4) * n + 4] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn heat_diffuses_a_spike() {
+        let n = 10;
+        let mut a = vec![0.0f32; n * n * n];
+        a[(5 * n + 5) * n + 5] = 8.0;
+        let mut b = vec![0.0f32; n * n * n];
+        stencil_seq(n, &a, &mut b);
+        assert!(b[(5 * n + 5) * n + 5] < 8.0);
+        assert!(b[(5 * n + 5) * n + 6] > 0.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! JACOBI-2D (extended suite): one sweep of the 5-point Jacobi stencil as
+//! two target regions — compute into `B`, copy back into `A`. A classic
+//! bandwidth-bound iteration pattern beyond the paper's 13 programs,
+//! exercising the copy-kernel corner (2 memory ops, zero FP work).
+
+use crate::dataset::Dataset;
+use crate::suite::Benchmark;
+use hetsel_ir::{cexpr, Binding, Expr, Kernel, KernelBuilder, Transfer};
+use rayon::prelude::*;
+
+/// The benchmark descriptor.
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "JACOBI2D",
+        kernels: kernels(),
+        binding,
+    }
+}
+
+/// Runtime binding for a dataset.
+pub fn binding(ds: Dataset) -> Binding {
+    Binding::new().with("n", ds.n())
+}
+
+/// The two target regions of one sweep.
+pub fn kernels() -> Vec<Kernel> {
+    // k1: B[i][j] = 0.2*(A[i][j] + A[i][j-1] + A[i][j+1] + A[i+1][j] + A[i-1][j])
+    let mut kb = KernelBuilder::new("jacobi2d.k1");
+    let a = kb.array("A", 4, &["n".into(), "n".into()], Transfer::In);
+    let b = kb.array("B", 4, &["n".into(), "n".into()], Transfer::Out);
+    let i = kb.parallel_loop(1, Expr::param("n") - Expr::Const(1));
+    let j = kb.parallel_loop(1, Expr::param("n") - Expr::Const(1));
+    let mut sum = kb.load(a, &[i.into(), j.into()]);
+    for (di, dj) in [(0i64, -1i64), (0, 1), (1, 0), (-1, 0)] {
+        let ld = kb.load(
+            a,
+            &[Expr::var(i) + Expr::Const(di), Expr::var(j) + Expr::Const(dj)],
+        );
+        sum = cexpr::add(sum, ld);
+    }
+    kb.store(b, &[i.into(), j.into()], cexpr::mul(cexpr::scalar("c02"), sum));
+    kb.end_loop();
+    kb.end_loop();
+    let k1 = kb.finish();
+
+    // k2: A[i][j] = B[i][j]
+    let mut kb = KernelBuilder::new("jacobi2d.k2");
+    let b = kb.array("B", 4, &["n".into(), "n".into()], Transfer::In);
+    let a = kb.array("A", 4, &["n".into(), "n".into()], Transfer::InOut);
+    let i = kb.parallel_loop(1, Expr::param("n") - Expr::Const(1));
+    let j = kb.parallel_loop(1, Expr::param("n") - Expr::Const(1));
+    let ld = kb.load(b, &[i.into(), j.into()]);
+    kb.store(a, &[i.into(), j.into()], ld);
+    kb.end_loop();
+    kb.end_loop();
+    let k2 = kb.finish();
+
+    vec![k1, k2]
+}
+
+fn sweep_seq(n: usize, a: &mut [f32], b: &mut [f32]) {
+    for i in 1..n - 1 {
+        for j in 1..n - 1 {
+            b[i * n + j] = 0.2
+                * (a[i * n + j] + a[i * n + j - 1] + a[i * n + j + 1] + a[(i + 1) * n + j]
+                    + a[(i - 1) * n + j]);
+        }
+    }
+    for i in 1..n - 1 {
+        for j in 1..n - 1 {
+            a[i * n + j] = b[i * n + j];
+        }
+    }
+}
+
+/// Sequential reference: `tsteps` sweeps in place.
+pub fn run_seq(n: usize, tsteps: usize, a: &mut [f32]) {
+    let mut b = vec![0.0f32; n * n];
+    for _ in 0..tsteps {
+        sweep_seq(n, a, &mut b);
+    }
+}
+
+/// Parallel host implementation: `tsteps` sweeps in place.
+pub fn run_par(n: usize, tsteps: usize, a: &mut [f32]) {
+    let mut b = vec![0.0f32; n * n];
+    for _ in 0..tsteps {
+        b.par_chunks_mut(n)
+            .enumerate()
+            .skip(1)
+            .take(n - 2)
+            .for_each(|(i, row)| {
+                for j in 1..n - 1 {
+                    row[j] = 0.2
+                        * (a[i * n + j] + a[i * n + j - 1] + a[i * n + j + 1]
+                            + a[(i + 1) * n + j]
+                            + a[(i - 1) * n + j]);
+                }
+            });
+        a.par_chunks_mut(n)
+            .enumerate()
+            .skip(1)
+            .take(n - 2)
+            .for_each(|(i, row)| {
+                row[1..n - 1].copy_from_slice(&b[i * n + 1..i * n + n - 1]);
+            });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{assert_close, poly_mat};
+
+    #[test]
+    fn kernels_validate() {
+        let ks = kernels();
+        assert_eq!(ks.len(), 2);
+        for k in &ks {
+            k.validate().unwrap();
+            assert_eq!(k.parallel_loops().len(), 2);
+        }
+    }
+
+    #[test]
+    fn copy_kernel_has_no_fp_work() {
+        let k = &kernels()[1];
+        let mut ops = hetsel_ir::FpOps::default();
+        k.walk_assigns(|_, a| ops = ops + a.rhs.fp_op_counts());
+        assert_eq!(ops.total(), 0);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let n = 40;
+        let mut a1 = poly_mat(n, n);
+        let mut a2 = a1.clone();
+        run_seq(n, 3, &mut a1);
+        run_par(n, 3, &mut a2);
+        assert_close(&a1, &a2, 5);
+    }
+
+    #[test]
+    fn jacobi_smooths_toward_interior_mean() {
+        // A spike diffuses: its centre value decreases monotonically.
+        let n = 16;
+        let mut a = vec![0.0f32; n * n];
+        a[8 * n + 8] = 1.0;
+        let before = a[8 * n + 8];
+        run_seq(n, 1, &mut a);
+        assert!(a[8 * n + 8] < before);
+        // Mass appears at the neighbours.
+        assert!(a[8 * n + 7] > 0.0 && a[7 * n + 8] > 0.0);
+    }
+}

@@ -1,0 +1,45 @@
+//! # hetsel-polybench — the Polybench OpenMP evaluation suite
+//!
+//! The 13 Polybench programs (24 outlined target regions) used in the
+//! paper's evaluation, each in two forms:
+//!
+//! * **IR form** — a [`hetsel_ir::Kernel`] per target region, transcribed
+//!   from the OpenMP 4.x Polybench sources: the input to IPDA, the machine
+//!   code analyzer, the analytical models and the timing simulators;
+//! * **executable form** — sequential and rayon-parallel Rust
+//!   implementations of every program, used for correctness tests and as
+//!   the real host-execution path in the examples.
+//!
+//! Datasets mirror the paper's `test` (1100×1100) and `benchmark`
+//! (9600×9600) execution modes ([`Dataset`]).
+
+#![warn(missing_docs)]
+
+pub mod atax;
+pub mod bicg;
+pub mod fdtd2d;
+pub mod conv2d;
+pub mod conv3d;
+pub mod corr;
+pub mod covar;
+pub mod data;
+pub mod dataset;
+pub mod doitgen;
+pub mod gemm;
+pub mod gemver;
+pub mod gesummv;
+pub mod heat3d;
+pub mod jacobi2d;
+pub mod mvt;
+pub mod suite;
+pub mod syr2k;
+pub mod syrk;
+pub mod three_mm;
+pub mod trmm;
+pub mod two_mm;
+
+pub use dataset::Dataset;
+pub use suite::{
+    all_kernels, extended_suite, find_kernel, full_suite, paper_suite, suite, Benchmark,
+    BindingFn,
+};

@@ -1,0 +1,123 @@
+//! MVT: `x1 += A·y1` and `x2 += Aᵀ·y2` — two matrix–vector target regions
+//! over the same matrix, one row-wise, one column-wise.
+
+use crate::dataset::Dataset;
+use crate::suite::Benchmark;
+use hetsel_ir::{cexpr, Binding, Kernel, KernelBuilder, Transfer};
+use rayon::prelude::*;
+
+/// The benchmark descriptor.
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "MVT",
+        kernels: kernels(),
+        binding,
+    }
+}
+
+/// Runtime binding for a dataset.
+pub fn binding(ds: Dataset) -> Binding {
+    Binding::new().with("n", ds.n())
+}
+
+/// The two target regions.
+pub fn kernels() -> Vec<Kernel> {
+    // k1: x1[i] += sum_j A[i][j] * y1[j]
+    let mut kb = KernelBuilder::new("mvt.k1");
+    let a = kb.array("A", 4, &["n".into(), "n".into()], Transfer::In);
+    let y1 = kb.array("y1", 4, &["n".into()], Transfer::In);
+    let x1 = kb.array("x1", 4, &["n".into()], Transfer::InOut);
+    let i = kb.parallel_loop(0, "n");
+    kb.acc_init("acc", kb.load(x1, &[i.into()]));
+    let j = kb.seq_loop(0, "n");
+    let prod = cexpr::mul(kb.load(a, &[i.into(), j.into()]), kb.load(y1, &[j.into()]));
+    kb.assign_acc("acc", cexpr::add(cexpr::acc(), prod));
+    kb.end_loop();
+    kb.store_acc(x1, &[i.into()], "acc");
+    kb.end_loop();
+    let k1 = kb.finish();
+
+    // k2: x2[i] += sum_j A[j][i] * y2[j]   (transposed walk, coalesced on GPU)
+    let mut kb = KernelBuilder::new("mvt.k2");
+    let a = kb.array("A", 4, &["n".into(), "n".into()], Transfer::In);
+    let y2 = kb.array("y2", 4, &["n".into()], Transfer::In);
+    let x2 = kb.array("x2", 4, &["n".into()], Transfer::InOut);
+    let i = kb.parallel_loop(0, "n");
+    kb.acc_init("acc", kb.load(x2, &[i.into()]));
+    let j = kb.seq_loop(0, "n");
+    let prod = cexpr::mul(kb.load(a, &[j.into(), i.into()]), kb.load(y2, &[j.into()]));
+    kb.assign_acc("acc", cexpr::add(cexpr::acc(), prod));
+    kb.end_loop();
+    kb.store_acc(x2, &[i.into()], "acc");
+    kb.end_loop();
+    let k2 = kb.finish();
+
+    vec![k1, k2]
+}
+
+/// Sequential reference; updates `x1` and `x2` in place.
+pub fn run_seq(n: usize, a: &[f32], y1: &[f32], y2: &[f32], x1: &mut [f32], x2: &mut [f32]) {
+    for (i, xi) in x1.iter_mut().enumerate() {
+        let mut acc = *xi;
+        for (j, yj) in y1.iter().enumerate() {
+            acc += a[i * n + j] * yj;
+        }
+        *xi = acc;
+    }
+    for (i, xi) in x2.iter_mut().enumerate() {
+        let mut acc = *xi;
+        for (j, yj) in y2.iter().enumerate() {
+            acc += a[j * n + i] * yj;
+        }
+        *xi = acc;
+    }
+}
+
+/// Parallel host implementation.
+pub fn run_par(n: usize, a: &[f32], y1: &[f32], y2: &[f32], x1: &mut [f32], x2: &mut [f32]) {
+    x1.par_iter_mut().enumerate().for_each(|(i, xi)| {
+        let mut acc = *xi;
+        for (j, yj) in y1.iter().enumerate() {
+            acc += a[i * n + j] * yj;
+        }
+        *xi = acc;
+    });
+    x2.par_iter_mut().enumerate().for_each(|(i, xi)| {
+        let mut acc = *xi;
+        for (j, yj) in y2.iter().enumerate() {
+            acc += a[j * n + i] * yj;
+        }
+        *xi = acc;
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{assert_close, poly_mat, poly_vec};
+
+    #[test]
+    fn kernels_validate() {
+        let ks = kernels();
+        assert_eq!(ks.len(), 2);
+        for k in &ks {
+            k.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let n = 60;
+        let a = poly_mat(n, n);
+        let y1 = poly_vec(n);
+        let y2 = poly_vec(n);
+        let mut x1a = poly_vec(n);
+        let mut x2a = poly_vec(n);
+        let mut x1b = x1a.clone();
+        let mut x2b = x2a.clone();
+        run_seq(n, &a, &y1, &y2, &mut x1a, &mut x2a);
+        run_par(n, &a, &y1, &y2, &mut x1b, &mut x2b);
+        assert_close(&x1a, &x1b, n);
+        assert_close(&x2a, &x2b, n);
+    }
+}

@@ -1,0 +1,180 @@
+//! The assembled benchmark suite.
+
+use crate::dataset::Dataset;
+use hetsel_ir::{Binding, Kernel};
+
+/// A dataset-to-binding mapping function.
+pub type BindingFn = fn(Dataset) -> Binding;
+
+/// One Polybench program: a name, its outlined target regions, and its
+/// dataset-to-binding mapping.
+pub struct Benchmark {
+    /// Display name (paper's capitalisation).
+    pub name: &'static str,
+    /// The program's target regions, in execution order.
+    pub kernels: Vec<Kernel>,
+    /// Runtime binding (array extents, trip-count parameters) per dataset.
+    pub binding: fn(Dataset) -> Binding,
+}
+
+impl Benchmark {
+    /// Convenience accessor.
+    pub fn binding(&self, ds: Dataset) -> Binding {
+        (self.binding)(ds)
+    }
+}
+
+/// All benchmarks of the paper's evaluation, in Table I order.
+pub fn suite() -> Vec<Benchmark> {
+    paper_suite()
+}
+
+/// The paper's 13 programs.
+pub fn paper_suite() -> Vec<Benchmark> {
+    vec![
+        crate::gemm::benchmark(),
+        crate::two_mm::benchmark(),
+        crate::three_mm::benchmark(),
+        crate::atax::benchmark(),
+        crate::bicg::benchmark(),
+        crate::mvt::benchmark(),
+        crate::conv2d::benchmark(),
+        crate::conv3d::benchmark(),
+        crate::gesummv::benchmark(),
+        crate::syrk::benchmark(),
+        crate::syr2k::benchmark(),
+        crate::corr::benchmark(),
+        crate::covar::benchmark(),
+    ]
+}
+
+/// Additional Polybench programs beyond the paper's evaluation, used to
+/// stress the framework on patterns the paper did not cover (multi-field
+/// stencils, rank-1 updates, triangular inner loops, pure copies).
+pub fn extended_suite() -> Vec<Benchmark> {
+    vec![
+        crate::jacobi2d::benchmark(),
+        crate::fdtd2d::benchmark(),
+        crate::gemver::benchmark(),
+        crate::trmm::benchmark(),
+        crate::doitgen::benchmark(),
+        crate::heat3d::benchmark(),
+    ]
+}
+
+/// Paper + extended programs.
+pub fn full_suite() -> Vec<Benchmark> {
+    let mut v = paper_suite();
+    v.extend(extended_suite());
+    v
+}
+
+/// Every kernel of the suite with its owning benchmark name and binding fn.
+pub fn all_kernels() -> Vec<(&'static str, Kernel, BindingFn)> {
+    suite()
+        .into_iter()
+        .flat_map(|b| {
+            let binding = b.binding;
+            let name = b.name;
+            b.kernels.into_iter().map(move |k| (name, k, binding))
+        })
+        .collect()
+}
+
+/// Finds a kernel by its region name (e.g. `"atax.k2"`).
+pub fn find_kernel(name: &str) -> Option<(Kernel, BindingFn)> {
+    all_kernels()
+        .into_iter()
+        .find(|(_, k, _)| k.name == name)
+        .map(|(_, k, b)| (k, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_thirteen_benchmarks() {
+        assert_eq!(suite().len(), 13);
+    }
+
+    /// The paper evaluates "25 kernels from 12 different benchmarks" while
+    /// listing 13 program names; our faithful transcription of the 13
+    /// programs' OpenMP target regions yields 24 kernels (documented in
+    /// DESIGN.md).
+    #[test]
+    fn kernel_census() {
+        assert_eq!(all_kernels().len(), 24);
+    }
+
+    #[test]
+    fn every_kernel_validates_and_has_unique_name() {
+        let ks = all_kernels();
+        let mut names: Vec<&str> = ks.iter().map(|(_, k, _)| k.name.as_str()).collect();
+        for (_, k, _) in &ks {
+            k.validate().unwrap();
+        }
+        names.sort();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate kernel names");
+    }
+
+    #[test]
+    fn every_kernel_resolves_under_paper_datasets() {
+        for (_, k, binding) in all_kernels() {
+            for ds in Dataset::paper_modes() {
+                let b = binding(ds);
+                assert!(
+                    k.parallel_iterations(&b).unwrap_or(0) > 0,
+                    "{} has empty parallel space in {ds}",
+                    k.name
+                );
+                assert!(k.bytes_to_device(&b).unwrap_or(0) > 0, "{}", k.name);
+                let tc = hetsel_ir::trips::resolve(&k, &b);
+                assert!(tc.parallel_iterations(&k) > 0.0, "{}", k.name);
+            }
+        }
+    }
+
+    #[test]
+    fn extended_suite_census() {
+        let ext = extended_suite();
+        assert_eq!(ext.len(), 6);
+        let kernels: usize = ext.iter().map(|b| b.kernels.len()).sum();
+        assert_eq!(kernels, 13); // JACOBI2D:2 FDTD2D:3 GEMVER:4 TRMM:1 DOITGEN:1 HEAT3D:2
+        for b in &ext {
+            for k in &b.kernels {
+                k.validate().unwrap();
+                for ds in Dataset::paper_modes() {
+                    let bnd = (b.binding)(ds);
+                    assert!(k.parallel_iterations(&bnd).unwrap_or(0) > 0, "{}", k.name);
+                }
+            }
+        }
+        assert_eq!(full_suite().len(), 19);
+    }
+
+    #[test]
+    fn every_kernel_renders_as_openmp_c() {
+        for b in full_suite() {
+            for k in &b.kernels {
+                let c = hetsel_ir::to_openmp_c(k);
+                assert!(c.contains("#pragma omp target teams distribute parallel for"), "{}", k.name);
+                assert!(c.contains(&format!("// region: {}", k.name)));
+                // Every declared array that is accessed appears in the body.
+                let body = c.split_once("\n").unwrap().1;
+                for a in &k.arrays {
+                    assert!(body.contains(&a.name), "{}: array {} missing", k.name, a.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn find_kernel_works() {
+        assert!(find_kernel("gemm").is_some());
+        assert!(find_kernel("atax.k2").is_some());
+        assert!(find_kernel("nope").is_none());
+    }
+}

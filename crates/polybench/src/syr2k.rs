@@ -1,0 +1,115 @@
+//! SYR2K: symmetric rank-2k update
+//! `C = alpha·A·Bᵀ + alpha·B·Aᵀ + beta·C` — twice the memory pressure of
+//! SYRK with the same mixed-coalescing signature.
+
+use crate::dataset::Dataset;
+use crate::suite::Benchmark;
+use hetsel_ir::{cexpr, Binding, Kernel, KernelBuilder, Transfer};
+use rayon::prelude::*;
+
+/// The benchmark descriptor.
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "SYR2K",
+        kernels: kernels(),
+        binding,
+    }
+}
+
+/// Runtime binding for a dataset.
+pub fn binding(ds: Dataset) -> Binding {
+    Binding::new().with("n", ds.n())
+}
+
+/// The single target region.
+pub fn kernels() -> Vec<Kernel> {
+    let mut kb = KernelBuilder::new("syr2k");
+    let a = kb.array("A", 4, &["n".into(), "n".into()], Transfer::In);
+    let b = kb.array("B", 4, &["n".into(), "n".into()], Transfer::In);
+    let c = kb.array("C", 4, &["n".into(), "n".into()], Transfer::InOut);
+    let i = kb.parallel_loop(0, "n");
+    let j = kb.parallel_loop(0, "n");
+    kb.acc_init(
+        "acc",
+        cexpr::mul(cexpr::scalar("beta"), kb.load(c, &[i.into(), j.into()])),
+    );
+    let k = kb.seq_loop(0, "n");
+    let p1 = cexpr::mul(
+        cexpr::scalar("alpha"),
+        cexpr::mul(kb.load(a, &[i.into(), k.into()]), kb.load(b, &[j.into(), k.into()])),
+    );
+    kb.assign_acc("acc", cexpr::add(cexpr::acc(), p1));
+    let p2 = cexpr::mul(
+        cexpr::scalar("alpha"),
+        cexpr::mul(kb.load(b, &[i.into(), k.into()]), kb.load(a, &[j.into(), k.into()])),
+    );
+    kb.assign_acc("acc", cexpr::add(cexpr::acc(), p2));
+    kb.end_loop();
+    kb.store_acc(c, &[i.into(), j.into()], "acc");
+    kb.end_loop();
+    kb.end_loop();
+    vec![kb.finish()]
+}
+
+/// Sequential reference.
+pub fn run_seq(n: usize, alpha: f32, beta: f32, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = beta * c[i * n + j];
+            for k in 0..n {
+                acc += alpha * a[i * n + k] * b[j * n + k];
+                acc += alpha * b[i * n + k] * a[j * n + k];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+}
+
+/// Parallel host implementation.
+pub fn run_par(n: usize, alpha: f32, beta: f32, a: &[f32], b: &[f32], c: &mut [f32]) {
+    c.par_chunks_mut(n).enumerate().for_each(|(i, row)| {
+        for (j, cell) in row.iter_mut().enumerate() {
+            let mut acc = beta * *cell;
+            for k in 0..n {
+                acc += alpha * a[i * n + k] * b[j * n + k];
+                acc += alpha * b[i * n + k] * a[j * n + k];
+            }
+            *cell = acc;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{assert_close, poly_mat, poly_mat_alt};
+
+    #[test]
+    fn kernel_validates() {
+        kernels()[0].validate().unwrap();
+    }
+
+    #[test]
+    fn four_loads_in_inner_loop() {
+        let k = &kernels()[0];
+        let mut loads = 0;
+        k.walk_assigns(|loops, a| {
+            if loops.len() == 3 {
+                a.rhs.for_each_load(&mut |_| loads += 1);
+            }
+        });
+        assert_eq!(loads, 4);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let n = 36;
+        let a = poly_mat(n, n);
+        let b = poly_mat_alt(n, n);
+        let mut c1 = poly_mat(n, n);
+        let mut c2 = c1.clone();
+        run_seq(n, 0.8, 1.2, &a, &b, &mut c1);
+        run_par(n, 0.8, 1.2, &a, &b, &mut c2);
+        assert_close(&c1, &c2, 2 * n);
+    }
+}

@@ -1,0 +1,125 @@
+//! SYRK: symmetric rank-k update `C = alpha·A·Aᵀ + beta·C`. The `A[j][k]`
+//! operand walks the matrix by rows indexed with the *thread* dimension —
+//! the poor-coalescing pattern the paper's model over-penalises in `test`
+//! mode without a cache model (Section IV.E).
+
+use crate::dataset::Dataset;
+use crate::suite::Benchmark;
+use hetsel_ir::{cexpr, Binding, Kernel, KernelBuilder, Transfer};
+use rayon::prelude::*;
+
+/// The benchmark descriptor.
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "SYRK",
+        kernels: kernels(),
+        binding,
+    }
+}
+
+/// Runtime binding for a dataset.
+pub fn binding(ds: Dataset) -> Binding {
+    Binding::new().with("n", ds.n())
+}
+
+/// The single target region.
+pub fn kernels() -> Vec<Kernel> {
+    let mut kb = KernelBuilder::new("syrk");
+    let a = kb.array("A", 4, &["n".into(), "n".into()], Transfer::In);
+    let c = kb.array("C", 4, &["n".into(), "n".into()], Transfer::InOut);
+    let i = kb.parallel_loop(0, "n");
+    let j = kb.parallel_loop(0, "n");
+    kb.acc_init(
+        "acc",
+        cexpr::mul(cexpr::scalar("beta"), kb.load(c, &[i.into(), j.into()])),
+    );
+    let k = kb.seq_loop(0, "n");
+    let prod = cexpr::mul(
+        cexpr::scalar("alpha"),
+        cexpr::mul(kb.load(a, &[i.into(), k.into()]), kb.load(a, &[j.into(), k.into()])),
+    );
+    kb.assign_acc("acc", cexpr::add(cexpr::acc(), prod));
+    kb.end_loop();
+    kb.store_acc(c, &[i.into(), j.into()], "acc");
+    kb.end_loop();
+    kb.end_loop();
+    vec![kb.finish()]
+}
+
+/// Sequential reference.
+pub fn run_seq(n: usize, alpha: f32, beta: f32, a: &[f32], c: &mut [f32]) {
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = beta * c[i * n + j];
+            for k in 0..n {
+                acc += alpha * a[i * n + k] * a[j * n + k];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+}
+
+/// Parallel host implementation.
+pub fn run_par(n: usize, alpha: f32, beta: f32, a: &[f32], c: &mut [f32]) {
+    c.par_chunks_mut(n).enumerate().for_each(|(i, row)| {
+        for (j, cell) in row.iter_mut().enumerate() {
+            let mut acc = beta * *cell;
+            for k in 0..n {
+                acc += alpha * a[i * n + k] * a[j * n + k];
+            }
+            *cell = acc;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{assert_close, poly_mat};
+    use hetsel_ipda::{analyze, Stride};
+    use hetsel_ir::Poly;
+
+    #[test]
+    fn kernel_validates() {
+        kernels()[0].validate().unwrap();
+    }
+
+    /// `A[j][k]` has thread stride n (uncoalesced), `A[i][k]` is a broadcast.
+    #[test]
+    fn mixed_coalescing_signature() {
+        let k = &kernels()[0];
+        let info = analyze(k);
+        let strides: Vec<&Stride> = info
+            .accesses
+            .iter()
+            .filter(|a| !a.is_store && a.enclosing.len() == 3)
+            .map(|a| &a.thread_stride)
+            .collect();
+        assert!(strides.contains(&&Stride::Known(0)));
+        assert!(strides.contains(&&Stride::Symbolic(Poly::param("n"))));
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let n = 44;
+        let a = poly_mat(n, n);
+        let mut c1 = poly_mat(n, n);
+        let mut c2 = c1.clone();
+        run_seq(n, 1.1, 0.9, &a, &mut c1);
+        run_par(n, 1.1, 0.9, &a, &mut c2);
+        assert_close(&c1, &c2, n);
+    }
+
+    #[test]
+    fn result_is_symmetric_for_symmetric_start() {
+        let n = 16;
+        let a = poly_mat(n, n);
+        let mut c = vec![0.0f32; n * n];
+        run_seq(n, 1.0, 0.0, &a, &mut c);
+        for i in 0..n {
+            for j in 0..n {
+                assert!((c[i * n + j] - c[j * n + i]).abs() < 1e-4);
+            }
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! 3MM: `E = A·B`, `F = C·D`, `G = E·F` — three chained matrix products,
+//! each its own target region.
+
+use crate::dataset::Dataset;
+use crate::suite::Benchmark;
+use hetsel_ir::{cexpr, Binding, Kernel, KernelBuilder, Transfer};
+use rayon::prelude::*;
+
+/// The benchmark descriptor.
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "3MM",
+        kernels: kernels(),
+        binding,
+    }
+}
+
+/// Runtime binding for a dataset.
+pub fn binding(ds: Dataset) -> Binding {
+    Binding::new().with("n", ds.n())
+}
+
+/// Builds one plain-product region `out[i][j] = Σ_k x[i][k]·y[k][j]`.
+fn product_kernel(name: &str, x_name: &str, y_name: &str, out_name: &str) -> Kernel {
+    let mut kb = KernelBuilder::new(name);
+    let x = kb.array(x_name, 4, &["n".into(), "n".into()], Transfer::In);
+    let y = kb.array(y_name, 4, &["n".into(), "n".into()], Transfer::In);
+    let out = kb.array(out_name, 4, &["n".into(), "n".into()], Transfer::Out);
+    let i = kb.parallel_loop(0, "n");
+    let j = kb.parallel_loop(0, "n");
+    kb.acc_init("acc", cexpr::lit(0.0));
+    let k = kb.seq_loop(0, "n");
+    let prod = cexpr::mul(kb.load(x, &[i.into(), k.into()]), kb.load(y, &[k.into(), j.into()]));
+    kb.assign_acc("acc", cexpr::add(cexpr::acc(), prod));
+    kb.end_loop();
+    kb.store_acc(out, &[i.into(), j.into()], "acc");
+    kb.end_loop();
+    kb.end_loop();
+    kb.finish()
+}
+
+/// The three target regions.
+pub fn kernels() -> Vec<Kernel> {
+    vec![
+        product_kernel("3mm.k1", "A", "B", "E"),
+        product_kernel("3mm.k2", "C", "D", "F"),
+        product_kernel("3mm.k3", "E", "F", "G"),
+    ]
+}
+
+fn matmul_seq(n: usize, x: &[f32], y: &[f32], out: &mut [f32]) {
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for k in 0..n {
+                acc += x[i * n + k] * y[k * n + j];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+}
+
+fn matmul_par(n: usize, x: &[f32], y: &[f32], out: &mut [f32]) {
+    out.par_chunks_mut(n).enumerate().for_each(|(i, row)| {
+        for (j, cell) in row.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for k in 0..n {
+                acc += x[i * n + k] * y[k * n + j];
+            }
+            *cell = acc;
+        }
+    });
+}
+
+/// Sequential reference: all three phases; returns `G`.
+pub fn run_seq(n: usize, a: &[f32], b: &[f32], c: &[f32], d: &[f32]) -> Vec<f32> {
+    let mut e = vec![0.0; n * n];
+    let mut f = vec![0.0; n * n];
+    let mut g = vec![0.0; n * n];
+    matmul_seq(n, a, b, &mut e);
+    matmul_seq(n, c, d, &mut f);
+    matmul_seq(n, &e, &f, &mut g);
+    g
+}
+
+/// Parallel host implementation; returns `G`.
+pub fn run_par(n: usize, a: &[f32], b: &[f32], c: &[f32], d: &[f32]) -> Vec<f32> {
+    let mut e = vec![0.0; n * n];
+    let mut f = vec![0.0; n * n];
+    let mut g = vec![0.0; n * n];
+    matmul_par(n, a, b, &mut e);
+    matmul_par(n, c, d, &mut f);
+    matmul_par(n, &e, &f, &mut g);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{assert_close, poly_mat, poly_mat_alt};
+
+    #[test]
+    fn kernels_validate() {
+        let ks = kernels();
+        assert_eq!(ks.len(), 3);
+        for k in &ks {
+            k.validate().unwrap();
+            assert_eq!(k.parallel_loops().len(), 2);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let n = 32;
+        let a = poly_mat(n, n);
+        let b = poly_mat_alt(n, n);
+        let c = poly_mat_alt(n, n);
+        let d = poly_mat(n, n);
+        let g1 = run_seq(n, &a, &b, &c, &d);
+        let g2 = run_par(n, &a, &b, &c, &d);
+        assert_close(&g1, &g2, n * n);
+    }
+}

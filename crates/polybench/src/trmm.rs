@@ -1,0 +1,128 @@
+//! TRMM (extended suite): triangular matrix multiplication
+//! `B = alpha·Aᵀ·B` with `A` lower-triangular — a triangular *inner* loop
+//! whose trip count depends on the parallel index, stressing the
+//! trip-count resolution and the load-imbalance behaviour of both models.
+
+use crate::dataset::Dataset;
+use crate::suite::Benchmark;
+use hetsel_ir::{cexpr, Binding, Expr, Kernel, KernelBuilder, Transfer};
+use rayon::prelude::*;
+
+/// The benchmark descriptor.
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "TRMM",
+        kernels: kernels(),
+        binding,
+    }
+}
+
+/// Runtime binding for a dataset.
+pub fn binding(ds: Dataset) -> Binding {
+    Binding::new().with("n", ds.n())
+}
+
+/// The single target region:
+/// `B[i][j] = alpha * (B[i][j] + Σ_{k>i} A[k][i] * B[k][j])`.
+pub fn kernels() -> Vec<Kernel> {
+    let mut kb = KernelBuilder::new("trmm");
+    let a = kb.array("A", 4, &["n".into(), "n".into()], Transfer::In);
+    let b = kb.array("B", 4, &["n".into(), "n".into()], Transfer::InOut);
+    let i = kb.parallel_loop(0, "n");
+    let j = kb.parallel_loop(0, "n");
+    kb.acc_init("acc", kb.load(b, &[i.into(), j.into()]));
+    let k = kb.seq_loop(Expr::var(i) + Expr::Const(1), "n");
+    let prod = cexpr::mul(kb.load(a, &[k.into(), i.into()]), kb.load(b, &[k.into(), j.into()]));
+    kb.assign_acc("acc", cexpr::add(cexpr::acc(), prod));
+    kb.end_loop();
+    kb.store(
+        b,
+        &[i.into(), j.into()],
+        cexpr::mul(cexpr::scalar("alpha"), cexpr::scalar("acc")),
+    );
+    kb.end_loop();
+    kb.end_loop();
+    vec![kb.finish()]
+}
+
+/// Sequential reference (updates `b` in place; reads the original `b`).
+pub fn run_seq(n: usize, alpha: f32, a: &[f32], b: &mut [f32]) {
+    let orig = b.to_vec();
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = orig[i * n + j];
+            for k in i + 1..n {
+                acc += a[k * n + i] * orig[k * n + j];
+            }
+            b[i * n + j] = alpha * acc;
+        }
+    }
+}
+
+/// Parallel host implementation.
+pub fn run_par(n: usize, alpha: f32, a: &[f32], b: &mut [f32]) {
+    let orig = b.to_vec();
+    b.par_chunks_mut(n).enumerate().for_each(|(i, row)| {
+        for (j, cell) in row.iter_mut().enumerate() {
+            let mut acc = orig[i * n + j];
+            for k in i + 1..n {
+                acc += a[k * n + i] * orig[k * n + j];
+            }
+            *cell = alpha * acc;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{assert_close, poly_mat, poly_mat_alt};
+
+    #[test]
+    fn kernel_validates() {
+        kernels()[0].validate().unwrap();
+    }
+
+    #[test]
+    fn triangular_inner_loop_averages_half() {
+        let k = &kernels()[0];
+        let b = binding(Dataset::Mini);
+        let tc = hetsel_ir::trips::resolve(k, &b);
+        // Inner k loop: from i+1 to n, i at midpoint 32 -> ~31 trips.
+        let inner_var = {
+            let mut v = None;
+            k.walk_assigns(|loops, _| {
+                if loops.len() == 3 {
+                    v = Some(loops[2].var);
+                }
+            });
+            v.unwrap()
+        };
+        let t = tc.get(inner_var);
+        assert!((t - 31.0).abs() <= 2.0, "inner trips {t}");
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let n = 40;
+        let a = poly_mat(n, n);
+        let mut b1 = poly_mat_alt(n, n);
+        let mut b2 = b1.clone();
+        run_seq(n, 1.3, &a, &mut b1);
+        run_par(n, 1.3, &a, &mut b2);
+        assert_close(&b1, &b2, n);
+    }
+
+    #[test]
+    fn identity_alpha_last_row_unchanged() {
+        // For i = n-1 the sum is empty: B[n-1][j] = alpha * B[n-1][j].
+        let n = 8;
+        let a = poly_mat(n, n);
+        let mut b = poly_mat_alt(n, n);
+        let before: Vec<f32> = b[(n - 1) * n..].to_vec();
+        run_seq(n, 2.0, &a, &mut b);
+        for (j, prev) in before.iter().enumerate() {
+            assert!((b[(n - 1) * n + j] - 2.0 * prev).abs() < 1e-5);
+        }
+    }
+}

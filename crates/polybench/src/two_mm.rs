@@ -1,0 +1,163 @@
+//! 2MM: `tmp = alpha·A·B`, then `D = tmp·C + beta·D` — two chained GEMMs
+//! outlined as two separate target regions (the paper counts each region as
+//! a kernel).
+
+use crate::dataset::Dataset;
+use crate::suite::Benchmark;
+use hetsel_ir::{cexpr, Binding, Kernel, KernelBuilder, Transfer};
+use rayon::prelude::*;
+
+/// The benchmark descriptor.
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "2MM",
+        kernels: kernels(),
+        binding,
+    }
+}
+
+/// Runtime binding for a dataset.
+pub fn binding(ds: Dataset) -> Binding {
+    Binding::new().with("n", ds.n())
+}
+
+/// The two target regions.
+pub fn kernels() -> Vec<Kernel> {
+    // k1: tmp[i][j] = sum_k alpha * A[i][k] * B[k][j]
+    let mut kb = KernelBuilder::new("2mm.k1");
+    let a = kb.array("A", 4, &["n".into(), "n".into()], Transfer::In);
+    let b = kb.array("B", 4, &["n".into(), "n".into()], Transfer::In);
+    let tmp = kb.array("tmp", 4, &["n".into(), "n".into()], Transfer::Out);
+    let i = kb.parallel_loop(0, "n");
+    let j = kb.parallel_loop(0, "n");
+    kb.acc_init("acc", cexpr::lit(0.0));
+    let k = kb.seq_loop(0, "n");
+    let prod = cexpr::mul(
+        cexpr::scalar("alpha"),
+        cexpr::mul(kb.load(a, &[i.into(), k.into()]), kb.load(b, &[k.into(), j.into()])),
+    );
+    kb.assign_acc("acc", cexpr::add(cexpr::acc(), prod));
+    kb.end_loop();
+    kb.store_acc(tmp, &[i.into(), j.into()], "acc");
+    kb.end_loop();
+    kb.end_loop();
+    let k1 = kb.finish();
+
+    // k2: D[i][j] = beta*D[i][j] + sum_k tmp[i][k] * C[k][j]
+    let mut kb = KernelBuilder::new("2mm.k2");
+    let tmp = kb.array("tmp", 4, &["n".into(), "n".into()], Transfer::In);
+    let c = kb.array("C", 4, &["n".into(), "n".into()], Transfer::In);
+    let d = kb.array("D", 4, &["n".into(), "n".into()], Transfer::InOut);
+    let i = kb.parallel_loop(0, "n");
+    let j = kb.parallel_loop(0, "n");
+    kb.acc_init(
+        "acc",
+        cexpr::mul(cexpr::scalar("beta"), kb.load(d, &[i.into(), j.into()])),
+    );
+    let k = kb.seq_loop(0, "n");
+    let prod = cexpr::mul(kb.load(tmp, &[i.into(), k.into()]), kb.load(c, &[k.into(), j.into()]));
+    kb.assign_acc("acc", cexpr::add(cexpr::acc(), prod));
+    kb.end_loop();
+    kb.store_acc(d, &[i.into(), j.into()], "acc");
+    kb.end_loop();
+    kb.end_loop();
+    let k2 = kb.finish();
+
+    vec![k1, k2]
+}
+
+/// Sequential reference: both phases.
+#[allow(clippy::too_many_arguments)] // mirrors the C benchmark's signature
+pub fn run_seq(
+    n: usize,
+    alpha: f32,
+    beta: f32,
+    a: &[f32],
+    b: &[f32],
+    c: &[f32],
+    d: &mut [f32],
+    tmp: &mut [f32],
+) {
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for k in 0..n {
+                acc += alpha * a[i * n + k] * b[k * n + j];
+            }
+            tmp[i * n + j] = acc;
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = beta * d[i * n + j];
+            for k in 0..n {
+                acc += tmp[i * n + k] * c[k * n + j];
+            }
+            d[i * n + j] = acc;
+        }
+    }
+}
+
+/// Parallel host implementation.
+#[allow(clippy::too_many_arguments)]
+pub fn run_par(
+    n: usize,
+    alpha: f32,
+    beta: f32,
+    a: &[f32],
+    b: &[f32],
+    c: &[f32],
+    d: &mut [f32],
+    tmp: &mut [f32],
+) {
+    tmp.par_chunks_mut(n).enumerate().for_each(|(i, row)| {
+        for (j, cell) in row.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for k in 0..n {
+                acc += alpha * a[i * n + k] * b[k * n + j];
+            }
+            *cell = acc;
+        }
+    });
+    d.par_chunks_mut(n).enumerate().for_each(|(i, row)| {
+        for (j, cell) in row.iter_mut().enumerate() {
+            let mut acc = beta * *cell;
+            for k in 0..n {
+                acc += tmp[i * n + k] * c[k * n + j];
+            }
+            *cell = acc;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{assert_close, poly_mat, poly_mat_alt, poly_vec};
+
+    #[test]
+    fn kernels_validate() {
+        let ks = kernels();
+        assert_eq!(ks.len(), 2);
+        for k in &ks {
+            k.validate().unwrap();
+        }
+        let _ = poly_vec(4);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let n = 40;
+        let a = poly_mat(n, n);
+        let b = poly_mat_alt(n, n);
+        let c = poly_mat(n, n);
+        let mut d1 = poly_mat_alt(n, n);
+        let mut d2 = d1.clone();
+        let mut t1 = vec![0.0; n * n];
+        let mut t2 = vec![0.0; n * n];
+        run_seq(n, 1.2, 0.8, &a, &b, &c, &mut d1, &mut t1);
+        run_par(n, 1.2, 0.8, &a, &b, &c, &mut d2, &mut t2);
+        assert_close(&d1, &d2, n);
+        assert_close(&t1, &t2, n);
+    }
+}

@@ -1,0 +1,77 @@
+//! The paper's Section IV.C worked example, end to end: IPDA builds the
+//! symbolic inter-thread stride `IPD_th(A[max·a]) = [max]` at compile time;
+//! the runtime binds `max` and the stride collapses to a concrete
+//! coalescing verdict that swings the GPU model's prediction.
+//!
+//! ```text
+//! cargo run --release --example coalescing
+//! ```
+
+use hetsel::ipda::{analyze, transactions_per_warp};
+use hetsel::ir::{cexpr, Binding, Expr, KernelBuilder, Transfer};
+use hetsel::models::{gpu, v100_params, CoalescingMode, TripMode};
+
+fn main() {
+    // #pragma omp teams distribute parallel for
+    // for (int a = 0; a < max; a++) A[max * a] = ...;
+    let mut kb = KernelBuilder::new("paper-iv-c");
+    let arr = kb.array(
+        "A",
+        4,
+        &[Expr::param("max") * Expr::param("max")],
+        Transfer::InOut,
+    );
+    let a = kb.parallel_loop(0, "max");
+    let ld = kb.load(arr, &[Expr::param("max") * Expr::var(a)]);
+    kb.store(
+        arr,
+        &[Expr::param("max") * Expr::var(a)],
+        cexpr::mul(cexpr::scalar("alpha"), ld),
+    );
+    kb.end_loop();
+    let kernel = kb.finish();
+
+    let info = analyze(&kernel);
+    let store = info.accesses.iter().find(|x| x.is_store).unwrap();
+    println!("compile time:");
+    println!("  IPD_th(A[max*a]) = {}", store.thread_stride);
+    println!("  (symbolic — stored in the program attribute database)\n");
+
+    println!("runtime bindings:");
+    println!(
+        "{:>8} {:>10} {:>14} {:>14} {:>16}",
+        "max", "stride", "txns/warp", "pattern", "pred GPU time"
+    );
+    for max in [1i64, 2, 8, 32, 1024, 9600] {
+        let b = Binding::new().with("max", max);
+        let stride = store.thread_stride.resolve(&b).unwrap();
+        let txns = transactions_per_warp(stride, 4, 32);
+        let pattern = format!("{:?}", store.thread_pattern(&b));
+        let pred = gpu::predict(&kernel, &b, &v100_params(), TripMode::Runtime, CoalescingMode::Ipda);
+        let t = pred.map(|p| format!("{:9.1}µs", p.seconds * 1e6)).unwrap_or_default();
+        println!("{max:>8} {stride:>10} {txns:>14} {pattern:>14} {t:>16}");
+    }
+
+    // The ATAX contrast: same matrix, two regions, opposite verdicts.
+    println!("\nATAX: the same matrix walked two ways");
+    let ks = hetsel::polybench::atax::kernels();
+    let b = hetsel::polybench::atax::binding(hetsel::polybench::Dataset::Test);
+    for k in &ks {
+        let info = analyze(k);
+        let acc = info
+            .accesses
+            .iter()
+            .find(|x| k.array(x.array).name == "A")
+            .unwrap();
+        println!(
+            "  {}: IPD_th(A) = {:<6} -> {:?}",
+            k.name,
+            format!("{}", acc.thread_stride),
+            acc.thread_pattern(&b)
+        );
+    }
+    println!(
+        "\nNo profiling run was needed for any of this — the paper's key\n\
+         advantage over trace-driven coalescing detection."
+    );
+}

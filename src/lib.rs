@@ -1,0 +1,63 @@
+//! # hetsel — hybrid analytical CPU/GPU execution-target selection
+//!
+//! Umbrella crate re-exporting the public API of the `hetsel` workspace: a
+//! reproduction of *"Toward an Analytical Performance Model to Select between
+//! GPU and CPU Execution"* (Chikin, Amaral, Ali, Tiotto — IPPS 2019).
+//!
+//! The workspace implements, from scratch:
+//!
+//! * [`ir`] — a loop-nest IR for OpenMP-style target regions;
+//! * [`ipda`] — the Iteration Point Difference Analysis: symbolic
+//!   inter-thread stride analysis for memory-coalescing detection;
+//! * [`mca`] — an LLVM-MCA-style machine-code throughput analyzer;
+//! * [`polybench`] — the 25 Polybench OpenMP kernels used in the evaluation;
+//! * [`cpusim`] / [`gpusim`] — timing simulators standing in for the paper's
+//!   POWER8/POWER9 hosts and K80/V100 accelerators;
+//! * [`models`] — the Liao/Chapman CPU cost model and the Hong–Kim GPU
+//!   MWP/CWP model (with the paper's `#OMP_Rep` extension);
+//! * [`core`] — the program attribute database and the runtime selector.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hetsel::prelude::*;
+//!
+//! // An OpenMP kernel: #pragma omp target teams distribute parallel for
+//! //                   for (i = 0; i < n; i++) y[i] = a*x[i] + y[i];
+//! let mut kb = KernelBuilder::new("axpy");
+//! let x = kb.array("x", 8, &["n".into()], Transfer::In);
+//! let y = kb.array("y", 8, &["n".into()], Transfer::InOut);
+//! let i = kb.parallel_loop(0, "n");
+//! let rhs = cexpr::add(cexpr::mul(cexpr::scalar("a"), kb.load(x, &[i.into()])),
+//!                      kb.load(y, &[i.into()]));
+//! kb.store(y, &[i.into()], rhs);
+//! kb.end_loop();
+//! let kernel = kb.finish();
+//!
+//! // Compile-time half: extract static features into the attribute database.
+//! let db = AttributeDatabase::compile(&[kernel]);
+//!
+//! // Runtime half: bind the runtime values and ask the selector.
+//! let selector = Selector::new(Platform::power9_v100());
+//! let decision = selector.select(db.region("axpy").unwrap(), &Binding::new().with("n", 1 << 20));
+//! println!(
+//!     "run axpy on {}: predicted offload speedup {:.2}x",
+//!     decision.device,
+//!     decision.predicted_speedup().unwrap()
+//! );
+//! ```
+
+pub use hetsel_core as core;
+pub use hetsel_cpusim as cpusim;
+pub use hetsel_gpusim as gpusim;
+pub use hetsel_ipda as ipda;
+pub use hetsel_ir as ir;
+pub use hetsel_mca as mca;
+pub use hetsel_models as models;
+pub use hetsel_polybench as polybench;
+
+/// Commonly used items for working with the framework.
+pub mod prelude {
+    pub use hetsel_core::{AttributeDatabase, Decision, Platform, Policy, Selector};
+    pub use hetsel_ir::{cexpr, Binding, Expr, Kernel, KernelBuilder, Transfer};
+}

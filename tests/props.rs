@@ -1,0 +1,167 @@
+//! Cross-crate property-based tests: the symbolic machinery agrees with
+//! brute-force numeric evaluation, and the simulators obey physical
+//! invariants over randomly generated kernels and bindings.
+
+use hetsel::ipda::{analyze, transactions_per_warp};
+use hetsel::ir::{cexpr, linearize, Binding, Expr, Kernel, KernelBuilder, LoopVarId, Transfer};
+use proptest::prelude::*;
+
+/// Coefficients of a random affine index `a*i + b*j + c*n*i + d + e*n`.
+#[derive(Debug, Clone, Copy)]
+struct Coeffs {
+    a: i64,
+    b: i64,
+    c: i64,
+    d: i64,
+    e: i64,
+}
+
+impl Coeffs {
+    fn expr(&self) -> Expr {
+        let i = LoopVarId(0);
+        let j = LoopVarId(1);
+        Expr::Const(self.a) * Expr::var(i)
+            + Expr::Const(self.b) * Expr::var(j)
+            + Expr::Const(self.c) * Expr::param("n") * Expr::var(i)
+            + Expr::Const(self.d)
+            + Expr::Const(self.e) * Expr::param("n")
+    }
+
+    fn eval(&self, iv: i64, jv: i64, nv: i64) -> i64 {
+        self.a * iv + self.b * jv + self.c * nv * iv + self.d + self.e * nv
+    }
+}
+
+fn affine_expr() -> impl Strategy<Value = Coeffs> {
+    (-4i64..5, -4i64..5, 0i64..3, -8i64..9, 0i64..3)
+        .prop_map(|(a, b, c, d, e)| Coeffs { a, b, c, d, e })
+}
+
+proptest! {
+    /// IPDA's symbolic inter-thread difference equals the brute-force
+    /// difference `index(j+1) - index(j)` for every binding: the analysis
+    /// is exact on affine programs.
+    #[test]
+    fn ipd_matches_numeric_difference(co in affine_expr(), n in 1i64..200, iv in 0i64..50, jv in 0i64..50) {
+        let e = co.expr();
+        let mut kb = KernelBuilder::new("prop");
+        let arr = kb.array("A", 4, &[Expr::param("n") * Expr::Const(64)], Transfer::In);
+        let i = kb.parallel_loop(0, "n");
+        let j = kb.parallel_loop(0, "n");
+        let ld = kb.load(arr, std::slice::from_ref(&e));
+        kb.store(arr, &[Expr::var(i) * Expr::Const(0) + Expr::var(j)], ld);
+        kb.end_loop();
+        kb.end_loop();
+        let k = kb.finish();
+
+        let info = analyze(&k);
+        let access = &info.accesses[0];
+        let b = Binding::new().with("n", n);
+        let stride = access.thread_stride.resolve(&b).expect("affine resolves");
+        // Brute force: thread dimension is j.
+        let expected = co.eval(iv, jv + 1, n) - co.eval(iv, jv, n);
+        prop_assert_eq!(stride, expected);
+    }
+
+    /// The linearised affine form evaluates identically to direct Expr
+    /// evaluation at arbitrary points.
+    #[test]
+    fn linearize_matches_pointwise(co in affine_expr(), n in 1i64..100, iv in 0i64..40, jv in 0i64..40) {
+        let e = co.expr();
+        let mut kb = KernelBuilder::new("prop2");
+        let arr = kb.array("A", 4, &[Expr::param("n"), Expr::param("n")], Transfer::In);
+        let i = kb.parallel_loop(0, "n");
+        let j = kb.parallel_loop(0, "n");
+        let ld = kb.load(arr, &[e.clone(), Expr::var(j)]);
+        kb.store(arr, &[Expr::var(i), Expr::var(j)], ld);
+        kb.end_loop();
+        kb.end_loop();
+        let k = kb.finish();
+
+        let r = hetsel::ir::ArrayRef { array: hetsel::ir::ArrayId(0), index: vec![e.clone(), Expr::Var(LoopVarId(1))] };
+        let aff = linearize(&k, &r).expect("affine");
+        let b = Binding::new().with("n", n);
+        let vars = |v: LoopVarId| Some(if v.0 == 0 { iv } else { jv });
+        let direct = e.eval(&b, &vars).unwrap() * n + jv;
+        prop_assert_eq!(aff.eval(&b, &vars), Some(direct));
+    }
+
+    /// Warp transactions are bounded by [minimal, 32] and scale sanely.
+    #[test]
+    fn transactions_bounded(stride in -10_000i64..10_000, elem in prop::sample::select(vec![4u32, 8])) {
+        let t = transactions_per_warp(stride, elem, 32);
+        let minimal = (32 * elem).div_ceil(32);
+        prop_assert!(t >= 1);
+        prop_assert!(t <= 32 + (elem / 32).max(1) - 1 + 32, "t = {t}");
+        if stride == 1 {
+            prop_assert_eq!(t, minimal);
+        }
+        if stride == 0 {
+            prop_assert_eq!(t, elem.div_ceil(32));
+        }
+    }
+}
+
+/// Builds a small reduction kernel with a configurable inner trip count.
+fn reduction_kernel() -> Kernel {
+    let mut kb = KernelBuilder::new("prop-red");
+    let a = kb.array("a", 4, &["n".into(), "m".into()], Transfer::In);
+    let y = kb.array("y", 4, &["n".into()], Transfer::Out);
+    let i = kb.parallel_loop(0, "n");
+    kb.acc_init("s", cexpr::lit(0.0));
+    let j = kb.seq_loop(0, "m");
+    let ld = kb.load(a, &[i.into(), j.into()]);
+    kb.assign_acc("s", cexpr::add(cexpr::acc(), ld));
+    kb.end_loop();
+    kb.store_acc(y, &[i.into()], "s");
+    kb.end_loop();
+    kb.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// CPU simulator: more work never takes less time. (n is kept large
+    /// enough that per-thread blocks exceed a cache line in both runs —
+    /// below that, the smaller run legitimately pays a false-sharing
+    /// penalty the larger one does not, and the comparison inverts.)
+    #[test]
+    fn cpu_time_monotone_in_work(n in 1024i64..4096, m in 8i64..64) {
+        let k = reduction_kernel();
+        let cpu = hetsel::cpusim::power9_host();
+        let t1 = hetsel::cpusim::simulate(&k, &Binding::new().with("n", n).with("m", m), &cpu, 16).unwrap();
+        let t2 = hetsel::cpusim::simulate(&k, &Binding::new().with("n", n * 2).with("m", m * 2), &cpu, 16).unwrap();
+        prop_assert!(t2.total_s() >= t1.total_s());
+    }
+
+    /// GPU simulator: transfers grow monotonically with footprint and the
+    /// kernel obeys the bandwidth roofline.
+    #[test]
+    fn gpu_invariants(n in 64i64..2048, m in 8i64..128) {
+        let k = reduction_kernel();
+        let gpu = hetsel::gpusim::tesla_v100();
+        let b = Binding::new().with("n", n).with("m", m);
+        let r = hetsel::gpusim::simulate(&k, &b, &gpu).unwrap();
+        prop_assert!(r.kernel_s > 0.0);
+        prop_assert!(r.transfer_in_s > 0.0);
+        // Roofline: simulated time >= DRAM traffic / peak bandwidth.
+        prop_assert!(r.kernel_s * gpu.mem_bandwidth_gbs * 1e9 >= r.dram_bytes * 0.99);
+        let b2 = Binding::new().with("n", n * 2).with("m", m);
+        let r2 = hetsel::gpusim::simulate(&k, &b2, &gpu).unwrap();
+        prop_assert!(r2.transfer_in_s >= r.transfer_in_s);
+    }
+
+    /// Models: predictions are strictly positive and finite wherever the
+    /// binding is complete.
+    #[test]
+    fn model_predictions_finite(n in 16i64..4096, m in 1i64..256) {
+        let k = reduction_kernel();
+        let b = Binding::new().with("n", n).with("m", m);
+        let c = hetsel::models::cpu::predict(&k, &b, &hetsel::models::power9_params(), 32, hetsel::models::TripMode::Runtime).unwrap();
+        prop_assert!(c.seconds.is_finite() && c.seconds > 0.0);
+        let g = hetsel::models::gpu::predict(&k, &b, &hetsel::models::v100_params(), hetsel::models::TripMode::Runtime, hetsel::models::CoalescingMode::Ipda).unwrap();
+        prop_assert!(g.seconds.is_finite() && g.seconds > 0.0);
+        prop_assert!(g.mwp <= g.n_warps + 1e-9);
+        prop_assert!(g.cwp <= g.n_warps + 1e-9);
+    }
+}

@@ -43,7 +43,12 @@ fn mca_engine(c: &mut Criterion) {
         });
     });
     c.bench_function("mca_loadout", |b| {
-        b.iter(|| black_box(hetsel_mca::loadout(black_box(&kernel), &hetsel_mca::assume_128)));
+        b.iter(|| {
+            black_box(hetsel_mca::loadout(
+                black_box(&kernel),
+                &hetsel_mca::assume_128,
+            ))
+        });
     });
 }
 

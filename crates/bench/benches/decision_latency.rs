@@ -4,7 +4,7 @@
 //! milliseconds to minutes, in stark contrast to ML inference at runtime.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hetsel_core::{Platform, Selector};
+use hetsel_core::{AttributeDatabase, DecisionEngine, Platform, Selector};
 use hetsel_polybench::{find_kernel, Dataset};
 use std::hint::black_box;
 
@@ -50,5 +50,34 @@ fn model_halves(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, decision_latency, model_halves);
+/// The compile-once split on `gemm`: a cold decision recompiles both models
+/// every time; a warm decision evaluates the precompiled attribute-database
+/// entry; a cache hit replays a memoized decision. The paper's architecture
+/// demands warm ≪ cold, and the LRU cache buys another order below warm.
+fn compile_once_paths(c: &mut Criterion) {
+    let (kernel, binding) = find_kernel("gemm").unwrap();
+    let b = binding(Dataset::Benchmark);
+    let sel = Selector::new(Platform::power9_v100());
+
+    let mut group = c.benchmark_group("gemm_decision_paths");
+    group.bench_function("cold_compile_and_predict", |bench| {
+        bench.iter(|| black_box(sel.select_kernel(black_box(&kernel), black_box(&b))));
+    });
+
+    let db = AttributeDatabase::compile(std::slice::from_ref(&kernel), &sel);
+    let region = db.region("gemm").unwrap();
+    group.bench_function("warm_evaluate", |bench| {
+        bench.iter(|| black_box(sel.select(black_box(region), black_box(&b))));
+    });
+
+    let engine =
+        DecisionEngine::from_database(Selector::new(Platform::power9_v100()), db.clone(), 64);
+    let _prime = engine.decide("gemm", &b);
+    group.bench_function("cache_hit", |bench| {
+        bench.iter(|| black_box(engine.decide(black_box("gemm"), black_box(&b))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, decision_latency, model_halves, compile_once_paths);
 criterion_main!(benches);

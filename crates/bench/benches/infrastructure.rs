@@ -3,9 +3,9 @@
 //! the attribute-database compilation step.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use hetsel_core::AttributeDatabase;
-use hetsel_polybench::{all_kernels, find_kernel};
+use hetsel_core::{AttributeDatabase, Platform, Selector};
 use hetsel_ir::{execute, synth, to_openmp_c, Binding, Env};
+use hetsel_polybench::{all_kernels, find_kernel};
 use std::hint::black_box;
 
 fn interpreter(c: &mut Criterion) {
@@ -53,8 +53,9 @@ fn synthesis(c: &mut Criterion) {
 
 fn attribute_db(c: &mut Criterion) {
     let kernels: Vec<_> = all_kernels().into_iter().map(|(_, k, _)| k).collect();
+    let sel = Selector::new(Platform::power9_v100());
     c.bench_function("attribute_db_compile_suite", |bench| {
-        bench.iter(|| black_box(AttributeDatabase::compile(black_box(&kernels))));
+        bench.iter(|| black_box(AttributeDatabase::compile(black_box(&kernels), &sel)));
     });
 }
 

@@ -16,7 +16,10 @@ use hetsel_polybench::Dataset;
 
 fn main() {
     let platform = Platform::power9_v100();
-    println!("Ablations on {} ({} threads)\n", platform.name, platform.host_threads);
+    println!(
+        "Ablations on {} ({} threads)\n",
+        platform.name, platform.host_threads
+    );
 
     for ds in Dataset::paper_modes() {
         println!("== {ds} mode ==");
@@ -69,7 +72,10 @@ fn main() {
         let host = policy_outcome(&results, Policy::AlwaysHost);
         println!(
             "{:<44} {:>9.2}x {:>7}/{}",
-            "always-offload (compiler default)", off.geomean_speedup, off.correct_decisions, off.total
+            "always-offload (compiler default)",
+            off.geomean_speedup,
+            off.correct_decisions,
+            off.total
         );
         println!(
             "{:<44} {:>9.2}x {:>7}/{}",

@@ -11,9 +11,9 @@
 //! truth, and the selector's decision.
 
 use hetsel_core::{best_split, Platform, Selector};
+use hetsel_ir::Kernel;
 use hetsel_models::{CoalescingMode, TripMode};
 use hetsel_polybench::{full_suite, Dataset};
-use hetsel_ir::Kernel;
 
 fn find(name: &str) -> Option<(Kernel, hetsel_polybench::BindingFn)> {
     for b in full_suite() {
@@ -50,7 +50,10 @@ fn main() {
         std::process::exit(1);
     };
     let b = binding(ds);
-    println!("== {} on {} ({} mode, binding {})\n", kernel.name, platform.name, ds, b);
+    println!(
+        "== {} on {} ({} mode, binding {})\n",
+        kernel.name, platform.name, ds, b
+    );
     println!("{}", hetsel_ir::to_openmp_c(&kernel));
 
     // --- IPDA ---
@@ -93,8 +96,20 @@ fn main() {
     println!("[mca] Machine_cycles_per_iter (whole parallel body): {cpi:.1}");
 
     // --- Models ---
-    let cp = hetsel_models::cpu::predict(&kernel, &b, &platform.cpu_model, platform.host_threads, TripMode::Runtime);
-    let gp = hetsel_models::gpu::predict(&kernel, &b, &platform.gpu_model, TripMode::Runtime, CoalescingMode::Ipda);
+    let cp = hetsel_models::cpu::predict(
+        &kernel,
+        &b,
+        &platform.cpu_model,
+        platform.host_threads,
+        TripMode::Runtime,
+    );
+    let gp = hetsel_models::gpu::predict(
+        &kernel,
+        &b,
+        &platform.gpu_model,
+        TripMode::Runtime,
+        CoalescingMode::Ipda,
+    );
     if let Some(c) = &cp {
         println!(
             "\n[cpu model] {:.3} ms  (chunk {}, {:.1} cycles/iter, vector x{:.2}, TLB cost {:.0} cycles)",
@@ -129,7 +144,7 @@ fn main() {
             "\n[simulated] host {:.3} ms, gpu {:.3} ms  -> true offload speedup {:.2}x (oracle: {})",
             m.cpu_s * 1e3,
             m.gpu_s * 1e3,
-            m.speedup(),
+            m.speedup().unwrap_or(f64::NAN),
             m.best_device()
         );
         let d = sel.select_kernel(&kernel, &b);
@@ -137,7 +152,11 @@ fn main() {
             "[decision ] {} (predicted speedup {:.2}x) — {}",
             d.device,
             d.predicted_speedup().unwrap_or(f64::NAN),
-            if d.device == m.best_device() { "correct" } else { "WRONG" }
+            if d.device == m.best_device() {
+                "correct"
+            } else {
+                "WRONG"
+            }
         );
     }
 

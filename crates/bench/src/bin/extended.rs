@@ -28,9 +28,13 @@ fn main() {
                         format!("{ds}"),
                         fmt_time(m.cpu_s),
                         fmt_time(m.gpu_s),
-                        m.speedup(),
+                        m.speedup().unwrap_or(f64::NAN),
                         format!("{}", d.device),
-                        if d.device == m.best_device() { "ok" } else { "WRONG" }
+                        if d.device == m.best_device() {
+                            "ok"
+                        } else {
+                            "WRONG"
+                        }
                     );
                 }
             }

@@ -42,5 +42,8 @@ pub fn scatter(ds: Dataset, figure: &str) {
     }
     let gmae = (log_err_sum / results.len() as f64).exp();
     println!("\ngeometric mean |prediction error| factor: {gmae:.2}x");
-    println!("correct offloading decisions: {correct} / {}", results.len());
+    println!(
+        "correct offloading decisions: {correct} / {}",
+        results.len()
+    );
 }

@@ -37,5 +37,8 @@ fn main() {
     }
     let gmae = (log_err_sum / results.len() as f64).exp();
     println!("\ngeometric mean |prediction error| factor: {gmae:.2}x");
-    println!("correct offloading decisions: {correct} / {}", results.len());
+    println!(
+        "correct offloading decisions: {correct} / {}",
+        results.len()
+    );
 }

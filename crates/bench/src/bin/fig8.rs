@@ -46,8 +46,11 @@ fn main() {
                 .map(|r| r.measured.cpu_s / r.measured.cpu_s.min(r.measured.gpu_s)),
         );
         println!("\n{ds} geomean speedup vs always-host:");
-        println!("  always-offload : {:>6.2}x   (paper: {})", offload.geomean_speedup,
-                 if ds == Dataset::Test { "10.2x" } else { "2.9x" });
+        println!(
+            "  always-offload : {:>6.2}x   (paper: {})",
+            offload.geomean_speedup,
+            if ds == Dataset::Test { "10.2x" } else { "2.9x" }
+        );
         println!(
             "  model-driven   : {:>6.2}x   (paper: {})  [{} / {} decisions correct]",
             model.geomean_speedup,

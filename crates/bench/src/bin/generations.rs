@@ -29,7 +29,7 @@ fn main() {
             for p in &platforms {
                 let sel = paper_selector(p.clone());
                 let m = sel.measure(&kernel, &b).expect("simulators run");
-                cells.push(format!("{:>11.2}x", m.speedup()));
+                cells.push(format!("{:>11.2}x", m.speedup().unwrap_or(f64::NAN)));
                 devices.push(format!("{}", m.best_device()));
             }
             println!(

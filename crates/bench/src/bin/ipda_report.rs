@@ -32,7 +32,9 @@ fn main() {
                 kernel.array(a.array).name,
                 if a.is_store { "store" } else { "load" },
                 format!("{}", a.thread_stride),
-                resolved.map(|s| s.to_string()).unwrap_or_else(|| "?".into()),
+                resolved
+                    .map(|s| s.to_string())
+                    .unwrap_or_else(|| "?".into()),
                 a.transactions_per_warp(&b, 32),
                 name,
             );

@@ -9,7 +9,10 @@ fn main() {
         println!("  {:<34} {} GHz", "CPU Frequency", p.freq_ghz);
         println!("  {:<34} {}", "TLB Entries", p.tlb_entries);
         println!("  {:<34} {} cycles", "TLB Miss Penalty", p.tlb_miss_penalty);
-        println!("  {:<34} {} cycles", "Loop_overhead_per_iter", p.loop_overhead_per_iter);
+        println!(
+            "  {:<34} {} cycles",
+            "Loop_overhead_per_iter", p.loop_overhead_per_iter
+        );
         println!(
             "  {:<34} {} cycles",
             "Par_Schedule_Overhead_static", p.schedule_overhead_static
@@ -38,7 +41,11 @@ fn main() {
         println!("[{}]", d.name);
         println!("  {:<34} {}", "#SMs", d.num_sms);
         println!("  {:<34} {}", "Processor Cores", d.num_sms * d.cores_per_sm);
-        println!("  {:<34} {} MHz", "Processor Clock", (d.clock_ghz * 1000.0) as u64);
+        println!(
+            "  {:<34} {} MHz",
+            "Processor Clock",
+            (d.clock_ghz * 1000.0) as u64
+        );
         println!("  {:<34} {} GB/s", "Memory Bandwidth", d.mem_bandwidth_gbs);
         println!(
             "  {:<34} {} ({} GB/s, {} µs latency)",
@@ -47,8 +54,14 @@ fn main() {
         println!("  {:<34} {}", "Max Warps/SM", d.max_warps_per_sm);
         println!("  {:<34} {}", "Max Threads/SM", d.max_warps_per_sm * 32);
         println!("  {:<34} {} cycles/inst", "Issue Rate", g.issue_cycles);
-        println!("  {:<34} {} cycles", "Memory Access Latency", d.mem_latency_cycles);
-        println!("  {:<34} {} cycles", "Access on L2 Hit", d.l2_latency_cycles);
+        println!(
+            "  {:<34} {} cycles",
+            "Memory Access Latency", d.mem_latency_cycles
+        );
+        println!(
+            "  {:<34} {} cycles",
+            "Access on L2 Hit", d.l2_latency_cycles
+        );
         println!(
             "  {:<34} {} cycles",
             "Access on L1 Hit",
@@ -59,7 +72,10 @@ fn main() {
             "  {:<34} coal {} / uncoal {} cycles",
             "Departure Delay", g.departure_del_coal, g.departure_del_uncoal
         );
-        println!("  {:<34} {} µs", "Kernel Launch Overhead", d.launch_overhead_us);
+        println!(
+            "  {:<34} {} µs",
+            "Kernel Launch Overhead", d.launch_overhead_us
+        );
         println!();
     }
 }

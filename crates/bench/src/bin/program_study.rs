@@ -25,11 +25,7 @@ fn main() {
             let Some(p) = plan_program(&b.kernels, &binding, &platform) else {
                 continue;
             };
-            let plan: Vec<String> = p
-                .assignments
-                .iter()
-                .map(|(_, d)| d.to_string())
-                .collect();
+            let plan: Vec<String> = p.assignments.iter().map(|(_, d)| d.to_string()).collect();
             println!(
                 "{:<10} {:>8} {:>10.2}ms {:>10.2}ms {:>6.2}x   [{}]",
                 b.name,

@@ -42,9 +42,7 @@ fn main() {
                 s.gain_over_best_single()
             );
         }
-        println!(
-            "\n{ds}: {cooperative}/{total} kernels predicted to benefit from a strict split;"
-        );
+        println!("\n{ds}: {cooperative}/{total} kernels predicted to benefit from a strict split;");
         println!(
             "geomean predicted gain over best single device: {:.2}x\n",
             geomean(gains)

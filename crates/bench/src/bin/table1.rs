@@ -22,9 +22,7 @@ fn main() {
         let sel = paper_selector(platform.clone());
         for ds in Dataset::paper_modes() {
             for r in run_suite(platform, ds, &sel) {
-                let entry = rows
-                    .iter_mut()
-                    .find(|(k, d, _)| *k == r.kernel && *d == ds);
+                let entry = rows.iter_mut().find(|(k, d, _)| *k == r.kernel && *d == ds);
                 let tuple = (r.measured.cpu_s, r.measured.gpu_s, r.actual_speedup());
                 match entry {
                     Some((_, _, v)) => {
@@ -49,7 +47,11 @@ fn main() {
             }
             let (c8, g8, s8) = v[0];
             let (c9, g9, s9) = v[1];
-            let flip = if (s8 > 1.0) != (s9 > 1.0) { "  <-- decision flips" } else { "" };
+            let flip = if (s8 > 1.0) != (s9 > 1.0) {
+                "  <-- decision flips"
+            } else {
+                ""
+            };
             println!(
                 "{:<14} {:<9} | {:>10} {:>10} {:>7.2}x | {:>10} {:>10} {:>7.2}x |{}",
                 kernel,

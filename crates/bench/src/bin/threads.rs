@@ -8,7 +8,14 @@ use hetsel_polybench::{find_kernel, Dataset};
 
 fn main() {
     let threads = [4u32, 8, 16, 32, 64, 160];
-    let kernels = ["gemm", "atax.k2", "2dconv", "3dconv", "corr.mean", "corr.corr"];
+    let kernels = [
+        "gemm",
+        "atax.k2",
+        "2dconv",
+        "3dconv",
+        "corr.mean",
+        "corr.corr",
+    ];
     println!("Offloading speedup vs host thread count (V100 platform, benchmark mode)\n");
     print!("{:<12}", "kernel");
     for t in threads {
@@ -25,7 +32,7 @@ fn main() {
             let platform = Platform::power9_v100().with_threads(*t);
             let sel = paper_selector(platform);
             let m = sel.measure(&kernel, &b).expect("simulators run");
-            let s = m.speedup();
+            let s = m.speedup().unwrap_or(f64::NAN);
             print!(" {s:>9.2}x");
             let gpu_win = s > 1.0;
             if idx > 0 && prev_gpu_win && !gpu_win {
@@ -35,7 +42,14 @@ fn main() {
         }
         match crossover {
             Some(t) => println!("   host wins from {t} threads"),
-            None => println!("   {}", if prev_gpu_win { "gpu always" } else { "host always" }),
+            None => println!(
+                "   {}",
+                if prev_gpu_win {
+                    "gpu always"
+                } else {
+                    "host always"
+                }
+            ),
         }
     }
     println!(

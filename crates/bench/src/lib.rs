@@ -44,9 +44,12 @@ pub struct KernelResult {
 }
 
 impl KernelResult {
-    /// True (simulated) offloading speedup: host time / GPU time.
+    /// True (simulated) offloading speedup: host time / GPU time. The
+    /// simulators always produce positive times for suite kernels; a
+    /// degenerate measurement surfaces as NaN rather than a panic so table
+    /// generation keeps going.
     pub fn actual_speedup(&self) -> f64 {
-        self.measured.speedup()
+        self.measured.speedup().unwrap_or(f64::NAN)
     }
 
     /// Predicted offloading speedup.

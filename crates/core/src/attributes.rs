@@ -8,20 +8,28 @@
 //! queries the database by region name, binds the missing values, and
 //! evaluates the models.
 
-use hetsel_ipda::{analyze, KernelAccessInfo};
+use crate::selector::Selector;
+use hetsel_ipda::{analyze_cached, KernelAccessInfo};
 use hetsel_ir::Kernel;
+use hetsel_models::{CompiledCpuModel, CompiledGpuModel, CostModel};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Compile-time attributes of one target region.
 #[derive(Debug, Clone)]
 pub struct RegionAttributes {
     /// The outlined region (the CPU and GPU versions share this IR).
     pub kernel: Kernel,
-    /// IPDA results: symbolic inter-thread strides per access.
-    pub access_info: KernelAccessInfo,
+    /// IPDA results: symbolic inter-thread strides per access (shared with
+    /// the compiled models below).
+    pub access_info: Arc<KernelAccessInfo>,
     /// Runtime parameters the models need bound before evaluation.
     pub required_params: Vec<String>,
+    /// The host model, fully compiled: evaluation only binds runtime values.
+    pub cpu_model: CompiledCpuModel,
+    /// The device model, fully compiled.
+    pub gpu_model: CompiledGpuModel,
 }
 
 /// The database: region name → attributes.
@@ -31,19 +39,25 @@ pub struct AttributeDatabase {
 }
 
 impl AttributeDatabase {
-    /// "Compilation": runs the static analyses over every region and stores
-    /// the resulting attribute records.
-    pub fn compile(kernels: &[Kernel]) -> AttributeDatabase {
+    /// "Compilation": runs the static analyses over every region — IPDA,
+    /// the MCA scheduling analysis, the instruction-loadout lowering — and
+    /// stores the resulting attribute records, including both models in
+    /// compiled form. `selector` supplies the model configuration (platform
+    /// parameters, thread count, trip-count and coalescing modes) the
+    /// compiled models are specialised to.
+    pub fn compile(kernels: &[Kernel], selector: &Selector) -> AttributeDatabase {
+        let (cpu_cost, gpu_cost) = selector.cost_models();
         let mut regions = BTreeMap::new();
         for k in kernels {
             debug_assert_eq!(k.validate(), Ok(()));
-            let access_info = analyze(k);
             regions.insert(
                 k.name.clone(),
                 RegionAttributes {
                     required_params: k.params(),
+                    access_info: analyze_cached(k),
+                    cpu_model: cpu_cost.compile(k),
+                    gpu_model: gpu_cost.compile(k),
                     kernel: k.clone(),
-                    access_info,
                 },
             );
         }
@@ -134,12 +148,17 @@ pub struct AccessExport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::platform::Platform;
     use hetsel_polybench::suite;
+
+    fn selector() -> Selector {
+        Selector::new(Platform::power9_v100())
+    }
 
     #[test]
     fn compiles_entire_suite() {
         let kernels: Vec<Kernel> = suite().into_iter().flat_map(|b| b.kernels).collect();
-        let db = AttributeDatabase::compile(&kernels);
+        let db = AttributeDatabase::compile(&kernels, &selector());
         assert_eq!(db.len(), 24);
         assert!(db.region("gemm").is_some());
         assert!(db.region("atax.k2").is_some());
@@ -149,7 +168,7 @@ mod tests {
     #[test]
     fn required_params_recorded() {
         let kernels: Vec<Kernel> = hetsel_polybench::corr::kernels();
-        let db = AttributeDatabase::compile(&kernels);
+        let db = AttributeDatabase::compile(&kernels, &selector());
         let r = db.region("corr.corr").unwrap();
         assert!(r.required_params.contains(&"m".to_string()));
         assert!(r.required_params.contains(&"n".to_string()));
@@ -158,7 +177,7 @@ mod tests {
     #[test]
     fn export_round_trips_through_json() {
         let kernels: Vec<Kernel> = hetsel_polybench::atax::kernels();
-        let db = AttributeDatabase::compile(&kernels);
+        let db = AttributeDatabase::compile(&kernels, &selector());
         let exp = db.export();
         let json = serde_json::to_string(&exp).unwrap();
         let back: DatabaseExport = serde_json::from_str(&json).unwrap();
@@ -171,7 +190,7 @@ mod tests {
     #[test]
     fn iteration_is_name_ordered() {
         let kernels: Vec<Kernel> = suite().into_iter().flat_map(|b| b.kernels).collect();
-        let db = AttributeDatabase::compile(&kernels);
+        let db = AttributeDatabase::compile(&kernels, &selector());
         let names: Vec<&str> = db.iter().map(|(n, _)| n).collect();
         let mut sorted = names.clone();
         sorted.sort();

@@ -139,6 +139,8 @@ impl AdaptiveSelector {
                 policy: Policy::ModelDriven,
                 predicted_cpu_s: Some(rec.cpu_s),
                 predicted_gpu_s: Some(rec.gpu_s),
+                cpu_error: None,
+                gpu_error: None,
             };
         }
         self.selector.select_kernel(kernel, binding)
@@ -184,8 +186,22 @@ mod tests {
     fn observations_average() {
         let h = ProfileHistory::new();
         let b = Binding::new().with("n", 1);
-        h.observe("k", &b, Measured { cpu_s: 1.0, gpu_s: 3.0 });
-        h.observe("k", &b, Measured { cpu_s: 3.0, gpu_s: 1.0 });
+        h.observe(
+            "k",
+            &b,
+            Measured {
+                cpu_s: 1.0,
+                gpu_s: 3.0,
+            },
+        );
+        h.observe(
+            "k",
+            &b,
+            Measured {
+                cpu_s: 3.0,
+                gpu_s: 1.0,
+            },
+        );
         let r = h.lookup("k", &b).unwrap();
         assert_eq!(r.samples, 2);
         assert!((r.cpu_s - 2.0).abs() < 1e-12);
@@ -195,13 +211,29 @@ mod tests {
     #[test]
     fn export_import_roundtrip() {
         let h = ProfileHistory::new();
-        h.observe("a", &Binding::new().with("n", 5), Measured { cpu_s: 1.0, gpu_s: 2.0 });
-        h.observe("b", &Binding::new().with("m", 7), Measured { cpu_s: 4.0, gpu_s: 3.0 });
+        h.observe(
+            "a",
+            &Binding::new().with("n", 5),
+            Measured {
+                cpu_s: 1.0,
+                gpu_s: 2.0,
+            },
+        );
+        h.observe(
+            "b",
+            &Binding::new().with("m", 7),
+            Measured {
+                cpu_s: 4.0,
+                gpu_s: 3.0,
+            },
+        );
         let json = serde_json::to_string(&h.export()).unwrap();
         let back = ProfileHistory::import(&serde_json::from_str(&json).unwrap());
         assert_eq!(back.len(), 2);
         assert_eq!(
-            back.lookup("a", &Binding::new().with("n", 5)).unwrap().gpu_s,
+            back.lookup("a", &Binding::new().with("n", 5))
+                .unwrap()
+                .gpu_s,
             2.0
         );
     }

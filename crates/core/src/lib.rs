@@ -22,9 +22,14 @@ pub mod program;
 pub mod selector;
 pub mod split;
 
-pub use attributes::{AccessExport, AttributeDatabase, DatabaseExport, RegionAttributes, RegionExport};
+pub use attributes::{
+    AccessExport, AttributeDatabase, DatabaseExport, RegionAttributes, RegionExport,
+};
 pub use history::{AdaptiveSelector, HistoryExport, HistoryRecord, ProfileHistory};
 pub use platform::Platform;
 pub use program::{plan_program, ProgramPlan};
-pub use selector::{geomean, Decision, Device, Evaluation, Measured, Policy, Selector};
+pub use selector::{
+    geomean, Decision, DecisionCacheStats, DecisionEngine, Device, Evaluation, Measured, Policy,
+    Selector, DEFAULT_DECISION_CACHE,
+};
 pub use split::{best_split, SplitDecision};

@@ -14,8 +14,8 @@
 
 use crate::platform::Platform;
 use crate::selector::Device;
-use hetsel_models::{CoalescingMode, TripMode};
 use hetsel_ir::{Binding, Kernel, Transfer};
+use hetsel_models::{CoalescingMode, TripMode};
 use std::collections::HashMap;
 
 /// Where an array's current value lives.
@@ -169,7 +169,11 @@ pub fn plan_program(
         .iter()
         .enumerate()
         .map(|(i, k)| {
-            let d = if mask & (1 << i) != 0 { Device::Gpu } else { Device::Host };
+            let d = if mask & (1 << i) != 0 {
+                Device::Gpu
+            } else {
+                Device::Host
+            };
             (k.name.clone(), d)
         })
         .collect();
@@ -218,7 +222,10 @@ mod tests {
         let (kernels, _, bench) = program("3MM");
         let platform = Platform::power9_v100();
         let p = plan_program(&kernels, &bench, &platform).unwrap();
-        assert!(p.assignments.iter().all(|(_, d)| *d == Device::Gpu), "{p:?}");
+        assert!(
+            p.assignments.iter().all(|(_, d)| *d == Device::Gpu),
+            "{p:?}"
+        );
         assert!(p.gain_over_naive() > 1.0, "{p:?}");
     }
 

@@ -8,10 +8,14 @@
 //! nature of the model, generating a prediction for either target is
 //! equivalent to solving an equation, making decision time negligible."
 
-use crate::attributes::RegionAttributes;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::attributes::{AttributeDatabase, RegionAttributes};
 use crate::platform::Platform;
-use hetsel_models::{CoalescingMode, TripMode};
 use hetsel_ir::{Binding, Kernel};
+use hetsel_models::{CoalescingMode, CostModel, CpuCostModel, GpuCostModel, ModelError, TripMode};
+use parking_lot::Mutex;
 
 /// An execution target.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -43,7 +47,7 @@ pub enum Policy {
 }
 
 /// One offloading decision with the model evidence behind it.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Decision {
     /// Region name.
     pub region: String,
@@ -55,14 +59,20 @@ pub struct Decision {
     pub predicted_cpu_s: Option<f64>,
     /// Predicted GPU time, seconds.
     pub predicted_gpu_s: Option<f64>,
+    /// Why the host model produced no prediction, when it didn't.
+    pub cpu_error: Option<ModelError>,
+    /// Why the GPU model produced no prediction, when it didn't — the
+    /// recorded reason behind a fallback-to-offload decision.
+    pub gpu_error: Option<ModelError>,
 }
 
 impl Decision {
     /// Predicted offloading speedup (host time / GPU time); `None` when a
-    /// prediction is missing.
+    /// prediction is missing or the ratio would be degenerate (non-finite
+    /// operands or a non-positive GPU time).
     pub fn predicted_speedup(&self) -> Option<f64> {
         match (self.predicted_cpu_s, self.predicted_gpu_s) {
-            (Some(c), Some(g)) if g > 0.0 => Some(c / g),
+            (Some(c), Some(g)) if g > 0.0 && c.is_finite() && g.is_finite() => Some(c / g),
             _ => None,
         }
     }
@@ -78,9 +88,15 @@ pub struct Measured {
 }
 
 impl Measured {
-    /// True offloading speedup.
-    pub fn speedup(&self) -> f64 {
-        self.cpu_s / self.gpu_s
+    /// True offloading speedup; `None` when the GPU time is non-positive or
+    /// either time is non-finite (a degenerate measurement must not poison
+    /// downstream aggregates).
+    pub fn speedup(&self) -> Option<f64> {
+        if self.gpu_s > 0.0 && self.cpu_s.is_finite() && self.gpu_s.is_finite() {
+            Some(self.cpu_s / self.gpu_s)
+        } else {
+            None
+        }
     }
 
     /// Time under a given device choice.
@@ -170,45 +186,104 @@ impl Selector {
         self
     }
 
+    /// The model configurations this selector decides with: the compile
+    /// phase of the trait-based engine.
+    pub fn cost_models(&self) -> (CpuCostModel, GpuCostModel) {
+        (
+            CpuCostModel {
+                params: self.platform.cpu_model.clone(),
+                threads: self.platform.host_threads,
+                trip_mode: self.trip_mode,
+            },
+            GpuCostModel {
+                params: self.platform.gpu_model.clone(),
+                trip_mode: self.trip_mode,
+                coal_mode: self.coal_mode,
+            },
+        )
+    }
+
+    /// Evaluates both models for a kernel under a runtime binding, with the
+    /// typed failure reasons. Compiles the models cold — prefer
+    /// [`Selector::select`] with precompiled [`RegionAttributes`] (or a
+    /// [`DecisionEngine`]) on hot paths.
+    pub fn predict_detailed(
+        &self,
+        kernel: &Kernel,
+        binding: &Binding,
+    ) -> (Result<f64, ModelError>, Result<f64, ModelError>) {
+        let (cpu_cost, gpu_cost) = self.cost_models();
+        (
+            cpu_cost
+                .compile(kernel)
+                .evaluate(binding)
+                .map(|p| p.seconds),
+            gpu_cost
+                .compile(kernel)
+                .evaluate(binding)
+                .map(|p| p.seconds),
+        )
+    }
+
     /// Evaluates both models for a region under a runtime binding.
     pub fn predict(&self, kernel: &Kernel, binding: &Binding) -> (Option<f64>, Option<f64>) {
-        let cpu = hetsel_models::cpu::predict(
-            kernel,
-            binding,
-            &self.platform.cpu_model,
-            self.platform.host_threads,
-            self.trip_mode,
-        )
-        .map(|p| p.seconds);
-        let gpu = hetsel_models::gpu::predict(
-            kernel,
-            binding,
-            &self.platform.gpu_model,
-            self.trip_mode,
-            self.coal_mode,
-        )
-        .map(|p| p.seconds);
-        (cpu, gpu)
+        let (cpu, gpu) = self.predict_detailed(kernel, binding);
+        (cpu.ok(), gpu.ok())
     }
 
-    /// Makes the offloading decision for a region under a runtime binding.
+    /// Makes the offloading decision for a region under a runtime binding,
+    /// evaluating the region's *precompiled* models — the paper's runtime
+    /// path: all symbolic work already happened when the attribute database
+    /// was compiled.
     ///
-    /// Under `ModelDriven`, missing predictions (unresolved bindings) fall
-    /// back to the compiler default of offloading.
+    /// Under `ModelDriven`, failed evaluations (unresolved bindings) fall
+    /// back to the compiler default of offloading, and the decision records
+    /// why in [`Decision::cpu_error`] / [`Decision::gpu_error`].
     pub fn select(&self, region: &RegionAttributes, binding: &Binding) -> Decision {
-        self.select_kernel(&region.kernel, binding)
+        match self.policy {
+            Policy::ModelDriven => {
+                let cpu = region.cpu_model.evaluate(binding).map(|p| p.seconds);
+                let gpu = region.gpu_model.evaluate(binding).map(|p| p.seconds);
+                self.decide(&region.kernel.name, Some(cpu), Some(gpu))
+            }
+            _ => self.decide(&region.kernel.name, None, None),
+        }
     }
 
-    /// As [`Selector::select`] for a bare kernel.
+    /// As [`Selector::select`] for a bare kernel: compiles the models on the
+    /// spot (the cold path), then decides.
     pub fn select_kernel(&self, kernel: &Kernel, binding: &Binding) -> Decision {
-        let (cpu, gpu) = match self.policy {
-            Policy::ModelDriven => self.predict(kernel, binding),
-            _ => (None, None),
+        match self.policy {
+            Policy::ModelDriven => {
+                let (cpu, gpu) = self.predict_detailed(kernel, binding);
+                self.decide(&kernel.name, Some(cpu), Some(gpu))
+            }
+            _ => self.decide(&kernel.name, None, None),
+        }
+    }
+
+    /// Composes a [`Decision`] from model outcomes (`None` = the policy did
+    /// not consult that model).
+    fn decide(
+        &self,
+        region: &str,
+        cpu: Option<Result<f64, ModelError>>,
+        gpu: Option<Result<f64, ModelError>>,
+    ) -> Decision {
+        let (predicted_cpu_s, cpu_error) = match cpu {
+            Some(Ok(s)) => (Some(s), None),
+            Some(Err(e)) => (None, Some(e)),
+            None => (None, None),
+        };
+        let (predicted_gpu_s, gpu_error) = match gpu {
+            Some(Ok(s)) => (Some(s), None),
+            Some(Err(e)) => (None, Some(e)),
+            None => (None, None),
         };
         let device = match self.policy {
             Policy::AlwaysHost => Device::Host,
             Policy::AlwaysOffload => Device::Gpu,
-            Policy::ModelDriven => match (cpu, gpu) {
+            Policy::ModelDriven => match (predicted_cpu_s, predicted_gpu_s) {
                 (Some(c), Some(g)) => {
                     if g < c {
                         Device::Gpu
@@ -220,11 +295,13 @@ impl Selector {
             },
         };
         Decision {
-            region: kernel.name.clone(),
+            region: region.to_string(),
             device,
             policy: self.policy,
-            predicted_cpu_s: cpu,
-            predicted_gpu_s: gpu,
+            predicted_cpu_s,
+            predicted_gpu_s,
+            cpu_error,
+            gpu_error,
         }
     }
 
@@ -251,19 +328,226 @@ impl Selector {
     }
 }
 
-/// Geometric mean of a sequence of positive values.
+/// Geometric mean of the positive, finite values in a sequence.
+///
+/// Non-positive and non-finite values are skipped rather than asserted on:
+/// one degenerate sample (a zero simulated time, an unresolved speedup
+/// propagated as NaN) must not turn a whole aggregate into NaN. An input
+/// with no usable values yields `1.0`, the neutral speedup.
 pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
     let mut log_sum = 0.0;
     let mut n = 0usize;
     for v in values {
-        debug_assert!(v > 0.0);
-        log_sum += v.ln();
-        n += 1;
+        if v > 0.0 && v.is_finite() {
+            log_sum += v.ln();
+            n += 1;
+        }
     }
     if n == 0 {
         1.0
     } else {
         (log_sum / n as f64).exp()
+    }
+}
+
+/// Hit/miss statistics and occupancy of a [`DecisionEngine`]'s cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecisionCacheStats {
+    /// Decisions served from the cache.
+    pub hits: u64,
+    /// Decisions computed by model evaluation.
+    pub misses: u64,
+    /// Entries currently cached.
+    pub len: usize,
+    /// Maximum entries the cache holds.
+    pub capacity: usize,
+}
+
+/// Key of a cached decision: the region name plus the resolved values of
+/// exactly the parameters that region requires. Bindings that differ only
+/// in irrelevant symbols share an entry; an unbound required parameter is
+/// part of the key too (`None`), so fallback decisions are cached with the
+/// same fidelity as successful ones.
+type CacheKey = (String, Vec<Option<i64>>);
+
+#[derive(Debug)]
+struct CacheEntry {
+    decision: Decision,
+    stamp: u64,
+}
+
+/// A bounded LRU map with lazy-deletion recency tracking: `get` and
+/// `insert` are O(1) amortised — each touch pushes a `(key, stamp)` record
+/// onto a queue, eviction pops records until one matches the live stamp of
+/// its entry, and the queue is compacted wholesale when stale records pile
+/// up.
+#[derive(Debug)]
+struct LruCache {
+    capacity: usize,
+    map: HashMap<CacheKey, CacheEntry>,
+    queue: VecDeque<(CacheKey, u64)>,
+    clock: u64,
+}
+
+impl LruCache {
+    fn new(capacity: usize) -> LruCache {
+        LruCache {
+            capacity: capacity.max(1),
+            map: HashMap::new(),
+            queue: VecDeque::new(),
+            clock: 0,
+        }
+    }
+
+    fn get(&mut self, key: &CacheKey) -> Option<Decision> {
+        self.clock += 1;
+        let clock = self.clock;
+        let entry = self.map.get_mut(key)?;
+        entry.stamp = clock;
+        let decision = entry.decision.clone();
+        self.queue.push_back((key.clone(), clock));
+        self.compact();
+        Some(decision)
+    }
+
+    fn insert(&mut self, key: CacheKey, decision: Decision) {
+        self.clock += 1;
+        if !self.map.contains_key(&key) {
+            while self.map.len() >= self.capacity {
+                let Some((old, stamp)) = self.queue.pop_front() else {
+                    break;
+                };
+                // A record is live only if the entry was not touched since.
+                if self.map.get(&old).is_some_and(|e| e.stamp == stamp) {
+                    self.map.remove(&old);
+                }
+            }
+        }
+        self.map.insert(
+            key.clone(),
+            CacheEntry {
+                decision,
+                stamp: self.clock,
+            },
+        );
+        self.queue.push_back((key, self.clock));
+        self.compact();
+    }
+
+    /// Drops stale queue records once they dominate, preserving recency
+    /// order of the live ones.
+    fn compact(&mut self) {
+        if self.queue.len() > self.capacity.saturating_mul(8).max(64) {
+            let queue = std::mem::take(&mut self.queue);
+            self.queue = queue
+                .into_iter()
+                .filter(|(k, stamp)| self.map.get(k).is_some_and(|e| e.stamp == *stamp))
+                .collect();
+        }
+    }
+}
+
+/// Default decision-cache capacity: generous for a program with tens of
+/// regions and a handful of binding regimes each.
+pub const DEFAULT_DECISION_CACHE: usize = 1024;
+
+/// The compile-once decision engine: a [`Selector`] bound to a precompiled
+/// [`AttributeDatabase`] plus a bounded LRU cache of decisions.
+///
+/// This is the paper's runtime component in full: regions were compiled
+/// once (models, IPDA, loadouts all precomputed); at execution time
+/// [`DecisionEngine::decide`] binds the runtime values, and because a
+/// program re-reaches the same region with the same extents over and over,
+/// the decision itself is memoized on `(region, resolved parameter values)`.
+/// Cached and freshly evaluated decisions are identical — the cache stores
+/// the full [`Decision`], evidence and errors included.
+#[derive(Debug)]
+pub struct DecisionEngine {
+    selector: Selector,
+    database: AttributeDatabase,
+    cache: Mutex<LruCache>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl DecisionEngine {
+    /// Compiles `kernels` under `selector`'s configuration and wraps the
+    /// result with a decision cache of [`DEFAULT_DECISION_CACHE`] entries.
+    pub fn new(selector: Selector, kernels: &[Kernel]) -> DecisionEngine {
+        DecisionEngine::with_capacity(selector, kernels, DEFAULT_DECISION_CACHE)
+    }
+
+    /// As [`DecisionEngine::new`] with an explicit cache capacity
+    /// (minimum 1).
+    pub fn with_capacity(
+        selector: Selector,
+        kernels: &[Kernel],
+        capacity: usize,
+    ) -> DecisionEngine {
+        let database = AttributeDatabase::compile(kernels, &selector);
+        DecisionEngine::from_database(selector, database, capacity)
+    }
+
+    /// Wraps an already-compiled database. The database must have been
+    /// compiled with this selector's configuration for decisions to match
+    /// cold [`Selector::select_kernel`] calls.
+    pub fn from_database(
+        selector: Selector,
+        database: AttributeDatabase,
+        capacity: usize,
+    ) -> DecisionEngine {
+        DecisionEngine {
+            selector,
+            database,
+            cache: Mutex::new(LruCache::new(capacity)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The selector the engine decides with.
+    pub fn selector(&self) -> &Selector {
+        &self.selector
+    }
+
+    /// The compiled attribute database.
+    pub fn database(&self) -> &AttributeDatabase {
+        &self.database
+    }
+
+    /// Takes (or recalls) the offloading decision for `region` under
+    /// `binding`. Returns `None` only for a region the database does not
+    /// know. A cached decision is bit-identical to what evaluation would
+    /// produce, because the models are deterministic in the key.
+    pub fn decide(&self, region: &str, binding: &Binding) -> Option<Decision> {
+        let attrs = self.database.region(region)?;
+        let key: CacheKey = (
+            region.to_string(),
+            attrs
+                .required_params
+                .iter()
+                .map(|p| binding.get(p))
+                .collect(),
+        );
+        if let Some(cached) = self.cache.lock().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(cached);
+        }
+        let decision = self.selector.select(attrs, binding);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.cache.lock().insert(key, decision.clone());
+        Some(decision)
+    }
+
+    /// Cache statistics so far.
+    pub fn stats(&self) -> DecisionCacheStats {
+        let cache = self.cache.lock();
+        DecisionCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            len: cache.map.len(),
+            capacity: cache.capacity,
+        }
     }
 }
 
@@ -327,5 +611,145 @@ mod tests {
         let e = s.evaluate(&k, &b).unwrap();
         let worst = e.measured.cpu_s.max(e.measured.gpu_s);
         assert!(e.achieved_s() <= worst);
+    }
+
+    #[test]
+    fn geomean_skips_degenerate_values() {
+        assert!((geomean([4.0, 0.0, 1.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean([4.0, -3.0, f64::NAN, 1.0, f64::INFINITY]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean([0.0, -1.0, f64::NAN]), 1.0);
+    }
+
+    #[test]
+    fn errors_recorded_on_fallback() {
+        let (k, _) = find_kernel("gemm").unwrap();
+        let d = selector().select_kernel(&k, &Binding::new());
+        assert_eq!(d.device, Device::Gpu);
+        assert!(matches!(
+            d.cpu_error,
+            Some(ModelError::UnboundSymbol { .. })
+        ));
+        assert!(matches!(
+            d.gpu_error,
+            Some(ModelError::UnboundSymbol { .. })
+        ));
+        // A resolvable binding records no errors.
+        let (k, binding) = find_kernel("gemm").unwrap();
+        let d = selector().select_kernel(&k, &binding(Dataset::Test));
+        assert_eq!(d.cpu_error, None);
+        assert_eq!(d.gpu_error, None);
+    }
+
+    fn engine_with(kernels: &[Kernel], capacity: usize) -> DecisionEngine {
+        DecisionEngine::with_capacity(selector(), kernels, capacity)
+    }
+
+    #[test]
+    fn cached_decision_identical_to_uncached() {
+        // Acceptance criterion: for every suite kernel, the engine's cached
+        // answer equals both its own first (uncached) answer and what a cold
+        // selector computes from scratch.
+        let kernels: Vec<Kernel> = hetsel_polybench::suite()
+            .into_iter()
+            .flat_map(|b| b.kernels)
+            .collect();
+        let engine = DecisionEngine::new(selector(), &kernels);
+        let s = selector();
+        for bench in hetsel_polybench::suite() {
+            for ds in [Dataset::Mini, Dataset::Test, Dataset::Benchmark] {
+                let b = (bench.binding)(ds);
+                for k in &bench.kernels {
+                    let first = engine.decide(&k.name, &b).unwrap();
+                    let second = engine.decide(&k.name, &b).unwrap();
+                    assert_eq!(first, second, "{} {:?} cache changed answer", k.name, ds);
+                    let cold = s.select_kernel(k, &b);
+                    assert_eq!(first, cold, "{} {:?} engine != cold path", k.name, ds);
+                }
+            }
+        }
+        let stats = engine.stats();
+        assert!(
+            stats.hits >= stats.misses,
+            "every miss was re-hit: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn cache_hits_and_misses_are_counted() {
+        let (k, binding) = find_kernel("gemm").unwrap();
+        let engine = engine_with(std::slice::from_ref(&k), 16);
+        let b = binding(Dataset::Test);
+        assert!(engine.decide("gemm", &b).is_some());
+        assert!(engine.decide("gemm", &b).is_some());
+        assert!(engine.decide("gemm", &b).is_some());
+        let stats = engine.stats();
+        assert_eq!((stats.hits, stats.misses, stats.len), (2, 1, 1));
+        // Unknown regions neither decide nor touch the counters.
+        assert!(engine.decide("missing", &b).is_none());
+        assert_eq!(engine.stats().hits, 2);
+    }
+
+    #[test]
+    fn distinct_bindings_get_distinct_entries() {
+        let (k, binding) = find_kernel("gemm").unwrap();
+        let engine = engine_with(std::slice::from_ref(&k), 16);
+        let d_small = engine.decide("gemm", &binding(Dataset::Mini)).unwrap();
+        let d_large = engine.decide("gemm", &binding(Dataset::Benchmark)).unwrap();
+        assert_eq!(engine.stats().misses, 2);
+        assert_ne!(d_small.predicted_cpu_s, d_large.predicted_cpu_s);
+        // Irrelevant extra symbols do not split the cache key.
+        let mut padded = binding(Dataset::Mini);
+        padded = padded.with("unrelated", 999);
+        let d_padded = engine.decide("gemm", &padded).unwrap();
+        assert_eq!(d_padded, d_small);
+        assert_eq!(engine.stats().misses, 2);
+    }
+
+    #[test]
+    fn unresolved_bindings_cache_the_fallback() {
+        let (k, _) = find_kernel("gemm").unwrap();
+        let engine = engine_with(std::slice::from_ref(&k), 16);
+        let d1 = engine.decide("gemm", &Binding::new()).unwrap();
+        let d2 = engine.decide("gemm", &Binding::new()).unwrap();
+        assert_eq!(d1, d2);
+        assert_eq!(d1.device, Device::Gpu);
+        assert!(d1.cpu_error.is_some());
+        let stats = engine.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn cache_stays_bounded_and_evicts_lru() {
+        let (k, binding) = find_kernel("gemm").unwrap();
+        let engine = engine_with(std::slice::from_ref(&k), 2);
+        let mini = binding(Dataset::Mini);
+        let test = binding(Dataset::Test);
+        let bench = binding(Dataset::Benchmark);
+        engine.decide("gemm", &mini).unwrap();
+        engine.decide("gemm", &test).unwrap();
+        // Touch `mini` so `test` is the least recently used...
+        engine.decide("gemm", &mini).unwrap();
+        // ...then overflow: `test` must be the one evicted.
+        engine.decide("gemm", &bench).unwrap();
+        assert_eq!(engine.stats().len, 2);
+        engine.decide("gemm", &mini).unwrap();
+        assert_eq!(engine.stats().misses, 3, "mini survived eviction");
+        engine.decide("gemm", &test).unwrap();
+        assert_eq!(engine.stats().misses, 4, "test was evicted");
+        assert!(engine.stats().len <= 2);
+    }
+
+    #[test]
+    fn cache_queue_compaction_keeps_hits_working() {
+        // Hammer a single entry far past the compaction threshold; the
+        // entry must remain a hit throughout and the cache stay bounded.
+        let (k, binding) = find_kernel("gemm").unwrap();
+        let engine = engine_with(std::slice::from_ref(&k), 2);
+        let b = binding(Dataset::Test);
+        for _ in 0..500 {
+            assert!(engine.decide("gemm", &b).is_some());
+        }
+        let stats = engine.stats();
+        assert_eq!((stats.hits, stats.misses, stats.len), (499, 1, 1));
     }
 }

@@ -20,8 +20,8 @@
 
 use crate::platform::Platform;
 use hetsel_ipda::analyze;
-use hetsel_models::{CoalescingMode, TripMode};
 use hetsel_ir::{Binding, Kernel};
+use hetsel_models::{CoalescingMode, TripMode};
 
 /// The outcome of a split analysis.
 #[derive(Debug, Clone, Copy)]
@@ -82,10 +82,11 @@ fn cpu_linear(
         trip_mode,
     )?;
     let m = &platform.cpu_model;
-    let threads = u64::from(platform.host_threads)
-        .min(kernel.parallel_iterations(binding)?) as f64;
-    let fixed_cycles =
-        m.par_startup + m.fork_per_thread * threads + m.schedule_overhead_static + m.synchronization_overhead;
+    let threads = u64::from(platform.host_threads).min(kernel.parallel_iterations(binding)?) as f64;
+    let fixed_cycles = m.par_startup
+        + m.fork_per_thread * threads
+        + m.schedule_overhead_static
+        + m.synchronization_overhead;
     let fixed = fixed_cycles / (m.freq_ghz * 1e9);
     let var = (p.seconds - fixed).max(0.0);
     Some(LinearTime { fixed, var })
@@ -103,7 +104,8 @@ fn gpu_linear(
     trip_mode: TripMode,
     coal_mode: CoalescingMode,
 ) -> Option<LinearTime> {
-    let g = hetsel_models::gpu::predict(kernel, binding, &platform.gpu_model, trip_mode, coal_mode)?;
+    let g =
+        hetsel_models::gpu::predict(kernel, binding, &platform.gpu_model, trip_mode, coal_mode)?;
     let dev = &platform.gpu_model.device;
 
     // Classify each array: sliceable iff every access's outermost index
@@ -132,7 +134,8 @@ fn gpu_linear(
     let mut var_bytes = 0.0;
     for (i, decl) in kernel.arrays.iter().enumerate() {
         let bytes = decl.bytes(binding)? as f64;
-        let ways = f64::from(u8::from(decl.transfer.to_device()) + u8::from(decl.transfer.from_device()));
+        let ways =
+            f64::from(u8::from(decl.transfer.to_device()) + u8::from(decl.transfer.from_device()));
         if touched[i] && sliceable[i] {
             var_bytes += bytes * ways;
         } else {
@@ -140,9 +143,7 @@ fn gpu_linear(
         }
     }
     let bw = dev.bus.bandwidth_gbs * 1e9;
-    let fixed = dev.launch_overhead_us * 1e-6
-        + dev.bus.latency_us * 1e-6 * 2.0
-        + fixed_bytes / bw;
+    let fixed = dev.launch_overhead_us * 1e-6 + dev.bus.latency_us * 1e-6 * 2.0 + fixed_bytes / bw;
     let var = g.kernel_seconds + var_bytes / bw;
     Some(LinearTime { fixed, var })
 }

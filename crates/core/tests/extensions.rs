@@ -5,8 +5,8 @@
 use hetsel_core::{
     best_split, plan_program, AdaptiveSelector, Device, Platform, ProfileHistory, Selector,
 };
-use hetsel_polybench::{find_kernel, suite, Dataset};
 use hetsel_ir::Binding;
+use hetsel_polybench::{find_kernel, suite, Dataset};
 
 #[test]
 fn history_survives_serialisation_and_still_decides() {
@@ -24,7 +24,11 @@ fn history_survives_serialisation_and_still_decides() {
         history: restored,
     };
     let d = adaptive2.select(&kernel, &b);
-    assert_eq!(d.device, Device::Gpu, "restored history flips the conv decision");
+    assert_eq!(
+        d.device,
+        Device::Gpu,
+        "restored history flips the conv decision"
+    );
 }
 
 #[test]
@@ -32,10 +36,13 @@ fn history_is_binding_sensitive() {
     let platform = Platform::power9_v100();
     let adaptive = AdaptiveSelector::new(Selector::new(platform));
     let (kernel, binding) = find_kernel("3dconv").unwrap();
-    adaptive.run_and_learn(&kernel, &binding(Dataset::Benchmark)).unwrap();
+    adaptive
+        .run_and_learn(&kernel, &binding(Dataset::Benchmark))
+        .unwrap();
     // A different binding is a different configuration: back to the model.
     let d_model = adaptive.select(&kernel, &binding(Dataset::Test));
-    let s_model = Selector::new(Platform::power9_v100()).select_kernel(&kernel, &binding(Dataset::Test));
+    let s_model =
+        Selector::new(Platform::power9_v100()).select_kernel(&kernel, &binding(Dataset::Test));
     assert_eq!(d_model.device, s_model.device);
 }
 
@@ -83,7 +90,11 @@ fn xeon_platform_full_stack_on_mini() {
     for (_, kernel, binding) in hetsel_polybench::all_kernels() {
         let b = binding(Dataset::Mini);
         let e = sel.evaluate(&kernel, &b).expect("xeon stack runs");
-        assert!(e.measured.cpu_s > 0.0 && e.measured.gpu_s > 0.0, "{}", kernel.name);
+        assert!(
+            e.measured.cpu_s > 0.0 && e.measured.gpu_s > 0.0,
+            "{}",
+            kernel.name
+        );
     }
 }
 

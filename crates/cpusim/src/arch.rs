@@ -112,7 +112,8 @@ impl CpuDescriptor {
         for w in 0..3 {
             if threads_per_core <= pts[w + 1] {
                 let f = (threads_per_core - pts[w]) / (pts[w + 1] - pts[w]);
-                return self.smt_throughput[w] + f * (self.smt_throughput[w + 1] - self.smt_throughput[w]);
+                return self.smt_throughput[w]
+                    + f * (self.smt_throughput[w + 1] - self.smt_throughput[w]);
             }
         }
         self.smt_throughput[3]

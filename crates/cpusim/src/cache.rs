@@ -91,7 +91,10 @@ impl Hierarchy {
     /// first.
     pub fn new(levels: &[(u64, u32, u32)]) -> Hierarchy {
         Hierarchy {
-            levels: levels.iter().map(|(b, l, a)| Cache::new(*b, *l, *a)).collect(),
+            levels: levels
+                .iter()
+                .map(|(b, l, a)| Cache::new(*b, *l, *a))
+                .collect(),
         }
     }
 
@@ -220,7 +223,7 @@ mod tests {
         let mut h = Hierarchy::new(&[(128, 64, 2), (1024, 64, 4)]);
         assert_eq!(h.access(0), 2); // miss everywhere -> memory
         assert_eq!(h.access(0), 0); // L1 hit
-        // Evict from tiny L1 with two other lines, then re-access: L2 hit.
+                                    // Evict from tiny L1 with two other lines, then re-access: L2 hit.
         h.access(64);
         h.access(128);
         assert_eq!(h.access(0), 1);

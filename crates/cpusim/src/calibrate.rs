@@ -62,7 +62,16 @@ pub fn calibrate(cpu: &CpuDescriptor) -> CalibratedOverheads {
     let n = i64::from(cpu.max_threads());
     let b = Binding::new().with("n", n);
     let mut pts = Vec::new();
-    for t in [1u32, 2, 4, 8, 16, 32, cpu.max_threads() / 2, cpu.max_threads()] {
+    for t in [
+        1u32,
+        2,
+        4,
+        8,
+        16,
+        32,
+        cpu.max_threads() / 2,
+        cpu.max_threads(),
+    ] {
         let r = simulate(&k, &b, cpu, t).expect("micro-kernel simulates");
         pts.push((f64::from(t), r.total_s() * hz));
     }
@@ -123,7 +132,11 @@ mod tests {
                 configured_fixed
             );
             // Per-iteration cost of a one-store body: positive, small.
-            assert!(c.per_iter_cycles > 0.0 && c.per_iter_cycles < 100.0, "{}", c.per_iter_cycles);
+            assert!(
+                c.per_iter_cycles > 0.0 && c.per_iter_cycles < 100.0,
+                "{}",
+                c.per_iter_cycles
+            );
         }
     }
 

@@ -10,8 +10,8 @@
 use crate::arch::CpuDescriptor;
 use crate::sampler::{profile, MemoryProfile};
 use hetsel_ipda::{analyze, assess, store_sharing_risk, KernelAccessInfo, Schedule, SharingRisk};
-use hetsel_mca::parallel_iter_cycles_opts;
 use hetsel_ir::{trips, Binding, Kernel};
+use hetsel_mca::parallel_iter_cycles_opts;
 
 /// How the kernel's hot loop was vectorised.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,7 +69,12 @@ impl CpuRun {
 
 /// Dominant element size of the kernel's arrays (bytes).
 fn dominant_elem_bytes(kernel: &Kernel) -> u32 {
-    kernel.arrays.iter().map(|a| a.elem_bytes).max().unwrap_or(4)
+    kernel
+        .arrays
+        .iter()
+        .map(|a| a.elem_bytes)
+        .max()
+        .unwrap_or(4)
 }
 
 /// Distinct memory streams one thread drives. Accesses to the same array
@@ -104,7 +109,11 @@ fn stream_count(info: &KernelAccessInfo, binding: &Binding, line_bytes: u32) -> 
 /// Effective fraction of peak memory bandwidth: when the active streams per
 /// core (streams per thread × SMT threads) exceed the prefetcher's
 /// capacity, sustained bandwidth collapses toward demand-miss throughput.
-fn bandwidth_efficiency(cpu: &CpuDescriptor, streams_per_thread: u32, threads_per_core: f64) -> f64 {
+fn bandwidth_efficiency(
+    cpu: &CpuDescriptor,
+    streams_per_thread: u32,
+    threads_per_core: f64,
+) -> f64 {
     let active = f64::from(streams_per_thread) * threads_per_core.max(1.0);
     let cap = f64::from(cpu.prefetch_streams);
     if active <= cap {
@@ -122,7 +131,12 @@ fn vector_decision(kernel: &Kernel, binding: &Binding, cpu: &CpuDescriptor) -> (
     let core = &cpu.core;
 
     // The hot statements are the deepest ones; find their innermost loop.
-    let max_depth = info.accesses.iter().map(|a| a.enclosing.len()).max().unwrap_or(0);
+    let max_depth = info
+        .accesses
+        .iter()
+        .map(|a| a.enclosing.len())
+        .max()
+        .unwrap_or(0);
     let hot = info
         .accesses
         .iter()
@@ -154,7 +168,10 @@ fn vector_decision(kernel: &Kernel, binding: &Binding, cpu: &CpuDescriptor) -> (
     // Outer-loop vectorisation: every hot access must be unit-stride or
     // uniform across the innermost *parallel* dimension.
     let thread_ok = hot.iter().all(|a| {
-        matches!(a.thread_stride.resolve(binding), Some(0) | Some(1) | Some(-1))
+        matches!(
+            a.thread_stride.resolve(binding),
+            Some(0) | Some(1) | Some(-1)
+        )
     });
     if thread_ok {
         if inner_parallel {
@@ -259,8 +276,7 @@ pub fn simulate_with_schedule(
             false_sharing_per_iter += weight * 2.0 * cpu.mem_latency;
         }
     }
-    let cycles_per_iter =
-        base_cpi / vector_factor + tlb_cycles_per_iter + false_sharing_per_iter;
+    let cycles_per_iter = base_cpi / vector_factor + tlb_cycles_per_iter + false_sharing_per_iter;
 
     // SMT: more threads per core raise core throughput sub-linearly.
     let threads_per_core = f64::from(threads_used) / f64::from(cpu.cores);
@@ -274,8 +290,7 @@ pub fn simulate_with_schedule(
     let compute_s = thread_cycles / (cpu.clock_ghz * 1e9);
     let streams = stream_count(&info, binding, line);
     let bw_eff = bandwidth_efficiency(cpu, streams, threads_per_core);
-    let dram_s =
-        p as f64 * prof.dram_bytes_per_iter / (cpu.mem_bandwidth_gbs * 1e9 * bw_eff);
+    let dram_s = p as f64 * prof.dram_bytes_per_iter / (cpu.mem_bandwidth_gbs * 1e9 * bw_eff);
     let o = &cpu.omp;
     let overhead_s = (o.par_startup
         + o.schedule_static

@@ -29,8 +29,7 @@ pub mod engine;
 pub mod sampler;
 
 pub use arch::{
-    power8_host, power9_host, table2_overheads, xeon_host, CacheLevel, CpuDescriptor,
-    OmpOverheads,
+    power8_host, power9_host, table2_overheads, xeon_host, CacheLevel, CpuDescriptor, OmpOverheads,
 };
 pub use cache::{Cache, Hierarchy, Tlb};
 pub use calibrate::{calibrate, CalibratedOverheads};

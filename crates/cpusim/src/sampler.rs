@@ -163,7 +163,11 @@ pub fn profile(
             } else {
                 threads_per_core
             };
-            ((c.bytes / share).max(u64::from(c.line_bytes) * 4), c.line_bytes, c.assoc)
+            (
+                (c.bytes / share).max(u64::from(c.line_bytes) * 4),
+                c.line_bytes,
+                c.assoc,
+            )
         })
         .collect();
     let mut latencies: Vec<f64> = cpu.caches.iter().map(|c| c.latency).collect();
@@ -217,7 +221,9 @@ pub fn profile(
     // Analytic accesses per parallel iteration, for scaling iterations the
     // budget truncates (huge inner loops may exceed the whole budget).
     let tc = hetsel_ir::trips::resolve(kernel, binding);
-    let analytic_per_iter = hetsel_mca::loadout(kernel, &|l| tc.of(l)).mem_insts().max(1.0);
+    let analytic_per_iter = hetsel_mca::loadout(kernel, &|l| tc.of(l))
+        .mem_insts()
+        .max(1.0);
 
     // Warm-up: a dedicated slice of the budget, unrecorded, to populate the
     // caches (huge loop bodies may not even finish one iteration — fine,
@@ -299,7 +305,11 @@ mod tests {
         let p = prof("2dconv", Dataset::Benchmark, 160);
         // Stencil rows stream with 128B lines: 9 of 10 accesses hit L1.
         let total: u64 = p.level_hits.iter().sum();
-        assert!(p.level_hits[0] as f64 / total as f64 > 0.7, "{:?}", p.level_hits);
+        assert!(
+            p.level_hits[0] as f64 / total as f64 > 0.7,
+            "{:?}",
+            p.level_hits
+        );
         // Per-iteration DRAM traffic is a small number of bytes.
         assert!(p.dram_bytes_per_iter < 64.0, "{}", p.dram_bytes_per_iter);
         assert!(p.dram_bytes_per_iter > 4.0, "{}", p.dram_bytes_per_iter);

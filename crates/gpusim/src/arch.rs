@@ -203,8 +203,12 @@ mod tests {
         let k = tesla_k80();
         let p = tesla_p100();
         let v = tesla_v100();
-        assert!(k.mem_bandwidth_gbs < p.mem_bandwidth_gbs && p.mem_bandwidth_gbs < v.mem_bandwidth_gbs);
-        assert!(k.bus.bandwidth_gbs < p.bus.bandwidth_gbs && p.bus.bandwidth_gbs < v.bus.bandwidth_gbs);
+        assert!(
+            k.mem_bandwidth_gbs < p.mem_bandwidth_gbs && p.mem_bandwidth_gbs < v.mem_bandwidth_gbs
+        );
+        assert!(
+            k.bus.bandwidth_gbs < p.bus.bandwidth_gbs && p.bus.bandwidth_gbs < v.bus.bandwidth_gbs
+        );
         assert!(k.clock_ghz < p.clock_ghz);
     }
 

@@ -34,7 +34,12 @@ fn warp_program(w: &Workload, cap_ops: usize) -> (Vec<Op>, f64) {
     let mut mem: Vec<(f64, f64)> = Vec::new(); // (latency, txns)
     let total_weight: f64 = w.accesses.iter().map(|a| a.weight).sum();
     if total_weight <= 0.0 {
-        return (vec![Op::Comp { slots: w.issue_slots.max(1.0) }], 1.0);
+        return (
+            vec![Op::Comp {
+                slots: w.issue_slots.max(1.0),
+            }],
+            1.0,
+        );
     }
     // Proportional expansion to at most cap_ops memory ops.
     let scale = (total_weight / cap_ops as f64).max(1.0);
@@ -50,7 +55,9 @@ fn warp_program(w: &Workload, cap_ops: usize) -> (Vec<Op>, f64) {
     let comp_per_mem = w.issue_slots / scale / mem.len() as f64;
     let mut ops = Vec::with_capacity(mem.len() * 2);
     for (latency, txns) in mem {
-        ops.push(Op::Comp { slots: comp_per_mem });
+        ops.push(Op::Comp {
+            slots: comp_per_mem,
+        });
         ops.push(Op::Mem { latency, txns });
     }
     (ops, scale)
@@ -166,7 +173,9 @@ mod tests {
     #[test]
     fn detailed_engine_agrees_with_roofline_engine() {
         let gpu = tesla_v100();
-        for name in ["gemm", "2dconv", "3dconv", "atax.k1", "atax.k2", "syrk", "gesummv"] {
+        for name in [
+            "gemm", "2dconv", "3dconv", "atax.k1", "atax.k2", "syrk", "gesummv",
+        ] {
             for ds in [Dataset::Test, Dataset::Benchmark] {
                 let (k, binding) = find_kernel(name).unwrap();
                 let b = binding(ds);
@@ -201,9 +210,15 @@ mod tests {
         let gpu = tesla_v100();
         let ops = vec![
             Op::Comp { slots: 8.0 },
-            Op::Mem { latency: 400.0, txns: 4.0 },
+            Op::Mem {
+                latency: 400.0,
+                txns: 4.0,
+            },
             Op::Comp { slots: 8.0 },
-            Op::Mem { latency: 400.0, txns: 4.0 },
+            Op::Mem {
+                latency: 400.0,
+                txns: 4.0,
+            },
         ];
         let t1 = simulate_sm(&gpu, &ops, 1);
         let t32 = simulate_sm(&gpu, &ops, 32);

@@ -122,7 +122,8 @@ mod tests {
         let v = tesla_v100();
         let p = 9600u64 * 9600;
         let g = select(&v, p);
-        let cap = u64::from(v.num_sms) * u64::from(v.max_blocks_per_sm.min(v.max_warps_per_sm * 32 / 128));
+        let cap = u64::from(v.num_sms)
+            * u64::from(v.max_blocks_per_sm.min(v.max_warps_per_sm * 32 / 128));
         assert_eq!(g.blocks, cap);
         assert!(g.omp_rep > 1);
         assert!(g.total_threads() * g.omp_rep >= p);

@@ -22,7 +22,9 @@ pub mod engine;
 pub mod geometry;
 pub mod workload;
 
-pub use arch::{nvlink1, nvlink2, pcie3, tesla_k80, tesla_p100, tesla_v100, BusDescriptor, GpuDescriptor};
+pub use arch::{
+    nvlink1, nvlink2, pcie3, tesla_k80, tesla_p100, tesla_v100, BusDescriptor, GpuDescriptor,
+};
 pub use detailed::{simulate_detailed, DetailedRun};
 pub use engine::{simulate, GpuBound, GpuRun};
 pub use geometry::{occupancy, select, Geometry, Occupancy, DEFAULT_THREADS_PER_BLOCK};

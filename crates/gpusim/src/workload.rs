@@ -19,8 +19,8 @@
 use crate::arch::GpuDescriptor;
 use crate::geometry::Geometry;
 use hetsel_ipda::{transactions_per_warp, KernelAccessInfo, WARP_SIZE};
-use hetsel_mca::{loadout, Loadout, OpKind};
 use hetsel_ir::{trips::TripCounts, Binding, Kernel};
+use hetsel_mca::{loadout, Loadout, OpKind};
 
 /// L1 hit latency (cycles); Volta ≈ 28, and close enough for Kepler's
 /// read-only path that one constant serves both.
@@ -55,7 +55,12 @@ pub struct AccessSim {
 
 impl AccessSim {
     /// Total DRAM traffic of this access over the whole kernel, bytes.
-    pub fn dram_bytes(&self, total_warp_execs: f64, resident_threads: f64, parallel_iters: f64) -> f64 {
+    pub fn dram_bytes(
+        &self,
+        total_warp_execs: f64,
+        resident_threads: f64,
+        parallel_iters: f64,
+    ) -> f64 {
         let upper = total_warp_execs * self.weight * self.upper_bytes_per_exec / self.inner_reuse;
         // Lockstep steps: every resident thread advances one execution per step.
         let steps = (self.weight * parallel_iters / resident_threads.max(1.0)).max(1.0);
@@ -99,7 +104,12 @@ impl Workload {
     /// Memory stall cycles per parallel iteration for one warp, assuming
     /// `mlp` independent requests overlap.
     pub fn mem_stall_per_iter(&self) -> f64 {
-        let total: f64 = self.accesses.iter().filter(|a| !a.is_store).map(|a| a.weight * a.latency).sum();
+        let total: f64 = self
+            .accesses
+            .iter()
+            .filter(|a| !a.is_store)
+            .map(|a| a.weight * a.latency)
+            .sum();
         total / self.mlp.max(1.0)
     }
 
@@ -236,12 +246,7 @@ fn build_accesses(
 
         // L1 spatial reuse along the innermost enclosing sequential loop.
         let inner_reuse = {
-            let inner_seq = a
-                .enclosing
-                .iter()
-                .rev()
-                .find(|(_, p)| !*p)
-                .map(|(v, _)| *v);
+            let inner_seq = a.enclosing.iter().rev().find(|(_, p)| !*p).map(|(v, _)| *v);
             match (inner_seq, &a.affine) {
                 (Some(v), Some(aff)) => match aff.coeff(v).eval(binding) {
                     // Loop-invariant in the inner loop: hoisted to a register.
@@ -266,8 +271,9 @@ fn build_accesses(
         let l1_frac = 1.0 - 1.0 / inner_reuse;
         let l2_frac = (1.0 - l1_frac) * l2_share_eff;
         let dram_frac = (1.0 - l1_frac - l2_frac).max(0.0);
-        let latency =
-            l1_frac * L1_LATENCY + l2_frac * gpu.l2_latency_cycles + dram_frac * gpu.mem_latency_cycles;
+        let latency = l1_frac * L1_LATENCY
+            + l2_frac * gpu.l2_latency_cycles
+            + dram_frac * gpu.mem_latency_cycles;
 
         out.push(AccessSim {
             weight,

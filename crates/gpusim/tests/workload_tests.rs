@@ -8,12 +8,7 @@ use hetsel_ir::{cexpr, Binding, Expr, Kernel, KernelBuilder, Transfer};
 fn stencil3(loads: usize) -> Kernel {
     // `loads` taps of a 1-D stencil: same array, offsets 0..loads.
     let mut kb = KernelBuilder::new("stencil");
-    let a = kb.array(
-        "a",
-        4,
-        &[Expr::param("n") + Expr::Const(64)],
-        Transfer::In,
-    );
+    let a = kb.array("a", 4, &[Expr::param("n") + Expr::Const(64)], Transfer::In);
     let y = kb.array("y", 4, &["n".into()], Transfer::Out);
     let i = kb.parallel_loop(0, "n");
     let mut acc = kb.load(a, &[Expr::var(i)]);
@@ -52,7 +47,11 @@ fn txns_per_warp_iter_counts_weighted_accesses() {
     let w = characterize(&k, &b, &gpu, &g).unwrap();
     // 3 unit-stride f32 accesses (2 loads + 1 store), 4 txns each at 32 B
     // segments, L1 spatial reuse 1 (no inner loop): 12 transactions.
-    assert!((w.txns_per_warp_iter() - 12.0).abs() < 1e-9, "{}", w.txns_per_warp_iter());
+    assert!(
+        (w.txns_per_warp_iter() - 12.0).abs() < 1e-9,
+        "{}",
+        w.txns_per_warp_iter()
+    );
 }
 
 #[test]

@@ -101,8 +101,7 @@ pub fn analyze(kernel: &Kernel) -> KernelAccessInfo {
     let thread_dim = kernel.thread_dim();
     let mut accesses = Vec::new();
     kernel.walk_assigns(|loops, assign| {
-        let enclosing: Vec<(LoopVarId, bool)> =
-            loops.iter().map(|l| (l.var, l.parallel)).collect();
+        let enclosing: Vec<(LoopVarId, bool)> = loops.iter().map(|l| (l.var, l.parallel)).collect();
         let mut record = |r: &hetsel_ir::ArrayRef, is_store: bool| {
             let affine = linearize(kernel, r);
             let innermost = enclosing.last().map(|(v, _)| *v);

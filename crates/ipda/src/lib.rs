@@ -30,12 +30,14 @@
 
 pub mod analysis;
 pub mod false_sharing;
+pub mod memo;
 pub mod stride;
 pub mod vectorize;
 pub mod warp;
 
 pub use analysis::{analyze, summarize, AccessInfo, CoalescingSummary, KernelAccessInfo};
 pub use false_sharing::{store_sharing_risk, Schedule, SharingRisk};
+pub use memo::analyze_cached;
 pub use stride::{classify, AccessPattern, Stride};
 pub use vectorize::{assess, VectorizationInfo};
 pub use warp::{

@@ -1,0 +1,108 @@
+//! Process-wide memoization of IPDA results.
+//!
+//! The paper's architecture runs the symbolic analyses **once per kernel at
+//! compile time** and stores the results in the program attribute database
+//! (Section III). In this reproduction several consumers — the CPU model's
+//! vectorization assessment, its TLB estimator, the GPU model's coalescing
+//! census and the attribute database itself — each need the same
+//! [`KernelAccessInfo`]. Before this module existed every consumer re-ran
+//! [`analyze`] from scratch, so a single cold prediction paid for the
+//! analysis three times over.
+//!
+//! [`analyze_cached`] gives all consumers one shared, immutable copy behind
+//! an [`Arc`]. The memo is keyed on the kernel's *structure* (its complete
+//! `Debug` rendering), not just its name: property tests and fuzzers
+//! generate many distinct kernels under the same name, and two structurally
+//! different kernels must never share an analysis. The table is bounded; on
+//! overflow it is cleared wholesale, which keeps the worst case simple and
+//! is harmless because entries are pure functions of the key.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use hetsel_ir::Kernel;
+
+use crate::analysis::{analyze, KernelAccessInfo};
+
+/// Upper bound on memoized kernels. The Polybench suite has a few dozen
+/// regions; the bound only matters for generative tests, which would
+/// otherwise grow the table without limit.
+const MEMO_CAPACITY: usize = 256;
+
+static MEMO: OnceLock<Mutex<HashMap<String, Arc<KernelAccessInfo>>>> = OnceLock::new();
+
+/// Memoized [`analyze`]: returns a shared copy of the IPDA result for this
+/// kernel, computing it at most once per distinct kernel structure.
+///
+/// The returned value is identical to what `analyze(kernel)` would produce;
+/// only the sharing differs.
+pub fn analyze_cached(kernel: &Kernel) -> Arc<KernelAccessInfo> {
+    let key = format!("{kernel:?}");
+    let memo = MEMO.get_or_init(|| Mutex::new(HashMap::new()));
+    {
+        let map = memo
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(hit) = map.get(&key) {
+            return Arc::clone(hit);
+        }
+    }
+    // Analyze outside the lock; a racing thread may duplicate the work but
+    // the results are equal and only one lands in the table.
+    let info = Arc::new(analyze(kernel));
+    let mut map = memo
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if map.len() >= MEMO_CAPACITY {
+        map.clear();
+    }
+    Arc::clone(map.entry(key).or_insert(info))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsel_ir::{cexpr, Expr, KernelBuilder, Transfer};
+
+    /// `for (i) a[s*i] = 1.0` with a parallel `i` loop.
+    fn tiny_kernel(name: &str, scale: i64) -> Kernel {
+        let mut kb = KernelBuilder::new(name);
+        let arr = kb.array("a", 8, &[Expr::param("n")], Transfer::Out);
+        let i = kb.parallel_loop(0, "n");
+        kb.store(arr, &[Expr::var(i) * Expr::Const(scale)], cexpr::lit(1.0));
+        kb.end_loop();
+        kb.finish()
+    }
+
+    #[test]
+    fn cached_result_matches_direct_analysis() {
+        let k = tiny_kernel("memo_direct", 1);
+        let cached = analyze_cached(&k);
+        let direct = analyze(&k);
+        assert_eq!(cached.kernel, direct.kernel);
+        assert_eq!(cached.accesses.len(), direct.accesses.len());
+        for (c, d) in cached.accesses.iter().zip(&direct.accesses) {
+            assert_eq!(format!("{c:?}"), format!("{d:?}"));
+        }
+    }
+
+    #[test]
+    fn repeated_calls_share_one_allocation() {
+        let k = tiny_kernel("memo_shared", 1);
+        let a = analyze_cached(&k);
+        let b = analyze_cached(&k);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn same_name_different_structure_not_conflated() {
+        let unit = tiny_kernel("memo_clash", 1);
+        let strided = tiny_kernel("memo_clash", 2);
+        let i1 = analyze_cached(&unit);
+        let i2 = analyze_cached(&strided);
+        assert_ne!(
+            format!("{:?}", i1.accesses[0].thread_stride),
+            format!("{:?}", i2.accesses[0].thread_stride),
+        );
+    }
+}

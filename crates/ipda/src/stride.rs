@@ -111,7 +111,10 @@ mod tests {
 
     #[test]
     fn irregular_never_resolves() {
-        assert_eq!(Stride::Irregular.resolve(&Binding::new().with("n", 1)), None);
+        assert_eq!(
+            Stride::Irregular.resolve(&Binding::new().with("n", 1)),
+            None
+        );
         assert!(!Stride::Irregular.is_analyzable());
     }
 

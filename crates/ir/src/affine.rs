@@ -77,11 +77,7 @@ impl Affine {
     }
 
     /// Evaluates under a runtime binding and loop-variable values.
-    pub fn eval(
-        &self,
-        binding: &Binding,
-        vars: &dyn Fn(LoopVarId) -> Option<i64>,
-    ) -> Option<i64> {
+    pub fn eval(&self, binding: &Binding, vars: &dyn Fn(LoopVarId) -> Option<i64>) -> Option<i64> {
         let mut total = self.offset.eval(binding)?;
         for (v, c) in &self.coeffs {
             total = total.wrapping_add(c.eval(binding)?.wrapping_mul(vars(*v)?));
@@ -199,8 +195,8 @@ mod tests {
     #[test]
     fn linear_combination() {
         // 2*i + n*j + 3
-        let e = Expr::Const(2) * Expr::var(v(0)) + Expr::param("n") * Expr::var(v(1))
-            + Expr::Const(3);
+        let e =
+            Expr::Const(2) * Expr::var(v(0)) + Expr::param("n") * Expr::var(v(1)) + Expr::Const(3);
         let a = Affine::from_expr(&e).unwrap();
         assert_eq!(a.coeff(v(0)).as_const(), Some(2));
         assert_eq!(a.coeff(v(1)), Poly::param("n"));
@@ -224,8 +220,8 @@ mod tests {
 
     #[test]
     fn eval_matches_expr_eval() {
-        let e = Expr::param("n") * Expr::var(v(0)) + Expr::var(v(1)) * Expr::Const(4)
-            - Expr::Const(7);
+        let e =
+            Expr::param("n") * Expr::var(v(0)) + Expr::var(v(1)) * Expr::Const(4) - Expr::Const(7);
         let a = Affine::from_expr(&e).unwrap();
         let b = Binding::new().with("n", 50);
         let vals = |id: LoopVarId| Some(if id == v(0) { 3 } else { 11 });
@@ -267,6 +263,9 @@ mod tests {
         assert_eq!(lin.coeff(i), Poly::param("m"));
         assert_eq!(lin.coeff(j).as_const(), Some(1));
         let b = Binding::new().with("n", 4).with("m", 10);
-        assert_eq!(lin.eval(&b, &|lv| Some(if lv == i { 2 } else { 7 })), Some(27));
+        assert_eq!(
+            lin.eval(&b, &|lv| Some(if lv == i { 2 } else { 7 })),
+            Some(27)
+        );
     }
 }

@@ -74,7 +74,10 @@ impl KernelBuilder {
     /// (they model the outermost `collapse` nest).
     pub fn parallel_loop(&mut self, lower: impl Into<Expr>, upper: impl Into<Expr>) -> LoopVarId {
         assert!(
-            self.open.iter().all(|(l, body)| l.parallel && body.is_empty()) && self.top.is_empty(),
+            self.open
+                .iter()
+                .all(|(l, body)| l.parallel && body.is_empty())
+                && self.top.is_empty(),
             "parallel loops must form the outermost perfect nest"
         );
         self.seen_parallel = true;
@@ -149,7 +152,11 @@ impl KernelBuilder {
     ///
     /// Panics if loops are still open or no parallel loop was created.
     pub fn finish(self) -> Kernel {
-        assert!(self.open.is_empty(), "finish with {} open loops", self.open.len());
+        assert!(
+            self.open.is_empty(),
+            "finish with {} open loops",
+            self.open.len()
+        );
         assert!(self.seen_parallel, "kernel has no parallel loop");
         let k = Kernel {
             name: self.name,

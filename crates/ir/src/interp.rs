@@ -68,7 +68,10 @@ impl<'k> Machine<'k> {
             let i = self.eval_expr(idx)?;
             let name = &self.kernel.array(r.array).name;
             if i < 0 || i >= extents[d] {
-                return Err(format!("{name}: index {i} out of bounds (dim {d}, extent {})", extents[d]));
+                return Err(format!(
+                    "{name}: index {i} out of bounds (dim {d}, extent {})",
+                    extents[d]
+                ));
             }
             lin = lin * extents[d] + i;
         }
@@ -82,7 +85,9 @@ impl<'k> Machine<'k> {
             .get(name)
             .ok_or_else(|| format!("missing buffer {name}"))?;
         let i = self.linear_index(r)?;
-        buf.get(i).copied().ok_or_else(|| format!("{name}[{i}] out of range"))
+        buf.get(i)
+            .copied()
+            .ok_or_else(|| format!("{name}[{i}] out of range"))
     }
 
     fn eval_cexpr(&self, env: &Env, e: &CExpr, acc: Option<f32>) -> Result<f32, String> {
@@ -92,8 +97,7 @@ impl<'k> Machine<'k> {
                 if let Some(v) = self.accs.get(name) {
                     *v
                 } else {
-                    *env
-                        .scalars
+                    *env.scalars
                         .get(name)
                         .ok_or_else(|| format!("missing scalar {name}"))?
                 }
@@ -166,7 +170,10 @@ pub fn execute(kernel: &Kernel, binding: &Binding, env: &mut Env) -> Result<(), 
             .ok_or_else(|| format!("missing buffer {}", a.name))?
             .len();
         if (have as i64) < need {
-            return Err(format!("{}: buffer has {have} elements, kernel needs {need}", a.name));
+            return Err(format!(
+                "{}: buffer has {have} elements, kernel needs {need}",
+                a.name
+            ));
         }
         extents.push(dims);
     }

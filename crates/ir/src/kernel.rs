@@ -276,7 +276,11 @@ pub enum Stmt {
 impl Stmt {
     /// Depth-first walk over all assignments, passing the stack of enclosing
     /// loops (outermost first).
-    pub fn walk_assigns<'a>(&'a self, loops: &mut Vec<&'a Loop>, f: &mut impl FnMut(&[&Loop], &Assign)) {
+    pub fn walk_assigns<'a>(
+        &'a self,
+        loops: &mut Vec<&'a Loop>,
+        f: &mut impl FnMut(&[&Loop], &Assign),
+    ) {
         match self {
             Stmt::For(l, body) => {
                 loops.push(l);

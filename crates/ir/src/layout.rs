@@ -41,9 +41,7 @@ impl ResolvedArray {
 
     /// True if every index is within the declared extents.
     pub fn in_bounds(&self, idx: &[i64]) -> bool {
-        idx.iter()
-            .zip(&self.extents)
-            .all(|(i, e)| *i >= 0 && i < e)
+        idx.iter().zip(&self.extents).all(|(i, e)| *i >= 0 && i < e)
     }
 
     /// Total size in bytes.

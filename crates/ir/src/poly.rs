@@ -78,11 +78,7 @@ impl Poly {
 
     /// The set of parameters appearing in the polynomial.
     pub fn params(&self) -> Vec<String> {
-        let mut out: Vec<String> = self
-            .terms
-            .keys()
-            .flat_map(|m| m.keys().cloned())
-            .collect();
+        let mut out: Vec<String> = self.terms.keys().flat_map(|m| m.keys().cloned()).collect();
         out.sort();
         out.dedup();
         out

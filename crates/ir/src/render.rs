@@ -114,7 +114,11 @@ fn render_stmts(kernel: &Kernel, stmts: &[Stmt], indent: usize, out: &mut String
                 } else {
                     lhs
                 };
-                let _ = writeln!(out, "{pad}{lhs} = {};", cexpr_to_c(kernel, &a.rhs, &acc_name));
+                let _ = writeln!(
+                    out,
+                    "{pad}{lhs} = {};",
+                    cexpr_to_c(kernel, &a.rhs, &acc_name)
+                );
             }
         }
     }

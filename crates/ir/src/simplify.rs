@@ -63,9 +63,7 @@ impl Expr {
             Expr::Div(a, b) => {
                 let (a, b) = (a.simplified(), b.simplified());
                 match (&a, &b) {
-                    (Expr::Const(x), Expr::Const(y)) if *y != 0 => {
-                        Expr::Const(x.div_euclid(*y))
-                    }
+                    (Expr::Const(x), Expr::Const(y)) if *y != 0 => Expr::Const(x.div_euclid(*y)),
                     (_, Expr::Const(1)) => a,
                     _ => Expr::Div(Box::new(a), Box::new(b)),
                 }

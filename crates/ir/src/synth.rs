@@ -78,9 +78,9 @@ pub fn generate(seed: u64) -> SynthKernel {
     // allocated large enough for its pattern.
     #[derive(Clone, Copy)]
     enum Pat {
-        Unit,       // a[i]        extent n
-        Transposed, // a[j][i]     extent m x n (2-D only)
-        Broadcast,  // a[k or 0]   extent max(n, inner)
+        Unit,         // a[i]        extent n
+        Transposed,   // a[j][i]     extent m x n (2-D only)
+        Broadcast,    // a[k or 0]   extent max(n, inner)
         Strided(i64), // a[s*i]    extent s*n
     }
     let mut inputs = Vec::new();
@@ -101,12 +101,20 @@ pub fn generate(seed: u64) -> SynthKernel {
     }
 
     let i = kb.parallel_loop(0, "n");
-    let j = if two_d { Some(kb.parallel_loop(0, "m")) } else { None };
+    let j = if two_d {
+        Some(kb.parallel_loop(0, "m"))
+    } else {
+        None
+    };
 
     if with_inner {
         kb.acc_init("acc", cexpr::lit(0.0));
     }
-    let k = if with_inner { Some(kb.seq_loop(0, "n")) } else { None };
+    let k = if with_inner {
+        Some(kb.seq_loop(0, "n"))
+    } else {
+        None
+    };
 
     // Body: sum of loads (times a scalar now and then).
     let mut rhs: Option<crate::kernel::CExpr> = None;
@@ -170,7 +178,9 @@ mod tests {
     fn generated_kernels_validate_and_resolve() {
         for seed in 0..200 {
             let s = generate(seed);
-            s.kernel.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            s.kernel
+                .validate()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             let mut b = Binding::new();
             for p in &s.params {
                 b.set(*p, 37);

@@ -30,7 +30,11 @@ impl TripCounts {
 
     /// Product of the parallel loops' trip counts.
     pub fn parallel_iterations(&self, kernel: &Kernel) -> f64 {
-        kernel.parallel_loops().iter().map(|l| self.get(l.var)).product()
+        kernel
+            .parallel_loops()
+            .iter()
+            .map(|l| self.get(l.var))
+            .product()
     }
 }
 

@@ -15,11 +15,7 @@ impl P5 {
         let x = Poly::param("x");
         let y = Poly::param("y");
         let [c0, c1, c2, c3, c4] = self.0;
-        Poly::constant(c0)
-            + x.scale(c1)
-            + y.scale(c2)
-            + (&x * &y).scale(c3)
-            + (&x * &x).scale(c4)
+        Poly::constant(c0) + x.scale(c1) + y.scale(c2) + (&x * &y).scale(c3) + (&x * &x).scale(c4)
     }
 
     fn eval(&self, x: i64, y: i64) -> i64 {

@@ -64,7 +64,10 @@ impl CoreDescriptor {
         for k in ALL_KINDS {
             let n = self.units.iter().filter(|u| u.ops.contains(&k)).count();
             if n != 1 {
-                return Err(format!("{}: op {k} executable by {n} unit classes", self.name));
+                return Err(format!(
+                    "{}: op {k} executable by {n} unit classes",
+                    self.name
+                ));
             }
             if self.latency(k) <= 0.0 {
                 return Err(format!("{}: op {k} has non-positive latency", self.name));
@@ -301,9 +304,7 @@ mod tests {
     #[test]
     fn power9_vector_support_exceeds_power8() {
         assert!(power9().vector_efficiency > power8().vector_efficiency);
-        assert!(
-            power9().vector_reduction_efficiency > power8().vector_reduction_efficiency
-        );
+        assert!(power9().vector_reduction_efficiency > power8().vector_reduction_efficiency);
     }
 
     #[test]

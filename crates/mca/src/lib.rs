@@ -21,6 +21,7 @@
 
 #![warn(missing_docs)]
 
+pub mod compile;
 pub mod descriptor;
 pub mod isa;
 pub mod loadout;
@@ -28,6 +29,7 @@ pub mod lower;
 pub mod report;
 pub mod sched;
 
+pub use compile::{compile_loadout, compile_parallel_iter_cycles, CompiledCycles, CompiledLoadout};
 pub use descriptor::{power8, power9, skylake, CoreDescriptor, UnitClass};
 pub use isa::{LoopBody, MachineOp, OpKind, Reg, ALL_KINDS};
 pub use loadout::{assume_128, loadout, Loadout};

@@ -50,7 +50,7 @@ impl Loadout {
             + self.count(OpKind::FSqrt)
     }
 
-    fn add_scaled(&mut self, other: &Loadout, w: f64) {
+    pub(crate) fn add_scaled(&mut self, other: &Loadout, w: f64) {
         for i in 0..self.counts.len() {
             self.counts[i] += other.counts[i] * w;
         }

@@ -457,7 +457,10 @@ mod tests {
         let j = kb.parallel_loop(0, "n");
         kb.acc_init("s", cexpr::lit(0.0));
         let k = kb.seq_loop(0, "n");
-        let prod = cexpr::mul(kb.load(a, &[i.into(), k.into()]), kb.load(b, &[k.into(), j.into()]));
+        let prod = cexpr::mul(
+            kb.load(a, &[i.into(), k.into()]),
+            kb.load(b, &[k.into(), j.into()]),
+        );
         kb.assign_acc("s", cexpr::add(cexpr::acc(), prod));
         kb.end_loop();
         kb.store(

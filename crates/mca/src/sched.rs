@@ -99,7 +99,8 @@ impl UnitPool {
     fn issue(&mut self, ready: f64) -> f64 {
         let Reverse(OrderedF64(free)) = self.free_at.pop().expect("unit pool empty");
         let issue = ready.max(free);
-        self.free_at.push(Reverse(OrderedF64(issue + self.inv_throughput)));
+        self.free_at
+            .push(Reverse(OrderedF64(issue + self.inv_throughput)));
         issue
     }
 }

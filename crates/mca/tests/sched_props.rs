@@ -38,7 +38,11 @@ fn chain_body() -> impl Strategy<Value = LoopBody> {
             .iter()
             .enumerate()
             .map(|(i, k)| {
-                let srcs = if i == 0 { vec![] } else { vec![Reg(i as u32 - 1)] };
+                let srcs = if i == 0 {
+                    vec![]
+                } else {
+                    vec![Reg(i as u32 - 1)]
+                };
                 MachineOp::new(KINDS[*k], srcs, Some(Reg(i as u32)))
             })
             .collect();

@@ -15,10 +15,13 @@
 //! the limitation the paper calls "a primary future work direction", and it
 //! is the main source of CPU-side prediction error against the simulator.
 
+use std::sync::Arc;
+
+use crate::error::ModelError;
 use crate::trip::TripMode;
-use hetsel_ipda::analyze;
-use hetsel_mca::{parallel_iter_cycles_opts, CoreDescriptor};
+use hetsel_ipda::{analyze_cached, KernelAccessInfo};
 use hetsel_ir::{trips, Binding, Kernel};
+use hetsel_mca::{compile_parallel_iter_cycles, CompiledCycles, CoreDescriptor};
 
 /// CPU model parameters (paper Table II).
 #[derive(Debug, Clone)]
@@ -140,15 +143,16 @@ impl CpuPrediction {
 /// Static TLB-miss estimate: for each access, the probability that one
 /// dynamic execution crosses into a new page, assuming the footprint
 /// exceeds the TLB reach (the libhugetlbfs-style estimate of the paper).
-fn tlb_misses_per_iter(kernel: &Kernel, binding: &Binding, p: &CpuModelParams, trip: &dyn Fn(&hetsel_ir::Loop) -> f64) -> f64 {
-    let info = analyze(kernel);
-    let tc = trips::resolve(kernel, binding);
+fn tlb_misses_per_iter(
+    kernel: &Kernel,
+    info: &KernelAccessInfo,
+    binding: &Binding,
+    p: &CpuModelParams,
+    tc: &trips::TripCounts,
+    trip: &dyn Fn(&hetsel_ir::Loop) -> f64,
+) -> f64 {
     // TLB reach: if every mapped byte fits under the TLB, no misses.
-    let total_bytes: u64 = kernel
-        .arrays
-        .iter()
-        .filter_map(|a| a.bytes(binding))
-        .sum();
+    let total_bytes: u64 = kernel.arrays.iter().filter_map(|a| a.bytes(binding)).sum();
     if total_bytes <= u64::from(p.tlb_entries) * p.page_bytes {
         return 0.0;
     }
@@ -182,12 +186,26 @@ fn tlb_misses_per_iter(kernel: &Kernel, binding: &Binding, p: &CpuModelParams, t
 
 /// The model's vector-schedule credit: same legality reasoning as the
 /// compiler applies, without any cache knowledge.
-fn vector_factor(kernel: &Kernel, binding: &Binding, p: &CpuModelParams) -> f64 {
-    let info = analyze(kernel);
-    let vec_info = hetsel_ipda::assess(kernel, &info, binding);
-    let elem = kernel.arrays.iter().map(|a| a.elem_bytes).max().unwrap_or(4);
+fn vector_factor(
+    kernel: &Kernel,
+    info: &KernelAccessInfo,
+    binding: &Binding,
+    p: &CpuModelParams,
+) -> f64 {
+    let vec_info = hetsel_ipda::assess(kernel, info, binding);
+    let elem = kernel
+        .arrays
+        .iter()
+        .map(|a| a.elem_bytes)
+        .max()
+        .unwrap_or(4);
     let lanes = (f64::from(p.core.vector_lanes_f64) * 8.0 / f64::from(elem)).max(1.0);
-    let max_depth = info.accesses.iter().map(|a| a.enclosing.len()).max().unwrap_or(0);
+    let max_depth = info
+        .accesses
+        .iter()
+        .map(|a| a.enclosing.len())
+        .max()
+        .unwrap_or(0);
     let hot: Vec<_> = info
         .accesses
         .iter()
@@ -208,9 +226,12 @@ fn vector_factor(kernel: &Kernel, binding: &Binding, p: &CpuModelParams) -> f64 
             }
         }
     }
-    let thread_ok = hot
-        .iter()
-        .all(|a| matches!(a.thread_stride.resolve(binding), Some(0) | Some(1) | Some(-1)));
+    let thread_ok = hot.iter().all(|a| {
+        matches!(
+            a.thread_stride.resolve(binding),
+            Some(0) | Some(1) | Some(-1)
+        )
+    });
     if thread_ok {
         if inner_parallel {
             return (lanes * p.core.vector_efficiency).max(1.0);
@@ -250,53 +271,117 @@ pub fn predict(
     threads: u32,
     mode: TripMode,
 ) -> Option<CpuPrediction> {
-    let p_iters = kernel.parallel_iterations(binding)?;
-    if p_iters == 0 || threads == 0 {
-        return None;
+    compile(kernel, params, threads, mode)
+        .evaluate(binding)
+        .ok()
+}
+
+/// The compile-time half of the CPU model: the MCA scheduling analysis and
+/// IPDA both run once, here; [`CompiledCpuModel::evaluate`] then only binds
+/// trip counts and replays precomputed arithmetic.
+pub fn compile(
+    kernel: &Kernel,
+    params: &CpuModelParams,
+    threads: u32,
+    mode: TripMode,
+) -> CompiledCpuModel {
+    CompiledCpuModel {
+        info: analyze_cached(kernel),
+        cycles_serial: compile_parallel_iter_cycles(kernel, &params.core, None, true),
+        cycles_tput: compile_parallel_iter_cycles(kernel, &params.core, None, false),
+        kernel: kernel.clone(),
+        params: params.clone(),
+        threads,
+        mode,
     }
-    let tc = trips::resolve(kernel, binding);
-    let trip_fn = mode.trip_fn(&tc);
+}
 
-    // Machine_cycles_per_iter: MCA over the generated schedule (unrolled,
-    // vectorised), flat L1 load latency — no cache model.
-    let cpi_serial = parallel_iter_cycles_opts(kernel, &params.core, &*trip_fn, None, true);
-    let cpi_tput = parallel_iter_cycles_opts(kernel, &params.core, &*trip_fn, None, false);
-    let vf = vector_factor(kernel, binding, params);
-    let machine_cycles_per_iter = cpi_tput.max(cpi_serial / params.unroll) / vf;
+/// A kernel's CPU model after the compile phase: the attribute-database
+/// entry of the paper's architecture. Holds the partially evaluated MCA
+/// analyses (both accumulator-chain settings, for the unroll credit) and the
+/// shared IPDA result; evaluation against a [`Binding`] is pure arithmetic.
+#[derive(Debug, Clone)]
+pub struct CompiledCpuModel {
+    kernel: Kernel,
+    params: CpuModelParams,
+    threads: u32,
+    mode: TripMode,
+    info: Arc<KernelAccessInfo>,
+    /// MCA replay with carried accumulator chains (serial upper bound).
+    cycles_serial: CompiledCycles,
+    /// MCA replay without carried chains (throughput bound).
+    cycles_tput: CompiledCycles,
+}
 
-    // The model's thread abstraction: SMT beyond `smt_benefit` threads per
-    // core contributes nothing.
-    let effective_threads =
-        u64::from(threads).min((f64::from(params.cores) * params.smt_benefit) as u64);
-    let chunk = p_iters.div_ceil(u64::from(threads).min(p_iters).max(1));
-    let smt_stretch = u64::from(threads).min(p_iters) as f64 / effective_threads.min(p_iters).max(1) as f64;
+impl CompiledCpuModel {
+    /// The kernel this model was compiled from.
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
 
-    let cache_cost =
-        tlb_misses_per_iter(kernel, binding, params, &*trip_fn) * params.tlb_miss_penalty * chunk as f64;
-    let loop_overhead = params.loop_overhead_per_iter * chunk as f64;
+    /// The runtime half of the model: binds trip counts, replays the
+    /// compiled MCA analyses and composes Figure 3. Produces exactly the
+    /// arithmetic — bit for bit — of the one-shot [`predict`].
+    pub fn evaluate(&self, binding: &Binding) -> Result<CpuPrediction, ModelError> {
+        let kernel = &self.kernel;
+        let params = &self.params;
+        let threads = self.threads;
+        let p_iters = kernel
+            .parallel_iterations(binding)
+            .ok_or_else(|| ModelError::unresolved(kernel, binding))?;
+        if p_iters == 0 {
+            return Err(ModelError::ZeroTrip);
+        }
+        if threads == 0 {
+            return Err(ModelError::ZeroThreads);
+        }
+        let tc = trips::resolve(kernel, binding);
+        let trip_fn = self.mode.trip_fn(&tc);
 
-    // Figure 3: Parallel_region = Fork + max_i(Thread_exe) + Join, with the
-    // max over threads realised as the chunk cost, stretched when SMT
-    // threads share a core (everything a thread executes shares the core).
-    let loop_chunk =
-        (machine_cycles_per_iter * chunk as f64 + cache_cost + loop_overhead) * smt_stretch;
-    let schedule = params.schedule_overhead_static;
-    let fork = params.par_startup + params.fork_per_thread * u64::from(threads).min(p_iters) as f64;
-    let join = params.synchronization_overhead;
-    let cycles = fork + schedule + loop_chunk + join;
+        // Machine_cycles_per_iter: MCA over the generated schedule (unrolled,
+        // vectorised), flat L1 load latency — no cache model.
+        let cpi_serial = self.cycles_serial.evaluate(&*trip_fn);
+        let cpi_tput = self.cycles_tput.evaluate(&*trip_fn);
+        let vf = vector_factor(kernel, &self.info, binding, params);
+        let machine_cycles_per_iter = cpi_tput.max(cpi_serial / params.unroll) / vf;
 
-    Some(CpuPrediction {
-        seconds: cycles / (params.freq_ghz * 1e9),
-        cycles,
-        machine_cycles_per_iter,
-        chunk,
-        cache_cost,
-        vector_factor: vf,
-        fork_cycles: fork,
-        schedule_cycles: schedule,
-        loop_chunk_cycles: loop_chunk,
-        join_cycles: join,
-    })
+        // The model's thread abstraction: SMT beyond `smt_benefit` threads per
+        // core contributes nothing.
+        let effective_threads =
+            u64::from(threads).min((f64::from(params.cores) * params.smt_benefit) as u64);
+        let chunk = p_iters.div_ceil(u64::from(threads).min(p_iters).max(1));
+        let smt_stretch =
+            u64::from(threads).min(p_iters) as f64 / effective_threads.min(p_iters).max(1) as f64;
+
+        let cache_cost = tlb_misses_per_iter(kernel, &self.info, binding, params, &tc, &*trip_fn)
+            * params.tlb_miss_penalty
+            * chunk as f64;
+        let loop_overhead = params.loop_overhead_per_iter * chunk as f64;
+
+        // Figure 3: Parallel_region = Fork + max_i(Thread_exe) + Join, with the
+        // max over threads realised as the chunk cost, stretched when SMT
+        // threads share a core (everything a thread executes shares the core).
+        let loop_chunk =
+            (machine_cycles_per_iter * chunk as f64 + cache_cost + loop_overhead) * smt_stretch;
+        let schedule = params.schedule_overhead_static;
+        let fork =
+            params.par_startup + params.fork_per_thread * u64::from(threads).min(p_iters) as f64;
+        let join = params.synchronization_overhead;
+        let cycles = fork + schedule + loop_chunk + join;
+
+        Ok(CpuPrediction {
+            seconds: cycles / (params.freq_ghz * 1e9),
+            cycles,
+            machine_cycles_per_iter,
+            chunk,
+            cache_cost,
+            vector_factor: vf,
+            fork_cycles: fork,
+            schedule_cycles: schedule,
+            loop_chunk_cycles: loop_chunk,
+            join_cycles: join,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -373,7 +458,11 @@ mod tests {
     fn figure3_composition_is_exact() {
         for name in ["gemm", "2dconv", "corr.corr"] {
             let p = predict_kernel(name, Dataset::Test, 160, TripMode::Runtime);
-            assert!(p.composition_residual() < 1e-9, "{name}: {}", p.composition_residual());
+            assert!(
+                p.composition_residual() < 1e-9,
+                "{name}: {}",
+                p.composition_residual()
+            );
             assert!(p.fork_cycles >= 3000.0);
             assert_eq!(p.schedule_cycles, 10154.0);
             assert_eq!(p.join_cycles, 4000.0);

@@ -1,0 +1,212 @@
+//! The trait-based decision engine: compile once, evaluate per binding.
+//!
+//! The paper's hybrid analysis splits model evaluation into two phases
+//! (Section III): at *compile time* every expensive analysis — MCA
+//! scheduling, IPDA symbolic strides, instruction lowering — runs once per
+//! kernel and lands in the program attribute database; at *runtime* the
+//! stored model is merely **bound** to the values the runtime knows (array
+//! extents, trip counts) and evaluated, so "the runtime overhead introduced
+//! by the model evaluation is negligible".
+//!
+//! [`CostModel`] is the compile phase: a model configuration (parameters +
+//! modes) that [`CostModel::compile`]s a kernel into its attribute-database
+//! entry. [`CompiledModel`] is the runtime phase: evaluation against a
+//! [`Binding`], returning either a device-comparable [`Prediction`] or a
+//! typed [`ModelError`] explaining why the region must fall back to the
+//! selector's default device.
+//!
+//! The compiled types also expose inherent `evaluate` methods returning the
+//! full per-model predictions ([`CpuPrediction`](crate::cpu::CpuPrediction),
+//! [`GpuPrediction`](crate::gpu::GpuPrediction)) with every intermediate
+//! quantity; the trait method projects those onto the common summary. Both
+//! run the identical arithmetic.
+
+use hetsel_ir::{Binding, Kernel};
+
+use crate::cpu::{self, CompiledCpuModel, CpuModelParams};
+use crate::error::ModelError;
+use crate::gpu::{self, CoalescingMode, CompiledGpuModel, GpuModelParams};
+use crate::trip::TripMode;
+
+/// The device-agnostic summary of a model evaluation: what the selector
+/// needs to compare devices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// Predicted wall time for the region on this device, seconds —
+    /// including transfers and launch overheads where they apply.
+    pub seconds: f64,
+    /// Predicted execution time excluding data movement, seconds.
+    pub kernel_seconds: f64,
+    /// Predicted data-movement time, seconds (zero for the host).
+    pub transfer_seconds: f64,
+}
+
+/// A model configuration that can be compiled against a kernel: the
+/// compile-time phase of the paper's hybrid analysis. Implementations run
+/// *all* symbolic and scheduling work in [`compile`](CostModel::compile);
+/// the result is cheap to evaluate repeatedly.
+pub trait CostModel {
+    /// The attribute-database entry this model produces.
+    type Compiled: CompiledModel;
+
+    /// Runs the compile-time analyses for `kernel` and packages them.
+    fn compile(&self, kernel: &Kernel) -> Self::Compiled;
+}
+
+/// A compiled, kernel-specific model: the runtime phase. Evaluation binds
+/// runtime values and replays precomputed arithmetic.
+pub trait CompiledModel {
+    /// The name of the region this model was compiled for.
+    fn region(&self) -> &str;
+
+    /// Evaluates the model under `binding`. An `Err` explains why no
+    /// prediction is possible — the selector records it and falls back.
+    fn evaluate(&self, binding: &Binding) -> Result<Prediction, ModelError>;
+}
+
+/// Configuration of the host-side (Liao/Chapman) model: Table II parameters
+/// plus the thread count and trip-count mode to predict for.
+#[derive(Debug, Clone)]
+pub struct CpuCostModel {
+    /// Table II parameters.
+    pub params: CpuModelParams,
+    /// OpenMP threads the prediction assumes.
+    pub threads: u32,
+    /// Trip-count abstraction.
+    pub trip_mode: TripMode,
+}
+
+impl CostModel for CpuCostModel {
+    type Compiled = CompiledCpuModel;
+
+    fn compile(&self, kernel: &Kernel) -> CompiledCpuModel {
+        cpu::compile(kernel, &self.params, self.threads, self.trip_mode)
+    }
+}
+
+impl CompiledModel for CompiledCpuModel {
+    fn region(&self) -> &str {
+        &self.kernel().name
+    }
+
+    fn evaluate(&self, binding: &Binding) -> Result<Prediction, ModelError> {
+        CompiledCpuModel::evaluate(self, binding).map(|p| Prediction {
+            seconds: p.seconds,
+            kernel_seconds: p.seconds,
+            transfer_seconds: 0.0,
+        })
+    }
+}
+
+/// Configuration of the device-side (Hong–Kim + `#OMP_Rep`) model: Table III
+/// parameters plus the trip-count and coalescing modes.
+#[derive(Debug, Clone)]
+pub struct GpuCostModel {
+    /// Device sheet and pipeline constants.
+    pub params: GpuModelParams,
+    /// Trip-count abstraction.
+    pub trip_mode: TripMode,
+    /// How memory accesses are classified.
+    pub coal_mode: CoalescingMode,
+}
+
+impl CostModel for GpuCostModel {
+    type Compiled = CompiledGpuModel;
+
+    fn compile(&self, kernel: &Kernel) -> CompiledGpuModel {
+        gpu::compile(kernel, &self.params, self.trip_mode, self.coal_mode)
+    }
+}
+
+impl CompiledModel for CompiledGpuModel {
+    fn region(&self) -> &str {
+        &self.kernel().name
+    }
+
+    fn evaluate(&self, binding: &Binding) -> Result<Prediction, ModelError> {
+        CompiledGpuModel::evaluate(self, binding).map(|p| Prediction {
+            seconds: p.seconds,
+            kernel_seconds: p.kernel_seconds,
+            transfer_seconds: p.transfer_seconds,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{power9_params, v100_params};
+    use hetsel_polybench::{find_kernel, Dataset};
+
+    fn models() -> (CpuCostModel, GpuCostModel) {
+        (
+            CpuCostModel {
+                params: power9_params(),
+                threads: 160,
+                trip_mode: TripMode::Runtime,
+            },
+            GpuCostModel {
+                params: v100_params(),
+                trip_mode: TripMode::Runtime,
+                coal_mode: CoalescingMode::Ipda,
+            },
+        )
+    }
+
+    #[test]
+    fn trait_evaluation_matches_one_shot_predict() {
+        let (cpu_m, gpu_m) = models();
+        for name in ["gemm", "atax.k2", "3dconv", "corr.corr"] {
+            let (k, binding) = find_kernel(name).unwrap();
+            let b = binding(Dataset::Test);
+            let cc = cpu_m.compile(&k);
+            let cg = gpu_m.compile(&k);
+            assert_eq!(CompiledModel::region(&cc), name);
+            assert_eq!(CompiledModel::region(&cg), name);
+            let pc = CompiledModel::evaluate(&cc, &b).unwrap();
+            let pg = CompiledModel::evaluate(&cg, &b).unwrap();
+            let oc = cpu::predict(&k, &b, &power9_params(), 160, TripMode::Runtime).unwrap();
+            let og = gpu::predict(
+                &k,
+                &b,
+                &v100_params(),
+                TripMode::Runtime,
+                CoalescingMode::Ipda,
+            )
+            .unwrap();
+            assert_eq!(pc.seconds.to_bits(), oc.seconds.to_bits(), "{name} cpu");
+            assert_eq!(pg.seconds.to_bits(), og.seconds.to_bits(), "{name} gpu");
+            assert_eq!(
+                pg.transfer_seconds.to_bits(),
+                og.transfer_seconds.to_bits(),
+                "{name} transfer"
+            );
+        }
+    }
+
+    #[test]
+    fn errors_carry_the_reason() {
+        let (cpu_m, gpu_m) = models();
+        let (k, _) = find_kernel("gemm").unwrap();
+        let empty = Binding::new();
+        let cc = cpu_m.compile(&k);
+        let cg = gpu_m.compile(&k);
+        assert!(matches!(
+            CompiledModel::evaluate(&cc, &empty),
+            Err(ModelError::UnboundSymbol { .. })
+        ));
+        assert!(matches!(
+            CompiledModel::evaluate(&cg, &empty),
+            Err(ModelError::UnboundSymbol { .. })
+        ));
+        let zero_threads = CpuCostModel {
+            threads: 0,
+            ..cpu_m
+        };
+        let (_, binding) = find_kernel("gemm").unwrap();
+        assert_eq!(
+            CompiledModel::evaluate(&zero_threads.compile(&k), &binding(Dataset::Test)),
+            Err(ModelError::ZeroThreads)
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! Typed model-evaluation errors.
+//!
+//! The original prediction entry points returned `Option`: a `None` collapsed
+//! "a parameter the runtime never bound", "an empty iteration space" and
+//! "a shape the analysis cannot handle" into one indistinguishable case, and
+//! the selector silently fell back to offloading. The selector's fallback
+//! behaviour is part of the paper's story (unresolvable regions are offloaded,
+//! Section V), so the *reason* for a fallback deserves to be recorded:
+//! [`ModelError`] carries it through the decision path.
+
+use std::fmt;
+
+use hetsel_ir::{Binding, Kernel};
+
+/// Why a compiled model could not produce a prediction for a binding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A symbolic parameter required by the kernel (an array extent or loop
+    /// bound) is missing from the runtime binding.
+    UnboundSymbol {
+        /// The parameter name, e.g. `"n"`.
+        name: String,
+    },
+    /// The parallel iteration space is empty: there is nothing to execute,
+    /// so a time prediction is meaningless on either device.
+    ZeroTrip,
+    /// The host model was asked to predict for zero OpenMP threads.
+    ZeroThreads,
+    /// The kernel resolves, but some symbolic quantity in it does not close
+    /// to a value the analysis can use.
+    UnsupportedShape {
+        /// Human-readable description of what failed to close.
+        reason: String,
+    },
+}
+
+impl ModelError {
+    /// Classifies a failed symbolic resolution against `binding`: names the
+    /// first kernel parameter the binding does not cover, or falls back to
+    /// [`ModelError::UnsupportedShape`] when every parameter is bound (the
+    /// failure is then structural, e.g. a division by a zero-valued bound).
+    pub fn unresolved(kernel: &Kernel, binding: &Binding) -> ModelError {
+        for name in kernel.params() {
+            if binding.get(&name).is_none() {
+                return ModelError::UnboundSymbol { name };
+            }
+        }
+        ModelError::UnsupportedShape {
+            reason: format!(
+                "a symbolic quantity of `{}` did not resolve to a value",
+                kernel.name
+            ),
+        }
+    }
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnboundSymbol { name } => {
+                write!(f, "parameter `{name}` is not bound at runtime")
+            }
+            ModelError::ZeroTrip => write!(f, "parallel iteration space is empty"),
+            ModelError::ZeroThreads => write!(f, "zero host threads requested"),
+            ModelError::UnsupportedShape { reason } => {
+                write!(f, "unsupported kernel shape: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsel_ir::Binding;
+    use hetsel_polybench::find_kernel;
+
+    #[test]
+    fn unresolved_names_the_missing_parameter() {
+        let (k, _) = find_kernel("gemm").unwrap();
+        match ModelError::unresolved(&k, &Binding::new()) {
+            ModelError::UnboundSymbol { name } => {
+                assert!(k.params().contains(&name), "{name} not a gemm parameter")
+            }
+            other => panic!("expected UnboundSymbol, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fully_bound_kernel_reports_unsupported_shape() {
+        let (k, binding) = find_kernel("gemm").unwrap();
+        let b = binding(hetsel_polybench::Dataset::Test);
+        assert!(matches!(
+            ModelError::unresolved(&k, &b),
+            ModelError::UnsupportedShape { .. }
+        ));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = ModelError::UnboundSymbol { name: "n".into() };
+        assert!(e.to_string().contains("`n`"));
+        assert!(ModelError::ZeroTrip.to_string().contains("empty"));
+    }
+}

@@ -14,11 +14,14 @@
 //! instruction pays the full device-memory latency, which the paper calls
 //! out when discussing the SYRK over-estimate.
 
+use std::sync::Arc;
+
+use crate::error::ModelError;
 use crate::trip::TripMode;
 use hetsel_gpusim::{occupancy, select, Geometry, GpuDescriptor, Occupancy};
-use hetsel_ipda::{analyze, KernelAccessInfo};
-use hetsel_mca::{loadout, OpKind};
+use hetsel_ipda::{analyze_cached, KernelAccessInfo};
 use hetsel_ir::{trips, Binding, Kernel};
+use hetsel_mca::{compile_loadout, CompiledLoadout, OpKind};
 
 /// How memory accesses are classified when the model runs — `Ipda` is the
 /// paper's contribution; the two `Assume*` modes exist for ablation.
@@ -249,7 +252,11 @@ fn census(
     MemCensus {
         coal,
         uncoal,
-        uncoal_txns: if uncoal > 0.0 { uncoal_txn_sum / uncoal } else { 32.0 },
+        uncoal_txns: if uncoal > 0.0 {
+            uncoal_txn_sum / uncoal
+        } else {
+            32.0
+        },
         l2_hit: if total > 0.0 { hit_sum / total } else { 0.0 },
         avg_txns: if total > 0.0 { txn_sum / total } else { 1.0 },
     }
@@ -284,116 +291,174 @@ pub fn predict(
     trip_mode: TripMode,
     coal_mode: CoalescingMode,
 ) -> Option<GpuPrediction> {
-    let dev = &params.device;
-    let p_iters = kernel.parallel_iterations(binding)?;
-    if p_iters == 0 {
-        return None;
+    compile(kernel, params, trip_mode, coal_mode)
+        .evaluate(binding)
+        .ok()
+}
+
+/// The compile-time half of the GPU model: IPDA and the instruction-loadout
+/// lowering both run once, here; [`CompiledGpuModel::evaluate`] then only
+/// binds trip counts and replays precomputed arithmetic.
+pub fn compile(
+    kernel: &Kernel,
+    params: &GpuModelParams,
+    trip_mode: TripMode,
+    coal_mode: CoalescingMode,
+) -> CompiledGpuModel {
+    CompiledGpuModel {
+        info: analyze_cached(kernel),
+        loadout: compile_loadout(kernel),
+        kernel: kernel.clone(),
+        params: params.clone(),
+        trip_mode,
+        coal_mode,
     }
-    let geometry = select(dev, p_iters);
-    let occ = occupancy(dev, &geometry);
-    let n = f64::from(occ.warps_per_sm).max(1.0);
+}
 
-    let tc = trips::resolve(kernel, binding);
-    let trip_fn = trip_mode.trip_fn(&tc);
-    let lo = loadout(kernel, &*trip_fn);
+/// A kernel's GPU model after the compile phase: the attribute-database
+/// entry of the paper's architecture. Holds the partially evaluated
+/// instruction loadout and the shared IPDA result; evaluation against a
+/// [`Binding`] resolves strides and trip counts and composes Figures 4–5.
+#[derive(Debug, Clone)]
+pub struct CompiledGpuModel {
+    kernel: Kernel,
+    params: GpuModelParams,
+    trip_mode: TripMode,
+    coal_mode: CoalescingMode,
+    info: Arc<KernelAccessInfo>,
+    loadout: CompiledLoadout,
+}
 
-    // Instruction loadout: compute vs I/O categories (Section IV.B).
-    let mut total_insts = 0.0;
-    for k in hetsel_mca::ALL_KINDS {
-        let cost = match k {
-            OpKind::FDiv | OpKind::FSqrt => 8.0,
-            _ => 1.0,
-        };
-        total_insts += lo.count(k) * cost;
+impl CompiledGpuModel {
+    /// The kernel this model was compiled from.
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
     }
-    let mem_insts = lo.mem_insts().max(1.0);
 
-    let info = analyze(kernel);
-    let resident = (geometry.total_threads() as f64).min(p_iters as f64);
-    let c = census(
-        kernel, &info, binding, dev, &tc, coal_mode, trip_mode, resident,
-    );
-    let (coal, uncoal, uncoal_txns) = (c.coal, c.uncoal, c.uncoal_txns);
-
-    // Figure 5 quantities, with the Volta adaptation's L2 blend: a
-    // transaction served by L2 has L2 latency and departs at the LSU rate
-    // instead of paying the DRAM departure delay.
-    let base_l = c.l2_hit * dev.l2_latency_cycles + (1.0 - c.l2_hit) * dev.mem_latency_cycles;
-    let txn_departure = c.l2_hit * (1.0 / dev.lsu_txns_per_cycle)
-        + (1.0 - c.l2_hit) * params.departure_del_uncoal;
-    let mem_l_coal = base_l;
-    let mem_l_uncoal = base_l + (uncoal_txns - 1.0) * txn_departure;
-    let mem_frac_uncoal = uncoal / (coal + uncoal).max(1.0);
-    let mem_l = mem_l_uncoal * mem_frac_uncoal + mem_l_coal * (1.0 - mem_frac_uncoal);
-    let departure_delay = txn_departure * uncoal_txns * mem_frac_uncoal
-        + params.departure_del_coal * (1.0 - mem_frac_uncoal);
-    let mwp_without_bw = (mem_l / departure_delay.max(1.0)).round().max(1.0);
-
-    // Bandwidth-limited MWP: only L2 misses consume DRAM bandwidth.
-    let load_bytes_per_warp =
-        f64::from(dev.segment_bytes) * c.avg_txns * (1.0 - c.l2_hit).max(0.05);
-    let bw_per_warp = dev.clock_ghz * load_bytes_per_warp / mem_l; // GB/s
-    let mwp_peak_bw = dev.mem_bandwidth_gbs / (bw_per_warp * f64::from(occ.active_sms).max(1.0));
-    let mwp = mwp_without_bw.min(mwp_peak_bw).min(n).max(1.0);
-
-    let comp_cycles = params.issue_cycles * total_insts;
-    let mem_cycles = mem_l_uncoal * uncoal + mem_l_coal * coal;
-    let cwp_full = if comp_cycles > 0.0 {
-        (mem_cycles + comp_cycles) / comp_cycles
-    } else {
-        n
-    };
-    let cwp = cwp_full.min(n).max(1.0);
-
-    let rep = (geometry.blocks as f64
-        / (f64::from(occ.blocks_per_sm).max(1.0) * f64::from(occ.active_sms).max(1.0)))
-    .max(1.0);
-    let omp_rep = geometry.omp_rep as f64;
-
-    // Figure 4, with the highlighted × #Rep × #OMP_Rep factor.
-    let (case, per_rep_cycles) = if (mwp - n).abs() < 1e-9 && (cwp - n).abs() < 1e-9 {
-        (
-            HongCase::Balanced,
-            mem_cycles + comp_cycles + (comp_cycles / mem_insts) * (mwp - 1.0),
-        )
-    } else if cwp >= mwp {
-        (
-            HongCase::MemoryBound,
-            mem_cycles * n / mwp + (comp_cycles / mem_insts) * (mwp - 1.0),
-        )
-    } else {
-        (HongCase::ComputeBound, mem_l + comp_cycles * n)
-    };
-    let exec_cycles = per_rep_cycles * rep * omp_rep;
-    let kernel_seconds = exec_cycles / (dev.clock_ghz * 1e9);
-
-    let bytes_in = kernel.bytes_to_device(binding)? as f64;
-    let bytes_out = kernel.bytes_from_device(binding)? as f64;
-    let transfer = |b: f64| {
-        if b <= 0.0 {
-            0.0
-        } else {
-            dev.bus.latency_us * 1e-6 + b / (dev.bus.bandwidth_gbs * 1e9)
+    /// The runtime half of the model: produces exactly the arithmetic — bit
+    /// for bit — of the one-shot [`predict`].
+    pub fn evaluate(&self, binding: &Binding) -> Result<GpuPrediction, ModelError> {
+        let kernel = &self.kernel;
+        let params = &self.params;
+        let (trip_mode, coal_mode) = (self.trip_mode, self.coal_mode);
+        let dev = &params.device;
+        let p_iters = kernel
+            .parallel_iterations(binding)
+            .ok_or_else(|| ModelError::unresolved(kernel, binding))?;
+        if p_iters == 0 {
+            return Err(ModelError::ZeroTrip);
         }
-    };
-    let transfer_seconds = transfer(bytes_in) + transfer(bytes_out);
+        let geometry = select(dev, p_iters);
+        let occ = occupancy(dev, &geometry);
+        let n = f64::from(occ.warps_per_sm).max(1.0);
 
-    Some(GpuPrediction {
-        seconds: kernel_seconds + transfer_seconds + dev.launch_overhead_us * 1e-6,
-        kernel_seconds,
-        transfer_seconds,
-        exec_cycles,
-        mwp,
-        cwp,
-        n_warps: n,
-        case,
-        rep,
-        omp_rep,
-        coal_mem_insts: coal,
-        uncoal_mem_insts: uncoal,
-        geometry,
-        occupancy: occ,
-    })
+        let tc = trips::resolve(kernel, binding);
+        let trip_fn = trip_mode.trip_fn(&tc);
+        let lo = self.loadout.evaluate(&*trip_fn);
+
+        // Instruction loadout: compute vs I/O categories (Section IV.B).
+        let mut total_insts = 0.0;
+        for k in hetsel_mca::ALL_KINDS {
+            let cost = match k {
+                OpKind::FDiv | OpKind::FSqrt => 8.0,
+                _ => 1.0,
+            };
+            total_insts += lo.count(k) * cost;
+        }
+        let mem_insts = lo.mem_insts().max(1.0);
+
+        let info = &self.info;
+        let resident = (geometry.total_threads() as f64).min(p_iters as f64);
+        let c = census(
+            kernel, info, binding, dev, &tc, coal_mode, trip_mode, resident,
+        );
+        let (coal, uncoal, uncoal_txns) = (c.coal, c.uncoal, c.uncoal_txns);
+
+        // Figure 5 quantities, with the Volta adaptation's L2 blend: a
+        // transaction served by L2 has L2 latency and departs at the LSU rate
+        // instead of paying the DRAM departure delay.
+        let base_l = c.l2_hit * dev.l2_latency_cycles + (1.0 - c.l2_hit) * dev.mem_latency_cycles;
+        let txn_departure = c.l2_hit * (1.0 / dev.lsu_txns_per_cycle)
+            + (1.0 - c.l2_hit) * params.departure_del_uncoal;
+        let mem_l_coal = base_l;
+        let mem_l_uncoal = base_l + (uncoal_txns - 1.0) * txn_departure;
+        let mem_frac_uncoal = uncoal / (coal + uncoal).max(1.0);
+        let mem_l = mem_l_uncoal * mem_frac_uncoal + mem_l_coal * (1.0 - mem_frac_uncoal);
+        let departure_delay = txn_departure * uncoal_txns * mem_frac_uncoal
+            + params.departure_del_coal * (1.0 - mem_frac_uncoal);
+        let mwp_without_bw = (mem_l / departure_delay.max(1.0)).round().max(1.0);
+
+        // Bandwidth-limited MWP: only L2 misses consume DRAM bandwidth.
+        let load_bytes_per_warp =
+            f64::from(dev.segment_bytes) * c.avg_txns * (1.0 - c.l2_hit).max(0.05);
+        let bw_per_warp = dev.clock_ghz * load_bytes_per_warp / mem_l; // GB/s
+        let mwp_peak_bw =
+            dev.mem_bandwidth_gbs / (bw_per_warp * f64::from(occ.active_sms).max(1.0));
+        let mwp = mwp_without_bw.min(mwp_peak_bw).min(n).max(1.0);
+
+        let comp_cycles = params.issue_cycles * total_insts;
+        let mem_cycles = mem_l_uncoal * uncoal + mem_l_coal * coal;
+        let cwp_full = if comp_cycles > 0.0 {
+            (mem_cycles + comp_cycles) / comp_cycles
+        } else {
+            n
+        };
+        let cwp = cwp_full.min(n).max(1.0);
+
+        let rep = (geometry.blocks as f64
+            / (f64::from(occ.blocks_per_sm).max(1.0) * f64::from(occ.active_sms).max(1.0)))
+        .max(1.0);
+        let omp_rep = geometry.omp_rep as f64;
+
+        // Figure 4, with the highlighted × #Rep × #OMP_Rep factor.
+        let (case, per_rep_cycles) = if (mwp - n).abs() < 1e-9 && (cwp - n).abs() < 1e-9 {
+            (
+                HongCase::Balanced,
+                mem_cycles + comp_cycles + (comp_cycles / mem_insts) * (mwp - 1.0),
+            )
+        } else if cwp >= mwp {
+            (
+                HongCase::MemoryBound,
+                mem_cycles * n / mwp + (comp_cycles / mem_insts) * (mwp - 1.0),
+            )
+        } else {
+            (HongCase::ComputeBound, mem_l + comp_cycles * n)
+        };
+        let exec_cycles = per_rep_cycles * rep * omp_rep;
+        let kernel_seconds = exec_cycles / (dev.clock_ghz * 1e9);
+
+        let bytes_in = kernel
+            .bytes_to_device(binding)
+            .ok_or_else(|| ModelError::unresolved(kernel, binding))? as f64;
+        let bytes_out = kernel
+            .bytes_from_device(binding)
+            .ok_or_else(|| ModelError::unresolved(kernel, binding))? as f64;
+        let transfer = |b: f64| {
+            if b <= 0.0 {
+                0.0
+            } else {
+                dev.bus.latency_us * 1e-6 + b / (dev.bus.bandwidth_gbs * 1e9)
+            }
+        };
+        let transfer_seconds = transfer(bytes_in) + transfer(bytes_out);
+
+        Ok(GpuPrediction {
+            seconds: kernel_seconds + transfer_seconds + dev.launch_overhead_us * 1e-6,
+            kernel_seconds,
+            transfer_seconds,
+            exec_cycles,
+            mwp,
+            cwp,
+            n_warps: n,
+            case,
+            rep,
+            omp_rep,
+            coal_mem_insts: coal,
+            uncoal_mem_insts: uncoal,
+            geometry,
+            occupancy: occ,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -443,8 +508,22 @@ mod tests {
         let b = binding(Dataset::Test);
         let p = v100_params();
         let ipda = predict(&k, &b, &p, TripMode::Runtime, CoalescingMode::Ipda).unwrap();
-        let unc = predict(&k, &b, &p, TripMode::Runtime, CoalescingMode::AssumeUncoalesced).unwrap();
-        let co = predict(&k, &b, &p, TripMode::Runtime, CoalescingMode::AssumeCoalesced).unwrap();
+        let unc = predict(
+            &k,
+            &b,
+            &p,
+            TripMode::Runtime,
+            CoalescingMode::AssumeUncoalesced,
+        )
+        .unwrap();
+        let co = predict(
+            &k,
+            &b,
+            &p,
+            TripMode::Runtime,
+            CoalescingMode::AssumeCoalesced,
+        )
+        .unwrap();
         assert!(co.kernel_seconds <= ipda.kernel_seconds + 1e-12);
         assert!(ipda.kernel_seconds <= unc.kernel_seconds + 1e-12);
     }
@@ -464,7 +543,12 @@ mod tests {
         for name in ["gemm", "2dconv", "atax.k2"] {
             let v = pred(name, Dataset::Benchmark, &v100_params());
             let k = pred(name, Dataset::Benchmark, &k80_params());
-            assert!(v.seconds < k.seconds, "{name}: v100 {} k80 {}", v.seconds, k.seconds);
+            assert!(
+                v.seconds < k.seconds,
+                "{name}: v100 {} k80 {}",
+                v.seconds,
+                k.seconds
+            );
         }
     }
 

@@ -17,13 +17,27 @@
 //! 128-iteration trip-count assumption as [`TripMode::Assume128`]), kept
 //! deliberately so that model-vs-simulator error reproduces the paper's
 //! error structure.
+//!
+//! The two-phase split is realised by the [`engine`] traits: a
+//! [`CostModel`] compiles a kernel once into a [`CompiledModel`]
+//! (attribute-database entry), which is then evaluated per runtime binding.
+//! The legacy free functions [`cpu::predict`] / [`gpu::predict`] are thin
+//! wrappers over compile-then-evaluate, so both paths are identical bit for
+//! bit. Evaluation failures are typed [`ModelError`]s, not silent `None`s.
 
 #![warn(missing_docs)]
 
 pub mod cpu;
+pub mod engine;
+pub mod error;
 pub mod gpu;
 pub mod trip;
 
-pub use cpu::{power8_params, power9_params, CpuModelParams, CpuPrediction};
-pub use gpu::{k80_params, p100_params, v100_params, CoalescingMode, GpuModelParams, GpuPrediction, HongCase};
+pub use cpu::{power8_params, power9_params, CompiledCpuModel, CpuModelParams, CpuPrediction};
+pub use engine::{CompiledModel, CostModel, CpuCostModel, GpuCostModel, Prediction};
+pub use error::ModelError;
+pub use gpu::{
+    k80_params, p100_params, v100_params, CoalescingMode, CompiledGpuModel, GpuModelParams,
+    GpuPrediction, HongCase,
+};
 pub use trip::TripMode;

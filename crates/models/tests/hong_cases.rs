@@ -1,11 +1,18 @@
 //! Coverage of the Hong–Kim model's three Figure-4 cases and the model's
 //! qualitative behaviours, using purpose-built kernels.
 
-use hetsel_models::{gpu, v100_params, CoalescingMode, HongCase, TripMode};
 use hetsel_ir::{cexpr, Binding, Expr, Kernel, KernelBuilder, Transfer};
+use hetsel_models::{gpu, v100_params, CoalescingMode, HongCase, TripMode};
 
 fn predict(k: &Kernel, b: &Binding) -> gpu::GpuPrediction {
-    gpu::predict(k, b, &v100_params(), TripMode::Runtime, CoalescingMode::Ipda).unwrap()
+    gpu::predict(
+        k,
+        b,
+        &v100_params(),
+        TripMode::Runtime,
+        CoalescingMode::Ipda,
+    )
+    .unwrap()
 }
 
 /// Compute-heavy: long dependent FP chain per thread, one load.
@@ -18,7 +25,10 @@ fn compute_kernel() -> Kernel {
     let j = kb.seq_loop(0, "iters");
     kb.assign_acc(
         "s",
-        cexpr::add(cexpr::mul(cexpr::acc(), cexpr::scalar("c")), cexpr::scalar("d")),
+        cexpr::add(
+            cexpr::mul(cexpr::acc(), cexpr::scalar("c")),
+            cexpr::scalar("d"),
+        ),
     );
     kb.end_loop();
     kb.store_acc(y, &[i.into()], "s");
@@ -58,7 +68,14 @@ fn memory_bound_case_fires() {
     let k = memory_kernel();
     let b = Binding::new().with("n", 1 << 20).with("m", 4096);
     let p = predict(&k, &b);
-    assert_eq!(p.case, HongCase::MemoryBound, "mwp={} cwp={} n={}", p.mwp, p.cwp, p.n_warps);
+    assert_eq!(
+        p.case,
+        HongCase::MemoryBound,
+        "mwp={} cwp={} n={}",
+        p.mwp,
+        p.cwp,
+        p.n_warps
+    );
     assert!(p.mwp < p.cwp);
 }
 
@@ -68,7 +85,14 @@ fn balanced_case_fires_when_warps_are_scarce() {
     let k = memory_kernel();
     let b = Binding::new().with("n", 256).with("m", 64);
     let p = predict(&k, &b);
-    assert_eq!(p.case, HongCase::Balanced, "mwp={} cwp={} n={}", p.mwp, p.cwp, p.n_warps);
+    assert_eq!(
+        p.case,
+        HongCase::Balanced,
+        "mwp={} cwp={} n={}",
+        p.mwp,
+        p.cwp,
+        p.n_warps
+    );
     assert_eq!(p.mwp, p.n_warps);
     assert_eq!(p.cwp, p.n_warps);
 }
@@ -103,9 +127,23 @@ fn coalescing_modes_order_predictions() {
     let k = kb.finish();
     let b = Binding::new().with("n", 1 << 20);
     let p = v100_params();
-    let co = gpu::predict(&k, &b, &p, TripMode::Runtime, CoalescingMode::AssumeCoalesced).unwrap();
+    let co = gpu::predict(
+        &k,
+        &b,
+        &p,
+        TripMode::Runtime,
+        CoalescingMode::AssumeCoalesced,
+    )
+    .unwrap();
     let ip = gpu::predict(&k, &b, &p, TripMode::Runtime, CoalescingMode::Ipda).unwrap();
-    let un = gpu::predict(&k, &b, &p, TripMode::Runtime, CoalescingMode::AssumeUncoalesced).unwrap();
+    let un = gpu::predict(
+        &k,
+        &b,
+        &p,
+        TripMode::Runtime,
+        CoalescingMode::AssumeUncoalesced,
+    )
+    .unwrap();
     assert!(co.kernel_seconds <= ip.kernel_seconds + 1e-15);
     assert!(ip.kernel_seconds <= un.kernel_seconds + 1e-15);
     // The strided access really is uncoalesced: IPDA sits at the

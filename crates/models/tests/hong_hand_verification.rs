@@ -3,8 +3,8 @@
 //! intermediate quantity and the final `Exec_cycles` must match the
 //! closed-form arithmetic exactly.
 
-use hetsel_models::{gpu, v100_params, CoalescingMode, HongCase, TripMode};
 use hetsel_ir::{Binding, Kernel, KernelBuilder, Transfer};
+use hetsel_models::{gpu, v100_params, CoalescingMode, HongCase, TripMode};
 
 /// One coalesced load + one coalesced store per thread, no inner loop:
 /// every count is knowable by inspection.
@@ -115,7 +115,12 @@ fn uncoalesced_departure_delay_enters_mem_l() {
     // Stride-16 f32 access: 16 transactions per warp (two lanes per 32 B
     // segment), uncoalesced.
     let mut kb = KernelBuilder::new("strided");
-    let x = kb.array("x", 4, &[hetsel_ir::Expr::param("n") * hetsel_ir::Expr::Const(16)], Transfer::In);
+    let x = kb.array(
+        "x",
+        4,
+        &[hetsel_ir::Expr::param("n") * hetsel_ir::Expr::Const(16)],
+        Transfer::In,
+    );
     let y = kb.array("y", 4, &["n".into()], Transfer::Out);
     let i = kb.parallel_loop(0, "n");
     let ld = kb.load(x, &[hetsel_ir::Expr::Const(16) * hetsel_ir::Expr::var(i)]);

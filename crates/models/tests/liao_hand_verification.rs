@@ -2,8 +2,8 @@
 //! Figure 3 + Table II): for a trivially small kernel, every term is
 //! reproducible with pencil-and-paper arithmetic.
 
-use hetsel_models::{cpu, power9_params, TripMode};
 use hetsel_ir::{cexpr, Binding, Kernel, KernelBuilder, Transfer};
+use hetsel_models::{cpu, power9_params, TripMode};
 
 /// `y[i] = x[i]` over n iterations: one load, one store, no inner loop.
 fn copy_kernel() -> Kernel {
@@ -25,8 +25,14 @@ fn figure3_terms_by_hand() {
     // 160 threads over 160_000 iterations: chunk = 1000 exactly.
     let n: i64 = 160_000;
     let threads = 160;
-    let p = cpu::predict(&k, &Binding::new().with("n", n), &params, threads, TripMode::Runtime)
-        .unwrap();
+    let p = cpu::predict(
+        &k,
+        &Binding::new().with("n", n),
+        &params,
+        threads,
+        TripMode::Runtime,
+    )
+    .unwrap();
 
     assert_eq!(p.chunk, 1000);
 
@@ -43,8 +49,7 @@ fn figure3_terms_by_hand() {
     assert_eq!(p.cache_cost, 0.0);
     // smt_stretch: 160 threads vs 40 effective (20 cores × smt_benefit 2).
     let stretch = 4.0;
-    let expected_chunk_cycles =
-        (p.machine_cycles_per_iter * 1000.0 + 0.0 + 4.0 * 1000.0) * stretch;
+    let expected_chunk_cycles = (p.machine_cycles_per_iter * 1000.0 + 0.0 + 4.0 * 1000.0) * stretch;
     assert!(
         (p.loop_chunk_cycles - expected_chunk_cycles).abs() < 1e-9,
         "{} vs {}",
@@ -65,10 +70,22 @@ fn figure3_terms_by_hand() {
 fn chunk_scaling_is_linear_in_iterations() {
     let k = copy_kernel();
     let params = power9_params();
-    let p1 = cpu::predict(&k, &Binding::new().with("n", 160_000), &params, 160, TripMode::Runtime)
-        .unwrap();
-    let p2 = cpu::predict(&k, &Binding::new().with("n", 320_000), &params, 160, TripMode::Runtime)
-        .unwrap();
+    let p1 = cpu::predict(
+        &k,
+        &Binding::new().with("n", 160_000),
+        &params,
+        160,
+        TripMode::Runtime,
+    )
+    .unwrap();
+    let p2 = cpu::predict(
+        &k,
+        &Binding::new().with("n", 320_000),
+        &params,
+        160,
+        TripMode::Runtime,
+    )
+    .unwrap();
     // Overheads constant, chunk term doubles.
     let fixed = p1.fork_cycles + p1.schedule_cycles + p1.join_cycles;
     assert_eq!(fixed, p2.fork_cycles + p2.schedule_cycles + p2.join_cycles);
@@ -98,12 +115,24 @@ fn tlb_term_engages_past_the_reach() {
     let params = power9_params();
 
     // 4000^2 x 4 B = 61 MiB (+ y): under the 64 MiB reach — no misses.
-    let at = cpu::predict(&k, &Binding::new().with("n", 4000), &params, 160, TripMode::Runtime)
-        .unwrap();
+    let at = cpu::predict(
+        &k,
+        &Binding::new().with("n", 4000),
+        &params,
+        160,
+        TripMode::Runtime,
+    )
+    .unwrap();
     assert_eq!(at.cache_cost, 0.0);
     // 8192^2 x 4 B = 256 MiB: every strided access crosses a page.
-    let over = cpu::predict(&k, &Binding::new().with("n", 8192), &params, 160, TripMode::Runtime)
-        .unwrap();
+    let over = cpu::predict(
+        &k,
+        &Binding::new().with("n", 8192),
+        &params,
+        160,
+        TripMode::Runtime,
+    )
+    .unwrap();
     assert!(over.cache_cost > 0.0);
     // Per-iteration misses = inner trips (stride 32 KiB = half a page =>
     // probability 0.5) x ... at minimum thousands of cycles per chunk.

@@ -66,11 +66,17 @@ fn std_kernel() -> Kernel {
     let j = kb.parallel_loop(0, "m");
     kb.acc_init("acc", cexpr::lit(0.0));
     let i = kb.seq_loop(0, "n");
-    let diff = cexpr::sub(kb.load(data, &[i.into(), j.into()]), kb.load(mean, &[j.into()]));
+    let diff = cexpr::sub(
+        kb.load(data, &[i.into(), j.into()]),
+        kb.load(mean, &[j.into()]),
+    );
     kb.assign_acc("d", diff);
     kb.assign_acc(
         "acc",
-        cexpr::add(cexpr::acc(), cexpr::mul(cexpr::scalar("d"), cexpr::scalar("d"))),
+        cexpr::add(
+            cexpr::acc(),
+            cexpr::mul(cexpr::scalar("d"), cexpr::scalar("d")),
+        ),
     );
     kb.end_loop();
     kb.store(
@@ -90,7 +96,10 @@ fn reduce_kernel() -> Kernel {
     let std = kb.array("std", 4, &["m".into()], Transfer::In);
     let i = kb.parallel_loop(0, "n");
     let j = kb.parallel_loop(0, "m");
-    let centered = cexpr::sub(kb.load(data, &[i.into(), j.into()]), kb.load(mean, &[j.into()]));
+    let centered = cexpr::sub(
+        kb.load(data, &[i.into(), j.into()]),
+        kb.load(mean, &[j.into()]),
+    );
     let denom = cexpr::mul(cexpr::scalar("sqrt_float_n"), kb.load(std, &[j.into()]));
     kb.store(data, &[i.into(), j.into()], cexpr::div(centered, denom));
     kb.end_loop();
@@ -109,7 +118,10 @@ fn corr_kernel() -> Kernel {
     let j2 = kb.seq_loop(Expr::var(j1) + Expr::Const(1), "m");
     kb.acc_init("acc", cexpr::lit(0.0));
     let i = kb.seq_loop(0, "n");
-    let prod = cexpr::mul(kb.load(data, &[i.into(), j1.into()]), kb.load(data, &[i.into(), j2.into()]));
+    let prod = cexpr::mul(
+        kb.load(data, &[i.into(), j1.into()]),
+        kb.load(data, &[i.into(), j2.into()]),
+    );
     kb.assign_acc("acc", cexpr::add(cexpr::acc(), prod));
     kb.end_loop();
     kb.store_acc(symmat, &[j1.into(), j2.into()], "acc");

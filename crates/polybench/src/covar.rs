@@ -52,7 +52,10 @@ fn center_kernel() -> Kernel {
     let mean = kb.array("mean", 4, &["m".into()], Transfer::In);
     let i = kb.parallel_loop(0, "n");
     let j = kb.parallel_loop(0, "m");
-    let centered = cexpr::sub(kb.load(data, &[i.into(), j.into()]), kb.load(mean, &[j.into()]));
+    let centered = cexpr::sub(
+        kb.load(data, &[i.into(), j.into()]),
+        kb.load(mean, &[j.into()]),
+    );
     kb.store(data, &[i.into(), j.into()], centered);
     kb.end_loop();
     kb.end_loop();
@@ -68,7 +71,10 @@ fn covar_kernel() -> Kernel {
     let j2 = kb.seq_loop(Expr::var(j1), "m");
     kb.acc_init("acc", cexpr::lit(0.0));
     let i = kb.seq_loop(0, "n");
-    let prod = cexpr::mul(kb.load(data, &[i.into(), j1.into()]), kb.load(data, &[i.into(), j2.into()]));
+    let prod = cexpr::mul(
+        kb.load(data, &[i.into(), j1.into()]),
+        kb.load(data, &[i.into(), j2.into()]),
+    );
     kb.assign_acc("acc", cexpr::add(cexpr::acc(), prod));
     kb.end_loop();
     kb.store_acc(symmat, &[j1.into(), j2.into()], "acc");

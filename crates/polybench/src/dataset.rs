@@ -70,7 +70,10 @@ mod tests {
         for ds in Dataset::paper_modes() {
             let flat = ds.n() * ds.n();
             let cubic = ds.n3() * ds.n3() * ds.n3();
-            assert!(cubic > flat / 2 && cubic < flat * 16, "{ds}: {cubic} vs {flat}");
+            assert!(
+                cubic > flat / 2 && cubic < flat * 16,
+                "{ds}: {cubic} vs {flat}"
+            );
         }
     }
 }

@@ -30,9 +30,19 @@ pub fn binding(ds: Dataset) -> Binding {
 /// ```
 pub fn kernels() -> Vec<Kernel> {
     let mut kb = KernelBuilder::new("doitgen");
-    let a = kb.array("A", 4, &["n".into(), "n".into(), "n".into()], Transfer::InOut);
+    let a = kb.array(
+        "A",
+        4,
+        &["n".into(), "n".into(), "n".into()],
+        Transfer::InOut,
+    );
     let c4 = kb.array("C4", 4, &["n".into(), "n".into()], Transfer::In);
-    let sum = kb.array("sum", 4, &["n".into(), "n".into(), "n".into()], Transfer::Alloc);
+    let sum = kb.array(
+        "sum",
+        4,
+        &["n".into(), "n".into(), "n".into()],
+        Transfer::Alloc,
+    );
     let r = kb.parallel_loop(0, "n");
     let q = kb.parallel_loop(0, "n");
     let p = kb.seq_loop(0, "n");
@@ -111,7 +121,9 @@ mod tests {
     #[test]
     fn parallel_matches_sequential() {
         let n = 14;
-        let mut a1: Vec<f32> = (0..n * n * n).map(|v| ((v * 13 + 5) % 64) as f32 / 64.0).collect();
+        let mut a1: Vec<f32> = (0..n * n * n)
+            .map(|v| ((v * 13 + 5) % 64) as f32 / 64.0)
+            .collect();
         let mut a2 = a1.clone();
         let c4 = poly_mat(n, n);
         run_seq(n, &mut a1, &c4);

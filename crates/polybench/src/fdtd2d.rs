@@ -104,8 +104,8 @@ pub fn step_seq(n: usize, ex: &mut [f32], ey: &mut [f32], hz: &mut [f32]) {
     }
     for i in 0..n - 1 {
         for j in 0..n - 1 {
-            hz[i * n + j] -= 0.7
-                * (ex[i * n + j + 1] - ex[i * n + j] + ey[(i + 1) * n + j] - ey[i * n + j]);
+            hz[i * n + j] -=
+                0.7 * (ex[i * n + j + 1] - ex[i * n + j] + ey[(i + 1) * n + j] - ey[i * n + j]);
         }
     }
 }
@@ -113,11 +113,14 @@ pub fn step_seq(n: usize, ex: &mut [f32], ey: &mut [f32], hz: &mut [f32]) {
 /// One parallel FDTD step.
 pub fn step_par(n: usize, ex: &mut [f32], ey: &mut [f32], hz: &mut [f32]) {
     let hz_ref: &[f32] = hz;
-    ey.par_chunks_mut(n).enumerate().skip(1).for_each(|(i, row)| {
-        for (j, v) in row.iter_mut().enumerate() {
-            *v -= 0.5 * (hz_ref[i * n + j] - hz_ref[(i - 1) * n + j]);
-        }
-    });
+    ey.par_chunks_mut(n)
+        .enumerate()
+        .skip(1)
+        .for_each(|(i, row)| {
+            for (j, v) in row.iter_mut().enumerate() {
+                *v -= 0.5 * (hz_ref[i * n + j] - hz_ref[(i - 1) * n + j]);
+            }
+        });
     ex.par_chunks_mut(n).enumerate().for_each(|(i, row)| {
         for j in 1..n {
             row[j] -= 0.5 * (hz_ref[i * n + j] - hz_ref[i * n + j - 1]);

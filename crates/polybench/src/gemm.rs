@@ -41,7 +41,10 @@ pub fn kernels() -> Vec<Kernel> {
     // acc += alpha * A[i][k] * B[k][j]
     let prod = cexpr::mul(
         cexpr::scalar("alpha"),
-        cexpr::mul(kb.load(a, &[i.into(), k.into()]), kb.load(b, &[k.into(), j.into()])),
+        cexpr::mul(
+            kb.load(a, &[i.into(), k.into()]),
+            kb.load(b, &[k.into(), j.into()]),
+        ),
     );
     kb.assign_acc("acc", cexpr::add(cexpr::acc(), prod));
     kb.end_loop();

@@ -80,7 +80,11 @@ pub fn kernels() -> Vec<Kernel> {
     let prod = cexpr::mul(kb.load(a, &[i.into(), j.into()]), kb.load(x, &[j.into()]));
     kb.assign_acc("acc", cexpr::add(cexpr::acc(), prod));
     kb.end_loop();
-    kb.store(w, &[i.into()], cexpr::mul(cexpr::scalar("alpha"), cexpr::scalar("acc")));
+    kb.store(
+        w,
+        &[i.into()],
+        cexpr::mul(cexpr::scalar("alpha"), cexpr::scalar("acc")),
+    );
     kb.end_loop();
     let k4 = kb.finish();
 

@@ -25,8 +25,18 @@ pub fn binding(ds: Dataset) -> Binding {
 /// Builds one stencil region `dst = stencil(src)`.
 fn stencil_kernel(name: &str, src_name: &str, dst_name: &str) -> Kernel {
     let mut kb = KernelBuilder::new(name);
-    let src = kb.array(src_name, 4, &["n".into(), "n".into(), "n".into()], Transfer::In);
-    let dst = kb.array(dst_name, 4, &["n".into(), "n".into(), "n".into()], Transfer::Out);
+    let src = kb.array(
+        src_name,
+        4,
+        &["n".into(), "n".into(), "n".into()],
+        Transfer::In,
+    );
+    let dst = kb.array(
+        dst_name,
+        4,
+        &["n".into(), "n".into(), "n".into()],
+        Transfer::Out,
+    );
     let i = kb.parallel_loop(1, Expr::param("n") - Expr::Const(1));
     let j = kb.parallel_loop(1, Expr::param("n") - Expr::Const(1));
     let k = kb.seq_loop(1, Expr::param("n") - Expr::Const(1));
@@ -136,7 +146,9 @@ mod tests {
     #[test]
     fn parallel_matches_sequential() {
         let n = 14;
-        let mut a1: Vec<f32> = (0..n * n * n).map(|v| ((v * 29 + 3) % 100) as f32 / 100.0).collect();
+        let mut a1: Vec<f32> = (0..n * n * n)
+            .map(|v| ((v * 29 + 3) % 100) as f32 / 100.0)
+            .collect();
         let mut b1 = vec![0.0f32; n * n * n];
         let mut a2 = a1.clone();
         let mut b2 = b1.clone();

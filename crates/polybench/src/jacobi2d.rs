@@ -34,11 +34,18 @@ pub fn kernels() -> Vec<Kernel> {
     for (di, dj) in [(0i64, -1i64), (0, 1), (1, 0), (-1, 0)] {
         let ld = kb.load(
             a,
-            &[Expr::var(i) + Expr::Const(di), Expr::var(j) + Expr::Const(dj)],
+            &[
+                Expr::var(i) + Expr::Const(di),
+                Expr::var(j) + Expr::Const(dj),
+            ],
         );
         sum = cexpr::add(sum, ld);
     }
-    kb.store(b, &[i.into(), j.into()], cexpr::mul(cexpr::scalar("c02"), sum));
+    kb.store(
+        b,
+        &[i.into(), j.into()],
+        cexpr::mul(cexpr::scalar("c02"), sum),
+    );
     kb.end_loop();
     kb.end_loop();
     let k1 = kb.finish();
@@ -62,7 +69,10 @@ fn sweep_seq(n: usize, a: &mut [f32], b: &mut [f32]) {
     for i in 1..n - 1 {
         for j in 1..n - 1 {
             b[i * n + j] = 0.2
-                * (a[i * n + j] + a[i * n + j - 1] + a[i * n + j + 1] + a[(i + 1) * n + j]
+                * (a[i * n + j]
+                    + a[i * n + j - 1]
+                    + a[i * n + j + 1]
+                    + a[(i + 1) * n + j]
                     + a[(i - 1) * n + j]);
         }
     }
@@ -92,7 +102,9 @@ pub fn run_par(n: usize, tsteps: usize, a: &mut [f32]) {
             .for_each(|(i, row)| {
                 for j in 1..n - 1 {
                     row[j] = 0.2
-                        * (a[i * n + j] + a[i * n + j - 1] + a[i * n + j + 1]
+                        * (a[i * n + j]
+                            + a[i * n + j - 1]
+                            + a[i * n + j + 1]
                             + a[(i + 1) * n + j]
                             + a[(i - 1) * n + j]);
                 }

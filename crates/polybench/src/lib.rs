@@ -17,7 +17,6 @@
 
 pub mod atax;
 pub mod bicg;
-pub mod fdtd2d;
 pub mod conv2d;
 pub mod conv3d;
 pub mod corr;
@@ -25,6 +24,7 @@ pub mod covar;
 pub mod data;
 pub mod dataset;
 pub mod doitgen;
+pub mod fdtd2d;
 pub mod gemm;
 pub mod gemver;
 pub mod gesummv;
@@ -40,6 +40,5 @@ pub mod two_mm;
 
 pub use dataset::Dataset;
 pub use suite::{
-    all_kernels, extended_suite, find_kernel, full_suite, paper_suite, suite, Benchmark,
-    BindingFn,
+    all_kernels, extended_suite, find_kernel, full_suite, paper_suite, suite, Benchmark, BindingFn,
 };

@@ -160,12 +160,21 @@ mod tests {
         for b in full_suite() {
             for k in &b.kernels {
                 let c = hetsel_ir::to_openmp_c(k);
-                assert!(c.contains("#pragma omp target teams distribute parallel for"), "{}", k.name);
+                assert!(
+                    c.contains("#pragma omp target teams distribute parallel for"),
+                    "{}",
+                    k.name
+                );
                 assert!(c.contains(&format!("// region: {}", k.name)));
                 // Every declared array that is accessed appears in the body.
                 let body = c.split_once("\n").unwrap().1;
                 for a in &k.arrays {
-                    assert!(body.contains(&a.name), "{}: array {} missing", k.name, a.name);
+                    assert!(
+                        body.contains(&a.name),
+                        "{}: array {} missing",
+                        k.name,
+                        a.name
+                    );
                 }
             }
         }

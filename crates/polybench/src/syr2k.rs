@@ -36,12 +36,18 @@ pub fn kernels() -> Vec<Kernel> {
     let k = kb.seq_loop(0, "n");
     let p1 = cexpr::mul(
         cexpr::scalar("alpha"),
-        cexpr::mul(kb.load(a, &[i.into(), k.into()]), kb.load(b, &[j.into(), k.into()])),
+        cexpr::mul(
+            kb.load(a, &[i.into(), k.into()]),
+            kb.load(b, &[j.into(), k.into()]),
+        ),
     );
     kb.assign_acc("acc", cexpr::add(cexpr::acc(), p1));
     let p2 = cexpr::mul(
         cexpr::scalar("alpha"),
-        cexpr::mul(kb.load(b, &[i.into(), k.into()]), kb.load(a, &[j.into(), k.into()])),
+        cexpr::mul(
+            kb.load(b, &[i.into(), k.into()]),
+            kb.load(a, &[j.into(), k.into()]),
+        ),
     );
     kb.assign_acc("acc", cexpr::add(cexpr::acc(), p2));
     kb.end_loop();

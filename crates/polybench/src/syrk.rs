@@ -36,7 +36,10 @@ pub fn kernels() -> Vec<Kernel> {
     let k = kb.seq_loop(0, "n");
     let prod = cexpr::mul(
         cexpr::scalar("alpha"),
-        cexpr::mul(kb.load(a, &[i.into(), k.into()]), kb.load(a, &[j.into(), k.into()])),
+        cexpr::mul(
+            kb.load(a, &[i.into(), k.into()]),
+            kb.load(a, &[j.into(), k.into()]),
+        ),
     );
     kb.assign_acc("acc", cexpr::add(cexpr::acc(), prod));
     kb.end_loop();

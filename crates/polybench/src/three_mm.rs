@@ -30,7 +30,10 @@ fn product_kernel(name: &str, x_name: &str, y_name: &str, out_name: &str) -> Ker
     let j = kb.parallel_loop(0, "n");
     kb.acc_init("acc", cexpr::lit(0.0));
     let k = kb.seq_loop(0, "n");
-    let prod = cexpr::mul(kb.load(x, &[i.into(), k.into()]), kb.load(y, &[k.into(), j.into()]));
+    let prod = cexpr::mul(
+        kb.load(x, &[i.into(), k.into()]),
+        kb.load(y, &[k.into(), j.into()]),
+    );
     kb.assign_acc("acc", cexpr::add(cexpr::acc(), prod));
     kb.end_loop();
     kb.store_acc(out, &[i.into(), j.into()], "acc");

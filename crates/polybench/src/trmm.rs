@@ -32,7 +32,10 @@ pub fn kernels() -> Vec<Kernel> {
     let j = kb.parallel_loop(0, "n");
     kb.acc_init("acc", kb.load(b, &[i.into(), j.into()]));
     let k = kb.seq_loop(Expr::var(i) + Expr::Const(1), "n");
-    let prod = cexpr::mul(kb.load(a, &[k.into(), i.into()]), kb.load(b, &[k.into(), j.into()]));
+    let prod = cexpr::mul(
+        kb.load(a, &[k.into(), i.into()]),
+        kb.load(b, &[k.into(), j.into()]),
+    );
     kb.assign_acc("acc", cexpr::add(cexpr::acc(), prod));
     kb.end_loop();
     kb.store(

@@ -34,7 +34,10 @@ pub fn kernels() -> Vec<Kernel> {
     let k = kb.seq_loop(0, "n");
     let prod = cexpr::mul(
         cexpr::scalar("alpha"),
-        cexpr::mul(kb.load(a, &[i.into(), k.into()]), kb.load(b, &[k.into(), j.into()])),
+        cexpr::mul(
+            kb.load(a, &[i.into(), k.into()]),
+            kb.load(b, &[k.into(), j.into()]),
+        ),
     );
     kb.assign_acc("acc", cexpr::add(cexpr::acc(), prod));
     kb.end_loop();
@@ -55,7 +58,10 @@ pub fn kernels() -> Vec<Kernel> {
         cexpr::mul(cexpr::scalar("beta"), kb.load(d, &[i.into(), j.into()])),
     );
     let k = kb.seq_loop(0, "n");
-    let prod = cexpr::mul(kb.load(tmp, &[i.into(), k.into()]), kb.load(c, &[k.into(), j.into()]));
+    let prod = cexpr::mul(
+        kb.load(tmp, &[i.into(), k.into()]),
+        kb.load(c, &[k.into(), j.into()]),
+    );
     kb.assign_acc("acc", cexpr::add(cexpr::acc(), prod));
     kb.end_loop();
     kb.store_acc(d, &[i.into(), j.into()], "acc");

@@ -8,10 +8,10 @@
 //! the transcriptions are faithful, and therefore that every performance
 //! number in the evaluation is about the right computation.
 
-use hetsel_polybench::data::{assert_close, poly_mat, poly_mat_alt, poly_vec, vec1};
-use hetsel_polybench::*;
 use hetsel_ir::{execute, Binding, Env};
+use hetsel_polybench::data::{assert_close, poly_mat, poly_mat_alt, poly_vec, vec1};
 use hetsel_polybench::dataset::Dataset;
+use hetsel_polybench::*;
 
 const N: usize = 24;
 
@@ -49,7 +49,16 @@ fn two_mm_ir_matches_executable() {
 
     let mut d_expected = d0.clone();
     let mut tmp_expected = vec![0.0; N * N];
-    two_mm::run_seq(N, alpha, beta, &a, &b, &c, &mut d_expected, &mut tmp_expected);
+    two_mm::run_seq(
+        N,
+        alpha,
+        beta,
+        &a,
+        &b,
+        &c,
+        &mut d_expected,
+        &mut tmp_expected,
+    );
 
     let mut env = Env::new()
         .buffer("A", a)
@@ -168,7 +177,9 @@ fn conv3d_ir_matches_executable() {
     let a = vec1(n * n * n, |i| ((i * 31 + 7) % 128) as f32 / 128.0);
     let expected = conv3d::run_seq(n, &a);
 
-    let names = ["c11", "c21", "c31", "c12", "c22", "c32", "c13", "c23", "c33", "c21b", "c23b"];
+    let names = [
+        "c11", "c21", "c31", "c12", "c22", "c32", "c13", "c23", "c33", "c21b", "c23b",
+    ];
     let mut env = Env::new().buffer("A", a).buffer("B", vec![0.0; n * n * n]);
     for (name, c) in names.iter().zip(conv3d::COEFFS) {
         env.scalars.insert((*name).to_string(), c);
@@ -383,7 +394,9 @@ fn doitgen_ir_matches_executable() {
     let mut env = Env::new()
         .buffer(
             "A",
-            (0..n * n * n).map(|v| ((v * 13 + 5) % 64) as f32 / 64.0).collect(),
+            (0..n * n * n)
+                .map(|v| ((v * 13 + 5) % 64) as f32 / 64.0)
+                .collect(),
         )
         .buffer("C4", c4)
         .buffer("sum", vec![0.0; n * n * n]);

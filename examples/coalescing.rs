@@ -47,8 +47,16 @@ fn main() {
         let stride = store.thread_stride.resolve(&b).unwrap();
         let txns = transactions_per_warp(stride, 4, 32);
         let pattern = format!("{:?}", store.thread_pattern(&b));
-        let pred = gpu::predict(&kernel, &b, &v100_params(), TripMode::Runtime, CoalescingMode::Ipda);
-        let t = pred.map(|p| format!("{:9.1}µs", p.seconds * 1e6)).unwrap_or_default();
+        let pred = gpu::predict(
+            &kernel,
+            &b,
+            &v100_params(),
+            TripMode::Runtime,
+            CoalescingMode::Ipda,
+        );
+        let t = pred
+            .map(|p| format!("{:9.1}µs", p.seconds * 1e6))
+            .unwrap_or_default();
         println!("{max:>8} {stride:>10} {txns:>14} {pattern:>14} {t:>16}");
     }
 

@@ -33,7 +33,7 @@ fn main() {
                 platform.name,
                 m.cpu_s * 1e3,
                 m.gpu_s * 1e3,
-                m.speedup(),
+                m.speedup().unwrap_or(f64::NAN),
                 m.best_device(),
                 if d.device == m.best_device() {
                     "model agrees"

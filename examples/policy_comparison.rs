@@ -30,7 +30,11 @@ fn main() {
         rows.push(e);
     }
 
-    for policy in [Policy::AlwaysHost, Policy::AlwaysOffload, Policy::ModelDriven] {
+    for policy in [
+        Policy::AlwaysHost,
+        Policy::AlwaysOffload,
+        Policy::ModelDriven,
+    ] {
         let mut speedups = Vec::new();
         let mut correct = 0;
         for e in &rows {
@@ -53,7 +57,10 @@ fn main() {
         );
     }
     let oracle = geomean(rows.iter().map(|e| e.measured.cpu_s / e.oracle_s()));
-    println!("{:<16} geomean speedup {:>6.2}x   (upper bound)", "Oracle", oracle);
+    println!(
+        "{:<16} geomean speedup {:>6.2}x   (upper bound)",
+        "Oracle", oracle
+    );
 
     println!("\nper-kernel choices of the model-driven selector:");
     for e in &rows {
@@ -61,7 +68,7 @@ fn main() {
             "  {:<14} -> {:<5} (true speedup {:>6.2}x) {}",
             e.decision.region,
             format!("{}", e.decision.device),
-            e.measured.speedup(),
+            e.measured.speedup().unwrap_or(f64::NAN),
             if e.correct() { "" } else { "  <- mispredicted" }
         );
     }

@@ -22,11 +22,16 @@ fn main() {
     kb.end_loop();
     let kernel = kb.finish();
 
-    // Compile-time half: static features + IPDA symbolic strides.
-    let db = AttributeDatabase::compile(std::slice::from_ref(&kernel));
+    // Compile-time half: static features + IPDA symbolic strides + both
+    // cost models, fully compiled for the selector's configuration.
+    let selector = Selector::new(Platform::power9_v100());
+    let db = AttributeDatabase::compile(std::slice::from_ref(&kernel), &selector);
     let region = db.region("axpy").unwrap();
     println!("compiled region '{}':", kernel.name);
-    println!("  runtime parameters required: {:?}", region.required_params);
+    println!(
+        "  runtime parameters required: {:?}",
+        region.required_params
+    );
     for a in &region.access_info.accesses {
         println!(
             "  {} {}: IPD_thread = {}",
@@ -36,13 +41,17 @@ fn main() {
         );
     }
 
-    // Runtime half: bind values, evaluate both models, decide.
-    let selector = Selector::new(Platform::power9_v100());
-    println!("\n{:<14} {:>12} {:>12} {:>10} {:>8}", "n", "pred CPU", "pred GPU", "speedup", "target");
+    // Runtime half: the decision engine binds values, evaluates the
+    // precompiled models, and memoizes the decision per (region, values).
+    let engine = DecisionEngine::from_database(selector, db, 64);
+    println!(
+        "\n{:<14} {:>12} {:>12} {:>10} {:>8}",
+        "n", "pred CPU", "pred GPU", "speedup", "target"
+    );
     for exp in [10u32, 14, 18, 22, 26] {
         let n = 1i64 << exp;
         let binding = Binding::new().with("n", n);
-        let d = selector.select(region, &binding);
+        let d = engine.decide("axpy", &binding).unwrap();
         println!(
             "{:<14} {:>10.1}µs {:>10.1}µs {:>9.2}x {:>8}",
             format!("2^{exp}"),
@@ -52,6 +61,13 @@ fn main() {
             d.device
         );
     }
+    // Re-reaching a region with known extents is a cache hit.
+    let _ = engine.decide("axpy", &Binding::new().with("n", 1i64 << 26));
+    let stats = engine.stats();
+    println!(
+        "\ndecision cache: {} hits / {} misses",
+        stats.hits, stats.misses
+    );
 
     // Sanity: run the real computation on the host through rayon, the way
     // the fallback path would.
@@ -64,5 +80,8 @@ fn main() {
         use rayon::prelude::*;
         ys.par_iter_mut().zip(&xs).for_each(|(y, x)| *y += a * x);
     }
-    println!("\nhost fallback executed axpy over {n} elements; y[42] = {}", ys[42]);
+    println!(
+        "\nhost fallback executed axpy over {n} elements; y[42] = {}",
+        ys[42]
+    );
 }

@@ -34,12 +34,15 @@
 //! kb.end_loop();
 //! let kernel = kb.finish();
 //!
-//! // Compile-time half: extract static features into the attribute database.
-//! let db = AttributeDatabase::compile(&[kernel]);
-//!
-//! // Runtime half: bind the runtime values and ask the selector.
+//! // Compile-time half: static features, IPDA strides, and both cost
+//! // models land in the attribute database, fully compiled.
 //! let selector = Selector::new(Platform::power9_v100());
-//! let decision = selector.select(db.region("axpy").unwrap(), &Binding::new().with("n", 1 << 20));
+//! let db = AttributeDatabase::compile(&[kernel], &selector);
+//!
+//! // Runtime half: bind the runtime values; the engine evaluates the
+//! // precompiled models and memoizes the decision per (region, values).
+//! let engine = DecisionEngine::from_database(selector, db, 1024);
+//! let decision = engine.decide("axpy", &Binding::new().with("n", 1 << 20)).unwrap();
 //! println!(
 //!     "run axpy on {}: predicted offload speedup {:.2}x",
 //!     decision.device,
@@ -58,6 +61,9 @@ pub use hetsel_polybench as polybench;
 
 /// Commonly used items for working with the framework.
 pub mod prelude {
-    pub use hetsel_core::{AttributeDatabase, Decision, Platform, Policy, Selector};
+    pub use hetsel_core::{
+        AttributeDatabase, Decision, DecisionEngine, Platform, Policy, Selector,
+    };
     pub use hetsel_ir::{cexpr, Binding, Expr, Kernel, KernelBuilder, Transfer};
+    pub use hetsel_models::{CompiledModel, CostModel, ModelError, Prediction};
 }

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-132e033cbe9faf24.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-132e033cbe9faf24: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

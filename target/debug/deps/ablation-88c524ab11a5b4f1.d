@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-88c524ab11a5b4f1.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-88c524ab11a5b4f1: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

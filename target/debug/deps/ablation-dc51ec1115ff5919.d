@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-dc51ec1115ff5919.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-dc51ec1115ff5919: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analyses-360edd19ecfdb417.d: crates/bench/benches/analyses.rs
+
+/root/repo/target/debug/deps/analyses-360edd19ecfdb417: crates/bench/benches/analyses.rs
+
+crates/bench/benches/analyses.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analyses-5d8c3f2117d2a16b.d: crates/bench/benches/analyses.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalyses-5d8c3f2117d2a16b.rmeta: crates/bench/benches/analyses.rs Cargo.toml
+
+crates/bench/benches/analyses.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analyze-254becb48f05643e.d: crates/bench/src/bin/analyze.rs
+
+/root/repo/target/debug/deps/analyze-254becb48f05643e: crates/bench/src/bin/analyze.rs
+
+crates/bench/src/bin/analyze.rs:

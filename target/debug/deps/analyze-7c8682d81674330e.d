@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analyze-7c8682d81674330e.d: crates/bench/src/bin/analyze.rs
+
+/root/repo/target/debug/deps/analyze-7c8682d81674330e: crates/bench/src/bin/analyze.rs
+
+crates/bench/src/bin/analyze.rs:

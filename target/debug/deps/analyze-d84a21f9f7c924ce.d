@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analyze-d84a21f9f7c924ce.d: crates/bench/src/bin/analyze.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalyze-d84a21f9f7c924ce.rmeta: crates/bench/src/bin/analyze.rs Cargo.toml
+
+crates/bench/src/bin/analyze.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analyze-dae671c1a03ef1aa.d: crates/bench/src/bin/analyze.rs
+
+/root/repo/target/debug/deps/analyze-dae671c1a03ef1aa: crates/bench/src/bin/analyze.rs
+
+crates/bench/src/bin/analyze.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cache_props-239cb84676bb3de8.d: crates/cpusim/tests/cache_props.rs
+
+/root/repo/target/debug/deps/cache_props-239cb84676bb3de8: crates/cpusim/tests/cache_props.rs
+
+crates/cpusim/tests/cache_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cache_props-7e75bfa735dec522.d: crates/cpusim/tests/cache_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcache_props-7e75bfa735dec522.rmeta: crates/cpusim/tests/cache_props.rs Cargo.toml
+
+crates/cpusim/tests/cache_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/decision_latency-0f1283bfe04a1612.d: crates/bench/benches/decision_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdecision_latency-0f1283bfe04a1612.rmeta: crates/bench/benches/decision_latency.rs Cargo.toml
+
+crates/bench/benches/decision_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/decision_latency-cb45c19dcec82df7.d: crates/bench/benches/decision_latency.rs
+
+/root/repo/target/debug/deps/decision_latency-cb45c19dcec82df7: crates/bench/benches/decision_latency.rs
+
+crates/bench/benches/decision_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_props-038ec67e3a3c7ca7.d: tests/engine_props.rs
+
+/root/repo/target/debug/deps/engine_props-038ec67e3a3c7ca7: tests/engine_props.rs
+
+tests/engine_props.rs:

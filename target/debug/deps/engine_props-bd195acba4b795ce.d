@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_props-bd195acba4b795ce.d: tests/engine_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_props-bd195acba4b795ce.rmeta: tests/engine_props.rs Cargo.toml
+
+tests/engine_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

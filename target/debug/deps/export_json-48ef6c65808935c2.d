@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/export_json-48ef6c65808935c2.d: crates/bench/src/bin/export_json.rs
+
+/root/repo/target/debug/deps/export_json-48ef6c65808935c2: crates/bench/src/bin/export_json.rs
+
+crates/bench/src/bin/export_json.rs:

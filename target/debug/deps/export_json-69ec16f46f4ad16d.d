@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/export_json-69ec16f46f4ad16d.d: crates/bench/src/bin/export_json.rs
+
+/root/repo/target/debug/deps/export_json-69ec16f46f4ad16d: crates/bench/src/bin/export_json.rs
+
+crates/bench/src/bin/export_json.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/export_json-7645fb7886cb097e.d: crates/bench/src/bin/export_json.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexport_json-7645fb7886cb097e.rmeta: crates/bench/src/bin/export_json.rs Cargo.toml
+
+crates/bench/src/bin/export_json.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

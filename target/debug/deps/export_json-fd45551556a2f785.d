@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/export_json-fd45551556a2f785.d: crates/bench/src/bin/export_json.rs
+
+/root/repo/target/debug/deps/export_json-fd45551556a2f785: crates/bench/src/bin/export_json.rs
+
+crates/bench/src/bin/export_json.rs:

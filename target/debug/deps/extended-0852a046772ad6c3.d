@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extended-0852a046772ad6c3.d: crates/bench/src/bin/extended.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextended-0852a046772ad6c3.rmeta: crates/bench/src/bin/extended.rs Cargo.toml
+
+crates/bench/src/bin/extended.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extended-0e98d978bd078ea1.d: crates/bench/src/bin/extended.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextended-0e98d978bd078ea1.rmeta: crates/bench/src/bin/extended.rs Cargo.toml
+
+crates/bench/src/bin/extended.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extended-8a4e8acc9424cc76.d: crates/bench/src/bin/extended.rs
+
+/root/repo/target/debug/deps/extended-8a4e8acc9424cc76: crates/bench/src/bin/extended.rs
+
+crates/bench/src/bin/extended.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extended-9339dff283e2d181.d: crates/bench/src/bin/extended.rs
+
+/root/repo/target/debug/deps/extended-9339dff283e2d181: crates/bench/src/bin/extended.rs
+
+crates/bench/src/bin/extended.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extended-e19af09f485a96d0.d: crates/bench/src/bin/extended.rs
+
+/root/repo/target/debug/deps/extended-e19af09f485a96d0: crates/bench/src/bin/extended.rs
+
+crates/bench/src/bin/extended.rs:

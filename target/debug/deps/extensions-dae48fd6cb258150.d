@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-dae48fd6cb258150.d: crates/core/tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-dae48fd6cb258150: crates/core/tests/extensions.rs
+
+crates/core/tests/extensions.rs:

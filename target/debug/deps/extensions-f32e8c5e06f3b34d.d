@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions-f32e8c5e06f3b34d.d: crates/core/tests/extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions-f32e8c5e06f3b34d.rmeta: crates/core/tests/extensions.rs Cargo.toml
+
+crates/core/tests/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

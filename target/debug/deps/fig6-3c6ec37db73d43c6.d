@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-3c6ec37db73d43c6.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-3c6ec37db73d43c6: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

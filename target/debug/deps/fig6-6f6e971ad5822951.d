@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-6f6e971ad5822951.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-6f6e971ad5822951: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

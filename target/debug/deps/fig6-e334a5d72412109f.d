@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-e334a5d72412109f.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-e334a5d72412109f: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-649dd0d1015842cf.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-649dd0d1015842cf: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

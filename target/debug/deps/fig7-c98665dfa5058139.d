@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-c98665dfa5058139.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-c98665dfa5058139: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

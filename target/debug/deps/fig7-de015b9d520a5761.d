@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-de015b9d520a5761.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-de015b9d520a5761: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

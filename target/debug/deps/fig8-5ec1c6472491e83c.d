@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-5ec1c6472491e83c.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-5ec1c6472491e83c: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-6e894d1b91a7b4b8.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-6e894d1b91a7b4b8: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-b1ddc26d07ab0148.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-b1ddc26d07ab0148: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fuzz-2fdfc12cff45ef24.d: tests/fuzz.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfuzz-2fdfc12cff45ef24.rmeta: tests/fuzz.rs Cargo.toml
+
+tests/fuzz.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

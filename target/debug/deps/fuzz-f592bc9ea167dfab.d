@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzz-f592bc9ea167dfab.d: tests/fuzz.rs
+
+/root/repo/target/debug/deps/fuzz-f592bc9ea167dfab: tests/fuzz.rs
+
+tests/fuzz.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/generation_gap-c0696a65eff2f4dc.d: tests/generation_gap.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgeneration_gap-c0696a65eff2f4dc.rmeta: tests/generation_gap.rs Cargo.toml
+
+tests/generation_gap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/generation_gap-d57d200919db287c.d: tests/generation_gap.rs
+
+/root/repo/target/debug/deps/generation_gap-d57d200919db287c: tests/generation_gap.rs
+
+tests/generation_gap.rs:

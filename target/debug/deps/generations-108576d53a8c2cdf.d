@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/generations-108576d53a8c2cdf.d: crates/bench/src/bin/generations.rs
+
+/root/repo/target/debug/deps/generations-108576d53a8c2cdf: crates/bench/src/bin/generations.rs
+
+crates/bench/src/bin/generations.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/generations-42438c269867e803.d: crates/bench/src/bin/generations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgenerations-42438c269867e803.rmeta: crates/bench/src/bin/generations.rs Cargo.toml
+
+crates/bench/src/bin/generations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

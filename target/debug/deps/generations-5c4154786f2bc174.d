@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/generations-5c4154786f2bc174.d: crates/bench/src/bin/generations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgenerations-5c4154786f2bc174.rmeta: crates/bench/src/bin/generations.rs Cargo.toml
+
+crates/bench/src/bin/generations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/generations-6e2d3cfcbeac3a6b.d: crates/bench/src/bin/generations.rs
+
+/root/repo/target/debug/deps/generations-6e2d3cfcbeac3a6b: crates/bench/src/bin/generations.rs
+
+crates/bench/src/bin/generations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/generations-8ee420697698ae8e.d: crates/bench/src/bin/generations.rs
+
+/root/repo/target/debug/deps/generations-8ee420697698ae8e: crates/bench/src/bin/generations.rs
+
+crates/bench/src/bin/generations.rs:

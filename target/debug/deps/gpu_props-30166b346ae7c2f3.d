@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gpu_props-30166b346ae7c2f3.d: crates/gpusim/tests/gpu_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgpu_props-30166b346ae7c2f3.rmeta: crates/gpusim/tests/gpu_props.rs Cargo.toml
+
+crates/gpusim/tests/gpu_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gpu_props-3ef08297f76c568a.d: crates/gpusim/tests/gpu_props.rs
+
+/root/repo/target/debug/deps/gpu_props-3ef08297f76c568a: crates/gpusim/tests/gpu_props.rs
+
+crates/gpusim/tests/gpu_props.rs:

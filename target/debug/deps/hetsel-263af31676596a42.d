@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hetsel-263af31676596a42.d: src/lib.rs
+
+/root/repo/target/debug/deps/hetsel-263af31676596a42: src/lib.rs
+
+src/lib.rs:

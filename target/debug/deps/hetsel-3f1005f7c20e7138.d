@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hetsel-3f1005f7c20e7138.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhetsel-3f1005f7c20e7138.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libhetsel-3f1005f7c20e7138.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hetsel-8d467b542c091d65.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhetsel-8d467b542c091d65.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hetsel-ac294973513dd63b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhetsel-ac294973513dd63b.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libhetsel-ac294973513dd63b.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hetsel_bench-7334a662e184edbd.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhetsel_bench-7334a662e184edbd.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hetsel_bench-a31038450c73fdbf.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhetsel_bench-a31038450c73fdbf.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhetsel_bench-a31038450c73fdbf.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

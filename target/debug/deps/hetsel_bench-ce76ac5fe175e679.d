@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hetsel_bench-ce76ac5fe175e679.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhetsel_bench-ce76ac5fe175e679.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhetsel_bench-ce76ac5fe175e679.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hetsel_bench-e24f30603a8e4553.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/hetsel_bench-e24f30603a8e4553: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

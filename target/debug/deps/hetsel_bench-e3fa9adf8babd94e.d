@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hetsel_bench-e3fa9adf8babd94e.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhetsel_bench-e3fa9adf8babd94e.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hetsel_core-3e799f7a8e6d92a8.d: crates/core/src/lib.rs crates/core/src/attributes.rs crates/core/src/history.rs crates/core/src/platform.rs crates/core/src/program.rs crates/core/src/selector.rs crates/core/src/split.rs
+
+/root/repo/target/debug/deps/libhetsel_core-3e799f7a8e6d92a8.rlib: crates/core/src/lib.rs crates/core/src/attributes.rs crates/core/src/history.rs crates/core/src/platform.rs crates/core/src/program.rs crates/core/src/selector.rs crates/core/src/split.rs
+
+/root/repo/target/debug/deps/libhetsel_core-3e799f7a8e6d92a8.rmeta: crates/core/src/lib.rs crates/core/src/attributes.rs crates/core/src/history.rs crates/core/src/platform.rs crates/core/src/program.rs crates/core/src/selector.rs crates/core/src/split.rs
+
+crates/core/src/lib.rs:
+crates/core/src/attributes.rs:
+crates/core/src/history.rs:
+crates/core/src/platform.rs:
+crates/core/src/program.rs:
+crates/core/src/selector.rs:
+crates/core/src/split.rs:

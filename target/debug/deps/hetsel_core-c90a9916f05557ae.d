@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/hetsel_core-c90a9916f05557ae.d: crates/core/src/lib.rs crates/core/src/attributes.rs crates/core/src/history.rs crates/core/src/platform.rs crates/core/src/program.rs crates/core/src/selector.rs crates/core/src/split.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhetsel_core-c90a9916f05557ae.rmeta: crates/core/src/lib.rs crates/core/src/attributes.rs crates/core/src/history.rs crates/core/src/platform.rs crates/core/src/program.rs crates/core/src/selector.rs crates/core/src/split.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/attributes.rs:
+crates/core/src/history.rs:
+crates/core/src/platform.rs:
+crates/core/src/program.rs:
+crates/core/src/selector.rs:
+crates/core/src/split.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hetsel_core-eba07d7a975b9e1d.d: crates/core/src/lib.rs crates/core/src/attributes.rs crates/core/src/history.rs crates/core/src/platform.rs crates/core/src/program.rs crates/core/src/selector.rs crates/core/src/split.rs
+
+/root/repo/target/debug/deps/hetsel_core-eba07d7a975b9e1d: crates/core/src/lib.rs crates/core/src/attributes.rs crates/core/src/history.rs crates/core/src/platform.rs crates/core/src/program.rs crates/core/src/selector.rs crates/core/src/split.rs
+
+crates/core/src/lib.rs:
+crates/core/src/attributes.rs:
+crates/core/src/history.rs:
+crates/core/src/platform.rs:
+crates/core/src/program.rs:
+crates/core/src/selector.rs:
+crates/core/src/split.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hetsel_core-ee34d9f46303c4ab.d: crates/core/src/lib.rs crates/core/src/attributes.rs crates/core/src/history.rs crates/core/src/platform.rs crates/core/src/program.rs crates/core/src/selector.rs crates/core/src/split.rs
+
+/root/repo/target/debug/deps/libhetsel_core-ee34d9f46303c4ab.rlib: crates/core/src/lib.rs crates/core/src/attributes.rs crates/core/src/history.rs crates/core/src/platform.rs crates/core/src/program.rs crates/core/src/selector.rs crates/core/src/split.rs
+
+/root/repo/target/debug/deps/libhetsel_core-ee34d9f46303c4ab.rmeta: crates/core/src/lib.rs crates/core/src/attributes.rs crates/core/src/history.rs crates/core/src/platform.rs crates/core/src/program.rs crates/core/src/selector.rs crates/core/src/split.rs
+
+crates/core/src/lib.rs:
+crates/core/src/attributes.rs:
+crates/core/src/history.rs:
+crates/core/src/platform.rs:
+crates/core/src/program.rs:
+crates/core/src/selector.rs:
+crates/core/src/split.rs:

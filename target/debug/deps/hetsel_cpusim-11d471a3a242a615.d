@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hetsel_cpusim-11d471a3a242a615.d: crates/cpusim/src/lib.rs crates/cpusim/src/arch.rs crates/cpusim/src/cache.rs crates/cpusim/src/calibrate.rs crates/cpusim/src/engine.rs crates/cpusim/src/sampler.rs
+
+/root/repo/target/debug/deps/libhetsel_cpusim-11d471a3a242a615.rlib: crates/cpusim/src/lib.rs crates/cpusim/src/arch.rs crates/cpusim/src/cache.rs crates/cpusim/src/calibrate.rs crates/cpusim/src/engine.rs crates/cpusim/src/sampler.rs
+
+/root/repo/target/debug/deps/libhetsel_cpusim-11d471a3a242a615.rmeta: crates/cpusim/src/lib.rs crates/cpusim/src/arch.rs crates/cpusim/src/cache.rs crates/cpusim/src/calibrate.rs crates/cpusim/src/engine.rs crates/cpusim/src/sampler.rs
+
+crates/cpusim/src/lib.rs:
+crates/cpusim/src/arch.rs:
+crates/cpusim/src/cache.rs:
+crates/cpusim/src/calibrate.rs:
+crates/cpusim/src/engine.rs:
+crates/cpusim/src/sampler.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hetsel_cpusim-4eecf45f0ecdf2e5.d: crates/cpusim/src/lib.rs crates/cpusim/src/arch.rs crates/cpusim/src/cache.rs crates/cpusim/src/calibrate.rs crates/cpusim/src/engine.rs crates/cpusim/src/sampler.rs
+
+/root/repo/target/debug/deps/hetsel_cpusim-4eecf45f0ecdf2e5: crates/cpusim/src/lib.rs crates/cpusim/src/arch.rs crates/cpusim/src/cache.rs crates/cpusim/src/calibrate.rs crates/cpusim/src/engine.rs crates/cpusim/src/sampler.rs
+
+crates/cpusim/src/lib.rs:
+crates/cpusim/src/arch.rs:
+crates/cpusim/src/cache.rs:
+crates/cpusim/src/calibrate.rs:
+crates/cpusim/src/engine.rs:
+crates/cpusim/src/sampler.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hetsel_cpusim-57b328552a1a3b44.d: crates/cpusim/src/lib.rs crates/cpusim/src/arch.rs crates/cpusim/src/cache.rs crates/cpusim/src/calibrate.rs crates/cpusim/src/engine.rs crates/cpusim/src/sampler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhetsel_cpusim-57b328552a1a3b44.rmeta: crates/cpusim/src/lib.rs crates/cpusim/src/arch.rs crates/cpusim/src/cache.rs crates/cpusim/src/calibrate.rs crates/cpusim/src/engine.rs crates/cpusim/src/sampler.rs Cargo.toml
+
+crates/cpusim/src/lib.rs:
+crates/cpusim/src/arch.rs:
+crates/cpusim/src/cache.rs:
+crates/cpusim/src/calibrate.rs:
+crates/cpusim/src/engine.rs:
+crates/cpusim/src/sampler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

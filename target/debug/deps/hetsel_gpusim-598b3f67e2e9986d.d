@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hetsel_gpusim-598b3f67e2e9986d.d: crates/gpusim/src/lib.rs crates/gpusim/src/arch.rs crates/gpusim/src/detailed.rs crates/gpusim/src/engine.rs crates/gpusim/src/geometry.rs crates/gpusim/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhetsel_gpusim-598b3f67e2e9986d.rmeta: crates/gpusim/src/lib.rs crates/gpusim/src/arch.rs crates/gpusim/src/detailed.rs crates/gpusim/src/engine.rs crates/gpusim/src/geometry.rs crates/gpusim/src/workload.rs Cargo.toml
+
+crates/gpusim/src/lib.rs:
+crates/gpusim/src/arch.rs:
+crates/gpusim/src/detailed.rs:
+crates/gpusim/src/engine.rs:
+crates/gpusim/src/geometry.rs:
+crates/gpusim/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

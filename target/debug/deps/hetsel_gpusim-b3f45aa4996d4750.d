@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hetsel_gpusim-b3f45aa4996d4750.d: crates/gpusim/src/lib.rs crates/gpusim/src/arch.rs crates/gpusim/src/detailed.rs crates/gpusim/src/engine.rs crates/gpusim/src/geometry.rs crates/gpusim/src/workload.rs
+
+/root/repo/target/debug/deps/libhetsel_gpusim-b3f45aa4996d4750.rlib: crates/gpusim/src/lib.rs crates/gpusim/src/arch.rs crates/gpusim/src/detailed.rs crates/gpusim/src/engine.rs crates/gpusim/src/geometry.rs crates/gpusim/src/workload.rs
+
+/root/repo/target/debug/deps/libhetsel_gpusim-b3f45aa4996d4750.rmeta: crates/gpusim/src/lib.rs crates/gpusim/src/arch.rs crates/gpusim/src/detailed.rs crates/gpusim/src/engine.rs crates/gpusim/src/geometry.rs crates/gpusim/src/workload.rs
+
+crates/gpusim/src/lib.rs:
+crates/gpusim/src/arch.rs:
+crates/gpusim/src/detailed.rs:
+crates/gpusim/src/engine.rs:
+crates/gpusim/src/geometry.rs:
+crates/gpusim/src/workload.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hetsel_gpusim-e438597a456cbdc8.d: crates/gpusim/src/lib.rs crates/gpusim/src/arch.rs crates/gpusim/src/detailed.rs crates/gpusim/src/engine.rs crates/gpusim/src/geometry.rs crates/gpusim/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhetsel_gpusim-e438597a456cbdc8.rmeta: crates/gpusim/src/lib.rs crates/gpusim/src/arch.rs crates/gpusim/src/detailed.rs crates/gpusim/src/engine.rs crates/gpusim/src/geometry.rs crates/gpusim/src/workload.rs Cargo.toml
+
+crates/gpusim/src/lib.rs:
+crates/gpusim/src/arch.rs:
+crates/gpusim/src/detailed.rs:
+crates/gpusim/src/engine.rs:
+crates/gpusim/src/geometry.rs:
+crates/gpusim/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hetsel_ipda-2fd5b3635cacf70b.d: crates/ipda/src/lib.rs crates/ipda/src/analysis.rs crates/ipda/src/false_sharing.rs crates/ipda/src/memo.rs crates/ipda/src/stride.rs crates/ipda/src/vectorize.rs crates/ipda/src/warp.rs
+
+/root/repo/target/debug/deps/hetsel_ipda-2fd5b3635cacf70b: crates/ipda/src/lib.rs crates/ipda/src/analysis.rs crates/ipda/src/false_sharing.rs crates/ipda/src/memo.rs crates/ipda/src/stride.rs crates/ipda/src/vectorize.rs crates/ipda/src/warp.rs
+
+crates/ipda/src/lib.rs:
+crates/ipda/src/analysis.rs:
+crates/ipda/src/false_sharing.rs:
+crates/ipda/src/memo.rs:
+crates/ipda/src/stride.rs:
+crates/ipda/src/vectorize.rs:
+crates/ipda/src/warp.rs:

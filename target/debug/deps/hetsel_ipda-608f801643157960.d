@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/hetsel_ipda-608f801643157960.d: crates/ipda/src/lib.rs crates/ipda/src/analysis.rs crates/ipda/src/false_sharing.rs crates/ipda/src/memo.rs crates/ipda/src/stride.rs crates/ipda/src/vectorize.rs crates/ipda/src/warp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhetsel_ipda-608f801643157960.rmeta: crates/ipda/src/lib.rs crates/ipda/src/analysis.rs crates/ipda/src/false_sharing.rs crates/ipda/src/memo.rs crates/ipda/src/stride.rs crates/ipda/src/vectorize.rs crates/ipda/src/warp.rs Cargo.toml
+
+crates/ipda/src/lib.rs:
+crates/ipda/src/analysis.rs:
+crates/ipda/src/false_sharing.rs:
+crates/ipda/src/memo.rs:
+crates/ipda/src/stride.rs:
+crates/ipda/src/vectorize.rs:
+crates/ipda/src/warp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hetsel_ipda-fb4268434d861835.d: crates/ipda/src/lib.rs crates/ipda/src/analysis.rs crates/ipda/src/false_sharing.rs crates/ipda/src/memo.rs crates/ipda/src/stride.rs crates/ipda/src/vectorize.rs crates/ipda/src/warp.rs
+
+/root/repo/target/debug/deps/libhetsel_ipda-fb4268434d861835.rlib: crates/ipda/src/lib.rs crates/ipda/src/analysis.rs crates/ipda/src/false_sharing.rs crates/ipda/src/memo.rs crates/ipda/src/stride.rs crates/ipda/src/vectorize.rs crates/ipda/src/warp.rs
+
+/root/repo/target/debug/deps/libhetsel_ipda-fb4268434d861835.rmeta: crates/ipda/src/lib.rs crates/ipda/src/analysis.rs crates/ipda/src/false_sharing.rs crates/ipda/src/memo.rs crates/ipda/src/stride.rs crates/ipda/src/vectorize.rs crates/ipda/src/warp.rs
+
+crates/ipda/src/lib.rs:
+crates/ipda/src/analysis.rs:
+crates/ipda/src/false_sharing.rs:
+crates/ipda/src/memo.rs:
+crates/ipda/src/stride.rs:
+crates/ipda/src/vectorize.rs:
+crates/ipda/src/warp.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/hetsel_ir-608e22c562e1eb1a.d: crates/ir/src/lib.rs crates/ir/src/affine.rs crates/ir/src/binding.rs crates/ir/src/builder.rs crates/ir/src/expr.rs crates/ir/src/interp.rs crates/ir/src/kernel.rs crates/ir/src/layout.rs crates/ir/src/poly.rs crates/ir/src/render.rs crates/ir/src/simplify.rs crates/ir/src/synth.rs crates/ir/src/trips.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhetsel_ir-608e22c562e1eb1a.rmeta: crates/ir/src/lib.rs crates/ir/src/affine.rs crates/ir/src/binding.rs crates/ir/src/builder.rs crates/ir/src/expr.rs crates/ir/src/interp.rs crates/ir/src/kernel.rs crates/ir/src/layout.rs crates/ir/src/poly.rs crates/ir/src/render.rs crates/ir/src/simplify.rs crates/ir/src/synth.rs crates/ir/src/trips.rs Cargo.toml
+
+crates/ir/src/lib.rs:
+crates/ir/src/affine.rs:
+crates/ir/src/binding.rs:
+crates/ir/src/builder.rs:
+crates/ir/src/expr.rs:
+crates/ir/src/interp.rs:
+crates/ir/src/kernel.rs:
+crates/ir/src/layout.rs:
+crates/ir/src/poly.rs:
+crates/ir/src/render.rs:
+crates/ir/src/simplify.rs:
+crates/ir/src/synth.rs:
+crates/ir/src/trips.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/hetsel_mca-87026cd77c18589f.d: crates/mca/src/lib.rs crates/mca/src/compile.rs crates/mca/src/descriptor.rs crates/mca/src/isa.rs crates/mca/src/loadout.rs crates/mca/src/lower.rs crates/mca/src/report.rs crates/mca/src/sched.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhetsel_mca-87026cd77c18589f.rmeta: crates/mca/src/lib.rs crates/mca/src/compile.rs crates/mca/src/descriptor.rs crates/mca/src/isa.rs crates/mca/src/loadout.rs crates/mca/src/lower.rs crates/mca/src/report.rs crates/mca/src/sched.rs Cargo.toml
+
+crates/mca/src/lib.rs:
+crates/mca/src/compile.rs:
+crates/mca/src/descriptor.rs:
+crates/mca/src/isa.rs:
+crates/mca/src/loadout.rs:
+crates/mca/src/lower.rs:
+crates/mca/src/report.rs:
+crates/mca/src/sched.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hetsel_mca-e38b1c3db6756add.d: crates/mca/src/lib.rs crates/mca/src/compile.rs crates/mca/src/descriptor.rs crates/mca/src/isa.rs crates/mca/src/loadout.rs crates/mca/src/lower.rs crates/mca/src/report.rs crates/mca/src/sched.rs
+
+/root/repo/target/debug/deps/hetsel_mca-e38b1c3db6756add: crates/mca/src/lib.rs crates/mca/src/compile.rs crates/mca/src/descriptor.rs crates/mca/src/isa.rs crates/mca/src/loadout.rs crates/mca/src/lower.rs crates/mca/src/report.rs crates/mca/src/sched.rs
+
+crates/mca/src/lib.rs:
+crates/mca/src/compile.rs:
+crates/mca/src/descriptor.rs:
+crates/mca/src/isa.rs:
+crates/mca/src/loadout.rs:
+crates/mca/src/lower.rs:
+crates/mca/src/report.rs:
+crates/mca/src/sched.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hetsel_mca-fd367b6906b93f80.d: crates/mca/src/lib.rs crates/mca/src/compile.rs crates/mca/src/descriptor.rs crates/mca/src/isa.rs crates/mca/src/loadout.rs crates/mca/src/lower.rs crates/mca/src/report.rs crates/mca/src/sched.rs
+
+/root/repo/target/debug/deps/libhetsel_mca-fd367b6906b93f80.rlib: crates/mca/src/lib.rs crates/mca/src/compile.rs crates/mca/src/descriptor.rs crates/mca/src/isa.rs crates/mca/src/loadout.rs crates/mca/src/lower.rs crates/mca/src/report.rs crates/mca/src/sched.rs
+
+/root/repo/target/debug/deps/libhetsel_mca-fd367b6906b93f80.rmeta: crates/mca/src/lib.rs crates/mca/src/compile.rs crates/mca/src/descriptor.rs crates/mca/src/isa.rs crates/mca/src/loadout.rs crates/mca/src/lower.rs crates/mca/src/report.rs crates/mca/src/sched.rs
+
+crates/mca/src/lib.rs:
+crates/mca/src/compile.rs:
+crates/mca/src/descriptor.rs:
+crates/mca/src/isa.rs:
+crates/mca/src/loadout.rs:
+crates/mca/src/lower.rs:
+crates/mca/src/report.rs:
+crates/mca/src/sched.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hetsel_models-087b0bedfdc62eb4.d: crates/models/src/lib.rs crates/models/src/cpu.rs crates/models/src/engine.rs crates/models/src/error.rs crates/models/src/gpu.rs crates/models/src/trip.rs
+
+/root/repo/target/debug/deps/libhetsel_models-087b0bedfdc62eb4.rlib: crates/models/src/lib.rs crates/models/src/cpu.rs crates/models/src/engine.rs crates/models/src/error.rs crates/models/src/gpu.rs crates/models/src/trip.rs
+
+/root/repo/target/debug/deps/libhetsel_models-087b0bedfdc62eb4.rmeta: crates/models/src/lib.rs crates/models/src/cpu.rs crates/models/src/engine.rs crates/models/src/error.rs crates/models/src/gpu.rs crates/models/src/trip.rs
+
+crates/models/src/lib.rs:
+crates/models/src/cpu.rs:
+crates/models/src/engine.rs:
+crates/models/src/error.rs:
+crates/models/src/gpu.rs:
+crates/models/src/trip.rs:

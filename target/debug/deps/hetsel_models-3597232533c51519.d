@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hetsel_models-3597232533c51519.d: crates/models/src/lib.rs crates/models/src/cpu.rs crates/models/src/engine.rs crates/models/src/error.rs crates/models/src/gpu.rs crates/models/src/trip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhetsel_models-3597232533c51519.rmeta: crates/models/src/lib.rs crates/models/src/cpu.rs crates/models/src/engine.rs crates/models/src/error.rs crates/models/src/gpu.rs crates/models/src/trip.rs Cargo.toml
+
+crates/models/src/lib.rs:
+crates/models/src/cpu.rs:
+crates/models/src/engine.rs:
+crates/models/src/error.rs:
+crates/models/src/gpu.rs:
+crates/models/src/trip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

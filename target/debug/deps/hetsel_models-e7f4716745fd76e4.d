@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hetsel_models-e7f4716745fd76e4.d: crates/models/src/lib.rs crates/models/src/cpu.rs crates/models/src/engine.rs crates/models/src/error.rs crates/models/src/gpu.rs crates/models/src/trip.rs
+
+/root/repo/target/debug/deps/hetsel_models-e7f4716745fd76e4: crates/models/src/lib.rs crates/models/src/cpu.rs crates/models/src/engine.rs crates/models/src/error.rs crates/models/src/gpu.rs crates/models/src/trip.rs
+
+crates/models/src/lib.rs:
+crates/models/src/cpu.rs:
+crates/models/src/engine.rs:
+crates/models/src/error.rs:
+crates/models/src/gpu.rs:
+crates/models/src/trip.rs:

@@ -1,0 +1,31 @@
+/root/repo/target/debug/deps/hetsel_polybench-eaab35e80fb80cb8.d: crates/polybench/src/lib.rs crates/polybench/src/atax.rs crates/polybench/src/bicg.rs crates/polybench/src/conv2d.rs crates/polybench/src/conv3d.rs crates/polybench/src/corr.rs crates/polybench/src/covar.rs crates/polybench/src/data.rs crates/polybench/src/dataset.rs crates/polybench/src/doitgen.rs crates/polybench/src/fdtd2d.rs crates/polybench/src/gemm.rs crates/polybench/src/gemver.rs crates/polybench/src/gesummv.rs crates/polybench/src/heat3d.rs crates/polybench/src/jacobi2d.rs crates/polybench/src/mvt.rs crates/polybench/src/suite.rs crates/polybench/src/syr2k.rs crates/polybench/src/syrk.rs crates/polybench/src/three_mm.rs crates/polybench/src/trmm.rs crates/polybench/src/two_mm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhetsel_polybench-eaab35e80fb80cb8.rmeta: crates/polybench/src/lib.rs crates/polybench/src/atax.rs crates/polybench/src/bicg.rs crates/polybench/src/conv2d.rs crates/polybench/src/conv3d.rs crates/polybench/src/corr.rs crates/polybench/src/covar.rs crates/polybench/src/data.rs crates/polybench/src/dataset.rs crates/polybench/src/doitgen.rs crates/polybench/src/fdtd2d.rs crates/polybench/src/gemm.rs crates/polybench/src/gemver.rs crates/polybench/src/gesummv.rs crates/polybench/src/heat3d.rs crates/polybench/src/jacobi2d.rs crates/polybench/src/mvt.rs crates/polybench/src/suite.rs crates/polybench/src/syr2k.rs crates/polybench/src/syrk.rs crates/polybench/src/three_mm.rs crates/polybench/src/trmm.rs crates/polybench/src/two_mm.rs Cargo.toml
+
+crates/polybench/src/lib.rs:
+crates/polybench/src/atax.rs:
+crates/polybench/src/bicg.rs:
+crates/polybench/src/conv2d.rs:
+crates/polybench/src/conv3d.rs:
+crates/polybench/src/corr.rs:
+crates/polybench/src/covar.rs:
+crates/polybench/src/data.rs:
+crates/polybench/src/dataset.rs:
+crates/polybench/src/doitgen.rs:
+crates/polybench/src/fdtd2d.rs:
+crates/polybench/src/gemm.rs:
+crates/polybench/src/gemver.rs:
+crates/polybench/src/gesummv.rs:
+crates/polybench/src/heat3d.rs:
+crates/polybench/src/jacobi2d.rs:
+crates/polybench/src/mvt.rs:
+crates/polybench/src/suite.rs:
+crates/polybench/src/syr2k.rs:
+crates/polybench/src/syrk.rs:
+crates/polybench/src/three_mm.rs:
+crates/polybench/src/trmm.rs:
+crates/polybench/src/two_mm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hong_cases-8f343deb184ecd52.d: crates/models/tests/hong_cases.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhong_cases-8f343deb184ecd52.rmeta: crates/models/tests/hong_cases.rs Cargo.toml
+
+crates/models/tests/hong_cases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

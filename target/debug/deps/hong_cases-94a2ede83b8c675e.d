@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hong_cases-94a2ede83b8c675e.d: crates/models/tests/hong_cases.rs
+
+/root/repo/target/debug/deps/hong_cases-94a2ede83b8c675e: crates/models/tests/hong_cases.rs
+
+crates/models/tests/hong_cases.rs:

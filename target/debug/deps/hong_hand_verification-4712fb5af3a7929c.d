@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hong_hand_verification-4712fb5af3a7929c.d: crates/models/tests/hong_hand_verification.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhong_hand_verification-4712fb5af3a7929c.rmeta: crates/models/tests/hong_hand_verification.rs Cargo.toml
+
+crates/models/tests/hong_hand_verification.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hong_hand_verification-92a74e1d6aa79f2c.d: crates/models/tests/hong_hand_verification.rs
+
+/root/repo/target/debug/deps/hong_hand_verification-92a74e1d6aa79f2c: crates/models/tests/hong_hand_verification.rs
+
+crates/models/tests/hong_hand_verification.rs:

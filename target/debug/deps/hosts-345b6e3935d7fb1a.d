@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hosts-345b6e3935d7fb1a.d: crates/bench/src/bin/hosts.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhosts-345b6e3935d7fb1a.rmeta: crates/bench/src/bin/hosts.rs Cargo.toml
+
+crates/bench/src/bin/hosts.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

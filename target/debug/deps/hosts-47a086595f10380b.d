@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hosts-47a086595f10380b.d: crates/bench/src/bin/hosts.rs
+
+/root/repo/target/debug/deps/hosts-47a086595f10380b: crates/bench/src/bin/hosts.rs
+
+crates/bench/src/bin/hosts.rs:

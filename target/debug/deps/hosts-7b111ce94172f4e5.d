@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hosts-7b111ce94172f4e5.d: crates/bench/src/bin/hosts.rs
+
+/root/repo/target/debug/deps/hosts-7b111ce94172f4e5: crates/bench/src/bin/hosts.rs
+
+crates/bench/src/bin/hosts.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hosts-8e5aff6e2d8cde88.d: crates/bench/src/bin/hosts.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhosts-8e5aff6e2d8cde88.rmeta: crates/bench/src/bin/hosts.rs Cargo.toml
+
+crates/bench/src/bin/hosts.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

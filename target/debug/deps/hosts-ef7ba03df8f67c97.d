@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hosts-ef7ba03df8f67c97.d: crates/bench/src/bin/hosts.rs
+
+/root/repo/target/debug/deps/hosts-ef7ba03df8f67c97: crates/bench/src/bin/hosts.rs
+
+crates/bench/src/bin/hosts.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/infrastructure-3bdfaf35ccab5d0c.d: crates/bench/benches/infrastructure.rs
+
+/root/repo/target/debug/deps/infrastructure-3bdfaf35ccab5d0c: crates/bench/benches/infrastructure.rs
+
+crates/bench/benches/infrastructure.rs:

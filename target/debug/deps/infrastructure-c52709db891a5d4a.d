@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/infrastructure-c52709db891a5d4a.d: crates/bench/benches/infrastructure.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinfrastructure-c52709db891a5d4a.rmeta: crates/bench/benches/infrastructure.rs Cargo.toml
+
+crates/bench/benches/infrastructure.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ipda_report-10e71ee2bafc46c7.d: crates/bench/src/bin/ipda_report.rs
+
+/root/repo/target/debug/deps/ipda_report-10e71ee2bafc46c7: crates/bench/src/bin/ipda_report.rs
+
+crates/bench/src/bin/ipda_report.rs:

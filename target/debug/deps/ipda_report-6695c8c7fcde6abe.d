@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ipda_report-6695c8c7fcde6abe.d: crates/bench/src/bin/ipda_report.rs
+
+/root/repo/target/debug/deps/ipda_report-6695c8c7fcde6abe: crates/bench/src/bin/ipda_report.rs
+
+crates/bench/src/bin/ipda_report.rs:

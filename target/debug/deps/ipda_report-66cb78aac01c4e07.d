@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ipda_report-66cb78aac01c4e07.d: crates/bench/src/bin/ipda_report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libipda_report-66cb78aac01c4e07.rmeta: crates/bench/src/bin/ipda_report.rs Cargo.toml
+
+crates/bench/src/bin/ipda_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ipda_report-86c7979467e4159d.d: crates/bench/src/bin/ipda_report.rs
+
+/root/repo/target/debug/deps/ipda_report-86c7979467e4159d: crates/bench/src/bin/ipda_report.rs
+
+crates/bench/src/bin/ipda_report.rs:

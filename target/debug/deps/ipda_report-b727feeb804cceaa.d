@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ipda_report-b727feeb804cceaa.d: crates/bench/src/bin/ipda_report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libipda_report-b727feeb804cceaa.rmeta: crates/bench/src/bin/ipda_report.rs Cargo.toml
+
+crates/bench/src/bin/ipda_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

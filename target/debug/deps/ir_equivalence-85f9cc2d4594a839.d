@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ir_equivalence-85f9cc2d4594a839.d: crates/polybench/tests/ir_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libir_equivalence-85f9cc2d4594a839.rmeta: crates/polybench/tests/ir_equivalence.rs Cargo.toml
+
+crates/polybench/tests/ir_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

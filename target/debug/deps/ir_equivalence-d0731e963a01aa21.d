@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ir_equivalence-d0731e963a01aa21.d: crates/polybench/tests/ir_equivalence.rs
+
+/root/repo/target/debug/deps/ir_equivalence-d0731e963a01aa21: crates/polybench/tests/ir_equivalence.rs
+
+crates/polybench/tests/ir_equivalence.rs:

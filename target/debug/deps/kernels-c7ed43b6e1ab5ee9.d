@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernels-c7ed43b6e1ab5ee9.d: crates/bench/benches/kernels.rs
+
+/root/repo/target/debug/deps/kernels-c7ed43b6e1ab5ee9: crates/bench/benches/kernels.rs
+
+crates/bench/benches/kernels.rs:

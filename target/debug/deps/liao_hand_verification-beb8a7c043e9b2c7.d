@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/liao_hand_verification-beb8a7c043e9b2c7.d: crates/models/tests/liao_hand_verification.rs
+
+/root/repo/target/debug/deps/liao_hand_verification-beb8a7c043e9b2c7: crates/models/tests/liao_hand_verification.rs
+
+crates/models/tests/liao_hand_verification.rs:

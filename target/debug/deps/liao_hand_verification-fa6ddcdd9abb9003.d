@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/liao_hand_verification-fa6ddcdd9abb9003.d: crates/models/tests/liao_hand_verification.rs Cargo.toml
+
+/root/repo/target/debug/deps/libliao_hand_verification-fa6ddcdd9abb9003.rmeta: crates/models/tests/liao_hand_verification.rs Cargo.toml
+
+crates/models/tests/liao_hand_verification.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_accuracy-464b37f0f518fed7.d: tests/model_accuracy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_accuracy-464b37f0f518fed7.rmeta: tests/model_accuracy.rs Cargo.toml
+
+tests/model_accuracy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

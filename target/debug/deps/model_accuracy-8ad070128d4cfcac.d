@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_accuracy-8ad070128d4cfcac.d: tests/model_accuracy.rs
+
+/root/repo/target/debug/deps/model_accuracy-8ad070128d4cfcac: tests/model_accuracy.rs
+
+tests/model_accuracy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/params-3e89a5e0fe718858.d: crates/bench/src/bin/params.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparams-3e89a5e0fe718858.rmeta: crates/bench/src/bin/params.rs Cargo.toml
+
+crates/bench/src/bin/params.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

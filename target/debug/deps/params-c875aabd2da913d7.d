@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/params-c875aabd2da913d7.d: crates/bench/src/bin/params.rs
+
+/root/repo/target/debug/deps/params-c875aabd2da913d7: crates/bench/src/bin/params.rs
+
+crates/bench/src/bin/params.rs:

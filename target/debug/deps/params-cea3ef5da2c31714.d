@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/params-cea3ef5da2c31714.d: crates/bench/src/bin/params.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparams-cea3ef5da2c31714.rmeta: crates/bench/src/bin/params.rs Cargo.toml
+
+crates/bench/src/bin/params.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

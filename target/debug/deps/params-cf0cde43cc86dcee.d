@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/params-cf0cde43cc86dcee.d: crates/bench/src/bin/params.rs
+
+/root/repo/target/debug/deps/params-cf0cde43cc86dcee: crates/bench/src/bin/params.rs
+
+crates/bench/src/bin/params.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/params-e40d2e75c0f3c665.d: crates/bench/src/bin/params.rs
+
+/root/repo/target/debug/deps/params-e40d2e75c0f3c665: crates/bench/src/bin/params.rs
+
+crates/bench/src/bin/params.rs:

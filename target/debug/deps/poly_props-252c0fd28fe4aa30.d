@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/poly_props-252c0fd28fe4aa30.d: crates/ir/tests/poly_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpoly_props-252c0fd28fe4aa30.rmeta: crates/ir/tests/poly_props.rs Cargo.toml
+
+crates/ir/tests/poly_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/poly_props-897228fa3a1226dc.d: crates/ir/tests/poly_props.rs
+
+/root/repo/target/debug/deps/poly_props-897228fa3a1226dc: crates/ir/tests/poly_props.rs
+
+crates/ir/tests/poly_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/program_study-5829d4943a57a06c.d: crates/bench/src/bin/program_study.rs
+
+/root/repo/target/debug/deps/program_study-5829d4943a57a06c: crates/bench/src/bin/program_study.rs
+
+crates/bench/src/bin/program_study.rs:

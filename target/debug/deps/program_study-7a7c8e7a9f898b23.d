@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/program_study-7a7c8e7a9f898b23.d: crates/bench/src/bin/program_study.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprogram_study-7a7c8e7a9f898b23.rmeta: crates/bench/src/bin/program_study.rs Cargo.toml
+
+crates/bench/src/bin/program_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

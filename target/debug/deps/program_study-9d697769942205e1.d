@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/program_study-9d697769942205e1.d: crates/bench/src/bin/program_study.rs
+
+/root/repo/target/debug/deps/program_study-9d697769942205e1: crates/bench/src/bin/program_study.rs
+
+crates/bench/src/bin/program_study.rs:

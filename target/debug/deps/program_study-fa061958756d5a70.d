@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/program_study-fa061958756d5a70.d: crates/bench/src/bin/program_study.rs
+
+/root/repo/target/debug/deps/program_study-fa061958756d5a70: crates/bench/src/bin/program_study.rs
+
+crates/bench/src/bin/program_study.rs:

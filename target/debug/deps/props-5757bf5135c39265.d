@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-5757bf5135c39265.d: tests/props.rs
+
+/root/repo/target/debug/deps/props-5757bf5135c39265: tests/props.rs
+
+tests/props.rs:

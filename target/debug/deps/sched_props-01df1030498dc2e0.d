@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sched_props-01df1030498dc2e0.d: crates/mca/tests/sched_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsched_props-01df1030498dc2e0.rmeta: crates/mca/tests/sched_props.rs Cargo.toml
+
+crates/mca/tests/sched_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sched_props-e2ba0329cd631598.d: crates/mca/tests/sched_props.rs
+
+/root/repo/target/debug/deps/sched_props-e2ba0329cd631598: crates/mca/tests/sched_props.rs
+
+crates/mca/tests/sched_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/selection-27ff69b25226f4aa.d: tests/selection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libselection-27ff69b25226f4aa.rmeta: tests/selection.rs Cargo.toml
+
+tests/selection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

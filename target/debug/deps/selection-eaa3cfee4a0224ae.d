@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/selection-eaa3cfee4a0224ae.d: tests/selection.rs
+
+/root/repo/target/debug/deps/selection-eaa3cfee4a0224ae: tests/selection.rs
+
+tests/selection.rs:

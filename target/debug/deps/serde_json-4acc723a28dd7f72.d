@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-4acc723a28dd7f72.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-4acc723a28dd7f72.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-4acc723a28dd7f72.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulators-20f1dfd975fd3196.d: crates/bench/benches/simulators.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulators-20f1dfd975fd3196.rmeta: crates/bench/benches/simulators.rs Cargo.toml
+
+crates/bench/benches/simulators.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

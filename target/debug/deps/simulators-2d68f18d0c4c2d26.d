@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulators-2d68f18d0c4c2d26.d: crates/bench/benches/simulators.rs
+
+/root/repo/target/debug/deps/simulators-2d68f18d0c4c2d26: crates/bench/benches/simulators.rs
+
+crates/bench/benches/simulators.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/split_study-00777588b8c0793e.d: crates/bench/src/bin/split_study.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsplit_study-00777588b8c0793e.rmeta: crates/bench/src/bin/split_study.rs Cargo.toml
+
+crates/bench/src/bin/split_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/split_study-9615e0523d46452a.d: crates/bench/src/bin/split_study.rs
+
+/root/repo/target/debug/deps/split_study-9615e0523d46452a: crates/bench/src/bin/split_study.rs
+
+crates/bench/src/bin/split_study.rs:

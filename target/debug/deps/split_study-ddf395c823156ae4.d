@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/split_study-ddf395c823156ae4.d: crates/bench/src/bin/split_study.rs
+
+/root/repo/target/debug/deps/split_study-ddf395c823156ae4: crates/bench/src/bin/split_study.rs
+
+crates/bench/src/bin/split_study.rs:

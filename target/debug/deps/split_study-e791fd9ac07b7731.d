@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/split_study-e791fd9ac07b7731.d: crates/bench/src/bin/split_study.rs
+
+/root/repo/target/debug/deps/split_study-e791fd9ac07b7731: crates/bench/src/bin/split_study.rs
+
+crates/bench/src/bin/split_study.rs:

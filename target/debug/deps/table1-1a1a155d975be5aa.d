@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-1a1a155d975be5aa.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-1a1a155d975be5aa: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-caa28a0f459d7ce6.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-caa28a0f459d7ce6: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

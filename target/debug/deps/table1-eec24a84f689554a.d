@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-eec24a84f689554a.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-eec24a84f689554a: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/threads-1c362cff4baf50f7.d: crates/bench/src/bin/threads.rs
+
+/root/repo/target/debug/deps/threads-1c362cff4baf50f7: crates/bench/src/bin/threads.rs
+
+crates/bench/src/bin/threads.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/threads-4c04c324e6afa7e3.d: crates/bench/src/bin/threads.rs
+
+/root/repo/target/debug/deps/threads-4c04c324e6afa7e3: crates/bench/src/bin/threads.rs
+
+crates/bench/src/bin/threads.rs:

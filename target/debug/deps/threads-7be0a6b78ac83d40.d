@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/threads-7be0a6b78ac83d40.d: crates/bench/src/bin/threads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthreads-7be0a6b78ac83d40.rmeta: crates/bench/src/bin/threads.rs Cargo.toml
+
+crates/bench/src/bin/threads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/threads-8fd3de2cba31a14a.d: crates/bench/src/bin/threads.rs
+
+/root/repo/target/debug/deps/threads-8fd3de2cba31a14a: crates/bench/src/bin/threads.rs
+
+crates/bench/src/bin/threads.rs:

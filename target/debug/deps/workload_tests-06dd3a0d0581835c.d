@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workload_tests-06dd3a0d0581835c.d: crates/gpusim/tests/workload_tests.rs
+
+/root/repo/target/debug/deps/workload_tests-06dd3a0d0581835c: crates/gpusim/tests/workload_tests.rs
+
+crates/gpusim/tests/workload_tests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workload_tests-e94178136670164b.d: crates/gpusim/tests/workload_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkload_tests-e94178136670164b.rmeta: crates/gpusim/tests/workload_tests.rs Cargo.toml
+
+crates/gpusim/tests/workload_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

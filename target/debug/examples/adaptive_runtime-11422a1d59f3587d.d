@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/adaptive_runtime-11422a1d59f3587d.d: examples/adaptive_runtime.rs Cargo.toml
+
+/root/repo/target/debug/examples/libadaptive_runtime-11422a1d59f3587d.rmeta: examples/adaptive_runtime.rs Cargo.toml
+
+examples/adaptive_runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

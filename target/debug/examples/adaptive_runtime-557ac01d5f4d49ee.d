@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive_runtime-557ac01d5f4d49ee.d: examples/adaptive_runtime.rs
+
+/root/repo/target/debug/examples/adaptive_runtime-557ac01d5f4d49ee: examples/adaptive_runtime.rs
+
+examples/adaptive_runtime.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/coalescing-1797098ede7afdf4.d: examples/coalescing.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcoalescing-1797098ede7afdf4.rmeta: examples/coalescing.rs Cargo.toml
+
+examples/coalescing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

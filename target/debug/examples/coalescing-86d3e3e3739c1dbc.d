@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/coalescing-86d3e3e3739c1dbc.d: examples/coalescing.rs
+
+/root/repo/target/debug/examples/coalescing-86d3e3e3739c1dbc: examples/coalescing.rs
+
+examples/coalescing.rs:

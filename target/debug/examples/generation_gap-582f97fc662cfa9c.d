@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/generation_gap-582f97fc662cfa9c.d: examples/generation_gap.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgeneration_gap-582f97fc662cfa9c.rmeta: examples/generation_gap.rs Cargo.toml
+
+examples/generation_gap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

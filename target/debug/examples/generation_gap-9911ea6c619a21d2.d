@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/generation_gap-9911ea6c619a21d2.d: examples/generation_gap.rs
+
+/root/repo/target/debug/examples/generation_gap-9911ea6c619a21d2: examples/generation_gap.rs
+
+examples/generation_gap.rs:

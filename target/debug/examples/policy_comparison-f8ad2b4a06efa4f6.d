@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/policy_comparison-f8ad2b4a06efa4f6.d: examples/policy_comparison.rs
+
+/root/repo/target/debug/examples/policy_comparison-f8ad2b4a06efa4f6: examples/policy_comparison.rs
+
+examples/policy_comparison.rs:

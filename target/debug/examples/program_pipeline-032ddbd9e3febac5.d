@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/program_pipeline-032ddbd9e3febac5.d: examples/program_pipeline.rs
+
+/root/repo/target/debug/examples/program_pipeline-032ddbd9e3febac5: examples/program_pipeline.rs
+
+examples/program_pipeline.rs:

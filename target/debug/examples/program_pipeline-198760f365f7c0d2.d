@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/program_pipeline-198760f365f7c0d2.d: examples/program_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprogram_pipeline-198760f365f7c0d2.rmeta: examples/program_pipeline.rs Cargo.toml
+
+examples/program_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-1723ab6a04793238.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-1723ab6a04793238: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-29a39cc11ad747f0.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-29a39cc11ad747f0: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

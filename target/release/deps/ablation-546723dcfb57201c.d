@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-546723dcfb57201c.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-546723dcfb57201c: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

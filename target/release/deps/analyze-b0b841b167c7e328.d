@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/analyze-b0b841b167c7e328.d: crates/bench/src/bin/analyze.rs
+
+/root/repo/target/release/deps/analyze-b0b841b167c7e328: crates/bench/src/bin/analyze.rs
+
+crates/bench/src/bin/analyze.rs:

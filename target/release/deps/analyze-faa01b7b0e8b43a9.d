@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/analyze-faa01b7b0e8b43a9.d: crates/bench/src/bin/analyze.rs
+
+/root/repo/target/release/deps/analyze-faa01b7b0e8b43a9: crates/bench/src/bin/analyze.rs
+
+crates/bench/src/bin/analyze.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cache_props-6c1f7bbcd4bb71bd.d: crates/cpusim/tests/cache_props.rs
+
+/root/repo/target/release/deps/cache_props-6c1f7bbcd4bb71bd: crates/cpusim/tests/cache_props.rs
+
+crates/cpusim/tests/cache_props.rs:

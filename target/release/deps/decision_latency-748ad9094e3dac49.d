@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/decision_latency-748ad9094e3dac49.d: crates/bench/benches/decision_latency.rs
+
+/root/repo/target/release/deps/decision_latency-748ad9094e3dac49: crates/bench/benches/decision_latency.rs
+
+crates/bench/benches/decision_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/export_json-1b33fa938f18883b.d: crates/bench/src/bin/export_json.rs
+
+/root/repo/target/release/deps/export_json-1b33fa938f18883b: crates/bench/src/bin/export_json.rs
+
+crates/bench/src/bin/export_json.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/export_json-f1dfce19f4a094cf.d: crates/bench/src/bin/export_json.rs
+
+/root/repo/target/release/deps/export_json-f1dfce19f4a094cf: crates/bench/src/bin/export_json.rs
+
+crates/bench/src/bin/export_json.rs:

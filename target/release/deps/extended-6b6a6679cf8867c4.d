@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extended-6b6a6679cf8867c4.d: crates/bench/src/bin/extended.rs
+
+/root/repo/target/release/deps/extended-6b6a6679cf8867c4: crates/bench/src/bin/extended.rs
+
+crates/bench/src/bin/extended.rs:

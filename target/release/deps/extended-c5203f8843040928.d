@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extended-c5203f8843040928.d: crates/bench/src/bin/extended.rs
+
+/root/repo/target/release/deps/extended-c5203f8843040928: crates/bench/src/bin/extended.rs
+
+crates/bench/src/bin/extended.rs:

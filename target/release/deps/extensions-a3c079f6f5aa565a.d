@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extensions-a3c079f6f5aa565a.d: crates/core/tests/extensions.rs
+
+/root/repo/target/release/deps/extensions-a3c079f6f5aa565a: crates/core/tests/extensions.rs
+
+crates/core/tests/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-1a040b4c78d835e1.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-1a040b4c78d835e1: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-1dab3c703cdcbe0f.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-1dab3c703cdcbe0f: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

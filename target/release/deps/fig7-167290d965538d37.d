@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-167290d965538d37.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-167290d965538d37: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

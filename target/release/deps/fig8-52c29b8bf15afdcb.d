@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-52c29b8bf15afdcb.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-52c29b8bf15afdcb: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

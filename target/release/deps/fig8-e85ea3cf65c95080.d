@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-e85ea3cf65c95080.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-e85ea3cf65c95080: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

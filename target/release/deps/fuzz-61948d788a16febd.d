@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fuzz-61948d788a16febd.d: tests/fuzz.rs
+
+/root/repo/target/release/deps/fuzz-61948d788a16febd: tests/fuzz.rs
+
+tests/fuzz.rs:

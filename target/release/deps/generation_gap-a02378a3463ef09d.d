@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/generation_gap-a02378a3463ef09d.d: tests/generation_gap.rs
+
+/root/repo/target/release/deps/generation_gap-a02378a3463ef09d: tests/generation_gap.rs
+
+tests/generation_gap.rs:

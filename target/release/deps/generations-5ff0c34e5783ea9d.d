@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/generations-5ff0c34e5783ea9d.d: crates/bench/src/bin/generations.rs
+
+/root/repo/target/release/deps/generations-5ff0c34e5783ea9d: crates/bench/src/bin/generations.rs
+
+crates/bench/src/bin/generations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/generations-f7af70f4ef2b4929.d: crates/bench/src/bin/generations.rs
+
+/root/repo/target/release/deps/generations-f7af70f4ef2b4929: crates/bench/src/bin/generations.rs
+
+crates/bench/src/bin/generations.rs:

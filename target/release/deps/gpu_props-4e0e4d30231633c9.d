@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gpu_props-4e0e4d30231633c9.d: crates/gpusim/tests/gpu_props.rs
+
+/root/repo/target/release/deps/gpu_props-4e0e4d30231633c9: crates/gpusim/tests/gpu_props.rs
+
+crates/gpusim/tests/gpu_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hetsel-117f2947d1143112.d: src/lib.rs
+
+/root/repo/target/release/deps/hetsel-117f2947d1143112: src/lib.rs
+
+src/lib.rs:

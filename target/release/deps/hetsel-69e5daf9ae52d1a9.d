@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hetsel-69e5daf9ae52d1a9.d: src/lib.rs
+
+/root/repo/target/release/deps/libhetsel-69e5daf9ae52d1a9.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libhetsel-69e5daf9ae52d1a9.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hetsel_bench-270d7f83d3dbd3b4.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libhetsel_bench-270d7f83d3dbd3b4.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libhetsel_bench-270d7f83d3dbd3b4.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

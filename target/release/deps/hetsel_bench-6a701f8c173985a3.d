@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hetsel_bench-6a701f8c173985a3.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/hetsel_bench-6a701f8c173985a3: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/hetsel_core-be1fb0480bafaf4e.d: crates/core/src/lib.rs crates/core/src/attributes.rs crates/core/src/history.rs crates/core/src/platform.rs crates/core/src/program.rs crates/core/src/selector.rs crates/core/src/split.rs
+
+/root/repo/target/release/deps/libhetsel_core-be1fb0480bafaf4e.rlib: crates/core/src/lib.rs crates/core/src/attributes.rs crates/core/src/history.rs crates/core/src/platform.rs crates/core/src/program.rs crates/core/src/selector.rs crates/core/src/split.rs
+
+/root/repo/target/release/deps/libhetsel_core-be1fb0480bafaf4e.rmeta: crates/core/src/lib.rs crates/core/src/attributes.rs crates/core/src/history.rs crates/core/src/platform.rs crates/core/src/program.rs crates/core/src/selector.rs crates/core/src/split.rs
+
+crates/core/src/lib.rs:
+crates/core/src/attributes.rs:
+crates/core/src/history.rs:
+crates/core/src/platform.rs:
+crates/core/src/program.rs:
+crates/core/src/selector.rs:
+crates/core/src/split.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/hetsel_cpusim-a88e86763b8b898a.d: crates/cpusim/src/lib.rs crates/cpusim/src/arch.rs crates/cpusim/src/cache.rs crates/cpusim/src/calibrate.rs crates/cpusim/src/engine.rs crates/cpusim/src/sampler.rs
+
+/root/repo/target/release/deps/libhetsel_cpusim-a88e86763b8b898a.rlib: crates/cpusim/src/lib.rs crates/cpusim/src/arch.rs crates/cpusim/src/cache.rs crates/cpusim/src/calibrate.rs crates/cpusim/src/engine.rs crates/cpusim/src/sampler.rs
+
+/root/repo/target/release/deps/libhetsel_cpusim-a88e86763b8b898a.rmeta: crates/cpusim/src/lib.rs crates/cpusim/src/arch.rs crates/cpusim/src/cache.rs crates/cpusim/src/calibrate.rs crates/cpusim/src/engine.rs crates/cpusim/src/sampler.rs
+
+crates/cpusim/src/lib.rs:
+crates/cpusim/src/arch.rs:
+crates/cpusim/src/cache.rs:
+crates/cpusim/src/calibrate.rs:
+crates/cpusim/src/engine.rs:
+crates/cpusim/src/sampler.rs:

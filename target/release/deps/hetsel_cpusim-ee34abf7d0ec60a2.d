@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/hetsel_cpusim-ee34abf7d0ec60a2.d: crates/cpusim/src/lib.rs crates/cpusim/src/arch.rs crates/cpusim/src/cache.rs crates/cpusim/src/calibrate.rs crates/cpusim/src/engine.rs crates/cpusim/src/sampler.rs
+
+/root/repo/target/release/deps/hetsel_cpusim-ee34abf7d0ec60a2: crates/cpusim/src/lib.rs crates/cpusim/src/arch.rs crates/cpusim/src/cache.rs crates/cpusim/src/calibrate.rs crates/cpusim/src/engine.rs crates/cpusim/src/sampler.rs
+
+crates/cpusim/src/lib.rs:
+crates/cpusim/src/arch.rs:
+crates/cpusim/src/cache.rs:
+crates/cpusim/src/calibrate.rs:
+crates/cpusim/src/engine.rs:
+crates/cpusim/src/sampler.rs:

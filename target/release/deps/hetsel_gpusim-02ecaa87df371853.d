@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/hetsel_gpusim-02ecaa87df371853.d: crates/gpusim/src/lib.rs crates/gpusim/src/arch.rs crates/gpusim/src/detailed.rs crates/gpusim/src/engine.rs crates/gpusim/src/geometry.rs crates/gpusim/src/workload.rs
+
+/root/repo/target/release/deps/libhetsel_gpusim-02ecaa87df371853.rlib: crates/gpusim/src/lib.rs crates/gpusim/src/arch.rs crates/gpusim/src/detailed.rs crates/gpusim/src/engine.rs crates/gpusim/src/geometry.rs crates/gpusim/src/workload.rs
+
+/root/repo/target/release/deps/libhetsel_gpusim-02ecaa87df371853.rmeta: crates/gpusim/src/lib.rs crates/gpusim/src/arch.rs crates/gpusim/src/detailed.rs crates/gpusim/src/engine.rs crates/gpusim/src/geometry.rs crates/gpusim/src/workload.rs
+
+crates/gpusim/src/lib.rs:
+crates/gpusim/src/arch.rs:
+crates/gpusim/src/detailed.rs:
+crates/gpusim/src/engine.rs:
+crates/gpusim/src/geometry.rs:
+crates/gpusim/src/workload.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/hetsel_gpusim-fc880a17688396cb.d: crates/gpusim/src/lib.rs crates/gpusim/src/arch.rs crates/gpusim/src/detailed.rs crates/gpusim/src/engine.rs crates/gpusim/src/geometry.rs crates/gpusim/src/workload.rs
+
+/root/repo/target/release/deps/hetsel_gpusim-fc880a17688396cb: crates/gpusim/src/lib.rs crates/gpusim/src/arch.rs crates/gpusim/src/detailed.rs crates/gpusim/src/engine.rs crates/gpusim/src/geometry.rs crates/gpusim/src/workload.rs
+
+crates/gpusim/src/lib.rs:
+crates/gpusim/src/arch.rs:
+crates/gpusim/src/detailed.rs:
+crates/gpusim/src/engine.rs:
+crates/gpusim/src/geometry.rs:
+crates/gpusim/src/workload.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/hetsel_ipda-3cf726fecff130ad.d: crates/ipda/src/lib.rs crates/ipda/src/analysis.rs crates/ipda/src/false_sharing.rs crates/ipda/src/memo.rs crates/ipda/src/stride.rs crates/ipda/src/vectorize.rs crates/ipda/src/warp.rs
+
+/root/repo/target/release/deps/libhetsel_ipda-3cf726fecff130ad.rlib: crates/ipda/src/lib.rs crates/ipda/src/analysis.rs crates/ipda/src/false_sharing.rs crates/ipda/src/memo.rs crates/ipda/src/stride.rs crates/ipda/src/vectorize.rs crates/ipda/src/warp.rs
+
+/root/repo/target/release/deps/libhetsel_ipda-3cf726fecff130ad.rmeta: crates/ipda/src/lib.rs crates/ipda/src/analysis.rs crates/ipda/src/false_sharing.rs crates/ipda/src/memo.rs crates/ipda/src/stride.rs crates/ipda/src/vectorize.rs crates/ipda/src/warp.rs
+
+crates/ipda/src/lib.rs:
+crates/ipda/src/analysis.rs:
+crates/ipda/src/false_sharing.rs:
+crates/ipda/src/memo.rs:
+crates/ipda/src/stride.rs:
+crates/ipda/src/vectorize.rs:
+crates/ipda/src/warp.rs:

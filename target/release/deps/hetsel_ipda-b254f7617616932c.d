@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/hetsel_ipda-b254f7617616932c.d: crates/ipda/src/lib.rs crates/ipda/src/analysis.rs crates/ipda/src/false_sharing.rs crates/ipda/src/stride.rs crates/ipda/src/vectorize.rs crates/ipda/src/warp.rs
+
+/root/repo/target/release/deps/hetsel_ipda-b254f7617616932c: crates/ipda/src/lib.rs crates/ipda/src/analysis.rs crates/ipda/src/false_sharing.rs crates/ipda/src/stride.rs crates/ipda/src/vectorize.rs crates/ipda/src/warp.rs
+
+crates/ipda/src/lib.rs:
+crates/ipda/src/analysis.rs:
+crates/ipda/src/false_sharing.rs:
+crates/ipda/src/stride.rs:
+crates/ipda/src/vectorize.rs:
+crates/ipda/src/warp.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/hetsel_ir-065da435825fde7a.d: crates/ir/src/lib.rs crates/ir/src/affine.rs crates/ir/src/binding.rs crates/ir/src/builder.rs crates/ir/src/expr.rs crates/ir/src/interp.rs crates/ir/src/kernel.rs crates/ir/src/layout.rs crates/ir/src/poly.rs crates/ir/src/render.rs crates/ir/src/simplify.rs crates/ir/src/synth.rs crates/ir/src/trips.rs
+
+/root/repo/target/release/deps/libhetsel_ir-065da435825fde7a.rlib: crates/ir/src/lib.rs crates/ir/src/affine.rs crates/ir/src/binding.rs crates/ir/src/builder.rs crates/ir/src/expr.rs crates/ir/src/interp.rs crates/ir/src/kernel.rs crates/ir/src/layout.rs crates/ir/src/poly.rs crates/ir/src/render.rs crates/ir/src/simplify.rs crates/ir/src/synth.rs crates/ir/src/trips.rs
+
+/root/repo/target/release/deps/libhetsel_ir-065da435825fde7a.rmeta: crates/ir/src/lib.rs crates/ir/src/affine.rs crates/ir/src/binding.rs crates/ir/src/builder.rs crates/ir/src/expr.rs crates/ir/src/interp.rs crates/ir/src/kernel.rs crates/ir/src/layout.rs crates/ir/src/poly.rs crates/ir/src/render.rs crates/ir/src/simplify.rs crates/ir/src/synth.rs crates/ir/src/trips.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/affine.rs:
+crates/ir/src/binding.rs:
+crates/ir/src/builder.rs:
+crates/ir/src/expr.rs:
+crates/ir/src/interp.rs:
+crates/ir/src/kernel.rs:
+crates/ir/src/layout.rs:
+crates/ir/src/poly.rs:
+crates/ir/src/render.rs:
+crates/ir/src/simplify.rs:
+crates/ir/src/synth.rs:
+crates/ir/src/trips.rs:

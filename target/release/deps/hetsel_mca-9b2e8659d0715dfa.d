@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/hetsel_mca-9b2e8659d0715dfa.d: crates/mca/src/lib.rs crates/mca/src/descriptor.rs crates/mca/src/isa.rs crates/mca/src/loadout.rs crates/mca/src/lower.rs crates/mca/src/report.rs crates/mca/src/sched.rs
+
+/root/repo/target/release/deps/hetsel_mca-9b2e8659d0715dfa: crates/mca/src/lib.rs crates/mca/src/descriptor.rs crates/mca/src/isa.rs crates/mca/src/loadout.rs crates/mca/src/lower.rs crates/mca/src/report.rs crates/mca/src/sched.rs
+
+crates/mca/src/lib.rs:
+crates/mca/src/descriptor.rs:
+crates/mca/src/isa.rs:
+crates/mca/src/loadout.rs:
+crates/mca/src/lower.rs:
+crates/mca/src/report.rs:
+crates/mca/src/sched.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/hetsel_mca-de2510a9448ae4eb.d: crates/mca/src/lib.rs crates/mca/src/compile.rs crates/mca/src/descriptor.rs crates/mca/src/isa.rs crates/mca/src/loadout.rs crates/mca/src/lower.rs crates/mca/src/report.rs crates/mca/src/sched.rs
+
+/root/repo/target/release/deps/libhetsel_mca-de2510a9448ae4eb.rlib: crates/mca/src/lib.rs crates/mca/src/compile.rs crates/mca/src/descriptor.rs crates/mca/src/isa.rs crates/mca/src/loadout.rs crates/mca/src/lower.rs crates/mca/src/report.rs crates/mca/src/sched.rs
+
+/root/repo/target/release/deps/libhetsel_mca-de2510a9448ae4eb.rmeta: crates/mca/src/lib.rs crates/mca/src/compile.rs crates/mca/src/descriptor.rs crates/mca/src/isa.rs crates/mca/src/loadout.rs crates/mca/src/lower.rs crates/mca/src/report.rs crates/mca/src/sched.rs
+
+crates/mca/src/lib.rs:
+crates/mca/src/compile.rs:
+crates/mca/src/descriptor.rs:
+crates/mca/src/isa.rs:
+crates/mca/src/loadout.rs:
+crates/mca/src/lower.rs:
+crates/mca/src/report.rs:
+crates/mca/src/sched.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/hetsel_models-3065499731ea0807.d: crates/models/src/lib.rs crates/models/src/cpu.rs crates/models/src/gpu.rs crates/models/src/trip.rs
+
+/root/repo/target/release/deps/hetsel_models-3065499731ea0807: crates/models/src/lib.rs crates/models/src/cpu.rs crates/models/src/gpu.rs crates/models/src/trip.rs
+
+crates/models/src/lib.rs:
+crates/models/src/cpu.rs:
+crates/models/src/gpu.rs:
+crates/models/src/trip.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/hetsel_models-90166ed109893ea6.d: crates/models/src/lib.rs crates/models/src/cpu.rs crates/models/src/engine.rs crates/models/src/error.rs crates/models/src/gpu.rs crates/models/src/trip.rs
+
+/root/repo/target/release/deps/libhetsel_models-90166ed109893ea6.rlib: crates/models/src/lib.rs crates/models/src/cpu.rs crates/models/src/engine.rs crates/models/src/error.rs crates/models/src/gpu.rs crates/models/src/trip.rs
+
+/root/repo/target/release/deps/libhetsel_models-90166ed109893ea6.rmeta: crates/models/src/lib.rs crates/models/src/cpu.rs crates/models/src/engine.rs crates/models/src/error.rs crates/models/src/gpu.rs crates/models/src/trip.rs
+
+crates/models/src/lib.rs:
+crates/models/src/cpu.rs:
+crates/models/src/engine.rs:
+crates/models/src/error.rs:
+crates/models/src/gpu.rs:
+crates/models/src/trip.rs:

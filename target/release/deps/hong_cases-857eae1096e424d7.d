@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hong_cases-857eae1096e424d7.d: crates/models/tests/hong_cases.rs
+
+/root/repo/target/release/deps/hong_cases-857eae1096e424d7: crates/models/tests/hong_cases.rs
+
+crates/models/tests/hong_cases.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hong_hand_verification-0a5ce430583c6370.d: crates/models/tests/hong_hand_verification.rs
+
+/root/repo/target/release/deps/hong_hand_verification-0a5ce430583c6370: crates/models/tests/hong_hand_verification.rs
+
+crates/models/tests/hong_hand_verification.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hosts-1b78560a29d0b259.d: crates/bench/src/bin/hosts.rs
+
+/root/repo/target/release/deps/hosts-1b78560a29d0b259: crates/bench/src/bin/hosts.rs
+
+crates/bench/src/bin/hosts.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hosts-5a96e32e8a2dd1d6.d: crates/bench/src/bin/hosts.rs
+
+/root/repo/target/release/deps/hosts-5a96e32e8a2dd1d6: crates/bench/src/bin/hosts.rs
+
+crates/bench/src/bin/hosts.rs:

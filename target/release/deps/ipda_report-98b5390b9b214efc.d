@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ipda_report-98b5390b9b214efc.d: crates/bench/src/bin/ipda_report.rs
+
+/root/repo/target/release/deps/ipda_report-98b5390b9b214efc: crates/bench/src/bin/ipda_report.rs
+
+crates/bench/src/bin/ipda_report.rs:

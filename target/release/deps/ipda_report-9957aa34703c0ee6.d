@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ipda_report-9957aa34703c0ee6.d: crates/bench/src/bin/ipda_report.rs
+
+/root/repo/target/release/deps/ipda_report-9957aa34703c0ee6: crates/bench/src/bin/ipda_report.rs
+
+crates/bench/src/bin/ipda_report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ir_equivalence-cd39c718e1681945.d: crates/polybench/tests/ir_equivalence.rs
+
+/root/repo/target/release/deps/ir_equivalence-cd39c718e1681945: crates/polybench/tests/ir_equivalence.rs
+
+crates/polybench/tests/ir_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/liao_hand_verification-d0afc59eaca22b99.d: crates/models/tests/liao_hand_verification.rs
+
+/root/repo/target/release/deps/liao_hand_verification-d0afc59eaca22b99: crates/models/tests/liao_hand_verification.rs
+
+crates/models/tests/liao_hand_verification.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/model_accuracy-d78a7774b341269d.d: tests/model_accuracy.rs
+
+/root/repo/target/release/deps/model_accuracy-d78a7774b341269d: tests/model_accuracy.rs
+
+tests/model_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/params-bca25f29e64b977d.d: crates/bench/src/bin/params.rs
+
+/root/repo/target/release/deps/params-bca25f29e64b977d: crates/bench/src/bin/params.rs
+
+crates/bench/src/bin/params.rs:

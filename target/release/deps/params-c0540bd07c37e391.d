@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/params-c0540bd07c37e391.d: crates/bench/src/bin/params.rs
+
+/root/repo/target/release/deps/params-c0540bd07c37e391: crates/bench/src/bin/params.rs
+
+crates/bench/src/bin/params.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parking_lot-c324b2fa06bee249.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/parking_lot-c324b2fa06bee249: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

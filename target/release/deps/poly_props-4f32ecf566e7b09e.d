@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/poly_props-4f32ecf566e7b09e.d: crates/ir/tests/poly_props.rs
+
+/root/repo/target/release/deps/poly_props-4f32ecf566e7b09e: crates/ir/tests/poly_props.rs
+
+crates/ir/tests/poly_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/program_study-55c24af35ba442fd.d: crates/bench/src/bin/program_study.rs
+
+/root/repo/target/release/deps/program_study-55c24af35ba442fd: crates/bench/src/bin/program_study.rs
+
+crates/bench/src/bin/program_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/program_study-d67354d8b016217c.d: crates/bench/src/bin/program_study.rs
+
+/root/repo/target/release/deps/program_study-d67354d8b016217c: crates/bench/src/bin/program_study.rs
+
+crates/bench/src/bin/program_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/props-431e5f6d216a15e6.d: tests/props.rs
+
+/root/repo/target/release/deps/props-431e5f6d216a15e6: tests/props.rs
+
+tests/props.rs:

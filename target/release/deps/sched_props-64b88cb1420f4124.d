@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sched_props-64b88cb1420f4124.d: crates/mca/tests/sched_props.rs
+
+/root/repo/target/release/deps/sched_props-64b88cb1420f4124: crates/mca/tests/sched_props.rs
+
+crates/mca/tests/sched_props.rs:

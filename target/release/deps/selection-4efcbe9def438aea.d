@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/selection-4efcbe9def438aea.d: tests/selection.rs
+
+/root/repo/target/release/deps/selection-4efcbe9def438aea: tests/selection.rs
+
+tests/selection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-0a8a3742711001a7.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/serde-0a8a3742711001a7: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-256a8c82cdfdbf91.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-256a8c82cdfdbf91.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-256a8c82cdfdbf91.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_json-279e0beed86a20e2.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/serde_json-279e0beed86a20e2: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

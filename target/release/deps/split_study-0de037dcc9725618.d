@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/split_study-0de037dcc9725618.d: crates/bench/src/bin/split_study.rs
+
+/root/repo/target/release/deps/split_study-0de037dcc9725618: crates/bench/src/bin/split_study.rs
+
+crates/bench/src/bin/split_study.rs:

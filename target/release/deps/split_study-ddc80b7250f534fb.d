@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/split_study-ddc80b7250f534fb.d: crates/bench/src/bin/split_study.rs
+
+/root/repo/target/release/deps/split_study-ddc80b7250f534fb: crates/bench/src/bin/split_study.rs
+
+crates/bench/src/bin/split_study.rs:

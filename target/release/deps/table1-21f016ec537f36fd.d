@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-21f016ec537f36fd.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-21f016ec537f36fd: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-708faf662bccbb3a.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-708faf662bccbb3a: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

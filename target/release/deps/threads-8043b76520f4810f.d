@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/threads-8043b76520f4810f.d: crates/bench/src/bin/threads.rs
+
+/root/repo/target/release/deps/threads-8043b76520f4810f: crates/bench/src/bin/threads.rs
+
+crates/bench/src/bin/threads.rs:

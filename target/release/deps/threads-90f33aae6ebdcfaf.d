@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/threads-90f33aae6ebdcfaf.d: crates/bench/src/bin/threads.rs
+
+/root/repo/target/release/deps/threads-90f33aae6ebdcfaf: crates/bench/src/bin/threads.rs
+
+crates/bench/src/bin/threads.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/workload_tests-e3a990b2ee6062d8.d: crates/gpusim/tests/workload_tests.rs
+
+/root/repo/target/release/deps/workload_tests-e3a990b2ee6062d8: crates/gpusim/tests/workload_tests.rs
+
+crates/gpusim/tests/workload_tests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/__verify_probe-7bedde170d4d97af.d: examples/__verify_probe.rs
+
+/root/repo/target/release/examples/__verify_probe-7bedde170d4d97af: examples/__verify_probe.rs
+
+examples/__verify_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/adaptive_runtime-06ead6a4a60e5218.d: examples/adaptive_runtime.rs
+
+/root/repo/target/release/examples/adaptive_runtime-06ead6a4a60e5218: examples/adaptive_runtime.rs
+
+examples/adaptive_runtime.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/coalescing-153883c4d9edfa78.d: examples/coalescing.rs
+
+/root/repo/target/release/examples/coalescing-153883c4d9edfa78: examples/coalescing.rs
+
+examples/coalescing.rs:

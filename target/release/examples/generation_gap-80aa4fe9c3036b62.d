@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/generation_gap-80aa4fe9c3036b62.d: examples/generation_gap.rs
+
+/root/repo/target/release/examples/generation_gap-80aa4fe9c3036b62: examples/generation_gap.rs
+
+examples/generation_gap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/policy_comparison-07d21fbd1024cc97.d: examples/policy_comparison.rs
+
+/root/repo/target/release/examples/policy_comparison-07d21fbd1024cc97: examples/policy_comparison.rs
+
+examples/policy_comparison.rs:

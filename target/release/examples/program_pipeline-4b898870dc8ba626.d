@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/program_pipeline-4b898870dc8ba626.d: examples/program_pipeline.rs
+
+/root/repo/target/release/examples/program_pipeline-4b898870dc8ba626: examples/program_pipeline.rs
+
+examples/program_pipeline.rs:

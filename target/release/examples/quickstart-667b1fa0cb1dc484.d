@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-667b1fa0cb1dc484.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-667b1fa0cb1dc484: examples/quickstart.rs
+
+examples/quickstart.rs:

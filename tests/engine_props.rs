@@ -1,0 +1,121 @@
+//! Property tests for the compile-once decision engine: over every
+//! Polybench kernel and arbitrary bindings, (1) the decision cache is
+//! invisible — cached answers equal fresh model evaluation — and (2) the
+//! two-phase compile-then-evaluate path is bit-for-bit identical to the
+//! legacy one-shot predictors.
+
+use hetsel::core::{DecisionEngine, Platform, Selector};
+use hetsel::ir::{Binding, Kernel};
+use hetsel::models::{
+    power9_params, v100_params, CoalescingMode, CostModel, CpuCostModel, GpuCostModel, TripMode,
+};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn suite_kernels() -> &'static Vec<Kernel> {
+    static KERNELS: OnceLock<Vec<Kernel>> = OnceLock::new();
+    KERNELS.get_or_init(|| {
+        hetsel::polybench::suite()
+            .into_iter()
+            .flat_map(|b| b.kernels)
+            .collect()
+    })
+}
+
+fn shared_engine() -> &'static DecisionEngine {
+    static ENGINE: OnceLock<DecisionEngine> = OnceLock::new();
+    ENGINE.get_or_init(|| {
+        DecisionEngine::new(Selector::new(Platform::power9_v100()), suite_kernels())
+    })
+}
+
+/// Binds the kernel's parameters to the generated values, cycling if the
+/// kernel needs more than were generated; optionally leaves one unbound to
+/// exercise the fallback path.
+fn bind(kernel: &Kernel, values: &[i64], skip: Option<usize>) -> Binding {
+    let mut b = Binding::new();
+    for (idx, p) in kernel.params().iter().enumerate() {
+        if Some(idx) == skip {
+            continue;
+        }
+        b = b.with(p, values[idx % values.len()]);
+    }
+    b
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Acceptance property: for any kernel and any binding, asking the
+    /// engine twice and asking a cold selector once all yield the same
+    /// decision — device, predictions, and recorded errors included.
+    #[test]
+    fn cached_decision_equals_uncached(
+        kidx in 0usize..24,
+        v1 in 1i64..600,
+        v2 in 1i64..600,
+        v3 in 1i64..600,
+        unbind_raw in 0usize..8,
+    ) {
+        let kernels = suite_kernels();
+        let k = &kernels[kidx % kernels.len()];
+        let unbind = (unbind_raw < 3).then_some(unbind_raw);
+        let b = bind(k, &[v1, v2, v3], unbind);
+
+        let engine = shared_engine();
+        let first = engine.decide(&k.name, &b).expect("region known");
+        let second = engine.decide(&k.name, &b).expect("region known");
+        prop_assert_eq!(&first, &second, "cache changed the answer for {}", k.name);
+
+        let cold = Selector::new(Platform::power9_v100()).select_kernel(k, &b);
+        prop_assert_eq!(&first, &cold, "engine disagrees with cold path for {}", k.name);
+    }
+
+    /// The two-phase trait path reproduces the one-shot predictors exactly:
+    /// same availability (Ok vs None) and bit-identical seconds.
+    #[test]
+    fn compile_then_evaluate_matches_one_shot(
+        kidx in 0usize..24,
+        v1 in 1i64..600,
+        v2 in 1i64..600,
+        v3 in 1i64..600,
+        unbind_raw in 0usize..8,
+        threads in prop::sample::select(vec![4u32, 32, 160]),
+    ) {
+        let kernels = suite_kernels();
+        let k = &kernels[kidx % kernels.len()];
+        let unbind = (unbind_raw < 3).then_some(unbind_raw);
+        let b = bind(k, &[v1, v2, v3], unbind);
+
+        let cpu_m = CpuCostModel {
+            params: power9_params(),
+            threads,
+            trip_mode: TripMode::Runtime,
+        };
+        let gpu_m = GpuCostModel {
+            params: v100_params(),
+            trip_mode: TripMode::Runtime,
+            coal_mode: CoalescingMode::Ipda,
+        };
+
+        let two_phase_cpu = cpu_m.compile(k).evaluate(&b).ok().map(|p| p.seconds);
+        let one_shot_cpu = hetsel::models::cpu::predict(
+            k, &b, &power9_params(), threads, TripMode::Runtime,
+        ).map(|p| p.seconds);
+        prop_assert_eq!(
+            two_phase_cpu.map(f64::to_bits),
+            one_shot_cpu.map(f64::to_bits),
+            "cpu mismatch on {}", k.name
+        );
+
+        let two_phase_gpu = gpu_m.compile(k).evaluate(&b).ok().map(|p| p.seconds);
+        let one_shot_gpu = hetsel::models::gpu::predict(
+            k, &b, &v100_params(), TripMode::Runtime, CoalescingMode::Ipda,
+        ).map(|p| p.seconds);
+        prop_assert_eq!(
+            two_phase_gpu.map(f64::to_bits),
+            one_shot_gpu.map(f64::to_bits),
+            "gpu mismatch on {}", k.name
+        );
+    }
+}

@@ -27,7 +27,10 @@ fn whole_stack_survives_synthetic_kernels() {
         let info = hetsel::ipda::analyze(k);
         assert!(!info.accesses.is_empty(), "seed {seed}");
         for a in &info.accesses {
-            assert!(a.thread_stride.resolve(&b).is_some(), "seed {seed}: irregular synth access");
+            assert!(
+                a.thread_stride.resolve(&b).is_some(),
+                "seed {seed}: irregular synth access"
+            );
         }
 
         // Models.
@@ -37,7 +40,9 @@ fn whole_stack_survives_synthetic_kernels() {
         assert!(gpu.is_finite() && gpu > 0.0, "seed {seed}: gpu model {gpu}");
 
         // Simulators.
-        let m = sel.measure(k, &b).unwrap_or_else(|| panic!("seed {seed}: sims failed"));
+        let m = sel
+            .measure(k, &b)
+            .unwrap_or_else(|| panic!("seed {seed}: sims failed"));
         assert!(m.cpu_s.is_finite() && m.cpu_s > 0.0, "seed {seed}");
         assert!(m.gpu_s.is_finite() && m.gpu_s > 0.0, "seed {seed}");
 

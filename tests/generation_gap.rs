@@ -19,7 +19,10 @@ fn measure(name: &str, ds: Dataset, platform: &Platform) -> (f64, f64) {
 fn conv3d_offloading_decision_flips_across_generations() {
     let (c8, g8) = measure("3dconv", Dataset::Benchmark, &Platform::power8_k80());
     let (c9, g9) = measure("3dconv", Dataset::Benchmark, &Platform::power9_v100());
-    assert!(c8 < g8, "K80 platform should keep 3dconv on the host: {c8} vs {g8}");
+    assert!(
+        c8 < g8,
+        "K80 platform should keep 3dconv on the host: {c8} vs {g8}"
+    );
     assert!(c9 > g9, "V100 platform should offload 3dconv: {c9} vs {g9}");
 }
 
@@ -34,7 +37,10 @@ fn corr_reduction_kernels_flip_the_other_way() {
     for name in ["corr.mean", "corr.std"] {
         let (c8, g8) = measure(name, Dataset::Benchmark, &Platform::power8_k80());
         let (c9, g9) = measure(name, Dataset::Benchmark, &Platform::power9_v100());
-        assert!(c8 > 1.5 * g8, "{name}: offload clearly profitable on POWER8+K80 ({c8} vs {g8})");
+        assert!(
+            c8 > 1.5 * g8,
+            "{name}: offload clearly profitable on POWER8+K80 ({c8} vs {g8})"
+        );
         assert!(
             c9 < g9 * 1.1,
             "{name}: host at least at parity on POWER9+V100 ({c9} vs {g9})"
@@ -42,7 +48,10 @@ fn corr_reduction_kernels_flip_the_other_way() {
     }
     let (c8, g8) = measure("corr.mean", Dataset::Benchmark, &Platform::power8_k80());
     let (c9, g9) = measure("corr.mean", Dataset::Benchmark, &Platform::power9_v100());
-    assert!(c8 / g8 > 1.0 && c9 / g9 < 1.0, "corr.mean decision flips outright");
+    assert!(
+        c8 / g8 > 1.0 && c9 / g9 < 1.0,
+        "corr.mean decision flips outright"
+    );
 }
 
 /// The magnitude of the offloading speedup shifts enormously between
@@ -55,7 +64,10 @@ fn speedup_magnitude_shifts_across_generations() {
     let s8 = c8 / g8;
     let s9 = c9 / g9;
     assert!(s8 > 1.0 && s9 > 1.0, "gemm offloads on both platforms");
-    assert!(s9 > 5.0 * s8, "generation gap should be large: {s8} vs {s9}");
+    assert!(
+        s9 > 5.0 * s8,
+        "generation gap should be large: {s8} vs {s9}"
+    );
 }
 
 /// The V100 beats the K80 outright on every kernel of the suite — newer

@@ -33,8 +33,13 @@ impl Coeffs {
 }
 
 fn affine_expr() -> impl Strategy<Value = Coeffs> {
-    (-4i64..5, -4i64..5, 0i64..3, -8i64..9, 0i64..3)
-        .prop_map(|(a, b, c, d, e)| Coeffs { a, b, c, d, e })
+    (-4i64..5, -4i64..5, 0i64..3, -8i64..9, 0i64..3).prop_map(|(a, b, c, d, e)| Coeffs {
+        a,
+        b,
+        c,
+        d,
+        e,
+    })
 }
 
 proptest! {

@@ -9,12 +9,14 @@ use hetsel::polybench::{all_kernels, suite, Dataset};
 #[test]
 fn database_compiles_whole_suite_and_selector_decides_every_region() {
     let kernels: Vec<Kernel> = suite().into_iter().flat_map(|b| b.kernels).collect();
-    let db = AttributeDatabase::compile(&kernels);
+    let sel = Selector::new(Platform::power9_v100());
+    let db = AttributeDatabase::compile(&kernels, &sel);
     assert_eq!(db.len(), 24);
 
-    let sel = Selector::new(Platform::power9_v100());
     for (name, kernel, binding) in all_kernels() {
-        let region = db.region(&kernel.name).unwrap_or_else(|| panic!("{name} missing"));
+        let region = db
+            .region(&kernel.name)
+            .unwrap_or_else(|| panic!("{name} missing"));
         let b = binding(Dataset::Mini);
         let d = sel.select(region, &b);
         assert!(
@@ -28,7 +30,7 @@ fn database_compiles_whole_suite_and_selector_decides_every_region() {
 #[test]
 fn database_export_serializes_symbolic_strides() {
     let kernels: Vec<Kernel> = suite().into_iter().flat_map(|b| b.kernels).collect();
-    let db = AttributeDatabase::compile(&kernels);
+    let db = AttributeDatabase::compile(&kernels, &Selector::new(Platform::power9_v100()));
     let json = serde_json::to_string_pretty(&db.export()).unwrap();
     // The symbolic strides of the transposed walks survive serialisation.
     assert!(json.contains("[n]"));
@@ -58,7 +60,10 @@ fn model_driven_beats_always_offload_on_mini() {
         model_time <= offload_time * 2.0,
         "model {model_time} vs always-offload {offload_time}"
     );
-    assert!(model_time <= oracle_time * 2.5, "model {model_time} vs oracle {oracle_time}");
+    assert!(
+        model_time <= oracle_time * 2.5,
+        "model {model_time} vs oracle {oracle_time}"
+    );
 }
 
 #[test]
@@ -102,7 +107,10 @@ fn selector_knobs_change_predictions() {
         .predict(&kernel, &b)
         .1
         .unwrap();
-    assert!(pess >= ipda, "assume-uncoalesced must not be faster than IPDA");
+    assert!(
+        pess >= ipda,
+        "assume-uncoalesced must not be faster than IPDA"
+    );
 
     let rt = Selector::new(p.clone()).predict(&kernel, &b).0.unwrap();
     let a128 = Selector::new(p)

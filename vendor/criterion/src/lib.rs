@@ -1,0 +1,227 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset of the criterion API used by this workspace's
+//! benches (`bench_function`, `benchmark_group` / `bench_with_input`,
+//! `sample_size`, `criterion_group!` / `criterion_main!`) with a simple
+//! calibrated timing loop: each benchmark is warmed up, the iteration count
+//! is chosen so a measurement batch takes a meaningful amount of wall time,
+//! and the best-of-batches mean is printed per iteration.
+//!
+//! Output is one line per benchmark:
+//! `bench <name> ... <mean>/iter (<iters> iters, <batches> batches)`.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target wall time per measurement batch.
+const TARGET_BATCH: Duration = Duration::from_millis(40);
+/// Measurement batches per benchmark (the reported value is their minimum,
+/// which is robust against scheduler noise).
+const DEFAULT_BATCHES: u32 = 5;
+
+pub struct Criterion {
+    batches: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            batches: DEFAULT_BATCHES,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.batches, &mut routine);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+            batches: None,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    batches: Option<u32>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Criterion's `sample_size` bounds statistical sample count; here it
+    /// caps the number of measurement batches.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.batches = Some((n as u32).clamp(2, DEFAULT_BATCHES));
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.0);
+        run_one(
+            &full,
+            self.batches.unwrap_or(self.criterion.batches),
+            &mut routine,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        run_one(
+            &full,
+            self.batches.unwrap_or(self.criterion.batches),
+            &mut |b: &mut Bencher| routine(b, input),
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", function.into(), parameter))
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_owned())
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs the routine in a timed loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, batches: u32, routine: &mut F) {
+    // Warm-up & calibration: time a single iteration, then scale the batch
+    // so it lasts roughly TARGET_BATCH.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    routine(&mut b);
+    let once = b.elapsed.max(Duration::from_nanos(1));
+    let iters = (TARGET_BATCH.as_nanos() / once.as_nanos()).clamp(1, 10_000_000) as u64;
+
+    let mut best_per_iter = f64::INFINITY;
+    for _ in 0..batches.max(1) {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+        let per_iter = b.elapsed.as_secs_f64() / iters as f64;
+        if per_iter < best_per_iter {
+            best_per_iter = per_iter;
+        }
+    }
+    println!(
+        "bench {name:<48} ... {}/iter ({iters} iters, {batches} batches)",
+        fmt_seconds(best_per_iter)
+    );
+}
+
+fn fmt_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} us", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Groups benchmark functions under one callable, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point for a bench binary; ignores harness CLI arguments.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes flags like `--bench`; accept and ignore.
+            let _args: Vec<String> = std::env::args().collect();
+            $( $group(); )+
+        }
+    };
+}
+
+pub mod black_box_reexport {
+    pub use std::hint::black_box;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion { batches: 2 };
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| calls += 1);
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion { batches: 2 };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &3u32, |b, x| {
+            b.iter(|| *x * 2);
+        });
+        group.finish();
+    }
+}

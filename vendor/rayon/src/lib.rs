@@ -1,0 +1,81 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no network access to a crates registry, so this
+//! workspace vendors a minimal, API-compatible subset of rayon that executes
+//! everything **sequentially**. The parallel-iterator entry points used by the
+//! simulators (`into_par_iter`, `par_iter_mut`, `par_chunks_mut`) return the
+//! ordinary standard-library iterators, so all downstream `Iterator`
+//! combinators (`map`, `enumerate`, `zip`, `for_each`, `collect`, ...) chain
+//! unchanged. Results are bit-identical to the parallel version because every
+//! call site in this workspace uses rayon for embarrassingly parallel loops
+//! with disjoint outputs.
+
+pub mod prelude {
+    /// Sequential replacement for `rayon::iter::IntoParallelIterator`.
+    ///
+    /// Blanket-implemented over everything that is `IntoIterator`, so ranges,
+    /// vectors and slices all gain `into_par_iter()`.
+    pub trait IntoParallelIterator {
+        type Item;
+        type Iter: Iterator<Item = Self::Item>;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Item = I::Item;
+        type Iter = I::IntoIter;
+        fn into_par_iter(self) -> I::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    /// Sequential replacement for `rayon::iter::IntoParallelRefMutIterator`.
+    pub trait IntoParallelRefMutIterator<'data> {
+        type Item;
+        type Iter: Iterator<Item = Self::Item>;
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<'data, I: ?Sized + 'data> IntoParallelRefMutIterator<'data> for I
+    where
+        &'data mut I: IntoIterator,
+    {
+        type Item = <&'data mut I as IntoIterator>::Item;
+        type Iter = <&'data mut I as IntoIterator>::IntoIter;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Sequential replacement for `rayon::slice::ParallelSliceMut`.
+    pub trait ParallelSliceMut<T> {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_shims_behave_like_std() {
+        let squares: Vec<u64> = (0u64..8).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+
+        let mut data = vec![1u32; 10];
+        data.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(data, vec![2; 10]);
+
+        let mut buf = [0u8; 9];
+        buf.par_chunks_mut(4)
+            .enumerate()
+            .for_each(|(i, chunk)| chunk.fill(i as u8));
+        assert_eq!(buf, [0, 0, 0, 0, 1, 1, 1, 1, 2]);
+    }
+}

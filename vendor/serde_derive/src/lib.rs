@@ -1,0 +1,146 @@
+//! Offline derive macros for the vendored serde stand-in.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for
+//! **named-field structs without generic type parameters** — the only shape
+//! this workspace derives on. The input token stream is walked directly
+//! (no `syn`/`quote`, which are unavailable offline) and the generated impl
+//! is assembled as a source string and re-parsed.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct StructDef {
+    name: String,
+    fields: Vec<String>,
+}
+
+/// Extracts the struct name and its named fields from a derive input.
+///
+/// Panics with a descriptive message on unsupported shapes (enums, tuple
+/// structs, generic structs) so misuse fails at compile time.
+fn parse_struct(input: TokenStream) -> StructDef {
+    let mut iter = input.into_iter().peekable();
+
+    // Skip outer attributes and visibility until the `struct` keyword.
+    let mut name = None;
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                match iter.next() {
+                    Some(TokenTree::Ident(id)) => name = Some(id.to_string()),
+                    other => panic!("serde derive: expected struct name, found {other:?}"),
+                }
+                break;
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" || id.to_string() == "union" => {
+                panic!("serde derive (vendored): only structs are supported, found `{id}`");
+            }
+            _ => {}
+        }
+    }
+    let name = name.expect("serde derive: no `struct` keyword in input");
+
+    // The next token must be the brace-delimited field block; generics are
+    // not supported (a `<` would appear here).
+    let body = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde derive (vendored): generic struct `{name}` is not supported")
+        }
+        other => panic!(
+            "serde derive (vendored): `{name}` must be a named-field struct, found {other:?}"
+        ),
+    };
+
+    StructDef {
+        name,
+        fields: parse_fields(body),
+    }
+}
+
+/// Collects field names from the token stream inside the struct braces.
+fn parse_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        // Skip field attributes (`#[...]` / doc comments, which arrive as
+        // `#` + bracket group).
+        while matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            toks.next();
+            toks.next();
+        }
+        // Skip visibility: `pub` optionally followed by `(crate)` etc.
+        if matches!(toks.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            toks.next();
+            if matches!(
+                toks.peek(),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                toks.next();
+            }
+        }
+        match toks.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => break,
+            Some(other) => panic!("serde derive: expected field name, found {other:?}"),
+        }
+        // Skip the type up to the next top-level comma. Commas inside
+        // parens/brackets arrive pre-grouped, but commas inside generic
+        // angle brackets do not — track `<`/`>` depth explicitly.
+        let mut angle_depth = 0i32;
+        for tt in toks.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+    fields
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = parse_struct(input);
+    let mut entries = String::new();
+    for f in &def.fields {
+        entries.push_str(&format!(
+            "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})),"
+        ));
+    }
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(::std::vec![{entries}])\n\
+             }}\n\
+         }}",
+        name = def.name,
+    );
+    out.parse()
+        .expect("serde derive: generated impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = parse_struct(input);
+    let mut inits = String::new();
+    for f in &def.fields {
+        inits.push_str(&format!(
+            "{f}: ::serde::Deserialize::from_value(v.get(\"{f}\").ok_or_else(|| \
+                ::serde::Error::msg(\"missing field `{f}` in {name}\"))?)?,",
+            name = def.name,
+        ));
+    }
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})\n\
+             }}\n\
+         }}",
+        name = def.name,
+    );
+    out.parse()
+        .expect("serde derive: generated impl failed to parse")
+}

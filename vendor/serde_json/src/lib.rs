@@ -1,0 +1,364 @@
+//! Offline stand-in for `serde_json`: serializes the vendored
+//! [`serde::Value`] tree to JSON text and parses it back.
+//!
+//! Floats are written with `{:?}` (Rust's shortest round-trippable form), so
+//! finite `f64` values survive a `to_string`/`from_str` round trip
+//! bit-for-bit. Non-finite floats serialize as `null`, matching serde_json.
+
+use serde::{Deserialize, Serialize, Value};
+
+pub use serde::Error;
+
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::msg(format!("trailing characters at byte {}", p.pos)));
+    }
+    T::from_value(&v)
+}
+
+fn write_value(v: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Float(x) => {
+            if x.is_finite() {
+                out.push_str(&format!("{x:?}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline(indent, depth + 1, out);
+                write_value(item, indent, depth + 1, out);
+            }
+            if !items.is_empty() {
+                newline(indent, depth, out);
+            }
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline(indent, depth + 1, out);
+                write_string(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(val, indent, depth + 1, out);
+            }
+            if !fields.is_empty() {
+                newline(indent, depth, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn newline(indent: Option<usize>, depth: usize, out: &mut String) {
+    if let Some(w) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', w * depth));
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::msg(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        other => {
+                            return Err(Error::msg(format!(
+                                "expected ',' or ']' in array, found {other:?}"
+                            )))
+                        }
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    self.skip_ws();
+                    let val = self.value()?;
+                    fields.push((key, val));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Object(fields));
+                        }
+                        other => {
+                            return Err(Error::msg(format!(
+                                "expected ',' or '}}' in object, found {other:?}"
+                            )))
+                        }
+                    }
+                }
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(Error::msg(format!(
+                "unexpected character {other:?} at byte {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let rest = &self.bytes[self.pos..];
+            let c = *rest
+                .first()
+                .ok_or_else(|| Error::msg("unterminated string"))?;
+            match c {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                b'\\' => {
+                    let esc = *rest
+                        .get(1)
+                        .ok_or_else(|| Error::msg("unterminated escape"))?;
+                    self.pos += 2;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'b' => s.push('\u{8}'),
+                        b'f' => s.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| Error::msg("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::msg("bad \\u escape"))?;
+                            self.pos += 4;
+                            s.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::msg("bad \\u code point"))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::msg(format!("unknown escape \\{}", other as char)))
+                        }
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 encoded character.
+                    let text = std::str::from_utf8(rest)
+                        .map_err(|_| Error::msg("invalid UTF-8 in string"))?;
+                    let ch = text.chars().next().unwrap();
+                    s.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        let mut is_float = false;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::msg("invalid number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| Error::msg(format!("invalid number `{text}`")))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| Error::msg(format!("invalid number `{text}`")))
+        } else {
+            text.parse::<u64>()
+                .map(Value::UInt)
+                .map_err(|_| Error::msg(format!("invalid number `{text}`")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_nested_values() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::Str("atax.k1".into())),
+            (
+                "trips".into(),
+                Value::Array(vec![Value::UInt(3), Value::Int(-2)]),
+            ),
+            ("speedup".into(), Value::Float(0.1 + 0.2)),
+            ("ok".into(), Value::Bool(true)),
+            ("missing".into(), Value::Null),
+        ]);
+        let text = to_string(&ValueWrap(v.clone())).unwrap();
+        let back: ValueWrap = from_str(&text).unwrap();
+        assert_eq!(back.0, v);
+        let pretty = to_string_pretty(&ValueWrap(v.clone())).unwrap();
+        let back2: ValueWrap = from_str(&pretty).unwrap();
+        assert_eq!(back2.0, v);
+    }
+
+    #[test]
+    fn escapes_and_unicode() {
+        let s = "line\n\"quote\"\\\tπ".to_string();
+        let text = to_string(&s).unwrap();
+        let back: String = from_str(&text).unwrap();
+        assert_eq!(back, s);
+        let u: String = from_str("\"\\u03c0\"").unwrap();
+        assert_eq!(u, "π");
+    }
+
+    /// Helper funnelling a raw Value through the Serialize/Deserialize traits.
+    #[derive(Clone)]
+    struct ValueWrap(Value);
+
+    impl serde::Serialize for ValueWrap {
+        fn to_value(&self) -> Value {
+            self.0.clone()
+        }
+    }
+
+    impl serde::Deserialize for ValueWrap {
+        fn from_value(v: &Value) -> Result<Self, Error> {
+            Ok(ValueWrap(v.clone()))
+        }
+    }
+}

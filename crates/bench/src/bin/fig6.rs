@@ -46,4 +46,7 @@ pub fn scatter(ds: Dataset, figure: &str) {
         "correct offloading decisions: {correct} / {}",
         results.len()
     );
+    if let Ok(path) = hetsel_bench::metrics_dump("fig6") {
+        eprintln!("[metrics] appended snapshot to {}", path.display());
+    }
 }

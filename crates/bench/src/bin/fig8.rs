@@ -60,4 +60,7 @@ fn main() {
         );
         println!("  oracle         : {oracle_geo:>6.2}x\n");
     }
+    if let Ok(path) = hetsel_bench::metrics_dump("fig8") {
+        eprintln!("[metrics] appended snapshot to {}", path.display());
+    }
 }

@@ -67,4 +67,7 @@ fn main() {
         }
         println!("{}", "-".repeat(108));
     }
+    if let Ok(path) = hetsel_bench::metrics_dump("table1") {
+        eprintln!("[metrics] appended snapshot to {}", path.display());
+    }
 }

@@ -131,6 +131,39 @@ pub fn policy_outcome(results: &[KernelResult], policy: Policy) -> PolicyOutcome
     }
 }
 
+/// Appends a tagged snapshot of the process-wide metrics registry to
+/// `results/metrics.jsonl` (one JSON object per line: `{"tag", "metrics"}`),
+/// creating the file on first use. Harness binaries call this on exit so a
+/// run's counters — decisions per device, cache hit rates, fallback
+/// reasons, model-evaluation latencies — land next to the artifact they
+/// explain. The destination can be overridden with the
+/// `HETSEL_METRICS_PATH` environment variable (used by tests). Returns the
+/// path written.
+pub fn metrics_dump(tag: &str) -> std::io::Result<std::path::PathBuf> {
+    use std::io::Write;
+    let path = match std::env::var_os("HETSEL_METRICS_PATH") {
+        Some(p) => std::path::PathBuf::from(p),
+        None => {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/metrics.jsonl")
+        }
+    };
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let tag_json = serde_json::to_string(&tag.to_string())
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    let line = format!(
+        "{{\"tag\":{tag_json},\"metrics\":{}}}\n",
+        hetsel_obs::registry().snapshot().to_json()
+    );
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)?;
+    f.write_all(line.as_bytes())?;
+    Ok(path)
+}
+
 /// Formats seconds compactly (µs/ms/s).
 pub fn fmt_time(s: f64) -> String {
     if s < 1e-3 {
@@ -175,6 +208,28 @@ mod tests {
         );
         assert!(model.geomean_speedup <= oracle + 1e-9);
         assert!(offload.geomean_speedup <= oracle + 1e-9);
+    }
+
+    #[test]
+    fn metrics_dump_appends_parseable_lines() {
+        let path =
+            std::env::temp_dir().join(format!("hetsel-metrics-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("HETSEL_METRICS_PATH", &path);
+        hetsel_obs::registry()
+            .counter("hetsel.bench.test.dump")
+            .inc();
+        let p1 = metrics_dump("first").unwrap();
+        let p2 = metrics_dump("second").unwrap();
+        std::env::remove_var("HETSEL_METRICS_PATH");
+        assert_eq!(p1, p2);
+        let body = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 2, "one line per dump");
+        assert!(lines[0].contains("\"tag\":\"first\""));
+        assert!(lines[1].contains("\"tag\":\"second\""));
+        assert!(lines[1].contains("hetsel.bench.test.dump"));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

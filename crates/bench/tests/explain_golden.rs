@@ -1,0 +1,98 @@
+//! Golden-file contract test for the `explain --json` schema.
+//!
+//! The serialized [`Explanation`] for `gemm` (test dataset, POWER9+V100)
+//! is compared byte-for-byte against `tests/golden/explain_gemm.json`.
+//! Everything in the document is deterministic — model terms, bindings,
+//! device, margin — except the phase timings and the cache flag, which are
+//! normalized before comparison. A schema change (renamed field, different
+//! float formatting, reordered keys) fails this test and forces the golden
+//! file, DESIGN.md and any downstream consumer to move together.
+//!
+//! Regenerate after an intentional change with:
+//!
+//! ```text
+//! HETSEL_UPDATE_GOLDEN=1 cargo test -p hetsel-bench --test explain_golden
+//! ```
+
+use hetsel_core::{
+    validate_report_json, DecisionEngine, ExplainReport, Explanation, PhaseTimings, Platform,
+    Selector,
+};
+use hetsel_polybench::{find_kernel, Dataset};
+use std::path::PathBuf;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/explain_gemm.json")
+}
+
+/// Produces the gemm explanation with the nondeterministic fields pinned.
+fn normalized_gemm_explanation() -> Explanation {
+    let (kernel, binding) = find_kernel("gemm").expect("gemm is in the suite");
+    let engine = DecisionEngine::new(
+        Selector::new(Platform::power9_v100()),
+        std::slice::from_ref(&kernel),
+    );
+    let mut e = engine
+        .explain("gemm", &binding(Dataset::Test))
+        .expect("gemm is in the database");
+    e.timings = PhaseTimings {
+        compile_ns: None,
+        cpu_eval_ns: 0,
+        gpu_eval_ns: 0,
+        total_ns: 0,
+    };
+    e.cached = false;
+    e
+}
+
+#[test]
+fn explain_json_for_gemm_matches_the_golden_file() {
+    let report = ExplainReport {
+        platform: "POWER9+V100".to_string(),
+        dataset: "test".to_string(),
+        explanations: vec![normalized_gemm_explanation()],
+    };
+    let rendered = format!(
+        "{}\n",
+        serde_json::to_string_pretty(&report).expect("report serializes")
+    );
+
+    let path = golden_path();
+    if std::env::var_os("HETSEL_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+        eprintln!("golden file updated: {}", path.display());
+        return;
+    }
+
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with HETSEL_UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered, golden,
+        "explain --json output drifted from the golden file; if the schema \
+         change is intentional, update DESIGN.md §Observability and \
+         regenerate with HETSEL_UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn golden_file_round_trips_and_validates() {
+    let golden = std::fs::read_to_string(golden_path()).expect("golden file present");
+    // The committed document must satisfy the same contract CI enforces on
+    // live `explain --json` output...
+    let report = validate_report_json(&golden).expect("golden file validates");
+    // ...and survive a full parse → serialize → parse round trip.
+    let again = serde_json::to_string_pretty(&report).unwrap();
+    let back: ExplainReport = serde_json::from_str(&again).unwrap();
+    assert_eq!(report, back);
+
+    let e = &report.explanations[0];
+    assert_eq!(e.region, "gemm");
+    let gpu = e.gpu.as_ref().expect("gemm resolves on the gpu model");
+    assert!(gpu.mwp > 0.0 && gpu.cwp > 0.0);
+    assert!(e.cpu.is_some());
+}

@@ -1,0 +1,638 @@
+//! The `explain` report: why a region went to the device it went to.
+//!
+//! [`Decision`](crate::Decision) records the selector's verdict and its
+//! headline evidence; an [`Explanation`] records *everything* behind it —
+//! the resolved runtime bindings, both models' predicted times with the
+//! dominant cost-model terms (MWP/CWP, coalesced vs. uncoalesced
+//! instruction census, `#OMP_Rep`, fork/join and chunking overheads), the
+//! winning margin, the typed fallback reason when a model could not
+//! evaluate, and per-phase nanosecond timings. Explanations serialize to
+//! JSON (schema documented in DESIGN.md §"Observability") and back, so the
+//! `explain` binary has a machine mode and CI can validate the contract.
+
+use std::time::Instant;
+
+use crate::attributes::RegionAttributes;
+use crate::selector::{Decision, Device, Policy, Selector};
+use hetsel_ir::Binding;
+use hetsel_models::{CpuPrediction, GpuPrediction, HongCase, ModelError};
+use serde::{Deserialize, Serialize};
+
+/// One resolved runtime parameter of the region (`value: None` = the
+/// runtime never bound it — the classic fallback trigger).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BoundParam {
+    /// Parameter name, e.g. `"n"`.
+    pub name: String,
+    /// Bound value, if any.
+    pub value: Option<i64>,
+}
+
+/// The host model's term breakdown (paper Figure 3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuTerms {
+    /// Predicted host time, seconds.
+    pub seconds: f64,
+    /// Total predicted cycles (fork + schedule + chunk + join).
+    pub cycles: f64,
+    /// `Machine_cycles_per_iter` from the MCA analysis.
+    pub machine_cycles_per_iter: f64,
+    /// Static chunk size (iterations per thread).
+    pub chunk: u64,
+    /// OpenMP threads assumed.
+    pub threads: u32,
+    /// SIMD factor credited by the vectorisation assessment.
+    pub vector_factor: f64,
+    /// TLB cost per chunk, cycles (the model's only memory-system term).
+    pub tlb_cache_cycles: f64,
+    /// `Fork_c`: startup plus per-thread fork/join scaling.
+    pub fork_cycles: f64,
+    /// `Schedule_c` (static dispatch).
+    pub schedule_cycles: f64,
+    /// `Loop_chunk_c` (machine cycles + cache + loop overhead).
+    pub loop_chunk_cycles: f64,
+    /// `Join_c` (synchronisation barrier).
+    pub join_cycles: f64,
+}
+
+impl CpuTerms {
+    fn from_prediction(p: &CpuPrediction, threads: u32) -> CpuTerms {
+        CpuTerms {
+            seconds: p.seconds,
+            cycles: p.cycles,
+            machine_cycles_per_iter: p.machine_cycles_per_iter,
+            chunk: p.chunk,
+            threads,
+            vector_factor: p.vector_factor,
+            tlb_cache_cycles: p.cache_cost,
+            fork_cycles: p.fork_cycles,
+            schedule_cycles: p.schedule_cycles,
+            loop_chunk_cycles: p.loop_chunk_cycles,
+            join_cycles: p.join_cycles,
+        }
+    }
+}
+
+/// The device model's term breakdown (paper Figures 4–5 + `#OMP_Rep`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuTerms {
+    /// Predicted device time (kernel + transfers + launch), seconds.
+    pub seconds: f64,
+    /// Kernel execution component, seconds.
+    pub kernel_seconds: f64,
+    /// Data-movement component (both directions), seconds.
+    pub transfer_seconds: f64,
+    /// `Exec_cycles` of Figure 4.
+    pub exec_cycles: f64,
+    /// Memory-warp parallelism.
+    pub mwp: f64,
+    /// Compute-warp parallelism.
+    pub cwp: f64,
+    /// Resident warps per SM (`N`).
+    pub n_warps: f64,
+    /// Which Figure 4 case fired: `balanced`, `memory_bound` or
+    /// `compute_bound`.
+    pub hong_case: String,
+    /// `#Rep` (block waves).
+    pub rep: f64,
+    /// `#OMP_Rep` (the paper's extension).
+    pub omp_rep: f64,
+    /// Dynamic coalesced memory instructions per iteration (IPDA census).
+    pub coal_mem_insts: f64,
+    /// Dynamic uncoalesced memory instructions per iteration.
+    pub uncoal_mem_insts: f64,
+    /// Selected grid: blocks.
+    pub blocks: u64,
+    /// Selected grid: threads per block.
+    pub threads_per_block: u32,
+    /// Occupancy: warps per SM.
+    pub warps_per_sm: u32,
+    /// Occupancy: SMs with at least one block.
+    pub active_sms: u32,
+}
+
+impl GpuTerms {
+    fn from_prediction(p: &GpuPrediction) -> GpuTerms {
+        GpuTerms {
+            seconds: p.seconds,
+            kernel_seconds: p.kernel_seconds,
+            transfer_seconds: p.transfer_seconds,
+            exec_cycles: p.exec_cycles,
+            mwp: p.mwp,
+            cwp: p.cwp,
+            n_warps: p.n_warps,
+            hong_case: match p.case {
+                HongCase::Balanced => "balanced",
+                HongCase::MemoryBound => "memory_bound",
+                HongCase::ComputeBound => "compute_bound",
+            }
+            .to_string(),
+            rep: p.rep,
+            omp_rep: p.omp_rep,
+            coal_mem_insts: p.coal_mem_insts,
+            uncoal_mem_insts: p.uncoal_mem_insts,
+            blocks: p.geometry.blocks,
+            threads_per_block: p.geometry.threads_per_block,
+            warps_per_sm: p.occupancy.warps_per_sm,
+            active_sms: p.occupancy.active_sms,
+        }
+    }
+}
+
+/// Wall-clock cost of producing the explanation, by phase.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseTimings {
+    /// Attribute-database compile time for this region, when the caller
+    /// measured one (`None` = the region was already compiled).
+    pub compile_ns: Option<u64>,
+    /// Host-model evaluation, nanoseconds.
+    pub cpu_eval_ns: u64,
+    /// Device-model evaluation, nanoseconds.
+    pub gpu_eval_ns: u64,
+    /// Whole explain call, nanoseconds (≥ the two evaluations).
+    pub total_ns: u64,
+}
+
+/// The full, serializable record of one offloading decision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Explanation {
+    /// Region name.
+    pub region: String,
+    /// Selection policy: `model_driven`, `always_host` or `always_offload`.
+    pub policy: String,
+    /// Chosen target: `host` or `gpu`.
+    pub device: String,
+    /// The region's required parameters with their resolved values.
+    pub bindings: Vec<BoundParam>,
+    /// Predicted host time, seconds.
+    pub predicted_cpu_s: Option<f64>,
+    /// Predicted device time, seconds.
+    pub predicted_gpu_s: Option<f64>,
+    /// Predicted offloading speedup (host / device) when both resolve.
+    pub speedup: Option<f64>,
+    /// Winning margin: `(slower − faster) / slower`, in `[0, 1)`.
+    pub margin: Option<f64>,
+    /// Why the host model produced no prediction, when it didn't.
+    pub cpu_error: Option<String>,
+    /// Why the device model produced no prediction — the recorded reason
+    /// behind a fallback-to-offload decision.
+    pub gpu_error: Option<String>,
+    /// Host model term breakdown.
+    pub cpu: Option<CpuTerms>,
+    /// Device model term breakdown.
+    pub gpu: Option<GpuTerms>,
+    /// True when a decision for this exact key currently sits in the
+    /// engine's decision cache.
+    pub cached: bool,
+    /// Per-phase timings.
+    pub timings: PhaseTimings,
+}
+
+fn policy_str(p: Policy) -> &'static str {
+    match p {
+        Policy::AlwaysHost => "always_host",
+        Policy::AlwaysOffload => "always_offload",
+        Policy::ModelDriven => "model_driven",
+    }
+}
+
+fn device_str(d: Device) -> &'static str {
+    match d {
+        Device::Host => "host",
+        Device::Gpu => "gpu",
+    }
+}
+
+impl Explanation {
+    /// The device the explanation says was chosen.
+    pub fn chosen_device(&self) -> Option<Device> {
+        match self.device.as_str() {
+            "host" => Some(Device::Host),
+            "gpu" => Some(Device::Gpu),
+            _ => None,
+        }
+    }
+
+    /// True iff this explanation describes `decision` — same region, same
+    /// device, same predictions and the same recorded errors.
+    pub fn describes(&self, decision: &Decision) -> bool {
+        self.region == decision.region
+            && self.device == device_str(decision.device)
+            && self.policy == policy_str(decision.policy)
+            && (decision.policy != Policy::ModelDriven
+                || (self.predicted_cpu_s == decision.predicted_cpu_s
+                    && self.predicted_gpu_s == decision.predicted_gpu_s
+                    && self.cpu_error == decision.cpu_error.as_ref().map(|e| e.to_string())
+                    && self.gpu_error == decision.gpu_error.as_ref().map(|e| e.to_string())))
+    }
+
+    /// Pretty multi-line report for terminals (the `explain` binary's
+    /// default output).
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        let bindings = self
+            .bindings
+            .iter()
+            .map(|b| match b.value {
+                Some(v) => format!("{}={v}", b.name),
+                None => format!("{}=?", b.name),
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&format!(
+            "== {}  [{}]  →  {}\n",
+            self.region,
+            bindings,
+            self.device.to_uppercase()
+        ));
+        match (self.predicted_cpu_s, self.predicted_gpu_s) {
+            (Some(c), Some(g)) => {
+                out.push_str(&format!(
+                    "   predicted: cpu {}  gpu {}  speedup {:.3}×  margin {:.1}%\n",
+                    fmt_s(c),
+                    fmt_s(g),
+                    self.speedup.unwrap_or(f64::NAN),
+                    self.margin.unwrap_or(f64::NAN) * 100.0
+                ));
+            }
+            _ => {
+                out.push_str("   predicted: (fallback — model could not evaluate)\n");
+            }
+        }
+        if let Some(e) = &self.cpu_error {
+            out.push_str(&format!("   cpu fallback reason: {e}\n"));
+        }
+        if let Some(e) = &self.gpu_error {
+            out.push_str(&format!("   gpu fallback reason: {e}\n"));
+        }
+        if let Some(c) = &self.cpu {
+            out.push_str(&format!(
+                "   cpu terms: {:.1} cyc/iter × chunk {} on {} threads, vec ×{:.1}\n",
+                c.machine_cycles_per_iter, c.chunk, c.threads, c.vector_factor
+            ));
+            out.push_str(&format!(
+                "              fork {:.0} + sched {:.0} + chunk {:.0} (tlb {:.0}) + join {:.0} = {:.0} cycles\n",
+                c.fork_cycles,
+                c.schedule_cycles,
+                c.loop_chunk_cycles,
+                c.tlb_cache_cycles,
+                c.join_cycles,
+                c.cycles
+            ));
+        }
+        if let Some(g) = &self.gpu {
+            out.push_str(&format!(
+                "   gpu terms: {} case, MWP {:.1} CWP {:.1} N {:.0}, rep {:.1} omp_rep {:.0}\n",
+                g.hong_case, g.mwp, g.cwp, g.n_warps, g.rep, g.omp_rep
+            ));
+            out.push_str(&format!(
+                "              mem insts: {:.1} coalesced / {:.1} uncoalesced; grid {}×{} ({} warps/SM, {} SMs)\n",
+                g.coal_mem_insts,
+                g.uncoal_mem_insts,
+                g.blocks,
+                g.threads_per_block,
+                g.warps_per_sm,
+                g.active_sms
+            ));
+            out.push_str(&format!(
+                "              kernel {} + transfer {}\n",
+                fmt_s(g.kernel_seconds),
+                fmt_s(g.transfer_seconds)
+            ));
+        }
+        let t = &self.timings;
+        let compile = match t.compile_ns {
+            Some(ns) => format!("compile {} + ", fmt_ns(ns)),
+            None => String::new(),
+        };
+        out.push_str(&format!(
+            "   cost: {compile}cpu eval {} + gpu eval {} (total {}){}\n",
+            fmt_ns(t.cpu_eval_ns),
+            fmt_ns(t.gpu_eval_ns),
+            fmt_ns(t.total_ns),
+            if self.cached {
+                "  [decision cached]"
+            } else {
+                ""
+            }
+        ));
+        out
+    }
+}
+
+fn fmt_s(s: f64) -> String {
+    if s < 1e-3 {
+        format!("{:.1}µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.3}s", s)
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns < 10_000 {
+        format!("{ns}ns")
+    } else if ns < 10_000_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    }
+}
+
+impl Selector {
+    /// Produces the full [`Explanation`] for a region under a binding,
+    /// evaluating both *precompiled* models with their complete term
+    /// breakdowns. The explanation's verdict is exactly what
+    /// [`Selector::select`] decides for the same inputs.
+    pub fn explain(&self, attrs: &RegionAttributes, binding: &Binding) -> Explanation {
+        let _span = hetsel_obs::span_with("hetsel.core.explain", || {
+            vec![hetsel_obs::trace::field(
+                "region",
+                attrs.kernel.name.as_str(),
+            )]
+        });
+        let t_total = Instant::now();
+
+        let t_cpu = Instant::now();
+        let cpu_res: Result<CpuPrediction, ModelError> = attrs.cpu_model.evaluate(binding);
+        let cpu_eval_ns = t_cpu.elapsed().as_nanos() as u64;
+
+        let t_gpu = Instant::now();
+        let gpu_res: Result<GpuPrediction, ModelError> = attrs.gpu_model.evaluate(binding);
+        let gpu_eval_ns = t_gpu.elapsed().as_nanos() as u64;
+
+        let predicted_cpu_s = cpu_res.as_ref().ok().map(|p| p.seconds);
+        let predicted_gpu_s = gpu_res.as_ref().ok().map(|p| p.seconds);
+        let device = match self.policy {
+            Policy::AlwaysHost => Device::Host,
+            Policy::AlwaysOffload => Device::Gpu,
+            Policy::ModelDriven => match (predicted_cpu_s, predicted_gpu_s) {
+                (Some(c), Some(g)) => {
+                    if g < c {
+                        Device::Gpu
+                    } else {
+                        Device::Host
+                    }
+                }
+                _ => Device::Gpu, // compiler default when unresolvable
+            },
+        };
+        let (speedup, margin) = match (predicted_cpu_s, predicted_gpu_s) {
+            (Some(c), Some(g)) if g > 0.0 && c.is_finite() && g.is_finite() => {
+                let slower = c.max(g);
+                let faster = c.min(g);
+                (
+                    Some(c / g),
+                    (slower > 0.0).then(|| (slower - faster) / slower),
+                )
+            }
+            _ => (None, None),
+        };
+
+        Explanation {
+            region: attrs.kernel.name.clone(),
+            policy: policy_str(self.policy).to_string(),
+            device: device_str(device).to_string(),
+            bindings: attrs
+                .required_params
+                .iter()
+                .map(|p| BoundParam {
+                    name: p.clone(),
+                    value: binding.get(p),
+                })
+                .collect(),
+            predicted_cpu_s,
+            predicted_gpu_s,
+            speedup,
+            margin,
+            cpu_error: cpu_res.as_ref().err().map(|e| e.to_string()),
+            gpu_error: gpu_res.as_ref().err().map(|e| e.to_string()),
+            cpu: cpu_res
+                .ok()
+                .map(|p| CpuTerms::from_prediction(&p, self.platform.host_threads)),
+            gpu: gpu_res.ok().map(|p| GpuTerms::from_prediction(&p)),
+            cached: false,
+            timings: PhaseTimings {
+                compile_ns: None,
+                cpu_eval_ns,
+                gpu_eval_ns,
+                total_ns: t_total.elapsed().as_nanos() as u64,
+            },
+        }
+    }
+}
+
+/// A batch of explanations from one `explain` run — the `--json` document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExplainReport {
+    /// Platform name the decisions were taken for.
+    pub platform: String,
+    /// Dataset mode the bindings came from.
+    pub dataset: String,
+    /// One record per region, in request order.
+    pub explanations: Vec<Explanation>,
+}
+
+/// Validates an `explain --json` document against the schema contract
+/// (parsability plus the structural invariants DESIGN.md documents).
+/// Returns the parsed report, or a description of the first violation.
+pub fn validate_report_json(json: &str) -> Result<ExplainReport, String> {
+    let report: ExplainReport =
+        serde_json::from_str(json).map_err(|e| format!("report does not parse: {e}"))?;
+    if report.platform.is_empty() {
+        return Err("platform is empty".into());
+    }
+    if report.explanations.is_empty() {
+        return Err("no explanations in report".into());
+    }
+    for e in &report.explanations {
+        let at = format!("explanation for `{}`", e.region);
+        if e.region.is_empty() {
+            return Err("explanation with empty region".into());
+        }
+        if e.chosen_device().is_none() {
+            return Err(format!("{at}: device `{}` not host|gpu", e.device));
+        }
+        if !["model_driven", "always_host", "always_offload"].contains(&e.policy.as_str()) {
+            return Err(format!("{at}: unknown policy `{}`", e.policy));
+        }
+        if e.predicted_cpu_s.is_some() != e.cpu.is_some() {
+            return Err(format!("{at}: cpu prediction and term breakdown disagree"));
+        }
+        if e.predicted_gpu_s.is_some() != e.gpu.is_some() {
+            return Err(format!("{at}: gpu prediction and term breakdown disagree"));
+        }
+        if e.predicted_cpu_s.is_none() && e.cpu_error.is_none() {
+            return Err(format!("{at}: no cpu prediction and no recorded reason"));
+        }
+        if e.predicted_gpu_s.is_none() && e.gpu_error.is_none() {
+            return Err(format!("{at}: no gpu prediction and no recorded reason"));
+        }
+        if let Some(s) = e.speedup {
+            if s.is_nan() || s <= 0.0 {
+                return Err(format!("{at}: non-positive speedup {s}"));
+            }
+        }
+        if let Some(m) = e.margin {
+            if !(0.0..1.0).contains(&m) {
+                return Err(format!("{at}: margin {m} outside [0,1)"));
+            }
+        }
+        if let Some(g) = &e.gpu {
+            if !["balanced", "memory_bound", "compute_bound"].contains(&g.hong_case.as_str()) {
+                return Err(format!("{at}: unknown hong_case `{}`", g.hong_case));
+            }
+        }
+        if e.policy == "model_driven" {
+            let expected = match (e.predicted_cpu_s, e.predicted_gpu_s) {
+                (Some(c), Some(g)) => {
+                    if g < c {
+                        "gpu"
+                    } else {
+                        "host"
+                    }
+                }
+                _ => "gpu",
+            };
+            if e.device != expected {
+                return Err(format!(
+                    "{at}: device `{}` inconsistent with predictions (expected `{expected}`)",
+                    e.device
+                ));
+            }
+        }
+        if e.timings.total_ns < e.timings.cpu_eval_ns.saturating_add(e.timings.gpu_eval_ns) {
+            return Err(format!("{at}: total_ns smaller than its phases"));
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::Platform;
+    use crate::selector::DecisionEngine;
+    use hetsel_ir::Kernel;
+    use hetsel_polybench::{find_kernel, Dataset};
+
+    fn selector() -> Selector {
+        Selector::new(Platform::power9_v100())
+    }
+
+    #[test]
+    fn explanation_matches_decision_for_every_suite_kernel() {
+        let kernels: Vec<Kernel> = hetsel_polybench::suite()
+            .into_iter()
+            .flat_map(|b| b.kernels)
+            .collect();
+        let engine = DecisionEngine::new(selector(), &kernels);
+        for bench in hetsel_polybench::suite() {
+            for ds in [Dataset::Mini, Dataset::Test, Dataset::Benchmark] {
+                let b = (bench.binding)(ds);
+                for k in &bench.kernels {
+                    let (decision, explanation) = engine.decide_explained(&k.name, &b).unwrap();
+                    assert!(
+                        explanation.describes(&decision),
+                        "{} {ds}: explanation diverges from decision\n{explanation:?}\n{decision:?}",
+                        k.name
+                    );
+                    assert!(explanation.cpu.is_some() && explanation.gpu.is_some());
+                    assert!(!explanation.bindings.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn explanation_records_fallback_reason() {
+        let (k, _) = find_kernel("gemm").unwrap();
+        let engine = DecisionEngine::new(selector(), std::slice::from_ref(&k));
+        let e = engine.explain("gemm", &Binding::new()).unwrap();
+        assert_eq!(e.device, "gpu", "fallback offloads");
+        assert!(e.cpu.is_none() && e.gpu.is_none());
+        assert!(e.cpu_error.as_deref().unwrap().contains("not bound"));
+        assert!(e.bindings.iter().all(|b| b.value.is_none()));
+        assert_eq!(e.speedup, None);
+    }
+
+    #[test]
+    fn explanation_round_trips_through_json() {
+        let (k, binding) = find_kernel("gemm").unwrap();
+        let engine = DecisionEngine::new(selector(), std::slice::from_ref(&k));
+        let e = engine.explain("gemm", &binding(Dataset::Test)).unwrap();
+        let json = serde_json::to_string_pretty(&e).unwrap();
+        let back: Explanation = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+    }
+
+    #[test]
+    fn explain_marks_cached_decisions() {
+        let (k, binding) = find_kernel("gemm").unwrap();
+        let engine = DecisionEngine::new(selector(), std::slice::from_ref(&k));
+        let b = binding(Dataset::Test);
+        assert!(!engine.explain("gemm", &b).unwrap().cached);
+        engine.decide("gemm", &b).unwrap();
+        assert!(engine.explain("gemm", &b).unwrap().cached);
+        assert!(engine.explain("missing", &b).is_none());
+    }
+
+    #[test]
+    fn report_validation_accepts_real_reports_and_rejects_corrupt_ones() {
+        let (k, binding) = find_kernel("gemm").unwrap();
+        let engine = DecisionEngine::new(selector(), std::slice::from_ref(&k));
+        let e = engine.explain("gemm", &binding(Dataset::Test)).unwrap();
+        let report = ExplainReport {
+            platform: "POWER9+V100".into(),
+            dataset: "test".into(),
+            explanations: vec![e.clone()],
+        };
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        validate_report_json(&json).expect("real report validates");
+
+        // Flip the device: the consistency check must catch it.
+        let mut bad = report.clone();
+        bad.explanations[0].device = match e.device.as_str() {
+            "gpu" => "host".to_string(),
+            _ => "gpu".to_string(),
+        };
+        let err = validate_report_json(&serde_json::to_string(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("inconsistent"), "{err}");
+
+        // Drop the term breakdown but keep the prediction.
+        let mut bad = report.clone();
+        bad.explanations[0].cpu = None;
+        let err = validate_report_json(&serde_json::to_string(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("disagree"), "{err}");
+
+        assert!(validate_report_json("not json").is_err());
+    }
+
+    #[test]
+    fn margin_and_speedup_are_consistent() {
+        let (k, binding) = find_kernel("atax.k1").unwrap();
+        let engine = DecisionEngine::new(selector(), std::slice::from_ref(&k));
+        let e = engine
+            .explain("atax.k1", &binding(Dataset::Benchmark))
+            .unwrap();
+        let (c, g) = (e.predicted_cpu_s.unwrap(), e.predicted_gpu_s.unwrap());
+        assert!((e.speedup.unwrap() - c / g).abs() < 1e-12);
+        let m = e.margin.unwrap();
+        assert!((0.0..1.0).contains(&m));
+        assert!((m - (c.max(g) - c.min(g)) / c.max(g)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn human_rendering_contains_the_story() {
+        let (k, binding) = find_kernel("gemm").unwrap();
+        let engine = DecisionEngine::new(selector(), std::slice::from_ref(&k));
+        let e = engine.explain("gemm", &binding(Dataset::Test)).unwrap();
+        let text = e.render_human();
+        assert!(text.contains("gemm"));
+        assert!(text.contains("MWP"));
+        assert!(text.contains("cyc/iter"));
+        assert!(text.contains("coalesced"));
+        assert!(text.contains("cpu eval"));
+    }
+}

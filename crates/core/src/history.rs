@@ -15,9 +15,29 @@ use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
-/// Key identifying one runtime configuration of a region.
-fn key(region: &str, binding: &Binding) -> String {
-    format!("{region}@{binding}")
+/// Key identifying one runtime configuration of a region, scoped to the
+/// parameters the region actually depends on.
+///
+/// The original key stringified the *whole* binding, so two semantically
+/// identical configurations — same region, same values for every parameter
+/// the region reads — produced different keys whenever the surrounding
+/// program bound extra, irrelevant symbols (a shared binding table is the
+/// normal case in a multi-region program). Profile feedback then silently
+/// never hit. The key is now built from the region's own parameter list:
+/// irrelevant symbols cannot perturb it, unbound required parameters are
+/// recorded explicitly (`p=?`), and the parameter list is normalised
+/// (sorted, deduplicated) so callers need not agree on ordering.
+fn scoped_key(region: &str, params: &[String], binding: &Binding) -> String {
+    let mut parts: Vec<String> = params
+        .iter()
+        .map(|p| match binding.get(p) {
+            Some(v) => format!("{p}={v}"),
+            None => format!("{p}=?"),
+        })
+        .collect();
+    parts.sort();
+    parts.dedup();
+    format!("{region}@{{{}}}", parts.join(","))
 }
 
 /// A remembered execution outcome.
@@ -54,23 +74,42 @@ impl ProfileHistory {
         ProfileHistory::default()
     }
 
-    /// Folds an observation into the history (running average).
-    pub fn observe(&self, region: &str, binding: &Binding, measured: Measured) {
+    /// Folds an observation into the history (running average). `params`
+    /// is the region's parameter list (e.g. [`Kernel::params`]); symbols in
+    /// `binding` outside it do not affect which record is updated.
+    pub fn observe(&self, region: &str, params: &[String], binding: &Binding, measured: Measured) {
         let mut map = self.records.write();
-        let e = map.entry(key(region, binding)).or_insert(HistoryRecord {
-            cpu_s: measured.cpu_s,
-            gpu_s: measured.gpu_s,
-            samples: 0,
-        });
+        let e = map
+            .entry(scoped_key(region, params, binding))
+            .or_insert(HistoryRecord {
+                cpu_s: measured.cpu_s,
+                gpu_s: measured.gpu_s,
+                samples: 0,
+            });
         let n = f64::from(e.samples);
         e.cpu_s = (e.cpu_s * n + measured.cpu_s) / (n + 1.0);
         e.gpu_s = (e.gpu_s * n + measured.gpu_s) / (n + 1.0);
         e.samples += 1;
     }
 
-    /// Looks up the record for a configuration.
-    pub fn lookup(&self, region: &str, binding: &Binding) -> Option<HistoryRecord> {
-        self.records.read().get(&key(region, binding)).copied()
+    /// Looks up the record for a configuration. Hits and misses are counted
+    /// under `hetsel.core.history.lookup.{hit,miss}`.
+    pub fn lookup(
+        &self,
+        region: &str,
+        params: &[String],
+        binding: &Binding,
+    ) -> Option<HistoryRecord> {
+        let found = self
+            .records
+            .read()
+            .get(&scoped_key(region, params, binding))
+            .copied();
+        match found {
+            Some(_) => hetsel_obs::static_counter!("hetsel.core.history.lookup.hit").inc(),
+            None => hetsel_obs::static_counter!("hetsel.core.history.lookup.miss").inc(),
+        }
+        found
     }
 
     /// Number of distinct configurations remembered.
@@ -132,7 +171,7 @@ impl AdaptiveSelector {
 
     /// Decides: remembered ground truth wins; otherwise the models decide.
     pub fn select(&self, kernel: &Kernel, binding: &Binding) -> Decision {
-        if let Some(rec) = self.history.lookup(&kernel.name, binding) {
+        if let Some(rec) = self.history.lookup(&kernel.name, &kernel.params(), binding) {
             return Decision {
                 region: kernel.name.clone(),
                 device: rec.best_device(),
@@ -151,7 +190,8 @@ impl AdaptiveSelector {
     pub fn run_and_learn(&self, kernel: &Kernel, binding: &Binding) -> Option<(Decision, f64)> {
         let d = self.select(kernel, binding);
         let m = self.selector.measure(kernel, binding)?;
-        self.history.observe(&kernel.name, binding, m);
+        self.history
+            .observe(&kernel.name, &kernel.params(), binding, m);
         Some((d.clone(), m.on(d.device)))
     }
 }
@@ -162,32 +202,104 @@ mod tests {
     use crate::platform::Platform;
     use hetsel_polybench::{find_kernel, Dataset};
 
+    fn params(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
     #[test]
     fn observe_and_lookup_roundtrip() {
         let h = ProfileHistory::new();
+        let p = params(&["n"]);
         let b = Binding::new().with("n", 100);
-        assert!(h.lookup("k", &b).is_none());
+        assert!(h.lookup("k", &p, &b).is_none());
         h.observe(
             "k",
+            &p,
             &b,
             Measured {
                 cpu_s: 2.0,
                 gpu_s: 1.0,
             },
         );
-        let r = h.lookup("k", &b).unwrap();
+        let r = h.lookup("k", &p, &b).unwrap();
         assert_eq!(r.best_device(), Device::Gpu);
         assert_eq!(r.samples, 1);
         // Different binding: separate record.
-        assert!(h.lookup("k", &Binding::new().with("n", 200)).is_none());
+        assert!(h.lookup("k", &p, &Binding::new().with("n", 200)).is_none());
+    }
+
+    /// The key-normalisation fix: bindings that agree on every parameter the
+    /// region reads must hit the same record, no matter what irrelevant
+    /// symbols the surrounding program bound, in what order the parameter
+    /// list arrives, or whether it carries duplicates.
+    #[test]
+    fn semantically_equal_bindings_share_a_record() {
+        let h = ProfileHistory::new();
+        let m = Measured {
+            cpu_s: 1.0,
+            gpu_s: 2.0,
+        };
+        let clean = Binding::new().with("n", 64).with("m", 8);
+        h.observe("k", &params(&["n", "m"]), &clean, m);
+
+        // Same configuration, binding padded with unrelated symbols.
+        let padded = clean
+            .clone()
+            .with("other_region_extent", 4096)
+            .with("zz", 1);
+        let r = h
+            .lookup("k", &params(&["n", "m"]), &padded)
+            .expect("padded binding must hit");
+        assert_eq!(r.samples, 1);
+
+        // Parameter list order and duplicates are immaterial.
+        assert!(h.lookup("k", &params(&["m", "n", "n"]), &clean).is_some());
+
+        // A padded *observation* folds into the same record too.
+        h.observe("k", &params(&["m", "n"]), &padded, m);
+        assert_eq!(h.len(), 1);
+        assert_eq!(
+            h.lookup("k", &params(&["n", "m"]), &clean).unwrap().samples,
+            2
+        );
+
+        // But changing a *relevant* value still separates records.
+        let other = clean.clone().with("n", 65);
+        assert!(h.lookup("k", &params(&["n", "m"]), &other).is_none());
+    }
+
+    #[test]
+    fn lookup_hits_and_misses_are_counted() {
+        let h = ProfileHistory::new();
+        let p = params(&["n"]);
+        let b = Binding::new().with("n", 7);
+        let registry = hetsel_obs::registry();
+        let hits = registry.counter("hetsel.core.history.lookup.hit");
+        let misses = registry.counter("hetsel.core.history.lookup.miss");
+        let (h0, m0) = (hits.get(), misses.get());
+        h.lookup("k", &p, &b);
+        h.observe(
+            "k",
+            &p,
+            &b,
+            Measured {
+                cpu_s: 1.0,
+                gpu_s: 2.0,
+            },
+        );
+        h.lookup("k", &p, &b);
+        assert!(hits.get() > h0, "hit counted");
+        assert!(misses.get() > m0, "miss counted");
     }
 
     #[test]
     fn observations_average() {
         let h = ProfileHistory::new();
+        let p = params(&["n"]);
         let b = Binding::new().with("n", 1);
         h.observe(
             "k",
+            &p,
             &b,
             Measured {
                 cpu_s: 1.0,
@@ -196,13 +308,14 @@ mod tests {
         );
         h.observe(
             "k",
+            &p,
             &b,
             Measured {
                 cpu_s: 3.0,
                 gpu_s: 1.0,
             },
         );
-        let r = h.lookup("k", &b).unwrap();
+        let r = h.lookup("k", &p, &b).unwrap();
         assert_eq!(r.samples, 2);
         assert!((r.cpu_s - 2.0).abs() < 1e-12);
         assert!((r.gpu_s - 2.0).abs() < 1e-12);
@@ -213,6 +326,7 @@ mod tests {
         let h = ProfileHistory::new();
         h.observe(
             "a",
+            &params(&["n"]),
             &Binding::new().with("n", 5),
             Measured {
                 cpu_s: 1.0,
@@ -221,6 +335,7 @@ mod tests {
         );
         h.observe(
             "b",
+            &params(&["m"]),
             &Binding::new().with("m", 7),
             Measured {
                 cpu_s: 4.0,
@@ -231,7 +346,7 @@ mod tests {
         let back = ProfileHistory::import(&serde_json::from_str(&json).unwrap());
         assert_eq!(back.len(), 2);
         assert_eq!(
-            back.lookup("a", &Binding::new().with("n", 5))
+            back.lookup("a", &params(&["n"]), &Binding::new().with("n", 5))
                 .unwrap()
                 .gpu_s,
             2.0

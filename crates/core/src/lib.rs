@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod attributes;
+pub mod explain;
 pub mod history;
 pub mod platform;
 pub mod program;
@@ -24,6 +25,9 @@ pub mod split;
 
 pub use attributes::{
     AccessExport, AttributeDatabase, DatabaseExport, RegionAttributes, RegionExport,
+};
+pub use explain::{
+    validate_report_json, BoundParam, CpuTerms, ExplainReport, Explanation, GpuTerms, PhaseTimings,
 };
 pub use history::{AdaptiveSelector, HistoryExport, HistoryRecord, ProfileHistory};
 pub use platform::Platform;

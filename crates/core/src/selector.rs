@@ -294,6 +294,19 @@ impl Selector {
                 _ => Device::Gpu, // compiler default when unresolvable
             },
         };
+        match device {
+            Device::Host => hetsel_obs::static_counter!("hetsel.core.decisions.host").inc(),
+            Device::Gpu => hetsel_obs::static_counter!("hetsel.core.decisions.gpu").inc(),
+        }
+        if self.policy == Policy::ModelDriven {
+            // Count fallback reasons by variant: one tick per failed model,
+            // under `hetsel.core.fallback.<metric_key>`.
+            for err in [&cpu_error, &gpu_error].into_iter().flatten() {
+                hetsel_obs::registry()
+                    .counter(&format!("hetsel.core.fallback.{}", err.metric_key()))
+                    .inc();
+            }
+        }
         Decision {
             region: region.to_string(),
             device,
@@ -361,6 +374,8 @@ pub struct DecisionCacheStats {
     pub len: usize,
     /// Maximum entries the cache holds.
     pub capacity: usize,
+    /// Entries evicted to make room since the engine was built.
+    pub evictions: u64,
 }
 
 /// Key of a cached decision: the region name plus the resolved values of
@@ -387,6 +402,7 @@ struct LruCache {
     map: HashMap<CacheKey, CacheEntry>,
     queue: VecDeque<(CacheKey, u64)>,
     clock: u64,
+    evictions: u64,
 }
 
 impl LruCache {
@@ -396,7 +412,12 @@ impl LruCache {
             map: HashMap::new(),
             queue: VecDeque::new(),
             clock: 0,
+            evictions: 0,
         }
+    }
+
+    fn contains(&self, key: &CacheKey) -> bool {
+        self.map.contains_key(key)
     }
 
     fn get(&mut self, key: &CacheKey) -> Option<Decision> {
@@ -418,8 +439,12 @@ impl LruCache {
                     break;
                 };
                 // A record is live only if the entry was not touched since.
+                // (Dropping a stale record is *not* an eviction — only the
+                // removal of a live entry is counted.)
                 if self.map.get(&old).is_some_and(|e| e.stamp == stamp) {
                     self.map.remove(&old);
+                    self.evictions += 1;
+                    hetsel_obs::static_counter!("hetsel.core.cache.eviction").inc();
                 }
             }
         }
@@ -520,23 +545,63 @@ impl DecisionEngine {
     /// know. A cached decision is bit-identical to what evaluation would
     /// produce, because the models are deterministic in the key.
     pub fn decide(&self, region: &str, binding: &Binding) -> Option<Decision> {
+        let _timer = hetsel_obs::static_histogram!("hetsel.core.decide.ns").start_timer();
         let attrs = self.database.region(region)?;
-        let key: CacheKey = (
+        let key = Self::cache_key(region, attrs, binding);
+        if let Some(cached) = self.cache.lock().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            hetsel_obs::static_counter!("hetsel.core.cache.hit").inc();
+            return Some(cached);
+        }
+        let decision = self.selector.select(attrs, binding);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        hetsel_obs::static_counter!("hetsel.core.cache.miss").inc();
+        let len = {
+            let mut cache = self.cache.lock();
+            cache.insert(key, decision.clone());
+            cache.map.len()
+        };
+        hetsel_obs::static_gauge!("hetsel.core.cache.len").set(len as i64);
+        Some(decision)
+    }
+
+    /// Takes the decision and explains it in the same call: the
+    /// explanation is the full evidence behind exactly that decision (see
+    /// [`Explanation::describes`](crate::explain::Explanation::describes)).
+    /// The decision goes through the cache as usual; the explanation is
+    /// always freshly evaluated, with its `cached` flag reporting whether
+    /// the decision key now sits in the cache.
+    pub fn decide_explained(
+        &self,
+        region: &str,
+        binding: &Binding,
+    ) -> Option<(Decision, crate::explain::Explanation)> {
+        let decision = self.decide(region, binding)?;
+        let explanation = self.explain(region, binding)?;
+        Some((decision, explanation))
+    }
+
+    /// Produces the full [`Explanation`](crate::explain::Explanation) for a
+    /// known region under `binding`, without consulting or populating the
+    /// decision cache (the `cached` field reports whether a decision for
+    /// this key is currently cached). Returns `None` for an unknown region.
+    pub fn explain(&self, region: &str, binding: &Binding) -> Option<crate::explain::Explanation> {
+        let attrs = self.database.region(region)?;
+        let mut explanation = self.selector.explain(attrs, binding);
+        let key = Self::cache_key(region, attrs, binding);
+        explanation.cached = self.cache.lock().contains(&key);
+        Some(explanation)
+    }
+
+    fn cache_key(region: &str, attrs: &RegionAttributes, binding: &Binding) -> CacheKey {
+        (
             region.to_string(),
             attrs
                 .required_params
                 .iter()
                 .map(|p| binding.get(p))
                 .collect(),
-        );
-        if let Some(cached) = self.cache.lock().get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Some(cached);
-        }
-        let decision = self.selector.select(attrs, binding);
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        self.cache.lock().insert(key, decision.clone());
-        Some(decision)
+        )
     }
 
     /// Cache statistics so far.
@@ -547,7 +612,33 @@ impl DecisionEngine {
             misses: self.misses.load(Ordering::Relaxed),
             len: cache.map.len(),
             capacity: cache.capacity,
+            evictions: cache.evictions,
         }
+    }
+
+    /// Publishes the current cache statistics as gauges in the process-wide
+    /// metrics registry (`hetsel.core.cache.{hits,misses,len,evictions}`
+    /// and `hetsel.core.cache.capacity`), so a metrics snapshot taken by a
+    /// harness reflects this engine without holding a reference to it.
+    pub fn publish_stats(&self) -> DecisionCacheStats {
+        let stats = self.stats();
+        let registry = hetsel_obs::registry();
+        registry
+            .gauge("hetsel.core.cache.hits")
+            .set(stats.hits as i64);
+        registry
+            .gauge("hetsel.core.cache.misses")
+            .set(stats.misses as i64);
+        registry
+            .gauge("hetsel.core.cache.len")
+            .set(stats.len as i64);
+        registry
+            .gauge("hetsel.core.cache.capacity")
+            .set(stats.capacity as i64);
+        registry
+            .gauge("hetsel.core.cache.evictions")
+            .set(stats.evictions as i64);
+        stats
     }
 }
 
@@ -737,6 +828,33 @@ mod tests {
         engine.decide("gemm", &test).unwrap();
         assert_eq!(engine.stats().misses, 4, "test was evicted");
         assert!(engine.stats().len <= 2);
+        assert!(
+            engine.stats().evictions >= 2,
+            "both overflows evicted a live entry: {:?}",
+            engine.stats()
+        );
+    }
+
+    #[test]
+    fn stats_publish_to_the_metrics_registry() {
+        let (k, binding) = find_kernel("gemm").unwrap();
+        let engine = engine_with(std::slice::from_ref(&k), 16);
+        let b = binding(Dataset::Test);
+        engine.decide("gemm", &b).unwrap();
+        engine.decide("gemm", &b).unwrap();
+        let stats = engine.publish_stats();
+        assert_eq!(stats.evictions, 0);
+        let registry = hetsel_obs::registry();
+        assert_eq!(
+            registry.gauge("hetsel.core.cache.hits").get(),
+            stats.hits as i64
+        );
+        assert_eq!(
+            registry.gauge("hetsel.core.cache.misses").get(),
+            stats.misses as i64
+        );
+        // (`hetsel.core.cache.len` is also written by concurrent tests'
+        // engines, so only the single-writer gauges are asserted on.)
     }
 
     #[test]

@@ -44,12 +44,19 @@ pub fn analyze_cached(kernel: &Kernel) -> Arc<KernelAccessInfo> {
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(hit) = map.get(&key) {
+            hetsel_obs::static_counter!("hetsel.ipda.memo.hit").inc();
             return Arc::clone(hit);
         }
     }
+    hetsel_obs::static_counter!("hetsel.ipda.memo.miss").inc();
     // Analyze outside the lock; a racing thread may duplicate the work but
     // the results are equal and only one lands in the table.
-    let info = Arc::new(analyze(kernel));
+    let info = {
+        let _timer = hetsel_obs::static_histogram!("hetsel.ipda.analyze.ns").start_timer();
+        let mut span = hetsel_obs::span("hetsel.ipda.analyze");
+        span.record("kernel", kernel.name.as_str());
+        Arc::new(analyze(kernel))
+    };
     let mut map = memo
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner);

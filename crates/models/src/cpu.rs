@@ -285,6 +285,10 @@ pub fn compile(
     threads: u32,
     mode: TripMode,
 ) -> CompiledCpuModel {
+    let _timer = hetsel_obs::static_histogram!("hetsel.models.cpu.compile.ns").start_timer();
+    let _span = hetsel_obs::span_with("hetsel.models.cpu.compile", || {
+        vec![hetsel_obs::trace::field("kernel", kernel.name.as_str())]
+    });
     CompiledCpuModel {
         info: analyze_cached(kernel),
         cycles_serial: compile_parallel_iter_cycles(kernel, &params.core, None, true),
@@ -323,6 +327,13 @@ impl CompiledCpuModel {
     /// compiled MCA analyses and composes Figure 3. Produces exactly the
     /// arithmetic — bit for bit — of the one-shot [`predict`].
     pub fn evaluate(&self, binding: &Binding) -> Result<CpuPrediction, ModelError> {
+        let _timer = hetsel_obs::static_histogram!("hetsel.models.cpu.evaluate.ns").start_timer();
+        let _span = hetsel_obs::span_with("hetsel.models.cpu.evaluate", || {
+            vec![hetsel_obs::trace::field(
+                "kernel",
+                self.kernel.name.as_str(),
+            )]
+        });
         let kernel = &self.kernel;
         let params = &self.params;
         let threads = self.threads;

@@ -35,6 +35,18 @@ pub enum ModelError {
 }
 
 impl ModelError {
+    /// Stable dotted suffix naming this variant in telemetry: fallback
+    /// decisions are counted per reason under
+    /// `hetsel.core.fallback.<metric_key>`.
+    pub fn metric_key(&self) -> &'static str {
+        match self {
+            ModelError::UnboundSymbol { .. } => "unbound_symbol",
+            ModelError::ZeroTrip => "zero_trip",
+            ModelError::ZeroThreads => "zero_threads",
+            ModelError::UnsupportedShape { .. } => "unsupported_shape",
+        }
+    }
+
     /// Classifies a failed symbolic resolution against `binding`: names the
     /// first kernel parameter the binding does not cover, or falls back to
     /// [`ModelError::UnsupportedShape`] when every parameter is bound (the

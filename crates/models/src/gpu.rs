@@ -305,6 +305,10 @@ pub fn compile(
     trip_mode: TripMode,
     coal_mode: CoalescingMode,
 ) -> CompiledGpuModel {
+    let _timer = hetsel_obs::static_histogram!("hetsel.models.gpu.compile.ns").start_timer();
+    let _span = hetsel_obs::span_with("hetsel.models.gpu.compile", || {
+        vec![hetsel_obs::trace::field("kernel", kernel.name.as_str())]
+    });
     CompiledGpuModel {
         info: analyze_cached(kernel),
         loadout: compile_loadout(kernel),
@@ -338,6 +342,13 @@ impl CompiledGpuModel {
     /// The runtime half of the model: produces exactly the arithmetic — bit
     /// for bit — of the one-shot [`predict`].
     pub fn evaluate(&self, binding: &Binding) -> Result<GpuPrediction, ModelError> {
+        let _timer = hetsel_obs::static_histogram!("hetsel.models.gpu.evaluate.ns").start_timer();
+        let _span = hetsel_obs::span_with("hetsel.models.gpu.evaluate", || {
+            vec![hetsel_obs::trace::field(
+                "kernel",
+                self.kernel.name.as_str(),
+            )]
+        });
         let kernel = &self.kernel;
         let params = &self.params;
         let (trip_mode, coal_mode) = (self.trip_mode, self.coal_mode);

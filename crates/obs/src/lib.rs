@@ -1,0 +1,87 @@
+//! # hetsel-obs — decision telemetry for the offloading framework
+//!
+//! The paper's selling point is that the dispatch decision is cheap enough
+//! to take at every region launch; this crate makes every such decision
+//! *observable* without giving that cheapness back. Two independent layers:
+//!
+//! * [`trace`] — a dependency-free structured tracing facade: named spans
+//!   with typed key/value fields, dispatched to a pluggable process-wide
+//!   [`Subscriber`] (null, stderr pretty-printer, bounded in-memory ring
+//!   buffer, JSONL writer). When no subscriber is installed a span is one
+//!   relaxed atomic load — cold paths annotate freely, hot paths stay hot.
+//! * [`metrics`] — a process-wide registry of named [`Counter`]s,
+//!   [`Gauge`]s and log-scale latency [`Histogram`]s (p50/p95/p99).
+//!   Counters and gauges are always live (one relaxed RMW each); duration
+//!   timers are gated behind [`metrics::set_timing`] so the instrumented
+//!   cache-hit decision path never pays for a clock read it did not ask for.
+//!
+//! Metric names follow the dotted `hetsel.<crate>.<name>` convention
+//! documented in DESIGN.md §"Observability".
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{
+    registry, Counter, Gauge, HistTimer, Histogram, HistogramSummary, MetricsSnapshot, Registry,
+};
+pub use trace::{
+    set_subscriber, span, span_with, subscriber_installed, tracing_enabled, Field, FieldValue,
+    JsonlSubscriber, NullSubscriber, RingBufferSubscriber, SpanGuard, SpanRecord, StderrSubscriber,
+    Subscriber,
+};
+
+/// Escapes a string for inclusion in a JSON document (used by both the
+/// JSONL subscriber and the metrics snapshot renderer).
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Caches a registry handle in a function-local static so hot paths touch
+/// the registry's lock exactly once per metric per process.
+///
+/// ```
+/// let hits = hetsel_obs::static_counter!("hetsel.example.hits");
+/// hits.inc();
+/// ```
+#[macro_export]
+macro_rules! static_counter {
+    ($name:expr) => {{
+        static CELL: ::std::sync::OnceLock<::std::sync::Arc<$crate::Counter>> =
+            ::std::sync::OnceLock::new();
+        CELL.get_or_init(|| $crate::registry().counter($name))
+    }};
+}
+
+/// As [`static_counter!`] for histograms.
+#[macro_export]
+macro_rules! static_histogram {
+    ($name:expr) => {{
+        static CELL: ::std::sync::OnceLock<::std::sync::Arc<$crate::Histogram>> =
+            ::std::sync::OnceLock::new();
+        CELL.get_or_init(|| $crate::registry().histogram($name))
+    }};
+}
+
+/// As [`static_counter!`] for gauges.
+#[macro_export]
+macro_rules! static_gauge {
+    ($name:expr) => {{
+        static CELL: ::std::sync::OnceLock<::std::sync::Arc<$crate::Gauge>> =
+            ::std::sync::OnceLock::new();
+        CELL.get_or_init(|| $crate::registry().gauge($name))
+    }};
+}

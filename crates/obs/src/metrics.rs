@@ -1,0 +1,515 @@
+//! The process-wide metrics registry.
+//!
+//! Three instrument kinds, all lock-free after creation:
+//!
+//! * [`Counter`] — monotone `u64` (decisions taken, cache hits, fallbacks);
+//! * [`Gauge`] — last-write-wins `i64` (cache occupancy, capacities);
+//! * [`Histogram`] — 64 power-of-two buckets over `u64` nanosecond samples,
+//!   with count/sum/min/max and p50/p95/p99 estimates. A value in bucket
+//!   `b` satisfies `2^b <= v < 2^(b+1)`, so a reported percentile is an
+//!   upper bound within 2× of the true order statistic.
+//!
+//! Counters and gauges are always live. Duration *timers* — the things
+//! that need a clock read — are additionally gated behind [`set_timing`],
+//! so hot paths (the cache-hit decision) pay nothing for histograms unless
+//! telemetry was explicitly requested.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
+
+use crate::json_escape;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero (tests and per-run dumps).
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-write-wins signed gauge.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the value by `delta`.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero.
+    pub fn reset(&self) {
+        self.set(0);
+    }
+}
+
+/// Number of power-of-two buckets: covers the full `u64` range.
+const BUCKETS: usize = 64;
+
+/// A log-scale histogram over `u64` samples (nanoseconds by convention).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Folds one sample in. Zero samples land in the first bucket.
+    pub fn record(&self, value: u64) {
+        let bucket = (value | 1).ilog2() as usize;
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Starts a duration timer that records into this histogram when
+    /// dropped — but only if [`timing_enabled`]; otherwise the timer is
+    /// inert and no clock is read.
+    pub fn start_timer(self: &Arc<Histogram>) -> HistTimer {
+        HistTimer {
+            start: timing_enabled().then(|| (Instant::now(), Arc::clone(self))),
+        }
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Estimated `p`-th percentile (0 < p <= 100): the upper bound of the
+    /// bucket holding that order statistic, clamped to the observed max.
+    /// Returns 0 for an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (b, slot) in self.buckets.iter().enumerate() {
+            seen += slot.load(Ordering::Relaxed);
+            if seen >= rank {
+                let upper = if b + 1 >= BUCKETS {
+                    u64::MAX
+                } else {
+                    (1u64 << (b + 1)) - 1
+                };
+                return upper.min(self.max.load(Ordering::Relaxed));
+            }
+        }
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// A consistent point-in-time summary.
+    pub fn summary(&self) -> HistogramSummary {
+        let count = self.count();
+        HistogramSummary {
+            count,
+            sum: self.sum(),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            p50: self.percentile(50.0),
+            p95: self.percentile(95.0),
+            p99: self.percentile(99.0),
+        }
+    }
+
+    /// Clears all samples.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time histogram digest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Median estimate.
+    pub p50: u64,
+    /// 95th percentile estimate.
+    pub p95: u64,
+    /// 99th percentile estimate.
+    pub p99: u64,
+}
+
+impl HistogramSummary {
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// RAII duration timer for a histogram; see [`Histogram::start_timer`].
+pub struct HistTimer {
+    start: Option<(Instant, Arc<Histogram>)>,
+}
+
+impl Drop for HistTimer {
+    fn drop(&mut self) {
+        if let Some((start, hist)) = self.start.take() {
+            hist.record(start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// Gate for duration timers (default off).
+static TIMING: AtomicBool = AtomicBool::new(false);
+
+/// Enables or disables duration timers process-wide. Counters and gauges
+/// are unaffected (always live).
+pub fn set_timing(on: bool) {
+    TIMING.store(on, Ordering::Release);
+}
+
+/// True while duration timers read the clock.
+#[inline]
+pub fn timing_enabled() -> bool {
+    TIMING.load(Ordering::Relaxed)
+}
+
+/// The registry: name → instrument, get-or-create. Handles are `Arc`s, so
+/// hot paths resolve a name once (see [`static_counter!`](crate::static_counter))
+/// and then touch only the atomic.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+fn get_or_create<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    if let Some(found) = map.read().unwrap().get(name) {
+        return Arc::clone(found);
+    }
+    let mut w = map.write().unwrap();
+    Arc::clone(w.entry(name.to_string()).or_default())
+}
+
+impl Registry {
+    /// A fresh, empty registry (tests; production code uses [`registry`]).
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created at zero on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_create(&self.counters, name)
+    }
+
+    /// The gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_create(&self.gauges, name)
+    }
+
+    /// The histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        get_or_create(&self.histograms, name)
+    }
+
+    /// A point-in-time snapshot of every instrument, name-sorted.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .read()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.summary()))
+                .collect(),
+        }
+    }
+
+    /// Zeroes every instrument without invalidating outstanding handles.
+    pub fn reset(&self) {
+        for c in self.counters.read().unwrap().values() {
+            c.reset();
+        }
+        for g in self.gauges.read().unwrap().values() {
+            g.reset();
+        }
+        for h in self.histograms.read().unwrap().values() {
+            h.reset();
+        }
+    }
+}
+
+/// The process-wide registry.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::new)
+}
+
+/// A rendered snapshot of the registry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` per counter, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` per gauge, name-sorted.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, summary)` per histogram, name-sorted.
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+impl MetricsSnapshot {
+    /// Compact single-object JSON rendering.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{v}", json_escape(k)));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{v}", json_escape(k)));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                json_escape(k),
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                h.p50,
+                h.p95,
+                h.p99
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+impl std::fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if !self.counters.is_empty() {
+            writeln!(f, "counters:")?;
+            for (k, v) in &self.counters {
+                writeln!(f, "  {k:<48} {v}")?;
+            }
+        }
+        if !self.gauges.is_empty() {
+            writeln!(f, "gauges:")?;
+            for (k, v) in &self.gauges {
+                writeln!(f, "  {k:<48} {v}")?;
+            }
+        }
+        if !self.histograms.is_empty() {
+            writeln!(f, "histograms (ns):")?;
+            for (k, h) in &self.histograms {
+                writeln!(
+                    f,
+                    "  {k:<48} n={} mean={:.0} p50={} p95={} p99={} max={}",
+                    h.count,
+                    h.mean(),
+                    h.p50,
+                    h.p95,
+                    h.p99,
+                    h.max
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let r = Registry::new();
+        let c = r.counter("hetsel.test.c");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(r.counter("hetsel.test.c").get(), 5, "same instrument");
+        let g = r.gauge("hetsel.test.g");
+        g.set(-3);
+        g.add(5);
+        assert_eq!(g.get(), 2);
+        r.reset();
+        assert_eq!(c.get(), 0);
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_percentiles() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.sum, 500_500);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 1000);
+        // A power-of-two bucket bounds the true order statistic within 2x.
+        assert!(s.p50 >= 500 && s.p50 <= 1000, "p50={}", s.p50);
+        assert!(s.p95 >= 950 && s.p95 <= 1000, "p95={}", s.p95);
+        assert!(s.p99 >= 990 && s.p99 <= 1000, "p99={}", s.p99);
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99);
+    }
+
+    #[test]
+    fn histogram_edge_values() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(50.0), 0, "empty histogram");
+        h.record(0);
+        h.record(u64::MAX);
+        let s = h.summary();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, u64::MAX);
+        assert!(s.p50 <= s.max);
+    }
+
+    #[test]
+    fn snapshot_renders_json_and_text() {
+        let r = Registry::new();
+        r.counter("hetsel.test.snap").add(7);
+        r.gauge("hetsel.test.level").set(3);
+        r.histogram("hetsel.test.lat").record(100);
+        let snap = r.snapshot();
+        let json = snap.to_json();
+        assert!(json.contains("\"hetsel.test.snap\":7"));
+        assert!(json.contains("\"hetsel.test.level\":3"));
+        assert!(json.contains("\"count\":1"));
+        let text = snap.to_string();
+        assert!(text.contains("hetsel.test.snap"));
+        assert!(text.contains("histograms"));
+    }
+
+    #[test]
+    fn timer_gated_on_timing_flag() {
+        let h = Arc::new(Histogram::new());
+        // Default off in unit scope unless another test enabled it; force.
+        set_timing(false);
+        drop(h.start_timer());
+        assert_eq!(h.count(), 0);
+        set_timing(true);
+        drop(h.start_timer());
+        assert_eq!(h.count(), 1);
+        set_timing(false);
+    }
+}

@@ -15,6 +15,8 @@
 //!   POWER8/POWER9 hosts and K80/V100 accelerators;
 //! * [`models`] — the Liao/Chapman CPU cost model and the Hong–Kim GPU
 //!   MWP/CWP model (with the paper's `#OMP_Rep` extension);
+//! * [`obs`] — dependency-free structured tracing and a process-wide
+//!   metrics registry instrumenting the whole decision pipeline;
 //! * [`core`] — the program attribute database and the runtime selector.
 //!
 //! ## Quickstart
@@ -57,12 +59,13 @@ pub use hetsel_ipda as ipda;
 pub use hetsel_ir as ir;
 pub use hetsel_mca as mca;
 pub use hetsel_models as models;
+pub use hetsel_obs as obs;
 pub use hetsel_polybench as polybench;
 
 /// Commonly used items for working with the framework.
 pub mod prelude {
     pub use hetsel_core::{
-        AttributeDatabase, Decision, DecisionEngine, Platform, Policy, Selector,
+        AttributeDatabase, Decision, DecisionEngine, Explanation, Platform, Policy, Selector,
     };
     pub use hetsel_ir::{cexpr, Binding, Expr, Kernel, KernelBuilder, Transfer};
     pub use hetsel_models::{CompiledModel, CostModel, ModelError, Prediction};

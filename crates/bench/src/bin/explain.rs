@@ -117,6 +117,11 @@ fn main() {
         explanations.push(explanation);
     }
     engine.publish_stats();
+    let stats = engine.stats();
+    eprintln!(
+        "[cache] hits={} misses={} len={}/{} evictions={} shards={}",
+        stats.hits, stats.misses, stats.len, stats.capacity, stats.evictions, stats.shards
+    );
 
     let report = ExplainReport {
         platform: platform.name.to_string(),

@@ -137,16 +137,30 @@ pub fn policy_outcome(results: &[KernelResult], policy: Policy) -> PolicyOutcome
 /// run's counters — decisions per device, cache hit rates, fallback
 /// reasons, model-evaluation latencies — land next to the artifact they
 /// explain. The destination can be overridden with the
-/// `HETSEL_METRICS_PATH` environment variable (used by tests). Returns the
-/// path written.
+/// `HETSEL_METRICS_PATH` environment variable — an escape hatch for the
+/// single-threaded binaries only; tests pass an explicit path to
+/// [`metrics_dump_to`] instead. Returns the path written.
 pub fn metrics_dump(tag: &str) -> std::io::Result<std::path::PathBuf> {
-    use std::io::Write;
     let path = match std::env::var_os("HETSEL_METRICS_PATH") {
         Some(p) => std::path::PathBuf::from(p),
         None => {
             std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/metrics.jsonl")
         }
     };
+    metrics_dump_to(&path, tag)
+}
+
+/// As [`metrics_dump`] to an explicit destination, with no environment
+/// consulted. Tests use this directly: mutating `HETSEL_METRICS_PATH` via
+/// `std::env::set_var` races against Rust's parallel test threads (the
+/// variable is process-global), so the env override is reserved for the
+/// single-threaded harness binaries.
+pub fn metrics_dump_to(
+    path: impl AsRef<std::path::Path>,
+    tag: &str,
+) -> std::io::Result<std::path::PathBuf> {
+    use std::io::Write;
+    let path = path.as_ref();
     if let Some(dir) = path.parent() {
         std::fs::create_dir_all(dir)?;
     }
@@ -159,9 +173,9 @@ pub fn metrics_dump(tag: &str) -> std::io::Result<std::path::PathBuf> {
     let mut f = std::fs::OpenOptions::new()
         .create(true)
         .append(true)
-        .open(&path)?;
+        .open(path)?;
     f.write_all(line.as_bytes())?;
-    Ok(path)
+    Ok(path.to_path_buf())
 }
 
 /// Formats seconds compactly (µs/ms/s).
@@ -212,16 +226,16 @@ mod tests {
 
     #[test]
     fn metrics_dump_appends_parseable_lines() {
+        // The explicit-path variant: no process-global environment mutation,
+        // so this is safe under Rust's parallel test threads.
         let path =
             std::env::temp_dir().join(format!("hetsel-metrics-{}.jsonl", std::process::id()));
         let _ = std::fs::remove_file(&path);
-        std::env::set_var("HETSEL_METRICS_PATH", &path);
         hetsel_obs::registry()
             .counter("hetsel.bench.test.dump")
             .inc();
-        let p1 = metrics_dump("first").unwrap();
-        let p2 = metrics_dump("second").unwrap();
-        std::env::remove_var("HETSEL_METRICS_PATH");
+        let p1 = metrics_dump_to(&path, "first").unwrap();
+        let p2 = metrics_dump_to(&path, "second").unwrap();
         assert_eq!(p1, p2);
         let body = std::fs::read_to_string(&path).unwrap();
         let lines: Vec<&str> = body.lines().collect();

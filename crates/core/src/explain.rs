@@ -13,7 +13,7 @@
 use std::time::Instant;
 
 use crate::attributes::RegionAttributes;
-use crate::selector::{Decision, Device, Policy, Selector};
+use crate::selector::{choose_device, Decision, Device, Policy, Selector};
 use hetsel_ir::Binding;
 use hetsel_models::{CpuPrediction, GpuPrediction, HongCase, ModelError};
 use serde::{Deserialize, Serialize};
@@ -362,21 +362,30 @@ impl Selector {
         let gpu_res: Result<GpuPrediction, ModelError> = attrs.gpu_model.evaluate(binding);
         let gpu_eval_ns = t_gpu.elapsed().as_nanos() as u64;
 
+        // The same sanitization as the decision path: an `Ok` carrying a
+        // non-finite or negative time is a model failure, and its term
+        // breakdown is dropped along with the prediction.
+        let cpu_res: Result<CpuPrediction, ModelError> = cpu_res.and_then(|p| {
+            if ModelError::usable_time(p.seconds) {
+                Ok(p)
+            } else {
+                Err(ModelError::non_finite(p.seconds))
+            }
+        });
+        let gpu_res: Result<GpuPrediction, ModelError> = gpu_res.and_then(|p| {
+            if ModelError::usable_time(p.seconds) {
+                Ok(p)
+            } else {
+                Err(ModelError::non_finite(p.seconds))
+            }
+        });
+
         let predicted_cpu_s = cpu_res.as_ref().ok().map(|p| p.seconds);
         let predicted_gpu_s = gpu_res.as_ref().ok().map(|p| p.seconds);
         let device = match self.policy {
             Policy::AlwaysHost => Device::Host,
             Policy::AlwaysOffload => Device::Gpu,
-            Policy::ModelDriven => match (predicted_cpu_s, predicted_gpu_s) {
-                (Some(c), Some(g)) => {
-                    if g < c {
-                        Device::Gpu
-                    } else {
-                        Device::Host
-                    }
-                }
-                _ => Device::Gpu, // compiler default when unresolvable
-            },
+            Policy::ModelDriven => choose_device(predicted_cpu_s, predicted_gpu_s),
         };
         let (speedup, margin) = match (predicted_cpu_s, predicted_gpu_s) {
             (Some(c), Some(g)) if g > 0.0 && c.is_finite() && g.is_finite() => {
@@ -485,15 +494,11 @@ pub fn validate_report_json(json: &str) -> Result<ExplainReport, String> {
             }
         }
         if e.policy == "model_driven" {
-            let expected = match (e.predicted_cpu_s, e.predicted_gpu_s) {
-                (Some(c), Some(g)) => {
-                    if g < c {
-                        "gpu"
-                    } else {
-                        "host"
-                    }
-                }
-                _ => "gpu",
+            // The same NaN-safe comparison the live path uses; a document
+            // whose device disagrees with `choose_device` is corrupt.
+            let expected = match choose_device(e.predicted_cpu_s, e.predicted_gpu_s) {
+                Device::Gpu => "gpu",
+                Device::Host => "host",
             };
             if e.device != expected {
                 return Err(format!(
@@ -541,6 +546,42 @@ mod tests {
                     assert!(explanation.cpu.is_some() && explanation.gpu.is_some());
                     assert!(!explanation.bindings.is_empty());
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn explain_device_equals_decide_device_for_every_suite_kernel() {
+        // The shared `choose_device` helper makes divergence structurally
+        // impossible; this pins it for every kernel, dataset and the
+        // unresolved-binding fallback.
+        let kernels: Vec<Kernel> = hetsel_polybench::suite()
+            .into_iter()
+            .flat_map(|b| b.kernels)
+            .collect();
+        let engine = DecisionEngine::new(selector(), &kernels);
+        for bench in hetsel_polybench::suite() {
+            for ds in [Dataset::Mini, Dataset::Test, Dataset::Benchmark] {
+                let b = (bench.binding)(ds);
+                for k in &bench.kernels {
+                    let (decision, explanation) = engine.decide_explained(&k.name, &b).unwrap();
+                    assert_eq!(
+                        Some(decision.device),
+                        explanation.chosen_device(),
+                        "{} {ds}",
+                        k.name
+                    );
+                }
+            }
+            for k in &bench.kernels {
+                let (decision, explanation) =
+                    engine.decide_explained(&k.name, &Binding::new()).unwrap();
+                assert_eq!(
+                    Some(decision.device),
+                    explanation.chosen_device(),
+                    "{}",
+                    k.name
+                );
             }
         }
     }

@@ -33,7 +33,7 @@ pub use history::{AdaptiveSelector, HistoryExport, HistoryRecord, ProfileHistory
 pub use platform::Platform;
 pub use program::{plan_program, ProgramPlan};
 pub use selector::{
-    geomean, Decision, DecisionCacheStats, DecisionEngine, Device, Evaluation, Measured, Policy,
-    Selector, DEFAULT_DECISION_CACHE,
+    choose_device, geomean, Decision, DecisionCacheStats, DecisionEngine, Device, Evaluation,
+    Measured, Policy, Selector, DEFAULT_DECISION_CACHE, DEFAULT_DECISION_SHARDS,
 };
 pub use split::{best_split, SplitDecision};

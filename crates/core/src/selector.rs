@@ -9,6 +9,7 @@
 //! equivalent to solving an equation, making decision time negligible."
 
 use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::attributes::{AttributeDatabase, RegionAttributes};
@@ -44,6 +45,39 @@ pub enum Policy {
     AlwaysOffload,
     /// The paper's contribution: offload iff the models predict a win.
     ModelDriven,
+}
+
+/// The model-driven comparison both the live decision path and the explain
+/// report share: offload iff a usable GPU prediction beats a usable CPU
+/// prediction, host iff the CPU prediction is at least as fast, and the
+/// compiler default (offload) whenever either side is missing or not a
+/// comparable number. Centralising this is what keeps
+/// [`Selector::explain`] provably in lock-step with [`Selector::select`] —
+/// and what makes the comparison NaN-safe: `NaN < x` is false for every
+/// `x`, so the old inline `if g < c` silently chose the host for a
+/// non-finite GPU prediction, the opposite of the documented fallback.
+pub fn choose_device(cpu: Option<f64>, gpu: Option<f64>) -> Device {
+    match (cpu, gpu) {
+        (Some(c), Some(g)) if ModelError::usable_time(c) && ModelError::usable_time(g) => {
+            if g < c {
+                Device::Gpu
+            } else {
+                Device::Host
+            }
+        }
+        _ => Device::Gpu, // compiler default when unresolvable
+    }
+}
+
+/// Splits a model outcome into the usable prediction and the recorded
+/// failure: an `Ok` carrying NaN, an infinity or a negative time is a model
+/// failure ([`ModelError::NonFinitePrediction`]), not a prediction.
+fn sanitize_prediction(outcome: Result<f64, ModelError>) -> (Option<f64>, Option<ModelError>) {
+    match outcome {
+        Ok(s) if ModelError::usable_time(s) => (Some(s), None),
+        Ok(s) => (None, Some(ModelError::non_finite(s))),
+        Err(e) => (None, Some(e)),
+    }
 }
 
 /// One offloading decision with the model evidence behind it.
@@ -263,36 +297,29 @@ impl Selector {
     }
 
     /// Composes a [`Decision`] from model outcomes (`None` = the policy did
-    /// not consult that model).
-    fn decide(
+    /// not consult that model). An `Ok` carrying a non-finite or negative
+    /// time is demoted to [`ModelError::NonFinitePrediction`] before the
+    /// comparison, so a NaN can never masquerade as a fast host — the
+    /// decision falls back to the compiler default of offloading and
+    /// records why, exactly like any other evaluation failure.
+    pub fn decide(
         &self,
         region: &str,
         cpu: Option<Result<f64, ModelError>>,
         gpu: Option<Result<f64, ModelError>>,
     ) -> Decision {
         let (predicted_cpu_s, cpu_error) = match cpu {
-            Some(Ok(s)) => (Some(s), None),
-            Some(Err(e)) => (None, Some(e)),
+            Some(outcome) => sanitize_prediction(outcome),
             None => (None, None),
         };
         let (predicted_gpu_s, gpu_error) = match gpu {
-            Some(Ok(s)) => (Some(s), None),
-            Some(Err(e)) => (None, Some(e)),
+            Some(outcome) => sanitize_prediction(outcome),
             None => (None, None),
         };
         let device = match self.policy {
             Policy::AlwaysHost => Device::Host,
             Policy::AlwaysOffload => Device::Gpu,
-            Policy::ModelDriven => match (predicted_cpu_s, predicted_gpu_s) {
-                (Some(c), Some(g)) => {
-                    if g < c {
-                        Device::Gpu
-                    } else {
-                        Device::Host
-                    }
-                }
-                _ => Device::Gpu, // compiler default when unresolvable
-            },
+            Policy::ModelDriven => choose_device(predicted_cpu_s, predicted_gpu_s),
         };
         match device {
             Device::Host => hetsel_obs::static_counter!("hetsel.core.decisions.host").inc(),
@@ -363,19 +390,25 @@ pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
     }
 }
 
-/// Hit/miss statistics and occupancy of a [`DecisionEngine`]'s cache.
+/// Hit/miss statistics and occupancy of a [`DecisionEngine`]'s cache,
+/// aggregated over every shard. Counters are shard-local atomics summed at
+/// read time — taking a snapshot never stops the world; each shard's lock
+/// is taken briefly and one at a time only for `len` and `evictions`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DecisionCacheStats {
     /// Decisions served from the cache.
     pub hits: u64,
     /// Decisions computed by model evaluation.
     pub misses: u64,
-    /// Entries currently cached.
+    /// Entries currently cached, summed over shards.
     pub len: usize,
-    /// Maximum entries the cache holds.
+    /// Maximum entries the cache holds in total. Sharding never inflates
+    /// the memory bound: per-shard capacities sum to exactly this value.
     pub capacity: usize,
     /// Entries evicted to make room since the engine was built.
     pub evictions: u64,
+    /// Number of lock-striped shards the cache is split into.
+    pub shards: usize,
 }
 
 /// Key of a cached decision: the region name plus the resolved values of
@@ -476,6 +509,72 @@ impl LruCache {
 /// regions and a handful of binding regimes each.
 pub const DEFAULT_DECISION_CACHE: usize = 1024;
 
+/// Default shard count for the decision cache: a power of two sized for the
+/// core counts this runtime targets (the build environment is offline, so
+/// this is a constant rather than a `num_cpus` probe). Sixteen stripes keep
+/// eight to sixteen deciding threads almost always on disjoint locks.
+pub const DEFAULT_DECISION_SHARDS: usize = 16;
+
+/// One lock stripe of the sharded cache: a bounded LRU behind its own
+/// mutex, with the hit/miss tallies kept *outside* the lock so the
+/// aggregated [`DecisionCacheStats`] never needs a stop-the-world pass.
+#[derive(Debug)]
+struct CacheShard {
+    lru: Mutex<LruCache>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// A sharded, lock-striped decision cache: `CacheKey`s are hashed onto a
+/// power-of-two number of independent [`LruCache`]s so concurrent
+/// `decide()` calls for different keys almost never contend on the same
+/// mutex. The total memory bound is unchanged by sharding — per-shard
+/// capacities are carved out of the requested capacity and sum to exactly
+/// it.
+#[derive(Debug)]
+struct ShardedCache {
+    shards: Box<[CacheShard]>,
+    mask: usize,
+}
+
+impl ShardedCache {
+    /// Builds `shards` stripes (rounded down to a power of two, clamped to
+    /// `[1, capacity]` so every shard holds at least one entry and the
+    /// stripes sum to exactly `capacity`).
+    fn new(capacity: usize, shards: usize) -> ShardedCache {
+        let capacity = capacity.max(1);
+        let shards = shards.clamp(1, capacity);
+        // Round down to a power of two so shard selection is a mask.
+        let shards = 1usize << shards.ilog2();
+        let base = capacity / shards;
+        let extra = capacity % shards;
+        let stripes: Vec<CacheShard> = (0..shards)
+            .map(|i| CacheShard {
+                lru: Mutex::new(LruCache::new(base + usize::from(i < extra))),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+            })
+            .collect();
+        ShardedCache {
+            shards: stripes.into_boxed_slice(),
+            mask: shards - 1,
+        }
+    }
+
+    /// The shard a key lives in, by hash. The hash function is the standard
+    /// library's SipHash with a fixed zero key, so shard placement is
+    /// deterministic within and across processes.
+    fn shard_index(&self, key: &CacheKey) -> usize {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        (hasher.finish() as usize) & self.mask
+    }
+
+    fn shard(&self, key: &CacheKey) -> &CacheShard {
+        &self.shards[self.shard_index(key)]
+    }
+}
+
 /// The compile-once decision engine: a [`Selector`] bound to a precompiled
 /// [`AttributeDatabase`] plus a bounded LRU cache of decisions.
 ///
@@ -490,14 +589,13 @@ pub const DEFAULT_DECISION_CACHE: usize = 1024;
 pub struct DecisionEngine {
     selector: Selector,
     database: AttributeDatabase,
-    cache: Mutex<LruCache>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    cache: ShardedCache,
 }
 
 impl DecisionEngine {
     /// Compiles `kernels` under `selector`'s configuration and wraps the
-    /// result with a decision cache of [`DEFAULT_DECISION_CACHE`] entries.
+    /// result with a decision cache of [`DEFAULT_DECISION_CACHE`] entries
+    /// striped over [`DEFAULT_DECISION_SHARDS`] shards.
     pub fn new(selector: Selector, kernels: &[Kernel]) -> DecisionEngine {
         DecisionEngine::with_capacity(selector, kernels, DEFAULT_DECISION_CACHE)
     }
@@ -521,12 +619,23 @@ impl DecisionEngine {
         database: AttributeDatabase,
         capacity: usize,
     ) -> DecisionEngine {
+        DecisionEngine::from_database_sharded(selector, database, capacity, DEFAULT_DECISION_SHARDS)
+    }
+
+    /// As [`DecisionEngine::from_database`] with an explicit shard count.
+    /// `shards` is rounded down to a power of two and clamped to
+    /// `[1, capacity]`; `shards == 1` reproduces the old single-mutex cache
+    /// (the baseline the contention benchmark compares against).
+    pub fn from_database_sharded(
+        selector: Selector,
+        database: AttributeDatabase,
+        capacity: usize,
+        shards: usize,
+    ) -> DecisionEngine {
         DecisionEngine {
             selector,
             database,
-            cache: Mutex::new(LruCache::new(capacity)),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            cache: ShardedCache::new(capacity, shards),
         }
     }
 
@@ -548,21 +657,121 @@ impl DecisionEngine {
         let _timer = hetsel_obs::static_histogram!("hetsel.core.decide.ns").start_timer();
         let attrs = self.database.region(region)?;
         let key = Self::cache_key(region, attrs, binding);
-        if let Some(cached) = self.cache.lock().get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+        let shard = self.cache.shard(&key);
+        if let Some(cached) = shard.lru.lock().get(&key) {
+            shard.hits.fetch_add(1, Ordering::Relaxed);
             hetsel_obs::static_counter!("hetsel.core.cache.hit").inc();
             return Some(cached);
         }
         let decision = self.selector.select(attrs, binding);
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Re-probe under the insert lock: another thread may have completed
+        // the same miss while this one was evaluating. The loser takes the
+        // cached copy (bit-identical — the models are deterministic in the
+        // key) and counts a late hit, so `misses == insertions` holds
+        // exactly even under concurrent duplicate misses.
+        let mut lru = shard.lru.lock();
+        if let Some(cached) = lru.get(&key) {
+            drop(lru);
+            shard.hits.fetch_add(1, Ordering::Relaxed);
+            hetsel_obs::static_counter!("hetsel.core.cache.hit").inc();
+            return Some(cached);
+        }
+        lru.insert(key, decision.clone());
+        drop(lru);
+        shard.misses.fetch_add(1, Ordering::Relaxed);
         hetsel_obs::static_counter!("hetsel.core.cache.miss").inc();
-        let len = {
-            let mut cache = self.cache.lock();
-            cache.insert(key, decision.clone());
-            cache.map.len()
-        };
-        hetsel_obs::static_gauge!("hetsel.core.cache.len").set(len as i64);
         Some(decision)
+    }
+
+    /// Takes (or recalls) the decisions for a whole batch of regions at
+    /// once, returning one slot per request in request order (`None` for
+    /// unknown regions, exactly as [`DecisionEngine::decide`] would).
+    ///
+    /// The batch is grouped by cache shard so each shard's lock is taken at
+    /// most twice — once for all of the group's lookups, once for all of
+    /// its inserts — instead of twice per request; misses evaluate their
+    /// models outside any lock. Decisions and hit/miss accounting are
+    /// identical to issuing the requests one by one.
+    pub fn decide_batch(&self, requests: &[(&str, &Binding)]) -> Vec<Option<Decision>> {
+        let mut results: Vec<Option<Decision>> = vec![None; requests.len()];
+        // Resolve keys and group request indices by shard.
+        let mut keyed: Vec<Option<(CacheKey, &RegionAttributes)>> =
+            Vec::with_capacity(requests.len());
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.cache.shards.len()];
+        for (i, (region, binding)) in requests.iter().enumerate() {
+            match self.database.region(region) {
+                Some(attrs) => {
+                    let key = Self::cache_key(region, attrs, binding);
+                    by_shard[self.cache.shard_index(&key)].push(i);
+                    keyed.push(Some((key, attrs)));
+                }
+                None => keyed.push(None),
+            }
+        }
+        for (shard, indices) in self.cache.shards.iter().zip(&by_shard) {
+            if indices.is_empty() {
+                continue;
+            }
+            // Phase 1: one lock for every lookup in this shard's group. A
+            // repeated key later in the batch is a hit against the earlier
+            // request's (still pending) evaluation — the same accounting
+            // serial decides would produce.
+            let mut missed: Vec<usize> = Vec::new();
+            let mut duplicates: Vec<(usize, usize)> = Vec::new(); // (slot, source slot)
+            {
+                let mut pending: HashMap<&CacheKey, usize> = HashMap::new();
+                let mut lru = shard.lru.lock();
+                for &i in indices {
+                    let (key, _) = keyed[i].as_ref().expect("grouped index was keyed");
+                    match lru.get(key) {
+                        Some(cached) => {
+                            shard.hits.fetch_add(1, Ordering::Relaxed);
+                            hetsel_obs::static_counter!("hetsel.core.cache.hit").inc();
+                            results[i] = Some(cached);
+                        }
+                        None => match pending.get(key) {
+                            Some(&first) => duplicates.push((i, first)),
+                            None => {
+                                pending.insert(key, i);
+                                missed.push(i);
+                            }
+                        },
+                    }
+                }
+            }
+            if missed.is_empty() {
+                continue;
+            }
+            // Phase 2: evaluate the misses with no lock held...
+            for &i in &missed {
+                let (_, attrs) = keyed[i].as_ref().expect("grouped index was keyed");
+                results[i] = Some(self.selector.select(attrs, requests[i].1));
+            }
+            for &(i, first) in &duplicates {
+                shard.hits.fetch_add(1, Ordering::Relaxed);
+                hetsel_obs::static_counter!("hetsel.core.cache.hit").inc();
+                results[i] = results[first].clone();
+            }
+            // ...then one lock for every insert, re-probing each key: a
+            // concurrent caller may have completed the same miss since
+            // phase 1, and the loser counts a late hit (see `decide`) so
+            // `misses == insertions` holds exactly.
+            let mut lru = shard.lru.lock();
+            for &i in &missed {
+                let (key, _) = keyed[i].as_ref().expect("grouped index was keyed");
+                if let Some(cached) = lru.get(key) {
+                    shard.hits.fetch_add(1, Ordering::Relaxed);
+                    hetsel_obs::static_counter!("hetsel.core.cache.hit").inc();
+                    results[i] = Some(cached);
+                    continue;
+                }
+                let decision = results[i].as_ref().expect("miss was evaluated");
+                lru.insert(key.clone(), decision.clone());
+                shard.misses.fetch_add(1, Ordering::Relaxed);
+                hetsel_obs::static_counter!("hetsel.core.cache.miss").inc();
+            }
+        }
+        results
     }
 
     /// Takes the decision and explains it in the same call: the
@@ -589,7 +798,7 @@ impl DecisionEngine {
         let attrs = self.database.region(region)?;
         let mut explanation = self.selector.explain(attrs, binding);
         let key = Self::cache_key(region, attrs, binding);
-        explanation.cached = self.cache.lock().contains(&key);
+        explanation.cached = self.cache.shard(&key).lru.lock().contains(&key);
         Some(explanation)
     }
 
@@ -604,42 +813,87 @@ impl DecisionEngine {
         )
     }
 
-    /// Cache statistics so far.
+    /// Cache statistics so far, aggregated over every shard. Hit and miss
+    /// tallies are shard-local atomics summed without taking any lock; each
+    /// shard's mutex is held briefly, one at a time, only to read its
+    /// occupancy and eviction count.
     pub fn stats(&self) -> DecisionCacheStats {
-        let cache = self.cache.lock();
-        DecisionCacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            len: cache.map.len(),
-            capacity: cache.capacity,
-            evictions: cache.evictions,
+        let mut stats = DecisionCacheStats {
+            hits: 0,
+            misses: 0,
+            len: 0,
+            capacity: 0,
+            evictions: 0,
+            shards: self.cache.shards.len(),
+        };
+        for shard in self.cache.shards.iter() {
+            stats.hits += shard.hits.load(Ordering::Relaxed);
+            stats.misses += shard.misses.load(Ordering::Relaxed);
+            let lru = shard.lru.lock();
+            stats.len += lru.map.len();
+            stats.capacity += lru.capacity;
+            stats.evictions += lru.evictions;
         }
+        stats
     }
 
     /// Publishes the current cache statistics as gauges in the process-wide
-    /// metrics registry (`hetsel.core.cache.{hits,misses,len,evictions}`
-    /// and `hetsel.core.cache.capacity`), so a metrics snapshot taken by a
-    /// harness reflects this engine without holding a reference to it.
+    /// metrics registry: the aggregates under
+    /// `hetsel.core.cache.{hits,misses,len,capacity,evictions,shards}` plus
+    /// per-shard occupancy under
+    /// `hetsel.core.cache.shard.<i>.{hits,misses,len,evictions}`, so a
+    /// metrics snapshot taken by a harness reflects this engine — shard
+    /// balance included — without holding a reference to it. Counter values
+    /// saturate at `i64::MAX` instead of wrapping negative.
     pub fn publish_stats(&self) -> DecisionCacheStats {
         let stats = self.stats();
         let registry = hetsel_obs::registry();
         registry
             .gauge("hetsel.core.cache.hits")
-            .set(stats.hits as i64);
+            .set(saturating_i64(stats.hits));
         registry
             .gauge("hetsel.core.cache.misses")
-            .set(stats.misses as i64);
+            .set(saturating_i64(stats.misses));
         registry
             .gauge("hetsel.core.cache.len")
-            .set(stats.len as i64);
+            .set(saturating_i64(stats.len as u64));
         registry
             .gauge("hetsel.core.cache.capacity")
-            .set(stats.capacity as i64);
+            .set(saturating_i64(stats.capacity as u64));
         registry
             .gauge("hetsel.core.cache.evictions")
-            .set(stats.evictions as i64);
+            .set(saturating_i64(stats.evictions));
+        registry
+            .gauge("hetsel.core.cache.shards")
+            .set(saturating_i64(stats.shards as u64));
+        for (i, shard) in self.cache.shards.iter().enumerate() {
+            let (len, evictions) = {
+                let lru = shard.lru.lock();
+                (lru.map.len() as u64, lru.evictions)
+            };
+            for (leaf, value) in [
+                ("hits", shard.hits.load(Ordering::Relaxed)),
+                ("misses", shard.misses.load(Ordering::Relaxed)),
+                ("len", len),
+                ("evictions", evictions),
+            ] {
+                registry
+                    .gauge(&hetsel_obs::metrics::shard_metric_name(
+                        "hetsel.core.cache.shard",
+                        i,
+                        leaf,
+                    ))
+                    .set(saturating_i64(value));
+            }
+        }
         stats
     }
+}
+
+/// Narrows a counter value into a gauge without wrapping: values above
+/// `i64::MAX` clamp to `i64::MAX` instead of going negative.
+fn saturating_i64(v: u64) -> i64 {
+    i64::try_from(v).unwrap_or(i64::MAX)
 }
 
 #[cfg(test)]
@@ -811,8 +1065,12 @@ mod tests {
 
     #[test]
     fn cache_stays_bounded_and_evicts_lru() {
+        // Recency ordering is a per-stripe guarantee, so this test pins the
+        // engine to a single shard to observe it end to end.
         let (k, binding) = find_kernel("gemm").unwrap();
-        let engine = engine_with(std::slice::from_ref(&k), 2);
+        let sel = selector();
+        let db = AttributeDatabase::compile(std::slice::from_ref(&k), &sel);
+        let engine = DecisionEngine::from_database_sharded(sel, db, 2, 1);
         let mini = binding(Dataset::Mini);
         let test = binding(Dataset::Test);
         let bench = binding(Dataset::Benchmark);
@@ -855,6 +1113,136 @@ mod tests {
         );
         // (`hetsel.core.cache.len` is also written by concurrent tests'
         // engines, so only the single-writer gauges are asserted on.)
+    }
+
+    #[test]
+    fn choose_device_is_nan_safe() {
+        // Comparable predictions: strict win offloads, ties stay home.
+        assert_eq!(choose_device(Some(2.0), Some(1.0)), Device::Gpu);
+        assert_eq!(choose_device(Some(1.0), Some(2.0)), Device::Host);
+        assert_eq!(choose_device(Some(1.0), Some(1.0)), Device::Host);
+        // Any unusable side falls back to the compiler default (offload) —
+        // including the NaN that `if g < c` used to send to the host.
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0] {
+            assert_eq!(choose_device(Some(bad), Some(1.0)), Device::Gpu, "{bad}");
+            assert_eq!(choose_device(Some(1.0), Some(bad)), Device::Gpu, "{bad}");
+            assert_eq!(choose_device(Some(bad), Some(bad)), Device::Gpu, "{bad}");
+        }
+        assert_eq!(choose_device(None, Some(1.0)), Device::Gpu);
+        assert_eq!(choose_device(Some(1.0), None), Device::Gpu);
+        assert_eq!(choose_device(None, None), Device::Gpu);
+    }
+
+    #[test]
+    fn non_finite_predictions_are_recorded_model_failures() {
+        let s = selector();
+        // A NaN GPU prediction must not silently select the host: it is a
+        // model failure, recorded, with the compiler-default fallback.
+        let d = s.decide("r", Some(Ok(1.0)), Some(Ok(f64::NAN)));
+        assert_eq!(d.device, Device::Gpu);
+        assert_eq!(d.predicted_gpu_s, None);
+        assert!(matches!(
+            d.gpu_error,
+            Some(ModelError::NonFinitePrediction { .. })
+        ));
+        assert_eq!(d.predicted_cpu_s, Some(1.0));
+        // Same for an infinite or negative CPU prediction.
+        for bad in [f64::INFINITY, -2.5] {
+            let d = s.decide("r", Some(Ok(bad)), Some(Ok(1.0)));
+            assert_eq!(d.device, Device::Gpu, "{bad}");
+            assert!(
+                matches!(d.cpu_error, Some(ModelError::NonFinitePrediction { .. })),
+                "{bad}"
+            );
+            assert!(d.predicted_speedup().is_none());
+        }
+        // Both sides poisoned: still the fallback, both reasons recorded.
+        let d = s.decide("r", Some(Ok(f64::NAN)), Some(Ok(f64::NEG_INFINITY)));
+        assert_eq!(d.device, Device::Gpu);
+        assert!(d.cpu_error.is_some() && d.gpu_error.is_some());
+    }
+
+    #[test]
+    fn shard_capacities_sum_to_the_requested_capacity() {
+        for capacity in [1, 2, 3, 7, 16, 100, 1000, 1024] {
+            for shards in [1, 2, 3, 5, 8, 16, 64] {
+                let cache = ShardedCache::new(capacity, shards);
+                assert!(cache.shards.len().is_power_of_two());
+                assert!(cache.shards.len() <= capacity.max(1));
+                let total: usize = cache.shards.iter().map(|s| s.lru.lock().capacity).sum();
+                assert_eq!(
+                    total, capacity,
+                    "capacity {capacity} over {shards} shards inflated to {total}"
+                );
+                assert!(cache.shards.iter().all(|s| s.lru.lock().capacity >= 1));
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_engine_reports_shard_count_and_stays_bounded() {
+        let (k, binding) = find_kernel("gemm").unwrap();
+        let engine = engine_with(std::slice::from_ref(&k), 8);
+        let stats = engine.stats();
+        assert_eq!(stats.shards, 8, "8 entries cap the stripes at 8");
+        assert_eq!(stats.capacity, 8);
+        // Thrash with far more distinct bindings than capacity.
+        let mut base = binding(Dataset::Mini);
+        for n in 1..200 {
+            base.set("n", n);
+            engine.decide("gemm", &base).unwrap();
+        }
+        let stats = engine.stats();
+        assert!(stats.len <= stats.capacity, "{stats:?}");
+        assert_eq!(stats.hits + stats.misses, 199, "{stats:?}");
+    }
+
+    #[test]
+    fn decide_batch_matches_one_by_one_decides() {
+        let kernels: Vec<Kernel> = hetsel_polybench::suite()
+            .into_iter()
+            .flat_map(|b| b.kernels)
+            .collect();
+        let batch_engine = DecisionEngine::new(selector(), &kernels);
+        let solo_engine = DecisionEngine::new(selector(), &kernels);
+        let mut requests: Vec<(String, Binding)> = Vec::new();
+        for bench in hetsel_polybench::suite() {
+            for ds in [Dataset::Mini, Dataset::Benchmark] {
+                for k in &bench.kernels {
+                    requests.push((k.name.clone(), (bench.binding)(ds)));
+                }
+            }
+        }
+        // Unknown regions produce `None` slots without disturbing others;
+        // a duplicate of the first request exercises intra-batch reuse.
+        requests.push(("no-such-region".to_string(), Binding::new()));
+        requests.push(requests[0].clone());
+        let borrowed: Vec<(&str, &Binding)> =
+            requests.iter().map(|(r, b)| (r.as_str(), b)).collect();
+        let batched = batch_engine.decide_batch(&borrowed);
+        assert_eq!(batched.len(), requests.len());
+        for (i, (region, b)) in requests.iter().enumerate() {
+            let solo = solo_engine.decide(region, b);
+            assert_eq!(batched[i], solo, "slot {i} ({region}) diverged");
+        }
+        // Identical traffic, identical accounting.
+        let (bs, ss) = (batch_engine.stats(), solo_engine.stats());
+        assert_eq!((bs.hits, bs.misses), (ss.hits, ss.misses));
+        let decided = batched.iter().filter(|d| d.is_some()).count() as u64;
+        assert_eq!(bs.hits + bs.misses, decided);
+        // A second identical batch is all hits.
+        let again = batch_engine.decide_batch(&borrowed);
+        assert_eq!(again, batched);
+        assert_eq!(batch_engine.stats().misses, bs.misses);
+    }
+
+    #[test]
+    fn saturating_i64_clamps_instead_of_wrapping() {
+        assert_eq!(saturating_i64(0), 0);
+        assert_eq!(saturating_i64(42), 42);
+        assert_eq!(saturating_i64(i64::MAX as u64), i64::MAX);
+        assert_eq!(saturating_i64(i64::MAX as u64 + 1), i64::MAX);
+        assert_eq!(saturating_i64(u64::MAX), i64::MAX);
     }
 
     #[test]

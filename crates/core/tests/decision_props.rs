@@ -1,0 +1,85 @@
+//! Property tests for the decision composer's fallback semantics.
+//!
+//! The invariant under `Policy::ModelDriven`: **no combination of model
+//! outcomes ever yields `Device::Host` unless a finite, non-negative CPU
+//! prediction beats (ties included) a finite, non-negative GPU
+//! prediction.** Everything else — an evaluation error on either side, a
+//! NaN, an infinity, a negative time, a missing outcome — must keep the
+//! compiler default of offloading and record why.
+
+use hetsel_core::{choose_device, Device, Platform, Policy, Selector};
+use hetsel_models::ModelError;
+use proptest::prelude::*;
+
+type Outcome = Option<Result<f64, ModelError>>;
+
+/// Every shape a model outcome can take: consulted or not, failed with a
+/// typed error, or "successful" with a usable, degenerate or poisonous
+/// value.
+fn outcome() -> BoxedStrategy<Outcome> {
+    prop_oneof![
+        Just(None),
+        Just(Some(Err(ModelError::ZeroTrip))),
+        Just(Some(Err(ModelError::ZeroThreads))),
+        Just(Some(Err(ModelError::UnboundSymbol { name: "n".into() }))),
+        Just(Some(Err(ModelError::UnsupportedShape {
+            reason: "prop".into(),
+        }))),
+        Just(Some(Ok(f64::NAN))),
+        Just(Some(Ok(f64::INFINITY))),
+        Just(Some(Ok(f64::NEG_INFINITY))),
+        Just(Some(Ok(0.0))),
+        (1i64..2_000_000).prop_map(|v| Some(Ok(-(v as f64) * 1e-6))),
+        (0i64..2_000_000).prop_map(|v| Some(Ok(v as f64 * 1e-6))),
+    ]
+    .boxed()
+}
+
+fn usable(o: &Outcome) -> Option<f64> {
+    match o {
+        Some(Ok(s)) if ModelError::usable_time(*s) => Some(*s),
+        _ => None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn host_requires_a_finite_cpu_win(cpu in outcome(), gpu in outcome()) {
+        let s = Selector::new(Platform::power9_v100());
+        prop_assert_eq!(s.policy, Policy::ModelDriven);
+        let d = s.decide("prop-region", cpu.clone(), gpu.clone());
+        if d.device == Device::Host {
+            let c = usable(&cpu);
+            let g = usable(&gpu);
+            prop_assert!(
+                c.is_some() && g.is_some() && c.unwrap() <= g.unwrap(),
+                "Host chosen without a finite CPU win: cpu={cpu:?} gpu={gpu:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn decision_agrees_with_choose_device(cpu in outcome(), gpu in outcome()) {
+        let s = Selector::new(Platform::power9_v100());
+        let d = s.decide("prop-region", cpu.clone(), gpu.clone());
+        // The recorded predictions are exactly the usable values...
+        prop_assert_eq!(d.predicted_cpu_s, usable(&cpu));
+        prop_assert_eq!(d.predicted_gpu_s, usable(&gpu));
+        // ...and the device is their shared comparison.
+        prop_assert_eq!(d.device, choose_device(d.predicted_cpu_s, d.predicted_gpu_s));
+        // An outcome that produced no prediction left a recorded reason
+        // (when the model was consulted at all).
+        prop_assert_eq!(d.cpu_error.is_some(), cpu.is_some() && usable(&cpu).is_none());
+        prop_assert_eq!(d.gpu_error.is_some(), gpu.is_some() && usable(&gpu).is_none());
+    }
+
+    #[test]
+    fn always_policies_never_consult_outcomes(cpu in outcome(), gpu in outcome()) {
+        let host = Selector::new(Platform::power9_v100()).with_policy(Policy::AlwaysHost);
+        prop_assert_eq!(host.decide("prop-region", cpu.clone(), gpu.clone()).device, Device::Host);
+        let off = Selector::new(Platform::power9_v100()).with_policy(Policy::AlwaysOffload);
+        prop_assert_eq!(off.decide("prop-region", cpu, gpu).device, Device::Gpu);
+    }
+}

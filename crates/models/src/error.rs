@@ -32,6 +32,15 @@ pub enum ModelError {
         /// Human-readable description of what failed to close.
         reason: String,
     },
+    /// The model evaluated, but the resulting time is not a usable number:
+    /// NaN, an infinity, or negative. A prediction like this must not be
+    /// compared (`NaN < x` is false for every `x`, which would silently
+    /// select the host) — the selector treats it as a model failure and
+    /// keeps the compiler default of offloading.
+    NonFinitePrediction {
+        /// The offending value, rendered (`"NaN"`, `"inf"`, `"-0.003"`).
+        value: String,
+    },
 }
 
 impl ModelError {
@@ -44,7 +53,24 @@ impl ModelError {
             ModelError::ZeroTrip => "zero_trip",
             ModelError::ZeroThreads => "zero_threads",
             ModelError::UnsupportedShape { .. } => "unsupported_shape",
+            ModelError::NonFinitePrediction { .. } => "non_finite_prediction",
         }
+    }
+
+    /// Wraps a predicted time that is not a usable number (NaN, ±∞ or
+    /// negative). The value is rendered with `f64`'s `Display`, which is
+    /// deterministic, so decisions carrying this error stay bit-for-bit
+    /// cacheable.
+    pub fn non_finite(value: f64) -> ModelError {
+        ModelError::NonFinitePrediction {
+            value: value.to_string(),
+        }
+    }
+
+    /// True iff `seconds` is a prediction the selector may compare: finite
+    /// and non-negative.
+    pub fn usable_time(seconds: f64) -> bool {
+        seconds.is_finite() && seconds >= 0.0
     }
 
     /// Classifies a failed symbolic resolution against `binding`: names the
@@ -76,6 +102,9 @@ impl fmt::Display for ModelError {
             ModelError::ZeroThreads => write!(f, "zero host threads requested"),
             ModelError::UnsupportedShape { reason } => {
                 write!(f, "unsupported kernel shape: {reason}")
+            }
+            ModelError::NonFinitePrediction { value } => {
+                write!(f, "model produced an unusable predicted time: {value}")
             }
         }
     }
@@ -115,5 +144,27 @@ mod tests {
         let e = ModelError::UnboundSymbol { name: "n".into() };
         assert!(e.to_string().contains("`n`"));
         assert!(ModelError::ZeroTrip.to_string().contains("empty"));
+        assert!(ModelError::non_finite(f64::NAN).to_string().contains("NaN"));
+    }
+
+    #[test]
+    fn usable_time_classification() {
+        assert!(ModelError::usable_time(0.0));
+        assert!(ModelError::usable_time(1.5e-3));
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0, -1e-300] {
+            assert!(!ModelError::usable_time(bad), "{bad} accepted");
+        }
+    }
+
+    #[test]
+    fn non_finite_renders_deterministically() {
+        assert_eq!(
+            ModelError::non_finite(f64::NAN),
+            ModelError::non_finite(f64::NAN)
+        );
+        match ModelError::non_finite(f64::INFINITY) {
+            ModelError::NonFinitePrediction { value } => assert_eq!(value, "inf"),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 }

@@ -24,7 +24,8 @@ pub mod metrics;
 pub mod trace;
 
 pub use metrics::{
-    registry, Counter, Gauge, HistTimer, Histogram, HistogramSummary, MetricsSnapshot, Registry,
+    registry, shard_metric_name, Counter, Gauge, HistTimer, Histogram, HistogramSummary,
+    MetricsSnapshot, Registry,
 };
 pub use trace::{
     set_subscriber, span, span_with, subscriber_installed, tracing_enabled, Field, FieldValue,

@@ -349,6 +349,16 @@ pub fn registry() -> &'static Registry {
     REGISTRY.get_or_init(Registry::new)
 }
 
+/// The canonical name of one stripe's instrument in a sharded structure:
+/// `<base>.<index>.<leaf>`, e.g.
+/// `shard_metric_name("hetsel.core.cache.shard", 3, "hits")` →
+/// `"hetsel.core.cache.shard.3.hits"`. Keeping the scheme in one place
+/// means every sharded subsystem names its per-shard metrics the same way
+/// and dashboards can glob on `<base>.*`.
+pub fn shard_metric_name(base: &str, index: usize, leaf: &str) -> String {
+    format!("{base}.{index}.{leaf}")
+}
+
 /// A rendered snapshot of the registry.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricsSnapshot {
@@ -498,6 +508,18 @@ mod tests {
         let text = snap.to_string();
         assert!(text.contains("hetsel.test.snap"));
         assert!(text.contains("histograms"));
+    }
+
+    #[test]
+    fn shard_metric_names_follow_the_convention() {
+        assert_eq!(
+            shard_metric_name("hetsel.core.cache.shard", 0, "hits"),
+            "hetsel.core.cache.shard.0.hits"
+        );
+        let r = Registry::new();
+        r.gauge(&shard_metric_name("hetsel.test.shard", 7, "len"))
+            .set(3);
+        assert_eq!(r.gauge("hetsel.test.shard.7.len").get(), 3);
     }
 
     #[test]

@@ -19,7 +19,9 @@
 //! contention.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use hetsel_core::{AttributeDatabase, DecisionEngine, Platform, Selector, DEFAULT_DECISION_SHARDS};
+use hetsel_core::{
+    AttributeDatabase, DecisionEngine, DecisionRequest, Platform, Selector, DEFAULT_DECISION_SHARDS,
+};
 use hetsel_ir::Binding;
 use hetsel_polybench::find_kernel;
 use std::hint::black_box;
@@ -126,8 +128,10 @@ fn batched_decide(c: &mut Criterion) {
         .collect();
     c.bench_function("decide_batch_64_hot", |b| {
         b.iter(|| {
-            let requests: Vec<(&str, &Binding)> =
-                bindings.iter().map(|bind| ("gemm", bind)).collect();
+            let requests: Vec<DecisionRequest> = bindings
+                .iter()
+                .map(|bind| DecisionRequest::new("gemm", bind.clone()))
+                .collect();
             black_box(engine.decide_batch(&requests))
         });
     });

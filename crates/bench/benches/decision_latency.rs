@@ -15,7 +15,7 @@ fn decision_latency(c: &mut Criterion) {
         let (kernel, binding) = find_kernel(name).unwrap();
         let b = binding(Dataset::Benchmark);
         group.bench_with_input(BenchmarkId::from_parameter(name), &kernel, |bench, k| {
-            bench.iter(|| black_box(sel.select_kernel(black_box(k), black_box(&b))));
+            bench.iter(|| black_box(sel.decide(black_box(k), black_box(&b))));
         });
     }
     group.finish();
@@ -61,13 +61,13 @@ fn compile_once_paths(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("gemm_decision_paths");
     group.bench_function("cold_compile_and_predict", |bench| {
-        bench.iter(|| black_box(sel.select_kernel(black_box(&kernel), black_box(&b))));
+        bench.iter(|| black_box(sel.decide(black_box(&kernel), black_box(&b))));
     });
 
     let db = AttributeDatabase::compile(std::slice::from_ref(&kernel), &sel);
     let region = db.region("gemm").unwrap();
     group.bench_function("warm_evaluate", |bench| {
-        bench.iter(|| black_box(sel.select(black_box(region), black_box(&b))));
+        bench.iter(|| black_box(sel.decide(black_box(region), black_box(&b))));
     });
 
     let engine =

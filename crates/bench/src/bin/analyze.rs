@@ -147,7 +147,7 @@ fn main() {
             m.speedup().unwrap_or(f64::NAN),
             m.best_device()
         );
-        let d = sel.select_kernel(&kernel, &b);
+        let d = sel.decide(&kernel, &b);
         println!(
             "[decision ] {} (predicted speedup {:.2}x) — {}",
             d.device,

@@ -22,8 +22,17 @@
 //! - `--platform p9|p8` (default POWER9+V100)
 //! - `--trace`     print the structured span tree to stderr while deciding
 //! - `--metrics`   append a registry snapshot to `results/metrics.jsonl`
+//! - `--dispatch`  route every kernel through the fault-tolerant
+//!   [`Dispatcher`] so each explanation carries the dispatch terms (final
+//!   device, attempts, retries, fallback reason, breaker states)
+//! - `--gpu-fault P` with `--dispatch`: inject seeded transient GPU faults
+//!   with probability `P` (deterministic; seed 42)
 
-use hetsel_core::{DecisionEngine, ExplainReport, Platform, Selector};
+use hetsel_core::{
+    DecisionEngine, DecisionRequest, Dispatcher, DispatcherConfig, ExplainReport, Platform,
+    Selector,
+};
+use hetsel_fault::FaultPlan;
 use hetsel_ir::Kernel;
 use hetsel_polybench::{full_suite, Dataset};
 
@@ -33,6 +42,8 @@ fn main() {
     let mut validate = false;
     let mut trace = false;
     let mut metrics = false;
+    let mut dispatch = false;
+    let mut gpu_fault = 0.0f64;
     let mut ds = Dataset::Test;
     let mut platform = Platform::power9_v100();
 
@@ -44,6 +55,17 @@ fn main() {
             "--validate" => validate = true,
             "--trace" => trace = true,
             "--metrics" => metrics = true,
+            "--dispatch" => dispatch = true,
+            "--gpu-fault" => {
+                i += 1;
+                gpu_fault = match args.get(i).and_then(|s| s.parse::<f64>().ok()) {
+                    Some(p) if (0.0..=1.0).contains(&p) => p,
+                    _ => {
+                        eprintln!("--gpu-fault needs a probability in [0, 1]");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--dataset" => {
                 i += 1;
                 ds = match args.get(i).map(String::as_str) {
@@ -107,17 +129,44 @@ fn main() {
 
     let all: Vec<Kernel> = targets.iter().map(|(k, _)| k.clone()).collect();
     let engine = DecisionEngine::new(Selector::new(platform.clone()), &all);
+    if gpu_fault > 0.0 && !dispatch {
+        eprintln!("--gpu-fault only takes effect with --dispatch");
+        std::process::exit(2);
+    }
 
     let mut explanations = Vec::with_capacity(targets.len());
-    for (kernel, binding) in &targets {
-        let b = binding(ds);
-        let (_, explanation) = engine
-            .decide_explained(&kernel.name, &b)
-            .expect("kernel came from the database");
-        explanations.push(explanation);
+    let stats;
+    if dispatch {
+        // Route each kernel through the fault-tolerant runtime: the
+        // explanations gain the dispatch block (attempts, retries,
+        // fallback, breaker states). The fault plan is seeded, so repeated
+        // runs tell the same story.
+        let mut config = DispatcherConfig::default();
+        if gpu_fault > 0.0 {
+            config = config.with_gpu_faults(FaultPlan::transient(42, gpu_fault).with_jitter(1e-4));
+        }
+        let dispatcher = Dispatcher::new(engine, config);
+        for (kernel, binding) in &targets {
+            let request = DecisionRequest::new(&kernel.name, binding(ds));
+            let (_, explanation) = dispatcher
+                .dispatch_explained(&request)
+                .expect("kernel came from the database and the host is healthy");
+            explanations.push(explanation);
+        }
+        dispatcher.publish_health();
+        dispatcher.engine().publish_stats();
+        stats = dispatcher.engine().stats();
+    } else {
+        for (kernel, binding) in &targets {
+            let b = binding(ds);
+            let (_, explanation) = engine
+                .decide_explained(&kernel.name, &b)
+                .expect("kernel came from the database");
+            explanations.push(explanation);
+        }
+        engine.publish_stats();
+        stats = engine.stats();
     }
-    engine.publish_stats();
-    let stats = engine.stats();
     eprintln!(
         "[cache] hits={} misses={} len={}/{} evictions={} shards={}",
         stats.hits, stats.misses, stats.len, stats.capacity, stats.evictions, stats.shards

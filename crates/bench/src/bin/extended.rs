@@ -20,7 +20,7 @@ fn main() {
             for b in extended_suite() {
                 for k in &b.kernels {
                     let bnd = (b.binding)(ds);
-                    let d = sel.select_kernel(k, &bnd);
+                    let d = sel.decide(k, &bnd);
                     let m = sel.measure(k, &bnd).expect("simulators run");
                     println!(
                         "{:<14} {:<9} {:>10} {:>10} {:>7.2}x {:>9} {:>9}",

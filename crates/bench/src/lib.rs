@@ -72,7 +72,7 @@ pub fn run_suite(platform: &Platform, ds: Dataset, selector: &Selector) -> Vec<K
     let mut out = Vec::new();
     for (bench, kernel, binding) in all_kernels() {
         let b = binding(ds);
-        let decision = selector.select_kernel(&kernel, &b);
+        let decision = selector.decide(&kernel, &b);
         let measured = selector
             .measure(&kernel, &b)
             .unwrap_or_else(|| panic!("{}: simulators failed under {ds}", kernel.name));
@@ -117,7 +117,9 @@ pub fn policy_outcome(results: &[KernelResult], policy: Policy) -> PolicyOutcome
         let chosen = match policy {
             Policy::AlwaysHost => Device::Host,
             Policy::AlwaysOffload => Device::Gpu,
-            Policy::ModelDriven => r.decision,
+            // `Policy` is non-exhaustive; any future policy scores the
+            // model's own choice.
+            _ => r.decision,
         };
         if chosen == r.measured.best_device() {
             correct += 1;

@@ -1,6 +1,6 @@
 //! The `explain` report: why a region went to the device it went to.
 //!
-//! [`Decision`](crate::Decision) records the selector's verdict and its
+//! [`Decision`] records the selector's verdict and its
 //! headline evidence; an [`Explanation`] records *everything* behind it —
 //! the resolved runtime bindings, both models' predicted times with the
 //! dominant cost-model terms (MWP/CWP, coalesced vs. uncoalesced
@@ -139,6 +139,31 @@ impl GpuTerms {
     }
 }
 
+/// How the dispatch runtime actually ran the region — present only when
+/// the explanation came from [`crate::Dispatcher::dispatch_explained`].
+/// Everything here is deterministic under fixed fault seeds, matching
+/// [`crate::DispatchOutcome`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DispatchTerms {
+    /// Device the request finally ran on: `host` or `gpu` (may differ from
+    /// the explanation's decided `device` after a fallback).
+    pub device: String,
+    /// Execution attempts across all devices (≥ 1).
+    pub attempts: u32,
+    /// Transient-fault retries among those attempts.
+    pub retries: u32,
+    /// First fallback reason (`deadline_exceeded`, `breaker_open`,
+    /// `device_fault`), when the request left the decided path.
+    pub fallback: Option<String>,
+    /// Simulated execution time, seconds (jitter and retry backoff
+    /// included).
+    pub simulated_s: f64,
+    /// GPU breaker state after the dispatch: `closed`, `open`, `half_open`.
+    pub gpu_breaker: String,
+    /// Host breaker state after the dispatch.
+    pub cpu_breaker: String,
+}
+
 /// Wall-clock cost of producing the explanation, by phase.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PhaseTimings {
@@ -184,23 +209,19 @@ pub struct Explanation {
     /// True when a decision for this exact key currently sits in the
     /// engine's decision cache.
     pub cached: bool,
+    /// How the dispatch runtime ran the region, when one did (absent for
+    /// pure decision explanations).
+    pub dispatch: Option<DispatchTerms>,
     /// Per-phase timings.
     pub timings: PhaseTimings,
 }
 
 fn policy_str(p: Policy) -> &'static str {
-    match p {
-        Policy::AlwaysHost => "always_host",
-        Policy::AlwaysOffload => "always_offload",
-        Policy::ModelDriven => "model_driven",
-    }
+    p.name()
 }
 
 fn device_str(d: Device) -> &'static str {
-    match d {
-        Device::Host => "host",
-        Device::Gpu => "gpu",
-    }
+    d.name()
 }
 
 impl Explanation {
@@ -300,6 +321,25 @@ impl Explanation {
                 fmt_s(g.transfer_seconds)
             ));
         }
+        if let Some(d) = &self.dispatch {
+            let fallback = match &d.fallback {
+                Some(reason) => format!("  fallback: {reason}"),
+                None => String::new(),
+            };
+            out.push_str(&format!(
+                "   dispatch: ran on {} in {} ({} attempt{}, {} retr{}){fallback}\n",
+                d.device.to_uppercase(),
+                fmt_s(d.simulated_s),
+                d.attempts,
+                if d.attempts == 1 { "" } else { "s" },
+                d.retries,
+                if d.retries == 1 { "y" } else { "ies" },
+            ));
+            out.push_str(&format!(
+                "              breakers: gpu {}  host {}\n",
+                d.gpu_breaker, d.cpu_breaker
+            ));
+        }
         let t = &self.timings;
         let compile = match t.compile_ns {
             Some(ns) => format!("compile {} + ", fmt_ns(ns)),
@@ -344,7 +384,7 @@ impl Selector {
     /// Produces the full [`Explanation`] for a region under a binding,
     /// evaluating both *precompiled* models with their complete term
     /// breakdowns. The explanation's verdict is exactly what
-    /// [`Selector::select`] decides for the same inputs.
+    /// [`Selector::decide`] decides for the same inputs.
     pub fn explain(&self, attrs: &RegionAttributes, binding: &Binding) -> Explanation {
         let _span = hetsel_obs::span_with("hetsel.core.explain", || {
             vec![hetsel_obs::trace::field(
@@ -422,6 +462,7 @@ impl Selector {
                 .map(|p| CpuTerms::from_prediction(&p, self.platform.host_threads)),
             gpu: gpu_res.ok().map(|p| GpuTerms::from_prediction(&p)),
             cached: false,
+            dispatch: None,
             timings: PhaseTimings {
                 compile_ns: None,
                 cpu_eval_ns,
@@ -509,6 +550,34 @@ pub fn validate_report_json(json: &str) -> Result<ExplainReport, String> {
         }
         if e.timings.total_ns < e.timings.cpu_eval_ns.saturating_add(e.timings.gpu_eval_ns) {
             return Err(format!("{at}: total_ns smaller than its phases"));
+        }
+        if let Some(d) = &e.dispatch {
+            if !["host", "gpu"].contains(&d.device.as_str()) {
+                return Err(format!("{at}: dispatch device `{}` not host|gpu", d.device));
+            }
+            if d.attempts == 0 {
+                return Err(format!("{at}: dispatch with zero attempts"));
+            }
+            if d.retries >= d.attempts {
+                return Err(format!(
+                    "{at}: {} retries do not fit in {} attempts",
+                    d.retries, d.attempts
+                ));
+            }
+            if !(d.simulated_s.is_finite() && d.simulated_s >= 0.0) {
+                return Err(format!("{at}: unusable simulated_s {}", d.simulated_s));
+            }
+            if let Some(reason) = &d.fallback {
+                if !["deadline_exceeded", "breaker_open", "device_fault"].contains(&reason.as_str())
+                {
+                    return Err(format!("{at}: unknown fallback reason `{reason}`"));
+                }
+            }
+            for (label, state) in [("gpu", &d.gpu_breaker), ("cpu", &d.cpu_breaker)] {
+                if !["closed", "open", "half_open"].contains(&state.as_str()) {
+                    return Err(format!("{at}: unknown {label} breaker state `{state}`"));
+                }
+            }
         }
     }
     Ok(report)

@@ -182,7 +182,7 @@ impl AdaptiveSelector {
                 gpu_error: None,
             };
         }
-        self.selector.select_kernel(kernel, binding)
+        self.selector.decide(kernel, binding)
     }
 
     /// Executes (simulates) under the current decision and feeds the

@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod attributes;
+pub mod dispatch;
 pub mod explain;
 pub mod history;
 pub mod platform;
@@ -26,14 +27,20 @@ pub mod split;
 pub use attributes::{
     AccessExport, AttributeDatabase, DatabaseExport, RegionAttributes, RegionExport,
 };
+pub use dispatch::{
+    BreakerConfig, BreakerState, DeviceHealthSnapshot, DispatchError, DispatchOutcome, Dispatcher,
+    DispatcherConfig, FallbackReason, RetryConfig,
+};
 pub use explain::{
-    validate_report_json, BoundParam, CpuTerms, ExplainReport, Explanation, GpuTerms, PhaseTimings,
+    validate_report_json, BoundParam, CpuTerms, DispatchTerms, ExplainReport, Explanation,
+    GpuTerms, PhaseTimings,
 };
 pub use history::{AdaptiveSelector, HistoryExport, HistoryRecord, ProfileHistory};
 pub use platform::Platform;
 pub use program::{plan_program, ProgramPlan};
 pub use selector::{
-    choose_device, geomean, Decision, DecisionCacheStats, DecisionEngine, Device, Evaluation,
-    Measured, Policy, Selector, DEFAULT_DECISION_CACHE, DEFAULT_DECISION_SHARDS,
+    choose_device, geomean, Decision, DecisionCacheStats, DecisionEngine, DecisionRequest, Device,
+    Evaluation, Measured, ModelSource, Policy, Selector, DEFAULT_DECISION_CACHE,
+    DEFAULT_DECISION_SHARDS,
 };
 pub use split::{best_split, SplitDecision};

@@ -131,7 +131,7 @@ mod tests {
         // evaluate: sane decisions on a compute kernel and a tiny kernel.
         let (k, binding) = hetsel_polybench::find_kernel("gemm").unwrap();
         let b = binding(hetsel_polybench::Dataset::Benchmark);
-        let d = sel.select_kernel(&k, &b);
+        let d = sel.decide(&k, &b);
         assert_eq!(d.device, crate::selector::Device::Gpu);
         let m = sel.measure(&k, &b).unwrap();
         assert!(m.cpu_s > 0.0 && m.gpu_s > 0.0);

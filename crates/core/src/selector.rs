@@ -11,6 +11,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 use crate::attributes::{AttributeDatabase, RegionAttributes};
 use crate::platform::Platform;
@@ -19,6 +20,11 @@ use hetsel_models::{CoalescingMode, CostModel, CpuCostModel, GpuCostModel, Model
 use parking_lot::Mutex;
 
 /// An execution target.
+///
+/// Marked `#[non_exhaustive]`: the splitting/multi-accelerator roadmap will
+/// grow this enum, so downstream matches must carry a wildcard arm today
+/// rather than break then.
+#[non_exhaustive]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Device {
     /// The host CPU (fallback path).
@@ -27,17 +33,38 @@ pub enum Device {
     Gpu,
 }
 
-impl std::fmt::Display for Device {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+impl Device {
+    /// Stable lowercase name (`"host"` / `"gpu"`), used in metric names and
+    /// serialized documents.
+    pub fn name(self) -> &'static str {
         match self {
-            Device::Host => write!(f, "host"),
-            Device::Gpu => write!(f, "gpu"),
+            Device::Host => "host",
+            Device::Gpu => "gpu",
+        }
+    }
+
+    /// The failover target when this device is unavailable.
+    pub fn other(self) -> Device {
+        match self {
+            Device::Host => Device::Gpu,
+            Device::Gpu => Device::Host,
         }
     }
 }
 
+impl std::fmt::Display for Device {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// A selection policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Marked `#[non_exhaustive]`: future policies (history-driven, split
+/// execution) will be added without a breaking release, so downstream
+/// matches must carry a wildcard arm.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Policy {
     /// Never offload (OpenMP with offloading disabled).
     AlwaysHost,
@@ -45,6 +72,35 @@ pub enum Policy {
     AlwaysOffload,
     /// The paper's contribution: offload iff the models predict a win.
     ModelDriven,
+}
+
+impl Policy {
+    /// Stable snake_case name (`"model_driven"`, `"always_host"`,
+    /// `"always_offload"`), the serialized form in explain documents and
+    /// [`DecisionRequest`] JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Policy::AlwaysHost => "always_host",
+            Policy::AlwaysOffload => "always_offload",
+            Policy::ModelDriven => "model_driven",
+        }
+    }
+
+    /// Inverse of [`Policy::name`].
+    pub fn parse(s: &str) -> Option<Policy> {
+        match s {
+            "always_host" => Some(Policy::AlwaysHost),
+            "always_offload" => Some(Policy::AlwaysOffload),
+            "model_driven" => Some(Policy::ModelDriven),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Policy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 /// The model-driven comparison both the live decision path and the explain
@@ -237,63 +293,73 @@ impl Selector {
         )
     }
 
-    /// Evaluates both models for a kernel under a runtime binding, with the
-    /// typed failure reasons. Compiles the models cold — prefer
-    /// [`Selector::select`] with precompiled [`RegionAttributes`] (or a
-    /// [`DecisionEngine`]) on hot paths.
+    /// Evaluates both cost models for `source` under a runtime binding,
+    /// with the typed failure reasons. One of the two canonical entry
+    /// points (with [`Selector::decide`]): works on any [`ModelSource`] —
+    /// a precompiled [`RegionAttributes`] (the hot runtime path, no
+    /// symbolic work left) or a bare [`Kernel`] (compiles the models on
+    /// the spot).
+    pub fn predict<S: ModelSource + ?Sized>(
+        &self,
+        source: &S,
+        binding: &Binding,
+    ) -> (Result<f64, ModelError>, Result<f64, ModelError>) {
+        source.model_outcomes(self, binding)
+    }
+
+    /// Makes the offloading decision for `source` under a runtime binding —
+    /// the other canonical entry point. Under `ModelDriven`, failed
+    /// evaluations (unresolved bindings) fall back to the compiler default
+    /// of offloading, and the decision records why in
+    /// [`Decision::cpu_error`] / [`Decision::gpu_error`]; `Always*`
+    /// policies never consult the models.
+    pub fn decide<S: ModelSource + ?Sized>(&self, source: &S, binding: &Binding) -> Decision {
+        match self.policy {
+            Policy::ModelDriven => {
+                let (cpu, gpu) = source.model_outcomes(self, binding);
+                self.compose(source.region_name(), Some(cpu), Some(gpu))
+            }
+            _ => self.compose(source.region_name(), None, None),
+        }
+    }
+
+    /// Deprecated spelling of [`Selector::predict`] for a bare kernel.
+    #[deprecated(note = "use `Selector::predict` (same signature; any `ModelSource`)")]
     pub fn predict_detailed(
         &self,
         kernel: &Kernel,
         binding: &Binding,
     ) -> (Result<f64, ModelError>, Result<f64, ModelError>) {
-        let (cpu_cost, gpu_cost) = self.cost_models();
-        (
-            cpu_cost
-                .compile(kernel)
-                .evaluate(binding)
-                .map(|p| p.seconds),
-            gpu_cost
-                .compile(kernel)
-                .evaluate(binding)
-                .map(|p| p.seconds),
-        )
+        self.predict(kernel, binding)
     }
 
-    /// Evaluates both models for a region under a runtime binding.
-    pub fn predict(&self, kernel: &Kernel, binding: &Binding) -> (Option<f64>, Option<f64>) {
-        let (cpu, gpu) = self.predict_detailed(kernel, binding);
-        (cpu.ok(), gpu.ok())
-    }
-
-    /// Makes the offloading decision for a region under a runtime binding,
-    /// evaluating the region's *precompiled* models — the paper's runtime
-    /// path: all symbolic work already happened when the attribute database
-    /// was compiled.
-    ///
-    /// Under `ModelDriven`, failed evaluations (unresolved bindings) fall
-    /// back to the compiler default of offloading, and the decision records
-    /// why in [`Decision::cpu_error`] / [`Decision::gpu_error`].
+    /// Deprecated spelling of [`Selector::decide`] for precompiled
+    /// attributes.
+    #[deprecated(note = "use `Selector::decide` (same signature; any `ModelSource`)")]
     pub fn select(&self, region: &RegionAttributes, binding: &Binding) -> Decision {
-        match self.policy {
-            Policy::ModelDriven => {
-                let cpu = region.cpu_model.evaluate(binding).map(|p| p.seconds);
-                let gpu = region.gpu_model.evaluate(binding).map(|p| p.seconds);
-                self.decide(&region.kernel.name, Some(cpu), Some(gpu))
-            }
-            _ => self.decide(&region.kernel.name, None, None),
-        }
+        self.decide(region, binding)
     }
 
-    /// As [`Selector::select`] for a bare kernel: compiles the models on the
-    /// spot (the cold path), then decides.
+    /// Deprecated spelling of [`Selector::decide`] for a bare kernel.
+    #[deprecated(note = "use `Selector::decide` (same signature; any `ModelSource`)")]
     pub fn select_kernel(&self, kernel: &Kernel, binding: &Binding) -> Decision {
-        match self.policy {
-            Policy::ModelDriven => {
-                let (cpu, gpu) = self.predict_detailed(kernel, binding);
-                self.decide(&kernel.name, Some(cpu), Some(gpu))
-            }
-            _ => self.decide(&kernel.name, None, None),
-        }
+        self.decide(kernel, binding)
+    }
+
+    /// Deprecated spelling of the outcome-composition step that used to be
+    /// called `decide`; [`Selector::decide`] now evaluates and composes in
+    /// one call.
+    #[deprecated(
+        note = "use `Selector::decide` with a `ModelSource`; this only composes \
+                         already-evaluated outcomes"
+    )]
+    pub fn decide_outcomes(
+        &self,
+        region: &str,
+        cpu: Option<Result<f64, ModelError>>,
+        gpu: Option<Result<f64, ModelError>>,
+    ) -> Decision {
+        self.compose(region, cpu, gpu)
     }
 
     /// Composes a [`Decision`] from model outcomes (`None` = the policy did
@@ -302,7 +368,7 @@ impl Selector {
     /// comparison, so a NaN can never masquerade as a fast host — the
     /// decision falls back to the compiler default of offloading and
     /// records why, exactly like any other evaluation failure.
-    pub fn decide(
+    fn compose(
         &self,
         region: &str,
         cpu: Option<Result<f64, ModelError>>,
@@ -362,9 +428,232 @@ impl Selector {
 
     /// Decides and measures: the full model-vs-actual record for one region.
     pub fn evaluate(&self, kernel: &Kernel, binding: &Binding) -> Option<Evaluation> {
-        let decision = self.select_kernel(kernel, binding);
+        let decision = self.decide(kernel, binding);
         let measured = self.measure(kernel, binding)?;
         Some(Evaluation { decision, measured })
+    }
+}
+
+/// Anything the two canonical [`Selector`] entry points
+/// ([`Selector::predict`] / [`Selector::decide`]) can evaluate the cost
+/// models against.
+///
+/// Two implementations exist: a precompiled [`RegionAttributes`] (the
+/// paper's runtime path — all symbolic work already happened when the
+/// attribute database was compiled) and a bare [`Kernel`] (the cold path:
+/// models are compiled on the spot). This trait is what collapsed the old
+/// `predict` / `predict_detailed` / `select` / `select_kernel` / `decide`
+/// sprawl into two entry points without losing either calling convention.
+pub trait ModelSource {
+    /// The region name decisions are recorded under.
+    fn region_name(&self) -> &str;
+
+    /// Evaluates both cost models under `binding`, in `selector`'s
+    /// configuration, returning `(cpu, gpu)` outcomes in seconds.
+    fn model_outcomes(
+        &self,
+        selector: &Selector,
+        binding: &Binding,
+    ) -> (Result<f64, ModelError>, Result<f64, ModelError>);
+}
+
+impl ModelSource for Kernel {
+    fn region_name(&self) -> &str {
+        &self.name
+    }
+
+    fn model_outcomes(
+        &self,
+        selector: &Selector,
+        binding: &Binding,
+    ) -> (Result<f64, ModelError>, Result<f64, ModelError>) {
+        let (cpu_cost, gpu_cost) = selector.cost_models();
+        (
+            cpu_cost.compile(self).evaluate(binding).map(|p| p.seconds),
+            gpu_cost.compile(self).evaluate(binding).map(|p| p.seconds),
+        )
+    }
+}
+
+impl ModelSource for RegionAttributes {
+    fn region_name(&self) -> &str {
+        &self.kernel.name
+    }
+
+    fn model_outcomes(
+        &self,
+        _selector: &Selector,
+        binding: &Binding,
+    ) -> (Result<f64, ModelError>, Result<f64, ModelError>) {
+        (
+            self.cpu_model.evaluate(binding).map(|p| p.seconds),
+            self.gpu_model.evaluate(binding).map(|p| p.seconds),
+        )
+    }
+}
+
+/// One decision (or dispatch) request: the redesigned request API that
+/// replaced the positional `(&str, &Binding)` tuples.
+///
+/// A request names the region, carries the runtime binding, and optionally
+/// overrides the engine's policy or bounds the decision with a deadline.
+/// Build with [`DecisionRequest::new`] plus the `with_*` builders:
+///
+/// ```
+/// use std::time::Duration;
+/// use hetsel_core::{DecisionRequest, Policy};
+/// use hetsel_ir::Binding;
+///
+/// let request = DecisionRequest::new("gemm", Binding::new().with("ni", 1024))
+///     .with_policy(Policy::AlwaysHost)
+///     .with_deadline(Duration::from_micros(50));
+/// assert_eq!(request.region(), "gemm");
+/// ```
+///
+/// Fields are private so invariants can be added without breaking callers;
+/// every field has an accessor. Serialization (via the workspace `serde`)
+/// writes `{"region", "binding", "policy_override", "deadline_ns"}` with
+/// the policy as its [`Policy::name`] string and the deadline in integer
+/// nanoseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionRequest {
+    region: String,
+    binding: Binding,
+    policy_override: Option<Policy>,
+    deadline: Option<Duration>,
+}
+
+impl DecisionRequest {
+    /// A plain request: decide `region` under `binding` with the engine's
+    /// own policy and no deadline.
+    pub fn new(region: impl Into<String>, binding: Binding) -> DecisionRequest {
+        DecisionRequest {
+            region: region.into(),
+            binding,
+            policy_override: None,
+            deadline: None,
+        }
+    }
+
+    /// Builder: decide under `policy` instead of the engine's configured
+    /// policy. Overridden decisions bypass the decision cache (the cache is
+    /// keyed on the engine's own configuration).
+    pub fn with_policy(mut self, policy: Policy) -> DecisionRequest {
+        self.policy_override = Some(policy);
+        self
+    }
+
+    /// Builder: bound the decision by `deadline`. A decision that misses
+    /// its deadline degrades to the compiler default (offload) with
+    /// [`ModelError::DeadlineExceeded`] recorded on both sides; a zero
+    /// deadline skips model evaluation entirely.
+    pub fn with_deadline(mut self, deadline: Duration) -> DecisionRequest {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The region the request names.
+    pub fn region(&self) -> &str {
+        &self.region
+    }
+
+    /// The runtime binding.
+    pub fn binding(&self) -> &Binding {
+        &self.binding
+    }
+
+    /// The policy override, if any.
+    pub fn policy_override(&self) -> Option<Policy> {
+        self.policy_override
+    }
+
+    /// The decision deadline, if any.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+}
+
+impl From<(&str, &Binding)> for DecisionRequest {
+    /// Upgrades a legacy positional pair into a plain request.
+    fn from((region, binding): (&str, &Binding)) -> DecisionRequest {
+        DecisionRequest::new(region, binding.clone())
+    }
+}
+
+impl serde::Serialize for DecisionRequest {
+    fn to_value(&self) -> serde::Value {
+        use serde::Value;
+        let binding = Value::Object(
+            self.binding
+                .iter()
+                .map(|(name, value)| (name.to_string(), Value::Int(value)))
+                .collect(),
+        );
+        let policy = match self.policy_override {
+            Some(p) => Value::Str(p.name().to_string()),
+            None => Value::Null,
+        };
+        let deadline = match self.deadline {
+            // Saturate rather than wrap: u64 nanoseconds covers ~584 years.
+            Some(d) => Value::UInt(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)),
+            None => Value::Null,
+        };
+        Value::Object(vec![
+            ("region".to_string(), Value::Str(self.region.clone())),
+            ("binding".to_string(), binding),
+            ("policy_override".to_string(), policy),
+            ("deadline_ns".to_string(), deadline),
+        ])
+    }
+}
+
+impl serde::Deserialize for DecisionRequest {
+    fn from_value(v: &serde::Value) -> Result<DecisionRequest, serde::Error> {
+        use serde::Value;
+        let region = match v.get("region") {
+            Some(Value::Str(s)) => s.clone(),
+            other => return Err(serde::Error::msg(format!("bad region: {other:?}"))),
+        };
+        let mut binding = Binding::new();
+        match v.get("binding") {
+            Some(Value::Object(fields)) => {
+                for (name, value) in fields {
+                    match value {
+                        Value::Int(n) => binding.set(name.as_str(), *n),
+                        Value::UInt(n) => binding.set(
+                            name.as_str(),
+                            i64::try_from(*n).map_err(|_| {
+                                serde::Error::msg(format!("binding {name} out of range: {n}"))
+                            })?,
+                        ),
+                        other => {
+                            return Err(serde::Error::msg(format!(
+                                "binding {name} is not an integer: {other:?}"
+                            )))
+                        }
+                    }
+                }
+            }
+            other => return Err(serde::Error::msg(format!("bad binding: {other:?}"))),
+        }
+        let policy_override = match v.get("policy_override") {
+            None | Some(Value::Null) => None,
+            Some(Value::Str(s)) => Some(
+                Policy::parse(s)
+                    .ok_or_else(|| serde::Error::msg(format!("unknown policy {s:?}")))?,
+            ),
+            other => return Err(serde::Error::msg(format!("bad policy_override: {other:?}"))),
+        };
+        let deadline = match v.get("deadline_ns") {
+            None | Some(Value::Null) => None,
+            Some(ns) => Some(Duration::from_nanos(
+                <u64 as serde::Deserialize>::from_value(ns)?,
+            )),
+        };
+        let mut request = DecisionRequest::new(region, binding);
+        request.policy_override = policy_override;
+        request.deadline = deadline;
+        Ok(request)
     }
 }
 
@@ -663,7 +952,7 @@ impl DecisionEngine {
             hetsel_obs::static_counter!("hetsel.core.cache.hit").inc();
             return Some(cached);
         }
-        let decision = self.selector.select(attrs, binding);
+        let decision = self.selector.decide(attrs, binding);
         // Re-probe under the insert lock: another thread may have completed
         // the same miss while this one was evaluating. The loser takes the
         // cached copy (bit-identical — the models are deterministic in the
@@ -683,25 +972,103 @@ impl DecisionEngine {
         Some(decision)
     }
 
-    /// Takes (or recalls) the decisions for a whole batch of regions at
-    /// once, returning one slot per request in request order (`None` for
-    /// unknown regions, exactly as [`DecisionEngine::decide`] would).
+    /// Takes (or recalls) the decision for one [`DecisionRequest`],
+    /// honouring its policy override and deadline. Returns `None` only for
+    /// a region the database does not know.
     ///
-    /// The batch is grouped by cache shard so each shard's lock is taken at
-    /// most twice — once for all of the group's lookups, once for all of
-    /// its inserts — instead of twice per request; misses evaluate their
-    /// models outside any lock. Decisions and hit/miss accounting are
-    /// identical to issuing the requests one by one.
-    pub fn decide_batch(&self, requests: &[(&str, &Binding)]) -> Vec<Option<Decision>> {
+    /// * No override, no deadline: exactly [`DecisionEngine::decide`]
+    ///   (cache included) — a plain request adds nothing to the hot path.
+    /// * Policy override: decided uncached under the overridden policy (the
+    ///   cache is keyed on the engine's own configuration and must not be
+    ///   poisoned with foreign-policy decisions).
+    /// * Deadline: a zero budget skips model evaluation entirely; a missed
+    ///   budget discards the late answer. Either way the request degrades
+    ///   to the compiler default (offload) with
+    ///   [`ModelError::DeadlineExceeded`] recorded on both sides, and the
+    ///   degraded decision is *not* cached.
+    pub fn decide_request(&self, request: &DecisionRequest) -> Option<Decision> {
+        self.decide_request_inner(request).map(|(d, _)| d)
+    }
+
+    /// As [`DecisionEngine::decide_request`] with an explicit deadline,
+    /// overriding any deadline the request already carries.
+    pub fn decide_within(&self, request: &DecisionRequest, deadline: Duration) -> Option<Decision> {
+        self.decide_request(&request.clone().with_deadline(deadline))
+    }
+
+    /// Request path with the degrade flag exposed, for the dispatcher: the
+    /// `bool` is true iff the decision was deadline-degraded.
+    pub(crate) fn decide_request_inner(
+        &self,
+        request: &DecisionRequest,
+    ) -> Option<(Decision, bool)> {
+        let start = Instant::now();
+        if request.deadline().is_some_and(|d| d.is_zero()) {
+            // No budget at all: don't even evaluate, but still refuse
+            // unknown regions.
+            self.database.region(request.region())?;
+            return Some((self.deadline_degraded(request.region()), true));
+        }
+        let decision = match request.policy_override() {
+            None => self.decide(request.region(), request.binding())?,
+            Some(policy) => {
+                let attrs = self.database.region(request.region())?;
+                self.selector
+                    .clone()
+                    .with_policy(policy)
+                    .decide(attrs, request.binding())
+            }
+        };
+        if request.deadline().is_some_and(|d| start.elapsed() > d) {
+            return Some((self.deadline_degraded(request.region()), true));
+        }
+        Some((decision, false))
+    }
+
+    /// The decision a deadline miss degrades to: the compiler default
+    /// (offload) with the reason recorded on both model sides — nothing was
+    /// predicted, not because the models failed, but because the budget ran
+    /// out before they could answer.
+    fn deadline_degraded(&self, region: &str) -> Decision {
+        hetsel_obs::static_counter!("hetsel.core.decide.deadline_exceeded").inc();
+        Decision {
+            region: region.to_string(),
+            device: Device::Gpu,
+            policy: Policy::AlwaysOffload,
+            predicted_cpu_s: None,
+            predicted_gpu_s: None,
+            cpu_error: Some(ModelError::DeadlineExceeded),
+            gpu_error: Some(ModelError::DeadlineExceeded),
+        }
+    }
+
+    /// Takes (or recalls) the decisions for a whole batch of requests at
+    /// once, returning one slot per request in request order (`None` for
+    /// unknown regions, exactly as [`DecisionEngine::decide_request`]
+    /// would).
+    ///
+    /// Plain requests are grouped by cache shard so each shard's lock is
+    /// taken at most twice — once for all of the group's lookups, once for
+    /// all of its inserts — instead of twice per request; misses evaluate
+    /// their models outside any lock. Requests carrying a policy override
+    /// or deadline take the individual [`DecisionEngine::decide_request`]
+    /// path (they bypass the cache anyway). Decisions and hit/miss
+    /// accounting are identical to issuing the requests one by one.
+    pub fn decide_batch(&self, requests: &[DecisionRequest]) -> Vec<Option<Decision>> {
         let mut results: Vec<Option<Decision>> = vec![None; requests.len()];
-        // Resolve keys and group request indices by shard.
+        // Resolve keys and group plain request indices by shard.
         let mut keyed: Vec<Option<(CacheKey, &RegionAttributes)>> =
             Vec::with_capacity(requests.len());
         let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.cache.shards.len()];
-        for (i, (region, binding)) in requests.iter().enumerate() {
-            match self.database.region(region) {
+        for (i, request) in requests.iter().enumerate() {
+            if request.policy_override().is_some() || request.deadline().is_some() {
+                results[i] = self.decide_request(request);
+                keyed.push(None);
+                continue;
+            }
+            match self.database.region(request.region()) {
                 Some(attrs) => {
-                    let key = Self::cache_key(region, attrs, binding);
+                    let key = Self::cache_key(request.region(), attrs, request.binding());
                     by_shard[self.cache.shard_index(&key)].push(i);
                     keyed.push(Some((key, attrs)));
                 }
@@ -745,7 +1112,7 @@ impl DecisionEngine {
             // Phase 2: evaluate the misses with no lock held...
             for &i in &missed {
                 let (_, attrs) = keyed[i].as_ref().expect("grouped index was keyed");
-                results[i] = Some(self.selector.select(attrs, requests[i].1));
+                results[i] = Some(self.selector.decide(*attrs, requests[i].binding()));
             }
             for &(i, first) in &duplicates {
                 shard.hits.fetch_add(1, Ordering::Relaxed);
@@ -772,6 +1139,17 @@ impl DecisionEngine {
             }
         }
         results
+    }
+
+    /// Deprecated positional-tuple spelling of
+    /// [`DecisionEngine::decide_batch`].
+    #[deprecated(note = "build `DecisionRequest`s and use `DecisionEngine::decide_batch`")]
+    pub fn decide_batch_pairs(&self, requests: &[(&str, &Binding)]) -> Vec<Option<Decision>> {
+        let requests: Vec<DecisionRequest> = requests
+            .iter()
+            .map(|&pair| DecisionRequest::from(pair))
+            .collect();
+        self.decide_batch(&requests)
     }
 
     /// Takes the decision and explains it in the same call: the
@@ -910,15 +1288,15 @@ mod tests {
         let (k, binding) = find_kernel("gemm").unwrap();
         let b = binding(Dataset::Test);
         let s = selector().with_policy(Policy::AlwaysHost);
-        assert_eq!(s.select_kernel(&k, &b).device, Device::Host);
+        assert_eq!(s.decide(&k, &b).device, Device::Host);
         let s = selector().with_policy(Policy::AlwaysOffload);
-        assert_eq!(s.select_kernel(&k, &b).device, Device::Gpu);
+        assert_eq!(s.decide(&k, &b).device, Device::Gpu);
     }
 
     #[test]
     fn model_driven_produces_predictions() {
         let (k, binding) = find_kernel("gemm").unwrap();
-        let d = selector().select_kernel(&k, &binding(Dataset::Benchmark));
+        let d = selector().decide(&k, &binding(Dataset::Benchmark));
         assert!(d.predicted_cpu_s.unwrap() > 0.0);
         assert!(d.predicted_gpu_s.unwrap() > 0.0);
         assert!(d.predicted_speedup().unwrap() > 0.0);
@@ -927,7 +1305,7 @@ mod tests {
     #[test]
     fn unresolved_binding_falls_back_to_offload() {
         let (k, _) = find_kernel("gemm").unwrap();
-        let d = selector().select_kernel(&k, &Binding::new());
+        let d = selector().decide(&k, &Binding::new());
         assert_eq!(d.device, Device::Gpu);
         assert!(d.predicted_speedup().is_none());
     }
@@ -968,7 +1346,7 @@ mod tests {
     #[test]
     fn errors_recorded_on_fallback() {
         let (k, _) = find_kernel("gemm").unwrap();
-        let d = selector().select_kernel(&k, &Binding::new());
+        let d = selector().decide(&k, &Binding::new());
         assert_eq!(d.device, Device::Gpu);
         assert!(matches!(
             d.cpu_error,
@@ -980,7 +1358,7 @@ mod tests {
         ));
         // A resolvable binding records no errors.
         let (k, binding) = find_kernel("gemm").unwrap();
-        let d = selector().select_kernel(&k, &binding(Dataset::Test));
+        let d = selector().decide(&k, &binding(Dataset::Test));
         assert_eq!(d.cpu_error, None);
         assert_eq!(d.gpu_error, None);
     }
@@ -1007,7 +1385,7 @@ mod tests {
                     let first = engine.decide(&k.name, &b).unwrap();
                     let second = engine.decide(&k.name, &b).unwrap();
                     assert_eq!(first, second, "{} {:?} cache changed answer", k.name, ds);
-                    let cold = s.select_kernel(k, &b);
+                    let cold = s.decide(k, &b);
                     assert_eq!(first, cold, "{} {:?} engine != cold path", k.name, ds);
                 }
             }
@@ -1138,7 +1516,7 @@ mod tests {
         let s = selector();
         // A NaN GPU prediction must not silently select the host: it is a
         // model failure, recorded, with the compiler-default fallback.
-        let d = s.decide("r", Some(Ok(1.0)), Some(Ok(f64::NAN)));
+        let d = s.compose("r", Some(Ok(1.0)), Some(Ok(f64::NAN)));
         assert_eq!(d.device, Device::Gpu);
         assert_eq!(d.predicted_gpu_s, None);
         assert!(matches!(
@@ -1148,7 +1526,7 @@ mod tests {
         assert_eq!(d.predicted_cpu_s, Some(1.0));
         // Same for an infinite or negative CPU prediction.
         for bad in [f64::INFINITY, -2.5] {
-            let d = s.decide("r", Some(Ok(bad)), Some(Ok(1.0)));
+            let d = s.compose("r", Some(Ok(bad)), Some(Ok(1.0)));
             assert_eq!(d.device, Device::Gpu, "{bad}");
             assert!(
                 matches!(d.cpu_error, Some(ModelError::NonFinitePrediction { .. })),
@@ -1157,7 +1535,7 @@ mod tests {
             assert!(d.predicted_speedup().is_none());
         }
         // Both sides poisoned: still the fallback, both reasons recorded.
-        let d = s.decide("r", Some(Ok(f64::NAN)), Some(Ok(f64::NEG_INFINITY)));
+        let d = s.compose("r", Some(Ok(f64::NAN)), Some(Ok(f64::NEG_INFINITY)));
         assert_eq!(d.device, Device::Gpu);
         assert!(d.cpu_error.is_some() && d.gpu_error.is_some());
     }
@@ -1217,9 +1595,11 @@ mod tests {
         // a duplicate of the first request exercises intra-batch reuse.
         requests.push(("no-such-region".to_string(), Binding::new()));
         requests.push(requests[0].clone());
-        let borrowed: Vec<(&str, &Binding)> =
-            requests.iter().map(|(r, b)| (r.as_str(), b)).collect();
-        let batched = batch_engine.decide_batch(&borrowed);
+        let built: Vec<DecisionRequest> = requests
+            .iter()
+            .map(|(r, b)| DecisionRequest::new(r.clone(), b.clone()))
+            .collect();
+        let batched = batch_engine.decide_batch(&built);
         assert_eq!(batched.len(), requests.len());
         for (i, (region, b)) in requests.iter().enumerate() {
             let solo = solo_engine.decide(region, b);
@@ -1231,7 +1611,7 @@ mod tests {
         let decided = batched.iter().filter(|d| d.is_some()).count() as u64;
         assert_eq!(bs.hits + bs.misses, decided);
         // A second identical batch is all hits.
-        let again = batch_engine.decide_batch(&borrowed);
+        let again = batch_engine.decide_batch(&built);
         assert_eq!(again, batched);
         assert_eq!(batch_engine.stats().misses, bs.misses);
     }
@@ -1257,5 +1637,125 @@ mod tests {
         }
         let stats = engine.stats();
         assert_eq!((stats.hits, stats.misses, stats.len), (499, 1, 1));
+    }
+
+    #[test]
+    fn plain_requests_match_decide_exactly() {
+        let (k, binding) = find_kernel("gemm").unwrap();
+        let engine = engine_with(std::slice::from_ref(&k), 16);
+        let b = binding(Dataset::Test);
+        let request = DecisionRequest::new("gemm", b.clone());
+        let via_request = engine.decide_request(&request).unwrap();
+        let via_decide = engine.decide("gemm", &b).unwrap();
+        assert_eq!(via_request, via_decide);
+        // The plain request went through the cache like any decide call.
+        assert_eq!(engine.stats().hits, 1);
+        // Unknown regions refuse, deadline or not.
+        assert!(engine
+            .decide_request(&DecisionRequest::new("missing", b.clone()))
+            .is_none());
+        assert!(engine
+            .decide_request(&DecisionRequest::new("missing", b).with_deadline(Duration::ZERO))
+            .is_none());
+    }
+
+    #[test]
+    fn policy_overrides_bypass_the_cache() {
+        let (k, binding) = find_kernel("gemm").unwrap();
+        let engine = engine_with(std::slice::from_ref(&k), 16);
+        let b = binding(Dataset::Test);
+        let host = engine
+            .decide_request(
+                &DecisionRequest::new("gemm", b.clone()).with_policy(Policy::AlwaysHost),
+            )
+            .unwrap();
+        assert_eq!(
+            (host.device, host.policy),
+            (Device::Host, Policy::AlwaysHost)
+        );
+        // The override neither consulted nor populated the cache...
+        let stats = engine.stats();
+        assert_eq!((stats.hits, stats.misses, stats.len), (0, 0, 0));
+        // ...so the engine's own policy still answers fresh.
+        let own = engine.decide("gemm", &b).unwrap();
+        assert_eq!(own.policy, Policy::ModelDriven);
+    }
+
+    #[test]
+    fn zero_deadline_degrades_to_the_compiler_default() {
+        let (k, binding) = find_kernel("gemm").unwrap();
+        let engine = engine_with(std::slice::from_ref(&k), 16);
+        let b = binding(Dataset::Test);
+        let request = DecisionRequest::new("gemm", b).with_deadline(Duration::ZERO);
+        let d = engine.decide_request(&request).unwrap();
+        assert_eq!(d.device, Device::Gpu);
+        assert_eq!(d.policy, Policy::AlwaysOffload);
+        assert_eq!(d.cpu_error, Some(ModelError::DeadlineExceeded));
+        assert_eq!(d.gpu_error, Some(ModelError::DeadlineExceeded));
+        assert_eq!(d.predicted_speedup(), None);
+        // Degraded decisions are not cached.
+        assert_eq!(engine.stats().len, 0);
+        // A generous deadline decides normally.
+        let request = request.with_deadline(Duration::from_secs(3600));
+        let d = engine.decide_request(&request).unwrap();
+        assert_eq!(d.policy, Policy::ModelDriven);
+    }
+
+    #[test]
+    fn decision_request_serde_round_trips() {
+        let request = DecisionRequest::new("gemm", Binding::new().with("ni", 1024).with("nj", 32))
+            .with_policy(Policy::AlwaysHost)
+            .with_deadline(Duration::from_nanos(1_234_567));
+        let json = serde_json::to_string(&request).unwrap();
+        let back: DecisionRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, request);
+        // Optional fields serialize as null and round-trip to None.
+        let plain = DecisionRequest::new("atax", Binding::new());
+        let json = serde_json::to_string(&plain).unwrap();
+        assert!(json.contains("\"policy_override\":null"), "{json}");
+        let back: DecisionRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plain);
+        // Unknown policies are rejected, not silently dropped.
+        let bad = json.replace("null", "\"turbo_mode\"");
+        assert!(serde_json::from_str::<DecisionRequest>(&bad).is_err());
+    }
+
+    #[test]
+    fn policy_and_device_names_round_trip() {
+        for p in [
+            Policy::AlwaysHost,
+            Policy::AlwaysOffload,
+            Policy::ModelDriven,
+        ] {
+            assert_eq!(Policy::parse(p.name()), Some(p));
+            assert_eq!(format!("{p}"), p.name());
+        }
+        assert_eq!(Policy::parse("nonsense"), None);
+        assert_eq!(Device::Host.name(), "host");
+        assert_eq!(Device::Gpu.name(), "gpu");
+        assert_eq!(Device::Host.other(), Device::Gpu);
+        assert_eq!(Device::Gpu.other(), Device::Host);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_spellings_still_answer_identically() {
+        let (k, binding) = find_kernel("gemm").unwrap();
+        let b = binding(Dataset::Test);
+        let s = selector();
+        assert_eq!(s.select_kernel(&k, &b), s.decide(&k, &b));
+        let db = AttributeDatabase::compile(std::slice::from_ref(&k), &s);
+        let attrs = db.region("gemm").unwrap();
+        assert_eq!(s.select(attrs, &b), s.decide(attrs, &b));
+        let (c1, g1) = s.predict_detailed(&k, &b);
+        let (c2, g2) = s.predict(&k, &b);
+        assert_eq!((c1.unwrap(), g1.unwrap()), (c2.unwrap(), g2.unwrap()));
+        let engine = engine_with(std::slice::from_ref(&k), 16);
+        let pairs: Vec<(&str, &Binding)> = vec![("gemm", &b)];
+        let requests = vec![DecisionRequest::from(("gemm", &b))];
+        assert_eq!(
+            engine.decide_batch_pairs(&pairs),
+            engine.decide_batch(&requests)
+        );
     }
 }

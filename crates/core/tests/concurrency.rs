@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use hetsel_core::{Decision, DecisionEngine, Platform, Selector};
+use hetsel_core::{Decision, DecisionEngine, DecisionRequest, Platform, Selector};
 use hetsel_ir::Binding;
 use hetsel_polybench::find_kernel;
 
@@ -24,7 +24,7 @@ fn expected_decisions(ns: impl IntoIterator<Item = i64>) -> HashMap<i64, Decisio
     let (kernel, _) = find_kernel("gemm").unwrap();
     let s = selector();
     ns.into_iter()
-        .map(|n| (n, s.select_kernel(&kernel, &Binding::new().with("n", n))))
+        .map(|n| (n, s.decide(&kernel, &Binding::new().with("n", n))))
         .collect()
 }
 
@@ -86,8 +86,10 @@ fn concurrent_batches_match_the_cold_path() {
             let bindings = &bindings;
             let ns = &ns;
             scope.spawn(move || {
-                let requests: Vec<(&str, &Binding)> =
-                    bindings.iter().map(|b| ("gemm", b)).collect();
+                let requests: Vec<DecisionRequest> = bindings
+                    .iter()
+                    .map(|b| DecisionRequest::new("gemm", b.clone()))
+                    .collect();
                 for _ in 0..50 {
                     let results = engine.decide_batch(&requests);
                     for (slot, n) in results.iter().zip(ns) {
@@ -192,8 +194,10 @@ fn stress_mixed_decide_and_batch_traffic() {
                 if t % 2 == 0 {
                     let bindings: Vec<Binding> =
                         ns.iter().map(|&n| Binding::new().with("n", n)).collect();
-                    let requests: Vec<(&str, &Binding)> =
-                        bindings.iter().map(|b| ("gemm", b)).collect();
+                    let requests: Vec<DecisionRequest> = bindings
+                        .iter()
+                        .map(|b| DecisionRequest::new("gemm", b.clone()))
+                        .collect();
                     for _ in 0..250 {
                         for (slot, n) in engine.decide_batch(&requests).iter().zip(ns) {
                             assert_eq!(slot.as_ref(), Some(&expected[n]));

@@ -7,6 +7,8 @@
 //! NaN, an infinity, a negative time, a missing outcome — must keep the
 //! compiler default of offloading and record why.
 
+#![allow(deprecated)] // `decide_outcomes` is the only public outcome-level entry
+
 use hetsel_core::{choose_device, Device, Platform, Policy, Selector};
 use hetsel_models::ModelError;
 use proptest::prelude::*;
@@ -49,7 +51,7 @@ proptest! {
     fn host_requires_a_finite_cpu_win(cpu in outcome(), gpu in outcome()) {
         let s = Selector::new(Platform::power9_v100());
         prop_assert_eq!(s.policy, Policy::ModelDriven);
-        let d = s.decide("prop-region", cpu.clone(), gpu.clone());
+        let d = s.decide_outcomes("prop-region", cpu.clone(), gpu.clone());
         if d.device == Device::Host {
             let c = usable(&cpu);
             let g = usable(&gpu);
@@ -63,7 +65,7 @@ proptest! {
     #[test]
     fn decision_agrees_with_choose_device(cpu in outcome(), gpu in outcome()) {
         let s = Selector::new(Platform::power9_v100());
-        let d = s.decide("prop-region", cpu.clone(), gpu.clone());
+        let d = s.decide_outcomes("prop-region", cpu.clone(), gpu.clone());
         // The recorded predictions are exactly the usable values...
         prop_assert_eq!(d.predicted_cpu_s, usable(&cpu));
         prop_assert_eq!(d.predicted_gpu_s, usable(&gpu));
@@ -78,8 +80,8 @@ proptest! {
     #[test]
     fn always_policies_never_consult_outcomes(cpu in outcome(), gpu in outcome()) {
         let host = Selector::new(Platform::power9_v100()).with_policy(Policy::AlwaysHost);
-        prop_assert_eq!(host.decide("prop-region", cpu.clone(), gpu.clone()).device, Device::Host);
+        prop_assert_eq!(host.decide_outcomes("prop-region", cpu.clone(), gpu.clone()).device, Device::Host);
         let off = Selector::new(Platform::power9_v100()).with_policy(Policy::AlwaysOffload);
-        prop_assert_eq!(off.decide("prop-region", cpu, gpu).device, Device::Gpu);
+        prop_assert_eq!(off.decide_outcomes("prop-region", cpu, gpu).device, Device::Gpu);
     }
 }

@@ -41,8 +41,7 @@ fn history_is_binding_sensitive() {
         .unwrap();
     // A different binding is a different configuration: back to the model.
     let d_model = adaptive.select(&kernel, &binding(Dataset::Test));
-    let s_model =
-        Selector::new(Platform::power9_v100()).select_kernel(&kernel, &binding(Dataset::Test));
+    let s_model = Selector::new(Platform::power9_v100()).decide(&kernel, &binding(Dataset::Test));
     assert_eq!(d_model.device, s_model.device);
 }
 
@@ -53,7 +52,7 @@ fn split_and_plan_are_consistent_with_the_binary_selector() {
     for name in ["gemm", "2dconv", "corr.mean"] {
         let (kernel, binding) = find_kernel(name).unwrap();
         let b = binding(Dataset::Benchmark);
-        let d = sel.select_kernel(&kernel, &b);
+        let d = sel.decide(&kernel, &b);
         let s = best_split(&kernel, &b, &platform, 32).unwrap();
         // The split's endpoints reproduce the binary predictions' ordering.
         let split_prefers_gpu = s.gpu_only_s < s.host_only_s;

@@ -1,0 +1,109 @@
+//! Property tests for the `DecisionRequest` serialization contract:
+//! every request — any region name, any binding, any policy override, any
+//! deadline — must survive a JSON round trip bit for bit, and the JSON
+//! shape must match what DESIGN.md documents
+//! (`{"region", "binding", "policy_override", "deadline_ns"}`).
+
+use std::time::Duration;
+
+use hetsel_core::{DecisionRequest, Policy};
+use hetsel_ir::Binding;
+use proptest::collection::vec;
+use proptest::prelude::*;
+use proptest::sample::select;
+
+fn region() -> BoxedStrategy<String> {
+    select(vec![
+        "gemm".to_string(),
+        "atax.k1".to_string(),
+        "jacobi-2d.a".to_string(),
+        "r".to_string(),
+        "a-very-long-region-name-with-dashes".to_string(),
+    ])
+    .boxed()
+}
+
+fn binding() -> BoxedStrategy<Binding> {
+    let entry = (select(vec!["n", "m", "ni", "nj", "tsteps"]), -1i64..1 << 40);
+    vec(entry, 0..5)
+        .prop_map(|pairs| {
+            let mut b = Binding::new();
+            for (name, value) in pairs {
+                b.set(name, value);
+            }
+            b
+        })
+        .boxed()
+}
+
+fn policy() -> BoxedStrategy<Option<Policy>> {
+    prop_oneof![
+        Just(None),
+        Just(Some(Policy::ModelDriven)),
+        Just(Some(Policy::AlwaysHost)),
+        Just(Some(Policy::AlwaysOffload)),
+    ]
+    .boxed()
+}
+
+fn request() -> BoxedStrategy<DecisionRequest> {
+    (region(), binding(), policy(), 0u64..u64::MAX / 2)
+        .prop_map(|(region, binding, policy, deadline_ns)| {
+            let mut request = DecisionRequest::new(region, binding);
+            if let Some(p) = policy {
+                request = request.with_policy(p);
+            }
+            // Odd nanosecond budgets double as the "no deadline" case so
+            // both shapes are exercised.
+            if deadline_ns % 2 == 0 {
+                request = request.with_deadline(Duration::from_nanos(deadline_ns));
+            }
+            request
+        })
+        .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn every_request_round_trips_through_json(request in request()) {
+        let json = serde_json::to_string(&request).expect("serializes");
+        let back: DecisionRequest = serde_json::from_str(&json).expect("parses");
+        prop_assert_eq!(&back, &request);
+
+        // The documented schema shape: all four keys present.
+        for key in ["\"region\"", "\"binding\"", "\"policy_override\"", "\"deadline_ns\""] {
+            prop_assert!(json.contains(key), "missing {} in {}", key, json);
+        }
+        // And the override is stored as the policy's stable name.
+        if let Some(p) = request.policy_override() {
+            prop_assert!(json.contains(p.name()), "{}", json);
+        }
+    }
+
+    #[test]
+    fn serialization_is_deterministic(request in request()) {
+        // Bindings are ordered maps and every field renders canonically, so
+        // equal requests must produce byte-identical JSON (the property the
+        // decision cache's key discipline relies on).
+        let a = serde_json::to_string(&request).expect("serializes");
+        let b = serde_json::to_string(&request.clone()).expect("serializes");
+        prop_assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn corrupt_documents_are_rejected() {
+    let good =
+        serde_json::to_string(&DecisionRequest::new("gemm", Binding::new().with("n", 64))).unwrap();
+    let back: DecisionRequest = serde_json::from_str(&good).unwrap();
+    assert_eq!(back.region(), "gemm");
+
+    // Unknown policy name.
+    let bad = good.replace("null", "\"turbo_mode\"");
+    assert!(serde_json::from_str::<DecisionRequest>(&bad).is_err());
+    // Not an object at all.
+    assert!(serde_json::from_str::<DecisionRequest>("[1,2]").is_err());
+    assert!(serde_json::from_str::<DecisionRequest>("not json").is_err());
+}

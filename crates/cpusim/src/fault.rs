@@ -1,0 +1,125 @@
+//! Fault-injection layer over the CPU timing simulator.
+//!
+//! Wraps [`simulate`] with a seeded [`FaultPlan`]: each
+//! call is one *attempt* identified by a draw sequence number. The plan
+//! deterministically decides whether the attempt faults (transient or
+//! permanent) and how much latency jitter a successful run absorbs —
+//! charged to the OpenMP overhead term, which is where a real host's
+//! scheduling hiccups land.
+//!
+//! Under [`FaultPlan::none`] the wrapper is bit-for-bit the plain
+//! simulator: no draw is taken and no term is altered.
+
+use crate::arch::CpuDescriptor;
+use crate::engine::{simulate, CpuRun};
+use hetsel_fault::{DeviceFault, FaultPlan, InjectedFailure};
+use hetsel_ir::{Binding, Kernel};
+
+/// The device label CPU faults carry.
+pub const CPU_FAULT_DEVICE: &str = "host";
+
+/// As [`simulate`], through a fault plan. `seq` identifies the attempt in
+/// the plan's deterministic draw stream (the dispatcher hands out one
+/// sequence number per attempt).
+///
+/// * injected fault → `Err(InjectedFailure::Fault(_))`;
+/// * unresolved binding / empty iteration space →
+///   `Err(InjectedFailure::Unresolvable)` (not a device fault — breakers
+///   must not count it);
+/// * success → the plain simulator's run with `jitter_s` added to
+///   `overhead_s`.
+pub fn simulate_with_faults(
+    kernel: &Kernel,
+    binding: &Binding,
+    cpu: &CpuDescriptor,
+    threads: u32,
+    plan: &FaultPlan,
+    seq: u64,
+) -> Result<CpuRun, InjectedFailure> {
+    if plan.is_none() {
+        return simulate(kernel, binding, cpu, threads).ok_or(InjectedFailure::Unresolvable);
+    }
+    let draw = plan.draw(seq);
+    if let Some(kind) = draw.fault {
+        return Err(InjectedFailure::Fault(DeviceFault {
+            device: CPU_FAULT_DEVICE,
+            kind,
+            seq,
+        }));
+    }
+    let mut run = simulate(kernel, binding, cpu, threads).ok_or(InjectedFailure::Unresolvable)?;
+    run.overhead_s += draw.jitter_s;
+    Ok(run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsel_fault::FaultKind;
+    use hetsel_polybench::{find_kernel, Dataset};
+
+    fn gemm() -> (Kernel, Binding) {
+        let (k, binding) = find_kernel("gemm").unwrap();
+        let b = binding(Dataset::Test);
+        (k, b)
+    }
+
+    #[test]
+    fn none_plan_is_bit_identical_to_plain_simulate() {
+        let (k, b) = gemm();
+        let cpu = crate::power9_host();
+        let plain = simulate(&k, &b, &cpu, 160).unwrap();
+        for seq in [0, 1, u64::MAX] {
+            let wrapped = simulate_with_faults(&k, &b, &cpu, 160, &FaultPlan::none(), seq).unwrap();
+            assert_eq!(wrapped.total_s().to_bits(), plain.total_s().to_bits());
+            assert_eq!(wrapped.overhead_s.to_bits(), plain.overhead_s.to_bits());
+        }
+    }
+
+    #[test]
+    fn certain_faults_always_fail_with_the_planned_kind() {
+        let (k, b) = gemm();
+        let cpu = crate::power9_host();
+        let plan = FaultPlan::permanent(9, 1.0);
+        for seq in 0..20 {
+            let err = simulate_with_faults(&k, &b, &cpu, 160, &plan, seq).unwrap_err();
+            let fault = err.fault().expect("injected, not unresolvable");
+            assert_eq!(fault.kind, FaultKind::Permanent);
+            assert_eq!(fault.device, CPU_FAULT_DEVICE);
+            assert_eq!(fault.seq, seq);
+        }
+    }
+
+    #[test]
+    fn jitter_is_added_to_overhead_deterministically() {
+        let (k, b) = gemm();
+        let cpu = crate::power9_host();
+        let plain = simulate(&k, &b, &cpu, 160).unwrap();
+        let plan = FaultPlan {
+            seed: 11,
+            transient_prob: 0.0,
+            permanent_prob: 0.0,
+            max_jitter_s: 1e-3,
+        };
+        let a = simulate_with_faults(&k, &b, &cpu, 160, &plan, 4).unwrap();
+        let b2 = simulate_with_faults(&k, &b, &cpu, 160, &plan, 4).unwrap();
+        assert_eq!(a.overhead_s.to_bits(), b2.overhead_s.to_bits());
+        let jitter = a.overhead_s - plain.overhead_s;
+        assert!((0.0..=1e-3).contains(&jitter), "{jitter}");
+        assert_eq!(jitter, plan.draw(4).jitter_s);
+    }
+
+    #[test]
+    fn unresolved_bindings_are_not_device_faults() {
+        let (k, _) = gemm();
+        let cpu = crate::power9_host();
+        let err = simulate_with_faults(&k, &Binding::new(), &cpu, 160, &FaultPlan::none(), 0)
+            .unwrap_err();
+        assert_eq!(err, InjectedFailure::Unresolvable);
+        // Even under a faulty plan, a lucky (non-faulting) draw on an
+        // unresolvable binding reports Unresolvable, not a fault.
+        let plan = FaultPlan::transient(1, 0.0).with_jitter(1e-6);
+        let err = simulate_with_faults(&k, &Binding::new(), &cpu, 160, &plan, 0).unwrap_err();
+        assert_eq!(err, InjectedFailure::Unresolvable);
+    }
+}

@@ -26,6 +26,7 @@ pub mod arch;
 pub mod cache;
 pub mod calibrate;
 pub mod engine;
+pub mod fault;
 pub mod sampler;
 
 pub use arch::{
@@ -34,5 +35,6 @@ pub use arch::{
 pub use cache::{Cache, Hierarchy, Tlb};
 pub use calibrate::{calibrate, CalibratedOverheads};
 pub use engine::{simulate, simulate_with_schedule, CpuBound, CpuRun, VectorMode};
+pub use fault::simulate_with_faults;
 pub use hetsel_ipda::Schedule;
 pub use sampler::{profile, MemoryProfile};

@@ -1,0 +1,374 @@
+//! # hetsel-fault — seeded, deterministic device-fault injection
+//!
+//! The dispatch runtime's robustness story needs an adversary: devices that
+//! fail, sometimes for one request (transient), sometimes for good
+//! (permanent), and devices whose latency spikes. Real hardware faults are
+//! not reproducible; this crate provides their simulation-grade stand-in —
+//! a [`FaultPlan`] that, given a draw sequence number, deterministically
+//! decides whether an execution attempt faults and how much latency jitter
+//! a successful one absorbs.
+//!
+//! Determinism is the load-bearing property: a draw is a pure function of
+//! `(plan.seed, sequence_number)`, so a single-threaded dispatch run with a
+//! fixed seed produces a bit-for-bit identical outcome sequence every time
+//! — the property the fault-injection soak asserts. Concurrent runs stay
+//! *individually* deterministic per draw; only the interleaving of sequence
+//! numbers varies.
+//!
+//! The generator is SplitMix64 (Steele, Lea, Flood — "Fast splittable
+//! pseudorandom number generators", OOPSLA 2014): one multiply-xorshift
+//! chain per draw, no state to share or lock.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// How an injected fault behaves.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The attempt fails, but a retry of the same request may succeed —
+    /// the model for ECC hiccups, evicted contexts, transient driver
+    /// errors.
+    Transient,
+    /// The device is gone for this request: retries on the same device are
+    /// pointless and the dispatcher must fail over.
+    Permanent,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::Transient => write!(f, "transient"),
+            FaultKind::Permanent => write!(f, "permanent"),
+        }
+    }
+}
+
+/// An injected device fault: the typed error a fault-wrapped simulator call
+/// returns instead of a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceFault {
+    /// Which device faulted (`"host"` or `"gpu"` by convention).
+    pub device: &'static str,
+    /// Transient or permanent.
+    pub kind: FaultKind,
+    /// The draw sequence number that produced the fault (ties the fault
+    /// back to the deterministic draw that injected it).
+    pub seq: u64,
+}
+
+impl fmt::Display for DeviceFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "injected {} fault on {} (draw #{})",
+            self.kind, self.device, self.seq
+        )
+    }
+}
+
+impl std::error::Error for DeviceFault {}
+
+/// Why a fault-wrapped simulator call produced no run.
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InjectedFailure {
+    /// The fault plan injected a failure for this attempt.
+    Fault(DeviceFault),
+    /// The simulator itself could not run the kernel (unresolved binding,
+    /// empty iteration space) — a modelling limitation, *not* an injected
+    /// fault, and therefore not something a circuit breaker should count.
+    Unresolvable,
+}
+
+impl InjectedFailure {
+    /// The injected fault, when this failure is one.
+    pub fn fault(&self) -> Option<&DeviceFault> {
+        match self {
+            InjectedFailure::Fault(f) => Some(f),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for InjectedFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InjectedFailure::Fault(fault) => fault.fmt(f),
+            InjectedFailure::Unresolvable => {
+                write!(
+                    f,
+                    "simulator could not resolve the kernel under this binding"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for InjectedFailure {}
+
+/// What one deterministic draw decided for an execution attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultDraw {
+    /// `Some(kind)` — the attempt faults; `None` — it proceeds.
+    pub fault: Option<FaultKind>,
+    /// Latency jitter added to a successful attempt, seconds
+    /// (`0.0 ≤ jitter_s ≤ plan.max_jitter_s`).
+    pub jitter_s: f64,
+}
+
+/// A seeded fault-injection plan for one device.
+///
+/// Probabilities are per *attempt*: each draw independently faults with
+/// probability `transient_prob + permanent_prob` (permanent wins the
+/// overlap). [`FaultPlan::none`] is the identity plan — it never faults,
+/// never jitters, and wrapped simulator calls under it are bit-for-bit
+/// identical to unwrapped ones.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the deterministic draw stream.
+    pub seed: u64,
+    /// Probability an attempt fails transiently, in `[0, 1]`.
+    pub transient_prob: f64,
+    /// Probability an attempt fails permanently, in `[0, 1]`.
+    pub permanent_prob: f64,
+    /// Upper bound of the uniform latency jitter added to successful
+    /// attempts, seconds.
+    pub max_jitter_s: f64,
+}
+
+impl Default for FaultPlan {
+    /// The default plan is the identity plan ([`FaultPlan::none`]).
+    fn default() -> FaultPlan {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// The identity plan: no faults, no jitter.
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            transient_prob: 0.0,
+            permanent_prob: 0.0,
+            max_jitter_s: 0.0,
+        }
+    }
+
+    /// A plan injecting transient faults with probability `p`.
+    pub fn transient(seed: u64, p: f64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            transient_prob: p,
+            permanent_prob: 0.0,
+            max_jitter_s: 0.0,
+        }
+    }
+
+    /// A plan injecting permanent faults with probability `p`.
+    pub fn permanent(seed: u64, p: f64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            transient_prob: 0.0,
+            permanent_prob: p,
+            max_jitter_s: 0.0,
+        }
+    }
+
+    /// Builder-style jitter bound.
+    pub fn with_jitter(mut self, max_jitter_s: f64) -> FaultPlan {
+        self.max_jitter_s = max_jitter_s;
+        self
+    }
+
+    /// True iff this plan can never alter an execution: no fault
+    /// probability and no jitter. The dispatcher uses this to skip the
+    /// draw-sequence increment entirely, keeping the healthy path
+    /// bit-for-bit independent of fault machinery.
+    pub fn is_none(&self) -> bool {
+        self.transient_prob <= 0.0 && self.permanent_prob <= 0.0 && self.max_jitter_s <= 0.0
+    }
+
+    /// The deterministic draw for sequence number `seq`: a pure function of
+    /// `(self.seed, seq)` — no interior state, safe to call from any
+    /// thread, identical across processes.
+    pub fn draw(&self, seq: u64) -> FaultDraw {
+        let mut rng = FaultRng::for_draw(self.seed, seq);
+        let u = rng.next_unit();
+        let fault = if u < self.permanent_prob.clamp(0.0, 1.0) {
+            Some(FaultKind::Permanent)
+        } else if u < (self.permanent_prob + self.transient_prob).clamp(0.0, 1.0) {
+            Some(FaultKind::Transient)
+        } else {
+            None
+        };
+        let jitter_s = if self.max_jitter_s > 0.0 {
+            rng.next_unit() * self.max_jitter_s
+        } else {
+            0.0
+        };
+        FaultDraw { fault, jitter_s }
+    }
+}
+
+/// SplitMix64: the draw stream generator. Public so the sweep harness and
+/// soak tests can derive auxiliary deterministic choices (request orders,
+/// binding shuffles) from the same seed discipline.
+#[derive(Debug, Clone)]
+pub struct FaultRng {
+    state: u64,
+}
+
+impl FaultRng {
+    /// A generator seeded directly.
+    pub fn new(seed: u64) -> FaultRng {
+        FaultRng { state: seed }
+    }
+
+    /// The generator for one `(seed, seq)` draw: the two inputs are mixed
+    /// through one scramble round so that nearby sequence numbers land in
+    /// unrelated parts of the stream.
+    pub fn for_draw(seed: u64, seq: u64) -> FaultRng {
+        FaultRng {
+            state: scramble(seed ^ scramble(seq.wrapping_add(0x9e3779b97f4a7c15))),
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        scramble(self.state)
+    }
+
+    /// Next uniform value in `[0, 1)`: the top 53 bits of the stream, the
+    /// exact mantissa width of an `f64`, so every representable value is
+    /// reachable and the mapping is bit-stable across platforms.
+    pub fn next_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Next value in `[0, bound)` (0 for `bound == 0`).
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+}
+
+/// The SplitMix64 output scramble.
+fn scramble(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draws_are_deterministic_in_seed_and_seq() {
+        let plan = FaultPlan::transient(42, 0.5).with_jitter(1e-3);
+        for seq in 0..100 {
+            assert_eq!(plan.draw(seq), plan.draw(seq), "seq {seq}");
+        }
+        let other_seed = FaultPlan::transient(43, 0.5).with_jitter(1e-3);
+        assert!(
+            (0..100).any(|s| plan.draw(s) != other_seed.draw(s)),
+            "different seeds must produce different streams"
+        );
+    }
+
+    #[test]
+    fn probability_zero_never_faults_probability_one_always() {
+        let none = FaultPlan::none();
+        let all = FaultPlan::transient(7, 1.0);
+        let perm = FaultPlan::permanent(7, 1.0);
+        for seq in 0..1000 {
+            assert_eq!(none.draw(seq).fault, None);
+            assert_eq!(none.draw(seq).jitter_s, 0.0);
+            assert_eq!(all.draw(seq).fault, Some(FaultKind::Transient));
+            assert_eq!(perm.draw(seq).fault, Some(FaultKind::Permanent));
+        }
+        assert!(none.is_none());
+        assert!(!all.is_none());
+        assert!(!FaultPlan::none().with_jitter(1.0).is_none());
+    }
+
+    #[test]
+    fn fault_rate_tracks_probability() {
+        let plan = FaultPlan::transient(1234, 0.3);
+        let faults = (0..10_000)
+            .filter(|&s| plan.draw(s).fault.is_some())
+            .count();
+        let rate = faults as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate} far from 0.3");
+    }
+
+    #[test]
+    fn permanent_wins_the_overlap() {
+        let plan = FaultPlan {
+            seed: 5,
+            transient_prob: 1.0,
+            permanent_prob: 1.0,
+            max_jitter_s: 0.0,
+        };
+        for seq in 0..100 {
+            assert_eq!(plan.draw(seq).fault, Some(FaultKind::Permanent));
+        }
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_nonnegative() {
+        let plan = FaultPlan::none().with_jitter(2.5e-4);
+        let plan = FaultPlan { seed: 99, ..plan };
+        let mut max_seen = 0.0f64;
+        for seq in 0..10_000 {
+            let d = plan.draw(seq);
+            assert!(d.jitter_s >= 0.0 && d.jitter_s <= 2.5e-4, "{}", d.jitter_s);
+            max_seen = max_seen.max(d.jitter_s);
+        }
+        assert!(max_seen > 1e-4, "jitter never explores its range");
+    }
+
+    #[test]
+    fn unit_samples_are_in_range_and_spread() {
+        let mut rng = FaultRng::new(7);
+        let mut below_half = 0usize;
+        for _ in 0..10_000 {
+            let u = rng.next_unit();
+            assert!((0.0..1.0).contains(&u));
+            if u < 0.5 {
+                below_half += 1;
+            }
+        }
+        assert!((4500..5500).contains(&below_half), "{below_half}");
+    }
+
+    #[test]
+    fn errors_display_and_implement_error() {
+        let fault = DeviceFault {
+            device: "gpu",
+            kind: FaultKind::Transient,
+            seq: 17,
+        };
+        assert!(fault.to_string().contains("transient"));
+        assert!(fault.to_string().contains("gpu"));
+        let failure: Box<dyn std::error::Error> = Box::new(InjectedFailure::Fault(fault.clone()));
+        assert!(failure.to_string().contains("#17"));
+        assert_eq!(InjectedFailure::Fault(fault).fault().unwrap().seq, 17);
+        assert!(InjectedFailure::Unresolvable.fault().is_none());
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut rng = FaultRng::new(3);
+        for _ in 0..1000 {
+            assert!(rng.next_below(7) < 7);
+        }
+        assert_eq!(rng.next_below(0), 0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Fault-injection layer over the GPU timing simulator.
+//!
+//! Wraps [`simulate`] with a seeded [`FaultPlan`]: each
+//! call is one *attempt* identified by a draw sequence number. The plan
+//! deterministically decides whether the attempt faults (transient or
+//! permanent) and how much latency jitter a successful launch absorbs —
+//! charged to the kernel-launch overhead, which is where a real
+//! accelerator's driver and queueing hiccups land.
+//!
+//! Under [`FaultPlan::none`] the wrapper is bit-for-bit the plain
+//! simulator: no draw is taken and no term is altered.
+
+use crate::arch::GpuDescriptor;
+use crate::engine::{simulate, GpuRun};
+use hetsel_fault::{DeviceFault, FaultPlan, InjectedFailure};
+use hetsel_ir::{Binding, Kernel};
+
+/// The device label GPU faults carry.
+pub const GPU_FAULT_DEVICE: &str = "gpu";
+
+/// As [`simulate`], through a fault plan. `seq` identifies the attempt in
+/// the plan's deterministic draw stream (the dispatcher hands out one
+/// sequence number per attempt).
+///
+/// * injected fault → `Err(InjectedFailure::Fault(_))`;
+/// * unresolved binding / empty iteration space →
+///   `Err(InjectedFailure::Unresolvable)` (not a device fault — breakers
+///   must not count it);
+/// * success → the plain simulator's run with `jitter_s` added to
+///   `launch_s`.
+pub fn simulate_with_faults(
+    kernel: &Kernel,
+    binding: &Binding,
+    gpu: &GpuDescriptor,
+    plan: &FaultPlan,
+    seq: u64,
+) -> Result<GpuRun, InjectedFailure> {
+    if plan.is_none() {
+        return simulate(kernel, binding, gpu).ok_or(InjectedFailure::Unresolvable);
+    }
+    let draw = plan.draw(seq);
+    if let Some(kind) = draw.fault {
+        return Err(InjectedFailure::Fault(DeviceFault {
+            device: GPU_FAULT_DEVICE,
+            kind,
+            seq,
+        }));
+    }
+    let mut run = simulate(kernel, binding, gpu).ok_or(InjectedFailure::Unresolvable)?;
+    run.launch_s += draw.jitter_s;
+    Ok(run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsel_fault::FaultKind;
+    use hetsel_polybench::{find_kernel, Dataset};
+
+    fn gemm() -> (Kernel, Binding) {
+        let (k, binding) = find_kernel("gemm").unwrap();
+        let b = binding(Dataset::Test);
+        (k, b)
+    }
+
+    #[test]
+    fn none_plan_is_bit_identical_to_plain_simulate() {
+        let (k, b) = gemm();
+        let gpu = crate::tesla_v100();
+        let plain = simulate(&k, &b, &gpu).unwrap();
+        for seq in [0, 7, u64::MAX] {
+            let wrapped = simulate_with_faults(&k, &b, &gpu, &FaultPlan::none(), seq).unwrap();
+            assert_eq!(wrapped.total_s().to_bits(), plain.total_s().to_bits());
+            assert_eq!(wrapped.launch_s.to_bits(), plain.launch_s.to_bits());
+        }
+    }
+
+    #[test]
+    fn certain_faults_always_fail_with_the_planned_kind() {
+        let (k, b) = gemm();
+        let gpu = crate::tesla_v100();
+        let plan = FaultPlan::transient(3, 1.0);
+        for seq in 0..20 {
+            let err = simulate_with_faults(&k, &b, &gpu, &plan, seq).unwrap_err();
+            let fault = err.fault().expect("injected, not unresolvable");
+            assert_eq!(fault.kind, FaultKind::Transient);
+            assert_eq!(fault.device, GPU_FAULT_DEVICE);
+            assert_eq!(fault.seq, seq);
+        }
+    }
+
+    #[test]
+    fn jitter_is_added_to_launch_deterministically() {
+        let (k, b) = gemm();
+        let gpu = crate::tesla_v100();
+        let plain = simulate(&k, &b, &gpu).unwrap();
+        let plan = FaultPlan {
+            seed: 21,
+            transient_prob: 0.0,
+            permanent_prob: 0.0,
+            max_jitter_s: 5e-4,
+        };
+        let a = simulate_with_faults(&k, &b, &gpu, &plan, 9).unwrap();
+        let b2 = simulate_with_faults(&k, &b, &gpu, &plan, 9).unwrap();
+        assert_eq!(a.launch_s.to_bits(), b2.launch_s.to_bits());
+        let jitter = a.launch_s - plain.launch_s;
+        assert!((0.0..=5e-4).contains(&jitter), "{jitter}");
+        assert_eq!(jitter, plan.draw(9).jitter_s);
+    }
+
+    #[test]
+    fn unresolved_bindings_are_not_device_faults() {
+        let (k, _) = gemm();
+        let gpu = crate::tesla_v100();
+        let err =
+            simulate_with_faults(&k, &Binding::new(), &gpu, &FaultPlan::none(), 0).unwrap_err();
+        assert_eq!(err, InjectedFailure::Unresolvable);
+    }
+}

@@ -19,6 +19,7 @@
 pub mod arch;
 pub mod detailed;
 pub mod engine;
+pub mod fault;
 pub mod geometry;
 pub mod workload;
 
@@ -27,5 +28,6 @@ pub use arch::{
 };
 pub use detailed::{simulate_detailed, DetailedRun};
 pub use engine::{simulate, GpuBound, GpuRun};
+pub use fault::simulate_with_faults;
 pub use geometry::{occupancy, select, Geometry, Occupancy, DEFAULT_THREADS_PER_BLOCK};
 pub use workload::{characterize, AccessSim, Workload, L1_LATENCY};

@@ -7,7 +7,7 @@
 //! "the runtime overhead introduced by the model evaluation is negligible").
 //!
 //! The recursive analyses in [`lower`](crate::lower) and
-//! [`loadout`](crate::loadout) mix the two phases: every call re-lowers the
+//! [`loadout`](crate::loadout()) mix the two phases: every call re-lowers the
 //! kernel and re-runs [`simulate`], even though those steps depend only on
 //! the kernel *structure* and the [`CoreDescriptor`] — never on the trip
 //! counts. Trip counts enter the result exclusively as multiplicative

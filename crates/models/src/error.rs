@@ -13,6 +13,11 @@ use std::fmt;
 use hetsel_ir::{Binding, Kernel};
 
 /// Why a compiled model could not produce a prediction for a binding.
+///
+/// Marked `#[non_exhaustive]`: new failure reasons are added as the decision
+/// runtime grows (deadline budgets arrived this way), so downstream matches
+/// must carry a wildcard arm.
+#[non_exhaustive]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ModelError {
     /// A symbolic parameter required by the kernel (an array extent or loop
@@ -41,6 +46,11 @@ pub enum ModelError {
         /// The offending value, rendered (`"NaN"`, `"inf"`, `"-0.003"`).
         value: String,
     },
+    /// The decision's time budget ran out before the models could answer.
+    /// Nothing is wrong with the models — the caller asked for an answer
+    /// faster than one could be produced, and the selector degraded to the
+    /// compiler default of offloading.
+    DeadlineExceeded,
 }
 
 impl ModelError {
@@ -54,6 +64,7 @@ impl ModelError {
             ModelError::ZeroThreads => "zero_threads",
             ModelError::UnsupportedShape { .. } => "unsupported_shape",
             ModelError::NonFinitePrediction { .. } => "non_finite_prediction",
+            ModelError::DeadlineExceeded => "deadline_exceeded",
         }
     }
 
@@ -105,6 +116,9 @@ impl fmt::Display for ModelError {
             }
             ModelError::NonFinitePrediction { value } => {
                 write!(f, "model produced an unusable predicted time: {value}")
+            }
+            ModelError::DeadlineExceeded => {
+                write!(f, "decision deadline expired before the models answered")
             }
         }
     }

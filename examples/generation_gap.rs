@@ -27,7 +27,7 @@ fn main() {
         for platform in &platforms {
             let sel = Selector::new(platform.clone());
             let m = sel.measure(&kernel, &b).expect("simulators run");
-            let d = sel.select_kernel(&kernel, &b);
+            let d = sel.decide(&kernel, &b);
             println!(
                 "  {:<24} host {:>9.2?}ms  gpu {:>9.2?}ms  true speedup {:>5.2}x  -> {} ({})",
                 platform.name,

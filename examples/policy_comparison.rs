@@ -41,7 +41,7 @@ fn main() {
             let device = match policy {
                 Policy::AlwaysHost => Device::Host,
                 Policy::AlwaysOffload => Device::Gpu,
-                Policy::ModelDriven => e.decision.device,
+                _ => e.decision.device,
             };
             speedups.push(e.measured.cpu_s / e.measured.on(device));
             if device == e.measured.best_device() {

@@ -23,7 +23,7 @@ fn main() {
             // Per-region view (the paper's methodology).
             print!("  {ds:<9} per-region:");
             for k in &program.kernels {
-                let d = sel.select_kernel(k, &binding);
+                let d = sel.decide(k, &binding);
                 print!(" {}={}", k.name, d.device);
             }
             println!();

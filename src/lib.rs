@@ -44,16 +44,27 @@
 //! // Runtime half: bind the runtime values; the engine evaluates the
 //! // precompiled models and memoizes the decision per (region, values).
 //! let engine = DecisionEngine::from_database(selector, db, 1024);
-//! let decision = engine.decide("axpy", &Binding::new().with("n", 1 << 20)).unwrap();
+//! let binding = Binding::new().with("n", 1 << 20);
+//! let decision = engine.decide("axpy", &binding).unwrap();
 //! println!(
 //!     "run axpy on {}: predicted offload speedup {:.2}x",
 //!     decision.device,
 //!     decision.predicted_speedup().unwrap()
 //! );
+//!
+//! // Fault-tolerant half: the dispatcher wraps the engine and actually
+//! // runs the region on the decided device's simulator, with per-device
+//! // circuit breakers, bounded transient retry, and host fallback. With no
+//! // fault plan installed this is exactly `decide` plus one clean run.
+//! let dispatcher = Dispatcher::new(engine, DispatcherConfig::default());
+//! let outcome = dispatcher.dispatch(&DecisionRequest::new("axpy", binding)).unwrap();
+//! assert_eq!(outcome.decision, decision);
+//! assert!(outcome.clean() && outcome.simulated_s > 0.0);
 //! ```
 
 pub use hetsel_core as core;
 pub use hetsel_cpusim as cpusim;
+pub use hetsel_fault as fault;
 pub use hetsel_gpusim as gpusim;
 pub use hetsel_ipda as ipda;
 pub use hetsel_ir as ir;
@@ -65,8 +76,11 @@ pub use hetsel_polybench as polybench;
 /// Commonly used items for working with the framework.
 pub mod prelude {
     pub use hetsel_core::{
-        AttributeDatabase, Decision, DecisionEngine, Explanation, Platform, Policy, Selector,
+        AttributeDatabase, BreakerState, Decision, DecisionEngine, DecisionRequest, Device,
+        DispatchError, DispatchOutcome, Dispatcher, DispatcherConfig, Explanation, FallbackReason,
+        Platform, Policy, Selector,
     };
+    pub use hetsel_fault::{FaultKind, FaultPlan};
     pub use hetsel_ir::{cexpr, Binding, Expr, Kernel, KernelBuilder, Transfer};
     pub use hetsel_models::{CompiledModel, CostModel, ModelError, Prediction};
 }

@@ -67,7 +67,7 @@ proptest! {
         let second = engine.decide(&k.name, &b).expect("region known");
         prop_assert_eq!(&first, &second, "cache changed the answer for {}", k.name);
 
-        let cold = Selector::new(Platform::power9_v100()).select_kernel(k, &b);
+        let cold = Selector::new(Platform::power9_v100()).decide(k, &b);
         prop_assert_eq!(&first, &cold, "engine disagrees with cold path for {}", k.name);
     }
 

@@ -47,7 +47,7 @@ fn whole_stack_survives_synthetic_kernels() {
         assert!(m.gpu_s.is_finite() && m.gpu_s > 0.0, "seed {seed}");
 
         // Decision consistent with its own predictions.
-        let d = sel.select_kernel(k, &b);
+        let d = sel.decide(k, &b);
         let expect = if gpu < cpu {
             hetsel::core::Device::Gpu
         } else {

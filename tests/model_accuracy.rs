@@ -14,7 +14,7 @@ fn scatter(ds: Dataset, threads: u32) -> (f64, usize, usize) {
     let mut total = 0;
     for (_, kernel, binding) in all_kernels() {
         let b = binding(ds);
-        let d = sel.select_kernel(&kernel, &b);
+        let d = sel.decide(&kernel, &b);
         let m = sel.measure(&kernel, &b).unwrap();
         let predicted = d.predicted_cpu_s.unwrap() / d.predicted_gpu_s.unwrap();
         let actual = m.speedup().unwrap();
@@ -66,7 +66,7 @@ fn conv_misprediction_reproduced() {
     let sel = Selector::new(platform);
     let (kernel, binding) = hetsel::polybench::find_kernel("3dconv").unwrap();
     let b = binding(Dataset::Benchmark);
-    let d = sel.select_kernel(&kernel, &b);
+    let d = sel.decide(&kernel, &b);
     let m = sel.measure(&kernel, &b).unwrap();
     let predicted = d.predicted_cpu_s.unwrap() / d.predicted_gpu_s.unwrap();
     assert!(predicted < 1.0, "model predicts a slowdown ({predicted})");

@@ -18,7 +18,7 @@ fn database_compiles_whole_suite_and_selector_decides_every_region() {
             .region(&kernel.name)
             .unwrap_or_else(|| panic!("{name} missing"));
         let b = binding(Dataset::Mini);
-        let d = sel.select(region, &b);
+        let d = sel.decide(region, &b);
         assert!(
             d.predicted_cpu_s.is_some() && d.predicted_gpu_s.is_some(),
             "{}: models must evaluate under a complete binding",
@@ -74,14 +74,14 @@ fn policies_behave_as_labelled() {
     assert_eq!(
         Selector::new(p.clone())
             .with_policy(Policy::AlwaysHost)
-            .select_kernel(&kernel, &b)
+            .decide(&kernel, &b)
             .device,
         Device::Host
     );
     assert_eq!(
         Selector::new(p.clone())
             .with_policy(Policy::AlwaysOffload)
-            .select_kernel(&kernel, &b)
+            .decide(&kernel, &b)
             .device,
         Device::Gpu
     );
@@ -91,7 +91,7 @@ fn policies_behave_as_labelled() {
 fn unresolved_bindings_fall_back_to_compiler_default() {
     let (_, kernel, _) = all_kernels().remove(0);
     let sel = Selector::new(Platform::power9_v100());
-    let d = sel.select_kernel(&kernel, &Binding::new());
+    let d = sel.decide(&kernel, &Binding::new());
     assert_eq!(d.device, Device::Gpu);
     assert!(d.predicted_cpu_s.is_none());
 }
@@ -127,7 +127,7 @@ fn decision_is_consistent_with_own_predictions() {
     let sel = Selector::new(Platform::power9_v100());
     for (_, kernel, binding) in all_kernels() {
         let b = binding(Dataset::Test);
-        let d = sel.select_kernel(&kernel, &b);
+        let d = sel.decide(&kernel, &b);
         let (c, g) = (d.predicted_cpu_s.unwrap(), d.predicted_gpu_s.unwrap());
         let expect = if g < c { Device::Gpu } else { Device::Host };
         assert_eq!(d.device, expect, "{}", kernel.name);

@@ -5,6 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hetsel_core::{AttributeDatabase, DecisionEngine, Platform, Selector};
+use hetsel_ir::{CompiledKernel, CompiledTrips, SymbolTable};
 use hetsel_polybench::{find_kernel, Dataset};
 use std::hint::black_box;
 
@@ -79,5 +80,74 @@ fn compile_once_paths(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, decision_latency, model_halves, compile_once_paths);
+/// Cache hit versus forced miss on the engine, and the compiled-vs-tree
+/// split on the expression layer underneath: the tree-walking `Expr::eval`
+/// entry points (`Kernel::parallel_iterations`, transfer footprints, trip
+/// resolution) against their postfix-bytecode twins on identical inputs.
+fn hit_miss_and_compiled_vs_tree(c: &mut Criterion) {
+    let (kernel, binding) = find_kernel("gemm").unwrap();
+    let b = binding(Dataset::Benchmark);
+
+    let mut group = c.benchmark_group("decision_cache");
+    let engine = DecisionEngine::new(
+        Selector::new(Platform::power9_v100()),
+        std::slice::from_ref(&kernel),
+    );
+    engine.decide("gemm", &b);
+    group.bench_function("hit", |bench| {
+        bench.iter(|| black_box(engine.decide(black_box("gemm"), black_box(&b))));
+    });
+    // Forced miss: rotate one extent so every decide sees a fresh key; the
+    // capacity-64 LRU evicts any previous sighting long before it cycles.
+    let miss_engine = DecisionEngine::with_capacity(
+        Selector::new(Platform::power9_v100()),
+        std::slice::from_ref(&kernel),
+        64,
+    );
+    let mut mb = b.clone();
+    let mut n = 0i64;
+    group.bench_function("miss", |bench| {
+        bench.iter(|| {
+            n += 1;
+            mb.set("n", 1024 + (n % 1_000_000));
+            black_box(miss_engine.decide(black_box("gemm"), black_box(&mb)))
+        });
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("compiled_vs_tree");
+    let mut table = SymbolTable::new();
+    let facts = CompiledKernel::compile(&kernel, &mut table);
+    let ctrips = CompiledTrips::compile(&kernel, &mut table);
+    let bound = table.bind(&b);
+    group.bench_function("tree_kernel_facts", |bench| {
+        bench.iter(|| {
+            black_box(kernel.parallel_iterations(black_box(&b)));
+            black_box(kernel.bytes_to_device(&b));
+            black_box(kernel.bytes_from_device(&b))
+        });
+    });
+    group.bench_function("compiled_kernel_facts", |bench| {
+        bench.iter(|| {
+            black_box(facts.parallel_iterations(black_box(&bound)));
+            black_box(facts.bytes_to_device(&bound));
+            black_box(facts.bytes_from_device(&bound))
+        });
+    });
+    group.bench_function("tree_trip_resolve", |bench| {
+        bench.iter(|| black_box(hetsel_ir::trips::resolve(black_box(&kernel), &b)));
+    });
+    group.bench_function("compiled_trip_resolve", |bench| {
+        bench.iter(|| black_box(ctrips.resolve(black_box(&bound))));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    decision_latency,
+    model_halves,
+    compile_once_paths,
+    hit_miss_and_compiled_vs_tree
+);
 criterion_main!(benches);

@@ -1,0 +1,165 @@
+//! Micro-benchmark of the decision hot path, exported as machine-readable
+//! JSON so a harness (or CI) can track regressions between builds:
+//!
+//! * `cold_compile_predict` — compile both models from the bare kernel and
+//!   predict (no attribute database);
+//! * `warm_evaluate` — evaluate the precompiled attribute-database entry;
+//! * `cache_hit` — replay a memoized decision (the allocation-free path);
+//! * `cache_miss` — evaluate + insert, every call a fresh key;
+//! * `batch_hot` / `batch_cold` — `decide_batch` throughput per request,
+//!   over an all-hit and an all-miss batch respectively (the cold path is
+//!   where the rayon parallel evaluation pass applies).
+//!
+//! ```text
+//! cargo run --release -p hetsel-bench --bin bench_decision
+//! # → results/bench_decision.json
+//! ```
+
+use hetsel_core::{DecisionEngine, DecisionRequest, Platform, Selector};
+use hetsel_polybench::{find_kernel, Dataset};
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct BenchRow {
+    name: String,
+    iters: u64,
+    total_ns: u64,
+    ns_per_op: f64,
+}
+
+#[derive(Serialize)]
+struct Doc {
+    generator: &'static str,
+    platform: String,
+    results: Vec<BenchRow>,
+}
+
+/// Times `iters` calls of `f` after a short warmup; `ns_per_op` is the
+/// wall-clock mean.
+fn time(name: &str, iters: u64, mut f: impl FnMut()) -> BenchRow {
+    for _ in 0..iters.min(1_000) {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let total_ns = start.elapsed().as_nanos() as u64;
+    let row = BenchRow {
+        name: name.to_string(),
+        iters,
+        total_ns,
+        ns_per_op: total_ns as f64 / iters as f64,
+    };
+    println!(
+        "{:<24} {:>12.1} ns/op  ({} iters)",
+        row.name, row.ns_per_op, row.iters
+    );
+    row
+}
+
+fn main() {
+    let platform = Platform::power9_v100();
+    let (kernel, binding) = find_kernel("gemm").unwrap();
+    let b = binding(Dataset::Benchmark);
+    let sel = Selector::new(platform.clone());
+    let mut results = Vec::new();
+
+    results.push(time("cold_compile_predict", 2_000, || {
+        black_box(sel.decide(black_box(&kernel), black_box(&b)));
+    }));
+
+    let engine = DecisionEngine::new(
+        Selector::new(platform.clone()),
+        std::slice::from_ref(&kernel),
+    );
+    let warm_attrs = engine.database().region("gemm").unwrap();
+    results.push(time("warm_evaluate", 20_000, || {
+        black_box(sel.decide(black_box(warm_attrs), black_box(&b)));
+    }));
+
+    engine.decide("gemm", &b);
+    results.push(time("cache_hit", 200_000, || {
+        black_box(engine.decide(black_box("gemm"), black_box(&b)));
+    }));
+
+    let miss_engine = DecisionEngine::with_capacity(
+        Selector::new(platform.clone()),
+        std::slice::from_ref(&kernel),
+        64,
+    );
+    let mut mb = b.clone();
+    let mut n = 0i64;
+    results.push(time("cache_miss", 20_000, || {
+        n += 1;
+        mb.set("n", 1024 + (n % 1_000_000));
+        black_box(miss_engine.decide(black_box("gemm"), black_box(&mb)));
+    }));
+
+    // Batch throughput, per request. Hot: the same 256 keys every call
+    // (all hits after the first). Cold: a fresh binding per request per
+    // call, so every request takes the parallel evaluation path.
+    const BATCH: u64 = 256;
+    let hot_requests: Vec<DecisionRequest> = (0..BATCH)
+        .map(|i| {
+            let mut rb = b.clone();
+            rb.set("n", 1024 + (i as i64 % 8));
+            DecisionRequest::new("gemm", rb)
+        })
+        .collect();
+    let batch_engine = DecisionEngine::new(
+        Selector::new(platform.clone()),
+        std::slice::from_ref(&kernel),
+    );
+    batch_engine.decide_batch(&hot_requests);
+    let hot = time("batch_hot_total", 200, || {
+        black_box(batch_engine.decide_batch(black_box(&hot_requests)));
+    });
+    results.push(BenchRow {
+        name: "batch_hot_per_request".to_string(),
+        iters: hot.iters * BATCH,
+        total_ns: hot.total_ns,
+        ns_per_op: hot.ns_per_op / BATCH as f64,
+    });
+    results.push(hot);
+
+    let cold_engine = DecisionEngine::with_capacity(
+        Selector::new(platform.clone()),
+        std::slice::from_ref(&kernel),
+        64,
+    );
+    let mut round = 0i64;
+    let mut cold_requests = hot_requests.clone();
+    let cold = time("batch_cold_total", 50, || {
+        round += 1;
+        for (i, r) in cold_requests.iter_mut().enumerate() {
+            let mut rb = b.clone();
+            rb.set("n", 4096 + round * BATCH as i64 + i as i64);
+            *r = DecisionRequest::new("gemm", rb);
+        }
+        black_box(cold_engine.decide_batch(black_box(&cold_requests)));
+    });
+    results.push(BenchRow {
+        name: "batch_cold_per_request".to_string(),
+        iters: cold.iters * BATCH,
+        total_ns: cold.total_ns,
+        ns_per_op: cold.ns_per_op / BATCH as f64,
+    });
+    results.push(cold);
+
+    let doc = Doc {
+        generator: "hetsel-bench bench_decision",
+        platform: platform.name.to_string(),
+        results,
+    };
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/bench_decision.json");
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).expect("results/ is creatable");
+    }
+    let json = serde_json::to_string_pretty(&doc).expect("doc serializes");
+    std::fs::write(&path, json).expect("results/bench_decision.json is writable");
+    println!("\n[bench_decision] wrote {}", path.display());
+}

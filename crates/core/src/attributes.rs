@@ -10,15 +10,25 @@
 
 use crate::selector::Selector;
 use hetsel_ipda::{analyze_cached, KernelAccessInfo};
-use hetsel_ir::Kernel;
+use hetsel_ir::{Kernel, SymbolTable};
 use hetsel_models::{CompiledCpuModel, CompiledGpuModel, CostModel};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+/// Dense identifier of one region in an [`AttributeDatabase`], assigned in
+/// region-name order at compile time. The decision cache keys on this `u32`
+/// instead of the region's name, so a cache probe neither hashes nor clones
+/// a string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegionId(pub u32);
+
 /// Compile-time attributes of one target region.
 #[derive(Debug, Clone)]
 pub struct RegionAttributes {
+    /// Region name, shared: decisions carry a clone of this `Arc`, so
+    /// copying a cached decision out of the cache never allocates.
+    pub name: Arc<str>,
     /// The outlined region (the CPU and GPU versions share this IR).
     pub kernel: Kernel,
     /// IPDA results: symbolic inter-thread strides per access (shared with
@@ -26,16 +36,25 @@ pub struct RegionAttributes {
     pub access_info: Arc<KernelAccessInfo>,
     /// Runtime parameters the models need bound before evaluation.
     pub required_params: Vec<String>,
+    /// Interner over `required_params`, in declaration order: slot `i`
+    /// corresponds to `required_params[i]`. The decision cache resolves a
+    /// binding through this table to build its dense slot key.
+    pub symbols: SymbolTable,
     /// The host model, fully compiled: evaluation only binds runtime values.
     pub cpu_model: CompiledCpuModel,
     /// The device model, fully compiled.
     pub gpu_model: CompiledGpuModel,
 }
 
-/// The database: region name → attributes.
+/// The database: a dense, name-ordered vector of region attributes plus a
+/// name → [`RegionId`] index. Lookups by name pay one `BTreeMap` probe;
+/// everything downstream (the decision cache in particular) addresses
+/// regions by their dense id.
 #[derive(Debug, Clone, Default)]
 pub struct AttributeDatabase {
-    regions: BTreeMap<String, RegionAttributes>,
+    /// Attribute records in region-name order; index = `RegionId`.
+    regions: Vec<RegionAttributes>,
+    index: BTreeMap<String, RegionId>,
 }
 
 impl AttributeDatabase {
@@ -47,13 +66,22 @@ impl AttributeDatabase {
     /// compiled models are specialised to.
     pub fn compile(kernels: &[Kernel], selector: &Selector) -> AttributeDatabase {
         let (cpu_cost, gpu_cost) = selector.cost_models();
-        let mut regions = BTreeMap::new();
+        // Build through a name-keyed map first: duplicate names overwrite
+        // (last kernel wins) and the final dense layout is name-ordered.
+        let mut by_name = BTreeMap::new();
         for k in kernels {
             debug_assert_eq!(k.validate(), Ok(()));
-            regions.insert(
+            let required_params = k.params();
+            let mut symbols = SymbolTable::new();
+            for p in &required_params {
+                symbols.intern(p);
+            }
+            by_name.insert(
                 k.name.clone(),
                 RegionAttributes {
-                    required_params: k.params(),
+                    name: Arc::from(k.name.as_str()),
+                    required_params,
+                    symbols,
                     access_info: analyze_cached(k),
                     cpu_model: cpu_cost.compile(k),
                     gpu_model: gpu_cost.compile(k),
@@ -61,12 +89,30 @@ impl AttributeDatabase {
                 },
             );
         }
-        AttributeDatabase { regions }
+        let mut regions = Vec::with_capacity(by_name.len());
+        let mut index = BTreeMap::new();
+        for (name, attrs) in by_name {
+            index.insert(name, RegionId(regions.len() as u32));
+            regions.push(attrs);
+        }
+        AttributeDatabase { regions, index }
     }
 
     /// Looks up a region by name.
     pub fn region(&self, name: &str) -> Option<&RegionAttributes> {
-        self.regions.get(name)
+        self.region_entry(name).map(|(_, attrs)| attrs)
+    }
+
+    /// Looks up a region by name, returning its dense id alongside the
+    /// attributes — the decision cache's entry point.
+    pub fn region_entry(&self, name: &str) -> Option<(RegionId, &RegionAttributes)> {
+        let id = *self.index.get(name)?;
+        Some((id, &self.regions[id.0 as usize]))
+    }
+
+    /// Looks up a region by its dense id.
+    pub fn region_by_id(&self, id: RegionId) -> Option<&RegionAttributes> {
+        self.regions.get(id.0 as usize)
     }
 
     /// Number of regions.
@@ -81,7 +127,7 @@ impl AttributeDatabase {
 
     /// Iterates regions in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &RegionAttributes)> {
-        self.regions.iter().map(|(k, v)| (k.as_str(), v))
+        self.regions.iter().map(|r| (&*r.name, r))
     }
 
     /// The persistable summary of the database (what an object file's
@@ -90,7 +136,7 @@ impl AttributeDatabase {
         DatabaseExport {
             regions: self
                 .regions
-                .values()
+                .iter()
                 .map(|r| RegionExport {
                     name: r.kernel.name.clone(),
                     required_params: r.required_params.clone(),
@@ -185,6 +231,25 @@ mod tests {
         // The symbolic stride of atax.k1's A access survives as text.
         let k1 = back.regions.iter().find(|r| r.name == "atax.k1").unwrap();
         assert!(k1.accesses.iter().any(|a| a.thread_stride == "[n]"));
+    }
+
+    #[test]
+    fn region_ids_are_dense_and_name_ordered() {
+        let kernels: Vec<Kernel> = suite().into_iter().flat_map(|b| b.kernels).collect();
+        let db = AttributeDatabase::compile(&kernels, &selector());
+        for (expected, (name, _)) in db.iter().enumerate() {
+            let (id, attrs) = db.region_entry(name).unwrap();
+            assert_eq!(id, RegionId(expected as u32));
+            assert_eq!(&*attrs.name, name);
+            // The per-region interner mirrors required_params in order.
+            let interned: Vec<&str> = attrs.symbols.iter().map(|(_, n)| n).collect();
+            let required: Vec<&str> = attrs.required_params.iter().map(|s| s.as_str()).collect();
+            assert_eq!(interned, required);
+            // Id-based lookup agrees with name-based lookup.
+            assert_eq!(db.region_by_id(id).unwrap().kernel.name, attrs.kernel.name);
+        }
+        assert!(db.region_by_id(RegionId(db.len() as u32)).is_none());
+        assert!(db.region_entry("missing").is_none());
     }
 
     #[test]

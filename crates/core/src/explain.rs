@@ -237,7 +237,7 @@ impl Explanation {
     /// True iff this explanation describes `decision` — same region, same
     /// device, same predictions and the same recorded errors.
     pub fn describes(&self, decision: &Decision) -> bool {
-        self.region == decision.region
+        self.region.as_str() == &*decision.region
             && self.device == device_str(decision.device)
             && self.policy == policy_str(decision.policy)
             && (decision.policy != Policy::ModelDriven

@@ -173,7 +173,7 @@ impl AdaptiveSelector {
     pub fn select(&self, kernel: &Kernel, binding: &Binding) -> Decision {
         if let Some(rec) = self.history.lookup(&kernel.name, &kernel.params(), binding) {
             return Decision {
-                region: kernel.name.clone(),
+                region: kernel.name.as_str().into(),
                 device: rec.best_device(),
                 policy: Policy::ModelDriven,
                 predicted_cpu_s: Some(rec.cpu_s),

@@ -8,16 +8,18 @@
 //! nature of the model, generating a prediction for either target is
 //! equivalent to solving an equation, making decision time negligible."
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crate::attributes::{AttributeDatabase, RegionAttributes};
+use crate::attributes::{AttributeDatabase, RegionAttributes, RegionId};
 use crate::platform::Platform;
 use hetsel_ir::{Binding, Kernel};
 use hetsel_models::{CoalescingMode, CostModel, CpuCostModel, GpuCostModel, ModelError, TripMode};
 use parking_lot::Mutex;
+use rayon::prelude::*;
 
 /// An execution target.
 ///
@@ -139,8 +141,9 @@ fn sanitize_prediction(outcome: Result<f64, ModelError>) -> (Option<f64>, Option
 /// One offloading decision with the model evidence behind it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Decision {
-    /// Region name.
-    pub region: String,
+    /// Region name. Shared (`Arc`) so cloning a decision out of the
+    /// decision cache copies a pointer, not a string.
+    pub region: Arc<str>,
     /// Chosen target.
     pub device: Device,
     /// Policy that made the choice.
@@ -401,7 +404,7 @@ impl Selector {
             }
         }
         Decision {
-            region: region.to_string(),
+            region: Arc::from(region),
             device,
             policy: self.policy,
             predicted_cpu_s,
@@ -700,30 +703,167 @@ pub struct DecisionCacheStats {
     pub shards: usize,
 }
 
-/// Key of a cached decision: the region name plus the resolved values of
-/// exactly the parameters that region requires. Bindings that differ only
-/// in irrelevant symbols share an entry; an unbound required parameter is
-/// part of the key too (`None`), so fallback decisions are cached with the
-/// same fidelity as successful ones.
-type CacheKey = (String, Vec<Option<i64>>);
+/// Number of parameter slots a [`CacheKey`] stores inline. Polybench
+/// regions need at most three; eight covers any realistic region without
+/// touching the heap.
+const INLINE_KEY_SLOTS: usize = 8;
 
-#[derive(Debug)]
-struct CacheEntry {
-    decision: Decision,
-    stamp: u64,
+/// Key of a cached decision: the region's dense [`RegionId`] plus the
+/// resolved values of exactly the parameters that region requires, in
+/// declaration order, with the hash precomputed at construction. Bindings
+/// that differ only in irrelevant symbols share an entry; an unbound
+/// required parameter is part of the key too (`None`), so fallback
+/// decisions are cached with the same fidelity as successful ones.
+///
+/// Keys with at most [`INLINE_KEY_SLOTS`] parameters are built, hashed and
+/// compared without a single heap allocation — this is what makes the
+/// cache-hit `decide` path allocation-free. Longer parameter lists spill to
+/// a boxed slice.
+#[derive(Debug, Clone)]
+struct CacheKey {
+    region: RegionId,
+    /// Number of inline slots in use (only meaningful when `spill` is
+    /// `None`; always `<= INLINE_KEY_SLOTS`).
+    len: u8,
+    inline: [Option<i64>; INLINE_KEY_SLOTS],
+    spill: Option<Box<[Option<i64>]>>,
+    /// FNV-1a over the region id and slots, computed once at construction.
+    /// `Hash` writes this value verbatim and shard selection masks it
+    /// directly, so a key is hashed exactly once in its life.
+    hash: u64,
 }
 
-/// A bounded LRU map with lazy-deletion recency tracking: `get` and
-/// `insert` are O(1) amortised — each touch pushes a `(key, stamp)` record
-/// onto a queue, eviction pops records until one matches the live stamp of
-/// its entry, and the queue is compacted wholesale when stale records pile
-/// up.
+impl CacheKey {
+    fn new(region: RegionId, attrs: &RegionAttributes, binding: &Binding) -> CacheKey {
+        let params = &attrs.required_params;
+        let mut inline = [None; INLINE_KEY_SLOTS];
+        let mut spill = None;
+        if params.len() <= INLINE_KEY_SLOTS {
+            for (slot, p) in inline.iter_mut().zip(params) {
+                *slot = binding.get(p);
+            }
+        } else {
+            spill = Some(params.iter().map(|p| binding.get(p)).collect());
+        }
+        let mut key = CacheKey {
+            region,
+            len: params.len().min(INLINE_KEY_SLOTS) as u8,
+            inline,
+            spill,
+            hash: 0,
+        };
+        key.hash = key.compute_hash();
+        key
+    }
+
+    /// The resolved parameter values, in the region's declaration order.
+    fn slots(&self) -> &[Option<i64>] {
+        match &self.spill {
+            Some(slots) => slots,
+            None => &self.inline[..self.len as usize],
+        }
+    }
+
+    fn compute_hash(&self) -> u64 {
+        // FNV-1a with the standard constants: cheap, allocation-free, and
+        // deterministic within and across processes (shard placement and
+        // therefore per-shard accounting are reproducible).
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(PRIME);
+        };
+        mix(u64::from(self.region.0));
+        for slot in self.slots() {
+            // Distinct tags keep `Some(0)` and `None` from colliding.
+            match slot {
+                Some(v) => {
+                    mix(1);
+                    mix(*v as u64);
+                }
+                None => mix(2),
+            }
+        }
+        // MurmurHash3 finalizer: raw FNV concentrates its entropy in the
+        // high bits, but shard selection masks the *low* bits — fmix64
+        // gives them full avalanche.
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+        h ^= h >> 33;
+        h
+    }
+}
+
+impl PartialEq for CacheKey {
+    fn eq(&self, other: &CacheKey) -> bool {
+        self.hash == other.hash && self.region == other.region && self.slots() == other.slots()
+    }
+}
+
+impl Eq for CacheKey {}
+
+impl Hash for CacheKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
+/// Pass-through hasher for [`CacheKey`]-keyed maps: the key's `hash` field
+/// is already a well-mixed 64-bit value (fmix64-finalised FNV-1a), so
+/// running it through SipHash again would only add latency to the hot
+/// path. `CacheKey::hash` feeds exactly one `write_u64`.
+#[derive(Default)]
+struct Prehashed(u64);
+
+impl Hasher for Prehashed {
+    #[inline]
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("CacheKey hashes via write_u64 only");
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type PrehashedBuild = std::hash::BuildHasherDefault<Prehashed>;
+
+/// Sentinel index for "no node" in the intrusive LRU list.
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug)]
+struct LruNode {
+    key: CacheKey,
+    decision: Decision,
+    prev: u32,
+    next: u32,
+}
+
+/// A bounded LRU map backed by an intrusive doubly linked list threaded
+/// through a slab of nodes: a hit relinks two `u32` indices and clones the
+/// cached decision — no key clone, no queue record, no allocation at all —
+/// and an insert at capacity reuses the evicted node's slot, so a full
+/// cache stops allocating entirely. Eviction order is exact LRU.
 #[derive(Debug)]
 struct LruCache {
     capacity: usize,
-    map: HashMap<CacheKey, CacheEntry>,
-    queue: VecDeque<(CacheKey, u64)>,
-    clock: u64,
+    map: HashMap<CacheKey, u32, PrehashedBuild>,
+    nodes: Vec<LruNode>,
+    free: Vec<u32>,
+    /// Most recently used node, or [`NIL`] when empty.
+    head: u32,
+    /// Least recently used node, or [`NIL`] when empty.
+    tail: u32,
     evictions: u64,
 }
 
@@ -731,9 +871,11 @@ impl LruCache {
     fn new(capacity: usize) -> LruCache {
         LruCache {
             capacity: capacity.max(1),
-            map: HashMap::new(),
-            queue: VecDeque::new(),
-            clock: 0,
+            map: HashMap::default(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
             evictions: 0,
         }
     }
@@ -742,55 +884,90 @@ impl LruCache {
         self.map.contains_key(key)
     }
 
+    fn unlink(&mut self, idx: u32) {
+        let (prev, next) = {
+            let n = &self.nodes[idx as usize];
+            (n.prev, n.next)
+        };
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.nodes[prev as usize].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.nodes[next as usize].prev = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: u32) {
+        let old_head = self.head;
+        {
+            let n = &mut self.nodes[idx as usize];
+            n.prev = NIL;
+            n.next = old_head;
+        }
+        if old_head != NIL {
+            self.nodes[old_head as usize].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
     fn get(&mut self, key: &CacheKey) -> Option<Decision> {
-        self.clock += 1;
-        let clock = self.clock;
-        let entry = self.map.get_mut(key)?;
-        entry.stamp = clock;
-        let decision = entry.decision.clone();
-        self.queue.push_back((key.clone(), clock));
-        self.compact();
-        Some(decision)
+        let idx = *self.map.get(key)?;
+        if self.head != idx {
+            self.unlink(idx);
+            self.push_front(idx);
+        }
+        Some(self.nodes[idx as usize].decision.clone())
     }
 
     fn insert(&mut self, key: CacheKey, decision: Decision) {
-        self.clock += 1;
-        if !self.map.contains_key(&key) {
-            while self.map.len() >= self.capacity {
-                let Some((old, stamp)) = self.queue.pop_front() else {
-                    break;
-                };
-                // A record is live only if the entry was not touched since.
-                // (Dropping a stale record is *not* an eviction — only the
-                // removal of a live entry is counted.)
-                if self.map.get(&old).is_some_and(|e| e.stamp == stamp) {
-                    self.map.remove(&old);
-                    self.evictions += 1;
-                    hetsel_obs::static_counter!("hetsel.core.cache.eviction").inc();
-                }
+        if let Some(&idx) = self.map.get(&key) {
+            // Same key: refresh the value in place and the recency.
+            self.nodes[idx as usize].decision = decision;
+            if self.head != idx {
+                self.unlink(idx);
+                self.push_front(idx);
             }
+            return;
         }
-        self.map.insert(
-            key.clone(),
-            CacheEntry {
-                decision,
-                stamp: self.clock,
-            },
-        );
-        self.queue.push_back((key, self.clock));
-        self.compact();
-    }
-
-    /// Drops stale queue records once they dominate, preserving recency
-    /// order of the live ones.
-    fn compact(&mut self) {
-        if self.queue.len() > self.capacity.saturating_mul(8).max(64) {
-            let queue = std::mem::take(&mut self.queue);
-            self.queue = queue
-                .into_iter()
-                .filter(|(k, stamp)| self.map.get(k).is_some_and(|e| e.stamp == *stamp))
-                .collect();
+        while self.map.len() >= self.capacity {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL, "non-empty map must have a tail");
+            if lru == NIL {
+                break;
+            }
+            self.unlink(lru);
+            self.map.remove(&self.nodes[lru as usize].key);
+            self.free.push(lru);
+            self.evictions += 1;
+            hetsel_obs::static_counter!("hetsel.core.cache.eviction").inc();
         }
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                let n = &mut self.nodes[idx as usize];
+                n.key = key.clone();
+                n.decision = decision;
+                idx
+            }
+            None => {
+                let idx = self.nodes.len() as u32;
+                self.nodes.push(LruNode {
+                    key: key.clone(),
+                    decision,
+                    prev: NIL,
+                    next: NIL,
+                });
+                idx
+            }
+        };
+        self.push_front(idx);
+        self.map.insert(key, idx);
     }
 }
 
@@ -850,13 +1027,12 @@ impl ShardedCache {
         }
     }
 
-    /// The shard a key lives in, by hash. The hash function is the standard
-    /// library's SipHash with a fixed zero key, so shard placement is
-    /// deterministic within and across processes.
+    /// The shard a key lives in: a mask over the key's precomputed FNV-1a
+    /// hash — no hasher runs here, so shard selection costs two
+    /// instructions and placement is deterministic within and across
+    /// processes.
     fn shard_index(&self, key: &CacheKey) -> usize {
-        let mut hasher = std::collections::hash_map::DefaultHasher::new();
-        key.hash(&mut hasher);
-        (hasher.finish() as usize) & self.mask
+        (key.hash as usize) & self.mask
     }
 
     fn shard(&self, key: &CacheKey) -> &CacheShard {
@@ -944,8 +1120,8 @@ impl DecisionEngine {
     /// produce, because the models are deterministic in the key.
     pub fn decide(&self, region: &str, binding: &Binding) -> Option<Decision> {
         let _timer = hetsel_obs::static_histogram!("hetsel.core.decide.ns").start_timer();
-        let attrs = self.database.region(region)?;
-        let key = Self::cache_key(region, attrs, binding);
+        let (id, attrs) = self.database.region_entry(region)?;
+        let key = CacheKey::new(id, attrs, binding);
         let shard = self.cache.shard(&key);
         if let Some(cached) = shard.lru.lock().get(&key) {
             shard.hits.fetch_add(1, Ordering::Relaxed);
@@ -991,9 +1167,11 @@ impl DecisionEngine {
     }
 
     /// As [`DecisionEngine::decide_request`] with an explicit deadline,
-    /// overriding any deadline the request already carries.
+    /// overriding any deadline the request already carries. The override is
+    /// applied in place — the request is not cloned.
     pub fn decide_within(&self, request: &DecisionRequest, deadline: Duration) -> Option<Decision> {
-        self.decide_request(&request.clone().with_deadline(deadline))
+        self.decide_request_bounded(request, Some(deadline))
+            .map(|(d, _)| d)
     }
 
     /// Request path with the degrade flag exposed, for the dispatcher: the
@@ -1002,8 +1180,19 @@ impl DecisionEngine {
         &self,
         request: &DecisionRequest,
     ) -> Option<(Decision, bool)> {
+        self.decide_request_bounded(request, None)
+    }
+
+    /// Shared request path: `deadline_override`, when present, replaces the
+    /// request's own deadline without materialising a modified request.
+    fn decide_request_bounded(
+        &self,
+        request: &DecisionRequest,
+        deadline_override: Option<Duration>,
+    ) -> Option<(Decision, bool)> {
         let start = Instant::now();
-        if request.deadline().is_some_and(|d| d.is_zero()) {
+        let deadline = deadline_override.or_else(|| request.deadline());
+        if deadline.is_some_and(|d| d.is_zero()) {
             // No budget at all: don't even evaluate, but still refuse
             // unknown regions.
             self.database.region(request.region())?;
@@ -1019,7 +1208,7 @@ impl DecisionEngine {
                     .decide(attrs, request.binding())
             }
         };
-        if request.deadline().is_some_and(|d| start.elapsed() > d) {
+        if deadline.is_some_and(|d| start.elapsed() > d) {
             return Some((self.deadline_degraded(request.region()), true));
         }
         Some((decision, false))
@@ -1032,7 +1221,7 @@ impl DecisionEngine {
     fn deadline_degraded(&self, region: &str) -> Decision {
         hetsel_obs::static_counter!("hetsel.core.decide.deadline_exceeded").inc();
         Decision {
-            region: region.to_string(),
+            region: Arc::from(region),
             device: Device::Gpu,
             policy: Policy::AlwaysOffload,
             predicted_cpu_s: None,
@@ -1049,11 +1238,14 @@ impl DecisionEngine {
     ///
     /// Plain requests are grouped by cache shard so each shard's lock is
     /// taken at most twice — once for all of the group's lookups, once for
-    /// all of its inserts — instead of twice per request; misses evaluate
-    /// their models outside any lock. Requests carrying a policy override
-    /// or deadline take the individual [`DecisionEngine::decide_request`]
-    /// path (they bypass the cache anyway). Decisions and hit/miss
-    /// accounting are identical to issuing the requests one by one.
+    /// all of its inserts — instead of twice per request. Cold misses from
+    /// *every* shard are then evaluated in a single data-parallel pass
+    /// (rayon) with no lock held; the models are pure functions of
+    /// `(region, binding)`, so the parallel pass is bit-for-bit identical
+    /// to evaluating serially. Requests carrying a policy override or
+    /// deadline take the individual [`DecisionEngine::decide_request`] path
+    /// (they bypass the cache anyway). Decisions and hit/miss accounting
+    /// are identical to issuing the requests one by one.
     pub fn decide_batch(&self, requests: &[DecisionRequest]) -> Vec<Option<Decision>> {
         let mut results: Vec<Option<Decision>> = vec![None; requests.len()];
         // Resolve keys and group plain request indices by shard.
@@ -1066,65 +1258,94 @@ impl DecisionEngine {
                 keyed.push(None);
                 continue;
             }
-            match self.database.region(request.region()) {
-                Some(attrs) => {
-                    let key = Self::cache_key(request.region(), attrs, request.binding());
+            match self.database.region_entry(request.region()) {
+                Some((id, attrs)) => {
+                    let key = CacheKey::new(id, attrs, request.binding());
                     by_shard[self.cache.shard_index(&key)].push(i);
                     keyed.push(Some((key, attrs)));
                 }
                 None => keyed.push(None),
             }
         }
-        for (shard, indices) in self.cache.shards.iter().zip(&by_shard) {
+        // Phase 1: one lock per shard for every lookup in its group. A
+        // repeated key later in the batch is a hit against the earlier
+        // request's (still pending) evaluation — the same accounting serial
+        // decides would produce.
+        /// Per-shard phase-1 outcome: which request slots missed and which
+        /// are intra-batch duplicates of an earlier miss `(slot, source)`.
+        struct ShardPlan {
+            shard: usize,
+            missed: Vec<usize>,
+            duplicates: Vec<(usize, usize)>,
+        }
+        let mut plans: Vec<ShardPlan> = Vec::new();
+        for (shard_idx, indices) in by_shard.iter().enumerate() {
             if indices.is_empty() {
                 continue;
             }
-            // Phase 1: one lock for every lookup in this shard's group. A
-            // repeated key later in the batch is a hit against the earlier
-            // request's (still pending) evaluation — the same accounting
-            // serial decides would produce.
+            let shard = &self.cache.shards[shard_idx];
             let mut missed: Vec<usize> = Vec::new();
             let mut duplicates: Vec<(usize, usize)> = Vec::new(); // (slot, source slot)
-            {
-                let mut pending: HashMap<&CacheKey, usize> = HashMap::new();
-                let mut lru = shard.lru.lock();
-                for &i in indices {
-                    let (key, _) = keyed[i].as_ref().expect("grouped index was keyed");
-                    match lru.get(key) {
-                        Some(cached) => {
-                            shard.hits.fetch_add(1, Ordering::Relaxed);
-                            hetsel_obs::static_counter!("hetsel.core.cache.hit").inc();
-                            results[i] = Some(cached);
-                        }
-                        None => match pending.get(key) {
-                            Some(&first) => duplicates.push((i, first)),
-                            None => {
-                                pending.insert(key, i);
-                                missed.push(i);
-                            }
-                        },
+            let mut pending: HashMap<&CacheKey, usize> = HashMap::new();
+            let mut lru = shard.lru.lock();
+            for &i in indices {
+                let (key, _) = keyed[i].as_ref().expect("grouped index was keyed");
+                match lru.get(key) {
+                    Some(cached) => {
+                        shard.hits.fetch_add(1, Ordering::Relaxed);
+                        hetsel_obs::static_counter!("hetsel.core.cache.hit").inc();
+                        results[i] = Some(cached);
                     }
+                    None => match pending.get(key) {
+                        Some(&first) => duplicates.push((i, first)),
+                        None => {
+                            pending.insert(key, i);
+                            missed.push(i);
+                        }
+                    },
                 }
             }
-            if missed.is_empty() {
-                continue;
+            drop(lru);
+            if !missed.is_empty() {
+                plans.push(ShardPlan {
+                    shard: shard_idx,
+                    missed,
+                    duplicates,
+                });
             }
-            // Phase 2: evaluate the misses with no lock held...
-            for &i in &missed {
+        }
+        // Phase 2: evaluate every cold miss across all shards in one
+        // parallel pass, no lock held. Results come back tagged with their
+        // request slot and are scattered in order, so the output is
+        // independent of evaluation order.
+        let all_missed: Vec<usize> = plans
+            .iter()
+            .flat_map(|plan| plan.missed.iter().copied())
+            .collect();
+        let evaluated: Vec<(usize, Decision)> = all_missed
+            .into_par_iter()
+            .map(|i| {
                 let (_, attrs) = keyed[i].as_ref().expect("grouped index was keyed");
-                results[i] = Some(self.selector.decide(*attrs, requests[i].binding()));
-            }
-            for &(i, first) in &duplicates {
+                (i, self.selector.decide(*attrs, requests[i].binding()))
+            })
+            .collect();
+        for (i, decision) in evaluated {
+            results[i] = Some(decision);
+        }
+        // Phase 3: duplicates copy their source slot as hits, then each
+        // shard takes its lock once more for the inserts, re-probing each
+        // key: a concurrent caller may have completed the same miss since
+        // phase 1, and the loser counts a late hit (see `decide`) so
+        // `misses == insertions` holds exactly.
+        for plan in &plans {
+            let shard = &self.cache.shards[plan.shard];
+            for &(i, first) in &plan.duplicates {
                 shard.hits.fetch_add(1, Ordering::Relaxed);
                 hetsel_obs::static_counter!("hetsel.core.cache.hit").inc();
                 results[i] = results[first].clone();
             }
-            // ...then one lock for every insert, re-probing each key: a
-            // concurrent caller may have completed the same miss since
-            // phase 1, and the loser counts a late hit (see `decide`) so
-            // `misses == insertions` holds exactly.
             let mut lru = shard.lru.lock();
-            for &i in &missed {
+            for &i in &plan.missed {
                 let (key, _) = keyed[i].as_ref().expect("grouped index was keyed");
                 if let Some(cached) = lru.get(key) {
                     shard.hits.fetch_add(1, Ordering::Relaxed);
@@ -1173,22 +1394,11 @@ impl DecisionEngine {
     /// decision cache (the `cached` field reports whether a decision for
     /// this key is currently cached). Returns `None` for an unknown region.
     pub fn explain(&self, region: &str, binding: &Binding) -> Option<crate::explain::Explanation> {
-        let attrs = self.database.region(region)?;
+        let (id, attrs) = self.database.region_entry(region)?;
         let mut explanation = self.selector.explain(attrs, binding);
-        let key = Self::cache_key(region, attrs, binding);
+        let key = CacheKey::new(id, attrs, binding);
         explanation.cached = self.cache.shard(&key).lru.lock().contains(&key);
         Some(explanation)
-    }
-
-    fn cache_key(region: &str, attrs: &RegionAttributes, binding: &Binding) -> CacheKey {
-        (
-            region.to_string(),
-            attrs
-                .required_params
-                .iter()
-                .map(|p| binding.get(p))
-                .collect(),
-        )
     }
 
     /// Cache statistics so far, aggregated over every shard. Hit and miss

@@ -38,8 +38,8 @@ pub mod warp;
 pub use analysis::{analyze, summarize, AccessInfo, CoalescingSummary, KernelAccessInfo};
 pub use false_sharing::{store_sharing_risk, Schedule, SharingRisk};
 pub use memo::analyze_cached;
-pub use stride::{classify, AccessPattern, Stride};
-pub use vectorize::{assess, VectorizationInfo};
+pub use stride::{classify, AccessPattern, CompiledStride, Stride};
+pub use vectorize::{assess, CompiledAssess, VectorizationInfo};
 pub use warp::{
     is_coalesced, memory_efficiency, transactions_for_lanes, transactions_per_warp, WARP_SIZE,
 };

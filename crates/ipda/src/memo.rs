@@ -10,14 +10,21 @@
 //! analysis three times over.
 //!
 //! [`analyze_cached`] gives all consumers one shared, immutable copy behind
-//! an [`Arc`]. The memo is keyed on the kernel's *structure* (its complete
-//! `Debug` rendering), not just its name: property tests and fuzzers
-//! generate many distinct kernels under the same name, and two structurally
-//! different kernels must never share an analysis. The table is bounded; on
+//! an [`Arc`]. The memo is keyed on the kernel's *structure*, not just its
+//! name: property tests and fuzzers generate many distinct kernels under the
+//! same name, and two structurally different kernels must never share an
+//! analysis. Structure is fingerprinted by streaming the kernel's `Debug`
+//! rendering through a hasher (no intermediate `String` — the old
+//! `format!("{kernel:?}")` key allocated kilobytes per call *even on hits*),
+//! and hash buckets are disambiguated by structural equality, so collisions
+//! cost a comparison, never a wrong answer. The table is bounded; on
 //! overflow it is cleared wholesale, which keeps the worst case simple and
 //! is harmless because entries are pure functions of the key.
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::hash::Hasher;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use hetsel_ir::Kernel;
@@ -29,23 +36,46 @@ use crate::analysis::{analyze, KernelAccessInfo};
 /// otherwise grow the table without limit.
 const MEMO_CAPACITY: usize = 256;
 
-static MEMO: OnceLock<Mutex<HashMap<String, Arc<KernelAccessInfo>>>> = OnceLock::new();
+type Bucket = Vec<(Kernel, Arc<KernelAccessInfo>)>;
+
+static MEMO: OnceLock<Mutex<HashMap<u64, Bucket>>> = OnceLock::new();
+
+/// Streams a value's `Debug` rendering into a hasher without materialising
+/// the string.
+struct HashWriter<'a>(&'a mut DefaultHasher);
+
+impl std::fmt::Write for HashWriter<'_> {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        self.0.write(s.as_bytes());
+        Ok(())
+    }
+}
+
+/// Structural fingerprint of a kernel: a hash of its complete `Debug`
+/// rendering, computed without heap allocation.
+fn structural_hash(kernel: &Kernel) -> u64 {
+    let mut h = DefaultHasher::new();
+    write!(HashWriter(&mut h), "{kernel:?}").expect("hash writer never fails");
+    h.finish()
+}
 
 /// Memoized [`analyze`]: returns a shared copy of the IPDA result for this
 /// kernel, computing it at most once per distinct kernel structure.
 ///
 /// The returned value is identical to what `analyze(kernel)` would produce;
-/// only the sharing differs.
+/// only the sharing differs. A hit performs no heap allocation.
 pub fn analyze_cached(kernel: &Kernel) -> Arc<KernelAccessInfo> {
-    let key = format!("{kernel:?}");
+    let key = structural_hash(kernel);
     let memo = MEMO.get_or_init(|| Mutex::new(HashMap::new()));
     {
         let map = memo
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        if let Some(hit) = map.get(&key) {
-            hetsel_obs::static_counter!("hetsel.ipda.memo.hit").inc();
-            return Arc::clone(hit);
+        if let Some(bucket) = map.get(&key) {
+            if let Some((_, hit)) = bucket.iter().find(|(k, _)| k == kernel) {
+                hetsel_obs::static_counter!("hetsel.ipda.memo.hit").inc();
+                return Arc::clone(hit);
+            }
         }
     }
     hetsel_obs::static_counter!("hetsel.ipda.memo.miss").inc();
@@ -60,10 +90,15 @@ pub fn analyze_cached(kernel: &Kernel) -> Arc<KernelAccessInfo> {
     let mut map = memo
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner);
-    if map.len() >= MEMO_CAPACITY {
+    if map.values().map(Vec::len).sum::<usize>() >= MEMO_CAPACITY {
         map.clear();
     }
-    Arc::clone(map.entry(key).or_insert(info))
+    let bucket = map.entry(key).or_default();
+    if let Some((_, hit)) = bucket.iter().find(|(k, _)| k == kernel) {
+        return Arc::clone(hit);
+    }
+    bucket.push((kernel.clone(), Arc::clone(&info)));
+    info
 }
 
 #[cfg(test)]

@@ -1,6 +1,6 @@
 //! Symbolic inter-iteration strides and their classification.
 
-use hetsel_ir::{Binding, Poly};
+use hetsel_ir::{Binding, BoundParams, CompiledExpr, Poly, SymbolTable};
 use std::fmt;
 
 /// The inter-iteration (or inter-thread) stride of a memory access along one
@@ -49,6 +49,48 @@ impl Stride {
     /// True if the stride can be resolved (possibly only at runtime).
     pub fn is_analyzable(&self) -> bool {
         !matches!(self, Stride::Irregular)
+    }
+
+    /// Lowers the stride for slot-indexed resolution: symbolic polynomials
+    /// become [`CompiledExpr`] bytecode over `table`'s interned parameters.
+    pub fn compile(&self, table: &mut SymbolTable) -> CompiledStride {
+        match self {
+            Stride::Known(c) => CompiledStride::Known(*c),
+            Stride::Symbolic(p) => {
+                let c = CompiledExpr::compile_poly(p, table);
+                match c.as_const() {
+                    // compile_poly folds what Poly::eval would compute for a
+                    // closed polynomial, so collapsing keeps values equal.
+                    Some(v) => CompiledStride::Known(v),
+                    None => CompiledStride::Symbolic(c),
+                }
+            }
+            Stride::Irregular => CompiledStride::Irregular,
+        }
+    }
+}
+
+/// A [`Stride`] lowered against a [`SymbolTable`]: resolution reads dense
+/// parameter slots instead of walking polynomial terms by name.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompiledStride {
+    /// Stride known exactly at compile time.
+    Known(i64),
+    /// Stride resolved by evaluating compiled bytecode at runtime.
+    Symbolic(CompiledExpr),
+    /// No stride exists (non-affine access).
+    Irregular,
+}
+
+impl CompiledStride {
+    /// Resolves the stride under a dense parameter view; agrees with
+    /// [`Stride::resolve`] on the binding the view was built from.
+    pub fn resolve(&self, params: &BoundParams) -> Option<i64> {
+        match self {
+            CompiledStride::Known(c) => Some(*c),
+            CompiledStride::Symbolic(c) => c.eval_closed(params),
+            CompiledStride::Irregular => None,
+        }
     }
 }
 

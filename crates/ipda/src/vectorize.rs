@@ -8,7 +8,7 @@
 //! *better* on the newer CPU than on the newer GPU (the CORR flip).
 
 use crate::analysis::KernelAccessInfo;
-use hetsel_ir::{Binding, Kernel, Lhs, LoopVarId};
+use hetsel_ir::{Binding, BoundParams, CompiledExpr, Kernel, Lhs, LoopVarId, SymbolTable};
 use std::collections::BTreeMap;
 
 /// Vectorisation assessment of one innermost loop.
@@ -84,6 +84,98 @@ pub fn assess(
     out
 }
 
+/// [`assess`] with its binding-independent parts precomputed: the per-access
+/// stride polynomials are lowered to [`CompiledExpr`] bytecode and the
+/// reduction/long-latency body flags (which do not depend on the binding at
+/// all) are extracted once, at model compile time. [`CompiledAssess::evaluate`]
+/// replays both passes of [`assess`] in the same order, so the result map is
+/// identical for any binding/slot-view pair built from the same table.
+#[derive(Debug, Clone, Default)]
+pub struct CompiledAssess {
+    /// One entry per access that has an innermost enclosing loop, in access
+    /// order. `stride: None` marks a non-affine access.
+    stride_checks: Vec<StrideCheck>,
+    /// One entry per assignment with an enclosing loop, in walk order.
+    body_flags: Vec<BodyFlags>,
+}
+
+#[derive(Debug, Clone)]
+struct StrideCheck {
+    var: LoopVarId,
+    stride: Option<CompiledExpr>,
+    is_store: bool,
+}
+
+#[derive(Debug, Clone)]
+struct BodyFlags {
+    var: LoopVarId,
+    has_reduction: bool,
+    has_div_or_sqrt: bool,
+}
+
+impl CompiledAssess {
+    /// Precomputes the assessment for a kernel, interning stride parameters
+    /// into `table`.
+    pub fn compile(kernel: &Kernel, info: &KernelAccessInfo, table: &mut SymbolTable) -> Self {
+        let mut stride_checks = Vec::new();
+        for a in &info.accesses {
+            let Some(v) = a.innermost_var() else { continue };
+            stride_checks.push(StrideCheck {
+                var: v,
+                stride: a
+                    .affine
+                    .as_ref()
+                    .map(|aff| CompiledExpr::compile_poly(&aff.coeff(v), table)),
+                is_store: a.is_store,
+            });
+        }
+        let mut body_flags = Vec::new();
+        kernel.walk_assigns(|loops, assign| {
+            let Some(l) = loops.last() else { return };
+            let ops = assign.rhs.fp_op_counts();
+            body_flags.push(BodyFlags {
+                var: l.var,
+                has_reduction: matches!(assign.lhs, Lhs::Acc(_)) && assign.rhs.uses_acc(),
+                has_div_or_sqrt: ops.div > 0 || ops.sqrt > 0,
+            });
+        });
+        CompiledAssess {
+            stride_checks,
+            body_flags,
+        }
+    }
+
+    /// Replays [`assess`] against dense parameter slots.
+    pub fn evaluate(&self, params: &BoundParams) -> BTreeMap<LoopVarId, VectorizationInfo> {
+        let mut out: BTreeMap<LoopVarId, VectorizationInfo> = BTreeMap::new();
+        for c in &self.stride_checks {
+            let entry = out.entry(c.var).or_insert(VectorizationInfo {
+                loop_var: c.var,
+                legal: true,
+                has_reduction: false,
+                has_div_or_sqrt: false,
+            });
+            let stride = c.stride.as_ref().and_then(|s| s.eval_closed(params));
+            match stride {
+                Some(0) if c.is_store => entry.legal = false,
+                Some(0) | Some(1) | Some(-1) => {}
+                _ => entry.legal = false,
+            }
+        }
+        for f in &self.body_flags {
+            let entry = out.entry(f.var).or_insert(VectorizationInfo {
+                loop_var: f.var,
+                legal: true,
+                has_reduction: false,
+                has_div_or_sqrt: false,
+            });
+            entry.has_reduction |= f.has_reduction;
+            entry.has_div_or_sqrt |= f.has_div_or_sqrt;
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,6 +243,63 @@ mod tests {
         // No binding: stride [n] unresolved.
         let v = assess_kernel(&k, &Binding::new());
         assert!(!v[&j].legal);
+    }
+
+    #[test]
+    fn compiled_assessment_matches_interpreted() {
+        // Reuse the kernels above; the compiled replay must agree with the
+        // interpreted pass for full, partial and empty bindings.
+        let mut kernels = Vec::new();
+        for build in [
+            dot_kernel as fn() -> Kernel,
+            colwalk_kernel as fn() -> Kernel,
+        ] {
+            kernels.push(build());
+        }
+        for k in &kernels {
+            let info = analyze(k);
+            let mut table = SymbolTable::new();
+            let compiled = CompiledAssess::compile(k, &info, &mut table);
+            for b in [
+                Binding::new().with("n", 1100),
+                Binding::new().with("n", 0),
+                Binding::new(),
+            ] {
+                let params = table.bind(&b);
+                assert_eq!(compiled.evaluate(&params), assess(k, &info, &b));
+            }
+        }
+    }
+
+    fn dot_kernel() -> Kernel {
+        let mut kb = KernelBuilder::new("dot");
+        let a = kb.array("a", 8, &["n".into(), "n".into()], Transfer::In);
+        let x = kb.array("x", 8, &["n".into()], Transfer::In);
+        let y = kb.array("y", 8, &["n".into()], Transfer::Out);
+        let i = kb.parallel_loop(0, "n");
+        kb.acc_init("s", cexpr::lit(0.0));
+        let j = kb.seq_loop(0, "n");
+        let prod = cexpr::mul(kb.load(a, &[i.into(), j.into()]), kb.load(x, &[j.into()]));
+        kb.assign_acc("s", cexpr::add(cexpr::acc(), prod));
+        kb.end_loop();
+        kb.store_acc(y, &[i.into()], "s");
+        kb.end_loop();
+        kb.finish()
+    }
+
+    fn colwalk_kernel() -> Kernel {
+        let mut kb = KernelBuilder::new("colwalk");
+        let a = kb.array("a", 8, &["n".into(), "n".into()], Transfer::In);
+        let y = kb.array("y", 8, &["n".into()], Transfer::Out);
+        let i = kb.parallel_loop(0, "n");
+        kb.acc_init("s", cexpr::lit(0.0));
+        let j = kb.seq_loop(0, "n");
+        let ld = kb.load(a, &[j.into(), i.into()]);
+        kb.assign_acc("s", cexpr::add(cexpr::acc(), ld));
+        kb.end_loop();
+        kb.store_acc(y, &[i.into()], "s");
+        kb.end_loop();
+        kb.finish()
     }
 
     #[test]

@@ -1,0 +1,547 @@
+//! Flat compiled expression bytecode.
+//!
+//! [`CompiledExpr`] is an [`Expr`] (or a [`Poly`]) lowered once, at model
+//! compile time, into postfix bytecode in a contiguous arena: parameters are
+//! resolved to dense [`Sym`] slots of a [`SymbolTable`], and constant
+//! subtrees are folded at emit time. Evaluation is a single linear scan over
+//! the opcode slice with a small value stack — no recursion, no pointer
+//! chasing, no string lookups, and (for the expression depths the Polybench
+//! kernels produce) no heap allocation.
+//!
+//! Postfix is the natural target here: the tree interpreter's evaluation
+//! order *is* a post-order traversal, so emitting post-order preserves the
+//! exact `wrapping_*` operation sequence — compiled evaluation is bit-for-bit
+//! identical to [`Expr::eval`], including the `None`s of unbound parameters
+//! and division by zero. Constant folding follows the same rule as
+//! [`Expr::simplified`]: `Const ⊕ Const` folds, except `x / 0`, which must
+//! keep evaluating to `None` and therefore stays in the bytecode.
+
+use crate::expr::Expr;
+use crate::kernel::{Kernel, LoopVarId};
+use crate::poly::Poly;
+use crate::sym::{BoundParams, Sym, SymbolTable};
+
+/// One postfix opcode. Leaves push a value; operators pop two and push one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Push an integer literal.
+    Const(i64),
+    /// Push the value bound to a parameter slot (`None` aborts evaluation).
+    Param(Sym),
+    /// Push a loop-variable value from the evaluation context.
+    Var(LoopVarId),
+    /// Pop `b`, pop `a`, push `a.wrapping_add(b)`.
+    Add,
+    /// Pop `b`, pop `a`, push `a.wrapping_sub(b)`.
+    Sub,
+    /// Pop `b`, pop `a`, push `a.wrapping_mul(b)`.
+    Mul,
+    /// Pop `b`, pop `a`, push `a.div_euclid(b)`; `b == 0` aborts to `None`.
+    Div,
+    /// Pop `b`, pop `a`, push `a.min(b)`.
+    Min,
+    /// Pop `b`, pop `a`, push `a.max(b)`.
+    Max,
+}
+
+/// Evaluations whose stack stays this shallow run entirely on the stack
+/// frame; deeper programs (beyond anything the Polybench kernels produce)
+/// fall back to one heap-allocated value stack.
+const INLINE_STACK: usize = 16;
+
+/// An expression compiled to flat postfix bytecode over interned symbols.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CompiledExpr {
+    code: Box<[Op]>,
+    max_stack: usize,
+}
+
+impl CompiledExpr {
+    /// Lowers an expression tree, interning its parameters into `table`.
+    pub fn compile(expr: &Expr, table: &mut SymbolTable) -> CompiledExpr {
+        let mut code = Vec::with_capacity(expr.size());
+        emit_expr(expr, table, &mut code);
+        CompiledExpr::from_code(code)
+    }
+
+    /// Lowers a polynomial, interning its parameters into `table`. The
+    /// emitted operation sequence mirrors [`Poly::eval`] term by term, so
+    /// the result (including wrapping overflow) is bit-for-bit identical.
+    pub fn compile_poly(poly: &Poly, table: &mut SymbolTable) -> CompiledExpr {
+        let mut code = vec![Op::Const(0)];
+        for (monomial, coeff) in poly.terms() {
+            code.push(Op::Const(coeff));
+            for (name, pow) in monomial {
+                let sym = table.intern(name);
+                for _ in 0..*pow {
+                    code.push(Op::Param(sym));
+                    fold_or_push(&mut code, Op::Mul);
+                }
+            }
+            fold_or_push(&mut code, Op::Add);
+        }
+        CompiledExpr::from_code(code)
+    }
+
+    /// A compiled constant.
+    pub fn constant(value: i64) -> CompiledExpr {
+        CompiledExpr::from_code(vec![Op::Const(value)])
+    }
+
+    fn from_code(code: Vec<Op>) -> CompiledExpr {
+        let mut depth = 0usize;
+        let mut max_stack = 0usize;
+        for op in &code {
+            match op {
+                Op::Const(_) | Op::Param(_) | Op::Var(_) => {
+                    depth += 1;
+                    max_stack = max_stack.max(depth);
+                }
+                _ => depth -= 1,
+            }
+        }
+        debug_assert_eq!(depth, 1, "postfix program must leave one value");
+        CompiledExpr {
+            code: code.into_boxed_slice(),
+            max_stack,
+        }
+    }
+
+    /// The bytecode, in evaluation order.
+    pub fn code(&self) -> &[Op] {
+        &self.code
+    }
+
+    /// Peak value-stack depth of an evaluation.
+    pub fn max_stack(&self) -> usize {
+        self.max_stack
+    }
+
+    /// If the program folded to a single literal, its value.
+    pub fn as_const(&self) -> Option<i64> {
+        match *self.code {
+            [Op::Const(c)] => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Evaluates with parameters from dense slots and loop variables from
+    /// `vars`. Returns `None` exactly when [`Expr::eval`] would: an unbound
+    /// parameter, a missing loop variable, or a division by zero.
+    pub fn eval(
+        &self,
+        params: &BoundParams,
+        vars: &dyn Fn(LoopVarId) -> Option<i64>,
+    ) -> Option<i64> {
+        if self.max_stack <= INLINE_STACK {
+            self.run(&mut [0i64; INLINE_STACK], params, vars)
+        } else {
+            self.run(&mut vec![0i64; self.max_stack], params, vars)
+        }
+    }
+
+    /// Evaluates a *closed* program: one that references no loop variables.
+    pub fn eval_closed(&self, params: &BoundParams) -> Option<i64> {
+        self.eval(params, &|_| None)
+    }
+
+    fn run(
+        &self,
+        stack: &mut [i64],
+        params: &BoundParams,
+        vars: &dyn Fn(LoopVarId) -> Option<i64>,
+    ) -> Option<i64> {
+        let mut sp = 0usize;
+        for op in &*self.code {
+            match *op {
+                Op::Const(c) => {
+                    stack[sp] = c;
+                    sp += 1;
+                }
+                Op::Param(s) => {
+                    stack[sp] = params.get(s)?;
+                    sp += 1;
+                }
+                Op::Var(v) => {
+                    stack[sp] = vars(v)?;
+                    sp += 1;
+                }
+                Op::Add => {
+                    sp -= 1;
+                    stack[sp - 1] = stack[sp - 1].wrapping_add(stack[sp]);
+                }
+                Op::Sub => {
+                    sp -= 1;
+                    stack[sp - 1] = stack[sp - 1].wrapping_sub(stack[sp]);
+                }
+                Op::Mul => {
+                    sp -= 1;
+                    stack[sp - 1] = stack[sp - 1].wrapping_mul(stack[sp]);
+                }
+                Op::Div => {
+                    sp -= 1;
+                    let d = stack[sp];
+                    if d == 0 {
+                        return None;
+                    }
+                    stack[sp - 1] = stack[sp - 1].div_euclid(d);
+                }
+                Op::Min => {
+                    sp -= 1;
+                    stack[sp - 1] = stack[sp - 1].min(stack[sp]);
+                }
+                Op::Max => {
+                    sp -= 1;
+                    stack[sp - 1] = stack[sp - 1].max(stack[sp]);
+                }
+            }
+        }
+        Some(stack[0])
+    }
+}
+
+fn emit_expr(expr: &Expr, table: &mut SymbolTable, code: &mut Vec<Op>) {
+    match expr {
+        Expr::Const(c) => code.push(Op::Const(*c)),
+        Expr::Param(p) => code.push(Op::Param(table.intern(p))),
+        Expr::Var(v) => code.push(Op::Var(*v)),
+        Expr::Add(a, b) => emit_binop(a, b, Op::Add, table, code),
+        Expr::Sub(a, b) => emit_binop(a, b, Op::Sub, table, code),
+        Expr::Mul(a, b) => emit_binop(a, b, Op::Mul, table, code),
+        Expr::Div(a, b) => emit_binop(a, b, Op::Div, table, code),
+        Expr::Min(a, b) => emit_binop(a, b, Op::Min, table, code),
+        Expr::Max(a, b) => emit_binop(a, b, Op::Max, table, code),
+    }
+}
+
+fn emit_binop(a: &Expr, b: &Expr, op: Op, table: &mut SymbolTable, code: &mut Vec<Op>) {
+    emit_expr(a, table, code);
+    emit_expr(b, table, code);
+    fold_or_push(code, op);
+}
+
+/// Pushes an operator, folding it first when both operands reduced to
+/// literals. In postfix a subprogram ends with its root opcode, so the last
+/// two opcodes are both `Const` exactly when both operand subtrees folded
+/// completely. `x / 0` is never folded: it must keep evaluating to `None`.
+fn fold_or_push(code: &mut Vec<Op>, op: Op) {
+    if let [.., Op::Const(x), Op::Const(y)] = code[..] {
+        let folded = match op {
+            Op::Add => Some(x.wrapping_add(y)),
+            Op::Sub => Some(x.wrapping_sub(y)),
+            Op::Mul => Some(x.wrapping_mul(y)),
+            Op::Div if y != 0 => Some(x.div_euclid(y)),
+            Op::Div => None,
+            Op::Min => Some(x.min(y)),
+            Op::Max => Some(x.max(y)),
+            Op::Const(_) | Op::Param(_) | Op::Var(_) => unreachable!("not an operator"),
+        };
+        if let Some(v) = folded {
+            code.truncate(code.len() - 2);
+            code.push(Op::Const(v));
+            return;
+        }
+    }
+    code.push(op);
+}
+
+/// Compiles every expression reachable from `exprs` against one shared
+/// table; convenience for model compilers.
+pub fn compile_all<'a>(
+    exprs: impl IntoIterator<Item = &'a Expr>,
+    table: &mut SymbolTable,
+) -> Vec<CompiledExpr> {
+    exprs
+        .into_iter()
+        .map(|e| CompiledExpr::compile(e, table))
+        .collect()
+}
+
+/// The binding-dependent *facts* of a kernel — parallel iteration count,
+/// per-array footprints, transfer volumes — with every extent and bound
+/// lowered to bytecode. Each accessor reproduces its [`Kernel`] counterpart
+/// exactly (same arithmetic, same `checked_mul` overflow behaviour, same
+/// `None`s), so swapping one in changes nothing but the lookup cost.
+#[derive(Debug, Clone, Default)]
+pub struct CompiledKernel {
+    /// `(lower, upper)` of the parallel loop chain, outermost first.
+    par_bounds: Vec<(CompiledExpr, CompiledExpr)>,
+    arrays: Vec<CompiledArray>,
+}
+
+#[derive(Debug, Clone)]
+struct CompiledArray {
+    elem_bytes: u32,
+    extents: Vec<CompiledExpr>,
+    to_device: bool,
+    from_device: bool,
+}
+
+impl CompiledArray {
+    /// Mirrors `ArrayDecl::bytes`.
+    fn bytes(&self, params: &BoundParams) -> Option<u64> {
+        let mut n: u64 = u64::from(self.elem_bytes);
+        for e in &self.extents {
+            let v = e.eval_closed(params)?;
+            if v < 0 {
+                return None;
+            }
+            n = n.checked_mul(v as u64)?;
+        }
+        Some(n)
+    }
+}
+
+impl CompiledKernel {
+    /// Lowers the kernel's parallel bounds and array extents, interning
+    /// their parameters into `table`.
+    pub fn compile(kernel: &Kernel, table: &mut SymbolTable) -> CompiledKernel {
+        CompiledKernel {
+            par_bounds: kernel
+                .parallel_loops()
+                .iter()
+                .map(|l| {
+                    (
+                        CompiledExpr::compile(&l.lower, table),
+                        CompiledExpr::compile(&l.upper, table),
+                    )
+                })
+                .collect(),
+            arrays: kernel
+                .arrays
+                .iter()
+                .map(|a| CompiledArray {
+                    elem_bytes: a.elem_bytes,
+                    extents: compile_all(&a.extents, table),
+                    to_device: a.transfer.to_device(),
+                    from_device: a.transfer.from_device(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Mirrors [`Kernel::parallel_iterations`].
+    pub fn parallel_iterations(&self, params: &BoundParams) -> Option<u64> {
+        let mut total: u64 = 1;
+        for (lower, upper) in &self.par_bounds {
+            let lo = lower.eval_closed(params)?;
+            let hi = upper.eval_closed(params)?;
+            let t = (hi - lo).max(0);
+            total = total.checked_mul(t.max(0) as u64)?;
+        }
+        Some(total)
+    }
+
+    /// Mirrors `ArrayDecl::bytes` for the array at declaration index `idx`.
+    pub fn array_bytes(&self, idx: usize, params: &BoundParams) -> Option<u64> {
+        self.arrays.get(idx)?.bytes(params)
+    }
+
+    /// Mirrors the TLB-reach footprint sum: total bytes over all arrays
+    /// whose extents resolve (unresolvable arrays are skipped, as in
+    /// `kernel.arrays.iter().filter_map(|a| a.bytes(b)).sum()`).
+    pub fn resolved_bytes_total(&self, params: &BoundParams) -> u64 {
+        self.arrays.iter().filter_map(|a| a.bytes(params)).sum()
+    }
+
+    /// Mirrors [`Kernel::bytes_to_device`].
+    pub fn bytes_to_device(&self, params: &BoundParams) -> Option<u64> {
+        self.arrays
+            .iter()
+            .filter(|a| a.to_device)
+            .map(|a| a.bytes(params))
+            .try_fold(0u64, |acc, b| Some(acc + b?))
+    }
+
+    /// Mirrors [`Kernel::bytes_from_device`].
+    pub fn bytes_from_device(&self, params: &BoundParams) -> Option<u64> {
+        self.arrays
+            .iter()
+            .filter(|a| a.from_device)
+            .map(|a| a.bytes(params))
+            .try_fold(0u64, |acc, b| Some(acc + b?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::Binding;
+    use proptest::prelude::*;
+
+    fn v(i: usize) -> LoopVarId {
+        LoopVarId(i)
+    }
+
+    fn compile1(e: &Expr) -> (CompiledExpr, SymbolTable) {
+        let mut t = SymbolTable::new();
+        let c = CompiledExpr::compile(e, &mut t);
+        (c, t)
+    }
+
+    #[test]
+    fn constants_fold_at_emit_time() {
+        let e = Expr::Const(2) * Expr::Const(3) + Expr::Const(4);
+        let (c, _) = compile1(&e);
+        assert_eq!(c.as_const(), Some(10));
+        assert_eq!(c.code().len(), 1);
+    }
+
+    #[test]
+    fn div_by_zero_is_never_folded() {
+        // x / 0 must stay in the bytecode and evaluate to None — folding it
+        // to any literal would turn a failure into a value.
+        let e = Expr::Div(Box::new(Expr::Const(4)), Box::new(Expr::Const(0)));
+        let (c, _) = compile1(&e);
+        assert_eq!(c.as_const(), None);
+        assert_eq!(c.code().len(), 3);
+        assert_eq!(c.eval_closed(&BoundParams::new()), None);
+
+        // ...including when the division by zero feeds a foldable operator.
+        let e = Expr::Add(
+            Box::new(Expr::Div(
+                Box::new(Expr::Const(4)),
+                Box::new(Expr::Const(0)),
+            )),
+            Box::new(Expr::Const(1)),
+        );
+        let (c, _) = compile1(&e);
+        assert_eq!(c.as_const(), None);
+        assert_eq!(c.eval_closed(&BoundParams::new()), None);
+    }
+
+    #[test]
+    fn nonzero_constant_division_folds_euclidean() {
+        let e = Expr::Div(Box::new(Expr::Const(-7)), Box::new(Expr::Const(2)));
+        let (c, _) = compile1(&e);
+        assert_eq!(c.as_const(), Some(-4));
+    }
+
+    #[test]
+    fn params_resolve_to_slots() {
+        let e = Expr::param("n") * Expr::Const(2) + Expr::param("m");
+        let mut t = SymbolTable::new();
+        let c = CompiledExpr::compile(&e, &mut t);
+        let p = t.bind(&Binding::new().with("n", 21).with("m", 8));
+        assert_eq!(c.eval_closed(&p), Some(50));
+        assert_eq!(
+            e.eval_closed(&Binding::new().with("n", 21).with("m", 8)),
+            Some(50)
+        );
+        // Unbound parameter stays a failure, exactly like the tree.
+        assert_eq!(c.eval_closed(&t.bind(&Binding::new().with("n", 1))), None);
+    }
+
+    #[test]
+    fn loop_vars_come_from_context() {
+        let e = Expr::var(v(0)) * Expr::param("n") + Expr::var(v(1));
+        let mut t = SymbolTable::new();
+        let c = CompiledExpr::compile(&e, &mut t);
+        let p = t.bind(&Binding::new().with("n", 100));
+        let vals = |id: LoopVarId| Some(if id == v(0) { 3 } else { 4 });
+        assert_eq!(c.eval(&p, &vals), Some(304));
+        assert_eq!(c.eval(&p, &|_| None), None);
+    }
+
+    #[test]
+    fn poly_compilation_matches_poly_eval() {
+        // 2*n*m + 3*n + 1
+        let n = Poly::param("n");
+        let m = Poly::param("m");
+        let p = &(&(&n * &m).scale(2) + &n.scale(3)) + &Poly::constant(1);
+        let mut t = SymbolTable::new();
+        let c = CompiledExpr::compile_poly(&p, &mut t);
+        let b = Binding::new().with("n", 5).with("m", 7);
+        assert_eq!(c.eval_closed(&t.bind(&b)), p.eval(&b));
+        assert_eq!(c.eval_closed(&t.bind(&Binding::new())), None);
+        // Constant and zero polynomials fold completely.
+        let mut t2 = SymbolTable::new();
+        assert_eq!(
+            CompiledExpr::compile_poly(&Poly::constant(9), &mut t2).as_const(),
+            Some(9)
+        );
+        assert_eq!(
+            CompiledExpr::compile_poly(&Poly::zero(), &mut t2).as_const(),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn max_stack_is_tracked() {
+        // ((1+2)+(3+4)) needs 3 slots before folding; folded it needs 1.
+        let e = (Expr::param("a") + Expr::param("b")) + (Expr::param("c") + Expr::param("d"));
+        let (c, t) = compile1(&e);
+        assert_eq!(c.max_stack(), 3);
+        let p = t.bind(
+            &Binding::new()
+                .with("a", 1)
+                .with("b", 2)
+                .with("c", 3)
+                .with("d", 4),
+        );
+        assert_eq!(c.eval_closed(&p), Some(10));
+    }
+
+    #[test]
+    fn deep_programs_fall_back_to_heap_stack() {
+        // A right-leaning comb deeper than INLINE_STACK still evaluates.
+        let mut e = Expr::param("x");
+        for _ in 0..(INLINE_STACK + 8) {
+            e = Expr::param("x") + e;
+        }
+        let mut t = SymbolTable::new();
+        let c = CompiledExpr::compile(&e, &mut t);
+        assert!(c.max_stack() > INLINE_STACK);
+        let p = t.bind(&Binding::new().with("x", 1));
+        assert_eq!(c.eval_closed(&p), Some(INLINE_STACK as i64 + 9));
+    }
+
+    /// Arbitrary expression trees over i, j, n, m (mirrors simplify.rs).
+    fn arb_expr() -> impl Strategy<Value = Expr> {
+        let leaf = prop_oneof![
+            (-6i64..7).prop_map(Expr::Const),
+            Just(Expr::param("n")),
+            Just(Expr::param("m")),
+            Just(Expr::var(v(0))),
+            Just(Expr::var(v(1))),
+        ];
+        leaf.prop_recursive(5, 64, 2, |inner| {
+            (inner.clone(), inner, 0u8..6).prop_map(|(a, b, op)| {
+                let (a, b) = (Box::new(a), Box::new(b));
+                match op {
+                    0 => Expr::Add(a, b),
+                    1 => Expr::Sub(a, b),
+                    2 => Expr::Mul(a, b),
+                    3 => Expr::Div(a, b),
+                    4 => Expr::Min(a, b),
+                    _ => Expr::Max(a, b),
+                }
+            })
+        })
+    }
+
+    proptest! {
+        /// Compiled bytecode is bit-for-bit the tree interpreter, including
+        /// partial bindings (unbound → None) and division failures.
+        #[test]
+        fn compiled_matches_tree(
+            e in arb_expr(),
+            n in -9i64..10,
+            bind_n in 0u8..2,
+            m in -9i64..10,
+            bind_m in 0u8..2,
+            i in -9i64..10,
+            j in -9i64..10,
+        ) {
+            let mut b = Binding::new();
+            if bind_n == 1 { b.set("n", n); }
+            if bind_m == 1 { b.set("m", m); }
+            let vars = |vv: LoopVarId| Some(if vv.0 == 0 { i } else { j });
+            let mut t = SymbolTable::new();
+            let c = CompiledExpr::compile(&e, &mut t);
+            let p = t.bind(&b);
+            prop_assert_eq!(c.eval(&p, &vars), e.eval(&b, &vars));
+            prop_assert_eq!(c.eval_closed(&p), e.eval_closed(&b));
+        }
+    }
+}

@@ -21,6 +21,7 @@
 pub mod affine;
 pub mod binding;
 pub mod builder;
+pub mod compiled;
 pub mod expr;
 pub mod interp;
 pub mod kernel;
@@ -28,12 +29,14 @@ pub mod layout;
 pub mod poly;
 pub mod render;
 pub mod simplify;
+pub mod sym;
 pub mod synth;
 pub mod trips;
 
 pub use affine::{expr_to_poly, linearize, Affine};
 pub use binding::Binding;
 pub use builder::{cexpr, KernelBuilder};
+pub use compiled::{CompiledExpr, CompiledKernel};
 pub use expr::Expr;
 pub use interp::{execute, Env};
 pub use kernel::{
@@ -43,5 +46,6 @@ pub use kernel::{
 pub use layout::{MemoryLayout, ResolvedArray, ARRAY_ALIGN};
 pub use poly::Poly;
 pub use render::to_openmp_c;
+pub use sym::{BoundParams, Sym, SymbolTable};
 pub use synth::{generate as synth_kernel, SynthKernel};
-pub use trips::TripCounts;
+pub use trips::{CompiledTrips, TripCounts, TripSlots};

@@ -101,6 +101,13 @@ impl Poly {
         Some(total)
     }
 
+    /// Iterates `(monomial, coefficient)` in canonical term order — the
+    /// exact order [`Poly::eval`] accumulates in, which compilation to
+    /// bytecode must reproduce for bit-for-bit equality.
+    pub fn terms(&self) -> impl Iterator<Item = (&BTreeMap<String, u32>, i64)> {
+        self.terms.iter().map(|(m, c)| (m, *c))
+    }
+
     /// Degree of the polynomial (0 for constants; 0 for the zero polynomial).
     pub fn degree(&self) -> u32 {
         self.terms

@@ -1,0 +1,244 @@
+//! Parameter-symbol interning and dense runtime-value slots.
+//!
+//! The decision hot path of the paper is dominated not by arithmetic but by
+//! *name resolution*: every [`crate::Expr::eval`] walks a string-keyed
+//! `BTreeMap` per `Param` node, and every cache key re-materialises parameter
+//! names. A [`SymbolTable`] interns each parameter name once, at model
+//! compile time, into a dense [`Sym`] slot; a [`BoundParams`] is the
+//! runtime-side view — the [`crate::Binding`] resolved *once* per decision
+//! into a flat `Option<i64>` slot array that compiled expressions index in
+//! O(1) with no hashing and no string comparison.
+//!
+//! Interning is deterministic: slots are handed out in first-intern order,
+//! so two tables built by the same compilation sequence agree bit-for-bit.
+
+use crate::binding::Binding;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An interned parameter symbol: a dense index into a [`SymbolTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sym(pub u32);
+
+impl Sym {
+    /// The slot index this symbol occupies.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A deterministic interner from parameter names to dense [`Sym`] slots.
+///
+/// Built once when a region's models are compiled; each distinct name gets
+/// exactly one slot, assigned in first-intern order. Lookup by `&str` is
+/// allocation-free.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SymbolTable {
+    names: Vec<String>,
+    index: BTreeMap<String, Sym>,
+}
+
+impl SymbolTable {
+    /// An empty table.
+    pub fn new() -> SymbolTable {
+        SymbolTable::default()
+    }
+
+    /// Builds a table by interning `names` in order (duplicates collapse to
+    /// their first slot).
+    pub fn from_names<I, S>(names: I) -> SymbolTable
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut t = SymbolTable::new();
+        for n in names {
+            t.intern(n.as_ref());
+        }
+        t
+    }
+
+    /// Interns a name, returning its slot. Interning the same name twice
+    /// returns the same slot.
+    pub fn intern(&mut self, name: &str) -> Sym {
+        if let Some(&s) = self.index.get(name) {
+            return s;
+        }
+        let s = Sym(u32::try_from(self.names.len()).expect("symbol table overflow"));
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), s);
+        s
+    }
+
+    /// Looks up a previously interned name without interning it.
+    /// Allocation-free.
+    pub fn lookup(&self, name: &str) -> Option<Sym> {
+        self.index.get(name).copied()
+    }
+
+    /// The name occupying a slot.
+    pub fn name(&self, sym: Sym) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(Sym, name)` in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (Sym, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Sym(i as u32), n.as_str()))
+    }
+
+    /// Resolves a [`Binding`] against this table into a fresh dense slot
+    /// view. Parameters the binding does not cover stay symbolic (`None`).
+    pub fn bind(&self, binding: &Binding) -> BoundParams {
+        let mut out = BoundParams {
+            slots: vec![None; self.names.len()],
+        };
+        self.bind_into(binding, &mut out);
+        out
+    }
+
+    /// Like [`SymbolTable::bind`], but reuses an existing [`BoundParams`]
+    /// allocation (resizing it if the table grew). Allocation-free once the
+    /// slot vector has reached the table's size.
+    pub fn bind_into(&self, binding: &Binding, out: &mut BoundParams) {
+        out.slots.resize(self.names.len(), None);
+        for (slot, name) in out.slots.iter_mut().zip(&self.names) {
+            *slot = binding.get(name);
+        }
+    }
+}
+
+/// A runtime [`Binding`] resolved against a [`SymbolTable`] into dense
+/// slots: the allocation-free view compiled expressions evaluate against.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BoundParams {
+    slots: Vec<Option<i64>>,
+}
+
+impl BoundParams {
+    /// An empty view (no slots; every lookup is unbound).
+    pub fn new() -> BoundParams {
+        BoundParams::default()
+    }
+
+    /// The value bound to a slot, or `None` if still symbolic (or the slot
+    /// is out of range for this view).
+    #[inline]
+    pub fn get(&self, sym: Sym) -> Option<i64> {
+        self.slots.get(sym.index()).copied().flatten()
+    }
+
+    /// The raw slot array, in [`Sym`] order.
+    pub fn slots(&self) -> &[Option<i64>] {
+        &self.slots
+    }
+
+    /// True if every slot is bound.
+    pub fn fully_bound(&self) -> bool {
+        self.slots.iter().all(|s| s.is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("n");
+        let b = t.intern("m");
+        let a2 = t.intern("n");
+        assert_eq!(a, a2, "same name interned twice must share one slot");
+        assert_eq!(a, Sym(0));
+        assert_eq!(b, Sym(1));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.name(a), "n");
+        assert_eq!(t.lookup("m"), Some(b));
+        assert_eq!(t.lookup("absent"), None);
+    }
+
+    #[test]
+    fn bind_resolves_once_and_keeps_unbound_symbolic() {
+        let t = SymbolTable::from_names(["ni", "nj", "nk"]);
+        let b = Binding::new().with("ni", 4).with("nk", 9);
+        let p = t.bind(&b);
+        assert_eq!(p.get(t.lookup("ni").unwrap()), Some(4));
+        assert_eq!(
+            p.get(t.lookup("nj").unwrap()),
+            None,
+            "unbound stays symbolic"
+        );
+        assert_eq!(p.get(t.lookup("nk").unwrap()), Some(9));
+        assert!(!p.fully_bound());
+        assert_eq!(p.slots(), &[Some(4), None, Some(9)]);
+    }
+
+    #[test]
+    fn bind_into_reuses_allocation() {
+        let t = SymbolTable::from_names(["a", "b"]);
+        let mut p = t.bind(&Binding::new().with("a", 1));
+        let cap = p.slots.capacity();
+        t.bind_into(&Binding::new().with("b", 2), &mut p);
+        assert_eq!(p.slots(), &[None, Some(2)]);
+        assert_eq!(p.slots.capacity(), cap);
+    }
+
+    #[test]
+    fn merged_binding_resolves_with_merge_semantics() {
+        // Binding::merge lets `other` win; the dense view must reflect the
+        // merged map, and names interned from both sources share one slot.
+        let mut t = SymbolTable::new();
+        let from_first = t.intern("n");
+        let from_second = t.intern("n");
+        assert_eq!(from_first, from_second);
+
+        let mut base = Binding::new().with("n", 1).with("m", 7);
+        base.merge(&Binding::new().with("n", 2));
+        t.intern("m");
+        let p = t.bind(&base);
+        assert_eq!(p.get(from_first), Some(2), "merge: other wins");
+        assert_eq!(p.get(t.lookup("m").unwrap()), Some(7));
+    }
+
+    #[test]
+    fn from_iterator_binding_matches_table_order_independence() {
+        // FromIterator builds the same BTreeMap regardless of pair order;
+        // the dense view therefore only depends on the table's slot order.
+        let t = SymbolTable::from_names(["x", "y"]);
+        let fwd: Binding = vec![("x".to_string(), 1), ("y".to_string(), 2)]
+            .into_iter()
+            .collect();
+        let rev: Binding = vec![("y".to_string(), 2), ("x".to_string(), 1)]
+            .into_iter()
+            .collect();
+        assert_eq!(t.bind(&fwd), t.bind(&rev));
+        assert!(t.bind(&fwd).fully_bound());
+    }
+
+    #[test]
+    fn out_of_range_sym_is_unbound_not_panic() {
+        let t = SymbolTable::from_names(["n"]);
+        let p = t.bind(&Binding::new().with("n", 3));
+        assert_eq!(p.get(Sym(5)), None);
+    }
+}

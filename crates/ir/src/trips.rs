@@ -7,7 +7,9 @@
 //! exactly the expectation for affine triangular bounds.
 
 use crate::binding::Binding;
+use crate::compiled::CompiledExpr;
 use crate::kernel::{Kernel, Loop, LoopVarId, Stmt};
+use crate::sym::{BoundParams, SymbolTable};
 use std::collections::HashMap;
 
 /// Average trip counts for every loop in a kernel, keyed by loop variable.
@@ -36,6 +38,187 @@ impl TripCounts {
             .map(|l| self.get(l.var))
             .product()
     }
+
+    /// Flattens into a dense per-variable view covering `n_vars` slots.
+    /// Slots [`TripCounts::get`] would report as 0 stay 0.
+    pub fn dense(&self, n_vars: usize) -> TripSlots {
+        let mut out = TripSlots::uniform(n_vars, 0.0);
+        self.dense_into(n_vars, &mut out);
+        out
+    }
+
+    /// Like [`TripCounts::dense`], reusing an existing [`TripSlots`]
+    /// allocation.
+    pub fn dense_into(&self, n_vars: usize, out: &mut TripSlots) {
+        out.slots.clear();
+        out.slots.resize(n_vars, 0.0);
+        for (v, t) in &self.counts {
+            if let Some(slot) = out.slots.get_mut(v.0) {
+                *slot = *t;
+            }
+        }
+    }
+}
+
+/// A dense, integer-indexed view of per-loop trip counts: what the compiled
+/// model replay reads instead of hashing [`LoopVarId`]s per loop visit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TripSlots {
+    slots: Vec<f64>,
+}
+
+impl TripSlots {
+    /// A view where every one of `n_vars` slots holds `value` (the paper's
+    /// assume-128 abstraction is `uniform(n, 128.0)`).
+    pub fn uniform(n_vars: usize, value: f64) -> TripSlots {
+        TripSlots {
+            slots: vec![value; n_vars],
+        }
+    }
+
+    /// Trip count of a loop variable (0 if out of range), matching
+    /// [`TripCounts::get`] on in-range variables.
+    #[inline]
+    pub fn get(&self, v: LoopVarId) -> f64 {
+        self.slots.get(v.0).copied().unwrap_or(0.0)
+    }
+
+    /// Trip count of a [`Loop`] header.
+    #[inline]
+    pub fn of(&self, l: &Loop) -> f64 {
+        self.get(l.var)
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if the view covers no variables.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+/// A kernel's loop nest with bounds pre-lowered to [`CompiledExpr`]
+/// bytecode: trip resolution without re-walking `Expr` trees or hashing
+/// parameter names.
+///
+/// [`CompiledTrips::resolve`] reproduces [`resolve`] exactly — same
+/// outermost-first walk, same midpoint substitution, same `(0, 0)` fallback
+/// for unresolvable bounds — so the resulting [`TripCounts`] are
+/// bit-for-bit identical.
+#[derive(Debug, Clone, Default)]
+pub struct CompiledTrips {
+    roots: Vec<CompiledLoop>,
+    n_vars: usize,
+}
+
+#[derive(Debug, Clone)]
+struct CompiledLoop {
+    var: LoopVarId,
+    lower: CompiledExpr,
+    upper: CompiledExpr,
+    children: Vec<CompiledLoop>,
+}
+
+impl CompiledTrips {
+    /// Lowers every loop bound of `kernel`, interning parameters into
+    /// `table`.
+    pub fn compile(kernel: &Kernel, table: &mut SymbolTable) -> CompiledTrips {
+        let mut n_vars = 0usize;
+        let roots = compile_level(&kernel.body, table, &mut n_vars);
+        CompiledTrips { roots, n_vars }
+    }
+
+    /// One more than the largest loop-variable index in the nest: the slot
+    /// count a dense per-variable view needs to cover every loop.
+    pub fn n_vars(&self) -> usize {
+        self.n_vars
+    }
+
+    /// Resolves average trip counts under a dense parameter view.
+    pub fn resolve(&self, params: &BoundParams) -> TripCounts {
+        let mut tc = TripCounts::default();
+        let mut midpoints: Vec<Option<f64>> = vec![None; self.n_vars];
+        self.walk(&self.roots, params, &mut tc, &mut midpoints);
+        tc
+    }
+
+    /// Resolves directly into a dense [`TripSlots`] view (missing loops
+    /// report 0, as with [`TripCounts::get`]).
+    pub fn resolve_slots_into(&self, params: &BoundParams, out: &mut TripSlots) {
+        out.slots.clear();
+        out.slots.resize(self.n_vars, 0.0);
+        let mut midpoints: Vec<Option<f64>> = vec![None; self.n_vars];
+        self.walk_slots(&self.roots, params, &mut midpoints, out);
+    }
+
+    fn walk(
+        &self,
+        loops: &[CompiledLoop],
+        params: &BoundParams,
+        tc: &mut TripCounts,
+        midpoints: &mut Vec<Option<f64>>,
+    ) {
+        for l in loops {
+            let (trip, mid) = bounds(l, params, midpoints);
+            tc.counts.insert(l.var, trip);
+            midpoints[l.var.0] = Some(mid);
+            self.walk(&l.children, params, tc, midpoints);
+            midpoints[l.var.0] = None;
+        }
+    }
+
+    fn walk_slots(
+        &self,
+        loops: &[CompiledLoop],
+        params: &BoundParams,
+        midpoints: &mut Vec<Option<f64>>,
+        out: &mut TripSlots,
+    ) {
+        for l in loops {
+            let (trip, mid) = bounds(l, params, midpoints);
+            out.slots[l.var.0] = trip;
+            midpoints[l.var.0] = Some(mid);
+            self.walk_slots(&l.children, params, midpoints, out);
+            midpoints[l.var.0] = None;
+        }
+    }
+}
+
+/// Average trip count and midpoint of one loop, with outer variables at
+/// their midpoints — the compiled twin of the bound evaluation in [`walk`].
+fn bounds(l: &CompiledLoop, params: &BoundParams, midpoints: &[Option<f64>]) -> (f64, f64) {
+    let outer = |v: LoopVarId| {
+        midpoints
+            .get(v.0)
+            .copied()
+            .flatten()
+            .map(|m| m.round() as i64)
+    };
+    let lo = l.lower.eval(params, &outer);
+    let hi = l.upper.eval(params, &outer);
+    match (lo, hi) {
+        (Some(lo), Some(hi)) => ((hi - lo).max(0) as f64, (lo as f64 + hi as f64) / 2.0),
+        _ => (0.0, 0.0),
+    }
+}
+
+fn compile_level(stmts: &[Stmt], table: &mut SymbolTable, n_vars: &mut usize) -> Vec<CompiledLoop> {
+    let mut out = Vec::new();
+    for s in stmts {
+        if let Stmt::For(l, body) = s {
+            *n_vars = (*n_vars).max(l.var.0 + 1);
+            out.push(CompiledLoop {
+                var: l.var,
+                lower: CompiledExpr::compile(&l.lower, table),
+                upper: CompiledExpr::compile(&l.upper, table),
+                children: compile_level(body, table, n_vars),
+            });
+        }
+    }
+    out
 }
 
 /// Resolves average trip counts for all loops of a kernel under a binding.
@@ -116,6 +299,57 @@ mod tests {
         assert_eq!(tc.get(j1), 100.0);
         // Midpoint of j1 is 50 -> trips = 100 - 51 = 49 ~ m/2.
         assert!((tc.get(j2) - 49.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn compiled_trips_match_walk_resolution() {
+        // Triangular nest: the compiled resolver must reproduce the tree
+        // walk bit-for-bit, including midpoint substitution.
+        let mut kb = KernelBuilder::new("tri");
+        let a = kb.array("a", 4, &["m".into(), "m".into()], Transfer::InOut);
+        let j1 = kb.parallel_loop(0, "m");
+        let j2 = kb.seq_loop(Expr::var(j1) + Expr::Const(1), "m");
+        kb.store(a, &[j1.into(), j2.into()], cexpr::lit(0.0));
+        kb.end_loop();
+        kb.end_loop();
+        let k = kb.finish();
+
+        let mut table = crate::sym::SymbolTable::new();
+        let ct = CompiledTrips::compile(&k, &mut table);
+        assert_eq!(ct.n_vars(), 2);
+        for binding in [
+            Binding::new().with("m", 100),
+            Binding::new().with("m", 0),
+            Binding::new().with("m", -5),
+            Binding::new(),
+        ] {
+            let reference = resolve(&k, &binding);
+            let params = table.bind(&binding);
+            let compiled = ct.resolve(&params);
+            for v in [j1, j2] {
+                assert_eq!(compiled.get(v).to_bits(), reference.get(v).to_bits());
+            }
+            let mut slots = TripSlots::default();
+            ct.resolve_slots_into(&params, &mut slots);
+            for v in [j1, j2] {
+                assert_eq!(slots.get(v).to_bits(), reference.get(v).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn dense_view_matches_sparse_counts() {
+        let mut kb = KernelBuilder::new("rect");
+        let a = kb.array("a", 4, &["n".into()], Transfer::InOut);
+        let i = kb.parallel_loop(0, "n");
+        kb.store(a, &[i.into()], cexpr::lit(0.0));
+        kb.end_loop();
+        let k = kb.finish();
+        let tc = resolve(&k, &Binding::new().with("n", 100));
+        let slots = tc.dense(1);
+        assert_eq!(slots.get(i), tc.get(i));
+        assert_eq!(slots.get(LoopVarId(7)), 0.0, "out of range reads as zero");
+        assert_eq!(TripSlots::uniform(3, 128.0).get(i), 128.0);
     }
 
     #[test]

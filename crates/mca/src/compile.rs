@@ -25,7 +25,7 @@ use crate::isa::{OpKind, ALL_KINDS};
 use crate::loadout::Loadout;
 use crate::lower::{lower_assigns, lower_assigns_opts, TripFn};
 use crate::sched::{simulate, SimOptions};
-use hetsel_ir::{Assign, Kernel, Loop, Stmt};
+use hetsel_ir::{Assign, Kernel, Loop, Stmt, TripSlots};
 
 /// Partially evaluated [`parallel_iter_cycles_opts`]
 /// (`Machine_cycles_per_iter` of the Liao/Chapman model).
@@ -49,6 +49,17 @@ impl CompiledCycles {
             // Parallel loop's own per-iteration overhead, as in the direct
             // analysis.
             CompiledCycles::Nest(nest) => nest.evaluate(trip) + 1.0,
+        }
+    }
+
+    /// [`CompiledCycles::evaluate`] against a dense [`TripSlots`] view: the
+    /// hot-path form — integer-indexed trip lookups, no boxed closure. The
+    /// arithmetic (and thus the result, bit for bit) is identical to the
+    /// closure path when `trips.of(l)` agrees with `trip(l)`.
+    pub fn evaluate_slots(&self, trips: &TripSlots) -> f64 {
+        match self {
+            CompiledCycles::StraightLine(cycles) => *cycles,
+            CompiledCycles::Nest(nest) => nest.evaluate_slots(trips) + 1.0,
         }
     }
 }
@@ -98,6 +109,28 @@ impl CompiledNest {
                     let per_iter = match throughput {
                         Throughput::Const(c) => *c,
                         Throughput::Nested(inner) => inner.evaluate(trip) + 3.0,
+                    };
+                    total += trips * per_iter + startup;
+                }
+            }
+        }
+        total
+    }
+
+    fn evaluate_slots(&self, slots: &TripSlots) -> f64 {
+        let mut total = 0.0;
+        for term in &self.terms {
+            match term {
+                NestTerm::Block(cycles) => total += cycles,
+                NestTerm::Loop {
+                    header,
+                    throughput,
+                    startup,
+                } => {
+                    let trips = slots.of(header).max(0.0);
+                    let per_iter = match throughput {
+                        Throughput::Const(c) => *c,
+                        Throughput::Nested(inner) => inner.evaluate_slots(slots) + 3.0,
                     };
                     total += trips * per_iter + startup;
                 }
@@ -236,6 +269,28 @@ impl CompiledLoadout {
         out
     }
 
+    /// [`CompiledLoadout::evaluate`] against a dense [`TripSlots`] view;
+    /// bit-for-bit identical when `trips.of(l)` agrees with `trip(l)`.
+    pub fn evaluate_slots(&self, trips: &TripSlots) -> Loadout {
+        let mut out = Loadout::default();
+        self.accumulate_slots(trips, 1.0, &mut out);
+        out
+    }
+
+    fn accumulate_slots(&self, slots: &TripSlots, weight: f64, out: &mut Loadout) {
+        for term in &self.terms {
+            match term {
+                LoadTerm::Block(block) => out.add_scaled(block, weight),
+                LoadTerm::Loop { header, body } => {
+                    let trips = slots.of(header).max(0.0);
+                    out.counts[OpKind::IntAlu.index()] += 2.0 * trips * weight;
+                    out.counts[OpKind::Branch.index()] += trips * weight;
+                    body.accumulate_slots(slots, weight * trips, out);
+                }
+            }
+        }
+    }
+
     fn accumulate(&self, trip: &TripFn, weight: f64, out: &mut Loadout) {
         for term in &self.terms {
             match term {
@@ -338,6 +393,56 @@ mod tests {
                 for (d, r) in direct.counts.iter().zip(replayed.counts.iter()) {
                     assert_eq!(d.to_bits(), r.to_bits(), "{}", kernel.name);
                 }
+            }
+        }
+    }
+
+    /// The dense-slot evaluation path must agree bit-for-bit with the
+    /// closure path whenever the slots report the same per-loop trips.
+    #[test]
+    fn slot_evaluation_matches_closure_evaluation() {
+        let core = power9();
+        for bench in suite() {
+            for kernel in &bench.kernels {
+                let mut table = hetsel_ir::SymbolTable::new();
+                let ct = hetsel_ir::CompiledTrips::compile(kernel, &mut table);
+                let n_vars = ct.n_vars();
+                let compiled = compile_parallel_iter_cycles(kernel, &core, None, true);
+                let counts = compile_loadout(kernel);
+                // Uniform regime (the paper's assume-128 abstraction).
+                let uniform = TripSlots::uniform(n_vars, 128.0);
+                let trip128 = |_: &Loop| 128.0;
+                assert_eq!(
+                    compiled.evaluate(&trip128).to_bits(),
+                    compiled.evaluate_slots(&uniform).to_bits(),
+                    "{}",
+                    kernel.name
+                );
+                assert_eq!(
+                    counts.evaluate(&trip128),
+                    counts.evaluate_slots(&uniform),
+                    "{}",
+                    kernel.name
+                );
+                // Per-variable regime.
+                let tc = hetsel_ir::trips::resolve(
+                    kernel,
+                    &hetsel_ir::Binding::new().with("n", 37).with("m", 12),
+                );
+                let slots = tc.dense(n_vars);
+                let trip = |l: &Loop| tc.of(l);
+                assert_eq!(
+                    compiled.evaluate(&trip).to_bits(),
+                    compiled.evaluate_slots(&slots).to_bits(),
+                    "{}",
+                    kernel.name
+                );
+                assert_eq!(
+                    counts.evaluate(&trip),
+                    counts.evaluate_slots(&slots),
+                    "{}",
+                    kernel.name
+                );
             }
         }
     }

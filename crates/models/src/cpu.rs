@@ -15,12 +15,12 @@
 //! the limitation the paper calls "a primary future work direction", and it
 //! is the main source of CPU-side prediction error against the simulator.
 
-use std::sync::Arc;
-
 use crate::error::ModelError;
 use crate::trip::TripMode;
-use hetsel_ipda::{analyze_cached, KernelAccessInfo};
-use hetsel_ir::{trips, Binding, Kernel};
+use hetsel_ipda::{analyze_cached, CompiledAssess, CompiledStride};
+use hetsel_ir::{
+    Binding, BoundParams, CompiledKernel, CompiledTrips, Kernel, LoopVarId, SymbolTable, TripSlots,
+};
 use hetsel_mca::{compile_parallel_iter_cycles, CompiledCycles, CoreDescriptor};
 
 /// CPU model parameters (paper Table II).
@@ -140,107 +140,23 @@ impl CpuPrediction {
     }
 }
 
-/// Static TLB-miss estimate: for each access, the probability that one
-/// dynamic execution crosses into a new page, assuming the footprint
-/// exceeds the TLB reach (the libhugetlbfs-style estimate of the paper).
-fn tlb_misses_per_iter(
-    kernel: &Kernel,
-    info: &KernelAccessInfo,
-    binding: &Binding,
-    p: &CpuModelParams,
-    tc: &trips::TripCounts,
-    trip: &dyn Fn(&hetsel_ir::Loop) -> f64,
-) -> f64 {
-    // TLB reach: if every mapped byte fits under the TLB, no misses.
-    let total_bytes: u64 = kernel.arrays.iter().filter_map(|a| a.bytes(binding)).sum();
-    if total_bytes <= u64::from(p.tlb_entries) * p.page_bytes {
-        return 0.0;
-    }
-    let mut misses = 0.0;
-    for a in &info.accesses {
-        // Dynamic executions per parallel iteration under the trip oracle.
-        let mut weight = 1.0;
-        for (v, parallel) in &a.enclosing {
-            if !*parallel {
-                // The oracle sees Loop headers; approximate with resolved
-                // average trips (identical for Runtime mode, 128 for the
-                // static abstraction — both available via `trip`).
-                let l = hetsel_ir::Loop {
-                    var: *v,
-                    lower: hetsel_ir::Expr::Const(0),
-                    upper: hetsel_ir::Expr::Const(tc.get(*v).round() as i64),
-                    parallel: false,
-                };
-                weight *= trip(&l).max(0.0);
-            }
-        }
-        let stride_bytes = match a.innermost_stride.resolve(binding) {
-            Some(s) => s.unsigned_abs() as f64 * f64::from(a.elem_bytes),
-            None => p.page_bytes as f64, // irregular: assume a new page each time
-        };
-        let per_exec = (stride_bytes / p.page_bytes as f64).min(1.0);
-        misses += weight * per_exec;
-    }
-    misses
+/// One access's precompiled TLB inputs: the sequential loop variables whose
+/// trips weight the access, and the bytecode for its innermost stride.
+#[derive(Debug, Clone)]
+struct TlbAccess {
+    sequential_vars: Vec<LoopVarId>,
+    stride: CompiledStride,
+    elem_bytes: u32,
 }
 
-/// The model's vector-schedule credit: same legality reasoning as the
-/// compiler applies, without any cache knowledge.
-fn vector_factor(
-    kernel: &Kernel,
-    info: &KernelAccessInfo,
-    binding: &Binding,
-    p: &CpuModelParams,
-) -> f64 {
-    let vec_info = hetsel_ipda::assess(kernel, info, binding);
-    let elem = kernel
-        .arrays
-        .iter()
-        .map(|a| a.elem_bytes)
-        .max()
-        .unwrap_or(4);
-    let lanes = (f64::from(p.core.vector_lanes_f64) * 8.0 / f64::from(elem)).max(1.0);
-    let max_depth = info
-        .accesses
-        .iter()
-        .map(|a| a.enclosing.len())
-        .max()
-        .unwrap_or(0);
-    let hot: Vec<_> = info
-        .accesses
-        .iter()
-        .filter(|a| a.enclosing.len() == max_depth)
-        .collect();
-    let Some((inner_var, inner_parallel)) = hot.first().and_then(|a| a.enclosing.last().copied())
-    else {
-        return 1.0;
-    };
-    if !inner_parallel {
-        if let Some(vi) = vec_info.get(&inner_var) {
-            if vi.legal {
-                let mut f = lanes * p.core.vector_efficiency;
-                if vi.has_reduction {
-                    f *= p.core.vector_reduction_efficiency;
-                }
-                return f.max(1.0);
-            }
-        }
-    }
-    let thread_ok = hot.iter().all(|a| {
-        matches!(
-            a.thread_stride.resolve(binding),
-            Some(0) | Some(1) | Some(-1)
-        )
-    });
-    if thread_ok {
-        if inner_parallel {
-            return (lanes * p.core.vector_efficiency).max(1.0);
-        }
-        if p.outer_loop_vectorization {
-            return (lanes * p.core.vector_efficiency * 0.8).max(1.0);
-        }
-    }
-    1.0
+/// The binding-independent half of the vector-schedule credit, extracted at
+/// compile time: lane budget, the hottest loop, and the hot accesses' thread
+/// strides as bytecode.
+#[derive(Debug, Clone, Default)]
+struct CompiledVectorFactor {
+    lanes: f64,
+    inner: Option<(LoopVarId, bool)>,
+    hot_thread_strides: Vec<CompiledStride>,
 }
 
 /// Predicts the host execution time of a kernel with `threads` OpenMP
@@ -289,32 +205,94 @@ pub fn compile(
     let _span = hetsel_obs::span_with("hetsel.models.cpu.compile", || {
         vec![hetsel_obs::trace::field("kernel", kernel.name.as_str())]
     });
+    let info = analyze_cached(kernel);
+    let mut symbols = SymbolTable::new();
+    let facts = CompiledKernel::compile(kernel, &mut symbols);
+    let ctrips = CompiledTrips::compile(kernel, &mut symbols);
+    let assess = CompiledAssess::compile(kernel, &info, &mut symbols);
+    let tlb = info
+        .accesses
+        .iter()
+        .map(|a| TlbAccess {
+            sequential_vars: a
+                .enclosing
+                .iter()
+                .filter(|(_, parallel)| !*parallel)
+                .map(|(v, _)| *v)
+                .collect(),
+            stride: a.innermost_stride.compile(&mut symbols),
+            elem_bytes: a.elem_bytes,
+        })
+        .collect();
+    let elem = kernel
+        .arrays
+        .iter()
+        .map(|a| a.elem_bytes)
+        .max()
+        .unwrap_or(4);
+    let max_depth = info
+        .accesses
+        .iter()
+        .map(|a| a.enclosing.len())
+        .max()
+        .unwrap_or(0);
+    let hot: Vec<_> = info
+        .accesses
+        .iter()
+        .filter(|a| a.enclosing.len() == max_depth)
+        .collect();
+    let vector = CompiledVectorFactor {
+        lanes: (f64::from(params.core.vector_lanes_f64) * 8.0 / f64::from(elem)).max(1.0),
+        inner: hot.first().and_then(|a| a.enclosing.last().copied()),
+        hot_thread_strides: hot
+            .iter()
+            .map(|a| a.thread_stride.compile(&mut symbols))
+            .collect(),
+    };
     CompiledCpuModel {
-        info: analyze_cached(kernel),
         cycles_serial: compile_parallel_iter_cycles(kernel, &params.core, None, true),
         cycles_tput: compile_parallel_iter_cycles(kernel, &params.core, None, false),
         kernel: kernel.clone(),
         params: params.clone(),
         threads,
         mode,
+        symbols,
+        facts,
+        ctrips,
+        assess,
+        tlb,
+        vector,
     }
 }
 
 /// A kernel's CPU model after the compile phase: the attribute-database
 /// entry of the paper's architecture. Holds the partially evaluated MCA
-/// analyses (both accumulator-chain settings, for the unroll credit) and the
-/// shared IPDA result; evaluation against a [`Binding`] is pure arithmetic.
+/// analyses (both accumulator-chain settings, for the unroll credit) plus
+/// every IPDA-derived quantity lowered to slot-resolved bytecode; evaluation
+/// against a [`Binding`] interns the binding once and is pure arithmetic —
+/// no string lookups, no `Expr` tree walks.
 #[derive(Debug, Clone)]
 pub struct CompiledCpuModel {
     kernel: Kernel,
     params: CpuModelParams,
     threads: u32,
     mode: TripMode,
-    info: Arc<KernelAccessInfo>,
     /// MCA replay with carried accumulator chains (serial upper bound).
     cycles_serial: CompiledCycles,
     /// MCA replay without carried chains (throughput bound).
     cycles_tput: CompiledCycles,
+    /// The interner every compiled expression below resolves slots against.
+    symbols: SymbolTable,
+    /// Parallel-iteration and array-footprint bytecode.
+    facts: CompiledKernel,
+    /// Loop-nest trip resolution bytecode.
+    ctrips: CompiledTrips,
+    /// SIMD legality replay (stride checks + body flags).
+    assess: CompiledAssess,
+    /// Per-access TLB inputs, in access order.
+    tlb: Vec<TlbAccess>,
+    /// Vector-schedule credit statics.
+    vector: CompiledVectorFactor,
 }
 
 impl CompiledCpuModel {
@@ -334,26 +312,29 @@ impl CompiledCpuModel {
                 self.kernel.name.as_str(),
             )]
         });
-        let kernel = &self.kernel;
         let params = &self.params;
         let threads = self.threads;
-        let p_iters = kernel
-            .parallel_iterations(binding)
-            .ok_or_else(|| ModelError::unresolved(kernel, binding))?;
+        // Resolve every parameter to its dense slot once; everything below
+        // replays bytecode against this view — no name lookups.
+        let bound = self.symbols.bind(binding);
+        let p_iters = self
+            .facts
+            .parallel_iterations(&bound)
+            .ok_or_else(|| ModelError::unresolved(&self.kernel, binding))?;
         if p_iters == 0 {
             return Err(ModelError::ZeroTrip);
         }
         if threads == 0 {
             return Err(ModelError::ZeroThreads);
         }
-        let tc = trips::resolve(kernel, binding);
-        let trip_fn = self.mode.trip_fn(&tc);
+        let tc = self.ctrips.resolve(&bound);
+        let slots = self.mode.slots(&tc, self.ctrips.n_vars());
 
         // Machine_cycles_per_iter: MCA over the generated schedule (unrolled,
         // vectorised), flat L1 load latency — no cache model.
-        let cpi_serial = self.cycles_serial.evaluate(&*trip_fn);
-        let cpi_tput = self.cycles_tput.evaluate(&*trip_fn);
-        let vf = vector_factor(kernel, &self.info, binding, params);
+        let cpi_serial = self.cycles_serial.evaluate_slots(&slots);
+        let cpi_tput = self.cycles_tput.evaluate_slots(&slots);
+        let vf = self.vector_factor(&bound);
         let machine_cycles_per_iter = cpi_tput.max(cpi_serial / params.unroll) / vf;
 
         // The model's thread abstraction: SMT beyond `smt_benefit` threads per
@@ -364,9 +345,8 @@ impl CompiledCpuModel {
         let smt_stretch =
             u64::from(threads).min(p_iters) as f64 / effective_threads.min(p_iters).max(1) as f64;
 
-        let cache_cost = tlb_misses_per_iter(kernel, &self.info, binding, params, &tc, &*trip_fn)
-            * params.tlb_miss_penalty
-            * chunk as f64;
+        let cache_cost =
+            self.tlb_misses_per_iter(&bound, &slots) * params.tlb_miss_penalty * chunk as f64;
         let loop_overhead = params.loop_overhead_per_iter * chunk as f64;
 
         // Figure 3: Parallel_region = Fork + max_i(Thread_exe) + Join, with the
@@ -392,6 +372,70 @@ impl CompiledCpuModel {
             loop_chunk_cycles: loop_chunk,
             join_cycles: join,
         })
+    }
+
+    /// Static TLB-miss estimate: for each access, the probability that one
+    /// dynamic execution crosses into a new page, assuming the footprint
+    /// exceeds the TLB reach (the libhugetlbfs-style estimate of the paper).
+    fn tlb_misses_per_iter(&self, bound: &BoundParams, slots: &TripSlots) -> f64 {
+        let p = &self.params;
+        // TLB reach: if every mapped byte fits under the TLB, no misses.
+        let total_bytes = self.facts.resolved_bytes_total(bound);
+        if total_bytes <= u64::from(p.tlb_entries) * p.page_bytes {
+            return 0.0;
+        }
+        let mut misses = 0.0;
+        for a in &self.tlb {
+            // Dynamic executions per parallel iteration under the trip mode:
+            // resolved average trips for Runtime, 128 for the abstraction.
+            let mut weight = 1.0;
+            for v in &a.sequential_vars {
+                weight *= slots.get(*v).max(0.0);
+            }
+            let stride_bytes = match a.stride.resolve(bound) {
+                Some(s) => s.unsigned_abs() as f64 * f64::from(a.elem_bytes),
+                None => p.page_bytes as f64, // irregular: assume a new page each time
+            };
+            let per_exec = (stride_bytes / p.page_bytes as f64).min(1.0);
+            misses += weight * per_exec;
+        }
+        misses
+    }
+
+    /// The model's vector-schedule credit: same legality reasoning as the
+    /// compiler applies, without any cache knowledge.
+    fn vector_factor(&self, bound: &BoundParams) -> f64 {
+        let p = &self.params;
+        let vec_info = self.assess.evaluate(bound);
+        let lanes = self.vector.lanes;
+        let Some((inner_var, inner_parallel)) = self.vector.inner else {
+            return 1.0;
+        };
+        if !inner_parallel {
+            if let Some(vi) = vec_info.get(&inner_var) {
+                if vi.legal {
+                    let mut f = lanes * p.core.vector_efficiency;
+                    if vi.has_reduction {
+                        f *= p.core.vector_reduction_efficiency;
+                    }
+                    return f.max(1.0);
+                }
+            }
+        }
+        let thread_ok = self
+            .vector
+            .hot_thread_strides
+            .iter()
+            .all(|s| matches!(s.resolve(bound), Some(0) | Some(1) | Some(-1)));
+        if thread_ok {
+            if inner_parallel {
+                return (lanes * p.core.vector_efficiency).max(1.0);
+            }
+            if p.outer_loop_vectorization {
+                return (lanes * p.core.vector_efficiency * 0.8).max(1.0);
+            }
+        }
+        1.0
     }
 }
 

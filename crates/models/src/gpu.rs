@@ -14,13 +14,14 @@
 //! instruction pays the full device-memory latency, which the paper calls
 //! out when discussing the SYRK over-estimate.
 
-use std::sync::Arc;
-
 use crate::error::ModelError;
 use crate::trip::TripMode;
 use hetsel_gpusim::{occupancy, select, Geometry, GpuDescriptor, Occupancy};
-use hetsel_ipda::{analyze_cached, KernelAccessInfo};
-use hetsel_ir::{trips, Binding, Kernel};
+use hetsel_ipda::{analyze_cached, CompiledStride};
+use hetsel_ir::{
+    trips::TripCounts, Binding, BoundParams, CompiledExpr, CompiledKernel, CompiledTrips, Kernel,
+    LoopVarId, SymbolTable,
+};
 use hetsel_mca::{compile_loadout, CompiledLoadout, OpKind};
 
 /// How memory accesses are classified when the model runs — `Ipda` is the
@@ -141,125 +142,20 @@ struct MemCensus {
     avg_txns: f64,
 }
 
-/// Static L2-hit estimate for one access — the paper's stated future-work
-/// direction ("improved representation of the memory hierarchy impacts is a
-/// sure way to improve prediction efficacy"), realised with the same
-/// symbolic machinery IPDA already provides: from the access's coefficients
-/// on the parallel dimensions and the resident thread population, compute
-/// the distinct bytes the device touches per lockstep step; if that
-/// concurrent footprint fits in L2, repeated touches hit.
-fn static_l2_hit(
-    kernel: &Kernel,
-    a: &hetsel_ipda::AccessInfo,
-    binding: &Binding,
-    dev: &hetsel_gpusim::GpuDescriptor,
-    tc: &hetsel_ir::trips::TripCounts,
-    resident_threads: f64,
-) -> f64 {
-    let l2 = dev.l2_bytes as f64;
-    let array_bytes = kernel.array(a.array).bytes(binding).unwrap_or(u64::MAX) as f64;
-    if array_bytes <= l2 {
-        return 0.95;
-    }
-    let Some(aff) = &a.affine else {
-        return 0.0;
-    };
-    // Coverage of each parallel dimension by the resident threads
-    // (innermost dimension fills first, matching the thread-id mapping).
-    let ploops = kernel.parallel_loops();
-    let mut remaining = resident_threads;
-    let mut distinct = 1.0;
-    let mut innermost_unit = true;
-    for (idx, l) in ploops.iter().enumerate().rev() {
-        let t = tc.of(l).max(1.0);
-        let cover = remaining.min(t).max(1.0);
-        remaining = (remaining / t).ceil().max(1.0);
-        let coeff = aff.coeff(l.var).eval(binding).unwrap_or(1);
-        if coeff != 0 {
-            distinct *= cover;
-        }
-        if idx == ploops.len() - 1 {
-            innermost_unit = coeff.abs() <= 1;
-        }
-    }
-    let granule = if innermost_unit {
-        f64::from(a.elem_bytes)
-    } else {
-        f64::from(dev.segment_bytes)
-    };
-    let footprint = distinct * granule;
-    if footprint * 2.0 <= l2 {
-        // Comfortably resident: essentially every repeat touch hits.
-        0.95
-    } else {
-        (0.45 * l2 / footprint).min(0.85)
-    }
-}
-
-#[allow(clippy::too_many_arguments)] // internal aggregation helper
-fn census(
-    kernel: &Kernel,
-    info: &KernelAccessInfo,
-    binding: &Binding,
-    dev: &hetsel_gpusim::GpuDescriptor,
-    tc: &hetsel_ir::trips::TripCounts,
-    mode: CoalescingMode,
-    trip_mode: TripMode,
-    resident_threads: f64,
-) -> MemCensus {
-    let seg = dev.segment_bytes;
-    let mut coal = 0.0;
-    let mut uncoal = 0.0;
-    let mut uncoal_txn_sum = 0.0;
-    let mut hit_sum = 0.0;
-    let mut txn_sum = 0.0;
-    let mut total = 0.0;
-    for a in &info.accesses {
-        let mut weight = 1.0;
-        for (v, parallel) in &a.enclosing {
-            if !*parallel {
-                weight *= match trip_mode {
-                    TripMode::Assume128 => 128.0,
-                    TripMode::Runtime => tc.get(*v).max(0.0),
-                };
-            }
-        }
-        if weight == 0.0 {
-            continue;
-        }
-        let (is_coal, txns) = match mode {
-            CoalescingMode::AssumeCoalesced => (true, 1.0),
-            CoalescingMode::AssumeUncoalesced => (false, 32.0),
-            CoalescingMode::Ipda => match a.thread_stride.resolve(binding) {
-                Some(s) => (
-                    hetsel_ipda::is_coalesced(s, a.elem_bytes, seg),
-                    f64::from(hetsel_ipda::transactions_per_warp(s, a.elem_bytes, seg)),
-                ),
-                None => (false, 32.0),
-            },
-        };
-        let hit = static_l2_hit(kernel, a, binding, dev, tc, resident_threads);
-        if is_coal {
-            coal += weight;
-        } else {
-            uncoal += weight;
-            uncoal_txn_sum += weight * txns;
-        }
-        hit_sum += weight * hit;
-        txn_sum += weight * txns;
-        total += weight;
-    }
-    MemCensus {
-        coal,
-        uncoal,
-        uncoal_txns: if uncoal > 0.0 {
-            uncoal_txn_sum / uncoal
-        } else {
-            32.0
-        },
-        l2_hit: if total > 0.0 { hit_sum / total } else { 0.0 },
-        avg_txns: if total > 0.0 { txn_sum / total } else { 1.0 },
-    }
+/// One access's precompiled census inputs: sequential loop weights, the
+/// thread-dimension stride as bytecode, and the parallel-dimension affine
+/// coefficients as bytecode (for the static L2 estimate).
+#[derive(Debug, Clone)]
+struct CensusAccess {
+    /// Non-parallel enclosing loop variables, in nesting order.
+    sequential_vars: Vec<LoopVarId>,
+    thread_stride: CompiledStride,
+    elem_bytes: u32,
+    /// Declaration index of the accessed array.
+    array: usize,
+    /// Per parallel loop (outermost first), the access's affine coefficient
+    /// on that loop's variable; `None` when the access is not affine.
+    ploop_coeffs: Option<Vec<CompiledExpr>>,
 }
 
 /// Predicts the GPU execution time of a kernel (Figures 4–5 with the
@@ -309,28 +205,70 @@ pub fn compile(
     let _span = hetsel_obs::span_with("hetsel.models.gpu.compile", || {
         vec![hetsel_obs::trace::field("kernel", kernel.name.as_str())]
     });
+    let info = analyze_cached(kernel);
+    let mut symbols = SymbolTable::new();
+    let facts = CompiledKernel::compile(kernel, &mut symbols);
+    let ctrips = CompiledTrips::compile(kernel, &mut symbols);
+    let ploops = kernel.parallel_loops();
+    let ploop_vars: Vec<LoopVarId> = ploops.iter().map(|l| l.var).collect();
+    let accesses = info
+        .accesses
+        .iter()
+        .map(|a| CensusAccess {
+            sequential_vars: a
+                .enclosing
+                .iter()
+                .filter(|(_, parallel)| !*parallel)
+                .map(|(v, _)| *v)
+                .collect(),
+            thread_stride: a.thread_stride.compile(&mut symbols),
+            elem_bytes: a.elem_bytes,
+            array: a.array.0,
+            ploop_coeffs: a.affine.as_ref().map(|aff| {
+                ploops
+                    .iter()
+                    .map(|l| CompiledExpr::compile_poly(&aff.coeff(l.var), &mut symbols))
+                    .collect()
+            }),
+        })
+        .collect();
     CompiledGpuModel {
-        info: analyze_cached(kernel),
         loadout: compile_loadout(kernel),
         kernel: kernel.clone(),
         params: params.clone(),
         trip_mode,
         coal_mode,
+        symbols,
+        facts,
+        ctrips,
+        ploop_vars,
+        accesses,
     }
 }
 
 /// A kernel's GPU model after the compile phase: the attribute-database
 /// entry of the paper's architecture. Holds the partially evaluated
-/// instruction loadout and the shared IPDA result; evaluation against a
-/// [`Binding`] resolves strides and trip counts and composes Figures 4–5.
+/// instruction loadout plus every IPDA-derived quantity lowered to
+/// slot-resolved bytecode; evaluation against a [`Binding`] interns the
+/// binding once, resolves strides and trip counts, and composes
+/// Figures 4–5 — no string lookups, no `Expr` tree walks.
 #[derive(Debug, Clone)]
 pub struct CompiledGpuModel {
     kernel: Kernel,
     params: GpuModelParams,
     trip_mode: TripMode,
     coal_mode: CoalescingMode,
-    info: Arc<KernelAccessInfo>,
     loadout: CompiledLoadout,
+    /// The interner every compiled expression below resolves slots against.
+    symbols: SymbolTable,
+    /// Parallel-iteration, array-footprint and transfer-volume bytecode.
+    facts: CompiledKernel,
+    /// Loop-nest trip resolution bytecode.
+    ctrips: CompiledTrips,
+    /// Parallel loop variables, outermost first.
+    ploop_vars: Vec<LoopVarId>,
+    /// Per-access census inputs, in access order.
+    accesses: Vec<CensusAccess>,
 }
 
 impl CompiledGpuModel {
@@ -349,13 +287,15 @@ impl CompiledGpuModel {
                 self.kernel.name.as_str(),
             )]
         });
-        let kernel = &self.kernel;
         let params = &self.params;
-        let (trip_mode, coal_mode) = (self.trip_mode, self.coal_mode);
         let dev = &params.device;
-        let p_iters = kernel
-            .parallel_iterations(binding)
-            .ok_or_else(|| ModelError::unresolved(kernel, binding))?;
+        // Resolve every parameter to its dense slot once; everything below
+        // replays bytecode against this view — no name lookups.
+        let bound = self.symbols.bind(binding);
+        let p_iters = self
+            .facts
+            .parallel_iterations(&bound)
+            .ok_or_else(|| ModelError::unresolved(&self.kernel, binding))?;
         if p_iters == 0 {
             return Err(ModelError::ZeroTrip);
         }
@@ -363,9 +303,9 @@ impl CompiledGpuModel {
         let occ = occupancy(dev, &geometry);
         let n = f64::from(occ.warps_per_sm).max(1.0);
 
-        let tc = trips::resolve(kernel, binding);
-        let trip_fn = trip_mode.trip_fn(&tc);
-        let lo = self.loadout.evaluate(&*trip_fn);
+        let tc = self.ctrips.resolve(&bound);
+        let slots = self.trip_mode.slots(&tc, self.ctrips.n_vars());
+        let lo = self.loadout.evaluate_slots(&slots);
 
         // Instruction loadout: compute vs I/O categories (Section IV.B).
         let mut total_insts = 0.0;
@@ -378,11 +318,8 @@ impl CompiledGpuModel {
         }
         let mem_insts = lo.mem_insts().max(1.0);
 
-        let info = &self.info;
         let resident = (geometry.total_threads() as f64).min(p_iters as f64);
-        let c = census(
-            kernel, info, binding, dev, &tc, coal_mode, trip_mode, resident,
-        );
+        let c = self.census(&bound, &tc, resident);
         let (coal, uncoal, uncoal_txns) = (c.coal, c.uncoal, c.uncoal_txns);
 
         // Figure 5 quantities, with the Volta adaptation's L2 blend: a
@@ -438,12 +375,14 @@ impl CompiledGpuModel {
         let exec_cycles = per_rep_cycles * rep * omp_rep;
         let kernel_seconds = exec_cycles / (dev.clock_ghz * 1e9);
 
-        let bytes_in = kernel
-            .bytes_to_device(binding)
-            .ok_or_else(|| ModelError::unresolved(kernel, binding))? as f64;
-        let bytes_out = kernel
-            .bytes_from_device(binding)
-            .ok_or_else(|| ModelError::unresolved(kernel, binding))? as f64;
+        let bytes_in =
+            self.facts
+                .bytes_to_device(&bound)
+                .ok_or_else(|| ModelError::unresolved(&self.kernel, binding))? as f64;
+        let bytes_out =
+            self.facts
+                .bytes_from_device(&bound)
+                .ok_or_else(|| ModelError::unresolved(&self.kernel, binding))? as f64;
         let transfer = |b: f64| {
             if b <= 0.0 {
                 0.0
@@ -469,6 +408,118 @@ impl CompiledGpuModel {
             geometry,
             occupancy: occ,
         })
+    }
+
+    /// Aggregated memory census under the configured coalescing mode, from
+    /// the precompiled per-access inputs.
+    fn census(&self, bound: &BoundParams, tc: &TripCounts, resident_threads: f64) -> MemCensus {
+        let seg = self.params.device.segment_bytes;
+        let mut coal = 0.0;
+        let mut uncoal = 0.0;
+        let mut uncoal_txn_sum = 0.0;
+        let mut hit_sum = 0.0;
+        let mut txn_sum = 0.0;
+        let mut total = 0.0;
+        for a in &self.accesses {
+            let mut weight = 1.0;
+            for v in &a.sequential_vars {
+                weight *= match self.trip_mode {
+                    TripMode::Assume128 => 128.0,
+                    TripMode::Runtime => tc.get(*v).max(0.0),
+                };
+            }
+            if weight == 0.0 {
+                continue;
+            }
+            let (is_coal, txns) = match self.coal_mode {
+                CoalescingMode::AssumeCoalesced => (true, 1.0),
+                CoalescingMode::AssumeUncoalesced => (false, 32.0),
+                CoalescingMode::Ipda => match a.thread_stride.resolve(bound) {
+                    Some(s) => (
+                        hetsel_ipda::is_coalesced(s, a.elem_bytes, seg),
+                        f64::from(hetsel_ipda::transactions_per_warp(s, a.elem_bytes, seg)),
+                    ),
+                    None => (false, 32.0),
+                },
+            };
+            let hit = self.static_l2_hit(a, bound, tc, resident_threads);
+            if is_coal {
+                coal += weight;
+            } else {
+                uncoal += weight;
+                uncoal_txn_sum += weight * txns;
+            }
+            hit_sum += weight * hit;
+            txn_sum += weight * txns;
+            total += weight;
+        }
+        MemCensus {
+            coal,
+            uncoal,
+            uncoal_txns: if uncoal > 0.0 {
+                uncoal_txn_sum / uncoal
+            } else {
+                32.0
+            },
+            l2_hit: if total > 0.0 { hit_sum / total } else { 0.0 },
+            avg_txns: if total > 0.0 { txn_sum / total } else { 1.0 },
+        }
+    }
+
+    /// Static L2-hit estimate for one access — the paper's stated
+    /// future-work direction ("improved representation of the memory
+    /// hierarchy impacts is a sure way to improve prediction efficacy"),
+    /// realised with the same symbolic machinery IPDA already provides: from
+    /// the access's coefficients on the parallel dimensions and the resident
+    /// thread population, compute the distinct bytes the device touches per
+    /// lockstep step; if that concurrent footprint fits in L2, repeated
+    /// touches hit.
+    fn static_l2_hit(
+        &self,
+        a: &CensusAccess,
+        bound: &BoundParams,
+        tc: &TripCounts,
+        resident_threads: f64,
+    ) -> f64 {
+        let dev = &self.params.device;
+        let l2 = dev.l2_bytes as f64;
+        let array_bytes = self.facts.array_bytes(a.array, bound).unwrap_or(u64::MAX) as f64;
+        if array_bytes <= l2 {
+            return 0.95;
+        }
+        let Some(coeffs) = &a.ploop_coeffs else {
+            return 0.0;
+        };
+        // Coverage of each parallel dimension by the resident threads
+        // (innermost dimension fills first, matching the thread-id mapping).
+        let n_dims = coeffs.len();
+        let mut remaining = resident_threads;
+        let mut distinct = 1.0;
+        let mut innermost_unit = true;
+        for idx in (0..n_dims).rev() {
+            let t = tc.get(self.ploop_vars[idx]).max(1.0);
+            let cover = remaining.min(t).max(1.0);
+            remaining = (remaining / t).ceil().max(1.0);
+            let coeff = coeffs[idx].eval_closed(bound).unwrap_or(1);
+            if coeff != 0 {
+                distinct *= cover;
+            }
+            if idx == n_dims - 1 {
+                innermost_unit = coeff.abs() <= 1;
+            }
+        }
+        let granule = if innermost_unit {
+            f64::from(a.elem_bytes)
+        } else {
+            f64::from(dev.segment_bytes)
+        };
+        let footprint = distinct * granule;
+        if footprint * 2.0 <= l2 {
+            // Comfortably resident: essentially every repeat touch hits.
+            0.95
+        } else {
+            (0.45 * l2 / footprint).min(0.85)
+        }
     }
 }
 

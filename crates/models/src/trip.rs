@@ -6,7 +6,7 @@
 //! attribute database. Both modes are first-class here so the ablation
 //! benches can quantify what the abstraction costs.
 
-use hetsel_ir::{trips::TripCounts, Loop};
+use hetsel_ir::{trips::TripCounts, Loop, TripSlots};
 
 /// How inner-loop trip counts are resolved during model evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,6 +24,16 @@ impl TripMode {
         match self {
             TripMode::Assume128 => Box::new(|_: &Loop| 128.0),
             TripMode::Runtime => Box::new(move |l: &Loop| tc.of(l)),
+        }
+    }
+
+    /// Dense-slot equivalent of [`TripMode::trip_fn`]: one `f64` per loop
+    /// variable, indexable without boxing a closure. `slots.get(l.var)`
+    /// equals `trip_fn(tc)(&l)` for every loop variable below `n_vars`.
+    pub fn slots(self, tc: &TripCounts, n_vars: usize) -> TripSlots {
+        match self {
+            TripMode::Assume128 => TripSlots::uniform(n_vars, 128.0),
+            TripMode::Runtime => tc.dense(n_vars),
         }
     }
 }

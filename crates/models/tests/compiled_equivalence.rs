@@ -1,0 +1,113 @@
+//! Property tests: the compiled evaluation path (postfix bytecode over
+//! interned parameter slots) is bit-for-bit the tree-interpreted path, for
+//! **every** Polybench kernel under randomized — and partially unbound —
+//! bindings.
+//!
+//! The tree references are the original string-keyed entry points that the
+//! hot path no longer touches: `Kernel::parallel_iterations` /
+//! `bytes_to_device` / `bytes_from_device` (recursive `Expr::eval`),
+//! `trips::resolve` (tree-walking trip resolution) and `Stride::resolve`
+//! (polynomial evaluation over a `Binding`). Each is compared against its
+//! compiled twin on identical inputs.
+
+use hetsel_ipda::analyze_cached;
+use hetsel_ir::{trips, Binding, CompiledKernel, CompiledTrips, Kernel, SymbolTable};
+use hetsel_polybench::suite;
+use proptest::prelude::*;
+
+fn suite_kernels() -> Vec<Kernel> {
+    suite().into_iter().flat_map(|b| b.kernels).collect()
+}
+
+/// Deterministic value stream (splitmix-style LCG step) so one proptest
+/// `seed` fans out into a distinct value per (kernel, parameter).
+fn next_value(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// Builds a randomized binding for `kernel`: realistic extents, a sprinkle
+/// of degenerate values (zero, one), and roughly one parameter in six left
+/// unbound so the symbolic (`None`) paths are exercised too.
+fn arb_binding(kernel: &Kernel, state: &mut u64, unbind: u32) -> Binding {
+    let mut binding = Binding::new();
+    for (pi, p) in kernel.params().iter().enumerate() {
+        let v = next_value(state);
+        if (u64::from(unbind) + pi as u64 + v).is_multiple_of(6) {
+            continue;
+        }
+        // Mostly plausible extents, occasionally 0 or 1.
+        let value = match v % 8 {
+            0 => 0,
+            1 => 1,
+            _ => (v % 3000) as i64,
+        };
+        binding.set(p, value);
+    }
+    binding
+}
+
+proptest! {
+    /// Kernel facts (parallel-iteration product, transfer footprints) and
+    /// trip resolution agree with the tree interpreter on every Polybench
+    /// kernel.
+    #[test]
+    fn compiled_kernel_facts_match_tree(seed in 0u64..u64::MAX / 2, unbind in 0u32..64) {
+        let mut state = seed;
+        for kernel in &suite_kernels() {
+            let binding = arb_binding(kernel, &mut state, unbind);
+            let mut table = SymbolTable::new();
+            let facts = CompiledKernel::compile(kernel, &mut table);
+            let ctrips = CompiledTrips::compile(kernel, &mut table);
+            let bound = table.bind(&binding);
+
+            prop_assert_eq!(
+                facts.parallel_iterations(&bound),
+                kernel.parallel_iterations(&binding),
+                "parallel_iterations diverged for {}", kernel.name
+            );
+            prop_assert_eq!(
+                facts.bytes_to_device(&bound),
+                kernel.bytes_to_device(&binding),
+                "bytes_to_device diverged for {}", kernel.name
+            );
+            prop_assert_eq!(
+                facts.bytes_from_device(&bound),
+                kernel.bytes_from_device(&binding),
+                "bytes_from_device diverged for {}", kernel.name
+            );
+
+            let tree = trips::resolve(kernel, &binding);
+            let compiled = ctrips.resolve(&bound);
+            let n = ctrips.n_vars();
+            prop_assert_eq!(
+                compiled.dense(n),
+                tree.dense(n),
+                "trip counts diverged for {}", kernel.name
+            );
+        }
+    }
+
+    /// IPDA inter-thread strides resolve identically through bytecode and
+    /// through the symbolic polynomial, access by access.
+    #[test]
+    fn compiled_strides_match_tree(seed in 0u64..u64::MAX / 2, unbind in 0u32..64) {
+        let mut state = seed;
+        for kernel in &suite_kernels() {
+            let binding = arb_binding(kernel, &mut state, unbind);
+            let info = analyze_cached(kernel);
+            for (ai, access) in info.accesses.iter().enumerate() {
+                let mut table = SymbolTable::new();
+                let compiled = access.thread_stride.compile(&mut table);
+                let bound = table.bind(&binding);
+                prop_assert_eq!(
+                    compiled.resolve(&bound),
+                    access.thread_stride.resolve(&binding),
+                    "stride diverged for {} access {}", kernel.name, ai
+                );
+            }
+        }
+    }
+}

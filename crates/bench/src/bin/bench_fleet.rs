@@ -1,0 +1,126 @@
+//! Micro-benchmark of the decision hot path on a multi-accelerator fleet,
+//! exported as machine-readable JSON so CI can track what the fleet
+//! generalization costs relative to the classic pair:
+//!
+//! * `pair_cache_hit` — memoized decide on the classic host+GPU pair (the
+//!   baseline `bench_decision` also measures);
+//! * `fleet_cache_hit` — memoized decide on a two-accelerator fleet (same
+//!   allocation-free path, one more candidate in the cached verdict);
+//! * `fleet_scoped_hit` — memoized `decide_for` restricted to one
+//!   accelerator (the `(region, device, values)` cache key);
+//! * `pair_warm_evaluate` / `fleet_warm_evaluate` — uncached evaluation of
+//!   the precompiled models, two vs three candidates.
+//!
+//! ```text
+//! cargo run --release -p hetsel-bench --bin bench_fleet
+//! # → results/bench_fleet.json
+//! ```
+
+use hetsel_core::{DecisionEngine, Fleet, Platform, Selector};
+use hetsel_polybench::{find_kernel, Dataset};
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct BenchRow {
+    name: String,
+    iters: u64,
+    total_ns: u64,
+    ns_per_op: f64,
+}
+
+#[derive(Serialize)]
+struct Doc {
+    generator: &'static str,
+    platform: String,
+    fleet: Vec<String>,
+    results: Vec<BenchRow>,
+}
+
+/// Times `iters` calls of `f` after a short warmup; `ns_per_op` is the
+/// wall-clock mean.
+fn time(name: &str, iters: u64, mut f: impl FnMut()) -> BenchRow {
+    for _ in 0..iters.min(1_000) {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let total_ns = start.elapsed().as_nanos() as u64;
+    let row = BenchRow {
+        name: name.to_string(),
+        iters,
+        total_ns,
+        ns_per_op: total_ns as f64 / iters as f64,
+    };
+    println!(
+        "{:<24} {:>12.1} ns/op  ({} iters)",
+        row.name, row.ns_per_op, row.iters
+    );
+    row
+}
+
+fn main() {
+    let platform = Platform::power9_v100();
+    let fleet = Fleet::pair_labeled(&platform, "v100")
+        .with_accelerator_from("k80", &Platform::power8_k80());
+    let scope = fleet.device_id_of("k80").expect("k80 is registered");
+    let (kernel, binding) = find_kernel("gemm").unwrap();
+    let b = binding(Dataset::Benchmark);
+    let mut results = Vec::new();
+
+    let pair_engine = DecisionEngine::new(
+        Selector::new(platform.clone()),
+        std::slice::from_ref(&kernel),
+    );
+    pair_engine.decide("gemm", &b);
+    results.push(time("pair_cache_hit", 200_000, || {
+        black_box(pair_engine.decide(black_box("gemm"), black_box(&b)));
+    }));
+
+    let fleet_engine = DecisionEngine::new(
+        Selector::new(platform.clone()).with_fleet(fleet.clone()),
+        std::slice::from_ref(&kernel),
+    );
+    fleet_engine.decide("gemm", &b);
+    results.push(time("fleet_cache_hit", 200_000, || {
+        black_box(fleet_engine.decide(black_box("gemm"), black_box(&b)));
+    }));
+
+    fleet_engine.decide_for("gemm", &b, scope);
+    results.push(time("fleet_scoped_hit", 200_000, || {
+        black_box(fleet_engine.decide_for(black_box("gemm"), black_box(&b), scope));
+    }));
+
+    let pair_sel = Selector::new(platform.clone());
+    let pair_attrs = pair_engine.database().region("gemm").unwrap();
+    results.push(time("pair_warm_evaluate", 20_000, || {
+        black_box(pair_sel.decide(black_box(pair_attrs), black_box(&b)));
+    }));
+
+    let fleet_sel = Selector::new(platform.clone()).with_fleet(fleet.clone());
+    let fleet_attrs = fleet_engine.database().region("gemm").unwrap();
+    results.push(time("fleet_warm_evaluate", 20_000, || {
+        black_box(fleet_sel.decide(black_box(fleet_attrs), black_box(&b)));
+    }));
+
+    let doc = Doc {
+        generator: "hetsel-bench bench_fleet",
+        platform: platform.name.to_string(),
+        fleet: fleet
+            .device_ids()
+            .filter_map(|id| fleet.label(id).map(str::to_string))
+            .collect(),
+        results,
+    };
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/bench_fleet.json");
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).expect("results/ is creatable");
+    }
+    let json = serde_json::to_string_pretty(&doc).expect("doc serializes");
+    std::fs::write(&path, json).expect("results/bench_fleet.json is writable");
+    println!("\n[bench_fleet] wrote {}", path.display());
+}

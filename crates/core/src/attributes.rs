@@ -8,6 +8,7 @@
 //! queries the database by region name, binds the missing values, and
 //! evaluates the models.
 
+use crate::fleet::DeviceId;
 use crate::selector::Selector;
 use hetsel_ipda::{analyze_cached, KernelAccessInfo};
 use hetsel_ir::{Kernel, SymbolTable};
@@ -42,8 +43,25 @@ pub struct RegionAttributes {
     pub symbols: SymbolTable,
     /// The host model, fully compiled: evaluation only binds runtime values.
     pub cpu_model: CompiledCpuModel,
-    /// The device model, fully compiled.
+    /// The *primary* accelerator's model, fully compiled. (The platform's
+    /// own accelerator parameters when compiled under a host-only fleet,
+    /// so the pair view always has a GPU model to answer with.)
     pub gpu_model: CompiledGpuModel,
+    /// Compiled models for the fleet's remaining accelerators, in fleet id
+    /// order: `extra_accel_models[i]` belongs to `DeviceId(i + 2)`. Empty
+    /// for the classic pair.
+    pub extra_accel_models: Vec<CompiledGpuModel>,
+}
+
+/// A borrowed compiled model, resolved per `(RegionId, DeviceId)` by
+/// [`AttributeDatabase::model_for`]: the host's CPU model or one
+/// accelerator's GPU model.
+#[derive(Debug, Clone, Copy)]
+pub enum CompiledModelRef<'a> {
+    /// The region's compiled host model.
+    Host(&'a CompiledCpuModel),
+    /// The compiled model of one registered accelerator.
+    Accelerator(&'a CompiledGpuModel),
 }
 
 /// The database: a dense, name-ordered vector of region attributes plus a
@@ -65,7 +83,15 @@ impl AttributeDatabase {
     /// parameters, thread count, trip-count and coalescing modes) the
     /// compiled models are specialised to.
     pub fn compile(kernels: &[Kernel], selector: &Selector) -> AttributeDatabase {
-        let (cpu_cost, gpu_cost) = selector.cost_models();
+        // One GPU cost model per registered fleet accelerator; the pair
+        // view (`gpu_model`) is the primary one, falling back to the
+        // platform's own parameters under a host-only fleet.
+        let (cpu_cost, mut gpu_costs) = selector.fleet_cost_models();
+        let primary_gpu_cost = if gpu_costs.is_empty() {
+            selector.cost_models().1
+        } else {
+            gpu_costs.remove(0)
+        };
         // Build through a name-keyed map first: duplicate names overwrite
         // (last kernel wins) and the final dense layout is name-ordered.
         let mut by_name = BTreeMap::new();
@@ -84,7 +110,8 @@ impl AttributeDatabase {
                     symbols,
                     access_info: analyze_cached(k),
                     cpu_model: cpu_cost.compile(k),
-                    gpu_model: gpu_cost.compile(k),
+                    gpu_model: primary_gpu_cost.compile(k),
+                    extra_accel_models: gpu_costs.iter().map(|g| g.compile(k)).collect(),
                     kernel: k.clone(),
                 },
             );
@@ -113,6 +140,23 @@ impl AttributeDatabase {
     /// Looks up a region by its dense id.
     pub fn region_by_id(&self, id: RegionId) -> Option<&RegionAttributes> {
         self.regions.get(id.0 as usize)
+    }
+
+    /// The compiled model stored for `(region, device)`: the host's CPU
+    /// model for [`DeviceId::HOST`], the primary accelerator's GPU model
+    /// for id 1, and the extra accelerators' models beyond that. `None`
+    /// for an unknown region or a device id the database carries no model
+    /// for.
+    pub fn model_for(&self, region: RegionId, device: DeviceId) -> Option<CompiledModelRef<'_>> {
+        let attrs = self.region_by_id(region)?;
+        match device.0 {
+            0 => Some(CompiledModelRef::Host(&attrs.cpu_model)),
+            1 => Some(CompiledModelRef::Accelerator(&attrs.gpu_model)),
+            n => attrs
+                .extra_accel_models
+                .get(usize::from(n) - 2)
+                .map(CompiledModelRef::Accelerator),
+        }
     }
 
     /// Number of regions.
@@ -250,6 +294,48 @@ mod tests {
         }
         assert!(db.region_by_id(RegionId(db.len() as u32)).is_none());
         assert!(db.region_entry("missing").is_none());
+    }
+
+    #[test]
+    fn fleet_compile_stores_one_model_per_accelerator() {
+        use crate::fleet::Fleet;
+        let kernels: Vec<Kernel> = hetsel_polybench::atax::kernels();
+        let fleet = Fleet::pair_labeled(&Platform::power9_v100(), "v100")
+            .with_accelerator_from("k80", &Platform::power8_k80());
+        let sel = Selector::new(Platform::power9_v100()).with_fleet(fleet);
+        let db = AttributeDatabase::compile(&kernels, &sel);
+        let (id, attrs) = db.region_entry("atax.k1").unwrap();
+        assert_eq!(attrs.extra_accel_models.len(), 1);
+        assert!(matches!(
+            db.model_for(id, DeviceId::HOST),
+            Some(CompiledModelRef::Host(_))
+        ));
+        assert!(matches!(
+            db.model_for(id, DeviceId(1)),
+            Some(CompiledModelRef::Accelerator(_))
+        ));
+        assert!(matches!(
+            db.model_for(id, DeviceId(2)),
+            Some(CompiledModelRef::Accelerator(_))
+        ));
+        assert!(db.model_for(id, DeviceId(3)).is_none());
+        assert!(db.model_for(RegionId(999), DeviceId::HOST).is_none());
+        // The two accelerators' models really differ (K80 vs V100 params):
+        // a bound evaluation must produce different times.
+        let (_, bind) = hetsel_polybench::find_kernel("atax.k1").unwrap();
+        let binding = bind(hetsel_polybench::Dataset::Benchmark);
+        let v100 = attrs.gpu_model.evaluate(&binding).unwrap().seconds;
+        let k80 = attrs.extra_accel_models[0]
+            .evaluate(&binding)
+            .unwrap()
+            .seconds;
+        assert_ne!(v100, k80);
+        // A host-only fleet still compiles a (fallback) pair GPU model.
+        let host_only = Selector::new(Platform::power9_v100()).with_fleet(Fleet::host_only());
+        let db = AttributeDatabase::compile(&kernels, &host_only);
+        let attrs = db.region("atax.k1").unwrap();
+        assert!(attrs.extra_accel_models.is_empty());
+        assert!(attrs.gpu_model.evaluate(&binding).is_ok());
     }
 
     #[test]

@@ -13,11 +13,14 @@
 //! * **Retry**: transient faults are retried on the same device up to a
 //!   bounded number of attempts, charging exponential backoff to the
 //!   simulated time. Permanent faults fail the device over immediately.
-//! * **Failover**: when the decided device is broken (breaker open) or
-//!   exhausts its attempts, the request degrades to the other device with a
-//!   typed [`FallbackReason`]. The host is the last resort and is never
-//!   fully load-shed: if every breaker rejects the request, the dispatcher
-//!   forces a host probe rather than dropping the request.
+//! * **Failover**: when the decided device is broken (breaker open), out of
+//!   capacity, or exhausts its attempts, the request degrades with a typed
+//!   [`FallbackReason`] — *fill then spill*: the decided device first, then
+//!   the remaining accelerators in fleet id order, the host always last. A
+//!   sick accelerator therefore drains to its peers before touching the
+//!   host. The host is the last resort and is never fully load-shed: if
+//!   every breaker rejects the request, the dispatcher forces a host probe
+//!   rather than dropping the request.
 //! * **Deadlines**: [`Dispatcher::dispatch_within`] bounds the decision
 //!   phase; a missed budget degrades to the compiler default (see
 //!   [`DecisionEngine::decide_request`]) and the outcome records it.
@@ -32,11 +35,13 @@
 //! only ever exported through the (timing-gated) histogram
 //! `hetsel.core.dispatch.ns`, never stored in an outcome.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use crate::attributes::RegionAttributes;
 use crate::explain::{DispatchTerms, Explanation};
+use crate::fleet::DeviceId;
 use crate::selector::{Decision, DecisionEngine, DecisionRequest, Device};
 use hetsel_fault::{FaultKind, FaultPlan, InjectedFailure};
 use hetsel_ir::Binding;
@@ -87,18 +92,25 @@ impl Default for RetryConfig {
 /// and retry tuning. The default injects no faults at all.
 #[derive(Debug, Clone, Default)]
 pub struct DispatcherConfig {
-    /// Fault plan applied to GPU execution attempts.
+    /// Fault plan applied to the *primary* accelerator's execution attempts
+    /// (fleet id 1). Further accelerators default to no faults; target them
+    /// by label with [`DispatcherConfig::with_device_faults`].
     pub gpu_faults: FaultPlan,
     /// Fault plan applied to host execution attempts.
     pub cpu_faults: FaultPlan,
-    /// Circuit-breaker tuning (shared by both devices).
+    /// Per-label fault-plan overrides, applied after `gpu_faults` /
+    /// `cpu_faults`. Labels must name devices registered in the engine's
+    /// fleet ([`Dispatcher::new`] panics otherwise — a plan for a device
+    /// that does not exist is a configuration bug).
+    pub device_faults: Vec<(String, FaultPlan)>,
+    /// Circuit-breaker tuning (shared by every device).
     pub breaker: BreakerConfig,
     /// Transient-fault retry tuning.
     pub retry: RetryConfig,
 }
 
 impl DispatcherConfig {
-    /// Builder: inject `plan` on GPU attempts.
+    /// Builder: inject `plan` on the primary accelerator's attempts.
     pub fn with_gpu_faults(mut self, plan: FaultPlan) -> DispatcherConfig {
         self.gpu_faults = plan;
         self
@@ -107,6 +119,13 @@ impl DispatcherConfig {
     /// Builder: inject `plan` on host attempts.
     pub fn with_cpu_faults(mut self, plan: FaultPlan) -> DispatcherConfig {
         self.cpu_faults = plan;
+        self
+    }
+
+    /// Builder: inject `plan` on the attempts of the fleet device labelled
+    /// `label` (any device, the host included).
+    pub fn with_device_faults(mut self, label: &str, plan: FaultPlan) -> DispatcherConfig {
+        self.device_faults.push((label.to_string(), plan));
         self
     }
 
@@ -173,12 +192,18 @@ pub enum FallbackReason {
     DeadlineExceeded,
     /// A breaker rejected the request on this device.
     BreakerOpen {
-        /// The device whose breaker was open.
+        /// The device kind whose breaker was open.
+        device: Device,
+    },
+    /// The device had no in-flight capacity left; the request spilled to
+    /// the next candidate.
+    CapacityExhausted {
+        /// The device kind that was at capacity.
         device: Device,
     },
     /// The device exhausted its attempts (or faulted permanently).
     DeviceFault {
-        /// The faulting device.
+        /// The faulting device kind.
         device: Device,
         /// The final fault kind on that device.
         kind: FaultKind,
@@ -191,6 +216,7 @@ impl FallbackReason {
         match self {
             FallbackReason::DeadlineExceeded => "deadline_exceeded",
             FallbackReason::BreakerOpen { .. } => "breaker_open",
+            FallbackReason::CapacityExhausted { .. } => "capacity_exhausted",
             FallbackReason::DeviceFault { .. } => "device_fault",
         }
     }
@@ -202,6 +228,9 @@ impl std::fmt::Display for FallbackReason {
             FallbackReason::DeadlineExceeded => write!(f, "decision deadline exceeded"),
             FallbackReason::BreakerOpen { device } => {
                 write!(f, "{device} breaker open")
+            }
+            FallbackReason::CapacityExhausted { device } => {
+                write!(f, "{device} capacity exhausted")
             }
             FallbackReason::DeviceFault { device, kind } => {
                 write!(f, "{kind} fault on {device}")
@@ -218,9 +247,13 @@ pub struct DispatchOutcome {
     /// The decision that routed the request (deadline degradation
     /// included).
     pub decision: Decision,
-    /// The device the request finally ran on (may differ from
+    /// The kind of device the request finally ran on (may differ from
     /// `decision.device` after a fallback).
     pub device: Device,
+    /// Fleet id of the device the request finally ran on.
+    pub device_id: DeviceId,
+    /// Interned fleet label of the device the request finally ran on.
+    pub device_name: Arc<str>,
     /// Execution attempts across all devices (≥ 1).
     pub attempts: u32,
     /// Transient-fault retries among those attempts.
@@ -236,7 +269,7 @@ impl DispatchOutcome {
     /// True iff the request ran where the decision pointed, first try, no
     /// faults.
     pub fn clean(&self) -> bool {
-        self.fallback.is_none() && self.retries == 0 && self.device == self.decision.device
+        self.fallback.is_none() && self.retries == 0 && self.device_id == self.decision.device_id
     }
 }
 
@@ -283,8 +316,10 @@ impl std::error::Error for DispatchError {}
 /// Point-in-time view of one device's health.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DeviceHealthSnapshot {
-    /// The device observed.
+    /// The kind of device observed.
     pub device: Device,
+    /// Fleet id of the device observed.
+    pub device_id: DeviceId,
     /// Current breaker state.
     pub state: BreakerState,
     /// Consecutive failures while closed (resets on success).
@@ -310,11 +345,18 @@ struct BreakerCore {
     probing: bool,
 }
 
-/// One device's health record: the breaker plus lifetime tallies. Tallies
-/// are atomics outside the lock so snapshots are cheap.
+/// One device's health record: the breaker, the in-flight capacity gate,
+/// and lifetime tallies. Tallies are atomics outside the lock so snapshots
+/// are cheap. Metric names derive from the fleet's *interned label*
+/// (`hetsel.core.breaker.<label>.state` / `.trip`), so the classic pair —
+/// labels `host` and `gpu` — keeps every historical metric name.
 #[derive(Debug)]
 struct DeviceHealth {
+    id: DeviceId,
+    label: Arc<str>,
     device: Device,
+    capacity: u32,
+    inflight: AtomicU32,
     core: Mutex<BreakerCore>,
     successes: AtomicU64,
     failures: AtomicU64,
@@ -322,12 +364,26 @@ struct DeviceHealth {
 }
 
 impl DeviceHealth {
-    fn new(device: Device, cfg: &BreakerConfig) -> DeviceHealth {
+    fn new(
+        id: DeviceId,
+        label: Arc<str>,
+        device: Device,
+        capacity: u32,
+        cfg: &BreakerConfig,
+    ) -> DeviceHealth {
         hetsel_obs::registry()
-            .gauge(&format!("hetsel.core.breaker.{}.state", device.name()))
+            .gauge(&hetsel_obs::metrics::device_leaf_metric_name(
+                "hetsel.core.breaker",
+                &label,
+                "state",
+            ))
             .set(BreakerState::Closed.gauge_value());
         DeviceHealth {
+            id,
+            label,
             device,
+            capacity,
+            inflight: AtomicU32::new(0),
             core: Mutex::new(BreakerCore {
                 state: BreakerState::Closed,
                 consecutive_failures: 0,
@@ -343,8 +399,36 @@ impl DeviceHealth {
 
     fn publish_state(&self, state: BreakerState) {
         hetsel_obs::registry()
-            .gauge(&format!("hetsel.core.breaker.{}.state", self.device.name()))
+            .gauge(&hetsel_obs::metrics::device_leaf_metric_name(
+                "hetsel.core.breaker",
+                &self.label,
+                "state",
+            ))
             .set(state.gauge_value());
+    }
+
+    /// Reserves one in-flight slot, or reports the device at capacity.
+    fn try_acquire(&self) -> bool {
+        let mut cur = self.inflight.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.capacity {
+                return false;
+            }
+            match self.inflight.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(observed) => cur = observed,
+            }
+        }
+    }
+
+    /// Returns an in-flight slot taken by [`DeviceHealth::try_acquire`].
+    fn release(&self) {
+        self.inflight.fetch_sub(1, Ordering::AcqRel);
     }
 
     /// May a request execute on this device at logical time `now`? An open
@@ -416,7 +500,11 @@ impl DeviceHealth {
                     core.backoff = cfg.open_backoff.max(1);
                     self.trips.fetch_add(1, Ordering::Relaxed);
                     hetsel_obs::registry()
-                        .counter(&format!("hetsel.core.breaker.{}.trip", self.device.name()))
+                        .counter(&hetsel_obs::metrics::device_leaf_metric_name(
+                            "hetsel.core.breaker",
+                            &self.label,
+                            "trip",
+                        ))
                         .inc();
                     self.publish_state(BreakerState::Open);
                 }
@@ -429,7 +517,11 @@ impl DeviceHealth {
                 core.probing = false;
                 self.trips.fetch_add(1, Ordering::Relaxed);
                 hetsel_obs::registry()
-                    .counter(&format!("hetsel.core.breaker.{}.trip", self.device.name()))
+                    .counter(&hetsel_obs::metrics::device_leaf_metric_name(
+                        "hetsel.core.breaker",
+                        &self.label,
+                        "trip",
+                    ))
                     .inc();
                 self.publish_state(BreakerState::Open);
             }
@@ -443,6 +535,7 @@ impl DeviceHealth {
         let core = self.core.lock();
         DeviceHealthSnapshot {
             device: self.device,
+            device_id: self.id,
             state: core.state,
             consecutive_failures: core.consecutive_failures,
             successes: self.successes.load(Ordering::Relaxed),
@@ -478,25 +571,62 @@ enum ExecFailure {
 pub struct Dispatcher {
     engine: DecisionEngine,
     config: DispatcherConfig,
-    gpu: DeviceHealth,
-    cpu: DeviceHealth,
+    /// One health record per fleet device, indexed by `DeviceId.0` (host at
+    /// 0, accelerators in registration order).
+    health: Vec<DeviceHealth>,
+    /// One fault plan per fleet device, parallel to `health`.
+    plans: Vec<FaultPlan>,
     /// Logical breaker clock: one tick per dispatch.
     clock: AtomicU64,
-    /// Fault-plan draw sequence, shared by both devices so every attempt
+    /// Fault-plan draw sequence, shared by every device so every attempt
     /// consumes a unique draw.
     draws: AtomicU64,
 }
 
 impl Dispatcher {
-    /// Wraps `engine` with the dispatch runtime under `config`.
+    /// Wraps `engine` with the dispatch runtime under `config`: one circuit
+    /// breaker, one capacity gate and one fault plan per device in the
+    /// engine's fleet.
+    ///
+    /// Panics when `config.device_faults` names a label the fleet does not
+    /// register.
     pub fn new(engine: DecisionEngine, config: DispatcherConfig) -> Dispatcher {
-        let gpu = DeviceHealth::new(Device::Gpu, &config.breaker);
-        let cpu = DeviceHealth::new(Device::Host, &config.breaker);
+        let fleet = engine.selector().fleet().clone();
+        let mut health = Vec::with_capacity(fleet.len());
+        let mut plans = Vec::with_capacity(fleet.len());
+        health.push(DeviceHealth::new(
+            DeviceId::HOST,
+            fleet.host_label_arc().clone(),
+            Device::Host,
+            fleet.host_capacity(),
+            &config.breaker,
+        ));
+        plans.push(config.cpu_faults);
+        for (i, accel) in fleet.accelerators().iter().enumerate() {
+            health.push(DeviceHealth::new(
+                DeviceId((i + 1) as u16),
+                accel.label_arc().clone(),
+                Device::Gpu,
+                accel.capacity,
+                &config.breaker,
+            ));
+            plans.push(if i == 0 {
+                config.gpu_faults
+            } else {
+                FaultPlan::none()
+            });
+        }
+        for (label, plan) in &config.device_faults {
+            let id = fleet.device_id_of(label).unwrap_or_else(|| {
+                panic!("device_faults label `{label}` is not registered in the engine's fleet")
+            });
+            plans[id.0 as usize] = *plan;
+        }
         Dispatcher {
             engine,
             config,
-            gpu,
-            cpu,
+            health,
+            plans,
             clock: AtomicU64::new(0),
             draws: AtomicU64::new(0),
         }
@@ -512,24 +642,68 @@ impl Dispatcher {
         &self.config
     }
 
-    /// Current breaker state of `device`.
+    /// Current breaker state of the kind-level `device` view: the host, or
+    /// the *primary* accelerator for [`Device::Gpu`] (`Closed` when the
+    /// fleet has none — a breaker that cannot trip never opens).
     pub fn breaker_state(&self, device: Device) -> BreakerState {
-        self.health_of(device).core.lock().state
+        match self.health_of(device) {
+            Some(health) => health.core.lock().state,
+            None => BreakerState::Closed,
+        }
     }
 
-    /// Current health snapshot of `device`.
+    /// Current breaker state of the fleet device `id`, or `None` for an
+    /// unregistered id.
+    pub fn breaker_state_by_id(&self, id: DeviceId) -> Option<BreakerState> {
+        self.health.get(id.0 as usize).map(|h| h.core.lock().state)
+    }
+
+    /// Current health snapshot of the kind-level `device` view (the primary
+    /// accelerator for [`Device::Gpu`]; a synthesized always-closed snapshot
+    /// when the fleet registers no accelerator).
     pub fn health(&self, device: Device) -> DeviceHealthSnapshot {
-        self.health_of(device).snapshot()
+        match self.health_of(device) {
+            Some(health) => health.snapshot(),
+            None => DeviceHealthSnapshot {
+                device,
+                device_id: DeviceId(1),
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                successes: 0,
+                failures: 0,
+                trips: 0,
+                backoff: self.config.breaker.open_backoff.max(1),
+            },
+        }
     }
 
-    /// Re-publishes both breaker-state gauges (they are also kept current
-    /// on every transition); returns the snapshots.
+    /// Current health snapshot of the fleet device `id`, or `None` for an
+    /// unregistered id.
+    pub fn health_by_id(&self, id: DeviceId) -> Option<DeviceHealthSnapshot> {
+        self.health.get(id.0 as usize).map(|h| h.snapshot())
+    }
+
+    /// Re-publishes both pair-view breaker-state gauges (they are also kept
+    /// current on every transition); returns the `(host, gpu)` snapshots.
     pub fn publish_health(&self) -> (DeviceHealthSnapshot, DeviceHealthSnapshot) {
-        for health in [&self.cpu, &self.gpu] {
+        for health in &self.health {
             let snapshot = health.snapshot();
             health.publish_state(snapshot.state);
         }
-        (self.cpu.snapshot(), self.gpu.snapshot())
+        (self.health(Device::Host), self.health(Device::Gpu))
+    }
+
+    /// Re-publishes every device's breaker-state gauge; returns one
+    /// snapshot per fleet device, in id order.
+    pub fn publish_health_all(&self) -> Vec<DeviceHealthSnapshot> {
+        self.health
+            .iter()
+            .map(|health| {
+                let snapshot = health.snapshot();
+                health.publish_state(snapshot.state);
+                snapshot
+            })
+            .collect()
     }
 
     /// Decides and executes `request`: the full fault-tolerant path. See
@@ -560,28 +734,55 @@ impl Dispatcher {
         let mut unresolvable = false;
         let mut host_attempted = false;
 
-        for device in [decision.device, decision.device.other()] {
-            let health = self.health_of(device);
+        // Fill-then-spill candidate order: the decided device first, then
+        // the remaining accelerators in fleet id order, the host always
+        // last — a sick accelerator drains to its peers before the host.
+        // (For the classic pair this is exactly the old `[decided, other]`.)
+        let mut order: Vec<DeviceId> = Vec::with_capacity(self.health.len());
+        order.push(decision.device_id);
+        for id in (1..self.health.len()).map(|i| DeviceId(i as u16)) {
+            if id != decision.device_id {
+                order.push(id);
+            }
+        }
+        if !decision.device_id.is_host() {
+            order.push(DeviceId::HOST);
+        }
+
+        for id in order {
+            let health = &self.health[id.0 as usize];
+            let device = health.device;
+            // Capacity gates before the breaker so a spilled request never
+            // consumes the device's single half-open probe slot.
+            if !health.try_acquire() {
+                self.note_fallback(&mut fallback, FallbackReason::CapacityExhausted { device });
+                continue;
+            }
             if !health.admit(now) {
+                health.release();
                 self.note_fallback(&mut fallback, FallbackReason::BreakerOpen { device });
                 continue;
             }
-            if device == Device::Host {
+            if id.is_host() {
                 host_attempted = true;
             }
-            match self.execute(
-                device,
+            let result = self.execute(
+                id,
                 attrs,
                 request.binding(),
                 now,
                 &mut attempts,
                 &mut retries,
                 &mut backoff_s,
-            ) {
+            );
+            health.release();
+            match result {
                 Ok(run_s) => {
                     return Ok(DispatchOutcome {
                         decision,
                         device,
+                        device_id: id,
+                        device_name: health.label.clone(),
                         attempts,
                         retries,
                         fallback,
@@ -596,14 +797,15 @@ impl Dispatcher {
             }
         }
 
-        // Last resort: the host is never fully load-shed. If its breaker
-        // rejected the request above, force a half-open probe and try once
-        // more — a healthy host must complete the request no matter how
-        // broken the GPU is.
+        // Last resort: the host is never fully load-shed. If its breaker or
+        // capacity gate rejected the request above, force a half-open probe
+        // and try once more — a healthy host must complete the request no
+        // matter how broken every accelerator is.
         if !host_attempted {
-            self.cpu.force_probe();
+            let host = &self.health[0];
+            host.force_probe();
             match self.execute(
-                Device::Host,
+                DeviceId::HOST,
                 attrs,
                 request.binding(),
                 now,
@@ -615,6 +817,8 @@ impl Dispatcher {
                     return Ok(DispatchOutcome {
                         decision,
                         device: Device::Host,
+                        device_id: DeviceId::HOST,
+                        device_name: host.label.clone(),
                         attempts,
                         retries,
                         fallback,
@@ -659,7 +863,7 @@ impl Dispatcher {
             .explain(request.region(), request.binding())
             .expect("region dispatched, so it explains");
         explanation.dispatch = Some(DispatchTerms {
-            device: outcome.device.name().to_string(),
+            device: outcome.device_name.to_string(),
             attempts: outcome.attempts,
             retries: outcome.retries,
             fallback: outcome.fallback.map(|f| f.metric_key().to_string()),
@@ -680,17 +884,12 @@ impl Dispatcher {
         self.dispatch(&request.clone().with_deadline(deadline))
     }
 
-    fn health_of(&self, device: Device) -> &DeviceHealth {
+    /// The kind-level health view: the host record, or the *primary*
+    /// accelerator's for [`Device::Gpu`] (`None` on a host-only fleet).
+    fn health_of(&self, device: Device) -> Option<&DeviceHealth> {
         match device {
-            Device::Gpu => &self.gpu,
-            Device::Host => &self.cpu,
-        }
-    }
-
-    fn plan_of(&self, device: Device) -> &FaultPlan {
-        match device {
-            Device::Gpu => &self.config.gpu_faults,
-            Device::Host => &self.config.cpu_faults,
+            Device::Gpu => self.health.get(1),
+            Device::Host => self.health.first(),
         }
     }
 
@@ -708,13 +907,13 @@ impl Dispatcher {
         }
     }
 
-    /// Runs the region on one device with bounded transient retries.
+    /// Runs the region on one fleet device with bounded transient retries.
     /// Returns the successful run's simulated seconds (jitter included);
     /// backoff is accumulated into `backoff_s` by the caller's accounting.
     #[allow(clippy::too_many_arguments)]
     fn execute(
         &self,
-        device: Device,
+        id: DeviceId,
         attrs: &RegionAttributes,
         binding: &Binding,
         now: u64,
@@ -722,8 +921,8 @@ impl Dispatcher {
         retries: &mut u32,
         backoff_s: &mut f64,
     ) -> Result<f64, ExecFailure> {
-        let plan = self.plan_of(device);
-        let health = self.health_of(device);
+        let plan = &self.plans[id.0 as usize];
+        let health = &self.health[id.0 as usize];
         let platform = &self.engine.selector().platform;
         let max_attempts = self.config.retry.max_attempts.max(1);
         let mut attempt = 0u32;
@@ -738,8 +937,8 @@ impl Dispatcher {
             } else {
                 self.draws.fetch_add(1, Ordering::Relaxed)
             };
-            let result = match device {
-                Device::Host => hetsel_cpusim::simulate_with_faults(
+            let result = if id.is_host() {
+                hetsel_cpusim::simulate_with_faults(
                     &attrs.kernel,
                     binding,
                     &platform.cpu,
@@ -747,15 +946,19 @@ impl Dispatcher {
                     plan,
                     seq,
                 )
-                .map(|r| r.total_s()),
-                Device::Gpu => hetsel_gpusim::simulate_with_faults(
-                    &attrs.kernel,
-                    binding,
-                    &platform.gpu,
-                    plan,
-                    seq,
-                )
-                .map(|r| r.total_s()),
+                .map(|r| r.total_s())
+            } else {
+                // Each accelerator simulates against its *own* registered
+                // descriptor, not the platform's.
+                let descriptor = &self
+                    .engine
+                    .selector()
+                    .fleet()
+                    .accelerator(id)
+                    .expect("routed id names a fleet accelerator")
+                    .descriptor;
+                hetsel_gpusim::simulate_with_faults(&attrs.kernel, binding, descriptor, plan, seq)
+                    .map(|r| r.total_s())
             };
             match result {
                 Ok(run_s) => {
@@ -765,7 +968,10 @@ impl Dispatcher {
                 Err(InjectedFailure::Unresolvable) => return Err(ExecFailure::Unresolvable),
                 Err(InjectedFailure::Fault(fault)) => {
                     hetsel_obs::registry()
-                        .counter(&format!("hetsel.core.dispatch.faults.{}", device.name()))
+                        .counter(&hetsel_obs::metrics::device_metric_name(
+                            "hetsel.core.dispatch.faults",
+                            &health.label,
+                        ))
                         .inc();
                     health.on_failure(&self.config.breaker, now);
                     match fault.kind {
@@ -1089,6 +1295,130 @@ mod tests {
         );
     }
 
+    fn two_accel_engine(offload: bool) -> DecisionEngine {
+        use crate::fleet::Fleet;
+        let platform = Platform::power8_k80();
+        let fleet = Fleet::pair_labeled(&platform, "k80")
+            .with_accelerator_from("v100", &Platform::power9_v100());
+        let mut selector = Selector::new(platform).with_fleet(fleet);
+        if offload {
+            selector = selector.with_policy(Policy::AlwaysOffload);
+        }
+        let (k, _) = find_kernel("gemm").unwrap();
+        DecisionEngine::new(selector, std::slice::from_ref(&k))
+    }
+
+    #[test]
+    fn sick_accelerator_spills_to_its_peer_before_the_host() {
+        // Primary "k80" permanently faulty; its healthy peer "v100" must
+        // absorb the spill before the host is even considered.
+        let config = DispatcherConfig::default()
+            .with_device_faults("k80", FaultPlan::permanent(7, 1.0))
+            .with_breaker(breaker());
+        let dispatcher = Dispatcher::new(two_accel_engine(true), config);
+        let outcome = dispatcher
+            .dispatch(&gemm_request(Dataset::Benchmark))
+            .unwrap();
+        assert_eq!(
+            &*outcome.decision.device_name, "k80",
+            "policy offloads to the primary"
+        );
+        assert_eq!(&*outcome.device_name, "v100", "the peer absorbs the spill");
+        assert_eq!(outcome.device_id, DeviceId(2));
+        assert_eq!(outcome.device, Device::Gpu);
+        assert!(matches!(
+            outcome.fallback,
+            Some(FallbackReason::DeviceFault {
+                device: Device::Gpu,
+                kind: FaultKind::Permanent,
+            })
+        ));
+        let host = dispatcher.health_by_id(DeviceId::HOST).unwrap();
+        assert_eq!(
+            host.successes + host.failures,
+            0,
+            "the host was never touched"
+        );
+    }
+
+    #[test]
+    fn an_open_breaker_on_one_accelerator_never_affects_its_peer() {
+        let config = DispatcherConfig::default()
+            .with_device_faults("k80", FaultPlan::permanent(19, 1.0))
+            .with_breaker(breaker());
+        let dispatcher = Dispatcher::new(two_accel_engine(true), config);
+        let request = gemm_request(Dataset::Benchmark);
+        // Three dispatches = three k80 failures = the trip threshold.
+        for _ in 0..3 {
+            let outcome = dispatcher.dispatch(&request).unwrap();
+            assert_eq!(&*outcome.device_name, "v100");
+        }
+        assert_eq!(
+            dispatcher.breaker_state_by_id(DeviceId(1)),
+            Some(BreakerState::Open)
+        );
+        // Isolation: the sibling accelerator and the host stay closed and
+        // keep serving; the open breaker only re-routes, never blocks them.
+        assert_eq!(
+            dispatcher.breaker_state_by_id(DeviceId(2)),
+            Some(BreakerState::Closed)
+        );
+        assert_eq!(
+            dispatcher.breaker_state_by_id(DeviceId::HOST),
+            Some(BreakerState::Closed)
+        );
+        let outcome = dispatcher.dispatch(&request).unwrap();
+        assert_eq!(&*outcome.device_name, "v100");
+        assert!(matches!(
+            outcome.fallback,
+            Some(FallbackReason::BreakerOpen {
+                device: Device::Gpu
+            })
+        ));
+        assert_eq!(outcome.attempts, 1, "only the healthy peer ran");
+        let snapshots = dispatcher.publish_health_all();
+        assert_eq!(snapshots.len(), 3);
+        assert_eq!(snapshots[2].failures, 0, "v100 never failed");
+    }
+
+    #[test]
+    fn capacity_exhaustion_spills_with_a_typed_reason() {
+        use crate::fleet::Fleet;
+        let platform = Platform::power8_k80();
+        let fleet = Fleet::pair_labeled(&platform, "k80")
+            .with_accelerator_from("v100", &Platform::power9_v100())
+            .with_capacity("k80", 0);
+        let selector = Selector::new(platform)
+            .with_fleet(fleet)
+            .with_policy(Policy::AlwaysOffload);
+        let (k, _) = find_kernel("gemm").unwrap();
+        let engine = DecisionEngine::new(selector, std::slice::from_ref(&k));
+        let dispatcher = Dispatcher::new(engine, DispatcherConfig::default());
+        let outcome = dispatcher
+            .dispatch(&gemm_request(Dataset::Benchmark))
+            .unwrap();
+        assert_eq!(&*outcome.device_name, "v100");
+        assert_eq!(
+            outcome.fallback,
+            Some(FallbackReason::CapacityExhausted {
+                device: Device::Gpu
+            })
+        );
+        assert_eq!(outcome.attempts, 1, "the gated device was never executed");
+        let k80 = dispatcher.health_by_id(DeviceId(1)).unwrap();
+        assert_eq!(k80.successes + k80.failures, 0);
+    }
+
+    #[test]
+    fn unknown_device_fault_label_panics_at_construction() {
+        let config =
+            DispatcherConfig::default().with_device_faults("tpu", FaultPlan::permanent(1, 1.0));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Dispatcher::new(engine(), config)
+        }));
+        assert!(result.is_err(), "unregistered label must panic");
+    }
+
     #[test]
     fn dispatch_explained_carries_dispatch_terms() {
         let dispatcher = Dispatcher::new(engine(), DispatcherConfig::default());
@@ -1096,7 +1426,12 @@ mod tests {
             .dispatch_explained(&gemm_request(Dataset::Test))
             .unwrap();
         let terms = explanation.dispatch.as_ref().expect("dispatch terms");
-        assert_eq!(terms.device, outcome.device.name());
+        assert_eq!(terms.device, &*outcome.device_name);
+        assert_eq!(
+            terms.device,
+            outcome.device.name(),
+            "pair labels are host/gpu"
+        );
         assert_eq!((terms.attempts, terms.retries), (1, 0));
         assert_eq!(terms.fallback, None);
         assert_eq!(terms.gpu_breaker, "closed");

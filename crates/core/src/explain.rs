@@ -13,7 +13,9 @@
 use std::time::Instant;
 
 use crate::attributes::RegionAttributes;
-use crate::selector::{choose_device, Decision, Device, Policy, Selector};
+use crate::selector::{
+    choose_among, choose_device, Decision, Device, DeviceChoice, Policy, Selector,
+};
 use hetsel_ir::Binding;
 use hetsel_models::{CpuPrediction, GpuPrediction, HongCase, ModelError};
 use serde::{Deserialize, Serialize};
@@ -139,21 +141,41 @@ impl GpuTerms {
     }
 }
 
+/// One fleet candidate's verdict inside an [`Explanation`]: the device's
+/// interned label, its kind, and either a usable predicted time or the
+/// typed reason its model produced none. The pair-era `predicted_cpu_s` /
+/// `predicted_gpu_s` headline fields are projections of this list (the
+/// accelerator side through the representative-candidate rule); `devices`
+/// is the authoritative per-candidate record for N-device fleets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DevicePrediction {
+    /// Fleet device label, e.g. `"host"`, `"gpu"`, `"v100"`.
+    pub name: String,
+    /// Device kind: `host` or `accelerator`.
+    pub kind: String,
+    /// Predicted time, seconds, when the device's model evaluated.
+    pub predicted_s: Option<f64>,
+    /// Why the model produced no prediction, when it didn't.
+    pub error: Option<String>,
+}
+
 /// How the dispatch runtime actually ran the region — present only when
 /// the explanation came from [`crate::Dispatcher::dispatch_explained`].
 /// Everything here is deterministic under fixed fault seeds, matching
 /// [`crate::DispatchOutcome`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DispatchTerms {
-    /// Device the request finally ran on: `host` or `gpu` (may differ from
-    /// the explanation's decided `device` after a fallback).
+    /// Fleet label of the device the request finally ran on (the host
+    /// label or an accelerator label; may differ from the explanation's
+    /// decided `device_name` after a fallback).
     pub device: String,
     /// Execution attempts across all devices (≥ 1).
     pub attempts: u32,
     /// Transient-fault retries among those attempts.
     pub retries: u32,
     /// First fallback reason (`deadline_exceeded`, `breaker_open`,
-    /// `device_fault`), when the request left the decided path.
+    /// `device_fault`, `capacity_exhausted`), when the request left the
+    /// decided path.
     pub fallback: Option<String>,
     /// Simulated execution time, seconds (jitter and retry backoff
     /// included).
@@ -165,7 +187,7 @@ pub struct DispatchTerms {
 }
 
 /// Wall-clock cost of producing the explanation, by phase.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PhaseTimings {
     /// Attribute-database compile time for this region, when the caller
     /// measured one (`None` = the region was already compiled).
@@ -185,8 +207,11 @@ pub struct Explanation {
     pub region: String,
     /// Selection policy: `model_driven`, `always_host` or `always_offload`.
     pub policy: String,
-    /// Chosen target: `host` or `gpu`.
+    /// Chosen target kind: `host` or `gpu`.
     pub device: String,
+    /// Fleet label of the chosen device (e.g. `host`, `gpu`, `v100`) —
+    /// always one of the `devices[].name` entries.
+    pub device_name: String,
     /// The region's required parameters with their resolved values.
     pub bindings: Vec<BoundParam>,
     /// Predicted host time, seconds.
@@ -206,6 +231,9 @@ pub struct Explanation {
     pub cpu: Option<CpuTerms>,
     /// Device model term breakdown.
     pub gpu: Option<GpuTerms>,
+    /// One verdict per fleet candidate, host first then accelerators in
+    /// registration order.
+    pub devices: Vec<DevicePrediction>,
     /// True when a decision for this exact key currently sits in the
     /// engine's decision cache.
     pub cached: bool,
@@ -239,6 +267,7 @@ impl Explanation {
     pub fn describes(&self, decision: &Decision) -> bool {
         self.region.as_str() == &*decision.region
             && self.device == device_str(decision.device)
+            && self.device_name.as_str() == &*decision.device_name
             && self.policy == policy_str(decision.policy)
             && (decision.policy != Policy::ModelDriven
                 || (self.predicted_cpu_s == decision.predicted_cpu_s
@@ -264,8 +293,20 @@ impl Explanation {
             "== {}  [{}]  →  {}\n",
             self.region,
             bindings,
-            self.device.to_uppercase()
+            self.device_name.to_uppercase()
         ));
+        if self.devices.len() > 2 {
+            let rows = self
+                .devices
+                .iter()
+                .map(|d| match d.predicted_s {
+                    Some(s) => format!("{} {}", d.name, fmt_s(s)),
+                    None => format!("{} —", d.name),
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push_str(&format!("   candidates: {rows}\n"));
+        }
         match (self.predicted_cpu_s, self.predicted_gpu_s) {
             (Some(c), Some(g)) => {
                 out.push_str(&format!(
@@ -382,9 +423,12 @@ fn fmt_ns(ns: u64) -> String {
 
 impl Selector {
     /// Produces the full [`Explanation`] for a region under a binding,
-    /// evaluating both *precompiled* models with their complete term
-    /// breakdowns. The explanation's verdict is exactly what
-    /// [`Selector::decide`] decides for the same inputs.
+    /// evaluating the host model and every registered accelerator's
+    /// *precompiled* model with their complete term breakdowns. The
+    /// explanation's verdict is exactly what [`Selector::decide`] decides
+    /// for the same inputs: the same NaN-safe argmin over the fleet, and
+    /// the same representative-candidate rule behind the pair-era
+    /// `predicted_gpu_s` / `gpu` headline fields.
     pub fn explain(&self, attrs: &RegionAttributes, binding: &Binding) -> Explanation {
         let _span = hetsel_obs::span_with("hetsel.core.explain", || {
             vec![hetsel_obs::trace::field(
@@ -398,21 +442,35 @@ impl Selector {
         let cpu_res: Result<CpuPrediction, ModelError> = attrs.cpu_model.evaluate(binding);
         let cpu_eval_ns = t_cpu.elapsed().as_nanos() as u64;
 
+        // One evaluation per registered accelerator: slot 0 is the primary
+        // `gpu_model`, slot `i` is `extra_accel_models[i - 1]`. The same
+        // sanitization as the decision path applies to every slot: an `Ok`
+        // carrying a non-finite or negative time is a model failure, and
+        // its term breakdown is dropped along with the prediction.
+        let slots = self
+            .fleet
+            .accelerator_count()
+            .min(attrs.extra_accel_models.len() + 1);
         let t_gpu = Instant::now();
-        let gpu_res: Result<GpuPrediction, ModelError> = attrs.gpu_model.evaluate(binding);
+        let accel_res: Vec<Result<GpuPrediction, ModelError>> = (0..slots)
+            .map(|i| {
+                let model = if i == 0 {
+                    &attrs.gpu_model
+                } else {
+                    &attrs.extra_accel_models[i - 1]
+                };
+                model.evaluate(binding).and_then(|p| {
+                    if ModelError::usable_time(p.seconds) {
+                        Ok(p)
+                    } else {
+                        Err(ModelError::non_finite(p.seconds))
+                    }
+                })
+            })
+            .collect();
         let gpu_eval_ns = t_gpu.elapsed().as_nanos() as u64;
 
-        // The same sanitization as the decision path: an `Ok` carrying a
-        // non-finite or negative time is a model failure, and its term
-        // breakdown is dropped along with the prediction.
         let cpu_res: Result<CpuPrediction, ModelError> = cpu_res.and_then(|p| {
-            if ModelError::usable_time(p.seconds) {
-                Ok(p)
-            } else {
-                Err(ModelError::non_finite(p.seconds))
-            }
-        });
-        let gpu_res: Result<GpuPrediction, ModelError> = gpu_res.and_then(|p| {
             if ModelError::usable_time(p.seconds) {
                 Ok(p)
             } else {
@@ -421,11 +479,40 @@ impl Selector {
         });
 
         let predicted_cpu_s = cpu_res.as_ref().ok().map(|p| p.seconds);
-        let predicted_gpu_s = gpu_res.as_ref().ok().map(|p| p.seconds);
-        let device = match self.policy {
-            Policy::AlwaysHost => Device::Host,
-            Policy::AlwaysOffload => Device::Gpu,
-            Policy::ModelDriven => choose_device(predicted_cpu_s, predicted_gpu_s),
+        let accel_times: Vec<Option<f64>> = accel_res
+            .iter()
+            .map(|r| r.as_ref().ok().map(|p| p.seconds))
+            .collect();
+
+        let choice = match self.policy {
+            Policy::AlwaysHost => DeviceChoice::Host,
+            Policy::AlwaysOffload if slots > 0 => DeviceChoice::Accelerator(0),
+            Policy::AlwaysOffload => DeviceChoice::Host,
+            Policy::ModelDriven => choose_among(predicted_cpu_s, &accel_times),
+        };
+
+        // The representative accelerator backs the pair-era `gpu` headline
+        // fields: the chosen candidate when an accelerator won, otherwise
+        // the best usable candidate, otherwise compiler-default slot 0.
+        let rep = match choice {
+            DeviceChoice::Accelerator(i) => Some(i),
+            DeviceChoice::Host => accel_times
+                .iter()
+                .enumerate()
+                .filter_map(|(i, t)| t.map(|t| (i, t)))
+                .min_by(|(_, a), (_, b)| a.total_cmp(b))
+                .map(|(i, _)| i)
+                .or(if slots > 0 { Some(0) } else { None }),
+        };
+        let rep_res: Option<&Result<GpuPrediction, ModelError>> = rep.map(|i| &accel_res[i]);
+        let predicted_gpu_s = rep_res.and_then(|r| r.as_ref().ok()).map(|p| p.seconds);
+
+        let (device, device_name) = match choice {
+            DeviceChoice::Host => (Device::Host, self.fleet.host_label().to_string()),
+            DeviceChoice::Accelerator(i) => (
+                Device::Gpu,
+                self.fleet.accelerators()[i].label().to_string(),
+            ),
         };
         let (speedup, margin) = match (predicted_cpu_s, predicted_gpu_s) {
             (Some(c), Some(g)) if g > 0.0 && c.is_finite() && g.is_finite() => {
@@ -439,10 +526,27 @@ impl Selector {
             _ => (None, None),
         };
 
+        let mut devices = Vec::with_capacity(1 + slots);
+        devices.push(DevicePrediction {
+            name: self.fleet.host_label().to_string(),
+            kind: "host".to_string(),
+            predicted_s: predicted_cpu_s,
+            error: cpu_res.as_ref().err().map(|e| e.to_string()),
+        });
+        for (i, r) in accel_res.iter().enumerate() {
+            devices.push(DevicePrediction {
+                name: self.fleet.accelerators()[i].label().to_string(),
+                kind: "accelerator".to_string(),
+                predicted_s: r.as_ref().ok().map(|p| p.seconds),
+                error: r.as_ref().err().map(|e| e.to_string()),
+            });
+        }
+
         Explanation {
             region: attrs.kernel.name.clone(),
             policy: policy_str(self.policy).to_string(),
             device: device_str(device).to_string(),
+            device_name,
             bindings: attrs
                 .required_params
                 .iter()
@@ -456,11 +560,16 @@ impl Selector {
             speedup,
             margin,
             cpu_error: cpu_res.as_ref().err().map(|e| e.to_string()),
-            gpu_error: gpu_res.as_ref().err().map(|e| e.to_string()),
+            gpu_error: rep_res
+                .and_then(|r| r.as_ref().err())
+                .map(|e| e.to_string()),
             cpu: cpu_res
                 .ok()
                 .map(|p| CpuTerms::from_prediction(&p, self.platform.host_threads)),
-            gpu: gpu_res.ok().map(|p| GpuTerms::from_prediction(&p)),
+            gpu: rep_res
+                .and_then(|r| r.as_ref().ok())
+                .map(GpuTerms::from_prediction),
+            devices,
             cached: false,
             dispatch: None,
             timings: PhaseTimings {
@@ -507,6 +616,55 @@ pub fn validate_report_json(json: &str) -> Result<ExplainReport, String> {
         if !["model_driven", "always_host", "always_offload"].contains(&e.policy.as_str()) {
             return Err(format!("{at}: unknown policy `{}`", e.policy));
         }
+        if e.device_name.is_empty() {
+            return Err(format!("{at}: empty device_name"));
+        }
+        if e.devices.is_empty() {
+            return Err(format!("{at}: no candidate devices"));
+        }
+        let mut host_rows = 0usize;
+        for d in &e.devices {
+            if d.name.is_empty() {
+                return Err(format!("{at}: candidate device with empty name"));
+            }
+            match d.kind.as_str() {
+                "host" => host_rows += 1,
+                "accelerator" => {}
+                other => return Err(format!("{at}: unknown device kind `{other}`")),
+            }
+            if d.predicted_s.is_some() == d.error.is_some() {
+                return Err(format!(
+                    "{at}: candidate `{}` must carry a prediction xor an error",
+                    d.name
+                ));
+            }
+        }
+        if host_rows != 1 {
+            return Err(format!(
+                "{at}: {host_rows} host rows among candidate devices (want exactly 1)"
+            ));
+        }
+        let has_accel = e.devices.iter().any(|d| d.kind == "accelerator");
+        match e.devices.iter().find(|d| d.name == e.device_name) {
+            None => {
+                return Err(format!(
+                    "{at}: device_name `{}` not among candidate devices",
+                    e.device_name
+                ));
+            }
+            Some(named) => {
+                let expected_kind = match e.device.as_str() {
+                    "host" => "host",
+                    _ => "accelerator",
+                };
+                if named.kind != expected_kind {
+                    return Err(format!(
+                        "{at}: device_name `{}` ({}) inconsistent with device `{}`",
+                        e.device_name, named.kind, e.device
+                    ));
+                }
+            }
+        }
         if e.predicted_cpu_s.is_some() != e.cpu.is_some() {
             return Err(format!("{at}: cpu prediction and term breakdown disagree"));
         }
@@ -516,7 +674,7 @@ pub fn validate_report_json(json: &str) -> Result<ExplainReport, String> {
         if e.predicted_cpu_s.is_none() && e.cpu_error.is_none() {
             return Err(format!("{at}: no cpu prediction and no recorded reason"));
         }
-        if e.predicted_gpu_s.is_none() && e.gpu_error.is_none() {
+        if has_accel && e.predicted_gpu_s.is_none() && e.gpu_error.is_none() {
             return Err(format!("{at}: no gpu prediction and no recorded reason"));
         }
         if let Some(s) = e.speedup {
@@ -536,10 +694,17 @@ pub fn validate_report_json(json: &str) -> Result<ExplainReport, String> {
         }
         if e.policy == "model_driven" {
             // The same NaN-safe comparison the live path uses; a document
-            // whose device disagrees with `choose_device` is corrupt.
-            let expected = match choose_device(e.predicted_cpu_s, e.predicted_gpu_s) {
-                Device::Gpu => "gpu",
-                Device::Host => "host",
+            // whose device disagrees with `choose_device` over the headline
+            // (representative) predictions is corrupt. A fleet with no
+            // accelerator has no offload candidate, so host is the only
+            // legal verdict.
+            let expected = if has_accel {
+                match choose_device(e.predicted_cpu_s, e.predicted_gpu_s) {
+                    Device::Gpu => "gpu",
+                    Device::Host => "host",
+                }
+            } else {
+                "host"
             };
             if e.device != expected {
                 return Err(format!(
@@ -552,8 +717,8 @@ pub fn validate_report_json(json: &str) -> Result<ExplainReport, String> {
             return Err(format!("{at}: total_ns smaller than its phases"));
         }
         if let Some(d) = &e.dispatch {
-            if !["host", "gpu"].contains(&d.device.as_str()) {
-                return Err(format!("{at}: dispatch device `{}` not host|gpu", d.device));
+            if d.device.is_empty() {
+                return Err(format!("{at}: dispatch with empty device label"));
             }
             if d.attempts == 0 {
                 return Err(format!("{at}: dispatch with zero attempts"));
@@ -568,7 +733,13 @@ pub fn validate_report_json(json: &str) -> Result<ExplainReport, String> {
                 return Err(format!("{at}: unusable simulated_s {}", d.simulated_s));
             }
             if let Some(reason) = &d.fallback {
-                if !["deadline_exceeded", "breaker_open", "device_fault"].contains(&reason.as_str())
+                if ![
+                    "deadline_exceeded",
+                    "breaker_open",
+                    "device_fault",
+                    "capacity_exhausted",
+                ]
+                .contains(&reason.as_str())
                 {
                     return Err(format!("{at}: unknown fallback reason `{reason}`"));
                 }
@@ -731,6 +902,38 @@ mod tests {
         let m = e.margin.unwrap();
         assert!((0.0..1.0).contains(&m));
         assert!((m - (c.max(g) - c.min(g)) / c.max(g)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn explanations_cover_every_fleet_candidate() {
+        use crate::fleet::Fleet;
+        let platform = Platform::power9_v100();
+        let fleet = Fleet::pair_labeled(&platform, "v100")
+            .with_accelerator_from("k80", &Platform::power8_k80());
+        let selector = Selector::new(Platform::power9_v100()).with_fleet(fleet);
+        let (k, binding) = find_kernel("gemm").unwrap();
+        let engine = DecisionEngine::new(selector, std::slice::from_ref(&k));
+        let b = binding(Dataset::Test);
+        let (decision, e) = engine.decide_explained("gemm", &b).unwrap();
+        assert!(e.describes(&decision), "{e:?}\n{decision:?}");
+        assert_eq!(e.devices.len(), 3, "host + two accelerators");
+        assert_eq!(e.devices[0].kind, "host");
+        assert_eq!(e.devices[1].name, "v100");
+        assert_eq!(e.devices[2].name, "k80");
+        assert!(e
+            .devices
+            .iter()
+            .all(|d| d.predicted_s.is_some() != d.error.is_some()));
+        assert_eq!(e.device_name.as_str(), &*decision.device_name);
+        assert!(e.devices.iter().any(|d| d.name == e.device_name));
+        let report = ExplainReport {
+            platform: "POWER9+V100+K80".into(),
+            dataset: "test".into(),
+            explanations: vec![e.clone()],
+        };
+        validate_report_json(&serde_json::to_string(&report).unwrap())
+            .expect("fleet report validates");
+        assert!(e.render_human().contains("candidates:"));
     }
 
     #[test]

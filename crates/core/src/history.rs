@@ -172,9 +172,30 @@ impl AdaptiveSelector {
     /// Decides: remembered ground truth wins; otherwise the models decide.
     pub fn select(&self, kernel: &Kernel, binding: &Binding) -> Decision {
         if let Some(rec) = self.history.lookup(&kernel.name, &kernel.params(), binding) {
+            let fleet = self.selector.fleet();
+            let (device, device_id, device_name) = match rec.best_device() {
+                // Remembered offload wins go to the primary accelerator
+                // (the history records kind-level pair outcomes); a
+                // host-only fleet has nowhere to offload to.
+                Device::Gpu if fleet.primary_accelerator().is_some() => {
+                    let id = fleet.primary_accelerator().expect("checked above");
+                    (
+                        Device::Gpu,
+                        id,
+                        fleet.label_arc(id).expect("primary id resolves").clone(),
+                    )
+                }
+                _ => (
+                    Device::Host,
+                    crate::fleet::DeviceId::HOST,
+                    fleet.host_label_arc().clone(),
+                ),
+            };
             return Decision {
                 region: kernel.name.as_str().into(),
-                device: rec.best_device(),
+                device,
+                device_id,
+                device_name,
                 policy: Policy::ModelDriven,
                 predicted_cpu_s: Some(rec.cpu_s),
                 predicted_gpu_s: Some(rec.gpu_s),

@@ -18,6 +18,7 @@
 pub mod attributes;
 pub mod dispatch;
 pub mod explain;
+pub mod fleet;
 pub mod history;
 pub mod platform;
 pub mod program;
@@ -25,22 +26,24 @@ pub mod selector;
 pub mod split;
 
 pub use attributes::{
-    AccessExport, AttributeDatabase, DatabaseExport, RegionAttributes, RegionExport,
+    AccessExport, AttributeDatabase, CompiledModelRef, DatabaseExport, RegionAttributes,
+    RegionExport,
 };
 pub use dispatch::{
     BreakerConfig, BreakerState, DeviceHealthSnapshot, DispatchError, DispatchOutcome, Dispatcher,
     DispatcherConfig, FallbackReason, RetryConfig,
 };
 pub use explain::{
-    validate_report_json, BoundParam, CpuTerms, DispatchTerms, ExplainReport, Explanation,
-    GpuTerms, PhaseTimings,
+    validate_report_json, BoundParam, CpuTerms, DevicePrediction, DispatchTerms, ExplainReport,
+    Explanation, GpuTerms, PhaseTimings,
 };
+pub use fleet::{AcceleratorDevice, DeviceId, DeviceKind, Fleet};
 pub use history::{AdaptiveSelector, HistoryExport, HistoryRecord, ProfileHistory};
 pub use platform::Platform;
 pub use program::{plan_program, ProgramPlan};
 pub use selector::{
-    choose_device, geomean, Decision, DecisionCacheStats, DecisionEngine, DecisionRequest, Device,
-    Evaluation, Measured, ModelSource, Policy, Selector, DEFAULT_DECISION_CACHE,
-    DEFAULT_DECISION_SHARDS,
+    choose_among, choose_device, geomean, Decision, DecisionCacheStats, DecisionEngine,
+    DecisionRequest, Device, DeviceChoice, Evaluation, Measured, ModelSource, Policy, Selector,
+    DEFAULT_DECISION_CACHE, DEFAULT_DECISION_SHARDS,
 };
 pub use split::{best_split, SplitDecision};

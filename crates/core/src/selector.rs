@@ -15,6 +15,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::attributes::{AttributeDatabase, RegionAttributes, RegionId};
+use crate::fleet::{DeviceId, Fleet};
 use crate::platform::Platform;
 use hetsel_ir::{Binding, Kernel};
 use hetsel_models::{CoalescingMode, CostModel, CpuCostModel, GpuCostModel, ModelError, TripMode};
@@ -105,25 +106,57 @@ impl std::fmt::Display for Policy {
     }
 }
 
-/// The model-driven comparison both the live decision path and the explain
-/// report share: offload iff a usable GPU prediction beats a usable CPU
-/// prediction, host iff the CPU prediction is at least as fast, and the
-/// compiler default (offload) whenever either side is missing or not a
-/// comparable number. Centralising this is what keeps
-/// [`Selector::explain`] provably in lock-step with [`Selector::select`] —
-/// and what makes the comparison NaN-safe: `NaN < x` is false for every
-/// `x`, so the old inline `if g < c` silently chose the host for a
-/// non-finite GPU prediction, the opposite of the documented fallback.
-pub fn choose_device(cpu: Option<f64>, gpu: Option<f64>) -> Device {
-    match (cpu, gpu) {
-        (Some(c), Some(g)) if ModelError::usable_time(c) && ModelError::usable_time(g) => {
-            if g < c {
-                Device::Gpu
-            } else {
-                Device::Host
+/// What [`choose_among`] picked: the host, or the accelerator at a given
+/// position in the candidate slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceChoice {
+    /// Run on the host.
+    Host,
+    /// Offload to the accelerator at this index of the candidate slice.
+    Accelerator(usize),
+}
+
+/// The model-driven comparison generalized to an N-device fleet: the
+/// fastest *usable* accelerator prediction is compared against the host
+/// prediction, the host wins ties, and when no accelerator prediction is
+/// usable the choice is the compiler default — offload to the primary
+/// accelerator (index 0). An empty candidate slice (a host-only fleet) is
+/// the terminal fallback: the host, unconditionally.
+///
+/// Centralising this is what keeps [`Selector::explain`] provably in
+/// lock-step with [`Selector::decide`] — and what makes the comparison
+/// NaN-safe: `NaN < x` is false for every `x`, so a naive `if g < c`
+/// would silently choose the host for a non-finite accelerator
+/// prediction, the opposite of the documented fallback. Ties between
+/// accelerators go to the lower index, so candidate order (fleet
+/// registration order) is part of the contract.
+pub fn choose_among(host: Option<f64>, accels: &[Option<f64>]) -> DeviceChoice {
+    if accels.is_empty() {
+        return DeviceChoice::Host;
+    }
+    let mut best: Option<(usize, f64)> = None;
+    for (i, accel) in accels.iter().enumerate() {
+        if let Some(t) = accel {
+            if ModelError::usable_time(*t) && best.is_none_or(|(_, bt)| *t < bt) {
+                best = Some((i, *t));
             }
         }
-        _ => Device::Gpu, // compiler default when unresolvable
+    }
+    match (host.filter(|h| ModelError::usable_time(*h)), best) {
+        (Some(h), Some((_, bt))) if h <= bt => DeviceChoice::Host,
+        (_, Some((i, _))) => DeviceChoice::Accelerator(i),
+        (_, None) => DeviceChoice::Accelerator(0), // compiler default when unresolvable
+    }
+}
+
+/// The classic two-device spelling of [`choose_among`]: offload iff a
+/// usable GPU prediction beats a usable CPU prediction, host iff the CPU
+/// prediction is at least as fast, and the compiler default (offload)
+/// whenever either side is missing or not a comparable number.
+pub fn choose_device(cpu: Option<f64>, gpu: Option<f64>) -> Device {
+    match choose_among(cpu, &[gpu]) {
+        DeviceChoice::Host => Device::Host,
+        DeviceChoice::Accelerator(_) => Device::Gpu,
     }
 }
 
@@ -144,18 +177,30 @@ pub struct Decision {
     /// Region name. Shared (`Arc`) so cloning a decision out of the
     /// decision cache copies a pointer, not a string.
     pub region: Arc<str>,
-    /// Chosen target.
+    /// Chosen target, kind-level: every accelerator reports `Device::Gpu`
+    /// here; [`Decision::device_id`] / [`Decision::device_name`] identify
+    /// *which* one.
     pub device: Device,
+    /// Fleet id of the chosen device.
+    pub device_id: DeviceId,
+    /// Interned fleet label of the chosen device (`Arc` shared with the
+    /// fleet registration, so cloning a cached decision copies a pointer
+    /// and metric names can never drift from this spelling).
+    pub device_name: Arc<str>,
     /// Policy that made the choice.
     pub policy: Policy,
     /// Predicted host time, seconds (None under `Always*` policies).
     pub predicted_cpu_s: Option<f64>,
-    /// Predicted GPU time, seconds.
+    /// Predicted time on the decision's representative accelerator,
+    /// seconds: the chosen accelerator when one was chosen, otherwise the
+    /// fastest usable one the host beat. For the classic pair this is
+    /// exactly "the GPU prediction".
     pub predicted_gpu_s: Option<f64>,
     /// Why the host model produced no prediction, when it didn't.
     pub cpu_error: Option<ModelError>,
-    /// Why the GPU model produced no prediction, when it didn't — the
-    /// recorded reason behind a fallback-to-offload decision.
+    /// Why the representative accelerator's model produced no prediction,
+    /// when it didn't — the recorded reason behind a fallback-to-offload
+    /// decision.
     pub gpu_error: Option<ModelError>,
 }
 
@@ -236,10 +281,11 @@ impl Evaluation {
     }
 }
 
-/// The selector: a platform plus policy and model-abstraction knobs.
+/// The selector: a device fleet plus policy and model-abstraction knobs.
 #[derive(Debug, Clone)]
 pub struct Selector {
-    /// The platform the decision is made for.
+    /// The platform the decision is made for (host descriptor, host model
+    /// parameters, and the default accelerator the pair fleet registers).
     pub platform: Platform,
     /// Selection policy.
     pub policy: Policy,
@@ -247,17 +293,25 @@ pub struct Selector {
     pub trip_mode: TripMode,
     /// Coalescing analysis mode used by the GPU model.
     pub coal_mode: CoalescingMode,
+    /// The registered device fleet. Private so the fleet and the compiled
+    /// attribute databases cannot silently diverge; read with
+    /// [`Selector::fleet`], replace with [`Selector::with_fleet`].
+    pub(crate) fleet: Fleet,
 }
 
 impl Selector {
     /// A model-driven selector with the paper's hybrid configuration
-    /// (runtime trip counts, IPDA coalescing).
+    /// (runtime trip counts, IPDA coalescing) and the classic two-device
+    /// fleet — the platform's host plus its accelerator under the label
+    /// `"gpu"`.
     pub fn new(platform: Platform) -> Selector {
+        let fleet = Fleet::pair(&platform);
         Selector {
             platform,
             policy: Policy::ModelDriven,
             trip_mode: TripMode::Runtime,
             coal_mode: CoalescingMode::Ipda,
+            fleet,
         }
     }
 
@@ -279,9 +333,29 @@ impl Selector {
         self
     }
 
-    /// The model configurations this selector decides with: the compile
-    /// phase of the trait-based engine.
+    /// Builder-style fleet override: decide among `fleet`'s devices instead
+    /// of the default pair. Databases compiled *after* the override carry
+    /// one compiled GPU model per registered accelerator.
+    pub fn with_fleet(mut self, fleet: Fleet) -> Selector {
+        self.fleet = fleet;
+        self
+    }
+
+    /// The device fleet this selector decides among.
+    pub fn fleet(&self) -> &Fleet {
+        &self.fleet
+    }
+
+    /// The classic pair of model configurations this selector decides
+    /// with: the host model plus the *primary* accelerator's model (the
+    /// platform's own accelerator parameters when the fleet is host-only).
     pub fn cost_models(&self) -> (CpuCostModel, GpuCostModel) {
+        let gpu_params = self
+            .fleet
+            .accelerators()
+            .first()
+            .map(|a| a.model.clone())
+            .unwrap_or_else(|| self.platform.gpu_model.clone());
         (
             CpuCostModel {
                 params: self.platform.cpu_model.clone(),
@@ -289,11 +363,32 @@ impl Selector {
                 trip_mode: self.trip_mode,
             },
             GpuCostModel {
-                params: self.platform.gpu_model.clone(),
+                params: gpu_params,
                 trip_mode: self.trip_mode,
                 coal_mode: self.coal_mode,
             },
         )
+    }
+
+    /// The full fleet of model configurations: the host model plus one GPU
+    /// cost model per registered accelerator, in fleet id order.
+    pub fn fleet_cost_models(&self) -> (CpuCostModel, Vec<GpuCostModel>) {
+        let cpu = CpuCostModel {
+            params: self.platform.cpu_model.clone(),
+            threads: self.platform.host_threads,
+            trip_mode: self.trip_mode,
+        };
+        let gpus = self
+            .fleet
+            .accelerators()
+            .iter()
+            .map(|a| GpuCostModel {
+                params: a.model.clone(),
+                trip_mode: self.trip_mode,
+                coal_mode: self.coal_mode,
+            })
+            .collect();
+        (cpu, gpus)
     }
 
     /// Evaluates both cost models for `source` under a runtime binding,
@@ -311,93 +406,143 @@ impl Selector {
     }
 
     /// Makes the offloading decision for `source` under a runtime binding —
-    /// the other canonical entry point. Under `ModelDriven`, failed
-    /// evaluations (unresolved bindings) fall back to the compiler default
-    /// of offloading, and the decision records why in
-    /// [`Decision::cpu_error`] / [`Decision::gpu_error`]; `Always*`
+    /// the other canonical entry point. Under `ModelDriven`, every
+    /// registered fleet device's model is evaluated and the argmin wins
+    /// (host on ties); failed evaluations (unresolved bindings) fall back
+    /// to the compiler default of offloading, and the decision records why
+    /// in [`Decision::cpu_error`] / [`Decision::gpu_error`]; `Always*`
     /// policies never consult the models.
     pub fn decide<S: ModelSource + ?Sized>(&self, source: &S, binding: &Binding) -> Decision {
+        let n = self.fleet.accelerator_count();
         match self.policy {
             Policy::ModelDriven => {
-                let (cpu, gpu) = source.model_outcomes(self, binding);
-                self.compose(source.region_name(), Some(cpu), Some(gpu))
+                let (host, accels) = source.fleet_outcomes(self, binding);
+                let indexed: Vec<(usize, Option<Result<f64, ModelError>>)> = accels
+                    .into_iter()
+                    .take(n)
+                    .enumerate()
+                    .map(|(i, o)| (i, Some(o)))
+                    .collect();
+                self.compose_indexed(source.region_name(), Some(host), &indexed)
             }
-            _ => self.compose(source.region_name(), None, None),
+            _ => {
+                // `Always*` policies never consult the models; the slice
+                // still names the primary accelerator so the decision can
+                // identify the offload target.
+                let unconsulted: Vec<(usize, Option<Result<f64, ModelError>>)> =
+                    if n == 0 { Vec::new() } else { vec![(0, None)] };
+                self.compose_indexed(source.region_name(), None, &unconsulted)
+            }
         }
     }
 
-    /// Deprecated spelling of [`Selector::predict`] for a bare kernel.
-    #[deprecated(note = "use `Selector::predict` (same signature; any `ModelSource`)")]
-    pub fn predict_detailed(
-        &self,
-        kernel: &Kernel,
-        binding: &Binding,
-    ) -> (Result<f64, ModelError>, Result<f64, ModelError>) {
-        self.predict(kernel, binding)
-    }
-
-    /// Deprecated spelling of [`Selector::decide`] for precompiled
-    /// attributes.
-    #[deprecated(note = "use `Selector::decide` (same signature; any `ModelSource`)")]
-    pub fn select(&self, region: &RegionAttributes, binding: &Binding) -> Decision {
-        self.decide(region, binding)
-    }
-
-    /// Deprecated spelling of [`Selector::decide`] for a bare kernel.
-    #[deprecated(note = "use `Selector::decide` (same signature; any `ModelSource`)")]
-    pub fn select_kernel(&self, kernel: &Kernel, binding: &Binding) -> Decision {
-        self.decide(kernel, binding)
-    }
-
-    /// Deprecated spelling of the outcome-composition step that used to be
-    /// called `decide`; [`Selector::decide`] now evaluates and composes in
-    /// one call.
-    #[deprecated(
-        note = "use `Selector::decide` with a `ModelSource`; this only composes \
-                         already-evaluated outcomes"
-    )]
-    pub fn decide_outcomes(
+    /// Composes a [`Decision`] from already-evaluated model outcomes, one
+    /// slot per fleet accelerator in registration order (`None` = the
+    /// policy did not consult that model). This is the composition step
+    /// [`Selector::decide`] runs after evaluation, exposed for callers —
+    /// property tests above all — that need to feed the decision rule
+    /// arbitrary outcome combinations without building models.
+    pub fn decide_from_outcomes(
         &self,
         region: &str,
-        cpu: Option<Result<f64, ModelError>>,
-        gpu: Option<Result<f64, ModelError>>,
+        host: Option<Result<f64, ModelError>>,
+        accels: &[Option<Result<f64, ModelError>>],
     ) -> Decision {
-        self.compose(region, cpu, gpu)
+        let indexed: Vec<(usize, Option<Result<f64, ModelError>>)> =
+            accels.iter().cloned().enumerate().collect();
+        self.compose_indexed(region, host, &indexed)
     }
 
-    /// Composes a [`Decision`] from model outcomes (`None` = the policy did
-    /// not consult that model). An `Ok` carrying a non-finite or negative
-    /// time is demoted to [`ModelError::NonFinitePrediction`] before the
-    /// comparison, so a NaN can never masquerade as a fast host — the
-    /// decision falls back to the compiler default of offloading and
+    /// Composes a [`Decision`] from model outcomes tagged with their fleet
+    /// accelerator index (`None` outcome = the policy did not consult that
+    /// model; the tag lets a restricted decision carry the true fleet
+    /// identity of its one candidate). An `Ok` carrying a non-finite or
+    /// negative time is demoted to [`ModelError::NonFinitePrediction`]
+    /// before the comparison, so a NaN can never masquerade as a fast host
+    /// — the decision falls back to the compiler default of offloading and
     /// records why, exactly like any other evaluation failure.
-    fn compose(
+    fn compose_indexed(
         &self,
         region: &str,
-        cpu: Option<Result<f64, ModelError>>,
-        gpu: Option<Result<f64, ModelError>>,
+        host: Option<Result<f64, ModelError>>,
+        accels: &[(usize, Option<Result<f64, ModelError>>)],
     ) -> Decision {
-        let (predicted_cpu_s, cpu_error) = match cpu {
+        let (predicted_cpu_s, cpu_error) = match host {
             Some(outcome) => sanitize_prediction(outcome),
             None => (None, None),
         };
-        let (predicted_gpu_s, gpu_error) = match gpu {
-            Some(outcome) => sanitize_prediction(outcome),
+        let sanitized: Vec<(usize, Option<f64>, Option<ModelError>)> = accels
+            .iter()
+            .map(|(idx, outcome)| match outcome {
+                Some(o) => {
+                    let (p, e) = sanitize_prediction(o.clone());
+                    (*idx, p, e)
+                }
+                None => (*idx, None, None),
+            })
+            .collect();
+        let choice = match self.policy {
+            Policy::AlwaysHost => DeviceChoice::Host,
+            Policy::AlwaysOffload => {
+                if sanitized.is_empty() {
+                    DeviceChoice::Host // host-only fleet: nowhere to offload
+                } else {
+                    DeviceChoice::Accelerator(0)
+                }
+            }
+            Policy::ModelDriven => {
+                let values: Vec<Option<f64>> = sanitized.iter().map(|(_, p, _)| *p).collect();
+                choose_among(predicted_cpu_s, &values)
+            }
+        };
+        // The representative accelerator behind the decision's GPU-side
+        // evidence: the chosen one when an accelerator was chosen,
+        // otherwise the fastest usable one the host beat, otherwise the
+        // primary candidate (whose recorded failure explains the
+        // fallback). For a pair fleet this is always slot 0, which is what
+        // keeps restricted decisions bit-identical to the classic pair.
+        let rep_pos = match choice {
+            DeviceChoice::Accelerator(pos) => Some(pos),
+            DeviceChoice::Host => {
+                let best_usable = sanitized
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(pos, (_, p, _))| p.map(|t| (pos, t)))
+                    .min_by(|(_, a), (_, b)| a.total_cmp(b))
+                    .map(|(pos, _)| pos);
+                best_usable.or(if sanitized.is_empty() { None } else { Some(0) })
+            }
+        };
+        let (predicted_gpu_s, gpu_error) = match rep_pos {
+            Some(pos) => (sanitized[pos].1, sanitized[pos].2.clone()),
             None => (None, None),
         };
-        let device = match self.policy {
-            Policy::AlwaysHost => Device::Host,
-            Policy::AlwaysOffload => Device::Gpu,
-            Policy::ModelDriven => choose_device(predicted_cpu_s, predicted_gpu_s),
+        let (device, device_id, device_name) = match choice {
+            DeviceChoice::Host => (
+                Device::Host,
+                DeviceId::HOST,
+                self.fleet.host_label_arc().clone(),
+            ),
+            DeviceChoice::Accelerator(pos) => {
+                let fleet_idx = sanitized[pos].0;
+                let (id, label) = self.accel_identity(fleet_idx);
+                (Device::Gpu, id, label)
+            }
         };
-        match device {
-            Device::Host => hetsel_obs::static_counter!("hetsel.core.decisions.host").inc(),
-            Device::Gpu => hetsel_obs::static_counter!("hetsel.core.decisions.gpu").inc(),
-        }
+        hetsel_obs::registry()
+            .counter(&hetsel_obs::metrics::device_metric_name(
+                "hetsel.core.decisions",
+                &device_name,
+            ))
+            .inc();
         if self.policy == Policy::ModelDriven {
-            // Count fallback reasons by variant: one tick per failed model,
-            // under `hetsel.core.fallback.<metric_key>`.
-            for err in [&cpu_error, &gpu_error].into_iter().flatten() {
+            // Count fallback reasons by variant: one tick per failed model
+            // (host and every consulted accelerator), under
+            // `hetsel.core.fallback.<metric_key>`.
+            for err in std::iter::once(&cpu_error)
+                .chain(sanitized.iter().map(|(_, _, e)| e))
+                .flatten()
+            {
                 hetsel_obs::registry()
                     .counter(&format!("hetsel.core.fallback.{}", err.metric_key()))
                     .inc();
@@ -406,12 +551,67 @@ impl Selector {
         Decision {
             region: Arc::from(region),
             device,
+            device_id,
+            device_name,
             policy: self.policy,
             predicted_cpu_s,
             predicted_gpu_s,
             cpu_error,
             gpu_error,
         }
+    }
+
+    /// Resolves an accelerator's fleet index to its id and interned label,
+    /// tolerating indices beyond the registered fleet (outcome slices fed
+    /// to [`Selector::decide_from_outcomes`] may be wider): unregistered
+    /// indices resolve to the primary accelerator's identity, or a
+    /// detached `"gpu"` label when the fleet is host-only.
+    fn accel_identity(&self, fleet_idx: usize) -> (DeviceId, Arc<str>) {
+        match self
+            .fleet
+            .accel_id(fleet_idx)
+            .or_else(|| self.fleet.primary_accelerator())
+        {
+            Some(id) => (
+                id,
+                self.fleet
+                    .label_arc(id)
+                    .expect("fleet id resolved above")
+                    .clone(),
+            ),
+            None => (DeviceId(1), Arc::from(Device::Gpu.name())),
+        }
+    }
+
+    /// Decides with the candidate set restricted to the host plus at most
+    /// one accelerator (`None` = host only): the evaluation behind
+    /// [`DecisionEngine::decide_for`]. The accelerator keeps its true
+    /// fleet id and label in the decision, and with the fleet's primary
+    /// accelerator as scope this is bit-identical to the full
+    /// [`Selector::decide`] on a pair fleet.
+    pub(crate) fn decide_restricted(
+        &self,
+        attrs: &RegionAttributes,
+        binding: &Binding,
+        scope: Option<usize>,
+    ) -> Decision {
+        let consult = self.policy == Policy::ModelDriven;
+        let host = consult.then(|| attrs.cpu_model.evaluate(binding).map(|p| p.seconds));
+        let accels: Vec<(usize, Option<Result<f64, ModelError>>)> = match scope {
+            None => Vec::new(),
+            Some(fleet_idx) => {
+                let outcome = consult.then(|| {
+                    let model = if fleet_idx == 0 {
+                        &attrs.gpu_model
+                    } else {
+                        &attrs.extra_accel_models[fleet_idx - 1]
+                    };
+                    model.evaluate(binding).map(|p| p.seconds)
+                });
+                vec![(fleet_idx, outcome)]
+            }
+        };
+        self.compose_indexed(attrs.region_name(), host, &accels)
     }
 
     /// Runs the timing simulators for both targets ("measures" the region).
@@ -451,13 +651,23 @@ pub trait ModelSource {
     /// The region name decisions are recorded under.
     fn region_name(&self) -> &str;
 
-    /// Evaluates both cost models under `binding`, in `selector`'s
-    /// configuration, returning `(cpu, gpu)` outcomes in seconds.
+    /// Evaluates the host model and the *primary* accelerator's model
+    /// under `binding`, in `selector`'s configuration, returning
+    /// `(cpu, gpu)` outcomes in seconds — the classic pair view.
     fn model_outcomes(
         &self,
         selector: &Selector,
         binding: &Binding,
     ) -> (Result<f64, ModelError>, Result<f64, ModelError>);
+
+    /// Evaluates the host model and every fleet accelerator's model under
+    /// `binding`, returning the host outcome plus one outcome per
+    /// accelerator in fleet registration order.
+    fn fleet_outcomes(
+        &self,
+        selector: &Selector,
+        binding: &Binding,
+    ) -> (Result<f64, ModelError>, Vec<Result<f64, ModelError>>);
 }
 
 impl ModelSource for Kernel {
@@ -476,6 +686,21 @@ impl ModelSource for Kernel {
             gpu_cost.compile(self).evaluate(binding).map(|p| p.seconds),
         )
     }
+
+    fn fleet_outcomes(
+        &self,
+        selector: &Selector,
+        binding: &Binding,
+    ) -> (Result<f64, ModelError>, Vec<Result<f64, ModelError>>) {
+        let (cpu_cost, gpu_costs) = selector.fleet_cost_models();
+        (
+            cpu_cost.compile(self).evaluate(binding).map(|p| p.seconds),
+            gpu_costs
+                .into_iter()
+                .map(|g| g.compile(self).evaluate(binding).map(|p| p.seconds))
+                .collect(),
+        )
+    }
 }
 
 impl ModelSource for RegionAttributes {
@@ -492,6 +717,19 @@ impl ModelSource for RegionAttributes {
             self.cpu_model.evaluate(binding).map(|p| p.seconds),
             self.gpu_model.evaluate(binding).map(|p| p.seconds),
         )
+    }
+
+    fn fleet_outcomes(
+        &self,
+        _selector: &Selector,
+        binding: &Binding,
+    ) -> (Result<f64, ModelError>, Vec<Result<f64, ModelError>>) {
+        let mut accels = Vec::with_capacity(1 + self.extra_accel_models.len());
+        accels.push(self.gpu_model.evaluate(binding).map(|p| p.seconds));
+        for model in &self.extra_accel_models {
+            accels.push(model.evaluate(binding).map(|p| p.seconds));
+        }
+        (self.cpu_model.evaluate(binding).map(|p| p.seconds), accels)
     }
 }
 
@@ -708,12 +946,15 @@ pub struct DecisionCacheStats {
 /// touching the heap.
 const INLINE_KEY_SLOTS: usize = 8;
 
-/// Key of a cached decision: the region's dense [`RegionId`] plus the
-/// resolved values of exactly the parameters that region requires, in
-/// declaration order, with the hash precomputed at construction. Bindings
-/// that differ only in irrelevant symbols share an entry; an unbound
-/// required parameter is part of the key too (`None`), so fallback
-/// decisions are cached with the same fidelity as successful ones.
+/// Key of a cached decision: the region's dense [`RegionId`], the
+/// [`DeviceId`] scope the decision was taken under ([`DeviceId::FLEET`]
+/// for the default whole-fleet `decide`, a concrete device id for
+/// `decide_for`), plus the resolved values of exactly the parameters that
+/// region requires, in declaration order, with the hash precomputed at
+/// construction. Bindings that differ only in irrelevant symbols share an
+/// entry; an unbound required parameter is part of the key too (`None`),
+/// so fallback decisions are cached with the same fidelity as successful
+/// ones.
 ///
 /// Keys with at most [`INLINE_KEY_SLOTS`] parameters are built, hashed and
 /// compared without a single heap allocation — this is what makes the
@@ -722,6 +963,8 @@ const INLINE_KEY_SLOTS: usize = 8;
 #[derive(Debug, Clone)]
 struct CacheKey {
     region: RegionId,
+    /// Decision scope: whole fleet or one device.
+    scope: DeviceId,
     /// Number of inline slots in use (only meaningful when `spill` is
     /// `None`; always `<= INLINE_KEY_SLOTS`).
     len: u8,
@@ -734,7 +977,12 @@ struct CacheKey {
 }
 
 impl CacheKey {
-    fn new(region: RegionId, attrs: &RegionAttributes, binding: &Binding) -> CacheKey {
+    fn new(
+        region: RegionId,
+        scope: DeviceId,
+        attrs: &RegionAttributes,
+        binding: &Binding,
+    ) -> CacheKey {
         let params = &attrs.required_params;
         let mut inline = [None; INLINE_KEY_SLOTS];
         let mut spill = None;
@@ -747,6 +995,7 @@ impl CacheKey {
         }
         let mut key = CacheKey {
             region,
+            scope,
             len: params.len().min(INLINE_KEY_SLOTS) as u8,
             inline,
             spill,
@@ -776,6 +1025,7 @@ impl CacheKey {
             h = h.wrapping_mul(PRIME);
         };
         mix(u64::from(self.region.0));
+        mix(u64::from(self.scope.0));
         for slot in self.slots() {
             // Distinct tags keep `Some(0)` and `None` from colliding.
             match slot {
@@ -800,7 +1050,10 @@ impl CacheKey {
 
 impl PartialEq for CacheKey {
     fn eq(&self, other: &CacheKey) -> bool {
-        self.hash == other.hash && self.region == other.region && self.slots() == other.slots()
+        self.hash == other.hash
+            && self.region == other.region
+            && self.scope == other.scope
+            && self.slots() == other.slots()
     }
 }
 
@@ -1078,7 +1331,7 @@ impl DecisionEngine {
 
     /// Wraps an already-compiled database. The database must have been
     /// compiled with this selector's configuration for decisions to match
-    /// cold [`Selector::select_kernel`] calls.
+    /// cold [`Selector::decide`] calls on the bare kernels.
     pub fn from_database(
         selector: Selector,
         database: AttributeDatabase,
@@ -1121,7 +1374,7 @@ impl DecisionEngine {
     pub fn decide(&self, region: &str, binding: &Binding) -> Option<Decision> {
         let _timer = hetsel_obs::static_histogram!("hetsel.core.decide.ns").start_timer();
         let (id, attrs) = self.database.region_entry(region)?;
-        let key = CacheKey::new(id, attrs, binding);
+        let key = CacheKey::new(id, DeviceId::FLEET, attrs, binding);
         let shard = self.cache.shard(&key);
         if let Some(cached) = shard.lru.lock().get(&key) {
             shard.hits.fetch_add(1, Ordering::Relaxed);
@@ -1134,6 +1387,58 @@ impl DecisionEngine {
         // cached copy (bit-identical — the models are deterministic in the
         // key) and counts a late hit, so `misses == insertions` holds
         // exactly even under concurrent duplicate misses.
+        let mut lru = shard.lru.lock();
+        if let Some(cached) = lru.get(&key) {
+            drop(lru);
+            shard.hits.fetch_add(1, Ordering::Relaxed);
+            hetsel_obs::static_counter!("hetsel.core.cache.hit").inc();
+            return Some(cached);
+        }
+        lru.insert(key, decision.clone());
+        drop(lru);
+        shard.misses.fetch_add(1, Ordering::Relaxed);
+        hetsel_obs::static_counter!("hetsel.core.cache.miss").inc();
+        Some(decision)
+    }
+
+    /// Takes (or recalls) the decision for `region` with the candidate set
+    /// restricted to the host plus the one device `device` names
+    /// ([`DeviceId::HOST`] restricts to the host alone). Returns `None`
+    /// for an unknown region, a device id the fleet does not register, or
+    /// an accelerator the database carries no compiled model for.
+    ///
+    /// Scoped decisions share the engine's cache under a
+    /// `(RegionId, DeviceId, values)` key and are as allocation-free on a
+    /// hit as [`DecisionEngine::decide`] (proven by
+    /// `core/tests/zero_alloc.rs`). With the fleet's primary accelerator
+    /// as scope the answer is bit-identical to `decide` on a pair fleet.
+    pub fn decide_for(
+        &self,
+        region: &str,
+        binding: &Binding,
+        device: DeviceId,
+    ) -> Option<Decision> {
+        let _timer = hetsel_obs::static_histogram!("hetsel.core.decide.ns").start_timer();
+        let (id, attrs) = self.database.region_entry(region)?;
+        let scope = if device.is_host() {
+            None
+        } else {
+            let fleet_idx = self.selector.fleet.accel_index(device)?;
+            // The database must carry a compiled model for this
+            // accelerator (index 0 is `gpu_model`, the rest are extras).
+            if fleet_idx > attrs.extra_accel_models.len() {
+                return None;
+            }
+            Some(fleet_idx)
+        };
+        let key = CacheKey::new(id, device, attrs, binding);
+        let shard = self.cache.shard(&key);
+        if let Some(cached) = shard.lru.lock().get(&key) {
+            shard.hits.fetch_add(1, Ordering::Relaxed);
+            hetsel_obs::static_counter!("hetsel.core.cache.hit").inc();
+            return Some(cached);
+        }
+        let decision = self.selector.decide_restricted(attrs, binding, scope);
         let mut lru = shard.lru.lock();
         if let Some(cached) = lru.get(&key) {
             drop(lru);
@@ -1215,14 +1520,26 @@ impl DecisionEngine {
     }
 
     /// The decision a deadline miss degrades to: the compiler default
-    /// (offload) with the reason recorded on both model sides — nothing was
-    /// predicted, not because the models failed, but because the budget ran
-    /// out before they could answer.
+    /// (offload to the primary accelerator; the host for a host-only
+    /// fleet) with the reason recorded on both model sides — nothing was
+    /// predicted, not because the models failed, but because the budget
+    /// ran out before they could answer.
     fn deadline_degraded(&self, region: &str) -> Decision {
         hetsel_obs::static_counter!("hetsel.core.decide.deadline_exceeded").inc();
+        let fleet = &self.selector.fleet;
+        let (device, device_id, device_name) = match fleet.primary_accelerator() {
+            Some(id) => (
+                Device::Gpu,
+                id,
+                fleet.label_arc(id).expect("primary id resolves").clone(),
+            ),
+            None => (Device::Host, DeviceId::HOST, fleet.host_label_arc().clone()),
+        };
         Decision {
             region: Arc::from(region),
-            device: Device::Gpu,
+            device,
+            device_id,
+            device_name,
             policy: Policy::AlwaysOffload,
             predicted_cpu_s: None,
             predicted_gpu_s: None,
@@ -1260,7 +1577,7 @@ impl DecisionEngine {
             }
             match self.database.region_entry(request.region()) {
                 Some((id, attrs)) => {
-                    let key = CacheKey::new(id, attrs, request.binding());
+                    let key = CacheKey::new(id, DeviceId::FLEET, attrs, request.binding());
                     by_shard[self.cache.shard_index(&key)].push(i);
                     keyed.push(Some((key, attrs)));
                 }
@@ -1362,17 +1679,6 @@ impl DecisionEngine {
         results
     }
 
-    /// Deprecated positional-tuple spelling of
-    /// [`DecisionEngine::decide_batch`].
-    #[deprecated(note = "build `DecisionRequest`s and use `DecisionEngine::decide_batch`")]
-    pub fn decide_batch_pairs(&self, requests: &[(&str, &Binding)]) -> Vec<Option<Decision>> {
-        let requests: Vec<DecisionRequest> = requests
-            .iter()
-            .map(|&pair| DecisionRequest::from(pair))
-            .collect();
-        self.decide_batch(&requests)
-    }
-
     /// Takes the decision and explains it in the same call: the
     /// explanation is the full evidence behind exactly that decision (see
     /// [`Explanation::describes`](crate::explain::Explanation::describes)).
@@ -1396,7 +1702,7 @@ impl DecisionEngine {
     pub fn explain(&self, region: &str, binding: &Binding) -> Option<crate::explain::Explanation> {
         let (id, attrs) = self.database.region_entry(region)?;
         let mut explanation = self.selector.explain(attrs, binding);
-        let key = CacheKey::new(id, attrs, binding);
+        let key = CacheKey::new(id, DeviceId::FLEET, attrs, binding);
         explanation.cached = self.cache.shard(&key).lru.lock().contains(&key);
         Some(explanation)
     }
@@ -1726,7 +2032,7 @@ mod tests {
         let s = selector();
         // A NaN GPU prediction must not silently select the host: it is a
         // model failure, recorded, with the compiler-default fallback.
-        let d = s.compose("r", Some(Ok(1.0)), Some(Ok(f64::NAN)));
+        let d = s.decide_from_outcomes("r", Some(Ok(1.0)), &[Some(Ok(f64::NAN))]);
         assert_eq!(d.device, Device::Gpu);
         assert_eq!(d.predicted_gpu_s, None);
         assert!(matches!(
@@ -1736,7 +2042,7 @@ mod tests {
         assert_eq!(d.predicted_cpu_s, Some(1.0));
         // Same for an infinite or negative CPU prediction.
         for bad in [f64::INFINITY, -2.5] {
-            let d = s.compose("r", Some(Ok(bad)), Some(Ok(1.0)));
+            let d = s.decide_from_outcomes("r", Some(Ok(bad)), &[Some(Ok(1.0))]);
             assert_eq!(d.device, Device::Gpu, "{bad}");
             assert!(
                 matches!(d.cpu_error, Some(ModelError::NonFinitePrediction { .. })),
@@ -1745,9 +2051,130 @@ mod tests {
             assert!(d.predicted_speedup().is_none());
         }
         // Both sides poisoned: still the fallback, both reasons recorded.
-        let d = s.compose("r", Some(Ok(f64::NAN)), Some(Ok(f64::NEG_INFINITY)));
+        let d = s.decide_from_outcomes("r", Some(Ok(f64::NAN)), &[Some(Ok(f64::NEG_INFINITY))]);
         assert_eq!(d.device, Device::Gpu);
         assert!(d.cpu_error.is_some() && d.gpu_error.is_some());
+    }
+
+    #[test]
+    fn choose_among_generalizes_the_pair_rule() {
+        use DeviceChoice::{Accelerator, Host};
+        // Host-only candidate set: the terminal fallback, unconditionally.
+        assert_eq!(choose_among(Some(1.0), &[]), Host);
+        assert_eq!(choose_among(None, &[]), Host);
+        assert_eq!(choose_among(Some(f64::NAN), &[]), Host);
+        // Argmin across accelerators, host wins ties against the best.
+        assert_eq!(
+            choose_among(Some(3.0), &[Some(2.0), Some(1.0)]),
+            Accelerator(1)
+        );
+        assert_eq!(choose_among(Some(1.0), &[Some(2.0), Some(1.0)]), Host);
+        assert_eq!(choose_among(Some(0.5), &[Some(2.0), Some(1.0)]), Host);
+        // Accelerator ties go to the lower (registration-order) index.
+        assert_eq!(
+            choose_among(Some(3.0), &[Some(1.0), Some(1.0)]),
+            Accelerator(0)
+        );
+        // Unusable candidates are skipped, not compared.
+        assert_eq!(
+            choose_among(Some(3.0), &[Some(f64::NAN), Some(2.0)]),
+            Accelerator(1)
+        );
+        assert_eq!(choose_among(Some(1.0), &[None, Some(2.0), None]), Host);
+        // A single finite accelerator beats an unusable host.
+        for bad in [None, Some(f64::NAN), Some(-1.0)] {
+            assert_eq!(choose_among(bad, &[None, Some(2.0)]), Accelerator(1));
+        }
+        // Nothing usable anywhere: compiler default, the primary candidate.
+        assert_eq!(
+            choose_among(Some(f64::NAN), &[None, Some(f64::INFINITY)]),
+            Accelerator(0)
+        );
+    }
+
+    #[test]
+    fn decisions_carry_the_fleet_identity() {
+        let (k, binding) = find_kernel("gemm").unwrap();
+        let b = binding(Dataset::Benchmark);
+        let s = selector();
+        let d = s.decide(&k, &b);
+        assert_eq!(d.device_name.as_ref(), d.device.name());
+        assert_eq!(d.device_id, s.fleet().device_id_of(&d.device_name).unwrap());
+        // The label is the fleet's interned allocation, not a copy.
+        assert!(Arc::ptr_eq(
+            s.fleet().label_arc(d.device_id).unwrap(),
+            &d.device_name
+        ));
+    }
+
+    #[test]
+    fn multi_accelerator_fleet_picks_the_argmin() {
+        let s = selector();
+        let fleet = Fleet::pair_labeled(&Platform::power9_v100(), "a")
+            .with_accelerator_from("b", &Platform::power9_v100());
+        let s = s.with_fleet(fleet);
+        // `b` strictly fastest → chosen, with its id and label.
+        let d = s.decide_from_outcomes("r", Some(Ok(3.0)), &[Some(Ok(2.0)), Some(Ok(1.0))]);
+        assert_eq!(d.device, Device::Gpu);
+        assert_eq!(d.device_id, DeviceId(2));
+        assert_eq!(&*d.device_name, "b");
+        assert_eq!(d.predicted_gpu_s, Some(1.0));
+        // Host tie against the best accelerator → host; the representative
+        // GPU evidence is the best accelerator it beat.
+        let d = s.decide_from_outcomes("r", Some(Ok(1.0)), &[Some(Ok(2.0)), Some(Ok(1.0))]);
+        assert_eq!((d.device, d.device_id), (Device::Host, DeviceId::HOST));
+        assert_eq!(&*d.device_name, "host");
+        assert_eq!(d.predicted_gpu_s, Some(1.0));
+        // Nothing usable → compiler default: the primary accelerator, with
+        // its failure recorded.
+        let d = s.decide_from_outcomes("r", Some(Ok(f64::NAN)), &[Some(Ok(f64::NAN)), None]);
+        assert_eq!((d.device, d.device_id), (Device::Gpu, DeviceId(1)));
+        assert_eq!(&*d.device_name, "a");
+        assert!(d.gpu_error.is_some());
+    }
+
+    #[test]
+    fn host_only_fleet_never_offloads() {
+        let s = selector().with_fleet(Fleet::host_only());
+        let d = s.decide_from_outcomes("r", Some(Ok(f64::NAN)), &[]);
+        assert_eq!((d.device, d.device_id), (Device::Host, DeviceId::HOST));
+        assert!(d.predicted_gpu_s.is_none() && d.gpu_error.is_none());
+        // Even under AlwaysOffload there is nowhere to offload to.
+        let s = s.with_policy(Policy::AlwaysOffload);
+        let (k, binding) = find_kernel("gemm").unwrap();
+        let d = s.decide(&k, &binding(Dataset::Test));
+        assert_eq!(d.device, Device::Host);
+    }
+
+    #[test]
+    fn decide_for_restricts_the_candidate_set() {
+        let kernels: Vec<Kernel> = vec![find_kernel("gemm").unwrap().0];
+        let fleet = Fleet::pair_labeled(&Platform::power9_v100(), "v100")
+            .with_accelerator_from("k80", &Platform::power8_k80());
+        let sel = Selector::new(Platform::power9_v100()).with_fleet(fleet);
+        let engine = DecisionEngine::new(sel, &kernels);
+        let (_, binding) = find_kernel("gemm").unwrap();
+        let b = binding(Dataset::Benchmark);
+        let full = engine.decide("gemm", &b).unwrap();
+        // Restricting to the primary accelerator is the classic pair.
+        let primary = engine.decide_for("gemm", &b, DeviceId(1)).unwrap();
+        assert_eq!(&*primary.device_name, full.device_name.as_ref());
+        // A host-scoped decision cannot offload.
+        let host = engine.decide_for("gemm", &b, DeviceId::HOST).unwrap();
+        assert_eq!(host.device, Device::Host);
+        assert!(host.predicted_cpu_s.is_some());
+        // The k80 scope carries the true fleet identity.
+        let k80 = engine.decide_for("gemm", &b, DeviceId(2)).unwrap();
+        if k80.device == Device::Gpu {
+            assert_eq!((&*k80.device_name, k80.device_id), ("k80", DeviceId(2)));
+        }
+        // Scoped and whole-fleet decisions are cached under distinct keys.
+        let stats = engine.stats();
+        assert_eq!(stats.misses, 4, "{stats:?}");
+        assert_eq!(engine.decide_for("gemm", &b, DeviceId(2)).unwrap(), k80);
+        assert_eq!(engine.stats().hits, 1);
+        // Unregistered ids refuse rather than guess.
+        assert!(engine.decide_for("gemm", &b, DeviceId(9)).is_none());
     }
 
     #[test]
@@ -1945,27 +2372,5 @@ mod tests {
         assert_eq!(Device::Gpu.name(), "gpu");
         assert_eq!(Device::Host.other(), Device::Gpu);
         assert_eq!(Device::Gpu.other(), Device::Host);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_spellings_still_answer_identically() {
-        let (k, binding) = find_kernel("gemm").unwrap();
-        let b = binding(Dataset::Test);
-        let s = selector();
-        assert_eq!(s.select_kernel(&k, &b), s.decide(&k, &b));
-        let db = AttributeDatabase::compile(std::slice::from_ref(&k), &s);
-        let attrs = db.region("gemm").unwrap();
-        assert_eq!(s.select(attrs, &b), s.decide(attrs, &b));
-        let (c1, g1) = s.predict_detailed(&k, &b);
-        let (c2, g2) = s.predict(&k, &b);
-        assert_eq!((c1.unwrap(), g1.unwrap()), (c2.unwrap(), g2.unwrap()));
-        let engine = engine_with(std::slice::from_ref(&k), 16);
-        let pairs: Vec<(&str, &Binding)> = vec![("gemm", &b)];
-        let requests = vec![DecisionRequest::from(("gemm", &b))];
-        assert_eq!(
-            engine.decide_batch_pairs(&pairs),
-            engine.decide_batch(&requests)
-        );
     }
 }

@@ -15,7 +15,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 
-use hetsel_core::{DecisionEngine, Platform, Selector};
+use hetsel_core::{DecisionEngine, DeviceId, Fleet, Platform, Selector};
 use hetsel_polybench::{find_kernel, Dataset};
 
 struct CountingAlloc;
@@ -95,4 +95,51 @@ fn cache_hit_decide_allocates_nothing() {
     let stats = engine.stats();
     assert_eq!(stats.misses, 1);
     assert!(stats.hits >= 1003);
+}
+
+#[test]
+fn scoped_cache_hit_decide_allocates_nothing() {
+    // The fleet generalization must not have bought its `(region, device)`
+    // cache key at the price of hot-path allocations: a `decide_for` hit
+    // on a multi-accelerator fleet is as allocation-free as `decide`.
+    let (kernel, binding) = find_kernel("gemm").unwrap();
+    let b = binding(Dataset::Benchmark);
+    let platform = Platform::power9_v100();
+    let fleet = Fleet::pair_labeled(&platform, "v100")
+        .with_accelerator_from("k80", &Platform::power8_k80());
+    let scope = fleet.device_id_of("k80").expect("k80 is registered");
+    let engine = DecisionEngine::new(
+        Selector::new(platform).with_fleet(fleet),
+        std::slice::from_ref(&kernel),
+    );
+
+    let first = engine
+        .decide_for("gemm", &b, scope)
+        .expect("gemm is known and k80 has a compiled model");
+    assert_eq!(first.device_id, scope);
+    for _ in 0..3 {
+        engine.decide_for("gemm", &b, scope).expect("primed hit");
+    }
+    // The whole-fleet and host-scoped entries live under different keys in
+    // the same cache; prime them too so the burst below is all hits even
+    // if a future change makes the paths share state.
+    engine.decide("gemm", &b).expect("gemm is known");
+    engine
+        .decide_for("gemm", &b, DeviceId::HOST)
+        .expect("host scope");
+
+    let before = allocs_on_this_thread();
+    let mut last = None;
+    for _ in 0..1000 {
+        last = engine.decide_for("gemm", &b, scope);
+    }
+    let after = allocs_on_this_thread();
+
+    assert_eq!(
+        after - before,
+        0,
+        "scoped cache-hit decide must not allocate (1000 hits allocated {} times)",
+        after - before
+    );
+    assert_eq!(last.expect("hit"), first);
 }

@@ -359,6 +359,25 @@ pub fn shard_metric_name(base: &str, index: usize, leaf: &str) -> String {
     format!("{base}.{index}.{leaf}")
 }
 
+/// The canonical name of a per-device instrument: `<base>.<device>`, e.g.
+/// `device_metric_name("hetsel.core.decisions", "v100")` →
+/// `"hetsel.core.decisions.v100"`. The `device` segment must be the
+/// fleet's interned device label — routing every per-device metric name
+/// through this one helper (and every label through the fleet) is what
+/// keeps metric names and serialized documents agreeing on a device's
+/// spelling.
+pub fn device_metric_name(base: &str, device: &str) -> String {
+    format!("{base}.{device}")
+}
+
+/// The canonical name of a per-device instrument with a leaf:
+/// `<base>.<device>.<leaf>`, e.g.
+/// `device_leaf_metric_name("hetsel.core.breaker", "v100", "state")` →
+/// `"hetsel.core.breaker.v100.state"`.
+pub fn device_leaf_metric_name(base: &str, device: &str, leaf: &str) -> String {
+    format!("{base}.{device}.{leaf}")
+}
+
 /// A rendered snapshot of the registry.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricsSnapshot {
@@ -520,6 +539,22 @@ mod tests {
         r.gauge(&shard_metric_name("hetsel.test.shard", 7, "len"))
             .set(3);
         assert_eq!(r.gauge("hetsel.test.shard.7.len").get(), 3);
+    }
+
+    #[test]
+    fn device_metric_names_follow_the_convention() {
+        assert_eq!(
+            device_metric_name("hetsel.core.decisions", "v100"),
+            "hetsel.core.decisions.v100"
+        );
+        assert_eq!(
+            device_leaf_metric_name("hetsel.core.breaker", "gpu", "state"),
+            "hetsel.core.breaker.gpu.state"
+        );
+        let r = Registry::new();
+        r.counter(&device_metric_name("hetsel.test.decisions", "k80"))
+            .inc();
+        assert_eq!(r.counter("hetsel.test.decisions.k80").get(), 1);
     }
 
     #[test]

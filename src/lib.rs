@@ -77,8 +77,8 @@ pub use hetsel_polybench as polybench;
 pub mod prelude {
     pub use hetsel_core::{
         AttributeDatabase, BreakerState, Decision, DecisionEngine, DecisionRequest, Device,
-        DispatchError, DispatchOutcome, Dispatcher, DispatcherConfig, Explanation, FallbackReason,
-        Platform, Policy, Selector,
+        DeviceId, DeviceKind, DispatchError, DispatchOutcome, Dispatcher, DispatcherConfig,
+        Explanation, FallbackReason, Fleet, Platform, Policy, Selector,
     };
     pub use hetsel_fault::{FaultKind, FaultPlan};
     pub use hetsel_ir::{cexpr, Binding, Expr, Kernel, KernelBuilder, Transfer};

@@ -2,19 +2,20 @@
 //!
 //! Every name and signature the prelude and the redesigned request API
 //! promise is pinned here as a *typed* reference — removing an item,
-//! changing a signature, or dropping a deprecated shim breaks this file at
+//! changing a signature, or renaming a fleet builder breaks this file at
 //! compile time, which is the point: downstream code holds exactly these
 //! references. The runtime assertions at the bottom snapshot the name list
 //! itself so an accidental rename shows up as a readable diff.
 
-#![allow(deprecated)] // the deprecated shims are part of the pinned surface
 #![allow(clippy::type_complexity)] // the exact signatures ARE the snapshot
 
 use std::time::Duration;
 
 use hetsel::core::{
-    BreakerConfig, DeviceHealthSnapshot, DispatchTerms, RegionAttributes, RetryConfig,
+    AcceleratorDevice, BreakerConfig, DeviceHealthSnapshot, DevicePrediction, DispatchTerms,
+    RegionAttributes, RetryConfig,
 };
+use hetsel::models::GpuModelParams;
 use hetsel::prelude::*;
 
 /// Pin a function item to an explicit pointer type. The turbofish-free
@@ -66,31 +67,38 @@ fn the_request_api_surface_is_stable() {
         Selector::decide::<RegionAttributes>
     );
 
-    // --- deprecated shims: still present, still forwarding -------------
+    // --- Fleet: the N-device generalization -----------------------------
+    pin!(fn() -> Fleet, Fleet::host_only);
+    pin!(fn(&Platform) -> Fleet, Fleet::pair);
+    pin!(fn(&Platform, &str) -> Fleet, Fleet::pair_labeled);
     pin!(
-        fn(&Selector, &Kernel, &Binding) -> Decision,
-        Selector::select_kernel
+        fn(Fleet, &str, hetsel::gpusim::GpuDescriptor, GpuModelParams) -> Fleet,
+        Fleet::with_accelerator
     );
     pin!(
-        fn(&Selector, &RegionAttributes, &Binding) -> Decision,
-        Selector::select
+        fn(Fleet, &str, &Platform) -> Fleet,
+        Fleet::with_accelerator_from
     );
-    pin!(
-        fn(&Selector, &Kernel, &Binding) -> (Result<f64, ModelError>, Result<f64, ModelError>),
-        Selector::predict_detailed
-    );
+    pin!(fn(Fleet, &str, u32) -> Fleet, Fleet::with_capacity);
+    pin!(fn(&Fleet, &str) -> Option<Fleet>, Fleet::restrict);
+    pin!(fn(&Fleet, &str) -> Option<DeviceId>, Fleet::device_id_of);
+    pin!(fn(&Fleet, DeviceId) -> Option<&str>, Fleet::label);
+    pin!(fn(&Fleet, DeviceId) -> Option<DeviceKind>, Fleet::kind);
+    pin!(fn(&Fleet) -> &[AcceleratorDevice], Fleet::accelerators);
+    pin!(fn(Selector, Fleet) -> Selector, Selector::with_fleet);
+    pin!(fn(&Selector) -> &Fleet, Selector::fleet);
     pin!(
         fn(
             &Selector,
             &str,
             Option<Result<f64, ModelError>>,
-            Option<Result<f64, ModelError>>,
+            &[Option<Result<f64, ModelError>>],
         ) -> Decision,
-        Selector::decide_outcomes
+        Selector::decide_from_outcomes
     );
     pin!(
-        fn(&DecisionEngine, &[(&str, &Binding)]) -> Vec<Option<Decision>>,
-        DecisionEngine::decide_batch_pairs
+        fn(&DecisionEngine, &str, &Binding, DeviceId) -> Option<Decision>,
+        DecisionEngine::decide_for
     );
 
     // --- DecisionEngine: request-level entry points ---------------------
@@ -149,6 +157,18 @@ fn the_request_api_surface_is_stable() {
         fn(&Dispatcher) -> (DeviceHealthSnapshot, DeviceHealthSnapshot),
         Dispatcher::publish_health
     );
+    pin!(
+        fn(&Dispatcher, DeviceId) -> Option<BreakerState>,
+        Dispatcher::breaker_state_by_id
+    );
+    pin!(
+        fn(&Dispatcher, DeviceId) -> Option<DeviceHealthSnapshot>,
+        Dispatcher::health_by_id
+    );
+    pin!(
+        fn(&Dispatcher) -> Vec<DeviceHealthSnapshot>,
+        Dispatcher::publish_health_all
+    );
 
     // --- DispatcherConfig builders --------------------------------------
     pin!(
@@ -158,6 +178,10 @@ fn the_request_api_surface_is_stable() {
     pin!(
         fn(DispatcherConfig, FaultPlan) -> DispatcherConfig,
         DispatcherConfig::with_cpu_faults
+    );
+    pin!(
+        fn(DispatcherConfig, &str, FaultPlan) -> DispatcherConfig,
+        DispatcherConfig::with_device_faults
     );
     pin!(
         fn(DispatcherConfig, BreakerConfig) -> DispatcherConfig,
@@ -191,9 +215,14 @@ fn the_public_enums_carry_their_promised_variants() {
         BreakerState::HalfOpen,
     ];
     let _ = [FaultKind::Transient, FaultKind::Permanent];
+    let _ = [DeviceKind::Host, DeviceKind::Accelerator];
+    let _ = [DeviceId::HOST, DeviceId(1)];
     let _ = [
         FallbackReason::DeadlineExceeded,
         FallbackReason::BreakerOpen {
+            device: Device::Gpu,
+        },
+        FallbackReason::CapacityExhausted {
             device: Device::Gpu,
         },
         FallbackReason::DeviceFault {
@@ -221,11 +250,11 @@ fn the_prelude_name_list_is_the_documented_snapshot() {
     #[rustfmt::skip]
     const PRELUDE: &[&str] = &[
         "AttributeDatabase", "Binding", "BreakerState", "CompiledModel", "CostModel",
-        "Decision", "DecisionEngine", "DecisionRequest", "Device", "DispatchError",
-        "DispatchOutcome", "Dispatcher", "DispatcherConfig", "Explanation", "Expr",
-        "FallbackReason", "FaultKind", "FaultPlan", "Kernel", "KernelBuilder",
-        "ModelError", "Platform", "Policy", "Prediction", "Selector", "Transfer",
-        "cexpr",
+        "Decision", "DecisionEngine", "DecisionRequest", "Device", "DeviceId",
+        "DeviceKind", "DispatchError", "DispatchOutcome", "Dispatcher", "DispatcherConfig",
+        "Explanation", "Expr", "FallbackReason", "FaultKind", "FaultPlan",
+        "Fleet", "Kernel", "KernelBuilder", "ModelError", "Platform",
+        "Policy", "Prediction", "Selector", "Transfer", "cexpr",
     ];
     let mut sorted = PRELUDE.to_vec();
     sorted.sort_unstable();
@@ -245,6 +274,8 @@ fn the_prelude_name_list_is_the_documented_snapshot() {
         std::any::type_name::<p::DecisionEngine>(),
         std::any::type_name::<p::DecisionRequest>(),
         std::any::type_name::<p::Device>(),
+        std::any::type_name::<p::DeviceId>(),
+        std::any::type_name::<p::DeviceKind>(),
         std::any::type_name::<p::DispatchError>(),
         std::any::type_name::<p::DispatchOutcome>(),
         std::any::type_name::<p::Dispatcher>(),
@@ -254,6 +285,7 @@ fn the_prelude_name_list_is_the_documented_snapshot() {
         std::any::type_name::<p::FallbackReason>(),
         std::any::type_name::<p::FaultKind>(),
         std::any::type_name::<p::FaultPlan>(),
+        std::any::type_name::<p::Fleet>(),
         std::any::type_name::<p::Kernel>(),
         std::any::type_name::<p::KernelBuilder>(),
         std::any::type_name::<p::ModelError>(),
@@ -264,6 +296,22 @@ fn the_prelude_name_list_is_the_documented_snapshot() {
         std::any::type_name::<p::Transfer>(),
         p::cexpr::scalar("n"),
     );
+}
+
+#[test]
+fn device_predictions_mirror_the_documented_json_schema() {
+    // The explain schema's per-candidate block: exactly these fields,
+    // these types. A struct literal is an exhaustive field check.
+    let row = DevicePrediction {
+        name: "v100".to_string(),
+        kind: "accelerator".to_string(),
+        predicted_s: Some(1e-3),
+        error: None,
+    };
+    let json = serde_json::to_string(&row).expect("serializes");
+    for key in ["\"name\"", "\"kind\"", "\"predicted_s\"", "\"error\""] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
 }
 
 #[test]

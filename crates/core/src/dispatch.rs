@@ -222,6 +222,18 @@ impl FallbackReason {
     }
 }
 
+/// Compact encoding of a [`FallbackReason`] for the flight recorder's
+/// one-byte `detail` slot (`0` means "no fallback" on a
+/// [`hetsel_obs::EventKind::DispatchComplete`] event).
+fn fallback_code(reason: &FallbackReason) -> u8 {
+    match reason {
+        FallbackReason::DeadlineExceeded => 1,
+        FallbackReason::BreakerOpen { .. } => 2,
+        FallbackReason::CapacityExhausted { .. } => 3,
+        FallbackReason::DeviceFault { .. } => 4,
+    }
+}
+
 impl std::fmt::Display for FallbackReason {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -407,6 +419,25 @@ impl DeviceHealth {
             .set(state.gauge_value());
     }
 
+    /// Publishes a breaker *transition* (not a republish): updates the
+    /// state gauge and, when the flight recorder is live, appends a
+    /// [`hetsel_obs::EventKind::BreakerTransition`] event whose `detail`
+    /// byte carries the gauge encoding of the new state and whose region
+    /// slot carries the device label.
+    fn note_transition(&self, state: BreakerState, now: u64) {
+        self.publish_state(state);
+        hetsel_obs::record_event(|| {
+            let mut ev = hetsel_obs::DecisionEvent::new(
+                hetsel_obs::EventKind::BreakerTransition,
+                &self.label,
+            );
+            ev.tick = now;
+            ev.device = self.id.0;
+            ev.detail = state.gauge_value() as u8;
+            ev
+        });
+    }
+
     /// Reserves one in-flight slot, or reports the device at capacity.
     fn try_acquire(&self) -> bool {
         let mut cur = self.inflight.load(Ordering::Relaxed);
@@ -442,7 +473,7 @@ impl DeviceHealth {
                 if now >= core.opened_at.saturating_add(core.backoff) {
                     core.state = BreakerState::HalfOpen;
                     core.probing = true;
-                    self.publish_state(BreakerState::HalfOpen);
+                    self.note_transition(BreakerState::HalfOpen, now);
                     true
                 } else {
                     false
@@ -461,16 +492,16 @@ impl DeviceHealth {
 
     /// Forces an open breaker into a half-open probe regardless of backoff
     /// — the last-resort host path, which is never fully load-shed.
-    fn force_probe(&self) {
+    fn force_probe(&self, now: u64) {
         let mut core = self.core.lock();
         if core.state == BreakerState::Open {
             core.state = BreakerState::HalfOpen;
             core.probing = true;
-            self.publish_state(BreakerState::HalfOpen);
+            self.note_transition(BreakerState::HalfOpen, now);
         }
     }
 
-    fn on_success(&self, cfg: &BreakerConfig) {
+    fn on_success(&self, cfg: &BreakerConfig, now: u64) {
         self.successes.fetch_add(1, Ordering::Relaxed);
         let mut core = self.core.lock();
         core.consecutive_failures = 0;
@@ -483,7 +514,7 @@ impl DeviceHealth {
                 core.state = BreakerState::Closed;
                 core.probing = false;
                 core.backoff = cfg.open_backoff.max(1);
-                self.publish_state(BreakerState::Closed);
+                self.note_transition(BreakerState::Closed, now);
             }
         }
     }
@@ -506,7 +537,7 @@ impl DeviceHealth {
                             "trip",
                         ))
                         .inc();
-                    self.publish_state(BreakerState::Open);
+                    self.note_transition(BreakerState::Open, now);
                 }
             }
             BreakerState::HalfOpen => {
@@ -523,7 +554,7 @@ impl DeviceHealth {
                         "trip",
                     ))
                     .inc();
-                self.publish_state(BreakerState::Open);
+                self.note_transition(BreakerState::Open, now);
             }
             // A failure from an attempt admitted before the trip: the
             // breaker is already open, nothing more to record.
@@ -725,7 +756,13 @@ impl Dispatcher {
 
         let mut fallback: Option<FallbackReason> = None;
         if deadline_degraded {
-            self.note_fallback(&mut fallback, FallbackReason::DeadlineExceeded);
+            self.note_fallback(
+                &mut fallback,
+                FallbackReason::DeadlineExceeded,
+                request.region(),
+                decision.device_id,
+                now,
+            );
         }
         let mut attempts = 0u32;
         let mut retries = 0u32;
@@ -755,12 +792,24 @@ impl Dispatcher {
             // Capacity gates before the breaker so a spilled request never
             // consumes the device's single half-open probe slot.
             if !health.try_acquire() {
-                self.note_fallback(&mut fallback, FallbackReason::CapacityExhausted { device });
+                self.note_fallback(
+                    &mut fallback,
+                    FallbackReason::CapacityExhausted { device },
+                    request.region(),
+                    id,
+                    now,
+                );
                 continue;
             }
             if !health.admit(now) {
                 health.release();
-                self.note_fallback(&mut fallback, FallbackReason::BreakerOpen { device });
+                self.note_fallback(
+                    &mut fallback,
+                    FallbackReason::BreakerOpen { device },
+                    request.region(),
+                    id,
+                    now,
+                );
                 continue;
             }
             if id.is_host() {
@@ -778,7 +827,7 @@ impl Dispatcher {
             health.release();
             match result {
                 Ok(run_s) => {
-                    return Ok(DispatchOutcome {
+                    let outcome = DispatchOutcome {
                         decision,
                         device,
                         device_id: id,
@@ -787,11 +836,19 @@ impl Dispatcher {
                         retries,
                         fallback,
                         simulated_s: run_s + backoff_s,
-                    })
+                    };
+                    self.observe_outcome(request.region(), &outcome, now);
+                    return Ok(outcome);
                 }
                 Err(ExecFailure::Fault(kind)) => {
                     any_fault = true;
-                    self.note_fallback(&mut fallback, FallbackReason::DeviceFault { device, kind });
+                    self.note_fallback(
+                        &mut fallback,
+                        FallbackReason::DeviceFault { device, kind },
+                        request.region(),
+                        id,
+                        now,
+                    );
                 }
                 Err(ExecFailure::Unresolvable) => unresolvable = true,
             }
@@ -803,7 +860,7 @@ impl Dispatcher {
         // matter how broken every accelerator is.
         if !host_attempted {
             let host = &self.health[0];
-            host.force_probe();
+            host.force_probe(now);
             match self.execute(
                 DeviceId::HOST,
                 attrs,
@@ -814,7 +871,7 @@ impl Dispatcher {
                 &mut backoff_s,
             ) {
                 Ok(run_s) => {
-                    return Ok(DispatchOutcome {
+                    let outcome = DispatchOutcome {
                         decision,
                         device: Device::Host,
                         device_id: DeviceId::HOST,
@@ -823,7 +880,9 @@ impl Dispatcher {
                         retries,
                         fallback,
                         simulated_s: run_s + backoff_s,
-                    })
+                    };
+                    self.observe_outcome(request.region(), &outcome, now);
+                    return Ok(outcome);
                 }
                 Err(ExecFailure::Fault(kind)) => {
                     any_fault = true;
@@ -833,6 +892,9 @@ impl Dispatcher {
                             device: Device::Host,
                             kind,
                         },
+                        request.region(),
+                        DeviceId::HOST,
+                        now,
                     );
                 }
                 Err(ExecFailure::Unresolvable) => unresolvable = true,
@@ -871,6 +933,9 @@ impl Dispatcher {
             gpu_breaker: self.breaker_state(Device::Gpu).name().to_string(),
             cpu_breaker: self.breaker_state(Device::Host).name().to_string(),
         });
+        if let Some(row) = hetsel_obs::accuracy().lookup(request.region(), &outcome.device_name) {
+            explanation.accuracy = Some(crate::explain::AccuracyBlock::from_row(&row));
+        }
         Ok((outcome, explanation))
     }
 
@@ -894,16 +959,92 @@ impl Dispatcher {
     }
 
     /// Records a fallback event: counts every occurrence, keeps the first
-    /// reason for the outcome.
-    fn note_fallback(&self, slot: &mut Option<FallbackReason>, reason: FallbackReason) {
+    /// reason for the outcome, and (when the flight recorder is live)
+    /// appends a [`hetsel_obs::EventKind::Fallback`] event whose `detail`
+    /// byte is the [`fallback_code`] of the reason.
+    fn note_fallback(
+        &self,
+        slot: &mut Option<FallbackReason>,
+        reason: FallbackReason,
+        region: &str,
+        device: DeviceId,
+        now: u64,
+    ) {
         hetsel_obs::registry()
             .counter(&format!(
                 "hetsel.core.dispatch.fallback.{}",
                 reason.metric_key()
             ))
             .inc();
+        hetsel_obs::record_event(|| {
+            let mut ev = hetsel_obs::DecisionEvent::new(hetsel_obs::EventKind::Fallback, region);
+            ev.tick = now;
+            ev.device = device.0;
+            ev.detail = fallback_code(&reason);
+            ev
+        });
         if slot.is_none() {
             *slot = Some(reason);
+        }
+    }
+
+    /// Feeds the accuracy observatory and flight recorder with a completed
+    /// dispatch: one `DispatchComplete` event plus one predicted-vs-observed
+    /// sample for the executed device. The engine only predicted for the
+    /// decided device and the host, so an execution that spilled to a
+    /// *different* accelerator has no matching prediction and is not scored.
+    /// A "flip" is counted when the predicted ordering between the executed
+    /// device and its alternative disagrees with the observed ordering —
+    /// i.e. the model picked the wrong side of the CPU/accelerator boundary.
+    fn observe_outcome(&self, region: &str, outcome: &DispatchOutcome, now: u64) {
+        let decision = &outcome.decision;
+        hetsel_obs::record_event(|| {
+            let mut ev =
+                hetsel_obs::DecisionEvent::new(hetsel_obs::EventKind::DispatchComplete, region);
+            ev.tick = now;
+            ev.device = outcome.device_id.0;
+            ev.verdict_accel = decision.device == Device::Gpu;
+            ev.detail = outcome.fallback.as_ref().map_or(0, fallback_code);
+            ev.predicted_cpu_s = decision.predicted_cpu_s.unwrap_or(f64::NAN);
+            ev.predicted_accel_s = decision.predicted_gpu_s.unwrap_or(f64::NAN);
+            ev.simulated_s = outcome.simulated_s;
+            ev
+        });
+        if hetsel_obs::flight_recording_enabled() {
+            hetsel_obs::registry()
+                .counter(&hetsel_obs::metrics::device_leaf_metric_name(
+                    "hetsel.core.flight",
+                    &outcome.device_name,
+                    "events",
+                ))
+                .inc();
+        }
+        let (pred_exec, pred_other) = if outcome.device_id.is_host() {
+            (decision.predicted_cpu_s, decision.predicted_gpu_s)
+        } else if outcome.device_id == decision.device_id {
+            (decision.predicted_gpu_s, decision.predicted_cpu_s)
+        } else {
+            (None, None)
+        };
+        let Some(predicted_s) = pred_exec else { return };
+        let observed_s = outcome.simulated_s;
+        let flip = pred_other.is_some_and(|other| (predicted_s <= other) != (observed_s <= other));
+        hetsel_obs::accuracy().observe(region, &outcome.device_name, predicted_s, observed_s, flip);
+        hetsel_obs::registry()
+            .counter(&hetsel_obs::metrics::device_leaf_metric_name(
+                "hetsel.core.accuracy",
+                &outcome.device_name,
+                "samples",
+            ))
+            .inc();
+        if flip {
+            hetsel_obs::registry()
+                .counter(&hetsel_obs::metrics::device_leaf_metric_name(
+                    "hetsel.core.accuracy",
+                    &outcome.device_name,
+                    "flips",
+                ))
+                .inc();
         }
     }
 
@@ -962,7 +1103,7 @@ impl Dispatcher {
             };
             match result {
                 Ok(run_s) => {
-                    health.on_success(&self.config.breaker);
+                    health.on_success(&self.config.breaker, now);
                     return Ok(run_s);
                 }
                 Err(InjectedFailure::Unresolvable) => return Err(ExecFailure::Unresolvable),

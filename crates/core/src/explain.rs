@@ -186,6 +186,44 @@ pub struct DispatchTerms {
     pub cpu_breaker: String,
 }
 
+/// Streaming prediction-accuracy statistics for the `(region, executed
+/// device)` pair, copied out of the process-wide
+/// [`hetsel_obs::AccuracyObservatory`] — present only when the explanation
+/// came from [`crate::Dispatcher::dispatch_explained`] *and* the
+/// observatory holds at least one sample for the pair. Errors are signed
+/// relative errors `(predicted − observed) / observed`, so a negative mean
+/// means the model is optimistic (under-predicts the runtime).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyBlock {
+    /// Fleet label of the executed device the stats are scoped to.
+    pub device: String,
+    /// Samples accumulated for this `(region, device)` pair.
+    pub samples: u64,
+    /// Welford mean of the signed relative error.
+    pub mean_rel_error: f64,
+    /// Welford (sample) variance of the signed relative error.
+    pub rel_error_variance: f64,
+    /// Mean signed absolute bias, seconds (`predicted − observed`).
+    pub mean_bias_s: f64,
+    /// Misprediction flips: samples where the predicted CPU/accelerator
+    /// ordering disagreed with the observed one.
+    pub flips: u64,
+}
+
+impl AccuracyBlock {
+    /// Copies an observatory row into the explain-JSON shape.
+    pub fn from_row(row: &hetsel_obs::AccuracyRow) -> Self {
+        AccuracyBlock {
+            device: row.device.clone(),
+            samples: row.samples,
+            mean_rel_error: row.mean_rel_error,
+            rel_error_variance: row.rel_error_variance,
+            mean_bias_s: row.mean_bias_s,
+            flips: row.flips,
+        }
+    }
+}
+
 /// Wall-clock cost of producing the explanation, by phase.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PhaseTimings {
@@ -240,6 +278,10 @@ pub struct Explanation {
     /// How the dispatch runtime ran the region, when one did (absent for
     /// pure decision explanations).
     pub dispatch: Option<DispatchTerms>,
+    /// Prediction-accuracy stats for the executed device, when the
+    /// accuracy observatory has samples for this region (absent for pure
+    /// decision explanations).
+    pub accuracy: Option<AccuracyBlock>,
     /// Per-phase timings.
     pub timings: PhaseTimings,
 }
@@ -572,6 +614,7 @@ impl Selector {
             devices,
             cached: false,
             dispatch: None,
+            accuracy: None,
             timings: PhaseTimings {
                 compile_ns: None,
                 cpu_eval_ns,
@@ -748,6 +791,40 @@ pub fn validate_report_json(json: &str) -> Result<ExplainReport, String> {
                 if !["closed", "open", "half_open"].contains(&state.as_str()) {
                     return Err(format!("{at}: unknown {label} breaker state `{state}`"));
                 }
+            }
+        }
+        if let Some(a) = &e.accuracy {
+            if e.dispatch.is_none() {
+                return Err(format!("{at}: accuracy block without dispatch terms"));
+            }
+            if a.device.is_empty() {
+                return Err(format!("{at}: accuracy block with empty device label"));
+            }
+            if let Some(d) = &e.dispatch {
+                if a.device != d.device {
+                    return Err(format!(
+                        "{at}: accuracy device `{}` is not the executed device `{}`",
+                        a.device, d.device
+                    ));
+                }
+            }
+            if a.samples == 0 {
+                return Err(format!("{at}: accuracy block with zero samples"));
+            }
+            if !a.mean_rel_error.is_finite() || !a.mean_bias_s.is_finite() {
+                return Err(format!("{at}: non-finite accuracy means"));
+            }
+            if !(a.rel_error_variance.is_finite() && a.rel_error_variance >= 0.0) {
+                return Err(format!(
+                    "{at}: unusable rel_error_variance {}",
+                    a.rel_error_variance
+                ));
+            }
+            if a.flips > a.samples {
+                return Err(format!(
+                    "{at}: {} flips exceed {} samples",
+                    a.flips, a.samples
+                ));
             }
         }
     }

@@ -40,6 +40,15 @@ fn scoped_key(region: &str, params: &[String], binding: &Binding) -> String {
     format!("{region}@{{{}}}", parts.join(","))
 }
 
+/// As [`scoped_key`], additionally scoped to a fleet device label — the
+/// key shape for per-device records in an N-device fleet, where a bare
+/// "accelerator time" is ambiguous. Both key families coexist in one
+/// history (and one [`HistoryExport`]): `region@{…}` for kind-level pair
+/// records, `region@{…}::<device>` for device-scoped ones.
+fn scoped_device_key(region: &str, params: &[String], binding: &Binding, device: &str) -> String {
+    format!("{}::{device}", scoped_key(region, params, binding))
+}
+
 /// A remembered execution outcome.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq)]
 pub struct HistoryRecord {
@@ -92,6 +101,33 @@ impl ProfileHistory {
         e.samples += 1;
     }
 
+    /// As [`ProfileHistory::observe`] for a *device-scoped* record: the
+    /// measurement's accelerator side was taken on the named fleet device
+    /// (label, e.g. `"v100"`), and only lookups naming the same device
+    /// ([`ProfileHistory::lookup_for`]) see it. Kind-level records are
+    /// untouched.
+    pub fn observe_for(
+        &self,
+        region: &str,
+        params: &[String],
+        binding: &Binding,
+        device: &str,
+        measured: Measured,
+    ) {
+        let mut map = self.records.write();
+        let e = map
+            .entry(scoped_device_key(region, params, binding, device))
+            .or_insert(HistoryRecord {
+                cpu_s: measured.cpu_s,
+                gpu_s: measured.gpu_s,
+                samples: 0,
+            });
+        let n = f64::from(e.samples);
+        e.cpu_s = (e.cpu_s * n + measured.cpu_s) / (n + 1.0);
+        e.gpu_s = (e.gpu_s * n + measured.gpu_s) / (n + 1.0);
+        e.samples += 1;
+    }
+
     /// Looks up the record for a configuration. Hits and misses are counted
     /// under `hetsel.core.history.lookup.{hit,miss}`.
     pub fn lookup(
@@ -104,6 +140,29 @@ impl ProfileHistory {
             .records
             .read()
             .get(&scoped_key(region, params, binding))
+            .copied();
+        match found {
+            Some(_) => hetsel_obs::static_counter!("hetsel.core.history.lookup.hit").inc(),
+            None => hetsel_obs::static_counter!("hetsel.core.history.lookup.miss").inc(),
+        }
+        found
+    }
+
+    /// Device-scoped counterpart of [`ProfileHistory::lookup`]: only
+    /// records written by [`ProfileHistory::observe_for`] with the same
+    /// device label resolve. Counted under the same
+    /// `hetsel.core.history.lookup.{hit,miss}` counters.
+    pub fn lookup_for(
+        &self,
+        region: &str,
+        params: &[String],
+        binding: &Binding,
+        device: &str,
+    ) -> Option<HistoryRecord> {
+        let found = self
+            .records
+            .read()
+            .get(&scoped_device_key(region, params, binding, device))
             .copied();
         match found {
             Some(_) => hetsel_obs::static_counter!("hetsel.core.history.lookup.hit").inc(),
@@ -145,6 +204,27 @@ impl ProfileHistory {
 }
 
 /// Serialisable form of a [`ProfileHistory`].
+///
+/// # Export schema
+///
+/// The document is one `entries` array of `[key, record]` pairs, sorted
+/// by key. Two key families coexist in the same export:
+///
+/// * `region@{p1=v1,p2=?}` — kind-level pair records written by
+///   [`ProfileHistory::observe`]; `gpu_s` is the accelerator-kind time
+///   (the primary accelerator on an N-device fleet).
+/// * `region@{p1=v1,p2=?}::<device>` — device-scoped records written by
+///   [`ProfileHistory::observe_for`]; `gpu_s` was measured on the named
+///   fleet device (e.g. `::v100`), `cpu_s` on the host.
+///
+/// Parameter lists inside `{…}` are sorted and deduplicated, and unbound
+/// required parameters appear as `p=?`, so semantically equal
+/// configurations always share a key. Each record is
+/// `{"cpu_s": f64, "gpu_s": f64, "samples": u32}` holding running
+/// averages over `samples` observations. [`ProfileHistory::import`]
+/// restores both families losslessly; `import(export()).export()` is
+/// byte-identical (see the `device_scoped_records_roundtrip_through_export`
+/// test).
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
 pub struct HistoryExport {
     /// `(key, record)` pairs in key order.
@@ -208,11 +288,42 @@ impl AdaptiveSelector {
 
     /// Executes (simulates) under the current decision and feeds the
     /// outcome back; returns the decision and what it cost.
+    ///
+    /// Besides the history fold, every measurement also feeds the
+    /// process-wide accuracy observatory ([`hetsel_obs::accuracy()`]): one
+    /// predicted-vs-measured sample per device side the decision carried a
+    /// prediction for, with the misprediction flip (decided side ≠
+    /// measured-fastest side) charged to the side the decision chose.
     pub fn run_and_learn(&self, kernel: &Kernel, binding: &Binding) -> Option<(Decision, f64)> {
         let d = self.select(kernel, binding);
         let m = self.selector.measure(kernel, binding)?;
         self.history
             .observe(&kernel.name, &kernel.params(), binding, m);
+        let observed_best = if m.cpu_s <= m.gpu_s {
+            Device::Host
+        } else {
+            Device::Gpu
+        };
+        let flip = d.device != observed_best;
+        let fleet = self.selector.fleet();
+        if let Some(p) = d.predicted_cpu_s {
+            hetsel_obs::accuracy().observe(
+                &kernel.name,
+                fleet.host_label_arc(),
+                p,
+                m.cpu_s,
+                flip && d.device == Device::Host,
+            );
+        }
+        if let (Some(p), Some(id)) = (d.predicted_gpu_s, fleet.primary_accelerator()) {
+            hetsel_obs::accuracy().observe(
+                &kernel.name,
+                fleet.label_arc(id).expect("primary id resolves"),
+                p,
+                m.gpu_s,
+                flip && d.device == Device::Gpu,
+            );
+        }
         Some((d.clone(), m.on(d.device)))
     }
 }
@@ -372,6 +483,73 @@ mod tests {
                 .gpu_s,
             2.0
         );
+    }
+
+    #[test]
+    fn device_scoped_records_roundtrip_through_export() {
+        let h = ProfileHistory::new();
+        let p = params(&["n"]);
+        let b = Binding::new().with("n", 9);
+        h.observe(
+            "k",
+            &p,
+            &b,
+            Measured {
+                cpu_s: 2.0,
+                gpu_s: 1.0,
+            },
+        );
+        h.observe_for(
+            "k",
+            &p,
+            &b,
+            "v100",
+            Measured {
+                cpu_s: 2.0,
+                gpu_s: 0.5,
+            },
+        );
+        h.observe_for(
+            "k",
+            &p,
+            &b,
+            "k80",
+            Measured {
+                cpu_s: 2.0,
+                gpu_s: 4.0,
+            },
+        );
+        assert_eq!(h.len(), 3, "kind-level and device-scoped records coexist");
+        // Device scoping separates records and lookups.
+        assert_eq!(
+            h.lookup_for("k", &p, &b, "v100").unwrap().best_device(),
+            Device::Gpu
+        );
+        assert_eq!(
+            h.lookup_for("k", &p, &b, "k80").unwrap().best_device(),
+            Device::Host
+        );
+        assert!(h.lookup_for("k", &p, &b, "p100").is_none());
+        // The kind-level record is untouched by device-scoped observations.
+        assert_eq!(h.lookup("k", &p, &b).unwrap().gpu_s, 1.0);
+        // Both key families survive an export/import cycle losslessly.
+        let json = serde_json::to_string(&h.export()).unwrap();
+        let back = ProfileHistory::import(&serde_json::from_str(&json).unwrap());
+        assert_eq!(back.export(), h.export(), "export round-trips");
+        assert_eq!(back.lookup_for("k", &p, &b, "k80").unwrap().gpu_s, 4.0);
+    }
+
+    #[test]
+    fn run_and_learn_feeds_the_accuracy_observatory() {
+        let (kernel, binding) = find_kernel("gemm").unwrap();
+        let b = binding(Dataset::Test);
+        let adaptive = AdaptiveSelector::new(Selector::new(Platform::power9_v100()));
+        adaptive.run_and_learn(&kernel, &b).unwrap();
+        let obs = hetsel_obs::accuracy();
+        let host = obs.lookup("gemm", "host").expect("host side scored");
+        assert!(host.samples >= 1);
+        let accel = obs.lookup("gemm", "gpu").expect("accelerator side scored");
+        assert!(accel.samples >= 1);
     }
 
     /// One observation corrects the paper's convolution misprediction: the

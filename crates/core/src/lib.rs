@@ -34,8 +34,8 @@ pub use dispatch::{
     DispatcherConfig, FallbackReason, RetryConfig,
 };
 pub use explain::{
-    validate_report_json, BoundParam, CpuTerms, DevicePrediction, DispatchTerms, ExplainReport,
-    Explanation, GpuTerms, PhaseTimings,
+    validate_report_json, AccuracyBlock, BoundParam, CpuTerms, DevicePrediction, DispatchTerms,
+    ExplainReport, Explanation, GpuTerms, PhaseTimings,
 };
 pub use fleet::{AcceleratorDevice, DeviceId, DeviceKind, Fleet};
 pub use history::{AdaptiveSelector, HistoryExport, HistoryRecord, ProfileHistory};

@@ -1293,6 +1293,27 @@ impl ShardedCache {
     }
 }
 
+/// Emits one flight-recorder event for an engine verdict. The disabled
+/// path is a single relaxed atomic load inside
+/// [`hetsel_obs::record_event`] — the closure (and therefore every field
+/// read below) runs only while recording is on, and even then allocates
+/// nothing: the event is a fixed-size stack value serialized into the
+/// recorder's preallocated ring.
+#[inline]
+fn record_decide_event(decision: &Decision, binding_hash: u64, cache_hit: bool) {
+    hetsel_obs::record_event(|| {
+        let mut ev =
+            hetsel_obs::DecisionEvent::new(hetsel_obs::EventKind::Decide, &decision.region);
+        ev.binding_hash = binding_hash;
+        ev.device = decision.device_id.0;
+        ev.verdict_accel = decision.device == Device::Gpu;
+        ev.cache_hit = cache_hit;
+        ev.predicted_cpu_s = decision.predicted_cpu_s.unwrap_or(f64::NAN);
+        ev.predicted_accel_s = decision.predicted_gpu_s.unwrap_or(f64::NAN);
+        ev
+    });
+}
+
 /// The compile-once decision engine: a [`Selector`] bound to a precompiled
 /// [`AttributeDatabase`] plus a bounded LRU cache of decisions.
 ///
@@ -1379,6 +1400,7 @@ impl DecisionEngine {
         if let Some(cached) = shard.lru.lock().get(&key) {
             shard.hits.fetch_add(1, Ordering::Relaxed);
             hetsel_obs::static_counter!("hetsel.core.cache.hit").inc();
+            record_decide_event(&cached, key.hash, true);
             return Some(cached);
         }
         let decision = self.selector.decide(attrs, binding);
@@ -1392,12 +1414,15 @@ impl DecisionEngine {
             drop(lru);
             shard.hits.fetch_add(1, Ordering::Relaxed);
             hetsel_obs::static_counter!("hetsel.core.cache.hit").inc();
+            record_decide_event(&cached, key.hash, true);
             return Some(cached);
         }
+        let binding_hash = key.hash;
         lru.insert(key, decision.clone());
         drop(lru);
         shard.misses.fetch_add(1, Ordering::Relaxed);
         hetsel_obs::static_counter!("hetsel.core.cache.miss").inc();
+        record_decide_event(&decision, binding_hash, false);
         Some(decision)
     }
 
@@ -1436,6 +1461,7 @@ impl DecisionEngine {
         if let Some(cached) = shard.lru.lock().get(&key) {
             shard.hits.fetch_add(1, Ordering::Relaxed);
             hetsel_obs::static_counter!("hetsel.core.cache.hit").inc();
+            record_decide_event(&cached, key.hash, true);
             return Some(cached);
         }
         let decision = self.selector.decide_restricted(attrs, binding, scope);
@@ -1444,12 +1470,15 @@ impl DecisionEngine {
             drop(lru);
             shard.hits.fetch_add(1, Ordering::Relaxed);
             hetsel_obs::static_counter!("hetsel.core.cache.hit").inc();
+            record_decide_event(&cached, key.hash, true);
             return Some(cached);
         }
+        let binding_hash = key.hash;
         lru.insert(key, decision.clone());
         drop(lru);
         shard.misses.fetch_add(1, Ordering::Relaxed);
         hetsel_obs::static_counter!("hetsel.core.cache.miss").inc();
+        record_decide_event(&decision, binding_hash, false);
         Some(decision)
     }
 
@@ -1611,6 +1640,7 @@ impl DecisionEngine {
                     Some(cached) => {
                         shard.hits.fetch_add(1, Ordering::Relaxed);
                         hetsel_obs::static_counter!("hetsel.core.cache.hit").inc();
+                        record_decide_event(&cached, key.hash, true);
                         results[i] = Some(cached);
                     }
                     None => match pending.get(key) {
@@ -1660,6 +1690,9 @@ impl DecisionEngine {
                 shard.hits.fetch_add(1, Ordering::Relaxed);
                 hetsel_obs::static_counter!("hetsel.core.cache.hit").inc();
                 results[i] = results[first].clone();
+                if let (Some(d), Some((key, _))) = (results[i].as_ref(), keyed[i].as_ref()) {
+                    record_decide_event(d, key.hash, true);
+                }
             }
             let mut lru = shard.lru.lock();
             for &i in &plan.missed {
@@ -1667,6 +1700,7 @@ impl DecisionEngine {
                 if let Some(cached) = lru.get(key) {
                     shard.hits.fetch_add(1, Ordering::Relaxed);
                     hetsel_obs::static_counter!("hetsel.core.cache.hit").inc();
+                    record_decide_event(&cached, key.hash, true);
                     results[i] = Some(cached);
                     continue;
                 }
@@ -1674,6 +1708,7 @@ impl DecisionEngine {
                 lru.insert(key.clone(), decision.clone());
                 shard.misses.fetch_add(1, Ordering::Relaxed);
                 hetsel_obs::static_counter!("hetsel.core.cache.miss").inc();
+                record_decide_event(decision, key.hash, false);
             }
         }
         results

@@ -57,12 +57,38 @@ fn one_interned_label_names_the_device_everywhere() {
     assert!(json.contains("v100"), "label missing from explain JSON");
     hetsel_core::validate_report_json(&json).expect("explain JSON validates");
 
-    // The dispatcher's outcome and its breaker metrics reuse the label.
+    // The dispatcher's outcome, its breaker metrics, and the per-device
+    // accuracy/flight-recorder counters all reuse the label.
     let dispatcher = Dispatcher::new(engine, DispatcherConfig::default());
+    hetsel_obs::set_flight_recording(true);
+    let flight_before = reg.counter("hetsel.core.flight.v100.events").get();
+    let samples_before = reg.counter("hetsel.core.accuracy.v100.samples").get();
     let outcome = dispatcher
         .dispatch(&DecisionRequest::new("gemm", b))
         .expect("dispatch succeeds");
+    hetsel_obs::set_flight_recording(false);
     assert!(Arc::ptr_eq(&outcome.device_name, &label));
+    assert_eq!(
+        reg.counter("hetsel.core.flight.v100.events").get(),
+        flight_before + 1,
+        "flight event counter is not derived from the fleet label"
+    );
+    assert_eq!(
+        reg.counter("hetsel.core.accuracy.v100.samples").get(),
+        samples_before + 1,
+        "accuracy sample counter is not derived from the fleet label"
+    );
+    assert!(
+        hetsel_obs::accuracy().lookup("gemm", "v100").is_some(),
+        "observatory rows are keyed by the registered label"
+    );
+    assert!(
+        hetsel_obs::flight_recorder()
+            .drain()
+            .iter()
+            .any(|ev| ev.device == 1 && ev.region_str() == "gemm"),
+        "drained flight events carry the dispatched region and device id"
+    );
     dispatcher.publish_health_all();
     let snapshot = reg.snapshot();
     let gauges: Vec<&str> = snapshot.gauges.iter().map(|(n, _)| n.as_str()).collect();

@@ -11,6 +11,12 @@
 //!
 //! The counter is thread-local so the libtest harness's own threads cannot
 //! perturb the measurement.
+//!
+//! The flight recorder must not regress this: with recording *disabled*
+//! (the default — the two original tests) the hot path pays one relaxed
+//! load; with recording *enabled* the event is written into the
+//! preallocated lock-free ring, so even the instrumented path stays
+//! allocation-free once the ring's one-time `Box` exists.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
@@ -95,6 +101,46 @@ fn cache_hit_decide_allocates_nothing() {
     let stats = engine.stats();
     assert_eq!(stats.misses, 1);
     assert!(stats.hits >= 1003);
+}
+
+#[test]
+fn cache_hit_decide_with_flight_recorder_enabled_allocates_nothing() {
+    let (kernel, binding) = find_kernel("gemm").unwrap();
+    let b = binding(Dataset::Benchmark);
+    let engine = DecisionEngine::new(
+        Selector::new(Platform::power9_v100()),
+        std::slice::from_ref(&kernel),
+    );
+
+    // Prime the ring's one-time slot allocation, the cache entry, and
+    // every lazily-created metric before counting.
+    let recorder = hetsel_obs::flight_recorder();
+    hetsel_obs::set_flight_recording(true);
+    let first = engine.decide("gemm", &b).expect("gemm is known");
+    for _ in 0..3 {
+        engine.decide("gemm", &b).expect("primed hit");
+    }
+
+    let recorded_before = recorder.total_recorded();
+    let before = allocs_on_this_thread();
+    let mut last = None;
+    for _ in 0..1000 {
+        last = engine.decide("gemm", &b);
+    }
+    let after = allocs_on_this_thread();
+    hetsel_obs::set_flight_recording(false);
+
+    assert_eq!(
+        after - before,
+        0,
+        "recorded cache-hit decide must not allocate (1000 hits allocated {} times)",
+        after - before
+    );
+    assert_eq!(last.expect("hit"), first);
+    assert!(
+        recorder.total_recorded() >= recorded_before + 1000,
+        "the burst really was recorded, not silently dropped"
+    );
 }
 
 #[test]

@@ -1,0 +1,271 @@
+//! The accuracy observatory: streaming predicted-vs-observed error
+//! statistics per `(region, device)`.
+//!
+//! The analytical model is only trustworthy while its predictions keep
+//! matching what devices actually do; this module is the measurement half
+//! of that loop (the correction-fitting half is ROADMAP item 3). Every
+//! dispatch completion — and every ground-truth measurement the adaptive
+//! selector takes — feeds one observation:
+//!
+//! * the **signed relative error** `(predicted − observed) / observed`
+//!   accumulated with Welford's streaming algorithm (numerically stable
+//!   mean and variance, O(1) state per cell);
+//! * the **signed bias** in seconds, `mean(predicted − observed)` —
+//!   positive means the model over-predicts that device;
+//! * a **misprediction-flip counter**: observations where correcting the
+//!   executed device's prediction to its observed runtime would have
+//!   flipped the verdict against the losing candidate.
+//!
+//! Cells are keyed by `(region, device-label)` strings so the observatory
+//! stays dependency-free; `hetsel-core` routes the fleet's interned labels
+//! here, which keeps the spellings identical to every other per-device
+//! metric name. Updates take a per-cell mutex — observations happen on
+//! dispatch *completion*, never on the cache-hit decide path.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+
+use crate::json_escape;
+
+/// Welford accumulator plus bias and flip tallies for one cell.
+#[derive(Debug, Default, Clone, Copy)]
+struct Cell {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    bias_sum_s: f64,
+    flips: u64,
+}
+
+impl Cell {
+    fn observe(&mut self, predicted_s: f64, observed_s: f64, flip: bool) {
+        if !(predicted_s.is_finite() && observed_s.is_finite()) || observed_s <= 0.0 {
+            return;
+        }
+        let rel = (predicted_s - observed_s) / observed_s;
+        self.count += 1;
+        let delta = rel - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (rel - self.mean);
+        self.bias_sum_s += predicted_s - observed_s;
+        if flip {
+            self.flips += 1;
+        }
+    }
+}
+
+/// A point-in-time reading of one `(region, device)` cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccuracyRow {
+    /// Region (kernel) name.
+    pub region: String,
+    /// Device label (the fleet's interned spelling).
+    pub device: String,
+    /// Observations folded in.
+    pub samples: u64,
+    /// Mean signed relative error `(predicted − observed) / observed`.
+    pub mean_rel_error: f64,
+    /// Sample variance of the signed relative error (0 while `samples < 2`).
+    pub rel_error_variance: f64,
+    /// Mean signed bias in seconds (`predicted − observed`).
+    pub mean_bias_s: f64,
+    /// Observations where the corrected prediction flips the verdict.
+    pub flips: u64,
+}
+
+impl AccuracyRow {
+    /// One-line JSON rendering.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"region\":\"{}\",\"device\":\"{}\",\"samples\":{},\"mean_rel_error\":{:?},\"rel_error_variance\":{:?},\"mean_bias_s\":{:?},\"flips\":{}}}",
+            json_escape(&self.region),
+            json_escape(&self.device),
+            self.samples,
+            self.mean_rel_error,
+            self.rel_error_variance,
+            self.mean_bias_s,
+            self.flips,
+        )
+    }
+}
+
+/// `(region, device)` — the observatory's cell key.
+type CellKey = (String, String);
+
+/// The per-`(region, device)` accuracy table.
+#[derive(Debug, Default)]
+pub struct AccuracyObservatory {
+    cells: RwLock<BTreeMap<CellKey, Arc<Mutex<Cell>>>>,
+}
+
+impl AccuracyObservatory {
+    /// An empty observatory (tests; production code uses [`accuracy`]).
+    pub fn new() -> AccuracyObservatory {
+        AccuracyObservatory::default()
+    }
+
+    fn cell(&self, region: &str, device: &str) -> Arc<Mutex<Cell>> {
+        let key = (region.to_string(), device.to_string());
+        if let Some(found) = self.cells.read().unwrap().get(&key) {
+            return Arc::clone(found);
+        }
+        let mut w = self.cells.write().unwrap();
+        Arc::clone(w.entry(key).or_default())
+    }
+
+    /// Folds one observation in: the runtime the model predicted for
+    /// `device` on `region` against what was actually observed (simulated
+    /// or measured), plus whether correcting the prediction would have
+    /// flipped the verdict.
+    pub fn observe(
+        &self,
+        region: &str,
+        device: &str,
+        predicted_s: f64,
+        observed_s: f64,
+        flip: bool,
+    ) {
+        self.cell(region, device)
+            .lock()
+            .unwrap()
+            .observe(predicted_s, observed_s, flip);
+    }
+
+    /// The current reading for one cell, if it has any samples.
+    pub fn lookup(&self, region: &str, device: &str) -> Option<AccuracyRow> {
+        let key = (region.to_string(), device.to_string());
+        let cell = {
+            let cells = self.cells.read().unwrap();
+            Arc::clone(cells.get(&key)?)
+        };
+        let c = *cell.lock().unwrap();
+        (c.count > 0).then(|| row(&key.0, &key.1, &c))
+    }
+
+    /// Every non-empty cell, sorted by `(region, device)`.
+    pub fn snapshot(&self) -> Vec<AccuracyRow> {
+        self.cells
+            .read()
+            .unwrap()
+            .iter()
+            .filter_map(|((region, device), cell)| {
+                let c = *cell.lock().unwrap();
+                (c.count > 0).then(|| row(region, device, &c))
+            })
+            .collect()
+    }
+
+    /// Number of cells with at least one sample.
+    pub fn len(&self) -> usize {
+        self.snapshot().len()
+    }
+
+    /// True when no cell has samples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Zeroes every cell without invalidating the table.
+    pub fn reset(&self) {
+        for cell in self.cells.read().unwrap().values() {
+            *cell.lock().unwrap() = Cell::default();
+        }
+    }
+}
+
+fn row(region: &str, device: &str, c: &Cell) -> AccuracyRow {
+    AccuracyRow {
+        region: region.to_string(),
+        device: device.to_string(),
+        samples: c.count,
+        mean_rel_error: c.mean,
+        rel_error_variance: if c.count > 1 {
+            c.m2 / (c.count - 1) as f64
+        } else {
+            0.0
+        },
+        mean_bias_s: if c.count > 0 {
+            c.bias_sum_s / c.count as f64
+        } else {
+            0.0
+        },
+        flips: c.flips,
+    }
+}
+
+/// The process-wide observatory.
+pub fn accuracy() -> &'static AccuracyObservatory {
+    static OBSERVATORY: OnceLock<AccuracyObservatory> = OnceLock::new();
+    OBSERVATORY.get_or_init(AccuracyObservatory::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_two_pass_mean_and_variance() {
+        let obs = AccuracyObservatory::new();
+        // predicted = observed * (1 + r) for a known error series.
+        let errors = [0.10, -0.05, 0.20, 0.00, -0.15];
+        for r in errors {
+            obs.observe("gemm", "v100", 1.0 + r, 1.0, false);
+        }
+        let got = obs.lookup("gemm", "v100").unwrap();
+        let n = errors.len() as f64;
+        let mean: f64 = errors.iter().sum::<f64>() / n;
+        let var: f64 = errors.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        assert_eq!(got.samples, errors.len() as u64);
+        assert!((got.mean_rel_error - mean).abs() < 1e-12);
+        assert!((got.rel_error_variance - var).abs() < 1e-12);
+        assert!((got.mean_bias_s - mean).abs() < 1e-12, "observed = 1.0");
+    }
+
+    #[test]
+    fn flips_count_and_snapshot_sorts() {
+        let obs = AccuracyObservatory::new();
+        obs.observe("mvt", "host", 2.0, 1.0, true);
+        obs.observe("mvt", "host", 2.0, 1.0, false);
+        obs.observe("atax", "v100", 1.0, 2.0, true);
+        let rows = obs.snapshot();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(
+            (rows[0].region.as_str(), rows[0].device.as_str()),
+            ("atax", "v100")
+        );
+        assert_eq!(rows[1].flips, 1);
+        assert!(
+            rows[1].mean_bias_s > 0.0,
+            "over-prediction is positive bias"
+        );
+        assert!(
+            rows[0].mean_bias_s < 0.0,
+            "under-prediction is negative bias"
+        );
+    }
+
+    #[test]
+    fn degenerate_observations_are_ignored() {
+        let obs = AccuracyObservatory::new();
+        obs.observe("r", "d", f64::NAN, 1.0, false);
+        obs.observe("r", "d", 1.0, 0.0, false);
+        obs.observe("r", "d", 1.0, f64::INFINITY, false);
+        assert!(obs.lookup("r", "d").is_none());
+        assert!(obs.is_empty());
+        obs.observe("r", "d", 1.0, 1.0, false);
+        assert_eq!(obs.len(), 1);
+        obs.reset();
+        assert!(obs.is_empty());
+    }
+
+    #[test]
+    fn row_json_is_wellformed() {
+        let obs = AccuracyObservatory::new();
+        obs.observe("gemm", "v100", 1.1, 1.0, true);
+        let j = obs.lookup("gemm", "v100").unwrap().to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"region\":\"gemm\""));
+        assert!(j.contains("\"samples\":1"));
+        assert!(j.contains("\"flips\":1"));
+    }
+}

@@ -1,0 +1,437 @@
+//! The exportable ops surface: Prometheus-style text exposition, versioned
+//! JSONL snapshots, and snapshot diffing.
+//!
+//! Everything here renders from point-in-time values ([`MetricsSnapshot`],
+//! drained [`DecisionEvent`]s, [`AccuracyRow`]s) so an exporter thread can
+//! serve scrapes without touching any hot path. Formats:
+//!
+//! * **Exposition** — one `# TYPE` comment per metric followed by its
+//!   samples, with the crate's dotted names mapped onto the Prometheus
+//!   grammar (`hetsel.core.cache.hit` → `hetsel_core_cache_hit`).
+//!   Histograms surface as summaries (`{quantile="…"}`, `_sum`, `_count`).
+//!   [`validate_exposition`] re-parses the text and is what CI runs.
+//! * **JSONL snapshots** — [`jsonl_snapshot`] emits one self-describing
+//!   line per section (`metrics`, `flight`, `accuracy`), each carrying the
+//!   schema version [`SNAPSHOT_VERSION`] and a caller-supplied tag, so a
+//!   log collector can ship them and a reader can dispatch on `kind`.
+//! * **Diffing** — [`diff_snapshots`] reports counter/gauge deltas and
+//!   added/removed instruments between two snapshots (what changed during
+//!   a run, without assuming the registry started empty).
+
+use crate::flight::DecisionEvent;
+use crate::json_escape;
+use crate::metrics::MetricsSnapshot;
+use crate::AccuracyRow;
+
+/// Schema version stamped on every JSONL snapshot line.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Maps a dotted metric name onto the Prometheus name grammar
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): dots and other invalid characters become
+/// underscores, and a leading digit is prefixed.
+pub fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let valid = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        let valid = valid && !(i == 0 && c.is_ascii_digit());
+        if valid {
+            out.push(c);
+        } else if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Renders a [`MetricsSnapshot`] as Prometheus-style text exposition.
+pub fn prometheus_exposition(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let n = prometheus_name(name);
+        out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+    }
+    for (name, v) in &snap.gauges {
+        let n = prometheus_name(name);
+        out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+    }
+    for (name, h) in &snap.histograms {
+        let n = prometheus_name(name);
+        out.push_str(&format!("# TYPE {n} summary\n"));
+        for (q, v) in [("0.5", h.p50), ("0.95", h.p95), ("0.99", h.p99)] {
+            out.push_str(&format!("{n}{{quantile=\"{q}\"}} {v}\n"));
+        }
+        out.push_str(&format!("{n}_sum {}\n{n}_count {}\n", h.sum, h.count));
+    }
+    out
+}
+
+/// Checks that `text` is well-formed exposition as produced by
+/// [`prometheus_exposition`]: every sample line parses as
+/// `name[{labels}] value`, its metric was declared by a preceding
+/// `# TYPE` line, and names obey the Prometheus grammar. Returns the
+/// number of sample lines on success.
+pub fn validate_exposition(text: &str) -> Result<usize, String> {
+    let mut declared: Vec<String> = Vec::new();
+    let mut samples = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts
+                .next()
+                .ok_or_else(|| format!("line {}: TYPE without a name", lineno + 1))?;
+            let kind = parts
+                .next()
+                .ok_or_else(|| format!("line {}: TYPE without a kind", lineno + 1))?;
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "summary" | "histogram" | "untyped"
+            ) {
+                return Err(format!("line {}: unknown TYPE kind {kind:?}", lineno + 1));
+            }
+            if !valid_prom_name(name) {
+                return Err(format!("line {}: invalid metric name {name:?}", lineno + 1));
+            }
+            declared.push(name.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // other comments (HELP etc.) are fine
+        }
+        let (name_part, value_part) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: sample without a value", lineno + 1))?;
+        value_part
+            .parse::<f64>()
+            .map_err(|_| format!("line {}: non-numeric value {value_part:?}", lineno + 1))?;
+        let base = name_part.split('{').next().unwrap_or(name_part);
+        if !valid_prom_name(base) {
+            return Err(format!("line {}: invalid sample name {base:?}", lineno + 1));
+        }
+        let declared_for = declared.iter().any(|d| {
+            base == d
+                || base
+                    .strip_prefix(d.as_str())
+                    .is_some_and(|suffix| matches!(suffix, "_sum" | "_count" | "_bucket"))
+        });
+        if !declared_for {
+            return Err(format!(
+                "line {}: sample {base:?} has no preceding # TYPE declaration",
+                lineno + 1
+            ));
+        }
+        samples += 1;
+    }
+    Ok(samples)
+}
+
+fn valid_prom_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// One JSONL line carrying a metrics snapshot.
+pub fn jsonl_metrics_line(tag: &str, snap: &MetricsSnapshot) -> String {
+    format!(
+        "{{\"v\":{SNAPSHOT_VERSION},\"kind\":\"metrics\",\"tag\":\"{}\",\"metrics\":{}}}",
+        json_escape(tag),
+        snap.to_json()
+    )
+}
+
+/// One JSONL line carrying a flight-recorder drain.
+pub fn jsonl_flight_line(tag: &str, events: &[DecisionEvent]) -> String {
+    let body: Vec<String> = events.iter().map(DecisionEvent::to_json).collect();
+    format!(
+        "{{\"v\":{SNAPSHOT_VERSION},\"kind\":\"flight\",\"tag\":\"{}\",\"events\":[{}]}}",
+        json_escape(tag),
+        body.join(",")
+    )
+}
+
+/// One JSONL line carrying an accuracy-table snapshot.
+pub fn jsonl_accuracy_line(tag: &str, rows: &[AccuracyRow]) -> String {
+    let body: Vec<String> = rows.iter().map(AccuracyRow::to_json).collect();
+    format!(
+        "{{\"v\":{SNAPSHOT_VERSION},\"kind\":\"accuracy\",\"tag\":\"{}\",\"rows\":[{}]}}",
+        json_escape(tag),
+        body.join(",")
+    )
+}
+
+/// The full versioned snapshot: three JSONL lines (`metrics`, `flight`,
+/// `accuracy`), each independently parseable.
+pub fn jsonl_snapshot(
+    tag: &str,
+    snap: &MetricsSnapshot,
+    events: &[DecisionEvent],
+    rows: &[AccuracyRow],
+) -> String {
+    format!(
+        "{}\n{}\n{}\n",
+        jsonl_metrics_line(tag, snap),
+        jsonl_flight_line(tag, events),
+        jsonl_accuracy_line(tag, rows)
+    )
+}
+
+/// What changed between two [`MetricsSnapshot`]s.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SnapshotDiff {
+    /// Counter deltas (`after − before`) for counters present in both,
+    /// nonzero deltas only.
+    pub counter_deltas: Vec<(String, i64)>,
+    /// Gauge deltas for gauges present in both, nonzero only.
+    pub gauge_deltas: Vec<(String, i64)>,
+    /// Instrument names (any kind) present only in `after`.
+    pub added: Vec<String>,
+    /// Instrument names present only in `before`.
+    pub removed: Vec<String>,
+    /// Histogram count deltas for histograms present in both, nonzero only.
+    pub histogram_count_deltas: Vec<(String, i64)>,
+}
+
+impl SnapshotDiff {
+    /// True when the two snapshots were identical.
+    pub fn is_empty(&self) -> bool {
+        self.counter_deltas.is_empty()
+            && self.gauge_deltas.is_empty()
+            && self.added.is_empty()
+            && self.removed.is_empty()
+            && self.histogram_count_deltas.is_empty()
+    }
+
+    /// Compact JSON rendering.
+    pub fn to_json(&self) -> String {
+        fn kv(pairs: &[(String, i64)]) -> String {
+            let body: Vec<String> = pairs
+                .iter()
+                .map(|(k, v)| format!("\"{}\":{v}", json_escape(k)))
+                .collect();
+            format!("{{{}}}", body.join(","))
+        }
+        fn names(list: &[String]) -> String {
+            let body: Vec<String> = list
+                .iter()
+                .map(|n| format!("\"{}\"", json_escape(n)))
+                .collect();
+            format!("[{}]", body.join(","))
+        }
+        format!(
+            "{{\"counter_deltas\":{},\"gauge_deltas\":{},\"histogram_count_deltas\":{},\"added\":{},\"removed\":{}}}",
+            kv(&self.counter_deltas),
+            kv(&self.gauge_deltas),
+            kv(&self.histogram_count_deltas),
+            names(&self.added),
+            names(&self.removed),
+        )
+    }
+}
+
+/// Diffs two snapshots of the same registry taken at different times.
+pub fn diff_snapshots(before: &MetricsSnapshot, after: &MetricsSnapshot) -> SnapshotDiff {
+    fn saturate(after: u64, before: u64) -> i64 {
+        if after >= before {
+            i64::try_from(after - before).unwrap_or(i64::MAX)
+        } else {
+            i64::try_from(before - after)
+                .map(|d| -d)
+                .unwrap_or(i64::MIN)
+        }
+    }
+
+    let mut diff = SnapshotDiff::default();
+    let b_counters: std::collections::BTreeMap<&str, u64> = before
+        .counters
+        .iter()
+        .map(|(k, v)| (k.as_str(), *v))
+        .collect();
+    for (name, v) in &after.counters {
+        match b_counters.get(name.as_str()) {
+            Some(prev) if *prev != *v => {
+                diff.counter_deltas
+                    .push((name.clone(), saturate(*v, *prev)));
+            }
+            Some(_) => {}
+            None => diff.added.push(name.clone()),
+        }
+    }
+    let a_counters: std::collections::BTreeSet<&str> =
+        after.counters.iter().map(|(k, _)| k.as_str()).collect();
+    for (name, _) in &before.counters {
+        if !a_counters.contains(name.as_str()) {
+            diff.removed.push(name.clone());
+        }
+    }
+
+    let b_gauges: std::collections::BTreeMap<&str, i64> = before
+        .gauges
+        .iter()
+        .map(|(k, v)| (k.as_str(), *v))
+        .collect();
+    for (name, v) in &after.gauges {
+        match b_gauges.get(name.as_str()) {
+            Some(prev) if *prev != *v => {
+                diff.gauge_deltas
+                    .push((name.clone(), v.saturating_sub(*prev)));
+            }
+            Some(_) => {}
+            None => diff.added.push(name.clone()),
+        }
+    }
+    let a_gauges: std::collections::BTreeSet<&str> =
+        after.gauges.iter().map(|(k, _)| k.as_str()).collect();
+    for (name, _) in &before.gauges {
+        if !a_gauges.contains(name.as_str()) {
+            diff.removed.push(name.clone());
+        }
+    }
+
+    let b_hists: std::collections::BTreeMap<&str, u64> = before
+        .histograms
+        .iter()
+        .map(|(k, h)| (k.as_str(), h.count))
+        .collect();
+    for (name, h) in &after.histograms {
+        match b_hists.get(name.as_str()) {
+            Some(prev) if *prev != h.count => {
+                diff.histogram_count_deltas
+                    .push((name.clone(), saturate(h.count, *prev)));
+            }
+            Some(_) => {}
+            None => diff.added.push(name.clone()),
+        }
+    }
+    let a_hists: std::collections::BTreeSet<&str> =
+        after.histograms.iter().map(|(k, _)| k.as_str()).collect();
+    for (name, _) in &before.histograms {
+        if !a_hists.contains(name.as_str()) {
+            diff.removed.push(name.clone());
+        }
+    }
+
+    diff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flight::{DecisionEvent, EventKind};
+    use crate::metrics::Registry;
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        r.counter("hetsel.core.cache.hit").add(12);
+        r.gauge("hetsel.core.cache.len").set(4);
+        r.histogram("hetsel.core.decide.ns").record(101);
+        r
+    }
+
+    #[test]
+    fn exposition_roundtrips_through_the_validator() {
+        let text = prometheus_exposition(&sample_registry().snapshot());
+        assert!(text.contains("# TYPE hetsel_core_cache_hit counter"));
+        assert!(text.contains("hetsel_core_cache_hit 12"));
+        assert!(text.contains("hetsel_core_decide_ns{quantile=\"0.5\"}"));
+        assert!(text.contains("hetsel_core_decide_ns_count 1"));
+        // counter + gauge + 3 quantiles + sum + count
+        assert_eq!(validate_exposition(&text), Ok(7));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_exposition() {
+        assert!(
+            validate_exposition("orphan_sample 1\n").is_err(),
+            "undeclared"
+        );
+        assert!(
+            validate_exposition("# TYPE bad.name counter\nbad.name 1\n").is_err(),
+            "dotted name"
+        );
+        assert!(
+            validate_exposition("# TYPE m counter\nm not_a_number\n").is_err(),
+            "bad value"
+        );
+        assert!(
+            validate_exposition("# TYPE m wat\nm 1\n").is_err(),
+            "unknown kind"
+        );
+        assert_eq!(
+            validate_exposition(""),
+            Ok(0),
+            "empty text is vacuously valid"
+        );
+    }
+
+    #[test]
+    fn prometheus_names_are_sanitized() {
+        assert_eq!(
+            prometheus_name("hetsel.core.cache.hit"),
+            "hetsel_core_cache_hit"
+        );
+        assert_eq!(prometheus_name("a-b c"), "a_b_c");
+        assert_eq!(prometheus_name("9lives"), "_9lives");
+        assert!(valid_prom_name(&prometheus_name("7.weird-name!")));
+    }
+
+    #[test]
+    fn jsonl_snapshot_emits_three_tagged_lines() {
+        let snap = sample_registry().snapshot();
+        let ev = DecisionEvent::new(EventKind::Decide, "gemm");
+        let obs = crate::AccuracyObservatory::new();
+        obs.observe("gemm", "v100", 1.1, 1.0, false);
+        let text = jsonl_snapshot("t0", &snap, &[ev], &obs.snapshot());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for (line, kind) in lines.iter().zip(["metrics", "flight", "accuracy"]) {
+            assert!(line.starts_with(&format!("{{\"v\":{SNAPSHOT_VERSION},\"kind\":\"{kind}\"")));
+            assert!(line.contains("\"tag\":\"t0\""));
+            assert!(line.ends_with('}'));
+        }
+        assert!(lines[1].contains("\"region\":\"gemm\""));
+        assert!(lines[2].contains("\"device\":\"v100\""));
+    }
+
+    #[test]
+    fn diff_reports_deltas_and_membership_changes() {
+        let r = sample_registry();
+        let before = r.snapshot();
+        assert!(diff_snapshots(&before, &before).is_empty());
+        r.counter("hetsel.core.cache.hit").add(5);
+        r.gauge("hetsel.core.cache.len").set(2);
+        r.counter("hetsel.core.cache.miss").inc();
+        r.histogram("hetsel.core.decide.ns").record(99);
+        let after = r.snapshot();
+        let diff = diff_snapshots(&before, &after);
+        assert_eq!(
+            diff.counter_deltas,
+            vec![("hetsel.core.cache.hit".to_string(), 5)]
+        );
+        assert_eq!(
+            diff.gauge_deltas,
+            vec![("hetsel.core.cache.len".to_string(), -2)]
+        );
+        assert_eq!(diff.added, vec!["hetsel.core.cache.miss".to_string()]);
+        assert_eq!(
+            diff.histogram_count_deltas,
+            vec![("hetsel.core.decide.ns".to_string(), 1)]
+        );
+        assert!(diff.removed.is_empty());
+        let j = diff.to_json();
+        assert!(j.contains("\"hetsel.core.cache.hit\":5"));
+        assert!(j.contains("\"removed\":[]"));
+    }
+}

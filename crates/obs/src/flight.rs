@@ -1,0 +1,555 @@
+//! The decision flight recorder: a fixed-capacity, lock-free ring buffer
+//! of structured [`DecisionEvent`]s.
+//!
+//! Aggregate counters answer "how many"; the flight recorder answers
+//! "what happened, in order": every decide verdict, dispatch completion,
+//! fallback and breaker transition lands in the ring as a fixed-size
+//! event, and an operator can [`drain`](FlightRecorder::drain) or
+//! [`snapshot`](FlightRecorder::snapshot) the last `capacity` of them at
+//! any time — including while writers are still recording.
+//!
+//! The recorder follows the crate's gating discipline:
+//!
+//! * **Disabled** (the default), [`record_event`] is a single relaxed
+//!   atomic load and the event-building closure never runs — the decide
+//!   hot path stays allocation-free and effectively untouched (pinned by
+//!   `zero_alloc.rs` in `hetsel-core`).
+//! * **Enabled**, recording is *lock-free and allocation-free*: a slot is
+//!   claimed with one `fetch_add` on the write cursor and the event is
+//!   serialized into that slot's fixed array of atomic words under a
+//!   per-slot sequence lock. No mutex, no heap, no syscall — writers can
+//!   never block each other or a reader.
+//!
+//! Readers validate each slot's sequence word before and after copying
+//! the payload, so a concurrent overwrite is detected and the slot is
+//! skipped rather than surfaced torn. (If the ring wraps more than once
+//! during a single read the oldest events are simply gone — it is a
+//! flight recorder, not a reliable log.)
+
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use crate::json_escape;
+
+/// Bytes of region name stored inline in an event (longer names truncate).
+pub const REGION_BYTES: usize = 24;
+
+/// Number of payload words a slot carries (excluding the sequence word).
+const WORDS: usize = 9;
+
+/// Default capacity of the process-wide recorder (events, power of two).
+/// Sized so the whole ring (80 B/slot) stays L2-resident: a writer that
+/// cycles through the ring re-touches warm lines instead of streaming
+/// through megabytes, which is what keeps the recorded cache-hit decide
+/// within its overhead budget (see `results/obs_report.json`).
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 1 << 12;
+
+/// What a [`DecisionEvent`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A `DecisionEngine` verdict (cache hit or miss — see
+    /// [`DecisionEvent::cache_hit`]).
+    Decide = 0,
+    /// A dispatch that ran to completion on some device;
+    /// [`DecisionEvent::simulated_s`] holds the observed runtime.
+    DispatchComplete = 1,
+    /// A dispatch fallback; [`DecisionEvent::detail`] holds the reason
+    /// code (`FallbackReason` ordinal in `hetsel-core`).
+    Fallback = 2,
+    /// A circuit-breaker state transition; [`DecisionEvent::detail`]
+    /// holds the *new* state's gauge value (0 closed, 1 open, 2 half-open).
+    BreakerTransition = 3,
+}
+
+impl EventKind {
+    /// Stable lowercase name (used in JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Decide => "decide",
+            EventKind::DispatchComplete => "dispatch",
+            EventKind::Fallback => "fallback",
+            EventKind::BreakerTransition => "breaker",
+        }
+    }
+
+    fn from_u8(v: u8) -> EventKind {
+        match v {
+            1 => EventKind::DispatchComplete,
+            2 => EventKind::Fallback,
+            3 => EventKind::BreakerTransition,
+            _ => EventKind::Decide,
+        }
+    }
+}
+
+/// One structured entry in the flight recorder. Fixed-size and `Copy` so
+/// recording never allocates; the region name is stored inline (truncated
+/// to [`REGION_BYTES`] on a UTF-8 boundary).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecisionEvent {
+    /// Recorder-assigned global sequence number (filled on read; writers
+    /// need not set it). Establishes the total order across threads.
+    pub seq: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Caller's logical-tick timestamp (the dispatcher's logical clock for
+    /// dispatch/breaker events; 0 where no logical clock applies).
+    pub tick: u64,
+    /// Region name bytes, NUL-padded (see [`DecisionEvent::region_str`]).
+    pub region: [u8; REGION_BYTES],
+    /// The decision cache key's precomputed binding hash (0 when the
+    /// event is not tied to a specific binding).
+    pub binding_hash: u64,
+    /// The `DeviceId` payload the event concerns (`u16::MAX` when none).
+    pub device: u16,
+    /// True when the verdict offloads to the accelerator named by
+    /// `device`; false for a host verdict. Meaningful for decide and
+    /// dispatch events.
+    pub verdict_accel: bool,
+    /// Whether the decision was answered from the cache (decide events).
+    pub cache_hit: bool,
+    /// Kind-specific detail code: fallback reason ordinal for
+    /// [`EventKind::Fallback`], new breaker-state gauge value for
+    /// [`EventKind::BreakerTransition`], 0 otherwise.
+    pub detail: u8,
+    /// Predicted host runtime, seconds (NaN when unknown).
+    pub predicted_cpu_s: f64,
+    /// Predicted accelerator runtime, seconds (NaN when unknown).
+    pub predicted_accel_s: f64,
+    /// Simulated/observed runtime, seconds (dispatch events; NaN
+    /// otherwise).
+    pub simulated_s: f64,
+}
+
+impl DecisionEvent {
+    /// A blank event of the given kind for `region`, everything else
+    /// zeroed/NaN. Callers fill the fields that apply.
+    #[inline]
+    pub fn new(kind: EventKind, region: &str) -> DecisionEvent {
+        DecisionEvent {
+            seq: 0,
+            kind,
+            tick: 0,
+            region: pack_region(region),
+            binding_hash: 0,
+            device: u16::MAX,
+            verdict_accel: false,
+            cache_hit: false,
+            detail: 0,
+            predicted_cpu_s: f64::NAN,
+            predicted_accel_s: f64::NAN,
+            simulated_s: f64::NAN,
+        }
+    }
+
+    /// The stored region name (truncation-aware, never panics).
+    pub fn region_str(&self) -> &str {
+        let end = self
+            .region
+            .iter()
+            .position(|&b| b == 0)
+            .unwrap_or(REGION_BYTES);
+        std::str::from_utf8(&self.region[..end]).unwrap_or("")
+    }
+
+    /// One-line JSON rendering (the JSONL snapshot format).
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"seq\":{},\"kind\":\"{}\",\"tick\":{},\"region\":\"{}\",\"binding_hash\":{},\"device\":{}",
+            self.seq,
+            self.kind.name(),
+            self.tick,
+            json_escape(self.region_str()),
+            self.binding_hash,
+            self.device,
+        );
+        out.push_str(&format!(
+            ",\"verdict\":\"{}\",\"cache_hit\":{},\"detail\":{}",
+            if self.verdict_accel { "accel" } else { "host" },
+            self.cache_hit,
+            self.detail,
+        ));
+        for (key, v) in [
+            ("predicted_cpu_s", self.predicted_cpu_s),
+            ("predicted_accel_s", self.predicted_accel_s),
+            ("simulated_s", self.simulated_s),
+        ] {
+            if v.is_finite() {
+                out.push_str(&format!(",\"{key}\":{v:?}"));
+            } else {
+                out.push_str(&format!(",\"{key}\":null"));
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    #[inline]
+    fn encode(&self) -> [u64; WORDS] {
+        let packed = self.kind as u64
+            | (self.device as u64) << 8
+            | (self.verdict_accel as u64) << 24
+            | (self.cache_hit as u64) << 25
+            | (self.detail as u64) << 32;
+        let mut w = [0u64; WORDS];
+        w[0] = packed;
+        w[1] = self.tick;
+        w[2] = self.binding_hash;
+        w[3] = self.predicted_cpu_s.to_bits();
+        w[4] = self.predicted_accel_s.to_bits();
+        w[5] = self.simulated_s.to_bits();
+        for (i, chunk) in self.region.chunks_exact(8).enumerate() {
+            w[6 + i] = u64::from_le_bytes(chunk.try_into().unwrap());
+        }
+        w
+    }
+
+    fn decode(seq: u64, w: &[u64; WORDS]) -> DecisionEvent {
+        let mut region = [0u8; REGION_BYTES];
+        for (i, slot) in region.chunks_exact_mut(8).enumerate() {
+            slot.copy_from_slice(&w[6 + i].to_le_bytes());
+        }
+        DecisionEvent {
+            seq,
+            kind: EventKind::from_u8((w[0] & 0xff) as u8),
+            tick: w[1],
+            region,
+            binding_hash: w[2],
+            device: ((w[0] >> 8) & 0xffff) as u16,
+            verdict_accel: (w[0] >> 24) & 1 == 1,
+            cache_hit: (w[0] >> 25) & 1 == 1,
+            detail: ((w[0] >> 32) & 0xff) as u8,
+            predicted_cpu_s: f64::from_bits(w[3]),
+            predicted_accel_s: f64::from_bits(w[4]),
+            simulated_s: f64::from_bits(w[5]),
+        }
+    }
+}
+
+/// Truncates `region` onto a UTF-8 boundary and NUL-pads it.
+#[inline]
+fn pack_region(region: &str) -> [u8; REGION_BYTES] {
+    let mut out = [0u8; REGION_BYTES];
+    let mut end = region.len().min(REGION_BYTES);
+    while end > 0 && !region.is_char_boundary(end) {
+        end -= 1;
+    }
+    out[..end].copy_from_slice(&region.as_bytes()[..end]);
+    out
+}
+
+/// One ring slot: a per-slot sequence lock over a fixed word array.
+/// `seq == 0` means empty/in-flight; `seq == ticket + 1` means the slot
+/// holds the event with global sequence number `ticket`.
+struct Slot {
+    seq: AtomicU64,
+    words: [AtomicU64; WORDS],
+}
+
+impl Slot {
+    const fn empty() -> Slot {
+        Slot {
+            seq: AtomicU64::new(0),
+            words: [const { AtomicU64::new(0) }; WORDS],
+        }
+    }
+}
+
+/// The fixed-capacity, lock-free event ring. See the module docs for the
+/// write/read protocol.
+pub struct FlightRecorder {
+    slots: Box<[Slot]>,
+    cursor: AtomicU64,
+    mask: usize,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.slots.len())
+            .field("total_recorded", &self.total_recorded())
+            .finish()
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder holding the last `capacity` events; `capacity` is
+    /// rounded up to a power of two (minimum 2).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        let cap = capacity.max(2).next_power_of_two();
+        FlightRecorder {
+            slots: (0..cap).map(|_| Slot::empty()).collect(),
+            cursor: AtomicU64::new(0),
+            mask: cap - 1,
+        }
+    }
+
+    /// Ring capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events ever recorded (monotone; survives drains).
+    pub fn total_recorded(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Records one event: claims a ticket, invalidates the target slot,
+    /// stores the payload words and re-validates. Lock-free and
+    /// allocation-free.
+    #[inline]
+    pub fn record(&self, ev: &DecisionEvent) {
+        let ticket = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(ticket as usize) & self.mask];
+        // Invalidate, then publish each payload word with Release: a reader
+        // whose (relaxed-load + acquire-fence) copy observed any new word
+        // therefore also observes the invalidation — or the final
+        // re-validation value — on its sequence re-check, so a torn copy
+        // can never validate. This keeps the writer free of locked RMW
+        // cycles beyond the one ticket `fetch_add` (the hot decide path
+        // pays for exactly one).
+        slot.seq.store(0, Ordering::Relaxed);
+        for (w, v) in slot.words.iter().zip(ev.encode()) {
+            w.store(v, Ordering::Release);
+        }
+        slot.seq.store(ticket + 1, Ordering::Release);
+    }
+
+    /// Copies out every currently-valid event, oldest first, without
+    /// consuming them. Safe to call while writers are recording: slots
+    /// mid-overwrite are skipped, never surfaced torn.
+    pub fn snapshot(&self) -> Vec<DecisionEvent> {
+        let mut out: Vec<DecisionEvent> = Vec::with_capacity(self.slots.len());
+        for slot in self.slots.iter() {
+            let s1 = slot.seq.load(Ordering::Acquire);
+            if s1 == 0 {
+                continue;
+            }
+            let mut w = [0u64; WORDS];
+            for (dst, src) in w.iter_mut().zip(slot.words.iter()) {
+                *dst = src.load(Ordering::Relaxed);
+            }
+            // The acquire fence orders the payload loads before the
+            // re-check: an unchanged sequence proves the copy is whole.
+            fence(Ordering::Acquire);
+            let s2 = slot.seq.load(Ordering::Relaxed);
+            if s1 == s2 {
+                out.push(DecisionEvent::decode(s1 - 1, &w));
+            }
+        }
+        out.sort_unstable_by_key(|e| e.seq);
+        out
+    }
+
+    /// As [`snapshot`](FlightRecorder::snapshot), but consumes: each
+    /// returned event's slot is atomically cleared (a slot that a writer
+    /// overwrote in the meantime is left alone, so no new event is lost).
+    pub fn drain(&self) -> Vec<DecisionEvent> {
+        let events = self.snapshot();
+        for ev in &events {
+            let slot = &self.slots[(ev.seq as usize) & self.mask];
+            // Clear only if the slot still holds the event we returned.
+            let _ = slot
+                .seq
+                .compare_exchange(ev.seq + 1, 0, Ordering::AcqRel, Ordering::Relaxed);
+        }
+        events
+    }
+
+    /// Drops all retained events (the total-recorded count is preserved).
+    pub fn clear(&self) {
+        for slot in self.slots.iter() {
+            slot.seq.store(0, Ordering::Release);
+        }
+    }
+
+    /// Number of currently-valid events (point-in-time estimate under
+    /// concurrent writes).
+    pub fn len(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.seq.load(Ordering::Relaxed) != 0)
+            .count()
+    }
+
+    /// True when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+// --- the global recorder --------------------------------------------------
+
+/// Fast-path switch: every [`record_event`] call starts (and, while
+/// disabled, ends) with this single relaxed load.
+static RECORDING: AtomicBool = AtomicBool::new(false);
+
+/// Enables or disables flight recording process-wide (default off).
+pub fn set_flight_recording(on: bool) {
+    RECORDING.store(on, Ordering::Release);
+}
+
+/// True while [`record_event`] forwards events to the global recorder.
+#[inline]
+pub fn flight_recording_enabled() -> bool {
+    RECORDING.load(Ordering::Relaxed)
+}
+
+/// The process-wide recorder ([`DEFAULT_FLIGHT_CAPACITY`] events).
+pub fn flight_recorder() -> &'static FlightRecorder {
+    static RECORDER: OnceLock<FlightRecorder> = OnceLock::new();
+    RECORDER.get_or_init(|| FlightRecorder::new(DEFAULT_FLIGHT_CAPACITY))
+}
+
+/// Records an event into the global recorder. The closure runs only when
+/// recording is enabled, so callers may gather fields freely — the
+/// disabled path is one relaxed atomic load and constructs nothing.
+#[inline]
+pub fn record_event(build: impl FnOnce() -> DecisionEvent) {
+    if !flight_recording_enabled() {
+        return;
+    }
+    flight_recorder().record(&build());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool as StdAtomicBool;
+    use std::sync::Arc;
+    use std::thread;
+
+    fn ev(region: &str, tick: u64) -> DecisionEvent {
+        let mut e = DecisionEvent::new(EventKind::Decide, region);
+        e.tick = tick;
+        e.binding_hash = 0xdead_beef;
+        e.device = 1;
+        e.verdict_accel = true;
+        e.cache_hit = true;
+        e.predicted_cpu_s = 1.5;
+        e.predicted_accel_s = 0.25;
+        e
+    }
+
+    #[test]
+    fn event_roundtrips_through_words() {
+        let e = ev("gemm", 42);
+        let decoded = DecisionEvent::decode(7, &e.encode());
+        assert_eq!(decoded.seq, 7);
+        assert_eq!(decoded.kind, EventKind::Decide);
+        assert_eq!(decoded.tick, 42);
+        assert_eq!(decoded.region_str(), "gemm");
+        assert_eq!(decoded.binding_hash, 0xdead_beef);
+        assert_eq!(decoded.device, 1);
+        assert!(decoded.verdict_accel && decoded.cache_hit);
+        assert_eq!(decoded.predicted_cpu_s, 1.5);
+        assert_eq!(decoded.predicted_accel_s, 0.25);
+        assert!(decoded.simulated_s.is_nan());
+    }
+
+    #[test]
+    fn region_truncates_on_char_boundary() {
+        let long = "a".repeat(REGION_BYTES + 10);
+        assert_eq!(
+            DecisionEvent::new(EventKind::Decide, &long)
+                .region_str()
+                .len(),
+            REGION_BYTES
+        );
+        // A multi-byte char straddling the boundary is dropped whole.
+        let tricky = format!("{}é", "a".repeat(REGION_BYTES - 1));
+        let packed = DecisionEvent::new(EventKind::Decide, &tricky);
+        assert_eq!(packed.region_str(), &"a".repeat(REGION_BYTES - 1));
+    }
+
+    #[test]
+    fn ring_keeps_newest_in_seq_order() {
+        let r = FlightRecorder::new(4);
+        for i in 0..10 {
+            r.record(&ev("r", i));
+        }
+        assert_eq!(r.total_recorded(), 10);
+        let got = r.snapshot();
+        assert_eq!(got.len(), 4);
+        let seqs: Vec<u64> = got.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        assert_eq!(got[0].tick, 6);
+    }
+
+    #[test]
+    fn drain_consumes_and_preserves_totals() {
+        let r = FlightRecorder::new(8);
+        r.record(&ev("a", 1));
+        r.record(&ev("b", 2));
+        let drained = r.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(r.is_empty());
+        assert_eq!(r.total_recorded(), 2);
+        assert!(r.drain().is_empty());
+        r.record(&ev("c", 3));
+        assert_eq!(r.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn event_json_is_wellformed() {
+        let j = ev("gemm", 9).to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"kind\":\"decide\""));
+        assert!(j.contains("\"region\":\"gemm\""));
+        assert!(j.contains("\"simulated_s\":null"));
+        assert!(j.contains("\"predicted_accel_s\":0.25"));
+    }
+
+    #[test]
+    fn disabled_gate_skips_the_build_closure() {
+        set_flight_recording(false);
+        let ran = StdAtomicBool::new(false);
+        record_event(|| {
+            ran.store(true, Ordering::Relaxed);
+            ev("never", 0)
+        });
+        assert!(!ran.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn concurrent_writers_and_reader_never_tear() {
+        let r = Arc::new(FlightRecorder::new(64));
+        let writers: Vec<_> = (0..4)
+            .map(|t| {
+                let r = Arc::clone(&r);
+                thread::spawn(move || {
+                    for i in 0..5_000u64 {
+                        // Each writer stamps a self-consistent pair so a
+                        // torn read is detectable.
+                        let mut e = ev("stress", i);
+                        e.binding_hash = t * 1_000_000 + i;
+                        e.predicted_cpu_s = e.binding_hash as f64;
+                        r.record(&e);
+                    }
+                })
+            })
+            .collect();
+        let reader = {
+            let r = Arc::clone(&r);
+            thread::spawn(move || {
+                let mut seen = 0usize;
+                for _ in 0..200 {
+                    for e in r.snapshot() {
+                        assert_eq!(
+                            e.predicted_cpu_s, e.binding_hash as f64,
+                            "torn event surfaced"
+                        );
+                        seen += 1;
+                    }
+                }
+                seen
+            })
+        };
+        for w in writers {
+            w.join().unwrap();
+        }
+        assert!(reader.join().unwrap() > 0);
+        assert_eq!(r.total_recorded(), 20_000);
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! The paper's selling point is that the dispatch decision is cheap enough
 //! to take at every region launch; this crate makes every such decision
-//! *observable* without giving that cheapness back. Two independent layers:
+//! *observable* without giving that cheapness back. Five independent layers:
 //!
 //! * [`trace`] — a dependency-free structured tracing facade: named spans
 //!   with typed key/value fields, dispatched to a pluggable process-wide
@@ -14,15 +14,38 @@
 //!   Counters and gauges are always live (one relaxed RMW each); duration
 //!   timers are gated behind [`metrics::set_timing`] so the instrumented
 //!   cache-hit decision path never pays for a clock read it did not ask for.
+//! * [`flight`] — the decision flight recorder: a fixed-capacity,
+//!   lock-free ring of structured [`DecisionEvent`]s (verdicts, dispatch
+//!   completions, fallbacks, breaker transitions), gated behind
+//!   [`flight::set_flight_recording`] with the same one-relaxed-load
+//!   disabled path.
+//! * [`mod@accuracy`] — the accuracy observatory: per-`(region, device)`
+//!   streaming predicted-vs-observed error statistics (Welford
+//!   mean/variance, signed bias, misprediction-flip counter).
+//! * [`export`] — the ops surface: Prometheus-style text exposition with
+//!   a validator, versioned JSONL snapshots of all of the above, and
+//!   snapshot diffing.
 //!
 //! Metric names follow the dotted `hetsel.<crate>.<name>` convention
 //! documented in DESIGN.md §"Observability".
 
 #![warn(missing_docs)]
 
+pub mod accuracy;
+pub mod export;
+pub mod flight;
 pub mod metrics;
 pub mod trace;
 
+pub use accuracy::{accuracy, AccuracyObservatory, AccuracyRow};
+pub use export::{
+    diff_snapshots, jsonl_snapshot, prometheus_exposition, validate_exposition, SnapshotDiff,
+    SNAPSHOT_VERSION,
+};
+pub use flight::{
+    flight_recorder, flight_recording_enabled, record_event, set_flight_recording, DecisionEvent,
+    EventKind, FlightRecorder,
+};
 pub use metrics::{
     registry, shard_metric_name, Counter, Gauge, HistTimer, Histogram, HistogramSummary,
     MetricsSnapshot, Registry,

@@ -224,9 +224,18 @@ impl RingBufferSubscriber {
         }
     }
 
-    /// The retained spans, oldest first.
+    /// The retained spans, oldest first, *without* consuming them —
+    /// repeated snapshots observe the same spans until they age out or
+    /// are [`drain`](RingBufferSubscriber::drain)ed.
     pub fn snapshot(&self) -> Vec<SpanRecord> {
         self.buf.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Takes the retained spans, oldest first, leaving the ring empty.
+    /// The take-and-clear is atomic with respect to concurrent
+    /// `on_span` deliveries: a span is returned by exactly one drain.
+    pub fn drain(&self) -> Vec<SpanRecord> {
+        std::mem::take(&mut *self.buf.lock().unwrap()).into()
     }
 
     /// Number of retained spans.

@@ -87,6 +87,49 @@ fn ring_buffer_truncates_to_capacity() {
 }
 
 #[test]
+fn ring_buffer_drain_vs_snapshot_under_concurrent_emitters() {
+    let _guard = subscriber_lock();
+    let ring = Arc::new(RingBufferSubscriber::new(1 << 14));
+    set_subscriber(Some(ring.clone()));
+    let emitters = 4;
+    let per_thread = 2_000u64;
+    let handles: Vec<_> = (0..emitters)
+        .map(|_| {
+            thread::spawn(move || {
+                for i in 0..per_thread {
+                    let mut g = span("hetsel.test.drain");
+                    g.record("i", i);
+                }
+            })
+        })
+        .collect();
+    // Drain concurrently with the emitters: snapshot() must never consume,
+    // drain() must hand each span to exactly one caller.
+    let mut drained = Vec::new();
+    while handles.iter().any(|h| !h.is_finished()) {
+        let peek = ring.snapshot();
+        let taken = ring.drain();
+        assert!(
+            taken.len() >= peek.len(),
+            "drain lost spans a snapshot had already observed"
+        );
+        drained.extend(taken);
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    set_subscriber(None);
+    drained.extend(ring.drain());
+    assert_eq!(
+        drained.len() as u64,
+        emitters as u64 * per_thread,
+        "every span drained exactly once (capacity was never exceeded)"
+    );
+    assert!(ring.is_empty() && ring.snapshot().is_empty());
+    assert!(drained.iter().all(|s| s.name == "hetsel.test.drain"));
+}
+
+#[test]
 fn null_subscriber_keeps_facade_disabled() {
     let _guard = subscriber_lock();
     set_subscriber(Some(Arc::new(NullSubscriber)));

@@ -740,13 +740,25 @@ impl Dispatcher {
     /// Decides and executes `request`: the full fault-tolerant path. See
     /// the module docs for the exact failover order.
     pub fn dispatch(&self, request: &DecisionRequest) -> Result<DispatchOutcome, DispatchError> {
+        self.dispatch_bounded(request, None)
+    }
+
+    /// Shared dispatch path: `deadline_override`, when present, replaces
+    /// the request's own decision deadline. The override is threaded
+    /// straight through to the engine's bounded request path — the request
+    /// is never cloned to carry it.
+    fn dispatch_bounded(
+        &self,
+        request: &DecisionRequest,
+        deadline_override: Option<Duration>,
+    ) -> Result<DispatchOutcome, DispatchError> {
         let _timer = hetsel_obs::static_histogram!("hetsel.core.dispatch.ns").start_timer();
         let now = self.clock.fetch_add(1, Ordering::Relaxed);
-        let (decision, deadline_degraded) =
-            self.engine.decide_request_inner(request).ok_or_else(|| {
-                DispatchError::UnknownRegion {
-                    region: request.region().to_string(),
-                }
+        let (decision, deadline_degraded) = self
+            .engine
+            .decide_request_bounded(request, deadline_override)
+            .ok_or_else(|| DispatchError::UnknownRegion {
+                region: request.region().to_string(),
             })?;
         let attrs = self
             .engine
@@ -940,13 +952,15 @@ impl Dispatcher {
     }
 
     /// As [`Dispatcher::dispatch`] with an explicit decision deadline,
-    /// overriding any deadline the request already carries.
+    /// overriding any deadline the request already carries. The override
+    /// is applied in place — the request is not cloned (the same
+    /// needless-clone shape [`DecisionEngine::decide_within`] fixed).
     pub fn dispatch_within(
         &self,
         request: &DecisionRequest,
         deadline: Duration,
     ) -> Result<DispatchOutcome, DispatchError> {
-        self.dispatch(&request.clone().with_deadline(deadline))
+        self.dispatch_bounded(request, Some(deadline))
     }
 
     /// The kind-level health view: the host record, or the *primary*

@@ -93,6 +93,75 @@ proptest! {
     }
 }
 
+/// The deadline values where the `u128 → u64` nanosecond conversion, the
+/// zero-budget fast path, and `Duration`'s own resolution all meet.
+fn edge_deadline() -> BoxedStrategy<Duration> {
+    prop_oneof![
+        Just(Duration::ZERO),
+        Just(Duration::from_nanos(1)),
+        Just(Duration::from_nanos(999)),
+        Just(Duration::from_nanos(u64::MAX - 1)),
+        Just(Duration::from_nanos(u64::MAX)),
+        (0u64..u64::MAX).prop_map(Duration::from_nanos),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn deadline_edges_round_trip_exactly(deadline in edge_deadline()) {
+        // Everything representable in u64 nanoseconds — including the
+        // 0 ns "no budget" sentinel and the u64::MAX-adjacent extremes —
+        // survives the JSON round trip bit for bit.
+        let request = DecisionRequest::new("gemm", Binding::new().with("n", 64))
+            .with_deadline(deadline);
+        let json = serde_json::to_string(&request).expect("serializes");
+        prop_assert!(
+            json.contains(&deadline.as_nanos().to_string()),
+            "deadline_ns missing from {}",
+            json
+        );
+        let back: DecisionRequest = serde_json::from_str(&json).expect("parses");
+        prop_assert_eq!(back.deadline(), Some(deadline));
+    }
+
+    #[test]
+    fn oversized_deadlines_saturate_to_u64_max_ns(
+        extra_secs in 0u64..1_000_000,
+        extra_ns in 0u32..1_000_000_000,
+    ) {
+        // `Duration` holds up to u64::MAX whole seconds — far beyond the
+        // u64 nanosecond wire field. Serialization must saturate, not
+        // wrap, and the saturated value must be a round-trip fixpoint.
+        let beyond = Duration::new(u64::MAX / 1_000_000_000 + 1 + extra_secs, extra_ns);
+        prop_assert!(beyond.as_nanos() > u128::from(u64::MAX));
+        let request = DecisionRequest::new("gemm", Binding::new()).with_deadline(beyond);
+        let json = serde_json::to_string(&request).expect("serializes");
+        let back: DecisionRequest = serde_json::from_str(&json).expect("parses");
+        prop_assert_eq!(back.deadline(), Some(Duration::from_nanos(u64::MAX)));
+        // Fixpoint: re-serializing the clamped request changes nothing.
+        let json2 = serde_json::to_string(&back).expect("serializes");
+        let back2: DecisionRequest = serde_json::from_str(&json2).expect("parses");
+        prop_assert_eq!(back2, back);
+    }
+
+    #[test]
+    fn float_built_deadlines_add_no_loss_beyond_duration_truncation(raw in 0u64..(1u64 << 53)) {
+        // Budgets often originate as float seconds (config files, CLI
+        // flags). `Duration::from_secs_f64` already truncates below one
+        // nanosecond; the wire format must not lose anything further —
+        // the truncated duration round-trips exactly.
+        let seconds = raw as f64 / 1e9; // sub-nanosecond bits present
+        let deadline = Duration::from_secs_f64(seconds);
+        let request = DecisionRequest::new("gemm", Binding::new()).with_deadline(deadline);
+        let json = serde_json::to_string(&request).expect("serializes");
+        let back: DecisionRequest = serde_json::from_str(&json).expect("parses");
+        prop_assert_eq!(back.deadline(), Some(deadline));
+    }
+}
+
 #[test]
 fn corrupt_documents_are_rejected() {
     let good =

@@ -20,8 +20,12 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
+use std::time::Duration;
 
-use hetsel_core::{DecisionEngine, DeviceId, Fleet, Platform, Selector};
+use hetsel_core::{
+    DecisionEngine, DecisionRequest, DeviceId, Dispatcher, DispatcherConfig, Fleet, Platform,
+    Selector,
+};
 use hetsel_polybench::{find_kernel, Dataset};
 
 struct CountingAlloc;
@@ -188,4 +192,54 @@ fn scoped_cache_hit_decide_allocates_nothing() {
         after - before
     );
     assert_eq!(last.expect("hit"), first);
+}
+
+#[test]
+fn dispatch_within_allocates_no_more_than_dispatch() {
+    // `dispatch_within` once cloned the whole request just to attach the
+    // deadline — region string, binding vector and all. The override is
+    // now threaded through the bounded decide path in place, so a warm
+    // deadline-carrying dispatch must have exactly the allocation profile
+    // of a plain one.
+    let (kernel, binding) = find_kernel("gemm").unwrap();
+    let b = binding(Dataset::Benchmark);
+    let engine = DecisionEngine::new(
+        Selector::new(Platform::power9_v100()),
+        std::slice::from_ref(&kernel),
+    );
+    let dispatcher = Dispatcher::new(engine, DispatcherConfig::default());
+    let request = DecisionRequest::new("gemm", b);
+    // A deadline no warm decision can miss: the decision itself stays
+    // un-degraded, so both loops below execute the identical path apart
+    // from how the deadline reaches the engine.
+    let generous = Duration::from_secs(3600);
+
+    // Prime the cache, the accuracy cells, and every lazily-created
+    // metric on both variants before counting.
+    for _ in 0..3 {
+        dispatcher.dispatch(&request).expect("healthy dispatch");
+        dispatcher
+            .dispatch_within(&request, generous)
+            .expect("healthy bounded dispatch");
+    }
+
+    const N: u64 = 200;
+    let before = allocs_on_this_thread();
+    for _ in 0..N {
+        dispatcher.dispatch(&request).expect("healthy dispatch");
+    }
+    let plain = allocs_on_this_thread() - before;
+
+    let before = allocs_on_this_thread();
+    for _ in 0..N {
+        dispatcher
+            .dispatch_within(&request, generous)
+            .expect("healthy bounded dispatch");
+    }
+    let bounded = allocs_on_this_thread() - before;
+
+    assert_eq!(
+        bounded, plain,
+        "deadline override must not clone the request ({bounded} allocs over {N} bounded dispatches vs {plain} plain)"
+    );
 }

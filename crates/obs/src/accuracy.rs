@@ -23,7 +23,7 @@
 //! dispatch *completion*, never on the cache-hit decide path.
 
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError, RwLock};
 
 use crate::json_escape;
 
@@ -104,12 +104,22 @@ impl AccuracyObservatory {
         AccuracyObservatory::default()
     }
 
+    /// Finds or creates a cell. The table's locks recover from poisoning
+    /// (`PoisonError::into_inner`): the map and the `Copy` cell contents
+    /// are mutated in single assignments, so a panicked holder can leave
+    /// at worst a stale value behind — never a torn one — and an ops
+    /// surface must keep answering after one observer thread dies.
     fn cell(&self, region: &str, device: &str) -> Arc<Mutex<Cell>> {
         let key = (region.to_string(), device.to_string());
-        if let Some(found) = self.cells.read().unwrap().get(&key) {
+        if let Some(found) = self
+            .cells
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&key)
+        {
             return Arc::clone(found);
         }
-        let mut w = self.cells.write().unwrap();
+        let mut w = self.cells.write().unwrap_or_else(PoisonError::into_inner);
         Arc::clone(w.entry(key).or_default())
     }
 
@@ -127,7 +137,7 @@ impl AccuracyObservatory {
     ) {
         self.cell(region, device)
             .lock()
-            .unwrap()
+            .unwrap_or_else(PoisonError::into_inner)
             .observe(predicted_s, observed_s, flip);
     }
 
@@ -135,10 +145,10 @@ impl AccuracyObservatory {
     pub fn lookup(&self, region: &str, device: &str) -> Option<AccuracyRow> {
         let key = (region.to_string(), device.to_string());
         let cell = {
-            let cells = self.cells.read().unwrap();
+            let cells = self.cells.read().unwrap_or_else(PoisonError::into_inner);
             Arc::clone(cells.get(&key)?)
         };
-        let c = *cell.lock().unwrap();
+        let c = *cell.lock().unwrap_or_else(PoisonError::into_inner);
         (c.count > 0).then(|| row(&key.0, &key.1, &c))
     }
 
@@ -146,10 +156,10 @@ impl AccuracyObservatory {
     pub fn snapshot(&self) -> Vec<AccuracyRow> {
         self.cells
             .read()
-            .unwrap()
+            .unwrap_or_else(PoisonError::into_inner)
             .iter()
             .filter_map(|((region, device), cell)| {
-                let c = *cell.lock().unwrap();
+                let c = *cell.lock().unwrap_or_else(PoisonError::into_inner);
                 (c.count > 0).then(|| row(region, device, &c))
             })
             .collect()
@@ -167,8 +177,13 @@ impl AccuracyObservatory {
 
     /// Zeroes every cell without invalidating the table.
     pub fn reset(&self) {
-        for cell in self.cells.read().unwrap().values() {
-            *cell.lock().unwrap() = Cell::default();
+        for cell in self
+            .cells
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .values()
+        {
+            *cell.lock().unwrap_or_else(PoisonError::into_inner) = Cell::default();
         }
     }
 }
@@ -254,6 +269,29 @@ mod tests {
         assert!(obs.is_empty());
         obs.observe("r", "d", 1.0, 1.0, false);
         assert_eq!(obs.len(), 1);
+        obs.reset();
+        assert!(obs.is_empty());
+    }
+
+    #[test]
+    fn poisoned_observatory_still_snapshots_and_observes() {
+        let obs = AccuracyObservatory::new();
+        obs.observe("gemm", "v100", 1.1, 1.0, false);
+        // Kill one holder of the cell mutex and one of the table's write
+        // lock: both poison, neither may take down later readers.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let cell = obs.cell("gemm", "v100");
+            let _guard = cell.lock().unwrap();
+            panic!("holder dies");
+        }));
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = obs.cells.write().unwrap();
+            panic!("holder dies");
+        }));
+        assert!(obs.cells.is_poisoned());
+        assert_eq!(obs.snapshot().len(), 1);
+        obs.observe("gemm", "v100", 1.2, 1.0, false);
+        assert_eq!(obs.lookup("gemm", "v100").unwrap().samples, 2);
         obs.reset();
         assert!(obs.is_empty());
     }

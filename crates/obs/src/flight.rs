@@ -60,6 +60,10 @@ pub enum EventKind {
     /// A circuit-breaker state transition; [`DecisionEvent::detail`]
     /// holds the *new* state's gauge value (0 closed, 1 open, 2 half-open).
     BreakerTransition = 3,
+    /// A request shed by an admission-controlled front-end (`hetsel-serve`)
+    /// before it reached the engine; [`DecisionEvent::detail`] holds the
+    /// shed-reason code (`ShedReason` ordinal in `hetsel-serve`).
+    Shed = 4,
 }
 
 impl EventKind {
@@ -70,6 +74,7 @@ impl EventKind {
             EventKind::DispatchComplete => "dispatch",
             EventKind::Fallback => "fallback",
             EventKind::BreakerTransition => "breaker",
+            EventKind::Shed => "shed",
         }
     }
 
@@ -78,6 +83,7 @@ impl EventKind {
             1 => EventKind::DispatchComplete,
             2 => EventKind::Fallback,
             3 => EventKind::BreakerTransition,
+            4 => EventKind::Shed,
             _ => EventKind::Decide,
         }
     }

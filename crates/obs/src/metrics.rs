@@ -16,7 +16,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, OnceLock, PoisonError, RwLock};
 use std::time::Instant;
 
 use crate::json_escape;
@@ -273,11 +273,16 @@ pub struct Registry {
     histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
 }
 
+/// Registry lookups recover from lock poisoning
+/// (`PoisonError::into_inner`): the maps only ever gain complete entries
+/// under the write lock and the instruments themselves are atomics, so a
+/// panicked holder cannot leave torn state — and one dead thread must not
+/// cascade panics into every later snapshot or export.
 fn get_or_create<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
-    if let Some(found) = map.read().unwrap().get(name) {
+    if let Some(found) = map.read().unwrap_or_else(PoisonError::into_inner).get(name) {
         return Arc::clone(found);
     }
-    let mut w = map.write().unwrap();
+    let mut w = map.write().unwrap_or_else(PoisonError::into_inner);
     Arc::clone(w.entry(name.to_string()).or_default())
 }
 
@@ -308,21 +313,21 @@ impl Registry {
             counters: self
                 .counters
                 .read()
-                .unwrap()
+                .unwrap_or_else(PoisonError::into_inner)
                 .iter()
                 .map(|(k, v)| (k.clone(), v.get()))
                 .collect(),
             gauges: self
                 .gauges
                 .read()
-                .unwrap()
+                .unwrap_or_else(PoisonError::into_inner)
                 .iter()
                 .map(|(k, v)| (k.clone(), v.get()))
                 .collect(),
             histograms: self
                 .histograms
                 .read()
-                .unwrap()
+                .unwrap_or_else(PoisonError::into_inner)
                 .iter()
                 .map(|(k, v)| (k.clone(), v.summary()))
                 .collect(),
@@ -331,13 +336,28 @@ impl Registry {
 
     /// Zeroes every instrument without invalidating outstanding handles.
     pub fn reset(&self) {
-        for c in self.counters.read().unwrap().values() {
+        for c in self
+            .counters
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .values()
+        {
             c.reset();
         }
-        for g in self.gauges.read().unwrap().values() {
+        for g in self
+            .gauges
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .values()
+        {
             g.reset();
         }
-        for h in self.histograms.read().unwrap().values() {
+        for h in self
+            .histograms
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .values()
+        {
             h.reset();
         }
     }
@@ -555,6 +575,38 @@ mod tests {
         r.counter(&device_metric_name("hetsel.test.decisions", "k80"))
             .inc();
         assert_eq!(r.counter("hetsel.test.decisions.k80").get(), 1);
+    }
+
+    #[test]
+    fn poisoned_registry_still_snapshots_and_creates() {
+        let r = Registry::new();
+        r.counter("hetsel.test.poison.hits").inc();
+        // Poison every map by dying while holding its write lock.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _c = r.counters.write().unwrap();
+            panic!("holder dies");
+        }));
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = r.gauges.write().unwrap();
+            panic!("holder dies");
+        }));
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _h = r.histograms.write().unwrap();
+            panic!("holder dies");
+        }));
+        assert!(r.counters.is_poisoned());
+        // snapshot, get-or-create, and reset all keep working.
+        let snap = r.snapshot();
+        assert_eq!(
+            snap.counters,
+            vec![("hetsel.test.poison.hits".to_string(), 1)]
+        );
+        r.counter("hetsel.test.poison.more").inc();
+        r.gauge("hetsel.test.poison.depth").set(3);
+        r.histogram("hetsel.test.poison.ns").record(10);
+        assert_eq!(r.snapshot().counters.len(), 2);
+        r.reset();
+        assert_eq!(r.counter("hetsel.test.poison.hits").get(), 0);
     }
 
     #[test]

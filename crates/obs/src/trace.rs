@@ -12,7 +12,7 @@ use std::cell::Cell;
 use std::collections::VecDeque;
 use std::io::Write;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError, RwLock};
 use std::time::Instant;
 
 use crate::json_escape;
@@ -226,21 +226,31 @@ impl RingBufferSubscriber {
 
     /// The retained spans, oldest first, *without* consuming them —
     /// repeated snapshots observe the same spans until they age out or
-    /// are [`drain`](RingBufferSubscriber::drain)ed.
+    /// are [`drain`](RingBufferSubscriber::drain)ed. Telemetry reads must
+    /// survive a panicked writer, so a poisoned ring is read as-is: every
+    /// span in it was pushed whole under the lock.
     pub fn snapshot(&self) -> Vec<SpanRecord> {
-        self.buf.lock().unwrap().iter().cloned().collect()
+        self.buf
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .cloned()
+            .collect()
     }
 
     /// Takes the retained spans, oldest first, leaving the ring empty.
     /// The take-and-clear is atomic with respect to concurrent
     /// `on_span` deliveries: a span is returned by exactly one drain.
     pub fn drain(&self) -> Vec<SpanRecord> {
-        std::mem::take(&mut *self.buf.lock().unwrap()).into()
+        std::mem::take(&mut *self.buf.lock().unwrap_or_else(PoisonError::into_inner)).into()
     }
 
     /// Number of retained spans.
     pub fn len(&self) -> usize {
-        self.buf.lock().unwrap().len()
+        self.buf
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// True when nothing has been recorded.
@@ -250,13 +260,16 @@ impl RingBufferSubscriber {
 
     /// Drops all retained spans.
     pub fn clear(&self) {
-        self.buf.lock().unwrap().clear();
+        self.buf
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
     }
 }
 
 impl Subscriber for RingBufferSubscriber {
     fn on_span(&self, span: &SpanRecord) {
-        let mut buf = self.buf.lock().unwrap();
+        let mut buf = self.buf.lock().unwrap_or_else(PoisonError::into_inner);
         if buf.len() >= self.capacity {
             buf.pop_front();
         }
@@ -280,13 +293,15 @@ impl<W: Write + Send> JsonlSubscriber<W> {
 
     /// Consumes the subscriber and returns the writer.
     pub fn into_inner(self) -> W {
-        self.writer.into_inner().unwrap()
+        self.writer
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 impl<W: Write + Send> Subscriber for JsonlSubscriber<W> {
     fn on_span(&self, span: &SpanRecord) {
-        let mut w = self.writer.lock().unwrap();
+        let mut w = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
         // Telemetry must never take the program down: IO errors are dropped.
         let _ = writeln!(w, "{}", span.to_json());
         let _ = w.flush();
@@ -315,7 +330,7 @@ thread_local! {
 /// [`NullSubscriber`] is equivalent to `None`: the facade stays disabled.
 pub fn set_subscriber(sub: Option<Arc<dyn Subscriber>>) {
     let enabled = sub.as_ref().is_some_and(|s| s.enabled());
-    *SUBSCRIBER.write().unwrap() = sub;
+    *SUBSCRIBER.write().unwrap_or_else(PoisonError::into_inner) = sub;
     TRACING.store(enabled, Ordering::Release);
 }
 
@@ -327,7 +342,10 @@ pub fn tracing_enabled() -> bool {
 
 /// True if any subscriber (including the null one) is installed.
 pub fn subscriber_installed() -> bool {
-    SUBSCRIBER.read().unwrap().is_some()
+    SUBSCRIBER
+        .read()
+        .unwrap_or_else(PoisonError::into_inner)
+        .is_some()
 }
 
 struct ActiveSpan {
@@ -367,7 +385,11 @@ impl Drop for SpanGuard {
             duration_ns,
             fields: active.fields,
         };
-        if let Some(sub) = SUBSCRIBER.read().unwrap().as_ref() {
+        if let Some(sub) = SUBSCRIBER
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .as_ref()
+        {
             sub.on_span(&record);
         }
     }
@@ -455,5 +477,30 @@ mod tests {
         assert!(fmt_ns(50_000).ends_with("µs"));
         assert!(fmt_ns(50_000_000).ends_with("ms"));
         assert!(fmt_ns(50_000_000_000).ends_with('s'));
+    }
+
+    #[test]
+    fn poisoned_ring_still_snapshots_and_records() {
+        let ring = RingBufferSubscriber::new(4);
+        let record = SpanRecord {
+            name: "hetsel.test.poison",
+            depth: 0,
+            start_ns: 0,
+            duration_ns: 1,
+            fields: vec![],
+        };
+        ring.on_span(&record);
+        // A holder that dies with the lock poisons it...
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = ring.buf.lock().unwrap();
+            panic!("holder dies mid-critical-section");
+        }));
+        assert!(ring.buf.is_poisoned());
+        // ...but the ops surface keeps answering: reads, writes, drains.
+        assert_eq!(ring.snapshot().len(), 1);
+        ring.on_span(&record);
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.drain().len(), 2);
+        assert!(ring.is_empty());
     }
 }

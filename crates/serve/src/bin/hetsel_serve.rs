@@ -1,0 +1,88 @@
+//! The `hetsel-serve` binary: the decision service over the full
+//! Polybench attribute database.
+//!
+//! ```text
+//! # stdin/stdout, one JSON request per line, one JSON reply per line:
+//! echo '{"id":1,"request":{"region":"gemm","binding":{"n":1024}}}' \
+//!     | cargo run --release -p hetsel-serve
+//!
+//! # TCP front-end:
+//! cargo run --release -p hetsel-serve -- --tcp 127.0.0.1:7878
+//! ```
+//!
+//! Options: `--tcp ADDR` (default: stdin/stdout), `--queue N`,
+//! `--batch N`, `--window-us N` (admission/coalescing tuning).
+
+use std::io::{self, BufReader, Write};
+use std::net::TcpListener;
+use std::time::Duration;
+
+use hetsel_core::{DecisionEngine, Dispatcher, DispatcherConfig, Platform, Selector};
+use hetsel_ir::Kernel;
+use hetsel_serve::{serve_lines, serve_tcp, DecisionServer, ServeConfig};
+
+fn main() {
+    let mut tcp: Option<String> = None;
+    let mut config = ServeConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{what} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--tcp" => tcp = Some(value("--tcp")),
+            "--queue" => {
+                config.queue_capacity = value("--queue").parse().expect("--queue takes a count")
+            }
+            "--batch" => {
+                config.max_batch = value("--batch").parse().expect("--batch takes a count")
+            }
+            "--window-us" => {
+                config.window = Duration::from_micros(
+                    value("--window-us").parse().expect("--window-us takes µs"),
+                )
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (options: --tcp ADDR, --queue N, --batch N, --window-us N)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let kernels: Vec<Kernel> = hetsel_polybench::all_kernels()
+        .into_iter()
+        .map(|(_, kernel, _)| kernel)
+        .collect();
+    let engine = DecisionEngine::new(Selector::new(Platform::power9_v100()), &kernels);
+    let dispatcher = Dispatcher::new(engine, DispatcherConfig::default());
+    let server = DecisionServer::start(dispatcher, config);
+    let handle = server.handle();
+
+    match tcp {
+        Some(addr) => {
+            let listener = TcpListener::bind(&addr).expect("bind --tcp address");
+            eprintln!(
+                "[hetsel-serve] listening on {} ({} regions)",
+                listener.local_addr().expect("bound address"),
+                kernels.len()
+            );
+            serve_tcp(listener, handle).expect("accept loop");
+        }
+        None => {
+            let stdin = io::stdin();
+            let stdout = io::stdout();
+            let stats = serve_lines(&handle, BufReader::new(stdin.lock()), stdout.lock())
+                .expect("stdio transport");
+            let mut err = io::stderr();
+            let _ = writeln!(
+                err,
+                "[hetsel-serve] served {} requests ({} errors)",
+                stats.replies, stats.errors
+            );
+        }
+    }
+    server.shutdown();
+}

@@ -1,0 +1,84 @@
+//! hetsel-serve: the decision engine as a long-running service.
+//!
+//! Everything below `hetsel-core` answers one synchronous question:
+//! *should this region offload, right now?* This crate wraps that
+//! question in a request loop so other processes can ask it over a
+//! line-oriented JSON transport (stdin/stdout or TCP), with the three
+//! properties a shared decision service needs that a library call does
+//! not:
+//!
+//! 1. **Admission control.** A bounded queue stands between transports
+//!    and the engine. Under overload, [`ServerHandle::submit`] sheds with
+//!    a typed [`ShedReason`] instead of queueing unboundedly, and
+//!    [`ServerHandle::submit_wait`] backpressures instead of shedding —
+//!    the caller picks the failure mode. Every shed reply still carries
+//!    the degraded compiler-default decision, so a refused caller always
+//!    has something runnable: the serve-layer analogue of the
+//!    dispatcher's "the host is never fully load-shed" rule.
+//! 2. **Request coalescing.** Concurrent requests are drained in
+//!    *windows* and evaluated with one
+//!    [`decide_batch`](hetsel_core::DecisionEngine::decide_batch) call,
+//!    amortising cache-shard locking and the rayon cold-miss pass across
+//!    every request that arrived close together.
+//! 3. **Real deadline timers.** A dedicated timer thread answers a
+//!    deadline-carrying request the moment its budget expires — not
+//!    after evaluation happens to finish, which is all a synchronous
+//!    post-hoc elapsed check can do. Requests handed to the engine have
+//!    their deadlines stripped so the two mechanisms never fight.
+//!
+//! The crate is instrumented through `hetsel-obs` end to end: a
+//! queue-depth gauge (`hetsel.serve.queue.depth`), admission and shed
+//! counters (`hetsel.serve.admitted`, `hetsel.serve.shed.<reason>`), a
+//! per-window batch-size histogram (`hetsel.serve.window.batch`), and a
+//! flight-recorder [`EventKind::Shed`](hetsel_obs::EventKind::Shed)
+//! event for every shed request.
+//!
+//! ```text
+//!  transports (stdin / tcp)          server threads
+//!  ───────────────────────          ────────────────────────────
+//!  parse line → submit ──┐
+//!  parse line → submit ──┤ admission  ┌─ batcher: window → decide_batch
+//!  parse line → submit ──┴─► queue ───┤         → (dispatch) → reply
+//!                                     └─ timer: deadline → shed reply
+//! ```
+
+#![warn(missing_docs)]
+
+mod pending;
+mod proto;
+mod queue;
+mod server;
+mod timer;
+mod transport;
+
+pub use pending::{Completion, PendingRequest};
+pub use proto::{
+    parse_request_line, ReplyDecision, ReplyDispatch, ServeReply, ServeRequest, ShedReason,
+};
+pub use queue::{Admission, AdmissionQueue};
+pub use server::{DecisionServer, ServeConfig, ServerHandle};
+pub use timer::DeadlineTimer;
+pub use transport::{serve_lines, serve_tcp, TransportStats};
+
+/// Shared helpers for in-crate unit tests.
+#[cfg(test)]
+pub(crate) mod tests_support {
+    use hetsel_core::{Decision, Device, DeviceId, Policy};
+    use std::sync::Arc;
+
+    /// A hand-built compiler-default decision for tests that need *a*
+    /// decision without standing up an engine.
+    pub fn degraded_decision() -> Decision {
+        Decision {
+            region: Arc::from("gemm"),
+            device: Device::Host,
+            device_id: DeviceId::HOST,
+            device_name: Arc::from("host"),
+            policy: Policy::AlwaysOffload,
+            predicted_cpu_s: None,
+            predicted_gpu_s: None,
+            cpu_error: None,
+            gpu_error: None,
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! The in-flight request: one admitted [`ServeRequest`] plus its
+//! single-assignment reply slot.
+//!
+//! Three parties race to complete a pending request — the batcher (with
+//! the evaluated decision), the deadline timer (with a
+//! [`ShedReason::DeadlineExpired`](crate::ShedReason::DeadlineExpired)
+//! shed), and shutdown (with a
+//! [`ShedReason::ShuttingDown`](crate::ShedReason::ShuttingDown) shed).
+//! [`Completion`] makes the race safe: the first completer wins, later
+//! completers get `false` back and drop their reply. The waiting
+//! transport thread always observes exactly one reply.
+
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::Instant;
+
+use crate::proto::{ServeReply, ServeRequest};
+
+/// Single-assignment reply slot with a blocking reader.
+pub struct Completion {
+    slot: Mutex<Option<ServeReply>>,
+    ready: Condvar,
+}
+
+impl Default for Completion {
+    fn default() -> Completion {
+        Completion {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+}
+
+impl Completion {
+    /// Stores `reply` if the slot is still empty. Returns true when this
+    /// call won the race (the reply will be delivered), false when an
+    /// earlier completer already answered.
+    pub fn complete(&self, reply: ServeReply) -> bool {
+        let mut slot = self.slot.lock().unwrap_or_else(PoisonError::into_inner);
+        if slot.is_some() {
+            return false;
+        }
+        *slot = Some(reply);
+        drop(slot);
+        self.ready.notify_all();
+        true
+    }
+
+    /// True once a reply landed.
+    pub fn is_done(&self) -> bool {
+        self.slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .is_some()
+    }
+
+    /// Blocks until the reply lands and returns a clone of it.
+    pub fn wait(&self) -> ServeReply {
+        let mut slot = self.slot.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(reply) = slot.as_ref() {
+                return reply.clone();
+            }
+            slot = self
+                .ready
+                .wait(slot)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// One admitted request travelling through the server.
+pub struct PendingRequest {
+    /// The parsed envelope.
+    pub serve: ServeRequest,
+    /// When admission accepted it (latency measurement anchor).
+    pub admitted: Instant,
+    /// Absolute expiry instant, when the request carried a deadline.
+    /// Serve enforces this with the timer thread — a *real* timer that
+    /// answers the moment the budget runs out, not a post-hoc elapsed
+    /// check after evaluation already happened.
+    pub expires: Option<Instant>,
+    /// The reply slot.
+    pub done: Completion,
+}
+
+impl PendingRequest {
+    /// Wraps an admitted envelope; `deadline_ns` (from the request) is
+    /// converted to an absolute expiry against `admitted`.
+    pub fn new(serve: ServeRequest) -> PendingRequest {
+        let admitted = Instant::now();
+        let expires = serve
+            .request
+            .deadline()
+            .map(|d| admitted.checked_add(d).unwrap_or_else(far_future));
+        PendingRequest {
+            serve,
+            admitted,
+            expires,
+            done: Completion::default(),
+        }
+    }
+}
+
+/// An effectively-unreachable expiry for deadlines so large that
+/// `Instant + Duration` overflows (e.g. `u64::MAX` nanoseconds): ~30
+/// years out, identical in behaviour to "no deadline" for any real run.
+fn far_future() -> Instant {
+    Instant::now() + std::time::Duration::from_secs(60 * 60 * 24 * 365 * 30)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsel_core::DecisionRequest;
+    use hetsel_ir::Binding;
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    fn pending(deadline: Option<Duration>) -> PendingRequest {
+        let mut req = DecisionRequest::new("gemm", Binding::new());
+        if let Some(d) = deadline {
+            req = req.with_deadline(d);
+        }
+        PendingRequest::new(ServeRequest::new(req))
+    }
+
+    #[test]
+    fn first_completer_wins() {
+        let p = pending(None);
+        assert!(p.done.complete(ServeReply::error(None, "first")));
+        assert!(!p.done.complete(ServeReply::error(None, "second")));
+        match p.done.wait() {
+            ServeReply::Error { message, .. } => assert_eq!(message, "first"),
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wait_blocks_until_completed() {
+        let p = Arc::new(pending(None));
+        let waiter = {
+            let p = Arc::clone(&p);
+            thread::spawn(move || p.done.wait())
+        };
+        thread::sleep(Duration::from_millis(10));
+        assert!(!p.done.is_done());
+        assert!(p.done.complete(ServeReply::error(Some(4), "late")));
+        assert_eq!(waiter.join().unwrap().id(), Some(4));
+    }
+
+    #[test]
+    fn huge_deadlines_do_not_overflow() {
+        let p = pending(Some(Duration::from_nanos(u64::MAX)));
+        let expires = p.expires.expect("deadline recorded");
+        assert!(expires > Instant::now() + Duration::from_secs(60));
+    }
+
+    #[test]
+    fn zero_deadline_is_already_expired() {
+        let p = pending(Some(Duration::ZERO));
+        assert!(p.expires.expect("deadline recorded") <= Instant::now());
+    }
+}

@@ -1,0 +1,189 @@
+//! Property tests for the transport framing contract: **one reply line
+//! per request line, in order, whatever the line contains**. A malformed
+//! line must produce a typed `"status":"error"` reply — never a panic,
+//! never a dropped connection, never a skipped slot that would desync the
+//! client's reply correlation.
+
+use std::io::Cursor;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use hetsel_core::{
+    DecisionEngine, DecisionRequest, Dispatcher, DispatcherConfig, Platform, Selector,
+};
+use hetsel_polybench::{find_kernel, Dataset};
+use hetsel_serve::{
+    parse_request_line, serve_lines, DecisionServer, ServeConfig, ServeReply, ServeRequest,
+    ServerHandle,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use proptest::sample::select;
+
+/// One server shared by every proptest case: starting threads per case
+/// would dominate the test, and the framing contract is per-line, not
+/// per-server. The server is leaked so its worker threads survive the
+/// whole test binary.
+fn handle() -> &'static ServerHandle {
+    static HANDLE: OnceLock<ServerHandle> = OnceLock::new();
+    HANDLE.get_or_init(|| {
+        let (kernel, _) = find_kernel("gemm").unwrap();
+        let engine = DecisionEngine::new(
+            Selector::new(Platform::power9_v100()),
+            std::slice::from_ref(&kernel),
+        );
+        let server = DecisionServer::start(
+            Dispatcher::new(engine, DispatcherConfig::default()),
+            ServeConfig::default(),
+        );
+        let handle = server.handle();
+        std::mem::forget(server);
+        handle
+    })
+}
+
+/// A line of the session script and the reply it must produce.
+#[derive(Debug, Clone)]
+enum Line {
+    /// Well-formed request; expects `"ok"` echoing the id.
+    Valid { id: u64 },
+    /// Well-formed request with a zero deadline; the timer and the
+    /// batcher race, so either `"shed"` or `"ok"` is legal — but exactly
+    /// one reply, echoing the id, must arrive either way.
+    ZeroDeadline { id: u64 },
+    /// Not a request; expects `"error"`.
+    Garbage(String),
+    /// Whitespace only; the transport skips it without a reply.
+    Blank(String),
+}
+
+fn garbage() -> BoxedStrategy<String> {
+    let corpus = select(
+        vec![
+            "not json",
+            "{",
+            "}",
+            "{}",
+            "[1,2,3]",
+            "nulltrue",
+            "{\"id\":}",
+            "{\"id\":3}",
+            "{\"request\":42}",
+            "{\"id\":\"seven\",\"request\":{\"region\":\"gemm\",\"binding\":{}}}",
+            "{\"request\":{\"region\":7,\"binding\":{}}}",
+            "{\"request\":{\"region\":\"gemm\",\"binding\":{\"n\":\"x\"}}}",
+            "{\"request\":{\"region\":\"gemm\",\"binding\":{},\"policy_override\":\"turbo\"}}",
+            "{\"id\":1,\"request\":{\"region\":\"gemm\",\"binding\":{\"n\":1}}",
+            "\u{1}\u{2}\u{3}",
+            "🦀🦀🦀",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect(),
+    );
+    prop_oneof![
+        corpus.boxed(),
+        // A bare JSON number: parses as a value, but not as a request.
+        (0u64..u64::MAX).prop_map(|n| n.to_string()).boxed(),
+    ]
+    .boxed()
+}
+
+fn line() -> BoxedStrategy<Line> {
+    prop_oneof![
+        (0u64..1_000_000).prop_map(|id| Line::Valid { id }).boxed(),
+        (0u64..1_000_000)
+            .prop_map(|id| Line::ZeroDeadline { id })
+            .boxed(),
+        garbage().prop_map(Line::Garbage).boxed(),
+        select(
+            vec!["", "   ", "\t"]
+                .into_iter()
+                .map(String::from)
+                .collect()
+        )
+        .prop_map(Line::Blank)
+        .boxed(),
+    ]
+    .boxed()
+}
+
+fn render(line: &Line) -> String {
+    let (_, binding) = find_kernel("gemm").unwrap();
+    match line {
+        Line::Valid { id } => {
+            let req = ServeRequest::new(DecisionRequest::new("gemm", binding(Dataset::Benchmark)))
+                .with_id(*id);
+            serde_json::to_string(&req).unwrap()
+        }
+        Line::ZeroDeadline { id } => {
+            let req = ServeRequest::new(
+                DecisionRequest::new("gemm", binding(Dataset::Benchmark))
+                    .with_deadline(Duration::ZERO),
+            )
+            .with_id(*id);
+            serde_json::to_string(&req).unwrap()
+        }
+        Line::Garbage(s) | Line::Blank(s) => s.clone(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn any_single_line_parses_or_yields_a_typed_error(line in garbage()) {
+        // The parser must never panic; when it refuses a line, the refusal
+        // is a typed error reply a transport can write back.
+        match parse_request_line(&line) {
+            Ok(_) => {}
+            Err(reply) => prop_assert_eq!(reply.status(), "error"),
+        }
+    }
+
+    #[test]
+    fn every_session_gets_one_reply_per_line_in_order(script in vec(line(), 0..12)) {
+        let input: String = script.iter().map(|l| format!("{}\n", render(l))).collect();
+        let mut out = Vec::new();
+        let stats = serve_lines(handle(), Cursor::new(input), &mut out)
+            .expect("in-memory transport cannot fail");
+
+        let expected: Vec<&Line> = script
+            .iter()
+            .filter(|l| !matches!(l, Line::Blank(_)))
+            .collect();
+        prop_assert_eq!(stats.lines, expected.len() as u64);
+        prop_assert_eq!(stats.replies, expected.len() as u64, "a line was dropped");
+
+        let replies: Vec<ServeReply> = std::str::from_utf8(&out)
+            .expect("replies are UTF-8")
+            .lines()
+            .map(|l| serde_json::from_str::<ServeReply>(l).expect("reply line parses"))
+            .collect();
+        prop_assert_eq!(replies.len(), expected.len());
+        for (line, reply) in expected.iter().zip(&replies) {
+            match line {
+                Line::Valid { id } => {
+                    prop_assert_eq!(reply.status(), "ok", "{:?} → {:?}", line, reply);
+                    prop_assert_eq!(reply.id(), Some(*id));
+                }
+                Line::ZeroDeadline { id } => {
+                    // The timer (shed) and the batcher (ok) legitimately
+                    // race at a zero budget; framing only demands exactly
+                    // one correlated reply.
+                    prop_assert!(
+                        reply.status() == "shed" || reply.status() == "ok",
+                        "{:?} → {:?}",
+                        line,
+                        reply
+                    );
+                    prop_assert_eq!(reply.id(), Some(*id));
+                }
+                Line::Garbage(_) => {
+                    prop_assert_eq!(reply.status(), "error", "{:?} → {:?}", line, reply);
+                }
+                Line::Blank(_) => unreachable!("blanks were filtered"),
+            }
+        }
+    }
+}

@@ -116,6 +116,21 @@ macro_rules! impl_unsigned {
 impl_signed!(i8, i16, i32, i64, isize);
 impl_unsigned!(u8, u16, u32, u64, usize);
 
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+/// Identity deserialization: lets callers parse JSON into a raw [`Value`]
+/// tree (e.g. to salvage fields from a document that fails typed
+/// deserialization).
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 impl Serialize for f64 {
     fn to_value(&self) -> Value {
         Value::Float(*self)

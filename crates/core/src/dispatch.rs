@@ -1033,6 +1033,29 @@ impl Dispatcher {
                 ))
                 .inc();
         }
+        // One calibration sample per completed dispatch: the *raw* model
+        // prediction for the executed device (the tag keeps it even when the
+        // decision shipped corrected numbers) against what actually ran.
+        // Spills to a device the engine never predicted for carry no raw
+        // prediction and teach the calibrator nothing.
+        if let Some(tag) = decision.calibration {
+            let raw = if outcome.device_id.is_host() {
+                tag.raw_cpu_s
+            } else if outcome.device_id == decision.device_id {
+                tag.raw_gpu_s
+            } else {
+                None
+            };
+            if let Some(raw_s) = raw {
+                self.engine.selector().calibrator().observe(
+                    region,
+                    &outcome.device_name,
+                    tag.class,
+                    raw_s,
+                    outcome.simulated_s,
+                );
+            }
+        }
         let (pred_exec, pred_other) = if outcome.device_id.is_host() {
             (decision.predicted_cpu_s, decision.predicted_gpu_s)
         } else if outcome.device_id == decision.device_id {

@@ -13,8 +13,9 @@
 use std::time::Instant;
 
 use crate::attributes::RegionAttributes;
+use crate::calib::CalibrationMode;
 use crate::selector::{
-    choose_among, choose_device, Decision, Device, DeviceChoice, Policy, Selector,
+    choose_among, choose_device, Decision, Device, DeviceChoice, ModelSource, Policy, Selector,
 };
 use hetsel_ir::Binding;
 use hetsel_models::{CpuPrediction, GpuPrediction, HongCase, ModelError};
@@ -224,6 +225,42 @@ impl AccuracyBlock {
     }
 }
 
+/// How online calibration touched (or would touch) this decision —
+/// present exactly when the selector runs in Shadow or Active calibration
+/// mode. `raw_*` are the uncorrected analytical predictions; the
+/// explanation's headline `predicted_*` fields carry the *effective*
+/// numbers the verdict was taken over (corrected in Active mode, raw
+/// otherwise), so `applied` implies `predicted ≈ raw × factor`. The term
+/// breakdowns (`cpu` / `gpu`) always stay raw: calibration scales the
+/// models' outputs, it does not re-derive their internals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationBlock {
+    /// Calibration mode the decision ran under: `shadow` or `active`
+    /// (`off` never emits a block).
+    pub mode: String,
+    /// Binding class the corrections are scoped to (bit-length signature
+    /// of the region's bound parameters).
+    pub class: u8,
+    /// Uncorrected host prediction, seconds.
+    pub raw_cpu_s: Option<f64>,
+    /// Uncorrected representative-accelerator prediction, seconds.
+    pub raw_gpu_s: Option<f64>,
+    /// Published host correction factor (1.0 = cold or unbiased).
+    pub cpu_factor: f64,
+    /// Published correction factor for the representative accelerator.
+    pub gpu_factor: f64,
+    /// Calibration samples behind the host cell.
+    pub cpu_samples: u64,
+    /// Calibration samples behind the representative accelerator's cell.
+    pub gpu_samples: u64,
+    /// True when corrected predictions decided the verdict (Active mode
+    /// with at least one non-identity factor on a usable prediction).
+    pub applied: bool,
+    /// True when the corrected ordering disagrees with the raw ordering —
+    /// in Shadow mode the flip that *would* have happened.
+    pub flipped: bool,
+}
+
 /// Wall-clock cost of producing the explanation, by phase.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PhaseTimings {
@@ -282,6 +319,9 @@ pub struct Explanation {
     /// accuracy observatory has samples for this region (absent for pure
     /// decision explanations).
     pub accuracy: Option<AccuracyBlock>,
+    /// How online calibration touched this decision (present exactly in
+    /// Shadow and Active calibration modes).
+    pub calibration: Option<CalibrationBlock>,
     /// Per-phase timings.
     pub timings: PhaseTimings,
 }
@@ -520,11 +560,40 @@ impl Selector {
             }
         });
 
-        let predicted_cpu_s = cpu_res.as_ref().ok().map(|p| p.seconds);
-        let accel_times: Vec<Option<f64>> = accel_res
+        let raw_cpu_s = cpu_res.as_ref().ok().map(|p| p.seconds);
+        let raw_accel_times: Vec<Option<f64>> = accel_res
             .iter()
             .map(|r| r.as_ref().ok().map(|p| p.seconds))
             .collect();
+
+        // Mirror the decision path's calibration exactly: effective values
+        // (corrected in Active mode, raw otherwise) drive the verdict, the
+        // headline predictions and `devices[].predicted_s`; the raw values
+        // are preserved in the calibration block. Explain is a read-only
+        // view, so unlike `decide` it bumps no flip counters.
+        let calib = self.calib_context(attrs.calib_class(binding), attrs.kernel.name.as_str());
+        let active = calib
+            .as_ref()
+            .is_some_and(|c| c.mode == CalibrationMode::Active);
+        let (predicted_cpu_s, accel_times, calib_flipped) = match calib.as_ref() {
+            Some(ctx) => {
+                let corrected_cpu = raw_cpu_s.map(|v| v * ctx.host_factor);
+                let corrected_accels: Vec<Option<f64>> = raw_accel_times
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| p.map(|v| v * ctx.accel_factor(i)))
+                    .collect();
+                let flipped = self.policy == Policy::ModelDriven
+                    && choose_among(corrected_cpu, &corrected_accels)
+                        != choose_among(raw_cpu_s, &raw_accel_times);
+                if active {
+                    (corrected_cpu, corrected_accels, flipped)
+                } else {
+                    (raw_cpu_s, raw_accel_times.clone(), flipped)
+                }
+            }
+            None => (raw_cpu_s, raw_accel_times.clone(), false),
+        };
 
         let choice = match self.policy {
             Policy::AlwaysHost => DeviceChoice::Host,
@@ -547,7 +616,7 @@ impl Selector {
                 .or(if slots > 0 { Some(0) } else { None }),
         };
         let rep_res: Option<&Result<GpuPrediction, ModelError>> = rep.map(|i| &accel_res[i]);
-        let predicted_gpu_s = rep_res.and_then(|r| r.as_ref().ok()).map(|p| p.seconds);
+        let predicted_gpu_s = rep.and_then(|i| accel_times[i]);
 
         let (device, device_name) = match choice {
             DeviceChoice::Host => (Device::Host, self.fleet.host_label().to_string()),
@@ -579,7 +648,7 @@ impl Selector {
             devices.push(DevicePrediction {
                 name: self.fleet.accelerators()[i].label().to_string(),
                 kind: "accelerator".to_string(),
-                predicted_s: r.as_ref().ok().map(|p| p.seconds),
+                predicted_s: accel_times[i],
                 error: r.as_ref().err().map(|e| e.to_string()),
             });
         }
@@ -615,6 +684,39 @@ impl Selector {
             cached: false,
             dispatch: None,
             accuracy: None,
+            calibration: calib.as_ref().map(|ctx| {
+                let region = attrs.kernel.name.as_str();
+                let (raw_gpu_s, gpu_factor, gpu_label) = match rep {
+                    Some(i) => (
+                        raw_accel_times[i],
+                        ctx.accel_factor(i),
+                        Some(self.fleet.accelerators()[i].label().to_string()),
+                    ),
+                    None => (None, 1.0, None),
+                };
+                let samples = |device: Option<&str>| {
+                    device
+                        .and_then(|d| self.calibrator().lookup(region, d, ctx.class))
+                        .map_or(0, |row| row.samples)
+                };
+                CalibrationBlock {
+                    mode: ctx.mode.name().to_string(),
+                    class: ctx.class.0,
+                    raw_cpu_s,
+                    raw_gpu_s,
+                    cpu_factor: ctx.host_factor,
+                    gpu_factor,
+                    cpu_samples: samples(Some(self.fleet.host_label())),
+                    gpu_samples: samples(gpu_label.as_deref()),
+                    applied: active
+                        && ((raw_cpu_s.is_some() && ctx.host_factor != 1.0)
+                            || raw_accel_times
+                                .iter()
+                                .enumerate()
+                                .any(|(i, p)| p.is_some() && ctx.accel_factor(i) != 1.0)),
+                    flipped: calib_flipped,
+                }
+            }),
             timings: PhaseTimings {
                 compile_ns: None,
                 cpu_eval_ns,
@@ -758,6 +860,40 @@ pub fn validate_report_json(json: &str) -> Result<ExplainReport, String> {
         }
         if e.timings.total_ns < e.timings.cpu_eval_ns.saturating_add(e.timings.gpu_eval_ns) {
             return Err(format!("{at}: total_ns smaller than its phases"));
+        }
+        if let Some(c) = &e.calibration {
+            if !["shadow", "active"].contains(&c.mode.as_str()) {
+                return Err(format!("{at}: unknown calibration mode `{}`", c.mode));
+            }
+            for (side, f) in [("cpu", c.cpu_factor), ("gpu", c.gpu_factor)] {
+                if !f.is_finite() || f <= 0.0 {
+                    return Err(format!(
+                        "{at}: {side} calibration factor {f} not finite > 0"
+                    ));
+                }
+            }
+            if c.applied && c.mode != "active" {
+                return Err(format!("{at}: calibration applied under `{}` mode", c.mode));
+            }
+            if c.applied {
+                // The headline predictions must be the raw model outputs
+                // scaled by the published factors — nothing else may have
+                // touched them between the models and the verdict.
+                let consistent =
+                    |raw: Option<f64>, factor: f64, headline: Option<f64>| match (raw, headline) {
+                        (Some(r), Some(h)) => {
+                            (h - r * factor).abs() <= 1e-12 * h.abs().max(r.abs())
+                        }
+                        (None, None) => true,
+                        _ => false,
+                    };
+                if !consistent(c.raw_cpu_s, c.cpu_factor, e.predicted_cpu_s) {
+                    return Err(format!("{at}: cpu headline is not raw × factor"));
+                }
+                if !consistent(c.raw_gpu_s, c.gpu_factor, e.predicted_gpu_s) {
+                    return Err(format!("{at}: gpu headline is not raw × factor"));
+                }
+            }
         }
         if let Some(d) = &e.dispatch {
             if d.device.is_empty() {

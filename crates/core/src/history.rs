@@ -4,16 +4,19 @@
 //! compliment our methodology by feeding the program attribute database
 //! with more actionable data over time" (§V.A). This module implements
 //! that complement: a [`ProfileHistory`] records the measured outcome of
-//! each (region, binding) execution, and an [`AdaptiveSelector`] prefers
-//! remembered ground truth over the analytical prediction when available —
-//! falling back to the models for never-seen configurations, so the
-//! zero-profile cold-start property of the paper's approach is preserved.
+//! each (region, binding) execution, and an [`AdaptiveSelector`] feeds
+//! every measurement into the online [`Calibrator`] —
+//! the corrected models then decide. Never-seen configurations have no
+//! published correction (factor exactly 1.0), so the zero-profile
+//! cold-start property of the paper's approach is preserved bit for bit.
 
-use crate::selector::{Decision, Device, Measured, Policy, Selector};
+use crate::calib::{CalibrationMode, Calibrator, CalibratorConfig};
+use crate::selector::{Decision, Device, Measured, Selector};
 use hetsel_ir::{Binding, Kernel};
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Key identifying one runtime configuration of a region, scoped to the
 /// parameters the region actually depends on.
@@ -83,28 +86,46 @@ impl ProfileHistory {
         ProfileHistory::default()
     }
 
-    /// Folds an observation into the history (running average). `params`
-    /// is the region's parameter list (e.g. [`Kernel::params`]); symbols in
-    /// `binding` outside it do not affect which record is updated.
-    pub fn observe(&self, region: &str, params: &[String], binding: &Binding, measured: Measured) {
+    /// The canonical fold, device-scoped: `device: None` updates the
+    /// kind-level pair record, `Some(label)` the record scoped to the
+    /// named fleet device (e.g. `"v100"`). Every other observe spelling
+    /// is a thin wrapper over this one. `params` is the region's
+    /// parameter list (e.g. [`Kernel::params`]); symbols in `binding`
+    /// outside it do not affect which record is updated.
+    pub fn observe_on(
+        &self,
+        region: &str,
+        params: &[String],
+        binding: &Binding,
+        device: Option<&str>,
+        measured: Measured,
+    ) {
+        let key = match device {
+            None => scoped_key(region, params, binding),
+            Some(d) => scoped_device_key(region, params, binding, d),
+        };
         let mut map = self.records.write();
-        let e = map
-            .entry(scoped_key(region, params, binding))
-            .or_insert(HistoryRecord {
-                cpu_s: measured.cpu_s,
-                gpu_s: measured.gpu_s,
-                samples: 0,
-            });
+        let e = map.entry(key).or_insert(HistoryRecord {
+            cpu_s: measured.cpu_s,
+            gpu_s: measured.gpu_s,
+            samples: 0,
+        });
         let n = f64::from(e.samples);
         e.cpu_s = (e.cpu_s * n + measured.cpu_s) / (n + 1.0);
         e.gpu_s = (e.gpu_s * n + measured.gpu_s) / (n + 1.0);
         e.samples += 1;
     }
 
-    /// As [`ProfileHistory::observe`] for a *device-scoped* record: the
-    /// measurement's accelerator side was taken on the named fleet device
-    /// (label, e.g. `"v100"`), and only lookups naming the same device
-    /// ([`ProfileHistory::lookup_for`]) see it. Kind-level records are
+    /// Folds a kind-level observation into the history (running average):
+    /// [`ProfileHistory::observe_on`] with no device scope.
+    pub fn observe(&self, region: &str, params: &[String], binding: &Binding, measured: Measured) {
+        self.observe_on(region, params, binding, None, measured);
+    }
+
+    /// Folds a *device-scoped* observation: [`ProfileHistory::observe_on`]
+    /// with the named fleet device. The measurement's accelerator side was
+    /// taken on that device, and only lookups naming the same device
+    /// ([`ProfileHistory::lookup_for`]) see it; kind-level records are
     /// untouched.
     pub fn observe_for(
         &self,
@@ -114,33 +135,25 @@ impl ProfileHistory {
         device: &str,
         measured: Measured,
     ) {
-        let mut map = self.records.write();
-        let e = map
-            .entry(scoped_device_key(region, params, binding, device))
-            .or_insert(HistoryRecord {
-                cpu_s: measured.cpu_s,
-                gpu_s: measured.gpu_s,
-                samples: 0,
-            });
-        let n = f64::from(e.samples);
-        e.cpu_s = (e.cpu_s * n + measured.cpu_s) / (n + 1.0);
-        e.gpu_s = (e.gpu_s * n + measured.gpu_s) / (n + 1.0);
-        e.samples += 1;
+        self.observe_on(region, params, binding, Some(device), measured);
     }
 
-    /// Looks up the record for a configuration. Hits and misses are counted
-    /// under `hetsel.core.history.lookup.{hit,miss}`.
-    pub fn lookup(
+    /// The canonical lookup, device-scoped exactly like
+    /// [`ProfileHistory::observe_on`]: `None` resolves the kind-level pair
+    /// record, `Some(label)` the device-scoped one. Hits and misses are
+    /// counted under `hetsel.core.history.lookup.{hit,miss}`.
+    pub fn lookup_on(
         &self,
         region: &str,
         params: &[String],
         binding: &Binding,
+        device: Option<&str>,
     ) -> Option<HistoryRecord> {
-        let found = self
-            .records
-            .read()
-            .get(&scoped_key(region, params, binding))
-            .copied();
+        let key = match device {
+            None => scoped_key(region, params, binding),
+            Some(d) => scoped_device_key(region, params, binding, d),
+        };
+        let found = self.records.read().get(&key).copied();
         match found {
             Some(_) => hetsel_obs::static_counter!("hetsel.core.history.lookup.hit").inc(),
             None => hetsel_obs::static_counter!("hetsel.core.history.lookup.miss").inc(),
@@ -148,10 +161,20 @@ impl ProfileHistory {
         found
     }
 
-    /// Device-scoped counterpart of [`ProfileHistory::lookup`]: only
-    /// records written by [`ProfileHistory::observe_for`] with the same
-    /// device label resolve. Counted under the same
-    /// `hetsel.core.history.lookup.{hit,miss}` counters.
+    /// Looks up the kind-level record for a configuration:
+    /// [`ProfileHistory::lookup_on`] with no device scope.
+    pub fn lookup(
+        &self,
+        region: &str,
+        params: &[String],
+        binding: &Binding,
+    ) -> Option<HistoryRecord> {
+        self.lookup_on(region, params, binding, None)
+    }
+
+    /// Device-scoped counterpart of [`ProfileHistory::lookup`]:
+    /// [`ProfileHistory::lookup_on`] with the named device — only records
+    /// written under the same device label resolve.
     pub fn lookup_for(
         &self,
         region: &str,
@@ -159,16 +182,7 @@ impl ProfileHistory {
         binding: &Binding,
         device: &str,
     ) -> Option<HistoryRecord> {
-        let found = self
-            .records
-            .read()
-            .get(&scoped_device_key(region, params, binding, device))
-            .copied();
-        match found {
-            Some(_) => hetsel_obs::static_counter!("hetsel.core.history.lookup.hit").inc(),
-            None => hetsel_obs::static_counter!("hetsel.core.history.lookup.miss").inc(),
-        }
-        found
+        self.lookup_on(region, params, binding, Some(device))
     }
 
     /// Number of distinct configurations remembered.
@@ -231,74 +245,88 @@ pub struct HistoryExport {
     pub entries: Vec<(String, HistoryRecord)>,
 }
 
-/// A selector that layers profile feedback over the analytical models.
+/// A selector that layers profile feedback over the analytical models —
+/// since the calibration redesign, a thin harness over the shared
+/// [`Calibrator`]: measurements feed per-`(region, device, binding-class)`
+/// corrections, and [`AdaptiveSelector::select`] is simply the calibrated
+/// [`Selector::decide`]. The old private history-beats-model heuristic is
+/// gone; what replaced it generalises it (the greedy calibration profile
+/// trusts a single observation fully, so one measurement still corrects a
+/// misprediction) while keeping every decision on the one decision path —
+/// explainable, cacheable, and observable like any other.
 #[derive(Debug)]
 pub struct AdaptiveSelector {
-    /// The underlying model-driven selector.
+    /// The underlying selector, in Active calibration mode with the
+    /// greedy profile ([`CalibratorConfig::greedy`]).
     pub selector: Selector,
-    /// Observed outcomes.
+    /// Observed outcomes, kept as the exportable record of what was
+    /// measured (the calibrator holds the derived corrections; see
+    /// [`Calibrator::snapshot`] / [`Calibrator::absorb`] for persisting
+    /// those directly).
     pub history: ProfileHistory,
 }
 
 impl AdaptiveSelector {
-    /// Wraps a selector with an empty history.
+    /// Wraps a selector with an empty history and a fresh greedy
+    /// calibrator in Active mode (replacing whatever calibration the
+    /// selector carried): no sample gate, no clamp — after one measured
+    /// run the corrected prediction *is* the observation.
     pub fn new(selector: Selector) -> AdaptiveSelector {
         AdaptiveSelector {
-            selector,
+            selector: selector
+                .with_calibration(CalibrationMode::Active)
+                .with_calibrator(Arc::new(Calibrator::new(CalibratorConfig::greedy()))),
             history: ProfileHistory::new(),
         }
     }
 
-    /// Decides: remembered ground truth wins; otherwise the models decide.
+    /// Decides through the calibrated models: configurations that have
+    /// been measured decide on their corrected (observation-equal, under
+    /// the greedy profile) predictions; never-seen ones are bit-for-bit
+    /// the uncalibrated model decision.
     pub fn select(&self, kernel: &Kernel, binding: &Binding) -> Decision {
-        if let Some(rec) = self.history.lookup(&kernel.name, &kernel.params(), binding) {
-            let fleet = self.selector.fleet();
-            let (device, device_id, device_name) = match rec.best_device() {
-                // Remembered offload wins go to the primary accelerator
-                // (the history records kind-level pair outcomes); a
-                // host-only fleet has nowhere to offload to.
-                Device::Gpu if fleet.primary_accelerator().is_some() => {
-                    let id = fleet.primary_accelerator().expect("checked above");
-                    (
-                        Device::Gpu,
-                        id,
-                        fleet.label_arc(id).expect("primary id resolves").clone(),
-                    )
-                }
-                _ => (
-                    Device::Host,
-                    crate::fleet::DeviceId::HOST,
-                    fleet.host_label_arc().clone(),
-                ),
-            };
-            return Decision {
-                region: kernel.name.as_str().into(),
-                device,
-                device_id,
-                device_name,
-                policy: Policy::ModelDriven,
-                predicted_cpu_s: Some(rec.cpu_s),
-                predicted_gpu_s: Some(rec.gpu_s),
-                cpu_error: None,
-                gpu_error: None,
-            };
-        }
         self.selector.decide(kernel, binding)
     }
 
     /// Executes (simulates) under the current decision and feeds the
     /// outcome back; returns the decision and what it cost.
     ///
-    /// Besides the history fold, every measurement also feeds the
-    /// process-wide accuracy observatory ([`hetsel_obs::accuracy()`]): one
-    /// predicted-vs-measured sample per device side the decision carried a
-    /// prediction for, with the misprediction flip (decided side ≠
-    /// measured-fastest side) charged to the side the decision chose.
+    /// Three sinks learn from every measurement: the [`ProfileHistory`]
+    /// folds the raw outcome, the shared [`Calibrator`] folds one
+    /// raw-prediction-vs-observed sample per device side the decision's
+    /// [`CalibrationTag`](crate::CalibrationTag) carries (this is what
+    /// future [`AdaptiveSelector::select`] calls decide on), and the
+    /// process-wide accuracy observatory ([`hetsel_obs::accuracy()`])
+    /// scores prediction quality, with the misprediction flip (decided
+    /// side ≠ measured-fastest side) charged to the side the decision
+    /// chose.
     pub fn run_and_learn(&self, kernel: &Kernel, binding: &Binding) -> Option<(Decision, f64)> {
         let d = self.select(kernel, binding);
         let m = self.selector.measure(kernel, binding)?;
         self.history
             .observe(&kernel.name, &kernel.params(), binding, m);
+        if let Some(tag) = d.calibration {
+            let cal = self.selector.calibrator();
+            let fleet = self.selector.fleet();
+            if let Some(raw) = tag.raw_cpu_s {
+                cal.observe(
+                    &kernel.name,
+                    fleet.host_label_arc(),
+                    tag.class,
+                    raw,
+                    m.cpu_s,
+                );
+            }
+            if let (Some(raw), Some(id)) = (tag.raw_gpu_s, fleet.primary_accelerator()) {
+                cal.observe(
+                    &kernel.name,
+                    fleet.label_arc(id).expect("primary id resolves"),
+                    tag.class,
+                    raw,
+                    m.gpu_s,
+                );
+            }
+        }
         let observed_best = if m.cpu_s <= m.gpu_s {
             Device::Host
         } else {

@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod attributes;
+pub mod calib;
 pub mod dispatch;
 pub mod explain;
 pub mod fleet;
@@ -29,13 +30,16 @@ pub use attributes::{
     AccessExport, AttributeDatabase, CompiledModelRef, DatabaseExport, RegionAttributes,
     RegionExport,
 };
+pub use calib::{
+    BindingClass, CalibRow, CalibrationMode, CalibrationTag, Calibrator, CalibratorConfig,
+};
 pub use dispatch::{
     BreakerConfig, BreakerState, DeviceHealthSnapshot, DispatchError, DispatchOutcome, Dispatcher,
     DispatcherConfig, FallbackReason, RetryConfig,
 };
 pub use explain::{
-    validate_report_json, AccuracyBlock, BoundParam, CpuTerms, DevicePrediction, DispatchTerms,
-    ExplainReport, Explanation, GpuTerms, PhaseTimings,
+    validate_report_json, AccuracyBlock, BoundParam, CalibrationBlock, CpuTerms, DevicePrediction,
+    DispatchTerms, ExplainReport, Explanation, GpuTerms, PhaseTimings,
 };
 pub use fleet::{AcceleratorDevice, DeviceId, DeviceKind, Fleet};
 pub use history::{AdaptiveSelector, HistoryExport, HistoryRecord, ProfileHistory};

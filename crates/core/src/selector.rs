@@ -15,6 +15,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::attributes::{AttributeDatabase, RegionAttributes, RegionId};
+use crate::calib::{BindingClass, CalibrationMode, CalibrationTag, Calibrator};
 use crate::fleet::{DeviceId, Fleet};
 use crate::platform::Platform;
 use hetsel_ir::{Binding, Kernel};
@@ -171,6 +172,26 @@ fn sanitize_prediction(outcome: Result<f64, ModelError>) -> (Option<f64>, Option
     }
 }
 
+/// Per-decision calibration working set: the binding class plus the
+/// correction factors for every candidate, resolved once (from the
+/// selector's [`Calibrator`]) before composition so the comparison,
+/// flip detection and the recorded [`CalibrationTag`] all agree.
+pub(crate) struct CalibContext {
+    pub(crate) mode: CalibrationMode,
+    pub(crate) class: BindingClass,
+    pub(crate) host_factor: f64,
+    pub(crate) accel_factors: Vec<f64>,
+}
+
+impl CalibContext {
+    /// The correction factor for fleet accelerator `idx`; indices beyond
+    /// the registered fleet (wide outcome slices) get the cold-cell
+    /// identity, 1.0.
+    pub(crate) fn accel_factor(&self, idx: usize) -> f64 {
+        self.accel_factors.get(idx).copied().unwrap_or(1.0)
+    }
+}
+
 /// One offloading decision with the model evidence behind it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Decision {
@@ -202,6 +223,13 @@ pub struct Decision {
     /// when it didn't — the recorded reason behind a fallback-to-offload
     /// decision.
     pub gpu_error: Option<ModelError>,
+    /// The calibration evidence behind this decision: `Some` exactly when
+    /// the verdict was taken with calibration in Shadow or Active mode
+    /// under `ModelDriven` (the raw predictions, the correction factors
+    /// consulted, and whether the corrected comparison flips the raw one).
+    /// `None` in Off mode — an Off-mode decision is bit-for-bit the
+    /// uncalibrated engine's — and on paths that carry no binding.
+    pub calibration: Option<CalibrationTag>,
 }
 
 impl Decision {
@@ -297,6 +325,15 @@ pub struct Selector {
     /// attribute databases cannot silently diverge; read with
     /// [`Selector::fleet`], replace with [`Selector::with_fleet`].
     pub(crate) fleet: Fleet,
+    /// Whether (and how) online calibration participates in decisions.
+    /// Private so the mode and the table move together; read with
+    /// [`Selector::calibration`], set with [`Selector::with_calibration`].
+    pub(crate) calibration: CalibrationMode,
+    /// The correction table consulted in Shadow/Active mode and fed by the
+    /// dispatcher and profile feedback. Behind an `Arc` so cloning the
+    /// selector *shares* the table: an engine and the dispatcher wrapping
+    /// it learn into — and read from — the same corrections.
+    pub(crate) calibrator: Arc<Calibrator>,
 }
 
 impl Selector {
@@ -312,6 +349,8 @@ impl Selector {
             trip_mode: TripMode::Runtime,
             coal_mode: CoalescingMode::Ipda,
             fleet,
+            calibration: CalibrationMode::Off,
+            calibrator: Arc::new(Calibrator::default()),
         }
     }
 
@@ -339,6 +378,35 @@ impl Selector {
     pub fn with_fleet(mut self, fleet: Fleet) -> Selector {
         self.fleet = fleet;
         self
+    }
+
+    /// Builder-style calibration-mode override. `Shadow` computes and
+    /// records corrections on every decision without altering verdicts;
+    /// `Active` blends them into the predictions. `Off` (the default) is
+    /// bit-for-bit the uncalibrated engine.
+    pub fn with_calibration(mut self, mode: CalibrationMode) -> Selector {
+        self.calibration = mode;
+        self
+    }
+
+    /// Builder-style calibrator override: consult (and let feeders fill)
+    /// `calibrator` instead of the fresh table [`Selector::new`] creates —
+    /// how a pre-seeded or cross-engine-shared table is installed.
+    pub fn with_calibrator(mut self, calibrator: Arc<Calibrator>) -> Selector {
+        self.calibrator = calibrator;
+        self
+    }
+
+    /// The calibration mode decisions are taken under.
+    pub fn calibration(&self) -> CalibrationMode {
+        self.calibration
+    }
+
+    /// The correction table this selector consults. Feed it via
+    /// [`Calibrator::observe`] with the raw predictions a decision's
+    /// [`CalibrationTag`] carries.
+    pub fn calibrator(&self) -> &Arc<Calibrator> {
+        &self.calibrator
     }
 
     /// The device fleet this selector decides among.
@@ -437,7 +505,14 @@ impl Selector {
                     .enumerate()
                     .map(|(i, o)| (i, Some(o)))
                     .collect();
-                self.compose_indexed(policy, source.region_name(), Some(host), &indexed)
+                let calib = self.calib_context(source.calib_class(binding), source.region_name());
+                self.compose_indexed(
+                    policy,
+                    source.region_name(),
+                    Some(host),
+                    &indexed,
+                    calib.as_ref(),
+                )
             }
             _ => {
                 // `Always*` policies never consult the models; the slice
@@ -445,7 +520,7 @@ impl Selector {
                 // identify the offload target.
                 let unconsulted: Vec<(usize, Option<Result<f64, ModelError>>)> =
                     if n == 0 { Vec::new() } else { vec![(0, None)] };
-                self.compose_indexed(policy, source.region_name(), None, &unconsulted)
+                self.compose_indexed(policy, source.region_name(), None, &unconsulted, None)
             }
         }
     }
@@ -456,6 +531,10 @@ impl Selector {
     /// [`Selector::decide`] runs after evaluation, exposed for callers —
     /// property tests above all — that need to feed the decision rule
     /// arbitrary outcome combinations without building models.
+    ///
+    /// Calibration never participates here: outcome slices carry no
+    /// binding, so no binding class can be resolved — the composed
+    /// decision has `calibration: None` in every mode.
     pub fn decide_from_outcomes(
         &self,
         region: &str,
@@ -464,7 +543,7 @@ impl Selector {
     ) -> Decision {
         let indexed: Vec<(usize, Option<Result<f64, ModelError>>)> =
             accels.iter().cloned().enumerate().collect();
-        self.compose_indexed(self.policy, region, host, &indexed)
+        self.compose_indexed(self.policy, region, host, &indexed, None)
     }
 
     /// Composes a [`Decision`] from model outcomes tagged with their fleet
@@ -481,8 +560,9 @@ impl Selector {
         region: &str,
         host: Option<Result<f64, ModelError>>,
         accels: &[(usize, Option<Result<f64, ModelError>>)],
+        calib: Option<&CalibContext>,
     ) -> Decision {
-        let (predicted_cpu_s, cpu_error) = match host {
+        let (raw_cpu_s, cpu_error) = match host {
             Some(outcome) => sanitize_prediction(outcome),
             None => (None, None),
         };
@@ -496,6 +576,43 @@ impl Selector {
                 None => (*idx, None, None),
             })
             .collect();
+        let raw_accels: Vec<Option<f64>> = sanitized.iter().map(|(_, p, _)| *p).collect();
+        // Online calibration: resolve the corrected candidate values and
+        // detect verdict flips. A cold cell's factor is exactly 1.0 and
+        // `x * 1.0` is bit-identical to `x`, so a zero-sample Shadow or
+        // Active decision reproduces the raw comparison bit for bit. The
+        // effective values — what the verdict, the representative slot and
+        // the recorded predictions all use — are the corrected ones only
+        // in Active mode.
+        let mut flipped = false;
+        let active = calib.is_some_and(|ctx| ctx.mode == CalibrationMode::Active);
+        let (eff_cpu_s, eff_accels) = match calib {
+            Some(ctx) => {
+                let corrected_cpu = raw_cpu_s.map(|v| v * ctx.host_factor);
+                let corrected_accels: Vec<Option<f64>> = sanitized
+                    .iter()
+                    .map(|(idx, p, _)| p.map(|v| v * ctx.accel_factor(*idx)))
+                    .collect();
+                if policy == Policy::ModelDriven {
+                    let raw_choice = choose_among(raw_cpu_s, &raw_accels);
+                    let corrected_choice = choose_among(corrected_cpu, &corrected_accels);
+                    flipped = corrected_choice != raw_choice;
+                    if flipped {
+                        if active {
+                            hetsel_obs::static_counter!("hetsel.core.calib.flip").inc();
+                        } else {
+                            hetsel_obs::static_counter!("hetsel.core.calib.shadow_flip").inc();
+                        }
+                    }
+                }
+                if active {
+                    (corrected_cpu, corrected_accels)
+                } else {
+                    (raw_cpu_s, raw_accels.clone())
+                }
+            }
+            None => (raw_cpu_s, raw_accels.clone()),
+        };
         let choice = match policy {
             Policy::AlwaysHost => DeviceChoice::Host,
             Policy::AlwaysOffload => {
@@ -505,10 +622,7 @@ impl Selector {
                     DeviceChoice::Accelerator(0)
                 }
             }
-            Policy::ModelDriven => {
-                let values: Vec<Option<f64>> = sanitized.iter().map(|(_, p, _)| *p).collect();
-                choose_among(predicted_cpu_s, &values)
-            }
+            Policy::ModelDriven => choose_among(eff_cpu_s, &eff_accels),
         };
         // The representative accelerator behind the decision's GPU-side
         // evidence: the chosen one when an accelerator was chosen,
@@ -519,19 +633,39 @@ impl Selector {
         let rep_pos = match choice {
             DeviceChoice::Accelerator(pos) => Some(pos),
             DeviceChoice::Host => {
-                let best_usable = sanitized
+                let best_usable = eff_accels
                     .iter()
                     .enumerate()
-                    .filter_map(|(pos, (_, p, _))| p.map(|t| (pos, t)))
+                    .filter_map(|(pos, p)| p.map(|t| (pos, t)))
                     .min_by(|(_, a), (_, b)| a.total_cmp(b))
                     .map(|(pos, _)| pos);
                 best_usable.or(if sanitized.is_empty() { None } else { Some(0) })
             }
         };
+        let predicted_cpu_s = eff_cpu_s;
         let (predicted_gpu_s, gpu_error) = match rep_pos {
-            Some(pos) => (sanitized[pos].1, sanitized[pos].2.clone()),
+            Some(pos) => (eff_accels[pos], sanitized[pos].2.clone()),
             None => (None, None),
         };
+        let calibration = calib.map(|ctx| {
+            let (raw_gpu_s, gpu_factor) = match rep_pos {
+                Some(pos) => (sanitized[pos].1, ctx.accel_factor(sanitized[pos].0)),
+                None => (None, 1.0),
+            };
+            CalibrationTag {
+                class: ctx.class,
+                raw_cpu_s,
+                raw_gpu_s,
+                cpu_factor: ctx.host_factor,
+                gpu_factor,
+                applied: active
+                    && ((raw_cpu_s.is_some() && ctx.host_factor != 1.0)
+                        || sanitized
+                            .iter()
+                            .any(|(idx, p, _)| p.is_some() && ctx.accel_factor(*idx) != 1.0)),
+                flipped,
+            }
+        });
         let (device, device_id, device_name) = match choice {
             DeviceChoice::Host => (
                 Device::Host,
@@ -573,7 +707,34 @@ impl Selector {
             predicted_gpu_s,
             cpu_error,
             gpu_error,
+            calibration,
         }
+    }
+
+    /// Resolves the calibration working set for one decision: `None` in
+    /// Off mode (the zero-cost path — no lookup, no allocation), otherwise
+    /// the binding class plus one correction factor per candidate (host
+    /// and every fleet accelerator). Factors for cold cells resolve to
+    /// exactly 1.0.
+    pub(crate) fn calib_context(&self, class: BindingClass, region: &str) -> Option<CalibContext> {
+        if self.calibration == CalibrationMode::Off {
+            return None;
+        }
+        let host_factor = self
+            .calibrator
+            .factor(region, self.fleet.host_label_arc(), class);
+        let accel_factors = (0..self.fleet.accelerator_count())
+            .map(|i| {
+                let (_, label) = self.accel_identity(i);
+                self.calibrator.factor(region, &label, class)
+            })
+            .collect();
+        Some(CalibContext {
+            mode: self.calibration,
+            class,
+            host_factor,
+            accel_factors,
+        })
     }
 
     /// Resolves an accelerator's fleet index to its id and interned label,
@@ -626,7 +787,16 @@ impl Selector {
                 vec![(fleet_idx, outcome)]
             }
         };
-        self.compose_indexed(self.policy, attrs.region_name(), host, &accels)
+        let calib = consult
+            .then(|| self.calib_context(attrs.calib_class(binding), attrs.region_name()))
+            .flatten();
+        self.compose_indexed(
+            self.policy,
+            attrs.region_name(),
+            host,
+            &accels,
+            calib.as_ref(),
+        )
     }
 
     /// Runs the timing simulators for both targets ("measures" the region).
@@ -683,6 +853,15 @@ pub trait ModelSource {
         selector: &Selector,
         binding: &Binding,
     ) -> (Result<f64, ModelError>, Vec<Result<f64, ModelError>>);
+
+    /// The [`BindingClass`] online calibration buckets this region's
+    /// corrections under for `binding`. The default classifies over every
+    /// bound symbol; sources that know their required parameters override
+    /// it so irrelevant symbols cannot perturb the class — the same
+    /// discipline the decision cache's key follows.
+    fn calib_class(&self, binding: &Binding) -> BindingClass {
+        BindingClass::of(binding)
+    }
 }
 
 impl ModelSource for Kernel {
@@ -716,6 +895,11 @@ impl ModelSource for Kernel {
                 .collect(),
         )
     }
+
+    fn calib_class(&self, binding: &Binding) -> BindingClass {
+        let params = self.params();
+        BindingClass::over(params.iter().map(String::as_str), binding)
+    }
 }
 
 impl ModelSource for RegionAttributes {
@@ -745,6 +929,10 @@ impl ModelSource for RegionAttributes {
             accels.push(model.evaluate(binding).map(|p| p.seconds));
         }
         (self.cpu_model.evaluate(binding).map(|p| p.seconds), accels)
+    }
+
+    fn calib_class(&self, binding: &Binding) -> BindingClass {
+        BindingClass::over(self.required_params.iter().map(String::as_str), binding)
     }
 }
 
@@ -797,6 +985,15 @@ impl DecisionRequest {
     /// without ever cross-answering one.
     pub fn with_policy(mut self, policy: Policy) -> DecisionRequest {
         self.policy_override = Some(policy);
+        self
+    }
+
+    /// Builder: strip any per-request policy override, restoring the
+    /// engine's configured policy — the mirror of
+    /// [`DecisionRequest::without_deadline`], so a front-end can reuse a
+    /// template request without rebuilding it.
+    pub fn without_policy(mut self) -> DecisionRequest {
+        self.policy_override = None;
         self
     }
 
@@ -1013,6 +1210,12 @@ struct CacheKey {
     /// are cached too, but in their own partition — they can never
     /// answer (or be answered by) a plain request.
     policy: u8,
+    /// Calibration epoch the decision was taken under: the calibrator's
+    /// epoch in Active mode, 0 otherwise. A published correction bumps
+    /// the epoch, so every cached verdict that might depend on it is
+    /// lazily invalidated (its key no longer matches) without touching
+    /// the cache — and *only* then: per-sample churn never invalidates.
+    epoch: u64,
     /// Number of inline slots in use (only meaningful when `spill` is
     /// `None`; always `<= INLINE_KEY_SLOTS`).
     len: u8,
@@ -1029,6 +1232,7 @@ impl CacheKey {
         region: RegionId,
         scope: DeviceId,
         policy: u8,
+        epoch: u64,
         attrs: &RegionAttributes,
         binding: &Binding,
     ) -> CacheKey {
@@ -1046,6 +1250,7 @@ impl CacheKey {
             region,
             scope,
             policy,
+            epoch,
             len: params.len().min(INLINE_KEY_SLOTS) as u8,
             inline,
             spill,
@@ -1077,6 +1282,14 @@ impl CacheKey {
         mix(u64::from(self.region.0));
         mix(u64::from(self.scope.0));
         mix(u64::from(self.policy));
+        // Folded only when nonzero so epoch-0 keys (Off/Shadow mode, or
+        // Active before any publication) hash — and therefore shard —
+        // exactly as they did before calibration existed. FNV-1a folds a
+        // zero too (the multiply still runs), which would silently reshuffle
+        // every cached entry's placement.
+        if self.epoch != 0 {
+            mix(self.epoch);
+        }
         for slot in self.slots() {
             // Distinct tags keep `Some(0)` and `None` from colliding.
             match slot {
@@ -1105,6 +1318,7 @@ impl PartialEq for CacheKey {
             && self.region == other.region
             && self.scope == other.scope
             && self.policy == other.policy
+            && self.epoch == other.epoch
             && self.slots() == other.slots()
     }
 }
@@ -1364,6 +1578,28 @@ fn record_decide_event(decision: &Decision, binding_hash: u64, cache_hit: bool) 
         ev.predicted_accel_s = decision.predicted_gpu_s.unwrap_or(f64::NAN);
         ev
     });
+    // A calibration flip on a *freshly evaluated* verdict gets its own
+    // event (cached copies of a flipped decision do not re-announce it):
+    // `detail` 1 = the correction was applied (Active), 0 = a shadow-mode
+    // would-flip; the predicted fields carry the raw predictions the flip
+    // was measured against.
+    if !cache_hit {
+        if let Some(tag) = decision.calibration.filter(|t| t.flipped) {
+            hetsel_obs::record_event(|| {
+                let mut ev = hetsel_obs::DecisionEvent::new(
+                    hetsel_obs::EventKind::CalibrationFlip,
+                    &decision.region,
+                );
+                ev.binding_hash = binding_hash;
+                ev.device = decision.device_id.0;
+                ev.verdict_accel = decision.device == Device::Gpu;
+                ev.detail = u8::from(tag.applied);
+                ev.predicted_cpu_s = tag.raw_cpu_s.unwrap_or(f64::NAN);
+                ev.predicted_accel_s = tag.raw_gpu_s.unwrap_or(f64::NAN);
+                ev
+            });
+        }
+    }
 }
 
 /// The compile-once decision engine: a [`Selector`] bound to a precompiled
@@ -1440,6 +1676,18 @@ impl DecisionEngine {
         &self.database
     }
 
+    /// The calibration epoch cache keys are stamped with: the calibrator's
+    /// current epoch in Active mode (one relaxed atomic load), 0 in Off
+    /// and Shadow modes — those verdicts never depend on corrections, so
+    /// their cache entries must survive publications untouched.
+    #[inline]
+    fn calib_epoch(&self) -> u64 {
+        match self.selector.calibration {
+            CalibrationMode::Active => self.selector.calibrator.epoch(),
+            _ => 0,
+        }
+    }
+
     /// Takes (or recalls) the offloading decision for `region` under
     /// `binding`. Returns `None` only for a region the database does not
     /// know. A cached decision is bit-identical to what evaluation would
@@ -1447,7 +1695,14 @@ impl DecisionEngine {
     pub fn decide(&self, region: &str, binding: &Binding) -> Option<Decision> {
         let _timer = hetsel_obs::static_histogram!("hetsel.core.decide.ns").start_timer();
         let (id, attrs) = self.database.region_entry(region)?;
-        let key = CacheKey::new(id, DeviceId::FLEET, OWN_POLICY, attrs, binding);
+        let key = CacheKey::new(
+            id,
+            DeviceId::FLEET,
+            OWN_POLICY,
+            self.calib_epoch(),
+            attrs,
+            binding,
+        );
         Some(self.decide_cached(key, || self.selector.decide(attrs, binding)))
     }
 
@@ -1516,7 +1771,7 @@ impl DecisionEngine {
             }
             Some(fleet_idx)
         };
-        let key = CacheKey::new(id, device, OWN_POLICY, attrs, binding);
+        let key = CacheKey::new(id, device, OWN_POLICY, self.calib_epoch(), attrs, binding);
         Some(self.decide_cached(key, || {
             self.selector.decide_restricted(attrs, binding, scope)
         }))
@@ -1536,7 +1791,14 @@ impl DecisionEngine {
     ) -> Option<Decision> {
         let _timer = hetsel_obs::static_histogram!("hetsel.core.decide.ns").start_timer();
         let (id, attrs) = self.database.region_entry(region)?;
-        let key = CacheKey::new(id, DeviceId::FLEET, policy_code(policy), attrs, binding);
+        let key = CacheKey::new(
+            id,
+            DeviceId::FLEET,
+            policy_code(policy),
+            self.calib_epoch(),
+            attrs,
+            binding,
+        );
         Some(self.decide_cached(key, || self.selector.decide_under(policy, attrs, binding)))
     }
 
@@ -1631,6 +1893,7 @@ impl DecisionEngine {
             predicted_gpu_s: None,
             cpu_error: Some(ModelError::DeadlineExceeded),
             gpu_error: Some(ModelError::DeadlineExceeded),
+            calibration: None,
         }
     }
 
@@ -1652,6 +1915,9 @@ impl DecisionEngine {
     /// to issuing the requests one by one.
     pub fn decide_batch(&self, requests: &[DecisionRequest]) -> Vec<Option<Decision>> {
         let mut results: Vec<Option<Decision>> = vec![None; requests.len()];
+        // One epoch read covers the whole batch: every plain request in it
+        // is keyed (and answered) under the same calibration epoch.
+        let epoch = self.calib_epoch();
         // Resolve keys and group plain request indices by shard.
         let mut keyed: Vec<Option<(CacheKey, &RegionAttributes)>> =
             Vec::with_capacity(requests.len());
@@ -1664,8 +1930,14 @@ impl DecisionEngine {
             }
             match self.database.region_entry(request.region()) {
                 Some((id, attrs)) => {
-                    let key =
-                        CacheKey::new(id, DeviceId::FLEET, OWN_POLICY, attrs, request.binding());
+                    let key = CacheKey::new(
+                        id,
+                        DeviceId::FLEET,
+                        OWN_POLICY,
+                        epoch,
+                        attrs,
+                        request.binding(),
+                    );
                     by_shard[self.cache.shard_index(&key)].push(i);
                     keyed.push(Some((key, attrs)));
                 }
@@ -1796,7 +2068,14 @@ impl DecisionEngine {
     pub fn explain(&self, region: &str, binding: &Binding) -> Option<crate::explain::Explanation> {
         let (id, attrs) = self.database.region_entry(region)?;
         let mut explanation = self.selector.explain(attrs, binding);
-        let key = CacheKey::new(id, DeviceId::FLEET, OWN_POLICY, attrs, binding);
+        let key = CacheKey::new(
+            id,
+            DeviceId::FLEET,
+            OWN_POLICY,
+            self.calib_epoch(),
+            attrs,
+            binding,
+        );
         explanation.cached = self.cache.shard(&key).lru.lock().contains(&key);
         Some(explanation)
     }

@@ -2,32 +2,49 @@
 //! profile history layered over split/program planning, and the x86
 //! platform driving the full stack.
 
+use std::sync::Arc;
+
 use hetsel_core::{
-    best_split, plan_program, AdaptiveSelector, Device, Platform, ProfileHistory, Selector,
+    best_split, plan_program, AdaptiveSelector, CalibRow, CalibrationMode, Calibrator,
+    CalibratorConfig, Device, Platform, ProfileHistory, Selector,
 };
 use hetsel_ir::Binding;
 use hetsel_polybench::{find_kernel, suite, Dataset};
 
 #[test]
-fn history_survives_serialisation_and_still_decides() {
+fn calibration_survives_serialisation_and_still_decides() {
     let platform = Platform::power9_v100();
     let adaptive = AdaptiveSelector::new(Selector::new(platform.clone()));
     let (kernel, binding) = find_kernel("3dconv").unwrap();
     let b = binding(Dataset::Benchmark);
     adaptive.run_and_learn(&kernel, &b).unwrap();
+    assert_eq!(
+        adaptive.select(&kernel, &b).device,
+        Device::Gpu,
+        "learned corrections flip the conv decision in-process"
+    );
 
-    // Persist, restore, and decide from the restored history.
-    let json = serde_json::to_string(&adaptive.history.export()).unwrap();
-    let restored = ProfileHistory::import(&serde_json::from_str(&json).unwrap());
+    // Persist both learning sinks: the raw outcome history and the derived
+    // calibration corrections. Restore into a fresh process-equivalent
+    // selector and decide again from the restored corrections alone.
+    let history_json = serde_json::to_string(&adaptive.history.export()).unwrap();
+    let calib_json = serde_json::to_string(&adaptive.selector.calibrator().snapshot()).unwrap();
+
+    let restored_history = ProfileHistory::import(&serde_json::from_str(&history_json).unwrap());
+    let rows: Vec<CalibRow> = serde_json::from_str(&calib_json).unwrap();
+    let restored_cal = Calibrator::new(CalibratorConfig::greedy());
+    restored_cal.absorb(&rows);
     let adaptive2 = AdaptiveSelector {
-        selector: Selector::new(platform),
-        history: restored,
+        selector: Selector::new(platform)
+            .with_calibration(CalibrationMode::Active)
+            .with_calibrator(Arc::new(restored_cal)),
+        history: restored_history,
     };
     let d = adaptive2.select(&kernel, &b);
     assert_eq!(
         d.device,
         Device::Gpu,
-        "restored history flips the conv decision"
+        "restored corrections flip the conv decision"
     );
 }
 

@@ -83,6 +83,25 @@ proptest! {
     }
 
     #[test]
+    fn cleared_overrides_round_trip_as_plain_requests(request in request()) {
+        // `without_policy` / `without_deadline` are the documented inverses
+        // of their `with_*` builders: clearing both must produce a request
+        // that (a) reports no overrides, (b) equals the never-overridden
+        // construction, and (c) still round-trips through JSON bit for bit.
+        let cleared = request.clone().without_policy().without_deadline();
+        prop_assert!(cleared.policy_override().is_none());
+        prop_assert!(cleared.deadline().is_none());
+        let plain = DecisionRequest::new(
+            request.region().to_string(),
+            request.binding().clone(),
+        );
+        prop_assert_eq!(&cleared, &plain);
+        let json = serde_json::to_string(&cleared).expect("serializes");
+        let back: DecisionRequest = serde_json::from_str(&json).expect("parses");
+        prop_assert_eq!(&back, &cleared);
+    }
+
+    #[test]
     fn serialization_is_deterministic(request in request()) {
         // Bindings are ordered maps and every field renders canonically, so
         // equal requests must produce byte-identical JSON (the property the

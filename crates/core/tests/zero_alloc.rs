@@ -23,8 +23,8 @@ use std::cell::Cell;
 use std::time::Duration;
 
 use hetsel_core::{
-    DecisionEngine, DecisionRequest, DeviceId, Dispatcher, DispatcherConfig, Fleet, Platform,
-    Selector,
+    CalibrationMode, Calibrator, CalibratorConfig, DecisionEngine, DecisionRequest, DeviceId,
+    Dispatcher, DispatcherConfig, Fleet, Platform, Selector,
 };
 use hetsel_polybench::{find_kernel, Dataset};
 
@@ -145,6 +145,58 @@ fn cache_hit_decide_with_flight_recorder_enabled_allocates_nothing() {
         recorder.total_recorded() >= recorded_before + 1000,
         "the burst really was recorded, not silently dropped"
     );
+}
+
+#[test]
+fn calibrated_cache_hit_decide_allocates_nothing() {
+    // Active calibration must not tax the hit path: the per-decide cost is
+    // one relaxed epoch load folded into the cache key. Corrections are
+    // resolved only on misses, so a warm engine with *published* (epoch >
+    // 0) corrections answers hits exactly as allocation-free as an
+    // uncalibrated one.
+    let (kernel, binding) = find_kernel("gemm").unwrap();
+    let b = binding(Dataset::Benchmark);
+    let calibrator = std::sync::Arc::new(Calibrator::new(CalibratorConfig {
+        min_samples: 1,
+        ..CalibratorConfig::default()
+    }));
+    let engine = DecisionEngine::new(
+        Selector::new(Platform::power9_v100())
+            .with_calibration(CalibrationMode::Active)
+            .with_calibrator(std::sync::Arc::clone(&calibrator)),
+        std::slice::from_ref(&kernel),
+    );
+
+    // Warm a real correction so the stamped epoch is nonzero, then prime
+    // the post-publication cache entry and the lazily-created metrics.
+    let cold = engine.decide("gemm", &b).expect("gemm is known");
+    let tag = cold.calibration.expect("active mode tags decisions");
+    let raw = tag.raw_cpu_s.expect("fully-bound gemm predicts the host");
+    calibrator.observe("gemm", "host", tag.class, raw, raw * 1.5);
+    assert!(calibrator.epoch() > 0, "the correction published");
+    let first = engine.decide("gemm", &b).expect("gemm is known");
+    assert!(
+        first.calibration.expect("tagged").applied,
+        "the burst below must exercise the corrected path"
+    );
+    for _ in 0..3 {
+        engine.decide("gemm", &b).expect("primed hit");
+    }
+
+    let before = allocs_on_this_thread();
+    let mut last = None;
+    for _ in 0..1000 {
+        last = engine.decide("gemm", &b);
+    }
+    let after = allocs_on_this_thread();
+
+    assert_eq!(
+        after - before,
+        0,
+        "calibrated cache-hit decide must not allocate (1000 hits allocated {} times)",
+        after - before
+    );
+    assert_eq!(last.expect("hit"), first);
 }
 
 #[test]

@@ -64,6 +64,13 @@ pub enum EventKind {
     /// before it reached the engine; [`DecisionEvent::detail`] holds the
     /// shed-reason code (`ShedReason` ordinal in `hetsel-serve`).
     Shed = 4,
+    /// An online-calibration correction changed (or, in shadow mode,
+    /// would have changed) a freshly evaluated verdict relative to the
+    /// uncalibrated models. [`DecisionEvent::detail`] is 1 when the
+    /// correction was actually applied (active mode), 0 for a shadow-mode
+    /// would-flip; the predicted fields carry the *raw* (uncorrected)
+    /// predictions the flip was measured against.
+    CalibrationFlip = 5,
 }
 
 impl EventKind {
@@ -75,6 +82,7 @@ impl EventKind {
             EventKind::Fallback => "fallback",
             EventKind::BreakerTransition => "breaker",
             EventKind::Shed => "shed",
+            EventKind::CalibrationFlip => "calib_flip",
         }
     }
 
@@ -84,6 +92,7 @@ impl EventKind {
             2 => EventKind::Fallback,
             3 => EventKind::BreakerTransition,
             4 => EventKind::Shed,
+            5 => EventKind::CalibrationFlip,
             _ => EventKind::Decide,
         }
     }

@@ -79,6 +79,7 @@ pub(crate) mod tests_support {
             predicted_gpu_s: None,
             cpu_error: None,
             gpu_error: None,
+            calibration: None,
         }
     }
 }

@@ -199,6 +199,11 @@ pub struct ReplyDecision {
     pub predicted_cpu_s: Option<f64>,
     /// Predicted accelerator seconds, when consulted.
     pub predicted_gpu_s: Option<f64>,
+    /// True when online calibration *applied* corrections to the predicted
+    /// times this verdict was taken over (Active mode, warm cells). Always
+    /// serialized; absent in an incoming document means `false`, so
+    /// pre-calibration peers interoperate unchanged.
+    pub calibrated: bool,
 }
 
 impl ReplyDecision {
@@ -211,6 +216,7 @@ impl ReplyDecision {
             policy: d.policy.name().to_string(),
             predicted_cpu_s: d.predicted_cpu_s,
             predicted_gpu_s: d.predicted_gpu_s,
+            calibrated: d.calibration.is_some_and(|t| t.applied),
         }
     }
 }
@@ -258,6 +264,7 @@ impl Serialize for ReplyDecision {
                 "predicted_gpu_s".to_string(),
                 self.predicted_gpu_s.to_value(),
             ),
+            ("calibrated".to_string(), Value::Bool(self.calibrated)),
         ])
     }
 }
@@ -283,6 +290,11 @@ impl Deserialize for ReplyDecision {
             policy: field("policy")?,
             predicted_cpu_s: opt_f64("predicted_cpu_s")?,
             predicted_gpu_s: opt_f64("predicted_gpu_s")?,
+            calibrated: match v.get("calibrated") {
+                None | Some(Value::Null) => false,
+                Some(Value::Bool(b)) => *b,
+                other => return Err(serde::Error::msg(format!("bad calibrated: {other:?}"))),
+            },
         })
     }
 }

@@ -76,9 +76,9 @@ pub use hetsel_polybench as polybench;
 /// Commonly used items for working with the framework.
 pub mod prelude {
     pub use hetsel_core::{
-        AttributeDatabase, BreakerState, Decision, DecisionEngine, DecisionRequest, Device,
-        DeviceId, DeviceKind, DispatchError, DispatchOutcome, Dispatcher, DispatcherConfig,
-        Explanation, FallbackReason, Fleet, Platform, Policy, Selector,
+        AttributeDatabase, BreakerState, CalibrationMode, Calibrator, Decision, DecisionEngine,
+        DecisionRequest, Device, DeviceId, DeviceKind, DispatchError, DispatchOutcome, Dispatcher,
+        DispatcherConfig, Explanation, FallbackReason, Fleet, Platform, Policy, Selector,
     };
     pub use hetsel_fault::{FaultKind, FaultPlan};
     pub use hetsel_ir::{cexpr, Binding, Expr, Kernel, KernelBuilder, Transfer};

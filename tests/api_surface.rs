@@ -11,9 +11,11 @@
 
 use std::time::Duration;
 
+use std::sync::Arc;
+
 use hetsel::core::{
     AcceleratorDevice, BreakerConfig, DeviceHealthSnapshot, DevicePrediction, DispatchTerms,
-    RegionAttributes, RetryConfig,
+    HistoryRecord, Measured, ProfileHistory, RegionAttributes, RetryConfig,
 };
 use hetsel::models::GpuModelParams;
 use hetsel::prelude::*;
@@ -40,6 +42,14 @@ fn the_request_api_surface_is_stable() {
         fn(DecisionRequest, Duration) -> DecisionRequest,
         DecisionRequest::with_deadline
     );
+    pin!(
+        fn(DecisionRequest) -> DecisionRequest,
+        DecisionRequest::without_policy
+    );
+    pin!(
+        fn(DecisionRequest) -> DecisionRequest,
+        DecisionRequest::without_deadline
+    );
     pin!(fn(&DecisionRequest) -> &str, DecisionRequest::region);
     pin!(fn(&DecisionRequest) -> &Binding, DecisionRequest::binding);
     pin!(
@@ -65,6 +75,28 @@ fn the_request_api_surface_is_stable() {
     pin!(
         fn(&Selector, &RegionAttributes, &Binding) -> Decision,
         Selector::decide::<RegionAttributes>
+    );
+
+    // --- Calibration: the online feedback loop --------------------------
+    pin!(
+        fn(Selector, CalibrationMode) -> Selector,
+        Selector::with_calibration
+    );
+    pin!(
+        fn(Selector, Arc<Calibrator>) -> Selector,
+        Selector::with_calibrator
+    );
+    pin!(fn(&Selector) -> CalibrationMode, Selector::calibration);
+    pin!(fn(&Selector) -> &Arc<Calibrator>, Selector::calibrator);
+
+    // --- ProfileHistory: the two canonical device-scoped entry points ---
+    pin!(
+        fn(&ProfileHistory, &str, &[String], &Binding, Option<&str>, Measured),
+        ProfileHistory::observe_on
+    );
+    pin!(
+        fn(&ProfileHistory, &str, &[String], &Binding, Option<&str>) -> Option<HistoryRecord>,
+        ProfileHistory::lookup_on
     );
 
     // --- Fleet: the N-device generalization -----------------------------
@@ -214,6 +246,11 @@ fn the_public_enums_carry_their_promised_variants() {
         BreakerState::Open,
         BreakerState::HalfOpen,
     ];
+    let _ = [
+        CalibrationMode::Off,
+        CalibrationMode::Shadow,
+        CalibrationMode::Active,
+    ];
     let _ = [FaultKind::Transient, FaultKind::Permanent];
     let _ = [DeviceKind::Host, DeviceKind::Accelerator];
     let _ = [DeviceId::HOST, DeviceId(1)];
@@ -249,12 +286,13 @@ fn the_prelude_name_list_is_the_documented_snapshot() {
     // that makes the diff readable when this test does fail.
     #[rustfmt::skip]
     const PRELUDE: &[&str] = &[
-        "AttributeDatabase", "Binding", "BreakerState", "CompiledModel", "CostModel",
-        "Decision", "DecisionEngine", "DecisionRequest", "Device", "DeviceId",
-        "DeviceKind", "DispatchError", "DispatchOutcome", "Dispatcher", "DispatcherConfig",
-        "Explanation", "Expr", "FallbackReason", "FaultKind", "FaultPlan",
-        "Fleet", "Kernel", "KernelBuilder", "ModelError", "Platform",
-        "Policy", "Prediction", "Selector", "Transfer", "cexpr",
+        "AttributeDatabase", "Binding", "BreakerState", "CalibrationMode", "Calibrator",
+        "CompiledModel", "CostModel", "Decision", "DecisionEngine", "DecisionRequest",
+        "Device", "DeviceId", "DeviceKind", "DispatchError", "DispatchOutcome",
+        "Dispatcher", "DispatcherConfig", "Explanation", "Expr", "FallbackReason",
+        "FaultKind", "FaultPlan", "Fleet", "Kernel", "KernelBuilder",
+        "ModelError", "Platform", "Policy", "Prediction", "Selector",
+        "Transfer", "cexpr",
     ];
     let mut sorted = PRELUDE.to_vec();
     sorted.sort_unstable();
@@ -270,6 +308,8 @@ fn the_prelude_name_list_is_the_documented_snapshot() {
         std::any::type_name::<p::AttributeDatabase>(),
         std::any::type_name::<p::Binding>(),
         std::any::type_name::<p::BreakerState>(),
+        std::any::type_name::<p::CalibrationMode>(),
+        std::any::type_name::<p::Calibrator>(),
         std::any::type_name::<p::Decision>(),
         std::any::type_name::<p::DecisionEngine>(),
         std::any::type_name::<p::DecisionRequest>(),

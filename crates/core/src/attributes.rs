@@ -10,12 +10,14 @@
 
 use crate::fleet::DeviceId;
 use crate::selector::Selector;
+use crate::snapshot::SnapshotError;
 use hetsel_ipda::{analyze_cached, KernelAccessInfo};
-use hetsel_ir::{Kernel, SymbolTable};
+use hetsel_ir::{Kernel, Snap, SymbolTable};
 use hetsel_models::{CompiledCpuModel, CompiledGpuModel, CostModel};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::path::Path;
+use std::sync::{Arc, OnceLock};
 
 /// Dense identifier of one region in an [`AttributeDatabase`], assigned in
 /// region-name order at compile time. The decision cache keys on this `u32`
@@ -30,8 +32,10 @@ pub struct RegionAttributes {
     /// Region name, shared: decisions carry a clone of this `Arc`, so
     /// copying a cached decision out of the cache never allocates.
     pub name: Arc<str>,
-    /// The outlined region (the CPU and GPU versions share this IR).
-    pub kernel: Kernel,
+    /// The outlined region (the CPU and GPU versions share this IR). Shared
+    /// with every compiled model of the region: a snapshot stores and
+    /// decodes the kernel once per region.
+    pub kernel: Arc<Kernel>,
     /// IPDA results: symbolic inter-thread strides per access (shared with
     /// the compiled models below).
     pub access_info: Arc<KernelAccessInfo>,
@@ -64,15 +68,44 @@ pub enum CompiledModelRef<'a> {
     Accelerator(&'a CompiledGpuModel),
 }
 
-/// The database: a dense, name-ordered vector of region attributes plus a
+/// The database: a dense, name-ordered vector of region slots plus a
 /// name → [`RegionId`] index. Lookups by name pay one `BTreeMap` probe;
 /// everything downstream (the decision cache in particular) addresses
 /// regions by their dense id.
+///
+/// A compiled database holds every region materialized. A database restored
+/// from a snapshot holds validated-but-undecoded region blobs and
+/// materializes each region on first touch: the container's checksum,
+/// version and fleet fingerprint were verified up front, so per-region
+/// decoding is pure deserialization work — and the cold path to a process's
+/// *first* decision decodes exactly one region instead of the whole suite.
 #[derive(Debug, Clone, Default)]
 pub struct AttributeDatabase {
-    /// Attribute records in region-name order; index = `RegionId`.
-    regions: Vec<RegionAttributes>,
+    /// Region slots in region-name order; index = `RegionId`.
+    slots: Vec<RegionSlot>,
     index: BTreeMap<String, RegionId>,
+}
+
+/// One region: either materialized attributes (compiled databases start this
+/// way) or a still-encoded snapshot blob decoded on first touch.
+#[derive(Debug, Clone, Default)]
+struct RegionSlot {
+    /// The region's name, known without decoding (it lives in the snapshot's
+    /// region index).
+    name: Arc<str>,
+    /// The decoded attributes, once somebody asked for them.
+    ready: OnceLock<RegionAttributes>,
+    /// The encoded blob this slot decodes from; `None` for compiled
+    /// databases, whose `ready` is always set.
+    raw: Option<RawRegion>,
+}
+
+/// A region's still-encoded bytes: a range of the (shared) snapshot payload.
+#[derive(Debug, Clone)]
+struct RawRegion {
+    payload: Arc<[u8]>,
+    start: usize,
+    end: usize,
 }
 
 impl AttributeDatabase {
@@ -112,17 +145,41 @@ impl AttributeDatabase {
                     cpu_model: cpu_cost.compile(k),
                     gpu_model: primary_gpu_cost.compile(k),
                     extra_accel_models: gpu_costs.iter().map(|g| g.compile(k)).collect(),
-                    kernel: k.clone(),
+                    kernel: Arc::new(k.clone()),
                 },
             );
         }
-        let mut regions = Vec::with_capacity(by_name.len());
+        let mut slots = Vec::with_capacity(by_name.len());
         let mut index = BTreeMap::new();
         for (name, attrs) in by_name {
-            index.insert(name, RegionId(regions.len() as u32));
-            regions.push(attrs);
+            index.insert(name, RegionId(slots.len() as u32));
+            slots.push(RegionSlot {
+                name: Arc::clone(&attrs.name),
+                ready: OnceLock::from(attrs),
+                raw: None,
+            });
         }
-        AttributeDatabase { regions, index }
+        AttributeDatabase { slots, index }
+    }
+
+    /// Materializes a slot: returns the decoded attributes, decoding the
+    /// snapshot blob on first touch. Decoding sits behind the container's
+    /// verified checksum, so a failure here means the *writer* produced an
+    /// internally inconsistent blob — a bug, not disk corruption. It is
+    /// still never a panic: the region reports as absent (decisions return
+    /// `None`, never a wrong model) and a counter records the event.
+    fn materialize<'a>(&self, slot: &'a RegionSlot) -> Option<&'a RegionAttributes> {
+        if let Some(ready) = slot.ready.get() {
+            return Some(ready);
+        }
+        let raw = slot.raw.as_ref()?;
+        match decode_region(&slot.name, &raw.payload[raw.start..raw.end]) {
+            Ok(attrs) => Some(slot.ready.get_or_init(|| attrs)),
+            Err(_) => {
+                hetsel_obs::static_counter!("hetsel.core.snapshot.region_decode_error").inc();
+                None
+            }
+        }
     }
 
     /// Looks up a region by name.
@@ -134,12 +191,14 @@ impl AttributeDatabase {
     /// attributes — the decision cache's entry point.
     pub fn region_entry(&self, name: &str) -> Option<(RegionId, &RegionAttributes)> {
         let id = *self.index.get(name)?;
-        Some((id, &self.regions[id.0 as usize]))
+        Some((id, self.materialize(&self.slots[id.0 as usize])?))
     }
 
     /// Looks up a region by its dense id.
     pub fn region_by_id(&self, id: RegionId) -> Option<&RegionAttributes> {
-        self.regions.get(id.0 as usize)
+        self.slots
+            .get(id.0 as usize)
+            .and_then(|slot| self.materialize(slot))
     }
 
     /// The compiled model stored for `(region, device)`: the host's CPU
@@ -161,17 +220,167 @@ impl AttributeDatabase {
 
     /// Number of regions.
     pub fn len(&self) -> usize {
-        self.regions.len()
+        self.slots.len()
     }
 
     /// True if the database is empty.
     pub fn is_empty(&self) -> bool {
-        self.regions.is_empty()
+        self.slots.is_empty()
     }
 
-    /// Iterates regions in name order.
+    /// Iterates regions in name order, materializing any still-encoded
+    /// slots along the way.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &RegionAttributes)> {
-        self.regions.iter().map(|r| (&*r.name, r))
+        self.slots
+            .iter()
+            .filter_map(move |slot| self.materialize(slot).map(|r| (&*slot.name, r)))
+    }
+
+    /// Serializes every compiled artifact — bytecode, interners, loadouts,
+    /// IPDA results, one model per fleet device — into the versioned binary
+    /// container of [`crate::snapshot`], fingerprinted against `selector`'s
+    /// model configuration. [`AttributeDatabase::load`] under the same
+    /// configuration restores a database whose decisions are bit-for-bit
+    /// those of the freshly compiled one.
+    pub fn dump<W: std::io::Write>(
+        &self,
+        selector: &Selector,
+        w: &mut W,
+    ) -> Result<(), SnapshotError> {
+        // Payload layout (v2): a region index — count, then one
+        // `(name, blob_len)` entry per region in name order — followed by
+        // the per-region blobs, concatenated in the same order. Each blob
+        // decodes independently, which is what lets the loader defer a
+        // region's decode until its first use.
+        let mut sw = hetsel_ir::SnapWriter::new();
+        sw.put_usize(self.slots.len());
+        let mut blobs = Vec::with_capacity(self.slots.len());
+        for slot in &self.slots {
+            // A still-encoded slot's bytes are already exactly what dump
+            // would produce; copy them through without decoding.
+            let blob = match (slot.ready.get(), &slot.raw) {
+                (None, Some(raw)) => raw.payload[raw.start..raw.end].to_vec(),
+                _ => {
+                    let attrs = self.materialize(slot).ok_or(SnapshotError::Format(
+                        hetsel_ir::SnapError::Malformed("undecodable region blob"),
+                    ))?;
+                    encode_region(attrs)
+                }
+            };
+            sw.put_str(&slot.name);
+            sw.put_usize(blob.len());
+            blobs.push(blob);
+        }
+        for blob in &blobs {
+            sw.put_raw(blob);
+        }
+        let container = hetsel_ir::snap::seal(
+            hetsel_ir::snap::PAYLOAD_ATTRIBUTE_DB,
+            selector.model_fingerprint(),
+            sw.bytes(),
+        );
+        w.write_all(&container)?;
+        Ok(())
+    }
+
+    /// Restores a database from a snapshot produced by
+    /// [`AttributeDatabase::dump`]. Validates the container (magic, version,
+    /// kind, checksum) and that the snapshot's fleet fingerprint matches
+    /// `selector`'s current model configuration; any mismatch, truncation or
+    /// corruption is a typed [`SnapshotError`] — never a panic, never a
+    /// silently wrong model. Region blobs are *not* decoded here: each
+    /// region materializes on first touch (seeding the IPDA memo with its
+    /// stored analysis as it does), so the load itself costs one checksum
+    /// pass plus the region index.
+    pub fn load<R: std::io::Read>(
+        selector: &Selector,
+        r: &mut R,
+    ) -> Result<AttributeDatabase, SnapshotError> {
+        let mut bytes = Vec::new();
+        r.read_to_end(&mut bytes)?;
+        AttributeDatabase::from_snapshot_bytes(selector, &bytes)
+    }
+
+    /// [`AttributeDatabase::load`] over an in-memory container.
+    pub fn from_snapshot_bytes(
+        selector: &Selector,
+        bytes: &[u8],
+    ) -> Result<AttributeDatabase, SnapshotError> {
+        let payload = hetsel_ir::snap::open(
+            bytes,
+            hetsel_ir::snap::PAYLOAD_ATTRIBUTE_DB,
+            Some(selector.model_fingerprint()),
+        )?;
+        let mut rd = hetsel_ir::SnapReader::new(payload);
+        let count = rd.get_len()?;
+        let mut names: Vec<Arc<str>> = Vec::with_capacity(count);
+        let mut lens: Vec<usize> = Vec::with_capacity(count);
+        for _ in 0..count {
+            let name = rd.get_str()?;
+            if let Some(prev) = names.last() {
+                // Strict name order is the dense-id invariant; it also rules
+                // out duplicates in one check.
+                if **prev >= *name {
+                    return Err(
+                        hetsel_ir::SnapError::Malformed("region index not in name order").into(),
+                    );
+                }
+            }
+            names.push(Arc::from(name));
+            lens.push(rd.get_len()?);
+        }
+        if rd.remaining() != lens.iter().sum::<usize>() {
+            return Err(hetsel_ir::SnapError::Truncated.into());
+        }
+        let blob_base = payload.len() - rd.remaining();
+        let payload: Arc<[u8]> = Arc::from(payload);
+        let mut slots = Vec::with_capacity(count);
+        let mut index = BTreeMap::new();
+        let mut start = blob_base;
+        for (name, len) in names.into_iter().zip(lens) {
+            index.insert(name.to_string(), RegionId(slots.len() as u32));
+            slots.push(RegionSlot {
+                name,
+                ready: OnceLock::new(),
+                raw: Some(RawRegion {
+                    payload: Arc::clone(&payload),
+                    start,
+                    end: start + len,
+                }),
+            });
+            start += len;
+        }
+        hetsel_obs::static_counter!("hetsel.core.snapshot.load_ok").inc();
+        hetsel_obs::static_gauge!("hetsel.core.snapshot.bytes").set(bytes.len() as i64);
+        Ok(AttributeDatabase { slots, index })
+    }
+
+    /// Loads the database from `path` if a valid snapshot for `selector`'s
+    /// configuration is there; otherwise compiles from `kernels` and
+    /// (best-effort) writes a fresh snapshot back for the next process. The
+    /// returned error, if any, is why the snapshot path was not taken —
+    /// `None` means the load succeeded.
+    pub fn load_or_compile(
+        path: &Path,
+        kernels: &[Kernel],
+        selector: &Selector,
+    ) -> (AttributeDatabase, Option<SnapshotError>) {
+        let fallback = match std::fs::read(path) {
+            Ok(bytes) => match AttributeDatabase::from_snapshot_bytes(selector, &bytes) {
+                Ok(db) => return (db, None),
+                Err(e) => e,
+            },
+            Err(e) => SnapshotError::Io(e.to_string()),
+        };
+        hetsel_obs::static_counter!("hetsel.core.snapshot.fallback").inc();
+        let db = AttributeDatabase::compile(kernels, selector);
+        let mut buf = Vec::new();
+        if db.dump(selector, &mut buf).is_ok() {
+            // Best-effort: a read-only snapshot directory degrades to
+            // compile-every-time, not to a failure.
+            let _ = std::fs::write(path, &buf);
+        }
+        (db, Some(fallback))
     }
 
     /// The persistable summary of the database (what an object file's
@@ -179,9 +388,8 @@ impl AttributeDatabase {
     pub fn export(&self) -> DatabaseExport {
         DatabaseExport {
             regions: self
-                .regions
                 .iter()
-                .map(|r| RegionExport {
+                .map(|(_, r)| RegionExport {
                     name: r.kernel.name.clone(),
                     required_params: r.required_params.clone(),
                     parallel_dims: r.kernel.parallel_loops().len() as u32,
@@ -233,6 +441,63 @@ pub struct AccessExport {
     pub thread_stride: String,
     /// Loop-nest depth of the access.
     pub depth: u32,
+}
+
+hetsel_ir::snap_newtype!(RegionId);
+
+/// Encodes one region's blob: the kernel once, then the IPDA result, the
+/// parameter list and interner, and every compiled model *without* its
+/// embedded kernel ([`CompiledCpuModel::snap_body`] /
+/// [`CompiledGpuModel::snap_body`]) — the decoder hands all of them the one
+/// shared kernel.
+fn encode_region(r: &RegionAttributes) -> Vec<u8> {
+    let mut w = hetsel_ir::SnapWriter::new();
+    r.kernel.snap(&mut w);
+    r.access_info.snap(&mut w);
+    r.required_params.snap(&mut w);
+    r.symbols.snap(&mut w);
+    r.cpu_model.snap_body(&mut w);
+    r.gpu_model.snap_body(&mut w);
+    w.put_usize(r.extra_accel_models.len());
+    for m in &r.extra_accel_models {
+        m.snap_body(&mut w);
+    }
+    w.into_bytes()
+}
+
+/// Decodes one region's blob (see [`encode_region`]), seeding the
+/// process-wide IPDA memo with the stored analysis so post-load compiles of
+/// the same kernel also skip the work.
+fn decode_region(name: &Arc<str>, bytes: &[u8]) -> Result<RegionAttributes, hetsel_ir::SnapError> {
+    let mut rd = hetsel_ir::SnapReader::new(bytes);
+    let kernel = Arc::new(Kernel::unsnap(&mut rd)?);
+    if kernel.name.as_str() != &**name {
+        return Err(hetsel_ir::SnapError::Malformed(
+            "region name does not match its kernel",
+        ));
+    }
+    let access_info = Arc::<hetsel_ipda::KernelAccessInfo>::unsnap(&mut rd)?;
+    let required_params = Vec::<String>::unsnap(&mut rd)?;
+    let symbols = SymbolTable::unsnap(&mut rd)?;
+    let cpu_model = CompiledCpuModel::unsnap_body(Arc::clone(&kernel), &mut rd)?;
+    let gpu_model = CompiledGpuModel::unsnap_body(Arc::clone(&kernel), &mut rd)?;
+    let extra = rd.get_len()?;
+    let mut extra_accel_models = Vec::with_capacity(extra);
+    for _ in 0..extra {
+        extra_accel_models.push(CompiledGpuModel::unsnap_body(Arc::clone(&kernel), &mut rd)?);
+    }
+    rd.finish()?;
+    hetsel_ipda::seed_analysis(&kernel, Arc::clone(&access_info));
+    Ok(RegionAttributes {
+        name: Arc::clone(name),
+        kernel,
+        access_info,
+        required_params,
+        symbols,
+        cpu_model,
+        gpu_model,
+        extra_accel_models,
+    })
 }
 
 #[cfg(test)]

@@ -43,7 +43,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
-use hetsel_ir::Binding;
+use hetsel_ir::{Binding, Snap};
 
 /// Whether and how calibration participates in decisions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -563,7 +563,58 @@ impl Calibrator {
             .unwrap_or_else(PoisonError::into_inner)
             .clear();
     }
+
+    /// Serializes the current correction table into the same versioned
+    /// container the attribute-database snapshots use (payload kind 2, no
+    /// fleet fingerprint — corrections are portable across fleets; the
+    /// region/device keys simply fail to match foreign cells).
+    pub fn dump<W: std::io::Write>(&self, w: &mut W) -> Result<(), crate::snapshot::SnapshotError> {
+        let rows = self.snapshot();
+        let mut sw = hetsel_ir::SnapWriter::new();
+        rows.snap(&mut sw);
+        let container = hetsel_ir::snap::seal(hetsel_ir::snap::PAYLOAD_CALIBRATION, 0, sw.bytes());
+        w.write_all(&container)?;
+        Ok(())
+    }
+
+    /// Decodes the rows of a container written by [`Calibrator::dump`],
+    /// without touching any table.
+    pub fn load_rows<R: std::io::Read>(
+        r: &mut R,
+    ) -> Result<Vec<CalibRow>, crate::snapshot::SnapshotError> {
+        let mut bytes = Vec::new();
+        r.read_to_end(&mut bytes)?;
+        let payload = hetsel_ir::snap::open(&bytes, hetsel_ir::snap::PAYLOAD_CALIBRATION, None)?;
+        let mut rd = hetsel_ir::SnapReader::new(payload);
+        let rows = Vec::<CalibRow>::unsnap(&mut rd)?;
+        rd.finish()?;
+        Ok(rows)
+    }
+
+    /// [`Calibrator::load_rows`] followed by [`Calibrator::absorb`]: the
+    /// one-call restore path. Returns how many rows were absorbed.
+    pub fn restore<R: std::io::Read>(
+        &self,
+        r: &mut R,
+    ) -> Result<usize, crate::snapshot::SnapshotError> {
+        let rows = Calibrator::load_rows(r)?;
+        self.absorb(&rows);
+        Ok(rows.len())
+    }
 }
+
+hetsel_ir::snap_newtype!(BindingClass);
+
+hetsel_ir::snap_struct!(CalibRow {
+    region,
+    device,
+    class,
+    samples,
+    mean_log_ratio,
+    log_ratio_variance,
+    published_log,
+    factor,
+});
 
 #[cfg(test)]
 mod tests {

@@ -24,6 +24,7 @@ pub mod history;
 pub mod platform;
 pub mod program;
 pub mod selector;
+pub mod snapshot;
 pub mod split;
 
 pub use attributes::{
@@ -50,4 +51,5 @@ pub use selector::{
     DecisionRequest, Device, DeviceChoice, Evaluation, Measured, ModelSource, Policy, Selector,
     DEFAULT_DECISION_CACHE, DEFAULT_DECISION_SHARDS,
 };
+pub use snapshot::SnapshotError;
 pub use split::{best_split, SplitDecision};

@@ -459,6 +459,30 @@ impl Selector {
         (cpu, gpus)
     }
 
+    /// A fingerprint over every input that shapes what
+    /// [`AttributeDatabase::compile`](crate::AttributeDatabase::compile)
+    /// produces: the host model parameters and thread count, the trip and
+    /// coalescing modes, the platform's fallback accelerator sheet, and
+    /// each fleet accelerator's label and model parameters. Snapshots carry
+    /// this value in their header; a snapshot whose fingerprint disagrees
+    /// with the loading selector's is rejected with a typed error instead
+    /// of silently answering with another fleet's models.
+    pub fn model_fingerprint(&self) -> u64 {
+        use hetsel_ir::Snap;
+        let mut w = hetsel_ir::SnapWriter::new();
+        self.platform.cpu_model.snap(&mut w);
+        w.put_u32(self.platform.host_threads);
+        self.trip_mode.snap(&mut w);
+        self.coal_mode.snap(&mut w);
+        self.platform.gpu_model.snap(&mut w);
+        w.put_usize(self.fleet.accelerator_count());
+        for a in self.fleet.accelerators() {
+            w.put_str(a.label());
+            a.model.snap(&mut w);
+        }
+        hetsel_ir::snap::checksum(w.bytes())
+    }
+
     /// Evaluates both cost models for `source` under a runtime binding,
     /// with the typed failure reasons. One of the two canonical entry
     /// points (with [`Selector::decide`]): works on any [`ModelSource`] —

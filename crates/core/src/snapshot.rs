@@ -1,0 +1,82 @@
+//! Persistent compiled-model snapshots.
+//!
+//! Compiling an [`AttributeDatabase`](crate::AttributeDatabase) is the cold
+//! path of the whole framework: IPDA, the MCA scheduling analysis, the
+//! instruction-loadout lowering and the expression compiler all run per
+//! region × device. This module persists the *result* of that work — every
+//! compiled artifact the decide path needs — in a versioned binary container
+//! so a fresh process reloads in microseconds instead of recompiling.
+//!
+//! ## Container format (DESIGN.md §3.10)
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "HSNP"
+//! 4       2     format version, u16 LE
+//! 6       1     payload kind (1 = attribute database, 2 = calibration)
+//! 7       8     fleet model-parameter fingerprint, u64 LE (0 = none)
+//! 15      8     payload length, u64 LE
+//! 23      8     FNV/fmix64 checksum of the payload, u64 LE
+//! 31      ...   payload
+//! ```
+//!
+//! The checksum is a word-folded FNV with a length fold and the MurmurHash3
+//! `fmix64` finalizer — the same hash family as the decision cache's key
+//! (`CacheKey`), so one hashing discipline covers both the hot path and the
+//! persistence path. The fingerprint binds an attribute-database snapshot to
+//! the exact model configuration (host parameters, thread count, trip and
+//! coalescing modes, and every fleet accelerator's parameter sheet) it was
+//! compiled under: loading a snapshot into a differently-configured selector
+//! is a typed error, never a silently wrong model.
+//!
+//! The attribute-database payload (format v2) is a region *index* — count,
+//! then `(name, blob_len)` per region in name order — followed by the
+//! regions' blobs, concatenated. Each blob stores its kernel once (the
+//! region's compiled models share the decoded copy) and decodes
+//! independently of every other blob, which is what makes near-zero-cost
+//! reload possible: a load validates the container and parses the index,
+//! then materializes a region only when it is first asked about. A fresh
+//! process answering one request decodes one region, not the suite.
+//!
+//! Every failure mode — short read, foreign file, stale version, flipped
+//! bit, wrong fleet — maps to a distinct [`SnapshotError`] variant and the
+//! callers fall back to a full recompile; corruption can cost time, never
+//! correctness.
+
+use hetsel_ir::SnapError;
+use std::fmt;
+
+/// Why a snapshot could not be used. Callers treat every variant the same
+/// way — recompile from source IR — but the variant names the root cause
+/// for logs and metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnapshotError {
+    /// The snapshot file could not be read or written.
+    Io(String),
+    /// The container or payload failed validation (bad magic, stale
+    /// version, checksum or fingerprint mismatch, malformed payload).
+    Format(SnapError),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot io error: {e}"),
+            SnapshotError::Format(e) => write!(f, "snapshot format error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<SnapError> for SnapshotError {
+    fn from(e: SnapError) -> SnapshotError {
+        SnapshotError::Format(e)
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> SnapshotError {
+        SnapshotError::Io(e.to_string())
+    }
+}

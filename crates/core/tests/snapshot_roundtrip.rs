@@ -1,0 +1,292 @@
+//! Snapshot round-trip equivalence and corruption-fallback properties.
+//!
+//! The tentpole guarantee of the snapshot subsystem is *bit-for-bit
+//! indistinguishability*: an engine warmed from a snapshot must take
+//! exactly the decisions — and produce exactly the explain reports — of an
+//! engine that compiled everything from IR, across every Polybench region,
+//! both paper datasets, and every device of a three-accelerator fleet.
+//! And every way a snapshot can be wrong (short read, flipped bit, stale
+//! version, foreign fleet, wrong payload kind) must surface as its own
+//! typed error followed by a clean recompile — never a panic, never a
+//! silently different model.
+
+use hetsel_core::{
+    AttributeDatabase, DecisionEngine, DeviceId, Fleet, Platform, Selector, SnapshotError,
+    DEFAULT_DECISION_CACHE,
+};
+use hetsel_ir::SnapError;
+use hetsel_polybench::Dataset;
+
+/// The three-accelerator fleet of the cross-generation experiment: the
+/// paper's V100 machine plus a K80 and a P100 registered as peers.
+fn fleet_selector() -> Selector {
+    let host = Platform::power9_v100();
+    let fleet = Fleet::pair_labeled(&host, "v100")
+        .with_accelerator_from("k80", &Platform::power8_k80())
+        .with_accelerator_from("p100", &Platform::power8_p100());
+    Selector::new(host).with_fleet(fleet)
+}
+
+fn all_kernels() -> Vec<hetsel_ir::Kernel> {
+    hetsel_polybench::all_kernels()
+        .into_iter()
+        .map(|(_, k, _)| k)
+        .collect()
+}
+
+fn snapshot_bytes(db: &AttributeDatabase, selector: &Selector) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    db.dump(selector, &mut bytes).expect("dump to memory");
+    bytes
+}
+
+#[test]
+fn decisions_and_explanations_are_bit_identical_across_reload() {
+    let selector = fleet_selector();
+    let kernels = all_kernels();
+    let fresh_db = AttributeDatabase::compile(&kernels, &selector);
+    let bytes = snapshot_bytes(&fresh_db, &selector);
+    let loaded_db =
+        AttributeDatabase::from_snapshot_bytes(&selector, &bytes).expect("valid snapshot loads");
+    assert_eq!(loaded_db.len(), fresh_db.len());
+
+    let fresh = DecisionEngine::from_database(selector.clone(), fresh_db, DEFAULT_DECISION_CACHE);
+    let loaded = DecisionEngine::from_database(selector, loaded_db, DEFAULT_DECISION_CACHE);
+
+    let devices = [DeviceId::HOST, DeviceId(1), DeviceId(2), DeviceId(3)];
+    let mut regions = 0;
+    for (_, kernel, binding) in hetsel_polybench::all_kernels() {
+        regions += 1;
+        for ds in [Dataset::Test, Dataset::Benchmark] {
+            let b = binding(ds);
+            let name = kernel.name.as_str();
+
+            // The fleet-wide verdict.
+            let a = fresh.decide(name, &b).expect("fresh decides");
+            let z = loaded.decide(name, &b).expect("loaded decides");
+            assert_eq!(a.device_id, z.device_id, "{name} {ds:?}");
+            assert_eq!(
+                a.predicted_cpu_s.map(f64::to_bits),
+                z.predicted_cpu_s.map(f64::to_bits),
+                "{name} {ds:?} cpu prediction"
+            );
+            assert_eq!(
+                a.predicted_gpu_s.map(f64::to_bits),
+                z.predicted_gpu_s.map(f64::to_bits),
+                "{name} {ds:?} gpu prediction"
+            );
+
+            // Every per-device prediction, including both extra accelerators.
+            for dev in devices {
+                let da = fresh.decide_for(name, &b, dev);
+                let dz = loaded.decide_for(name, &b, dev);
+                match (da, dz) {
+                    (Some(da), Some(dz)) => {
+                        assert_eq!(
+                            da.predicted_cpu_s.map(f64::to_bits),
+                            dz.predicted_cpu_s.map(f64::to_bits),
+                            "{name} {ds:?} {dev:?}"
+                        );
+                        assert_eq!(
+                            da.predicted_gpu_s.map(f64::to_bits),
+                            dz.predicted_gpu_s.map(f64::to_bits),
+                            "{name} {ds:?} {dev:?}"
+                        );
+                    }
+                    (None, None) => {}
+                    (da, dz) => panic!("{name} {ds:?} {dev:?}: {da:?} vs {dz:?}"),
+                }
+            }
+
+            // The full serialized explain report. Phase timings are wall
+            // clock — the only legitimately nondeterministic field — so
+            // they are normalized before the byte comparison.
+            let ea = fresh.explain(name, &b).expect("fresh explains");
+            let mut ez = loaded.explain(name, &b).expect("loaded explains");
+            ez.timings = ea.timings.clone();
+            assert_eq!(
+                serde_json::to_string(&ea).unwrap(),
+                serde_json::to_string(&ez).unwrap(),
+                "{name} {ds:?} explain JSON"
+            );
+        }
+    }
+    assert_eq!(regions, 24, "the whole suite was exercised");
+}
+
+#[test]
+fn truncated_snapshot_is_a_typed_truncation_error() {
+    let selector = fleet_selector();
+    let db = AttributeDatabase::compile(&hetsel_polybench::atax::kernels(), &selector);
+    let bytes = snapshot_bytes(&db, &selector);
+    for cut in [0, 4, 16, 30, bytes.len() / 2, bytes.len() - 1] {
+        let err = AttributeDatabase::from_snapshot_bytes(&selector, &bytes[..cut])
+            .expect_err("truncated container must not load");
+        assert_eq!(
+            err,
+            SnapshotError::Format(SnapError::Truncated),
+            "cut at {cut}"
+        );
+    }
+}
+
+#[test]
+fn flipped_payload_byte_is_a_checksum_mismatch() {
+    let selector = fleet_selector();
+    let db = AttributeDatabase::compile(&hetsel_polybench::atax::kernels(), &selector);
+    let mut bytes = snapshot_bytes(&db, &selector);
+    let payload_mid = 31 + (bytes.len() - 31) / 2;
+    bytes[payload_mid] ^= 0x40;
+    let err = AttributeDatabase::from_snapshot_bytes(&selector, &bytes)
+        .expect_err("corrupt payload must not load");
+    assert!(
+        matches!(
+            err,
+            SnapshotError::Format(SnapError::ChecksumMismatch { .. })
+        ),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn stale_format_version_is_rejected_by_version_not_checksum() {
+    let selector = fleet_selector();
+    let db = AttributeDatabase::compile(&hetsel_polybench::atax::kernels(), &selector);
+    let mut bytes = snapshot_bytes(&db, &selector);
+    bytes[4] = 0x7f; // version u16 LE lives at offset 4
+    let err = AttributeDatabase::from_snapshot_bytes(&selector, &bytes)
+        .expect_err("stale version must not load");
+    assert!(
+        matches!(
+            err,
+            SnapshotError::Format(SnapError::UnsupportedVersion { .. })
+        ),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn foreign_fleet_snapshot_is_a_fingerprint_mismatch() {
+    let selector = fleet_selector();
+    let kernels = hetsel_polybench::atax::kernels();
+    let db = AttributeDatabase::compile(&kernels, &selector);
+    let bytes = snapshot_bytes(&db, &selector);
+
+    // Same suite, different fleet (no extra accelerators) — the snapshot
+    // must be refused, not reinterpreted against the wrong models.
+    let other = Selector::new(Platform::power9_v100());
+    assert_ne!(other.model_fingerprint(), selector.model_fingerprint());
+    let err = AttributeDatabase::from_snapshot_bytes(&other, &bytes)
+        .expect_err("foreign-fleet snapshot must not load");
+    assert!(
+        matches!(
+            err,
+            SnapshotError::Format(SnapError::FingerprintMismatch { .. })
+        ),
+        "{err:?}"
+    );
+
+    // A differently-threaded host counts as a different configuration too.
+    let rethreaded = Selector::new(Platform::power9_v100().with_threads(7));
+    assert_ne!(rethreaded.model_fingerprint(), other.model_fingerprint());
+}
+
+#[test]
+fn calibration_container_is_the_wrong_payload_kind_for_a_database() {
+    let selector = fleet_selector();
+    let cal = hetsel_core::Calibrator::default();
+    let class = hetsel_core::BindingClass(12);
+    for _ in 0..16 {
+        cal.observe("gemm", "v100", class, 1.0, 2.0);
+    }
+    let mut calib_bytes = Vec::new();
+    cal.dump(&mut calib_bytes).expect("calibrator dumps");
+
+    let err = AttributeDatabase::from_snapshot_bytes(&selector, &calib_bytes)
+        .expect_err("a calibration container is not an attribute database");
+    assert!(
+        matches!(
+            err,
+            SnapshotError::Format(SnapError::WrongPayloadKind {
+                found: 2,
+                expected: 1
+            })
+        ),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn calibration_rows_round_trip_through_the_shared_container() {
+    let cal = hetsel_core::Calibrator::default();
+    let class = hetsel_core::BindingClass(9);
+    for i in 0..32 {
+        cal.observe("gemm", "v100", class, 1.0, 1.5 + f64::from(i) * 0.01);
+        cal.observe("atax.k1", "k80", class, 2.0, 1.0);
+    }
+    let rows = cal.snapshot();
+    assert!(!rows.is_empty());
+
+    let mut bytes = Vec::new();
+    cal.dump(&mut bytes).expect("dump");
+    let restored = hetsel_core::Calibrator::default();
+    let n = restored
+        .restore(&mut std::io::Cursor::new(&bytes))
+        .expect("restore");
+    assert_eq!(n, rows.len());
+    assert_eq!(restored.snapshot(), rows);
+
+    // Corruption fallback holds for the calibration kind too.
+    let mut bad = bytes.clone();
+    let last = bad.len() - 1;
+    bad[last] ^= 0x01;
+    let err = hetsel_core::Calibrator::load_rows(&mut std::io::Cursor::new(&bad))
+        .expect_err("corrupt calibration container must not load");
+    assert!(
+        matches!(
+            err,
+            SnapshotError::Format(SnapError::ChecksumMismatch { .. })
+        ),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn load_or_compile_falls_back_and_self_heals() {
+    let selector = fleet_selector();
+    let kernels = hetsel_polybench::bicg::kernels();
+    let dir = std::env::temp_dir().join(format!("hetsel-snapshot-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bicg.hsnp");
+    let _ = std::fs::remove_file(&path);
+
+    // Missing file: typed Io fallback, snapshot written back.
+    let (db1, err1) = AttributeDatabase::load_or_compile(&path, &kernels, &selector);
+    assert!(matches!(err1, Some(SnapshotError::Io(_))), "{err1:?}");
+    assert!(path.exists(), "fallback writes the snapshot for next time");
+
+    // Second call takes the snapshot path cleanly.
+    let (db2, err2) = AttributeDatabase::load_or_compile(&path, &kernels, &selector);
+    assert_eq!(err2, None);
+    assert_eq!(db2.len(), db1.len());
+
+    // Corrupt the file in place: typed fallback again, file re-healed.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    std::fs::write(&path, &bytes).unwrap();
+    let (db3, err3) = AttributeDatabase::load_or_compile(&path, &kernels, &selector);
+    assert!(
+        matches!(
+            err3,
+            Some(SnapshotError::Format(SnapError::ChecksumMismatch { .. }))
+        ),
+        "{err3:?}"
+    );
+    assert_eq!(db3.len(), db1.len());
+    let healed = std::fs::read(&path).unwrap();
+    AttributeDatabase::from_snapshot_bytes(&selector, &healed).expect("re-written snapshot loads");
+
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir(&dir);
+}

@@ -198,6 +198,18 @@ pub fn summarize(info: &KernelAccessInfo, binding: &Binding, seg_bytes: u32) -> 
     }
 }
 
+hetsel_ir::snap_struct!(AccessInfo {
+    array,
+    elem_bytes,
+    is_store,
+    affine,
+    thread_stride,
+    innermost_stride,
+    enclosing,
+});
+
+hetsel_ir::snap_struct!(KernelAccessInfo { kernel, accesses });
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -37,7 +37,7 @@ pub mod warp;
 
 pub use analysis::{analyze, summarize, AccessInfo, CoalescingSummary, KernelAccessInfo};
 pub use false_sharing::{store_sharing_risk, Schedule, SharingRisk};
-pub use memo::analyze_cached;
+pub use memo::{analyze_cached, clear as clear_analysis_memo, seed as seed_analysis};
 pub use stride::{classify, AccessPattern, CompiledStride, Stride};
 pub use vectorize::{assess, CompiledAssess, VectorizationInfo};
 pub use warp::{

@@ -13,21 +13,19 @@
 //! an [`Arc`]. The memo is keyed on the kernel's *structure*, not just its
 //! name: property tests and fuzzers generate many distinct kernels under the
 //! same name, and two structurally different kernels must never share an
-//! analysis. Structure is fingerprinted by streaming the kernel's `Debug`
-//! rendering through a hasher (no intermediate `String` — the old
-//! `format!("{kernel:?}")` key allocated kilobytes per call *even on hits*),
-//! and hash buckets are disambiguated by structural equality, so collisions
-//! cost a comparison, never a wrong answer. The table is bounded; on
-//! overflow it is cleared wholesale, which keeps the worst case simple and
-//! is harmless because entries are pure functions of the key.
+//! analysis. Structure is fingerprinted by hashing the kernel's compact
+//! snapshot encoding (a `Debug`-rendering hash before that — the snap bytes
+//! are ~4× faster to produce and hash, which matters because the compile
+//! path fingerprints every kernel several times), and hash buckets are
+//! disambiguated by structural equality, so collisions cost a comparison,
+//! never a wrong answer. The table is bounded; on overflow it is cleared
+//! wholesale, which keeps the worst case simple and is harmless because
+//! entries are pure functions of the key.
 
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::fmt::Write as _;
-use std::hash::Hasher;
 use std::sync::{Arc, Mutex, OnceLock};
 
-use hetsel_ir::Kernel;
+use hetsel_ir::{Kernel, Snap};
 
 use crate::analysis::{analyze, KernelAccessInfo};
 
@@ -40,30 +38,22 @@ type Bucket = Vec<(Kernel, Arc<KernelAccessInfo>)>;
 
 static MEMO: OnceLock<Mutex<HashMap<u64, Bucket>>> = OnceLock::new();
 
-/// Streams a value's `Debug` rendering into a hasher without materialising
-/// the string.
-struct HashWriter<'a>(&'a mut DefaultHasher);
-
-impl std::fmt::Write for HashWriter<'_> {
-    fn write_str(&mut self, s: &str) -> std::fmt::Result {
-        self.0.write(s.as_bytes());
-        Ok(())
-    }
-}
-
-/// Structural fingerprint of a kernel: a hash of its complete `Debug`
-/// rendering, computed without heap allocation.
+/// Structural fingerprint of a kernel: the checksum of its snapshot
+/// encoding. The encoding is injective over kernel structure (it is what
+/// snapshot round-trips rely on), so structurally different kernels get
+/// different byte strings; the hash itself is the snapshot checksum family.
 fn structural_hash(kernel: &Kernel) -> u64 {
-    let mut h = DefaultHasher::new();
-    write!(HashWriter(&mut h), "{kernel:?}").expect("hash writer never fails");
-    h.finish()
+    let mut w = hetsel_ir::SnapWriter::new();
+    kernel.snap(&mut w);
+    hetsel_ir::snap::checksum(w.bytes())
 }
 
 /// Memoized [`analyze`]: returns a shared copy of the IPDA result for this
 /// kernel, computing it at most once per distinct kernel structure.
 ///
 /// The returned value is identical to what `analyze(kernel)` would produce;
-/// only the sharing differs. A hit performs no heap allocation.
+/// only the sharing differs. A hit allocates one short-lived fingerprint
+/// buffer and nothing else.
 pub fn analyze_cached(kernel: &Kernel) -> Arc<KernelAccessInfo> {
     let key = structural_hash(kernel);
     let memo = MEMO.get_or_init(|| Mutex::new(HashMap::new()));
@@ -99,6 +89,44 @@ pub fn analyze_cached(kernel: &Kernel) -> Arc<KernelAccessInfo> {
     }
     bucket.push((kernel.clone(), Arc::clone(&info)));
     info
+}
+
+/// Seeds the memo with a precomputed analysis result without running the
+/// analysis.
+///
+/// Used by the snapshot loader: a reloaded attribute database carries each
+/// region's [`KernelAccessInfo`], and seeding it here means the first
+/// decision after a snapshot load takes the memo hit path instead of paying
+/// for a fresh IPDA pass. An entry already present for this kernel structure
+/// wins (it is equal by construction — both are pure functions of the
+/// kernel), so seeding never replaces live shared state.
+pub fn seed(kernel: &Kernel, info: Arc<KernelAccessInfo>) {
+    let key = structural_hash(kernel);
+    let memo = MEMO.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = memo
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if map.values().map(Vec::len).sum::<usize>() >= MEMO_CAPACITY {
+        map.clear();
+    }
+    let bucket = map.entry(key).or_default();
+    if bucket.iter().any(|(k, _)| k == kernel) {
+        return;
+    }
+    bucket.push((kernel.clone(), info));
+}
+
+/// Empties the memo. For cold-start benchmarks that must measure what a
+/// genuinely fresh process pays: the memo is process-global, so without
+/// this a second in-process "cold" compile silently reuses the first one's
+/// analyses. Correctness is unaffected — entries are pure functions of the
+/// kernel and repopulate on demand.
+pub fn clear() {
+    if let Some(memo) = MEMO.get() {
+        memo.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clear();
+    }
 }
 
 #[cfg(test)]

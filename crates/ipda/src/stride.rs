@@ -131,6 +131,54 @@ pub fn classify(stride_elems: Option<i64>) -> AccessPattern {
     }
 }
 
+impl hetsel_ir::Snap for Stride {
+    fn snap(&self, w: &mut hetsel_ir::SnapWriter) {
+        match self {
+            Stride::Known(c) => {
+                w.put_u8(0);
+                w.put_i64(*c);
+            }
+            Stride::Symbolic(p) => {
+                w.put_u8(1);
+                p.snap(w);
+            }
+            Stride::Irregular => w.put_u8(2),
+        }
+    }
+    fn unsnap(r: &mut hetsel_ir::SnapReader<'_>) -> Result<Self, hetsel_ir::SnapError> {
+        Ok(match r.get_u8()? {
+            0 => Stride::Known(r.get_i64()?),
+            1 => Stride::Symbolic(Poly::unsnap(r)?),
+            2 => Stride::Irregular,
+            _ => return Err(hetsel_ir::SnapError::Malformed("bad Stride tag")),
+        })
+    }
+}
+
+impl hetsel_ir::Snap for CompiledStride {
+    fn snap(&self, w: &mut hetsel_ir::SnapWriter) {
+        match self {
+            CompiledStride::Known(c) => {
+                w.put_u8(0);
+                w.put_i64(*c);
+            }
+            CompiledStride::Symbolic(e) => {
+                w.put_u8(1);
+                e.snap(w);
+            }
+            CompiledStride::Irregular => w.put_u8(2),
+        }
+    }
+    fn unsnap(r: &mut hetsel_ir::SnapReader<'_>) -> Result<Self, hetsel_ir::SnapError> {
+        Ok(match r.get_u8()? {
+            0 => CompiledStride::Known(r.get_i64()?),
+            1 => CompiledStride::Symbolic(CompiledExpr::unsnap(r)?),
+            2 => CompiledStride::Irregular,
+            _ => return Err(hetsel_ir::SnapError::Malformed("bad CompiledStride tag")),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

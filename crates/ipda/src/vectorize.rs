@@ -176,6 +176,23 @@ impl CompiledAssess {
     }
 }
 
+hetsel_ir::snap_struct!(StrideCheck {
+    var,
+    stride,
+    is_store,
+});
+
+hetsel_ir::snap_struct!(BodyFlags {
+    var,
+    has_reduction,
+    has_div_or_sqrt,
+});
+
+hetsel_ir::snap_struct!(CompiledAssess {
+    stride_checks,
+    body_flags,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

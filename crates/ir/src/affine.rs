@@ -184,6 +184,8 @@ pub fn linearize(kernel: &Kernel, r: &ArrayRef) -> Option<Affine> {
     Some(lin)
 }
 
+crate::snap_struct!(Affine { coeffs, offset });
+
 #[cfg(test)]
 mod tests {
     use super::*;

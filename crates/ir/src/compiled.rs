@@ -363,6 +363,96 @@ impl CompiledKernel {
     }
 }
 
+impl crate::snap::Snap for Op {
+    fn snap(&self, w: &mut crate::snap::SnapWriter) {
+        match *self {
+            Op::Const(c) => {
+                w.put_u8(0);
+                w.put_i64(c);
+            }
+            Op::Param(s) => {
+                w.put_u8(1);
+                s.snap(w);
+            }
+            Op::Var(v) => {
+                w.put_u8(2);
+                v.snap(w);
+            }
+            Op::Add => w.put_u8(3),
+            Op::Sub => w.put_u8(4),
+            Op::Mul => w.put_u8(5),
+            Op::Div => w.put_u8(6),
+            Op::Min => w.put_u8(7),
+            Op::Max => w.put_u8(8),
+        }
+    }
+    fn unsnap(r: &mut crate::snap::SnapReader<'_>) -> Result<Self, crate::snap::SnapError> {
+        Ok(match r.get_u8()? {
+            0 => Op::Const(r.get_i64()?),
+            1 => Op::Param(Sym::unsnap(r)?),
+            2 => Op::Var(LoopVarId::unsnap(r)?),
+            3 => Op::Add,
+            4 => Op::Sub,
+            5 => Op::Mul,
+            6 => Op::Div,
+            7 => Op::Min,
+            8 => Op::Max,
+            _ => return Err(crate::snap::SnapError::Malformed("bad Op tag")),
+        })
+    }
+}
+
+impl crate::snap::Snap for CompiledExpr {
+    fn snap(&self, w: &mut crate::snap::SnapWriter) {
+        // `max_stack` is derived state: re-derived on decode via `from_code`.
+        w.put_usize(self.code.len());
+        for op in &*self.code {
+            op.snap(w);
+        }
+    }
+    fn unsnap(r: &mut crate::snap::SnapReader<'_>) -> Result<Self, crate::snap::SnapError> {
+        let n = r.get_len()?;
+        if n == 0 {
+            // `CompiledExpr::default()` — no program; only ever evaluated to
+            // `None` through higher-level guards.
+            return Ok(CompiledExpr::default());
+        }
+        let mut code = Vec::with_capacity(n);
+        for _ in 0..n {
+            code.push(Op::unsnap(r)?);
+        }
+        // Validate postfix stack discipline before trusting the program:
+        // `from_code` (and `run`) assume operators always have two operands.
+        let mut depth = 0usize;
+        for op in &code {
+            match op {
+                Op::Const(_) | Op::Param(_) | Op::Var(_) => depth += 1,
+                _ => {
+                    if depth < 2 {
+                        return Err(crate::snap::SnapError::Malformed("postfix stack underflow"));
+                    }
+                    depth -= 1;
+                }
+            }
+        }
+        if depth != 1 {
+            return Err(crate::snap::SnapError::Malformed(
+                "postfix program must leave one value",
+            ));
+        }
+        Ok(CompiledExpr::from_code(code))
+    }
+}
+
+crate::snap_struct!(CompiledArray {
+    elem_bytes,
+    extents,
+    to_device,
+    from_device,
+});
+
+crate::snap_struct!(CompiledKernel { par_bounds, arrays });
+
 #[cfg(test)]
 mod tests {
     use super::*;

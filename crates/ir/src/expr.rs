@@ -200,6 +200,69 @@ impl fmt::Display for Expr {
     }
 }
 
+impl crate::snap::Snap for Expr {
+    fn snap(&self, w: &mut crate::snap::SnapWriter) {
+        match self {
+            Expr::Const(c) => {
+                w.put_u8(0);
+                w.put_i64(*c);
+            }
+            Expr::Param(p) => {
+                w.put_u8(1);
+                p.snap(w);
+            }
+            Expr::Var(v) => {
+                w.put_u8(2);
+                v.snap(w);
+            }
+            Expr::Add(a, b) => {
+                w.put_u8(3);
+                a.snap(w);
+                b.snap(w);
+            }
+            Expr::Sub(a, b) => {
+                w.put_u8(4);
+                a.snap(w);
+                b.snap(w);
+            }
+            Expr::Mul(a, b) => {
+                w.put_u8(5);
+                a.snap(w);
+                b.snap(w);
+            }
+            Expr::Div(a, b) => {
+                w.put_u8(6);
+                a.snap(w);
+                b.snap(w);
+            }
+            Expr::Min(a, b) => {
+                w.put_u8(7);
+                a.snap(w);
+                b.snap(w);
+            }
+            Expr::Max(a, b) => {
+                w.put_u8(8);
+                a.snap(w);
+                b.snap(w);
+            }
+        }
+    }
+    fn unsnap(r: &mut crate::snap::SnapReader<'_>) -> Result<Self, crate::snap::SnapError> {
+        Ok(match r.get_u8()? {
+            0 => Expr::Const(r.get_i64()?),
+            1 => Expr::Param(String::unsnap(r)?),
+            2 => Expr::Var(LoopVarId::unsnap(r)?),
+            3 => Expr::Add(Box::unsnap(r)?, Box::unsnap(r)?),
+            4 => Expr::Sub(Box::unsnap(r)?, Box::unsnap(r)?),
+            5 => Expr::Mul(Box::unsnap(r)?, Box::unsnap(r)?),
+            6 => Expr::Div(Box::unsnap(r)?, Box::unsnap(r)?),
+            7 => Expr::Min(Box::unsnap(r)?, Box::unsnap(r)?),
+            8 => Expr::Max(Box::unsnap(r)?, Box::unsnap(r)?),
+            _ => return Err(crate::snap::SnapError::Malformed("bad Expr tag")),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -486,6 +486,139 @@ impl Kernel {
     }
 }
 
+crate::snap_newtype!(LoopVarId);
+crate::snap_newtype!(ArrayId);
+
+crate::snap_unit_enum!(Transfer {
+    0 => In,
+    1 => Out,
+    2 => InOut,
+    3 => Alloc,
+});
+
+crate::snap_struct!(ArrayDecl {
+    name,
+    elem_bytes,
+    extents,
+    transfer,
+});
+
+crate::snap_struct!(ArrayRef { array, index });
+
+impl crate::snap::Snap for CExpr {
+    fn snap(&self, w: &mut crate::snap::SnapWriter) {
+        match self {
+            CExpr::Load(r) => {
+                w.put_u8(0);
+                r.snap(w);
+            }
+            CExpr::Scalar(s) => {
+                w.put_u8(1);
+                s.snap(w);
+            }
+            CExpr::Lit(v) => {
+                w.put_u8(2);
+                w.put_f64(*v);
+            }
+            CExpr::Acc => w.put_u8(3),
+            CExpr::Add(a, b) => {
+                w.put_u8(4);
+                a.snap(w);
+                b.snap(w);
+            }
+            CExpr::Sub(a, b) => {
+                w.put_u8(5);
+                a.snap(w);
+                b.snap(w);
+            }
+            CExpr::Mul(a, b) => {
+                w.put_u8(6);
+                a.snap(w);
+                b.snap(w);
+            }
+            CExpr::Div(a, b) => {
+                w.put_u8(7);
+                a.snap(w);
+                b.snap(w);
+            }
+            CExpr::Sqrt(a) => {
+                w.put_u8(8);
+                a.snap(w);
+            }
+        }
+    }
+    fn unsnap(r: &mut crate::snap::SnapReader<'_>) -> Result<Self, crate::snap::SnapError> {
+        Ok(match r.get_u8()? {
+            0 => CExpr::Load(ArrayRef::unsnap(r)?),
+            1 => CExpr::Scalar(String::unsnap(r)?),
+            2 => CExpr::Lit(r.get_f64()?),
+            3 => CExpr::Acc,
+            4 => CExpr::Add(Box::unsnap(r)?, Box::unsnap(r)?),
+            5 => CExpr::Sub(Box::unsnap(r)?, Box::unsnap(r)?),
+            6 => CExpr::Mul(Box::unsnap(r)?, Box::unsnap(r)?),
+            7 => CExpr::Div(Box::unsnap(r)?, Box::unsnap(r)?),
+            8 => CExpr::Sqrt(Box::unsnap(r)?),
+            _ => return Err(crate::snap::SnapError::Malformed("bad CExpr tag")),
+        })
+    }
+}
+
+impl crate::snap::Snap for Lhs {
+    fn snap(&self, w: &mut crate::snap::SnapWriter) {
+        match self {
+            Lhs::Array(r) => {
+                w.put_u8(0);
+                r.snap(w);
+            }
+            Lhs::Acc(s) => {
+                w.put_u8(1);
+                s.snap(w);
+            }
+        }
+    }
+    fn unsnap(r: &mut crate::snap::SnapReader<'_>) -> Result<Self, crate::snap::SnapError> {
+        Ok(match r.get_u8()? {
+            0 => Lhs::Array(ArrayRef::unsnap(r)?),
+            1 => Lhs::Acc(String::unsnap(r)?),
+            _ => return Err(crate::snap::SnapError::Malformed("bad Lhs tag")),
+        })
+    }
+}
+
+crate::snap_struct!(Assign { lhs, rhs });
+
+crate::snap_struct!(Loop {
+    var,
+    lower,
+    upper,
+    parallel,
+});
+
+impl crate::snap::Snap for Stmt {
+    fn snap(&self, w: &mut crate::snap::SnapWriter) {
+        match self {
+            Stmt::For(l, body) => {
+                w.put_u8(0);
+                l.snap(w);
+                body.snap(w);
+            }
+            Stmt::Assign(a) => {
+                w.put_u8(1);
+                a.snap(w);
+            }
+        }
+    }
+    fn unsnap(r: &mut crate::snap::SnapReader<'_>) -> Result<Self, crate::snap::SnapError> {
+        Ok(match r.get_u8()? {
+            0 => Stmt::For(Loop::unsnap(r)?, Vec::unsnap(r)?),
+            1 => Stmt::Assign(Assign::unsnap(r)?),
+            _ => return Err(crate::snap::SnapError::Malformed("bad Stmt tag")),
+        })
+    }
+}
+
+crate::snap_struct!(Kernel { name, arrays, body });
+
 #[cfg(test)]
 mod tests {
     use super::*;

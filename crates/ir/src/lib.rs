@@ -29,6 +29,7 @@ pub mod layout;
 pub mod poly;
 pub mod render;
 pub mod simplify;
+pub mod snap;
 pub mod sym;
 pub mod synth;
 pub mod trips;
@@ -46,6 +47,7 @@ pub use kernel::{
 pub use layout::{MemoryLayout, ResolvedArray, ARRAY_ALIGN};
 pub use poly::Poly;
 pub use render::to_openmp_c;
+pub use snap::{Snap, SnapError, SnapReader, SnapWriter};
 pub use sym::{BoundParams, Sym, SymbolTable};
 pub use synth::{generate as synth_kernel, SynthKernel};
 pub use trips::{CompiledTrips, TripCounts, TripSlots};

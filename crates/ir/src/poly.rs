@@ -246,6 +246,8 @@ impl fmt::Display for Poly {
     }
 }
 
+crate::snap_struct!(Poly { terms });
+
 #[cfg(test)]
 mod tests {
     use super::*;

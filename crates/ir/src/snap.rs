@@ -1,0 +1,913 @@
+//! Binary snapshot codec for compiled model artifacts.
+//!
+//! The decide path's cold cliff is compilation: lowering a [`crate::Kernel`]
+//! through IPDA, MCA and the analytical models costs tens of microseconds per
+//! region, while a warm decision costs ~110 ns. This module is the foundation
+//! of the snapshot subsystem that removes the cliff — every compiled artifact
+//! (postfix bytecode, interned symbol tables, loadouts, memo tables) can be
+//! written once as a flat little-endian byte stream and reloaded with nothing
+//! but a linear decode pass.
+//!
+//! Design rules, in order of importance:
+//!
+//! 1. **Never a silently wrong model.** A sealed container carries a magic,
+//!    a format version, a payload kind, the model-parameter fingerprint of
+//!    the fleet it was built for, and an FNV-1a/fmix64 checksum over the
+//!    payload — the same hash family as the decision cache key in
+//!    `hetsel-core`. [`open`] verifies all of them, in an order that maps
+//!    each corruption class to a distinct [`SnapError`] variant.
+//! 2. **Never a panic.** Decoding is total: every length is bounds-checked
+//!    against the remaining bytes before allocation, every enum tag and every
+//!    invariant (postfix stack discipline, UTF-8, bool bytes) is validated,
+//!    and failure is always a typed error the caller can turn into a
+//!    recompile.
+//! 3. **Bit-for-bit round trips.** `f64` travels as raw IEEE bits, `i64` as
+//!    two's-complement `u64`, so a reloaded model reproduces the original's
+//!    arithmetic exactly — including NaN payloads and wrapping behaviour.
+//!
+//! The encoding itself is deliberately boring: fixed-width little-endian
+//! integers, `u64` length prefixes, structs as field sequences, enums as a
+//! `u8` tag plus payload. There is no back-compat machinery *within* a
+//! version — any format change bumps [`SNAP_VERSION`] and old files recompile.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Mutex, OnceLock};
+
+/// Snapshot container magic: identifies a hetsel snapshot file.
+pub const SNAP_MAGIC: [u8; 4] = *b"HSNP";
+
+/// Snapshot format version. Bump on any encoding change; readers reject
+/// every other version and fall back to recompilation.
+///
+/// * v1 — initial format: byte-serial FNV checksum, attribute payload as one
+///   `Vec<RegionAttributes>` with each compiled model embedding its own copy
+///   of the kernel.
+/// * v2 — word-folded checksum; attribute payload is a region *index*
+///   (names + blob lengths) followed by independently decodable per-region
+///   blobs, each storing its kernel once and sharing it across the region's
+///   models. Blobs decode lazily, so a load touches only the regions it is
+///   asked about.
+pub const SNAP_VERSION: u16 = 2;
+
+/// Payload kind: a compiled `AttributeDatabase` (regions + models).
+pub const PAYLOAD_ATTRIBUTE_DB: u8 = 1;
+
+/// Payload kind: calibration state (`CalibRow` table).
+pub const PAYLOAD_CALIBRATION: u8 = 2;
+
+/// Bytes of container header preceding the payload:
+/// magic (4) + version (2) + kind (1) + fingerprint (8) + payload length (8)
+/// + payload checksum (8).
+pub const HEADER_LEN: usize = 4 + 2 + 1 + 8 + 8 + 8;
+
+/// A typed decode/validation failure. Every variant is a *recoverable*
+/// signal: the caller recompiles from source IR instead of trusting the
+/// snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapError {
+    /// The stream ended before the decoder got the bytes it needed.
+    Truncated,
+    /// The container does not start with [`SNAP_MAGIC`].
+    BadMagic,
+    /// The container was written by a different format version.
+    UnsupportedVersion {
+        /// Version stored in the container.
+        found: u16,
+        /// Version this build understands.
+        expected: u16,
+    },
+    /// The container holds a different payload kind than requested.
+    WrongPayloadKind {
+        /// Kind stored in the container.
+        found: u8,
+        /// Kind the caller asked for.
+        expected: u8,
+    },
+    /// The payload bytes do not hash to the stored checksum.
+    ChecksumMismatch {
+        /// Checksum stored in the container header.
+        stored: u64,
+        /// Checksum computed over the payload actually read.
+        computed: u64,
+    },
+    /// The snapshot was built for a different model-parameter fingerprint.
+    FingerprintMismatch {
+        /// Fingerprint stored in the container header.
+        stored: u64,
+        /// Fingerprint of the models the caller is running.
+        expected: u64,
+    },
+    /// Bytes decoded but violated an invariant (bad enum tag, invalid
+    /// UTF-8, malformed postfix program, ...).
+    Malformed(&'static str),
+    /// Well-formed payload followed by unexpected extra bytes.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for SnapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapError::Truncated => write!(f, "snapshot truncated"),
+            SnapError::BadMagic => write!(f, "not a hetsel snapshot (bad magic)"),
+            SnapError::UnsupportedVersion { found, expected } => {
+                write!(f, "snapshot format v{found} (this build reads v{expected})")
+            }
+            SnapError::WrongPayloadKind { found, expected } => {
+                write!(f, "snapshot holds payload kind {found}, expected {expected}")
+            }
+            SnapError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "snapshot checksum mismatch (stored {stored:#018x}, computed {computed:#018x})"
+            ),
+            SnapError::FingerprintMismatch { stored, expected } => write!(
+                f,
+                "snapshot fleet fingerprint {stored:#018x} does not match running models {expected:#018x}"
+            ),
+            SnapError::Malformed(what) => write!(f, "snapshot malformed: {what}"),
+            SnapError::TrailingBytes => write!(f, "snapshot has trailing bytes after payload"),
+        }
+    }
+}
+
+impl std::error::Error for SnapError {}
+
+/// FNV-1a over `bytes`, finalized with the MurmurHash3 `fmix64` avalanche —
+/// the same hash family the decision cache key uses in `hetsel-core`.
+///
+/// Folds whole little-endian `u64` words through the FNV multiply instead of
+/// single bytes: the container checksum runs over every snapshot load, and
+/// the byte-serial loop was the single largest cost of validating a
+/// ~100 KiB container (~8× slower than this). The word-folded variant is a
+/// different (but equally well-mixed) function than byte-serial FNV-1a;
+/// that is fine because the checksum only ever compares against values this
+/// same function produced — compatibility is owned by [`SNAP_VERSION`].
+pub fn checksum(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut chunks = bytes.chunks_exact(8);
+    for w in &mut chunks {
+        h ^= u64::from_le_bytes(w.try_into().unwrap());
+        h = h.wrapping_mul(PRIME);
+    }
+    for &b in chunks.remainder() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    // Fold the length in so payloads that differ only by trailing zero bytes
+    // cannot collide (word-folding XORs zeros through unchanged).
+    h ^= bytes.len() as u64;
+    h = h.wrapping_mul(PRIME);
+    fmix64(h)
+}
+
+/// MurmurHash3's 64-bit finalizer: full avalanche so near-identical payloads
+/// land on unrelated checksums.
+pub fn fmix64(mut h: u64) -> u64 {
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^= h >> 33;
+    h
+}
+
+/// Wraps an encoded payload in the versioned container: header (magic,
+/// version, kind, fingerprint, length, checksum) followed by the payload.
+pub fn seal(kind: u8, fingerprint: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&SNAP_MAGIC);
+    out.extend_from_slice(&SNAP_VERSION.to_le_bytes());
+    out.push(kind);
+    out.extend_from_slice(&fingerprint.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&checksum(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Validates a sealed container and returns a view of its payload.
+///
+/// Checks run in a fixed order so each corruption class reports its own
+/// error: truncation → magic → version → payload kind → payload length →
+/// checksum → fleet fingerprint (skipped when `expected_fingerprint` is
+/// `None`). The fingerprint runs last: it only means anything once the
+/// container has proven internally consistent.
+pub fn open(
+    bytes: &[u8],
+    expected_kind: u8,
+    expected_fingerprint: Option<u64>,
+) -> Result<&[u8], SnapError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(SnapError::Truncated);
+    }
+    if bytes[0..4] != SNAP_MAGIC {
+        return Err(SnapError::BadMagic);
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version != SNAP_VERSION {
+        return Err(SnapError::UnsupportedVersion {
+            found: version,
+            expected: SNAP_VERSION,
+        });
+    }
+    let kind = bytes[6];
+    if kind != expected_kind {
+        return Err(SnapError::WrongPayloadKind {
+            found: kind,
+            expected: expected_kind,
+        });
+    }
+    let fingerprint = u64::from_le_bytes(bytes[7..15].try_into().unwrap());
+    let payload_len = u64::from_le_bytes(bytes[15..23].try_into().unwrap());
+    let stored_sum = u64::from_le_bytes(bytes[23..31].try_into().unwrap());
+    let payload = &bytes[HEADER_LEN..];
+    let payload_len = usize::try_from(payload_len).map_err(|_| SnapError::Truncated)?;
+    if payload.len() < payload_len {
+        return Err(SnapError::Truncated);
+    }
+    if payload.len() > payload_len {
+        return Err(SnapError::TrailingBytes);
+    }
+    let computed = checksum(payload);
+    if computed != stored_sum {
+        return Err(SnapError::ChecksumMismatch {
+            stored: stored_sum,
+            computed,
+        });
+    }
+    if let Some(expected) = expected_fingerprint {
+        if fingerprint != expected {
+            return Err(SnapError::FingerprintMismatch {
+                stored: fingerprint,
+                expected,
+            });
+        }
+    }
+    Ok(payload)
+}
+
+/// The fingerprint stored in a sealed container's header, without
+/// validating the payload. Used for diagnostics only.
+pub fn peek_fingerprint(bytes: &[u8]) -> Option<u64> {
+    if bytes.len() < HEADER_LEN || bytes[0..4] != SNAP_MAGIC {
+        return None;
+    }
+    Some(u64::from_le_bytes(bytes[7..15].try_into().unwrap()))
+}
+
+/// Interns a string into the process-wide static-string registry, leaking
+/// at most one allocation per distinct name.
+///
+/// Compiled models carry `&'static str` names (platform, core and bus
+/// descriptors are built from `const` data). Deserialization has no `'static`
+/// source for those bytes, so reloaded names are leaked once and reused: the
+/// set of distinct descriptor names is tiny and fixed, making the leak
+/// bounded for the life of the process.
+pub fn intern_static(name: &str) -> &'static str {
+    static REGISTRY: OnceLock<Mutex<BTreeSet<&'static str>>> = OnceLock::new();
+    let registry = REGISTRY.get_or_init(|| Mutex::new(BTreeSet::new()));
+    let mut set = registry.lock().unwrap_or_else(|p| p.into_inner());
+    if let Some(&interned) = set.get(name) {
+        return interned;
+    }
+    let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    set.insert(leaked);
+    leaked
+}
+
+/// Encoder: an append-only byte buffer with fixed-width little-endian
+/// primitive writers.
+#[derive(Debug, Default)]
+pub struct SnapWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapWriter {
+    /// An empty writer.
+    pub fn new() -> SnapWriter {
+        SnapWriter::default()
+    }
+
+    /// The bytes encoded so far.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consumes the writer, returning its buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `i64` as its two's-complement bits.
+    pub fn put_i64(&mut self, v: i64) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends a `usize` widened to `u64`.
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends an `f64` as its raw IEEE-754 bits (bit-for-bit round trip,
+    /// NaN payloads included).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a `bool` as one strict byte (0 or 1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(u8::from(v));
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends raw bytes with no length prefix. For container layouts whose
+    /// lengths are recorded elsewhere (e.g. a region index followed by
+    /// concatenated blobs).
+    pub fn put_raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+}
+
+/// Decoder: a cursor over an encoded byte slice. Every read is
+/// bounds-checked; running past the end is [`SnapError::Truncated`], never
+/// a panic.
+#[derive(Debug)]
+pub struct SnapReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapReader<'a> {
+    /// A reader over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> SnapReader<'a> {
+        SnapReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapError> {
+        if self.remaining() < n {
+            return Err(SnapError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, SnapError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn get_u16(&mut self) -> Result<u16, SnapError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, SnapError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, SnapError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an `i64` from its two's-complement bits.
+    pub fn get_i64(&mut self) -> Result<i64, SnapError> {
+        Ok(self.get_u64()? as i64)
+    }
+
+    /// Reads a `usize`, rejecting values that do not fit this platform.
+    pub fn get_usize(&mut self) -> Result<usize, SnapError> {
+        usize::try_from(self.get_u64()?).map_err(|_| SnapError::Malformed("usize overflow"))
+    }
+
+    /// Reads an element count and sanity-checks it against the remaining
+    /// bytes: every element of every [`Snap`] type encodes to at least one
+    /// byte, so a count exceeding `remaining()` is corrupt. This bounds
+    /// allocation before it happens — a flipped length byte cannot make the
+    /// decoder reserve gigabytes.
+    pub fn get_len(&mut self) -> Result<usize, SnapError> {
+        let n = self.get_usize()?;
+        if n > self.remaining() {
+            return Err(SnapError::Truncated);
+        }
+        Ok(n)
+    }
+
+    /// Reads an `f64` from raw IEEE-754 bits.
+    pub fn get_f64(&mut self) -> Result<f64, SnapError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads a strict `bool` byte (anything but 0/1 is malformed).
+    pub fn get_bool(&mut self) -> Result<bool, SnapError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(SnapError::Malformed("bool byte not 0/1")),
+        }
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<&'a str, SnapError> {
+        let n = self.get_len()?;
+        std::str::from_utf8(self.take(n)?).map_err(|_| SnapError::Malformed("invalid UTF-8"))
+    }
+
+    /// Succeeds only if every byte has been consumed.
+    pub fn finish(&self) -> Result<(), SnapError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(SnapError::TrailingBytes)
+        }
+    }
+}
+
+/// Flat binary serialization for one compiled-artifact type.
+///
+/// Implementations live next to the type they encode (same module, so
+/// private fields stay private); most structs use
+/// [`snap_struct!`](crate::snap_struct). The
+/// contract is exact inversion: `unsnap(snap(x)) == x` bit-for-bit, and
+/// `unsnap` of arbitrary bytes returns `Err`, never panics.
+pub trait Snap: Sized {
+    /// Encodes `self` onto the writer.
+    fn snap(&self, w: &mut SnapWriter);
+    /// Decodes one value from the reader, validating every invariant.
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError>;
+}
+
+macro_rules! snap_primitive {
+    ($ty:ty, $put:ident, $get:ident) => {
+        impl Snap for $ty {
+            fn snap(&self, w: &mut SnapWriter) {
+                w.$put(*self);
+            }
+            fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+                r.$get()
+            }
+        }
+    };
+}
+
+snap_primitive!(u8, put_u8, get_u8);
+snap_primitive!(u16, put_u16, get_u16);
+snap_primitive!(u32, put_u32, get_u32);
+snap_primitive!(u64, put_u64, get_u64);
+snap_primitive!(i64, put_i64, get_i64);
+snap_primitive!(usize, put_usize, get_usize);
+snap_primitive!(f64, put_f64, get_f64);
+snap_primitive!(bool, put_bool, get_bool);
+
+impl Snap for String {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_str(self);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(r.get_str()?.to_owned())
+    }
+}
+
+impl Snap for std::sync::Arc<str> {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_str(self);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(std::sync::Arc::from(r.get_str()?))
+    }
+}
+
+impl Snap for &'static str {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_str(self);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(intern_static(r.get_str()?))
+    }
+}
+
+impl<T: Snap> Snap for Vec<T> {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_usize(self.len());
+        for item in self {
+            item.snap(w);
+        }
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let n = r.get_len()?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(T::unsnap(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Snap> Snap for Option<T> {
+    fn snap(&self, w: &mut SnapWriter) {
+        match self {
+            None => w.put_u8(0),
+            Some(v) => {
+                w.put_u8(1);
+                v.snap(w);
+            }
+        }
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::unsnap(r)?)),
+            _ => Err(SnapError::Malformed("Option tag not 0/1")),
+        }
+    }
+}
+
+impl<T: Snap> Snap for Box<T> {
+    fn snap(&self, w: &mut SnapWriter) {
+        (**self).snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Box::new(T::unsnap(r)?))
+    }
+}
+
+impl<T: Snap> Snap for std::sync::Arc<T> {
+    fn snap(&self, w: &mut SnapWriter) {
+        (**self).snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(std::sync::Arc::new(T::unsnap(r)?))
+    }
+}
+
+impl<A: Snap, B: Snap> Snap for (A, B) {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.0.snap(w);
+        self.1.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok((A::unsnap(r)?, B::unsnap(r)?))
+    }
+}
+
+impl<K: Snap + Ord, V: Snap> Snap for BTreeMap<K, V> {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_usize(self.len());
+        for (k, v) in self {
+            k.snap(w);
+            v.snap(w);
+        }
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let n = r.get_len()?;
+        let mut out = BTreeMap::new();
+        for _ in 0..n {
+            let k = K::unsnap(r)?;
+            let v = V::unsnap(r)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+impl<const N: usize> Snap for [f64; N] {
+    fn snap(&self, w: &mut SnapWriter) {
+        for v in self {
+            w.put_f64(*v);
+        }
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let mut out = [0.0; N];
+        for slot in &mut out {
+            *slot = r.get_f64()?;
+        }
+        Ok(out)
+    }
+}
+
+/// Implements [`Snap`] for a struct as the plain sequence of its fields.
+/// Expand inside the struct's defining module so private fields resolve.
+#[macro_export]
+macro_rules! snap_struct {
+    ($ty:ident { $($field:ident),+ $(,)? }) => {
+        impl $crate::snap::Snap for $ty {
+            fn snap(&self, w: &mut $crate::snap::SnapWriter) {
+                $( $crate::snap::Snap::snap(&self.$field, w); )+
+            }
+            fn unsnap(
+                r: &mut $crate::snap::SnapReader<'_>,
+            ) -> Result<Self, $crate::snap::SnapError> {
+                Ok($ty {
+                    $( $field: $crate::snap::Snap::unsnap(r)?, )+
+                })
+            }
+        }
+    };
+}
+
+/// Implements [`Snap`] for a tuple struct wrapping one snap-able value.
+#[macro_export]
+macro_rules! snap_newtype {
+    ($ty:ident) => {
+        impl $crate::snap::Snap for $ty {
+            fn snap(&self, w: &mut $crate::snap::SnapWriter) {
+                $crate::snap::Snap::snap(&self.0, w);
+            }
+            fn unsnap(
+                r: &mut $crate::snap::SnapReader<'_>,
+            ) -> Result<Self, $crate::snap::SnapError> {
+                Ok($ty($crate::snap::Snap::unsnap(r)?))
+            }
+        }
+    };
+}
+
+/// Implements [`Snap`] for a field-less enum as a strict `u8` tag.
+#[macro_export]
+macro_rules! snap_unit_enum {
+    ($ty:ident { $($tag:literal => $variant:ident),+ $(,)? }) => {
+        impl $crate::snap::Snap for $ty {
+            fn snap(&self, w: &mut $crate::snap::SnapWriter) {
+                w.put_u8(match self {
+                    $( $ty::$variant => $tag, )+
+                });
+            }
+            fn unsnap(
+                r: &mut $crate::snap::SnapReader<'_>,
+            ) -> Result<Self, $crate::snap::SnapError> {
+                match r.get_u8()? {
+                    $( $tag => Ok($ty::$variant), )+
+                    _ => Err($crate::snap::SnapError::Malformed(concat!(
+                        "bad ",
+                        stringify!($ty),
+                        " tag"
+                    ))),
+                }
+            }
+        }
+    };
+}
+
+/// Encodes one value to a standalone byte vector (no container framing).
+pub fn to_bytes<T: Snap>(value: &T) -> Vec<u8> {
+    let mut w = SnapWriter::new();
+    value.snap(&mut w);
+    w.into_bytes()
+}
+
+/// Decodes one value from a standalone byte vector, requiring the bytes to
+/// be fully consumed.
+pub fn from_bytes<T: Snap>(bytes: &[u8]) -> Result<T, SnapError> {
+    let mut r = SnapReader::new(bytes);
+    let v = T::unsnap(&mut r)?;
+    r.finish()?;
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip_bit_for_bit() {
+        let mut w = SnapWriter::new();
+        w.put_u8(0xab);
+        w.put_u64(u64::MAX);
+        w.put_i64(i64::MIN);
+        w.put_f64(f64::from_bits(0x7ff8_dead_beef_0001)); // NaN with payload
+        w.put_bool(true);
+        w.put_str("héllo");
+        let mut r = SnapReader::new(w.bytes());
+        assert_eq!(r.get_u8().unwrap(), 0xab);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX);
+        assert_eq!(r.get_i64().unwrap(), i64::MIN);
+        assert_eq!(r.get_f64().unwrap().to_bits(), 0x7ff8_dead_beef_0001);
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_str().unwrap(), "héllo");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v: Vec<(String, Option<i64>)> = vec![
+            ("a".into(), Some(-1)),
+            ("b".into(), None),
+            ("c".into(), Some(i64::MAX)),
+        ];
+        assert_eq!(
+            from_bytes::<Vec<(String, Option<i64>)>>(&to_bytes(&v)).unwrap(),
+            v
+        );
+        let m: BTreeMap<String, u32> = [("x".to_string(), 1u32), ("y".to_string(), 2)]
+            .into_iter()
+            .collect();
+        assert_eq!(
+            from_bytes::<BTreeMap<String, u32>>(&to_bytes(&m)).unwrap(),
+            m
+        );
+        let arr = [
+            1.5f64,
+            -0.0,
+            f64::INFINITY,
+            4.0,
+            5.0,
+            6.0,
+            7.0,
+            8.0,
+            9.0,
+            10.0,
+        ];
+        let back: [f64; 10] = from_bytes(&to_bytes(&arr)).unwrap();
+        assert_eq!(
+            back.map(f64::to_bits),
+            arr.map(f64::to_bits),
+            "-0.0 and infinities must survive"
+        );
+    }
+
+    #[test]
+    fn truncated_reads_error_not_panic() {
+        let bytes = to_bytes(&vec![1u64, 2, 3]);
+        for cut in 0..bytes.len() {
+            let err = from_bytes::<Vec<u64>>(&bytes[..cut]).unwrap_err();
+            assert_eq!(err, SnapError::Truncated, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupt_length_is_bounded_before_allocation() {
+        // A length prefix claiming 2^60 elements must fail the remaining-
+        // bytes sanity check, not attempt the allocation.
+        let mut w = SnapWriter::new();
+        w.put_usize(1 << 60);
+        let err = from_bytes::<Vec<u64>>(w.bytes()).unwrap_err();
+        assert_eq!(err, SnapError::Truncated);
+    }
+
+    #[test]
+    fn strict_byte_validation() {
+        assert_eq!(
+            from_bytes::<bool>(&[7]).unwrap_err(),
+            SnapError::Malformed("bool byte not 0/1")
+        );
+        assert_eq!(
+            from_bytes::<Option<u8>>(&[9, 0]).unwrap_err(),
+            SnapError::Malformed("Option tag not 0/1")
+        );
+        let mut w = SnapWriter::new();
+        w.put_usize(2);
+        w.buf.extend_from_slice(&[0xff, 0xfe]); // invalid UTF-8
+        assert_eq!(
+            from_bytes::<String>(w.bytes()).unwrap_err(),
+            SnapError::Malformed("invalid UTF-8")
+        );
+    }
+
+    #[test]
+    fn container_seal_open_round_trip() {
+        let payload = b"compiled models".to_vec();
+        let sealed = seal(PAYLOAD_ATTRIBUTE_DB, 0x1234, &payload);
+        let opened = open(&sealed, PAYLOAD_ATTRIBUTE_DB, Some(0x1234)).unwrap();
+        assert_eq!(opened, &payload[..]);
+        assert_eq!(peek_fingerprint(&sealed), Some(0x1234));
+        // Fingerprint skipped when not requested.
+        assert!(open(&sealed, PAYLOAD_ATTRIBUTE_DB, None).is_ok());
+    }
+
+    #[test]
+    fn each_corruption_class_maps_to_its_own_error() {
+        let sealed = seal(PAYLOAD_ATTRIBUTE_DB, 7, b"payload");
+
+        // Truncation, anywhere.
+        for cut in [0, HEADER_LEN - 1, sealed.len() - 1] {
+            assert_eq!(
+                open(&sealed[..cut], PAYLOAD_ATTRIBUTE_DB, Some(7)).unwrap_err(),
+                SnapError::Truncated,
+                "cut at {cut}"
+            );
+        }
+
+        // Bad magic.
+        let mut bad = sealed.clone();
+        bad[0] ^= 0xff;
+        assert_eq!(
+            open(&bad, PAYLOAD_ATTRIBUTE_DB, Some(7)).unwrap_err(),
+            SnapError::BadMagic
+        );
+
+        // Stale version.
+        let mut bad = sealed.clone();
+        bad[4] = 99;
+        assert_eq!(
+            open(&bad, PAYLOAD_ATTRIBUTE_DB, Some(7)).unwrap_err(),
+            SnapError::UnsupportedVersion {
+                found: 99,
+                expected: SNAP_VERSION
+            }
+        );
+
+        // Wrong payload kind.
+        assert_eq!(
+            open(&sealed, PAYLOAD_CALIBRATION, Some(7)).unwrap_err(),
+            SnapError::WrongPayloadKind {
+                found: PAYLOAD_ATTRIBUTE_DB,
+                expected: PAYLOAD_CALIBRATION
+            }
+        );
+
+        // Flipped payload byte.
+        let mut bad = sealed.clone();
+        *bad.last_mut().unwrap() ^= 0x01;
+        assert!(matches!(
+            open(&bad, PAYLOAD_ATTRIBUTE_DB, Some(7)).unwrap_err(),
+            SnapError::ChecksumMismatch { .. }
+        ));
+
+        // Wrong fleet fingerprint, on an otherwise pristine container.
+        assert_eq!(
+            open(&sealed, PAYLOAD_ATTRIBUTE_DB, Some(8)).unwrap_err(),
+            SnapError::FingerprintMismatch {
+                stored: 7,
+                expected: 8
+            }
+        );
+
+        // Trailing garbage after the payload.
+        let mut bad = sealed.clone();
+        bad.push(0);
+        assert_eq!(
+            open(&bad, PAYLOAD_ATTRIBUTE_DB, Some(7)).unwrap_err(),
+            SnapError::TrailingBytes
+        );
+    }
+
+    #[test]
+    fn checksum_matches_reference_fnv_fmix_family() {
+        // Word-folded FNV with the length mixed in, fmix64-finalized: the
+        // empty input is the offset basis with only the length fold applied.
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        assert_eq!(checksum(b""), fmix64(OFFSET.wrapping_mul(PRIME)));
+        // One-byte avalanche: nearby inputs land far apart.
+        assert_ne!(checksum(b"a"), checksum(b"b"));
+        assert_ne!(checksum(b"a") >> 32, checksum(b"b") >> 32);
+        // The length fold distinguishes payloads that differ only by
+        // trailing zero bytes (a pure word fold would XOR zeros through).
+        assert_ne!(checksum(&[0u8; 8]), checksum(&[0u8; 16]));
+        assert_ne!(checksum(b"abcdefgh"), checksum(b"abcdefgh\0\0\0\0\0\0\0\0"));
+        // Word and tail paths agree with a straightforward definition: a
+        // 9-byte input exercises both.
+        let bytes = *b"123456789";
+        let mut h = OFFSET;
+        h ^= u64::from_le_bytes(bytes[..8].try_into().unwrap());
+        h = h.wrapping_mul(PRIME);
+        h ^= u64::from(bytes[8]);
+        h = h.wrapping_mul(PRIME);
+        h ^= 9;
+        h = h.wrapping_mul(PRIME);
+        assert_eq!(checksum(&bytes), fmix64(h));
+    }
+
+    #[test]
+    fn intern_static_dedupes() {
+        let a = intern_static("hetsel-test-intern");
+        let b = intern_static("hetsel-test-intern");
+        assert!(
+            std::ptr::eq(a, b),
+            "same name must share one leaked allocation"
+        );
+    }
+}

@@ -158,6 +158,27 @@ impl BoundParams {
     }
 }
 
+crate::snap_newtype!(Sym);
+
+impl crate::snap::Snap for SymbolTable {
+    fn snap(&self, w: &mut crate::snap::SnapWriter) {
+        // Names in slot order are the whole state: the index is derived.
+        self.names.snap(w);
+    }
+    fn unsnap(r: &mut crate::snap::SnapReader<'_>) -> Result<Self, crate::snap::SnapError> {
+        let names: Vec<String> = crate::snap::Snap::unsnap(r)?;
+        let mut t = SymbolTable::new();
+        for n in &names {
+            t.intern(n);
+        }
+        if t.names.len() != names.len() {
+            // A duplicate name would silently renumber every later slot.
+            return Err(crate::snap::SnapError::Malformed("duplicate symbol names"));
+        }
+        Ok(t)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -260,6 +260,15 @@ fn walk(
     }
 }
 
+crate::snap_struct!(CompiledLoop {
+    var,
+    lower,
+    upper,
+    children,
+});
+
+crate::snap_struct!(CompiledTrips { roots, n_vars });
+
 #[cfg(test)]
 mod tests {
     use super::*;

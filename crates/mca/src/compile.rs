@@ -348,6 +348,112 @@ fn compile_counts(stmts: &[Stmt]) -> CompiledLoadout {
     CompiledLoadout { terms }
 }
 
+impl hetsel_ir::Snap for CompiledCycles {
+    fn snap(&self, w: &mut hetsel_ir::SnapWriter) {
+        match self {
+            CompiledCycles::StraightLine(c) => {
+                w.put_u8(0);
+                w.put_f64(*c);
+            }
+            CompiledCycles::Nest(n) => {
+                w.put_u8(1);
+                n.snap(w);
+            }
+        }
+    }
+    fn unsnap(r: &mut hetsel_ir::SnapReader<'_>) -> Result<Self, hetsel_ir::SnapError> {
+        Ok(match r.get_u8()? {
+            0 => CompiledCycles::StraightLine(r.get_f64()?),
+            1 => CompiledCycles::Nest(CompiledNest::unsnap(r)?),
+            _ => return Err(hetsel_ir::SnapError::Malformed("bad CompiledCycles tag")),
+        })
+    }
+}
+
+impl hetsel_ir::Snap for Throughput {
+    fn snap(&self, w: &mut hetsel_ir::SnapWriter) {
+        match self {
+            Throughput::Const(c) => {
+                w.put_u8(0);
+                w.put_f64(*c);
+            }
+            Throughput::Nested(n) => {
+                w.put_u8(1);
+                n.snap(w);
+            }
+        }
+    }
+    fn unsnap(r: &mut hetsel_ir::SnapReader<'_>) -> Result<Self, hetsel_ir::SnapError> {
+        Ok(match r.get_u8()? {
+            0 => Throughput::Const(r.get_f64()?),
+            1 => Throughput::Nested(CompiledNest::unsnap(r)?),
+            _ => return Err(hetsel_ir::SnapError::Malformed("bad Throughput tag")),
+        })
+    }
+}
+
+impl hetsel_ir::Snap for NestTerm {
+    fn snap(&self, w: &mut hetsel_ir::SnapWriter) {
+        match self {
+            NestTerm::Block(c) => {
+                w.put_u8(0);
+                w.put_f64(*c);
+            }
+            NestTerm::Loop {
+                header,
+                throughput,
+                startup,
+            } => {
+                w.put_u8(1);
+                header.snap(w);
+                throughput.snap(w);
+                w.put_f64(*startup);
+            }
+        }
+    }
+    fn unsnap(r: &mut hetsel_ir::SnapReader<'_>) -> Result<Self, hetsel_ir::SnapError> {
+        Ok(match r.get_u8()? {
+            0 => NestTerm::Block(r.get_f64()?),
+            1 => NestTerm::Loop {
+                header: Loop::unsnap(r)?,
+                throughput: Throughput::unsnap(r)?,
+                startup: r.get_f64()?,
+            },
+            _ => return Err(hetsel_ir::SnapError::Malformed("bad NestTerm tag")),
+        })
+    }
+}
+
+hetsel_ir::snap_struct!(CompiledNest { terms });
+
+impl hetsel_ir::Snap for LoadTerm {
+    fn snap(&self, w: &mut hetsel_ir::SnapWriter) {
+        match self {
+            LoadTerm::Block(l) => {
+                w.put_u8(0);
+                l.snap(w);
+            }
+            LoadTerm::Loop { header, body } => {
+                w.put_u8(1);
+                header.snap(w);
+                body.snap(w);
+            }
+        }
+    }
+    fn unsnap(r: &mut hetsel_ir::SnapReader<'_>) -> Result<Self, hetsel_ir::SnapError> {
+        Ok(match r.get_u8()? {
+            0 => LoadTerm::Block(Loadout::unsnap(r)?),
+            1 => LoadTerm::Loop {
+                header: Loop::unsnap(r)?,
+                body: CompiledLoadout::unsnap(r)?,
+            },
+            _ => return Err(hetsel_ir::SnapError::Malformed("bad LoadTerm tag")),
+        })
+    }
+}
+
+hetsel_ir::snap_struct!(CompiledLoadout { terms });
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -274,6 +274,24 @@ pub fn skylake() -> CoreDescriptor {
     }
 }
 
+hetsel_ir::snap_struct!(UnitClass {
+    name,
+    count,
+    ops,
+    inv_throughput,
+});
+
+hetsel_ir::snap_struct!(CoreDescriptor {
+    name,
+    dispatch_width,
+    units,
+    latency,
+    l1_load_latency,
+    vector_lanes_f64,
+    vector_efficiency,
+    vector_reduction_efficiency,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -156,6 +156,19 @@ impl LoopBody {
     }
 }
 
+hetsel_ir::snap_unit_enum!(OpKind {
+    0 => IntAlu,
+    1 => IntMul,
+    2 => Load,
+    3 => Store,
+    4 => FAdd,
+    5 => FMul,
+    6 => Fma,
+    7 => FDiv,
+    8 => FSqrt,
+    9 => Branch,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

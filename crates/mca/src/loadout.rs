@@ -101,6 +101,8 @@ pub fn assume_128(_: &hetsel_ir::Loop) -> f64 {
     128.0
 }
 
+hetsel_ir::snap_struct!(Loadout { counts });
+
 #[cfg(test)]
 mod tests {
     use super::*;

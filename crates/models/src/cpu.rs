@@ -22,6 +22,7 @@ use hetsel_ir::{
     Binding, BoundParams, CompiledKernel, CompiledTrips, Kernel, LoopVarId, SymbolTable, TripSlots,
 };
 use hetsel_mca::{compile_parallel_iter_cycles, CompiledCycles, CoreDescriptor};
+use std::sync::Arc;
 
 /// CPU model parameters (paper Table II).
 #[derive(Debug, Clone)]
@@ -252,7 +253,7 @@ pub fn compile(
     CompiledCpuModel {
         cycles_serial: compile_parallel_iter_cycles(kernel, &params.core, None, true),
         cycles_tput: compile_parallel_iter_cycles(kernel, &params.core, None, false),
-        kernel: kernel.clone(),
+        kernel: Arc::new(kernel.clone()),
         params: params.clone(),
         threads,
         mode,
@@ -273,7 +274,9 @@ pub fn compile(
 /// no string lookups, no `Expr` tree walks.
 #[derive(Debug, Clone)]
 pub struct CompiledCpuModel {
-    kernel: Kernel,
+    /// Shared with the attribute-database record and the region's other
+    /// compiled models: one decoded kernel serves them all.
+    kernel: Arc<Kernel>,
     params: CpuModelParams,
     threads: u32,
     mode: TripMode,
@@ -436,6 +439,81 @@ impl CompiledCpuModel {
             }
         }
         1.0
+    }
+}
+
+hetsel_ir::snap_struct!(CpuModelParams {
+    name,
+    freq_ghz,
+    tlb_entries,
+    tlb_miss_penalty,
+    page_bytes,
+    loop_overhead_per_iter,
+    schedule_overhead_static,
+    synchronization_overhead,
+    par_startup,
+    fork_per_thread,
+    cores,
+    smt_benefit,
+    unroll,
+    core,
+    outer_loop_vectorization,
+});
+
+hetsel_ir::snap_struct!(TlbAccess {
+    sequential_vars,
+    stride,
+    elem_bytes,
+});
+
+hetsel_ir::snap_struct!(CompiledVectorFactor {
+    lanes,
+    inner,
+    hot_thread_strides,
+});
+
+impl CompiledCpuModel {
+    /// Serializes everything *except* the kernel. The snapshot container
+    /// stores one kernel per region and shares it across that region's
+    /// compiled models, so the models' wire format deliberately has no
+    /// kernel field; [`CompiledCpuModel::unsnap_body`] reattaches the
+    /// region's shared copy.
+    pub fn snap_body(&self, w: &mut hetsel_ir::SnapWriter) {
+        use hetsel_ir::Snap;
+        self.params.snap(w);
+        w.put_u32(self.threads);
+        self.mode.snap(w);
+        self.cycles_serial.snap(w);
+        self.cycles_tput.snap(w);
+        self.symbols.snap(w);
+        self.facts.snap(w);
+        self.ctrips.snap(w);
+        self.assess.snap(w);
+        self.tlb.snap(w);
+        self.vector.snap(w);
+    }
+
+    /// Decodes a [`CompiledCpuModel::snap_body`] encoding, adopting `kernel`
+    /// as the model's (shared) kernel.
+    pub fn unsnap_body(
+        kernel: Arc<Kernel>,
+        r: &mut hetsel_ir::SnapReader<'_>,
+    ) -> Result<CompiledCpuModel, hetsel_ir::SnapError> {
+        use hetsel_ir::Snap;
+        Ok(CompiledCpuModel {
+            kernel,
+            params: CpuModelParams::unsnap(r)?,
+            threads: r.get_u32()?,
+            mode: TripMode::unsnap(r)?,
+            cycles_serial: hetsel_mca::CompiledCycles::unsnap(r)?,
+            cycles_tput: hetsel_mca::CompiledCycles::unsnap(r)?,
+            symbols: SymbolTable::unsnap(r)?,
+            facts: CompiledKernel::unsnap(r)?,
+            ctrips: CompiledTrips::unsnap(r)?,
+            assess: CompiledAssess::unsnap(r)?,
+            tlb: Vec::<TlbAccess>::unsnap(r)?,
+            vector: CompiledVectorFactor::unsnap(r)?,
+        })
     }
 }
 

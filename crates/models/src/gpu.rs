@@ -23,6 +23,7 @@ use hetsel_ir::{
     LoopVarId, SymbolTable,
 };
 use hetsel_mca::{compile_loadout, CompiledLoadout, OpKind};
+use std::sync::Arc;
 
 /// How memory accesses are classified when the model runs — `Ipda` is the
 /// paper's contribution; the two `Assume*` modes exist for ablation.
@@ -234,7 +235,7 @@ pub fn compile(
         .collect();
     CompiledGpuModel {
         loadout: compile_loadout(kernel),
-        kernel: kernel.clone(),
+        kernel: Arc::new(kernel.clone()),
         params: params.clone(),
         trip_mode,
         coal_mode,
@@ -254,7 +255,9 @@ pub fn compile(
 /// Figures 4–5 — no string lookups, no `Expr` tree walks.
 #[derive(Debug, Clone)]
 pub struct CompiledGpuModel {
-    kernel: Kernel,
+    /// Shared with the attribute-database record and the region's other
+    /// compiled models: one decoded kernel serves them all.
+    kernel: Arc<Kernel>,
     params: GpuModelParams,
     trip_mode: TripMode,
     coal_mode: CoalescingMode,
@@ -520,6 +523,126 @@ impl CompiledGpuModel {
         } else {
             (0.45 * l2 / footprint).min(0.85)
         }
+    }
+}
+
+hetsel_ir::snap_unit_enum!(CoalescingMode {
+    0 => Ipda,
+    1 => AssumeUncoalesced,
+    2 => AssumeCoalesced,
+});
+
+// `GpuDescriptor` / `BusDescriptor` live in hetsel-gpusim, which has no
+// hetsel-ir dependency, so the orphan rule forbids implementing `Snap` there
+// or here for them directly. Both are all-pub parameter sheets; serialize
+// them field by field inside the `GpuModelParams` impl instead.
+impl hetsel_ir::Snap for GpuModelParams {
+    fn snap(&self, w: &mut hetsel_ir::SnapWriter) {
+        let d = &self.device;
+        d.name.snap(w);
+        w.put_u32(d.num_sms);
+        w.put_u32(d.cores_per_sm);
+        w.put_u32(d.schedulers_per_sm);
+        w.put_f64(d.clock_ghz);
+        w.put_f64(d.mem_bandwidth_gbs);
+        w.put_f64(d.mem_latency_cycles);
+        w.put_u64(d.l2_bytes);
+        w.put_f64(d.l2_latency_cycles);
+        w.put_u32(d.segment_bytes);
+        w.put_f64(d.lsu_txns_per_cycle);
+        w.put_u32(d.max_warps_per_sm);
+        w.put_u32(d.max_blocks_per_sm);
+        w.put_f64(d.issue_rate);
+        w.put_f64(d.div_issue_slots);
+        w.put_f64(d.launch_overhead_us);
+        d.bus.name.snap(w);
+        w.put_f64(d.bus.latency_us);
+        w.put_f64(d.bus.bandwidth_gbs);
+        w.put_f64(self.issue_cycles);
+        w.put_f64(self.departure_del_coal);
+        w.put_f64(self.departure_del_uncoal);
+    }
+
+    fn unsnap(r: &mut hetsel_ir::SnapReader<'_>) -> Result<Self, hetsel_ir::SnapError> {
+        let device = hetsel_gpusim::GpuDescriptor {
+            name: <&'static str>::unsnap(r)?,
+            num_sms: r.get_u32()?,
+            cores_per_sm: r.get_u32()?,
+            schedulers_per_sm: r.get_u32()?,
+            clock_ghz: r.get_f64()?,
+            mem_bandwidth_gbs: r.get_f64()?,
+            mem_latency_cycles: r.get_f64()?,
+            l2_bytes: r.get_u64()?,
+            l2_latency_cycles: r.get_f64()?,
+            segment_bytes: r.get_u32()?,
+            lsu_txns_per_cycle: r.get_f64()?,
+            max_warps_per_sm: r.get_u32()?,
+            max_blocks_per_sm: r.get_u32()?,
+            issue_rate: r.get_f64()?,
+            div_issue_slots: r.get_f64()?,
+            launch_overhead_us: r.get_f64()?,
+            bus: hetsel_gpusim::BusDescriptor {
+                name: <&'static str>::unsnap(r)?,
+                latency_us: r.get_f64()?,
+                bandwidth_gbs: r.get_f64()?,
+            },
+        };
+        Ok(GpuModelParams {
+            device,
+            issue_cycles: r.get_f64()?,
+            departure_del_coal: r.get_f64()?,
+            departure_del_uncoal: r.get_f64()?,
+        })
+    }
+}
+
+hetsel_ir::snap_struct!(CensusAccess {
+    sequential_vars,
+    thread_stride,
+    elem_bytes,
+    array,
+    ploop_coeffs,
+});
+
+impl CompiledGpuModel {
+    /// Serializes everything *except* the kernel. The snapshot container
+    /// stores one kernel per region and shares it across that region's
+    /// compiled models (this matters most for multi-accelerator fleets,
+    /// which carry one `CompiledGpuModel` per device);
+    /// [`CompiledGpuModel::unsnap_body`] reattaches the region's shared
+    /// copy.
+    pub fn snap_body(&self, w: &mut hetsel_ir::SnapWriter) {
+        use hetsel_ir::Snap;
+        self.params.snap(w);
+        self.trip_mode.snap(w);
+        self.coal_mode.snap(w);
+        self.loadout.snap(w);
+        self.symbols.snap(w);
+        self.facts.snap(w);
+        self.ctrips.snap(w);
+        self.ploop_vars.snap(w);
+        self.accesses.snap(w);
+    }
+
+    /// Decodes a [`CompiledGpuModel::snap_body`] encoding, adopting `kernel`
+    /// as the model's (shared) kernel.
+    pub fn unsnap_body(
+        kernel: Arc<Kernel>,
+        r: &mut hetsel_ir::SnapReader<'_>,
+    ) -> Result<CompiledGpuModel, hetsel_ir::SnapError> {
+        use hetsel_ir::Snap;
+        Ok(CompiledGpuModel {
+            kernel,
+            params: GpuModelParams::unsnap(r)?,
+            trip_mode: TripMode::unsnap(r)?,
+            coal_mode: CoalescingMode::unsnap(r)?,
+            loadout: CompiledLoadout::unsnap(r)?,
+            symbols: SymbolTable::unsnap(r)?,
+            facts: CompiledKernel::unsnap(r)?,
+            ctrips: CompiledTrips::unsnap(r)?,
+            ploop_vars: Vec::<LoopVarId>::unsnap(r)?,
+            accesses: Vec::<CensusAccess>::unsnap(r)?,
+        })
     }
 }
 

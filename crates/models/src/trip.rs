@@ -38,6 +38,11 @@ impl TripMode {
     }
 }
 
+hetsel_ir::snap_unit_enum!(TripMode {
+    0 => Assume128,
+    1 => Runtime,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

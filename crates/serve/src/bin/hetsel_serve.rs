@@ -11,18 +11,24 @@
 //! ```
 //!
 //! Options: `--tcp ADDR` (default: stdin/stdout), `--queue N`,
-//! `--batch N`, `--window-us N` (admission/coalescing tuning).
+//! `--batch N`, `--window-us N` (admission/coalescing tuning),
+//! `--snapshot PATH` (warm the engine from a compiled-model snapshot —
+//! written back on first run, reused for near-zero-cost reload after).
 
 use std::io::{self, BufReader, Write};
 use std::net::TcpListener;
+use std::path::PathBuf;
 use std::time::Duration;
 
-use hetsel_core::{DecisionEngine, Dispatcher, DispatcherConfig, Platform, Selector};
+use hetsel_core::{Dispatcher, DispatcherConfig, Platform, Selector};
 use hetsel_ir::Kernel;
-use hetsel_serve::{serve_lines, serve_tcp, DecisionServer, ServeConfig};
+use hetsel_serve::{
+    serve_lines, serve_tcp, warm_engine, DecisionServer, ServeConfig, WarmupSource,
+};
 
 fn main() {
     let mut tcp: Option<String> = None;
+    let mut snapshot: Option<PathBuf> = None;
     let mut config = ServeConfig::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -34,6 +40,7 @@ fn main() {
         };
         match arg.as_str() {
             "--tcp" => tcp = Some(value("--tcp")),
+            "--snapshot" => snapshot = Some(PathBuf::from(value("--snapshot"))),
             "--queue" => {
                 config.queue_capacity = value("--queue").parse().expect("--queue takes a count")
             }
@@ -46,7 +53,7 @@ fn main() {
                 )
             }
             other => {
-                eprintln!("unknown argument {other:?} (options: --tcp ADDR, --queue N, --batch N, --window-us N)");
+                eprintln!("unknown argument {other:?} (options: --tcp ADDR, --snapshot PATH, --queue N, --batch N, --window-us N)");
                 std::process::exit(2);
             }
         }
@@ -56,7 +63,30 @@ fn main() {
         .into_iter()
         .map(|(_, kernel, _)| kernel)
         .collect();
-    let engine = DecisionEngine::new(Selector::new(Platform::power9_v100()), &kernels);
+    // Warm the engine fully — snapshot restore or compile — before any
+    // transport accepts a request, so the first caller is never shed or
+    // slowed by model compilation.
+    let (engine, warmup) = warm_engine(
+        Selector::new(Platform::power9_v100()),
+        &kernels,
+        snapshot.as_deref(),
+    );
+    match &warmup.source {
+        WarmupSource::Snapshot => eprintln!(
+            "[hetsel-serve] warmed from snapshot in {:.2} ms ({} regions)",
+            warmup.warmup_ns as f64 / 1e6,
+            warmup.regions
+        ),
+        WarmupSource::Compiled => eprintln!(
+            "[hetsel-serve] compiled models in {:.2} ms ({} regions)",
+            warmup.warmup_ns as f64 / 1e6,
+            warmup.regions
+        ),
+        WarmupSource::Fallback(err) => eprintln!(
+            "[hetsel-serve] snapshot unusable ({err}); compiled models in {:.2} ms and refreshed the snapshot",
+            warmup.warmup_ns as f64 / 1e6
+        ),
+    }
     let dispatcher = Dispatcher::new(engine, DispatcherConfig::default());
     let server = DecisionServer::start(dispatcher, config);
     let handle = server.handle();

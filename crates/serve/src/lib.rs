@@ -50,6 +50,7 @@ mod queue;
 mod server;
 mod timer;
 mod transport;
+mod warmup;
 
 pub use pending::{Completion, PendingRequest};
 pub use proto::{
@@ -59,6 +60,7 @@ pub use queue::{Admission, AdmissionQueue};
 pub use server::{DecisionServer, ServeConfig, ServerHandle};
 pub use timer::DeadlineTimer;
 pub use transport::{serve_lines, serve_tcp, TransportStats};
+pub use warmup::{warm_engine, WarmupReport, WarmupSource};
 
 /// Shared helpers for in-crate unit tests.
 #[cfg(test)]
